@@ -1,0 +1,556 @@
+(* soctest — CLI for the wrapper/TAM co-optimization framework.
+
+   Subcommands regenerate each experiment of the paper (table1, table2,
+   fig1, fig2, fig9, ablate, all), inspect SOC description files
+   (soc-info), and run one-off schedules (schedule). *)
+
+open Cmdliner
+
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module Benchmarks = Soctest_soc.Benchmarks
+module Constraint_def = Soctest_constraints.Constraint_def
+module Optimizer = Soctest_core.Optimizer
+module Flow = Soctest_core.Flow
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments *)
+
+let load_soc spec =
+  match Benchmarks.by_name spec with
+  | Some soc -> soc
+  | None ->
+    if Sys.file_exists spec then Soctest_soc.Soc_parser.parse_file spec
+    else
+      failwith
+        (Printf.sprintf
+           "unknown SOC %S (not a benchmark name and not a file)" spec)
+
+let soc_arg ~default =
+  let doc =
+    "SOC to use: a benchmark name (d695, p22810, p34392, p93791, mini4) \
+     or a .soc file path."
+  in
+  Arg.(value & opt string default & info [ "soc" ] ~docv:"SOC" ~doc)
+
+let width_arg ~default =
+  let doc = "Total SOC TAM width W." in
+  Arg.(value & opt int default & info [ "w"; "width" ] ~docv:"W" ~doc)
+
+let csv_arg =
+  let doc = "Also write the raw data as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let write_csv path contents =
+  match path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "(csv written to %s)\n" path
+
+let wrap f =
+  try `Ok (f ()) with
+  | Failure msg -> `Error (false, msg)
+  | Invalid_argument msg -> `Error (false, msg)
+  | Soctest_soc.Soc_parser.Parse_error e ->
+    `Error (false, Format.asprintf "%a" Soctest_soc.Soc_parser.pp_error e)
+  | Soctest_core.Optimizer.Infeasible msg ->
+    `Error (false, "infeasible: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment commands *)
+
+let table1_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Use a single (percent, delta) pair instead of the full grid.")
+  in
+  let run quick csv =
+    wrap (fun () ->
+        let results = Soctest_experiments.Table1.run ~quick () in
+        print_string (Soctest_experiments.Table1.to_table results);
+        write_csv csv (Soctest_experiments.Table1.to_csv results))
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"Reproduce Table 1 (scheduling results for all four SOCs).")
+    Term.(ret (const run $ quick $ csv_arg))
+
+let table2_cmd =
+  let run csv =
+    wrap (fun () ->
+        let results = Soctest_experiments.Table2.run () in
+        print_string (Soctest_experiments.Table2.to_table results);
+        write_csv csv (Soctest_experiments.Table2.to_csv results))
+  in
+  Cmd.v
+    (Cmd.info "table2"
+       ~doc:"Reproduce Table 2 (effective TAM widths for data volume).")
+    Term.(ret (const run $ csv_arg))
+
+let fig1_cmd =
+  let core =
+    Arg.(
+      value & opt int 6
+      & info [ "core" ] ~docv:"ID" ~doc:"Core id to analyze.")
+  in
+  let run soc core csv =
+    wrap (fun () ->
+        let soc = load_soc soc in
+        let r = Soctest_experiments.Fig1.run ~soc ~core_id:core () in
+        print_string (Soctest_experiments.Fig1.to_plot r);
+        print_newline ();
+        print_string (Soctest_experiments.Fig1.to_table r);
+        write_csv csv (Soctest_experiments.Fig1.to_csv r))
+  in
+  Cmd.v
+    (Cmd.info "fig1"
+       ~doc:"Reproduce Fig. 1 (testing time vs TAM width staircase).")
+    Term.(ret (const run $ soc_arg ~default:"p93791" $ core $ csv_arg))
+
+let fig2_cmd =
+  let run soc width =
+    wrap (fun () ->
+        let soc = load_soc soc in
+        let r = Soctest_experiments.Fig2.run ~soc ~tam_width:width () in
+        print_string (Soctest_experiments.Fig2.render r))
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Reproduce Fig. 2 (example schedule as a Gantt).")
+    Term.(ret (const run $ soc_arg ~default:"d695" $ width_arg ~default:16))
+
+let fig9_cmd =
+  let max_width =
+    Arg.(
+      value & opt int 80
+      & info [ "max-width" ] ~docv:"W" ~doc:"Largest TAM width to sweep.")
+  in
+  let run soc max_width csv =
+    wrap (fun () ->
+        let soc = load_soc soc in
+        let r = Soctest_experiments.Fig9.run ~soc ~max_width () in
+        print_string (Soctest_experiments.Fig9.to_plots r);
+        write_csv csv (Soctest_experiments.Fig9.to_csv r))
+  in
+  Cmd.v
+    (Cmd.info "fig9"
+       ~doc:"Reproduce Fig. 9 (time, volume and cost curves vs TAM width).")
+    Term.(ret (const run $ soc_arg ~default:"p22810" $ max_width $ csv_arg))
+
+let ablate_cmd =
+  let run () =
+    wrap (fun () ->
+        let open Soctest_experiments.Ablation in
+        print_string (delta_table (delta_effect ()));
+        print_newline ();
+        print_string (slack_table (insert_slack_effect ()));
+        print_newline ();
+        print_string
+          (packer_table ~soc_name:"d695" ~tam_width:32
+             (packer_comparison ()));
+        print_newline ();
+        print_string
+          (packer_table ~soc_name:"p22810" ~tam_width:32
+             (packer_comparison ~soc:(Benchmarks.p22810 ()) ()));
+        print_newline ();
+        print_string (wrapper_table (wrapper_quality ())))
+  in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Run the design-choice ablation experiments.")
+    Term.(ret (const run $ const ()))
+
+let all_cmd =
+  let run quick =
+    wrap (fun () ->
+        let results = Soctest_experiments.Table1.run ~quick () in
+        print_string (Soctest_experiments.Table1.to_table results);
+        print_newline ();
+        print_string
+          (Soctest_experiments.Table2.to_table
+             (Soctest_experiments.Table2.run ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Fig1.to_table
+             (Soctest_experiments.Fig1.run ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Fig2.render (Soctest_experiments.Fig2.run ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Fig9.to_plots
+             (Soctest_experiments.Fig9.run ())))
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Quick parameter grid for Table 1.")
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every table and figure of the paper in order.")
+    Term.(ret (const run $ quick))
+
+let extras_cmd =
+  let run soc_name =
+    wrap (fun () ->
+        let soc = load_soc soc_name in
+        let name = soc.Soc_def.name in
+        print_string (Soctest_experiments.Exact_gap.to_table
+                        (Soctest_experiments.Exact_gap.run ~soc ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Tester_exp.memory_to_table ~soc_name:name
+             (Soctest_experiments.Tester_exp.memory_table ~soc ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Tester_exp.compression_to_table
+             ~soc_name:name
+             (Soctest_experiments.Tester_exp.compression_table ~soc ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Tester_exp.multisite_to_table ~soc_name:name
+             ~batch_size:10_000
+             (Soctest_experiments.Tester_exp.multisite_table ~soc ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Hardware_exp.to_table
+             (Soctest_experiments.Hardware_exp.run ~soc ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Polish_exp.to_table
+             (Soctest_experiments.Polish_exp.run
+                ~socs:[ (name, soc) ] ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Defect_exp.to_table
+             (Soctest_experiments.Defect_exp.run ~soc ()));
+        print_newline ();
+        print_string
+          (Soctest_experiments.Flexible_exp.to_table
+             [ Soctest_experiments.Flexible_exp.run ~soc () ]))
+  in
+  Cmd.v
+    (Cmd.info "extras"
+       ~doc:
+         "Extension experiments: exact-vs-heuristic gap, tester memory \
+          utilization, test-data compression, multisite planning, \
+          hardware overhead.")
+    Term.(ret (const run $ soc_arg ~default:"d695"))
+
+let verilog_cmd =
+  let run soc_name width out =
+    wrap (fun () ->
+        let soc = load_soc soc_name in
+        let prepared = Optimizer.prepare soc in
+        let constraints =
+          Constraint_def.unconstrained
+            ~core_count:(Soc_def.core_count soc)
+        in
+        let r =
+          Optimizer.run prepared ~tam_width:width ~constraints
+            ~params:Optimizer.default_params
+        in
+        let text =
+          Soctest_hardware.Verilog.soc_testbench prepared
+            ~widths:r.Optimizer.widths
+        in
+        match out with
+        | None -> print_string text
+        | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "wrote %s (%d lines)\n" path
+            (List.length (String.split_on_char '\n' text)))
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to a file.")
+  in
+  Cmd.v
+    (Cmd.info "verilog"
+       ~doc:"Emit the structural Verilog wrapper/TAM netlist for an SOC.")
+    Term.(ret (const run $ soc_arg ~default:"mini4" $ width_arg ~default:16 $ out))
+
+let stil_cmd =
+  let max_cycles =
+    Arg.(
+      value
+      & opt (some int) (Some 64)
+      & info [ "max-cycles" ] ~docv:"N"
+          ~doc:"Truncate the vector list (pass 0 for the full program).")
+  in
+  let run soc_name width max_cycles =
+    wrap (fun () ->
+        let soc = load_soc soc_name in
+        let prepared = Optimizer.prepare soc in
+        let r =
+          Optimizer.run prepared ~tam_width:width
+            ~constraints:
+              (Constraint_def.unconstrained
+                 ~core_count:(Soc_def.core_count soc))
+            ~params:Optimizer.default_params
+        in
+        let program =
+          Soctest_tester.Test_program.build prepared r.Optimizer.schedule
+        in
+        let max_cycles =
+          match max_cycles with Some 0 -> None | m -> m
+        in
+        print_string
+          (Soctest_tester.Test_program.to_stil ?max_cycles program))
+  in
+  Cmd.v
+    (Cmd.info "stil"
+       ~doc:"Emit the transport-level tester program (STIL-like vectors).")
+    Term.(
+      ret
+        (const run $ soc_arg ~default:"mini4" $ width_arg ~default:8
+       $ max_cycles))
+
+let sweep_cmd =
+  let max_width =
+    Arg.(
+      value & opt int 64
+      & info [ "max-width" ] ~docv:"W" ~doc:"Largest TAM width to sweep.")
+  in
+  let run soc_name max_width csv =
+    wrap (fun () ->
+        let soc = load_soc soc_name in
+        let prepared = Optimizer.prepare soc in
+        let constraints =
+          Constraint_def.unconstrained
+            ~core_count:(Soc_def.core_count soc)
+        in
+        let points =
+          Soctest_core.Volume.sweep prepared
+            ~widths:(List.init max_width (fun k -> k + 1))
+            ~constraints ()
+        in
+        let front = Soctest_core.Volume.pareto_front points in
+        let table =
+          Soctest_report.Table.create
+            ~title:
+              (Printf.sprintf
+                 "Time/volume Pareto front for %s (non-dominated widths)"
+                 soc.Soc_def.name)
+            ~columns:
+              Soctest_report.Table.
+                [
+                  ("W", Right); ("T (cycles)", Right); ("V (bits)", Right);
+                ]
+            ()
+        in
+        List.iter
+          (fun p ->
+            Soctest_report.Table.add_int_row table
+              (string_of_int p.Soctest_core.Volume.width)
+              [ p.Soctest_core.Volume.time; p.Soctest_core.Volume.volume ])
+          front;
+        print_string (Soctest_report.Table.render table);
+        write_csv csv
+          (Soctest_report.Csv.render ~header:[ "width"; "time"; "volume" ]
+             ~rows:
+               (List.map
+                  (fun p ->
+                    [
+                      string_of_int p.Soctest_core.Volume.width;
+                      string_of_int p.Soctest_core.Volume.time;
+                      string_of_int p.Soctest_core.Volume.volume;
+                    ])
+                  points)))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep TAM widths and print the non-dominated (time, volume)           front.")
+    Term.(ret (const run $ soc_arg ~default:"d695" $ max_width $ csv_arg))
+
+(* ------------------------------------------------------------------ *)
+(* utility commands *)
+
+let soc_info_cmd =
+  let spec =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOC" ~doc:"Benchmark name or .soc file.")
+  in
+  let run spec =
+    wrap (fun () ->
+        let soc = load_soc spec in
+        Format.printf "%a@." Soc_def.pp_summary soc;
+        Format.printf "total test data: %d bits@."
+          (Soc_def.total_test_data_bits soc);
+        List.iter
+          (fun (p, c) -> Format.printf "hierarchy: core %d contains %d@." p c)
+          soc.Soc_def.hierarchy;
+        List.iter
+          (fun (e, ids) ->
+            Format.printf "BIST engine %d shared by cores %s@." e
+              (String.concat ", " (List.map string_of_int ids)))
+          (Soc_def.bist_groups soc))
+  in
+  Cmd.v
+    (Cmd.info "soc-info" ~doc:"Summarize an SOC description.")
+    Term.(ret (const run $ spec))
+
+let export_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output path (default: <soc>.soc in the current directory).")
+  in
+  let run soc_name out =
+    wrap (fun () ->
+        let soc = load_soc soc_name in
+        let path =
+          match out with
+          | Some p -> p
+          | None -> soc.Soc_def.name ^ ".soc"
+        in
+        Soctest_soc.Soc_writer.to_file path soc;
+        Printf.printf "wrote %s (%d cores)\n" path (Soc_def.core_count soc))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write a benchmark SOC out in the .soc text format.")
+    Term.(ret (const run $ soc_arg ~default:"d695" $ out))
+
+let schedule_cmd =
+  let preempt =
+    Arg.(
+      value & opt int 0
+      & info [ "preempt" ] ~docv:"N"
+          ~doc:"Allow N preemptions on the larger cores.")
+  in
+  let power =
+    Arg.(
+      value & flag
+      & info [ "power" ]
+          ~doc:"Apply the default power limit (1.5x the largest core).")
+  in
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Render an ASCII Gantt chart.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Save the schedule in the textual schedule format.")
+  in
+  let run soc width preempt power gantt save =
+    wrap (fun () ->
+        let soc = load_soc soc in
+        let max_preempts =
+          if preempt > 0 then Flow.preemption_budget soc ~limit:preempt
+          else []
+        in
+        let constraints =
+          Constraint_def.of_soc soc ~max_preemptions:max_preempts
+            ?power_limit:
+              (if power then Some (Flow.default_power_limit soc) else None)
+            ()
+        in
+        let r = Flow.solve_p2 soc ~tam_width:width ~constraints () in
+        Printf.printf "SOC %s at W=%d: testing time %d cycles\n"
+          soc.Soc_def.name width r.Optimizer.testing_time;
+        List.iter
+          (fun (id, w) ->
+            Printf.printf "  core %2d (%s): width %d%s\n" id
+              (Soc_def.core soc id).Core_def.name w
+              (match List.assoc_opt id r.Optimizer.preemptions with
+              | Some p -> Printf.sprintf ", %d preemption(s)" p
+              | None -> ""))
+          r.Optimizer.widths;
+        if gantt then begin
+          print_string (Soctest_tam.Gantt.render r.Optimizer.schedule);
+          print_string
+            (Soctest_tam.Gantt.legend r.Optimizer.schedule (fun id ->
+                 (Soc_def.core soc id).Core_def.name))
+        end;
+        match save with
+        | None -> ()
+        | Some path ->
+          Soctest_tam.Schedule_io.to_file path r.Optimizer.schedule;
+          Printf.printf "schedule saved to %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Co-optimize and schedule one SOC.")
+    Term.(
+      ret
+        (const run $ soc_arg ~default:"d695" $ width_arg ~default:32
+       $ preempt $ power $ gantt $ save))
+
+let validate_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCHEDULE" ~doc:"Schedule file to validate.")
+  in
+  let power =
+    Arg.(
+      value & flag
+      & info [ "power" ] ~doc:"Also check the default power limit.")
+  in
+  let run soc_name file power =
+    wrap (fun () ->
+        let soc = load_soc soc_name in
+        let sched =
+          try Soctest_tam.Schedule_io.of_file file
+          with Soctest_tam.Schedule_io.Parse_error e ->
+            failwith
+              (Format.asprintf "%a" Soctest_tam.Schedule_io.pp_error e)
+        in
+        let constraints =
+          Constraint_def.of_soc soc
+            ?power_limit:
+              (if power then Some (Flow.default_power_limit soc) else None)
+            ()
+        in
+        match
+          Soctest_constraints.Conflict.validate soc constraints sched
+        with
+        | [] ->
+          Printf.printf
+            "%s: valid schedule for %s (W=%d, makespan %d, utilization %.1f%%)\n"
+            file soc.Soc_def.name sched.Soctest_tam.Schedule.tam_width
+            (Soctest_tam.Schedule.makespan sched)
+            (100. *. Soctest_tam.Schedule.utilization sched)
+        | violations ->
+          List.iter
+            (fun v ->
+              Format.printf "%s: %a@." file
+                Soctest_constraints.Conflict.pp_violation v)
+            violations;
+          failwith
+            (Printf.sprintf "%d violation(s)" (List.length violations)))
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Re-validate a saved schedule against an SOC's constraints.")
+    Term.(ret (const run $ soc_arg ~default:"d695" $ file $ power))
+
+let main_cmd =
+  let doc =
+    "wrapper/TAM co-optimization, constraint-driven test scheduling and \
+     tester data volume reduction for SOCs (DAC 2002 reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "soctest" ~version:"1.0.0" ~doc)
+    [
+      table1_cmd; table2_cmd; fig1_cmd; fig2_cmd; fig9_cmd; ablate_cmd;
+      all_cmd; soc_info_cmd; schedule_cmd; export_cmd; extras_cmd; verilog_cmd;
+      validate_cmd; stil_cmd; sweep_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_soc.ml: Filename Format List Printf Soctest_constraints Soctest_core Soctest_soc Soctest_tam Sys

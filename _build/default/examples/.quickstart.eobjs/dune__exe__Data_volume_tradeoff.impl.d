@@ -1,0 +1,1 @@
+examples/data_volume_tradeoff.ml: List Printf Soctest_core Soctest_report Soctest_soc

@@ -1,0 +1,1 @@
+examples/data_volume_tradeoff.mli:

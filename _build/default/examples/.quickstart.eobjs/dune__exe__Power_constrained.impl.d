@@ -1,0 +1,1 @@
+examples/power_constrained.ml: List Option Printf Soctest_constraints Soctest_core Soctest_soc Soctest_tam

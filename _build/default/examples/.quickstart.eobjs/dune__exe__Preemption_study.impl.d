@@ -1,0 +1,1 @@
+examples/preemption_study.ml: List Printf Soctest_constraints Soctest_core Soctest_soc Soctest_tam String

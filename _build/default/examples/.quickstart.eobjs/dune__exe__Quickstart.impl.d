@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Soctest_core Soctest_soc Soctest_tam

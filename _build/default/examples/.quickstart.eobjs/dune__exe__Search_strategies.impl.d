@@ -1,0 +1,1 @@
+examples/search_strategies.ml: Anneal Array Benchmarks Constraint_def Core_def Exact Improve List Lower_bound Optimizer Printf Soc_def Soctest

@@ -1,0 +1,1 @@
+examples/wrapper_explorer.ml: Format List Printf Soctest_hardware Soctest_soc Soctest_wrapper String

@@ -1,0 +1,59 @@
+(* Selective test preemption (Problem 2).
+
+   Compares non-preemptive scheduling against budgets of 1..3 preemptions
+   on the larger cores of d695, at several TAM widths. Preemption usually
+   helps by letting a long test yield wires and resume in idle time —
+   but each resume costs an extra scan-in + scan-out, so it can also hurt
+   (the paper observes both directions in Table 1).
+
+   Run with: dune exec examples/preemption_study.exe *)
+
+module Constraint_def = Soctest_constraints.Constraint_def
+module Optimizer = Soctest_core.Optimizer
+module Flow = Soctest_core.Flow
+module Schedule = Soctest_tam.Schedule
+
+let () =
+  let soc = Soctest_soc.Benchmarks.d695 () in
+  let n = Soctest_soc.Soc_def.core_count soc in
+  let prepared = Optimizer.prepare soc in
+  let time ~budget ~tam_width =
+    let constraints =
+      if budget = 0 then Constraint_def.unconstrained ~core_count:n
+      else
+        Constraint_def.make ~core_count:n
+          ~max_preemptions:(Flow.preemption_budget soc ~limit:budget)
+          ()
+    in
+    Optimizer.best_over_params prepared ~tam_width ~constraints ()
+  in
+  Printf.printf "%4s %12s %12s %12s %12s\n" "W" "no preempt"
+    "budget 1" "budget 2" "budget 3";
+  List.iter
+    (fun w ->
+      let results = List.map (fun b -> time ~budget:b ~tam_width:w) [ 0; 1; 2; 3 ] in
+      Printf.printf "%4d" w;
+      List.iter
+        (fun (r : Optimizer.result) ->
+          Printf.printf " %12d" r.Optimizer.testing_time)
+        results;
+      print_newline ())
+    [ 16; 24; 32; 48; 64 ];
+
+  (* Show where preemption actually landed for one configuration. *)
+  let r = time ~budget:2 ~tam_width:32 in
+  print_newline ();
+  if r.Optimizer.preemptions = [] then
+    print_endline "W=32, budget 2: best schedule needed no preemption."
+  else begin
+    print_endline "W=32, budget 2: preempted cores:";
+    List.iter
+      (fun (id, count) ->
+        Printf.printf "  core %d: %d preemption(s), runs %s\n" id count
+          (String.concat " + "
+             (List.map
+                (fun s ->
+                  Printf.sprintf "[%d,%d)" s.Schedule.start s.Schedule.stop)
+                (Schedule.slices_of_core r.Optimizer.schedule id))))
+      r.Optimizer.preemptions
+  end

@@ -1,0 +1,75 @@
+(* Tester budget planning: volume, compression, and multisite trade-offs.
+
+   A production engineer has a tester with limited channels and vector
+   memory, and a batch of dies to push through. This example walks the
+   full Sec. 5 story on d695: the V(W) = W*T(W) memory bill, what Golomb
+   compression of the stimulus would save, and which TAM width minimizes
+   the batch test time.
+
+   Run with: dune exec examples/tester_budget.exe *)
+
+module O = Soctest_core.Optimizer
+module Volume = Soctest_core.Volume
+module TI = Soctest_tester.Tester_image
+module MS = Soctest_tester.Multisite
+
+let () =
+  let soc = Soctest_soc.Benchmarks.d695 () in
+  let prepared = O.prepare soc in
+  let constraints =
+    Soctest_constraints.Constraint_def.unconstrained
+      ~core_count:(Soctest_soc.Soc_def.core_count soc)
+  in
+
+  (* 1. the tester memory bill across TAM widths *)
+  Printf.printf "%4s %10s %12s %12s %6s\n" "W" "T (cyc)" "V (bits)"
+    "useful" "util";
+  let sweep = Volume.sweep prepared ~widths:[ 4; 8; 16; 32; 64 ] ~constraints () in
+  List.iter
+    (fun p ->
+      let r =
+        O.run prepared ~tam_width:p.Volume.width ~constraints
+          ~params:O.default_params
+      in
+      let image = TI.of_schedule r.O.schedule in
+      Printf.printf "%4d %10d %12d %12d %5.1f%%\n" p.Volume.width
+        p.Volume.time p.Volume.volume image.TI.useful
+        (100. *. TI.utilization image))
+    sweep;
+
+  (* 2. what stimulus compression buys, by ATPG care-bit density *)
+  print_newline ();
+  List.iter
+    (fun d ->
+      let r = TI.compress_soc ~care_density:d soc in
+      Printf.printf
+        "care density %4.0f%%: stimulus %8d bits -> %8d bits (%.2fx)\n"
+        (100. *. d) r.TI.raw_stimulus_bits r.TI.compressed_bits r.TI.ratio)
+    [ 0.02; 0.05; 0.10 ];
+
+  (* 3. multisite: a batch of 25k dies on a 256-channel tester *)
+  print_newline ();
+  let full_sweep =
+    Volume.sweep prepared
+      ~widths:(List.init 64 (fun k -> k + 1))
+      ~constraints ()
+    |> List.map (fun p -> (p.Volume.width, p.Volume.time))
+  in
+  let points =
+    MS.evaluate MS.default_tester ~batch_size:25_000 full_sweep
+  in
+  let best = MS.best points in
+  Printf.printf
+    "batch of 25000 dies, %d channels, %d bit/channel buffer:\n"
+    MS.default_tester.MS.channels MS.default_tester.MS.memory_depth;
+  Printf.printf
+    "  best TAM width W* = %d: %d sites in parallel, %d reloads/die, \
+     batch time %d cycles\n"
+    best.MS.width best.MS.sites best.MS.reloads best.MS.batch_time;
+  let at w = List.find (fun p -> p.MS.width = w) points in
+  List.iter
+    (fun w ->
+      let p = at w in
+      Printf.printf "  (W=%-2d: %3d sites, batch %d cycles)\n" w p.MS.sites
+        p.MS.batch_time)
+    [ 2; 16; 64 ]

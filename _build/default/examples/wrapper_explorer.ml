@@ -1,0 +1,51 @@
+(* Wrapper design exploration for a single core.
+
+   Shows the Design_wrapper/Pareto machinery up close: the testing-time
+   staircase, what flexible scan-chain re-stitching (Aerts & Marinissen)
+   would buy, the wrapper hardware bill, and the emitted Verilog netlist.
+
+   Run with: dune exec examples/wrapper_explorer.exe *)
+
+module Core_def = Soctest_soc.Core_def
+module WD = Soctest_wrapper.Wrapper_design
+module Pareto = Soctest_wrapper.Pareto
+module SP = Soctest_wrapper.Scan_partition
+module Overhead = Soctest_hardware.Overhead
+module Verilog = Soctest_hardware.Verilog
+
+let () =
+  (* an s9234-like core with mildly unbalanced chains *)
+  let core =
+    Core_def.make ~id:1 ~name:"s9234" ~inputs:36 ~outputs:39 ~bidirs:0
+      ~scan_chains:[ 70; 54; 45; 42 ] ~patterns:105 ()
+  in
+  let pareto = Pareto.compute core ~wmax:16 in
+
+  Printf.printf "Pareto staircase for %s (%d FFs, %d patterns):\n"
+    core.Core_def.name (Core_def.flip_flops core) core.Core_def.patterns;
+  Printf.printf "%6s %10s %10s %8s\n" "width" "fixed T" "flexible T" "gain";
+  List.iter
+    (fun w ->
+      let fixed = Pareto.time pareto ~width:w in
+      let flexible = SP.flexible_time core ~width:w in
+      Printf.printf "%6d %10d %10d %7.1f%%\n" w fixed flexible
+        (100. *. float_of_int (fixed - flexible) /. float_of_int fixed))
+    (Pareto.pareto_widths pareto);
+
+  let w = Pareto.preferred_width pareto ~percent:5 ~delta:1 in
+  let design = WD.design core ~width:w in
+  Printf.printf "\npreferred width (P=5%%, delta=1): %d wires\n" w;
+  Printf.printf "wrapper: %d chains, scan-in %d, scan-out %d, T=%d cycles\n"
+    design.WD.width design.WD.si design.WD.so design.WD.time;
+
+  let overhead = Overhead.core_overhead core ~width:w in
+  Format.printf "hardware: %a@." Overhead.pp overhead;
+
+  print_endline "\n--- structural Verilog (first 30 lines) ---";
+  let v = Verilog.wrapper_module core ~width:w in
+  String.split_on_char '\n' v
+  |> List.filteri (fun i _ -> i < 30)
+  |> List.iter print_endline;
+  Printf.printf "... (%d lines total, %d boundary cells instantiated)\n"
+    (List.length (String.split_on_char '\n' v))
+    (Verilog.instance_count v "soctest_wbc")

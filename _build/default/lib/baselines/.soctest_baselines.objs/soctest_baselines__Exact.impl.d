@@ -1,0 +1,1 @@
+lib/baselines/exact.ml: Array List Soctest_constraints Soctest_core Soctest_soc Soctest_tam Soctest_wrapper

@@ -1,0 +1,1 @@
+lib/baselines/exact.mli: Soctest_core Soctest_tam

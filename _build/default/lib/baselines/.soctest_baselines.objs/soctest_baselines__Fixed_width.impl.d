@@ -1,0 +1,1 @@
+lib/baselines/fixed_width.ml: Array List Soctest_core Soctest_soc Soctest_tam Soctest_wrapper

@@ -1,0 +1,1 @@
+lib/baselines/fixed_width.mli: Soctest_core Soctest_tam

@@ -1,0 +1,1 @@
+lib/baselines/serial.ml: Soctest_core Soctest_soc Soctest_tam Soctest_wrapper

@@ -1,0 +1,1 @@
+lib/baselines/serial.mli: Soctest_core Soctest_tam

@@ -1,0 +1,1 @@
+lib/baselines/session.ml: List Soctest_core Soctest_soc Soctest_tam Soctest_wrapper

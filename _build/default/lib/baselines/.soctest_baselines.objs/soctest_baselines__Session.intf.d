@@ -1,0 +1,1 @@
+lib/baselines/session.mli: Soctest_core Soctest_tam

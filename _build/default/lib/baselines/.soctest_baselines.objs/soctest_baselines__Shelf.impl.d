@@ -1,0 +1,1 @@
+lib/baselines/shelf.ml: List Soctest_core Soctest_soc Soctest_tam Soctest_wrapper

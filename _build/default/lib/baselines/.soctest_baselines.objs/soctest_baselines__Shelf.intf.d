@@ -1,0 +1,1 @@
+lib/baselines/shelf.mli: Soctest_core Soctest_tam

@@ -1,0 +1,148 @@
+module Pareto = Soctest_wrapper.Pareto
+module Schedule = Soctest_tam.Schedule
+module Optimizer = Soctest_core.Optimizer
+
+type outcome = {
+  testing_time : int;
+  schedule : Soctest_tam.Schedule.t;
+  optimal : bool;
+  nodes : int;
+}
+
+type placed = { core : int; width : int; start : int; finish : int }
+
+exception Budget_exhausted
+
+let solve ?(node_limit = 2_000_000) ?upper_bound prepared ~tam_width =
+  if tam_width < 1 then invalid_arg "Exact.solve: tam_width must be >= 1";
+  if node_limit < 1 then invalid_arg "Exact.solve: node_limit must be >= 1";
+  let soc = Optimizer.soc_of prepared in
+  let n = Soctest_soc.Soc_def.core_count soc in
+  (* per-core rectangle menus restricted to widths <= W, widest first
+     (wider = shorter, so promising branches come first) *)
+  let menus =
+    Array.init n (fun k ->
+        let p = Optimizer.pareto_of prepared (k + 1) in
+        Pareto.rectangles p
+        |> List.filter (fun (w, _) -> w <= tam_width)
+        |> List.sort (fun (a, _) (b, _) -> compare b a))
+  in
+  let min_area =
+    Array.init n (fun k -> Pareto.min_area (Optimizer.pareto_of prepared (k + 1)))
+  in
+  let min_time =
+    Array.init n (fun k ->
+        Pareto.time (Optimizer.pareto_of prepared (k + 1)) ~width:tam_width)
+  in
+  let best_time =
+    ref (match upper_bound with Some u -> u | None -> max_int)
+  in
+  let best_schedule = ref [] in
+  let nodes = ref 0 in
+  let unstarted = Array.make n true in
+  (* chronological branch and bound; [placed] is the partial schedule,
+     [t] the current decision instant, [min_id] the symmetry breaker:
+     cores started at the same instant appear in ascending id order *)
+  let rec search t min_id placed =
+    incr nodes;
+    if !nodes > node_limit then raise Budget_exhausted;
+    let running = List.filter (fun p -> p.finish > t) placed in
+    let used = List.fold_left (fun a p -> a + p.width) 0 running in
+    let makespan_so_far =
+      List.fold_left (fun a p -> max a p.finish) 0 placed
+    in
+    (* lower bound of any completion of this partial schedule *)
+    let busy_after_t =
+      List.fold_left (fun a p -> a + ((p.finish - t) * p.width)) 0 running
+    in
+    let rest_area = ref busy_after_t in
+    let slowest_rest = ref 0 in
+    Array.iteri
+      (fun k u ->
+        if u then begin
+          rest_area := !rest_area + min_area.(k);
+          slowest_rest := max !slowest_rest min_time.(k)
+        end)
+      unstarted;
+    let lower =
+      max makespan_so_far
+        (max
+           (t + ((!rest_area + tam_width - 1) / tam_width))
+           (if !slowest_rest = 0 then 0 else t + !slowest_rest))
+    in
+    if lower < !best_time then
+      if Array.for_all not unstarted then begin
+        best_time := makespan_so_far;
+        best_schedule := placed
+      end
+      else begin
+        (* branch 1: start core id (>= min_id, symmetry) at t *)
+        for k = min_id to n - 1 do
+          if unstarted.(k) then
+            List.iter
+              (fun (width, time) ->
+                if width <= tam_width - used then begin
+                  unstarted.(k) <- false;
+                  search t (k + 1)
+                    ({ core = k + 1; width; start = t; finish = t + time }
+                    :: placed);
+                  unstarted.(k) <- true
+                end)
+              menus.(k)
+        done;
+        (* branch 2: close the start set at t, advance to the next finish
+           event (only meaningful when something is running) *)
+        match
+          List.fold_left
+            (fun acc p ->
+              match acc with
+              | None -> Some p.finish
+              | Some f -> Some (min f p.finish))
+            None running
+        with
+        | Some next when next > t -> search next 0 placed
+        | _ -> ()
+      end
+  in
+  let optimal =
+    match search 0 0 [] with
+    | () -> true
+    | exception Budget_exhausted -> false
+  in
+  (* fall back to the heuristic when the search improved on nothing —
+     budget died before any leaf, or a seeded [upper_bound] was already
+     optimal (the incumbent then has no schedule of its own) *)
+  let placed, testing_time =
+    if !best_schedule = [] then begin
+      let r =
+        Optimizer.run prepared ~tam_width
+          ~constraints:
+            (Soctest_constraints.Constraint_def.unconstrained ~core_count:n)
+          ~params:Optimizer.default_params
+      in
+      ( List.map
+          (fun s ->
+            {
+              core = s.Schedule.core;
+              width = s.Schedule.width;
+              start = s.Schedule.start;
+              finish = s.Schedule.stop;
+            })
+          r.Optimizer.schedule.Schedule.slices,
+        r.Optimizer.testing_time )
+    end
+    else (!best_schedule, !best_time)
+  in
+  let slices =
+    List.map
+      (fun p ->
+        { Schedule.core = p.core; width = p.width; start = p.start;
+          stop = p.finish })
+      placed
+  in
+  {
+    testing_time;
+    schedule = Schedule.make ~tam_width ~slices;
+    optimal;
+    nodes = !nodes;
+  }

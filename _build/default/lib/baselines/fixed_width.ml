@@ -1,0 +1,117 @@
+module Pareto = Soctest_wrapper.Pareto
+module Schedule = Soctest_tam.Schedule
+module Optimizer = Soctest_core.Optimizer
+
+type design = {
+  bus_widths : int array;
+  assignment : int array;
+  schedule : Soctest_tam.Schedule.t;
+  testing_time : int;
+}
+
+(* Non-decreasing integer partitions of [total] into exactly [parts]
+   positive parts (bus order is irrelevant). *)
+let partitions ~total ~parts =
+  let rec go lo total parts acc partial =
+    if parts = 0 then if total = 0 then List.rev partial :: acc else acc
+    else
+      let hi = total - (parts - 1) in
+      let acc = ref acc in
+      for v = lo to hi do
+        if v * parts <= total then
+          acc := go v (total - v) (parts - 1) !acc (v :: partial)
+      done;
+      !acc
+  in
+  go 1 total parts [] []
+
+(* Longest-test-first list scheduling of cores onto buses: each core goes
+   to the bus whose resulting finish time is smallest. *)
+let assign_cores prepared ~bus_widths =
+  let soc = Optimizer.soc_of prepared in
+  let n = Soctest_soc.Soc_def.core_count soc in
+  let buses = Array.length bus_widths in
+  let time_on id bus =
+    Pareto.time (Optimizer.pareto_of prepared id) ~width:bus_widths.(bus)
+  in
+  let order =
+    List.init n (fun k -> k + 1)
+    |> List.sort (fun a b -> compare (time_on b 0) (time_on a 0))
+  in
+  let loads = Array.make buses 0 in
+  let assignment = Array.make n 0 in
+  List.iter
+    (fun id ->
+      let best = ref 0 in
+      for bus = 1 to buses - 1 do
+        if loads.(bus) + time_on id bus < loads.(!best) + time_on id !best
+        then best := bus
+      done;
+      assignment.(id - 1) <- !best;
+      loads.(!best) <- loads.(!best) + time_on id !best)
+    order;
+  (assignment, Array.fold_left max 0 loads)
+
+let realize prepared ~tam_width ~bus_widths ~assignment =
+  let soc = Optimizer.soc_of prepared in
+  let n = Soctest_soc.Soc_def.core_count soc in
+  let buses = Array.length bus_widths in
+  let clock = Array.make buses 0 in
+  let slices = ref [] in
+  (* keep core order deterministic: longest first, matching assign_cores *)
+  let time_on id bus =
+    Pareto.time (Optimizer.pareto_of prepared id) ~width:bus_widths.(bus)
+  in
+  let order =
+    List.init n (fun k -> k + 1)
+    |> List.sort (fun a b -> compare (time_on b 0) (time_on a 0))
+  in
+  List.iter
+    (fun id ->
+      let bus = assignment.(id - 1) in
+      let p = Optimizer.pareto_of prepared id in
+      let width = Pareto.effective_width p ~width:bus_widths.(bus) in
+      let time = time_on id bus in
+      slices :=
+        {
+          Schedule.core = id;
+          width;
+          start = clock.(bus);
+          stop = clock.(bus) + time;
+        }
+        :: !slices;
+      clock.(bus) <- clock.(bus) + time)
+    order;
+  Schedule.make ~tam_width ~slices:!slices
+
+let design_with_buses prepared ~tam_width ~buses =
+  if buses < 1 || buses > tam_width then
+    invalid_arg "Fixed_width.design_with_buses: bad bus count";
+  if buses > 4 then
+    invalid_arg "Fixed_width.design_with_buses: enumeration limited to 4";
+  let best = ref None in
+  List.iter
+    (fun parts ->
+      let bus_widths = Array.of_list parts in
+      let assignment, testing_time = assign_cores prepared ~bus_widths in
+      match !best with
+      | Some (t, _, _) when t <= testing_time -> ()
+      | _ -> best := Some (testing_time, bus_widths, assignment))
+    (partitions ~total:tam_width ~parts:buses);
+  match !best with
+  | None -> invalid_arg "Fixed_width.design_with_buses: no partition"
+  | Some (testing_time, bus_widths, assignment) ->
+    let schedule = realize prepared ~tam_width ~bus_widths ~assignment in
+    { bus_widths; assignment; schedule; testing_time }
+
+let best_design prepared ~tam_width ?(max_buses = 3) () =
+  let candidates =
+    List.init (min max_buses tam_width) (fun k ->
+        design_with_buses prepared ~tam_width ~buses:(k + 1))
+  in
+  match candidates with
+  | [] -> invalid_arg "Fixed_width.best_design: no candidates"
+  | d :: rest ->
+    List.fold_left
+      (fun best d -> if d.testing_time < best.testing_time then d else best)
+      d rest

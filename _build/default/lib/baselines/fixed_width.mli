@@ -1,0 +1,33 @@
+(** Fixed-width TAM architectures in the style of Iyengar et al.
+    (JETTA'02 / DATE'02, refs [12, 13] of the paper): the total width [W]
+    is split once and for all into [B] buses; each core is assigned to
+    exactly one bus and the cores on a bus are tested serially. The SOC
+    testing time is the longest bus.
+
+    The paper argues such architectures waste TAM wires compared to its
+    flexible-width packing; this module provides that comparison. Bus
+    partitions are enumerated exhaustively (compositions of [W] into [B]
+    positive parts) with a greedy longest-test-first core assignment per
+    partition. *)
+
+type design = {
+  bus_widths : int array;
+  assignment : int array;  (** [assignment.(core_id - 1)] = bus index *)
+  schedule : Soctest_tam.Schedule.t;
+  testing_time : int;
+}
+
+val design_with_buses :
+  Soctest_core.Optimizer.prepared -> tam_width:int -> buses:int -> design
+(** Best design over all partitions of [tam_width] into exactly [buses]
+    buses. @raise Invalid_argument unless [1 <= buses <= tam_width] and
+    [buses] is small enough to enumerate ([<= 4]). *)
+
+val best_design :
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  ?max_buses:int ->
+  unit ->
+  design
+(** Best over bus counts [1 .. max_buses] (default 3; 4 is noticeably
+    slower on wide TAMs). *)

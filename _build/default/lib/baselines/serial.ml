@@ -1,0 +1,24 @@
+module Pareto = Soctest_wrapper.Pareto
+module Schedule = Soctest_tam.Schedule
+module Optimizer = Soctest_core.Optimizer
+
+let schedule prepared ~tam_width =
+  if tam_width < 1 then
+    invalid_arg "Serial.schedule: tam_width must be >= 1";
+  let soc = Optimizer.soc_of prepared in
+  let n = Soctest_soc.Soc_def.core_count soc in
+  let now = ref 0 in
+  let slices = ref [] in
+  for id = 1 to n do
+    let p = Optimizer.pareto_of prepared id in
+    let width = Pareto.effective_width p ~width:tam_width in
+    let time = Pareto.time p ~width:tam_width in
+    slices :=
+      { Schedule.core = id; width; start = !now; stop = !now + time }
+      :: !slices;
+    now := !now + time
+  done;
+  Schedule.make ~tam_width ~slices:!slices
+
+let testing_time prepared ~tam_width =
+  Schedule.makespan (schedule prepared ~tam_width)

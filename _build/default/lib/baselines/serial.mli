@@ -1,0 +1,10 @@
+(** Serial baseline: one core at a time, each at the best width that fits
+    the TAM. The weakest sensible comparator — no test parallelism — and
+    the upper anchor for speedup claims. *)
+
+val schedule :
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  Soctest_tam.Schedule.t
+
+val testing_time : Soctest_core.Optimizer.prepared -> tam_width:int -> int

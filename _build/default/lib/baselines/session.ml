@@ -1,0 +1,73 @@
+module Pareto = Soctest_wrapper.Pareto
+module Schedule = Soctest_tam.Schedule
+module Optimizer = Soctest_core.Optimizer
+
+type t = {
+  schedule : Schedule.t;
+  sessions : int list list;
+  testing_time : int;
+}
+
+(* next-fit by width at each session: grab cores (longest test first) while
+   their preferred-ish widths fit; close the session; repeat. All tests in
+   a session start together and the session lasts as long as its longest
+   member (no test spans sessions). *)
+let schedule prepared ~tam_width =
+  if tam_width < 1 then
+    invalid_arg "Session.schedule: tam_width must be >= 1";
+  let soc = Optimizer.soc_of prepared in
+  let n = Soctest_soc.Soc_def.core_count soc in
+  let width_of id =
+    let p = Optimizer.pareto_of prepared id in
+    Pareto.effective_width p
+      ~width:(min tam_width (Pareto.highest_pareto p))
+  in
+  let time_of id w = Pareto.time (Optimizer.pareto_of prepared id) ~width:w in
+  let order =
+    List.init n (fun k -> k + 1)
+    |> List.sort (fun a b ->
+           compare (time_of b (width_of b)) (time_of a (width_of a)))
+  in
+  let sessions = ref [] in
+  let current = ref [] in
+  let used = ref 0 in
+  let close () =
+    if !current <> [] then begin
+      sessions := List.rev !current :: !sessions;
+      current := [];
+      used := 0
+    end
+  in
+  List.iter
+    (fun id ->
+      let w = width_of id in
+      (* a core wider than the whole TAM still runs, clamped *)
+      let w = min w tam_width in
+      if !used + w > tam_width then close ();
+      current := id :: !current;
+      used := !used + w)
+    order;
+  close ();
+  let sessions = List.rev !sessions in
+  let slices = ref [] in
+  let clock = ref 0 in
+  List.iter
+    (fun session ->
+      let session_end = ref !clock in
+      List.iter
+        (fun id ->
+          let w = min (width_of id) tam_width in
+          let t = time_of id w in
+          slices :=
+            { Schedule.core = id; width = w; start = !clock;
+              stop = !clock + t }
+            :: !slices;
+          session_end := max !session_end (!clock + t))
+        session;
+      clock := !session_end)
+    sessions;
+  let schedule = Schedule.make ~tam_width ~slices:!slices in
+  { schedule; sessions; testing_time = Schedule.makespan schedule }
+
+let testing_time prepared ~tam_width =
+  (schedule prepared ~tam_width).testing_time

@@ -1,0 +1,20 @@
+(** Session-based test scheduling — the classical pre-TAM-optimization
+    discipline (Zorian's power-conscious sessions; also the baseline in
+    Chou/Saluja/Agrawal, the paper's ref. [7]): tests are grouped into
+    {e sessions}; all tests of a session start together and the next
+    session only starts when every test of the previous one has finished.
+    Equivalent to shelf packing with the session boundary as a hard
+    barrier — the idle time the paper's rectangle packing eliminates. *)
+
+type t = {
+  schedule : Soctest_tam.Schedule.t;
+  sessions : int list list;  (** core ids per session, in session order *)
+  testing_time : int;
+}
+
+val schedule : Soctest_core.Optimizer.prepared -> tam_width:int -> t
+(** Greedy next-fit session formation, longest test first, each core at
+    (the effective version of) its best width.
+    @raise Invalid_argument if [tam_width < 1]. *)
+
+val testing_time : Soctest_core.Optimizer.prepared -> tam_width:int -> int

@@ -1,0 +1,73 @@
+module Pareto = Soctest_wrapper.Pareto
+module Schedule = Soctest_tam.Schedule
+module Optimizer = Soctest_core.Optimizer
+
+type discipline = Nfdh | Ffdh
+
+type shelf = {
+  mutable used_width : int;
+  mutable duration : int;
+  mutable members : (int * int) list;  (** (core, width) *)
+}
+
+let rectangles prepared ~tam_width ~percent ~delta =
+  let soc = Optimizer.soc_of prepared in
+  let n = Soctest_soc.Soc_def.core_count soc in
+  List.init n (fun k ->
+      let id = k + 1 in
+      let p = Optimizer.pareto_of prepared id in
+      let pref = Pareto.preferred_width p ~percent ~delta in
+      let width = Pareto.effective_width p ~width:(min pref tam_width) in
+      (id, width, Pareto.time p ~width))
+
+let schedule prepared ~tam_width ~discipline ?(percent = 5) ?(delta = 1) ()
+    =
+  if tam_width < 1 then
+    invalid_arg "Shelf.schedule: tam_width must be >= 1";
+  let rects =
+    rectangles prepared ~tam_width ~percent ~delta
+    (* decreasing height = decreasing TAM width *)
+    |> List.sort (fun (_, wa, _) (_, wb, _) -> compare wb wa)
+  in
+  (* shelves kept in creation order; start offsets are assigned only after
+     every rectangle is placed, since FFDH may grow an earlier shelf *)
+  let shelves : shelf list ref = ref [] in
+  let place (id, width, time) =
+    let fits s = s.used_width + width <= tam_width in
+    let candidates =
+      match (discipline, !shelves) with
+      | Nfdh, [] -> []
+      | Nfdh, all -> [ List.nth all (List.length all - 1) ]
+      | Ffdh, all -> all
+    in
+    match List.find_opt fits candidates with
+    | Some s ->
+      s.used_width <- s.used_width + width;
+      s.duration <- max s.duration time;
+      s.members <- (id, width) :: s.members
+    | None ->
+      shelves :=
+        !shelves
+        @ [ { used_width = width; duration = time; members = [ (id, width) ] } ]
+  in
+  List.iter place rects;
+  let slices = ref [] in
+  let clock = ref 0 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (core, width) ->
+          (* each member still only runs for its own testing time *)
+          let p = Optimizer.pareto_of prepared core in
+          let time = Pareto.time p ~width in
+          slices :=
+            { Schedule.core; width; start = !clock; stop = !clock + time }
+            :: !slices)
+        s.members;
+      clock := !clock + s.duration)
+    !shelves;
+  Schedule.make ~tam_width ~slices:!slices
+
+let testing_time prepared ~tam_width ~discipline ?percent ?delta () =
+  Schedule.makespan
+    (schedule prepared ~tam_width ~discipline ?percent ?delta ())

@@ -1,0 +1,32 @@
+(** Level-oriented (shelf) rectangle packing baselines, after Coffman,
+    Garey, Johnson & Tarjan — the classical algorithms the paper's
+    generalized packing is measured against.
+
+    Rectangles are chosen at each core's preferred width, rotated to the
+    time axis: a shelf is a group of cores that start together; the shelf
+    lasts as long as its longest test; the next shelf starts when the
+    previous one ends. NFDH closes a shelf as soon as a core does not fit;
+    FFDH first-fits each core onto any open shelf. *)
+
+type discipline = Nfdh | Ffdh
+
+val schedule :
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  discipline:discipline ->
+  ?percent:int ->
+  ?delta:int ->
+  unit ->
+  Soctest_tam.Schedule.t
+(** [percent]/[delta] select the per-core rectangle exactly as the
+    optimizer's Initialize does (defaults 5 / 1), so the comparison
+    isolates the packing discipline. *)
+
+val testing_time :
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  discipline:discipline ->
+  ?percent:int ->
+  ?delta:int ->
+  unit ->
+  int

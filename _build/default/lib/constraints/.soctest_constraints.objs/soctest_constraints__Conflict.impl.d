@@ -1,0 +1,1 @@
+lib/constraints/conflict.ml: Constraint_def Format List Option Soctest_soc Soctest_tam

@@ -1,0 +1,1 @@
+lib/constraints/conflict.mli: Constraint_def Format Soctest_soc Soctest_tam

@@ -1,0 +1,1 @@
+lib/constraints/constraint_def.ml: Array Format List Printf Soctest_soc

@@ -1,0 +1,1 @@
+lib/constraints/constraint_def.mli: Format Soctest_soc

@@ -1,0 +1,193 @@
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module Schedule = Soctest_tam.Schedule
+
+type running = { core : int; power : int }
+
+type reason =
+  | Precedence_pending of int
+  | Concurrency_clash of int
+  | Power_exceeded of { budget : int; needed : int }
+  | Bist_clash of int
+
+let shares_bist soc a b =
+  match
+    ( (Soc_def.core soc a).Core_def.bist_engine,
+      (Soc_def.core soc b).Core_def.bist_engine )
+  with
+  | Some ea, Some eb -> ea = eb
+  | _ -> false
+
+let admissible soc constraints ~completed ~running ~candidate =
+  let pending =
+    List.find_opt
+      (fun p -> not (completed p))
+      (Constraint_def.predecessors constraints candidate)
+  in
+  match pending with
+  | Some p -> Error (Precedence_pending p)
+  | None -> (
+    match
+      List.find_opt
+        (fun r -> Constraint_def.excluded constraints candidate r.core)
+        running
+    with
+    | Some r -> Error (Concurrency_clash r.core)
+    | None -> (
+      let power_ok =
+        match constraints.Constraint_def.power_limit with
+        | None -> Ok ()
+        | Some limit ->
+          let used = List.fold_left (fun a r -> a + r.power) 0 running in
+          let needed = (Soc_def.core soc candidate).Core_def.power in
+          if used + needed > limit then
+            Error (Power_exceeded { budget = limit - used; needed })
+          else Ok ()
+      in
+      match power_ok with
+      | Error _ as e -> e
+      | Ok () -> (
+        match
+          List.find_opt (fun r -> shares_bist soc candidate r.core) running
+        with
+        | Some r -> Error (Bist_clash r.core)
+        | None -> Ok ())))
+
+type violation =
+  | Capacity of Schedule.violation
+  | Precedence_violated of { before : int; after : int }
+  | Concurrency_violated of { a : int; b : int; time : int }
+  | Power_violated of { time : int; power : int; limit : int }
+  | Bist_violated of { a : int; b : int; engine : int; time : int }
+  | Preemptions_exceeded of { core : int; count : int; limit : int }
+  | Width_above_total of { core : int; width : int }
+
+let overlap (a : Schedule.slice) (b : Schedule.slice) =
+  if a.Schedule.start < b.Schedule.stop && b.Schedule.start < a.Schedule.stop
+  then Some (max a.Schedule.start b.Schedule.start)
+  else None
+
+let pairwise_violations soc constraints (sched : Schedule.t) =
+  let slices = sched.Schedule.slices in
+  let rec loop acc = function
+    | [] -> acc
+    | s :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc s' ->
+            if s.Schedule.core = s'.Schedule.core then acc
+            else
+              match overlap s s' with
+              | None -> acc
+              | Some time ->
+                let a = min s.Schedule.core s'.Schedule.core
+                and b = max s.Schedule.core s'.Schedule.core in
+                let acc =
+                  if Constraint_def.excluded constraints a b then
+                    Concurrency_violated { a; b; time } :: acc
+                  else acc
+                in
+                if shares_bist soc a b then
+                  let engine =
+                    Option.value ~default:0
+                      (Soc_def.core soc a).Core_def.bist_engine
+                  in
+                  Bist_violated { a; b; engine; time } :: acc
+                else acc)
+          acc rest
+      in
+      loop acc rest
+  in
+  loop [] slices
+
+let precedence_violations constraints (sched : Schedule.t) =
+  List.filter_map
+    (fun (before, after) ->
+      match
+        (Schedule.core_finish sched before, Schedule.core_start sched after)
+      with
+      | Some fin, Some start when start < fin ->
+        Some (Precedence_violated { before; after })
+      | None, Some _ ->
+        (* successor scheduled but predecessor never runs at all *)
+        Some (Precedence_violated { before; after })
+      | _ -> None)
+    constraints.Constraint_def.precedence
+
+let power_violations soc constraints (sched : Schedule.t) =
+  match constraints.Constraint_def.power_limit with
+  | None -> []
+  | Some limit ->
+    (* power profile is piecewise constant between slice boundaries *)
+    let boundaries =
+      List.concat_map
+        (fun s -> [ s.Schedule.start; s.Schedule.stop ])
+        sched.Schedule.slices
+      |> List.sort_uniq compare
+    in
+    List.filter_map
+      (fun time ->
+        let power =
+          List.fold_left
+            (fun acc s ->
+              acc + (Soc_def.core soc s.Schedule.core).Core_def.power)
+            0
+            (Schedule.active_at sched time)
+        in
+        if power > limit then Some (Power_violated { time; power; limit })
+        else None)
+      boundaries
+
+let preemption_violations constraints (sched : Schedule.t) =
+  List.filter_map
+    (fun core ->
+      let count = Schedule.preemptions sched core in
+      let limit = Constraint_def.max_preemptions_of constraints core in
+      if count > limit then
+        Some (Preemptions_exceeded { core; count; limit })
+      else None)
+    (Schedule.cores sched)
+
+let width_violations (sched : Schedule.t) =
+  List.filter_map
+    (fun (s : Schedule.slice) ->
+      if s.Schedule.width > sched.Schedule.tam_width then
+        Some
+          (Width_above_total
+             { core = s.Schedule.core; width = s.Schedule.width })
+      else None)
+    sched.Schedule.slices
+
+let validate soc constraints sched =
+  List.map (fun v -> Capacity v) (Schedule.check_capacity sched)
+  @ width_violations sched
+  @ precedence_violations constraints sched
+  @ pairwise_violations soc constraints sched
+  @ power_violations soc constraints sched
+  @ preemption_violations constraints sched
+
+let pp_reason ppf = function
+  | Precedence_pending p ->
+    Format.fprintf ppf "predecessor %d not completed" p
+  | Concurrency_clash c -> Format.fprintf ppf "excluded core %d running" c
+  | Power_exceeded { budget; needed } ->
+    Format.fprintf ppf "power budget %d < needed %d" budget needed
+  | Bist_clash c ->
+    Format.fprintf ppf "BIST engine shared with running core %d" c
+
+let pp_violation ppf = function
+  | Capacity v -> Schedule.pp_violation ppf v
+  | Precedence_violated { before; after } ->
+    Format.fprintf ppf "precedence %d < %d violated" before after
+  | Concurrency_violated { a; b; time } ->
+    Format.fprintf ppf "concurrency %d # %d violated at t=%d" a b time
+  | Power_violated { time; power; limit } ->
+    Format.fprintf ppf "power %d > limit %d at t=%d" power limit time
+  | Bist_violated { a; b; engine; time } ->
+    Format.fprintf ppf "BIST engine %d shared by %d and %d at t=%d" engine
+      a b time
+  | Preemptions_exceeded { core; count; limit } ->
+    Format.fprintf ppf "core %d preempted %d times (limit %d)" core count
+      limit
+  | Width_above_total { core; width } ->
+    Format.fprintf ppf "core %d width %d exceeds the TAM" core width

@@ -1,0 +1,46 @@
+(** The [Conflict] predicate of the paper (Fig. 7) plus full-schedule
+    re-validation.
+
+    {!admissible} is the scheduler-facing check: may core [i] start (or
+    resume) {e now}, given what has completed and what is running?
+    {!validate} re-checks a complete schedule from first principles and is
+    what the test-suite trusts. *)
+
+type running = { core : int; power : int }
+
+type reason =
+  | Precedence_pending of int  (** this predecessor has not completed *)
+  | Concurrency_clash of int  (** this excluded core is running *)
+  | Power_exceeded of { budget : int; needed : int }
+  | Bist_clash of int  (** this core shares a BIST engine and is running *)
+
+val admissible :
+  Soctest_soc.Soc_def.t ->
+  Constraint_def.t ->
+  completed:(int -> bool) ->
+  running:running list ->
+  candidate:int ->
+  (unit, reason) result
+(** First reason found, checked in the paper's order: precedence,
+    concurrency, power, BIST–scan. *)
+
+type violation =
+  | Capacity of Soctest_tam.Schedule.violation
+  | Precedence_violated of { before : int; after : int }
+  | Concurrency_violated of { a : int; b : int; time : int }
+  | Power_violated of { time : int; power : int; limit : int }
+  | Bist_violated of { a : int; b : int; engine : int; time : int }
+  | Preemptions_exceeded of { core : int; count : int; limit : int }
+  | Width_above_total of { core : int; width : int }
+
+val validate :
+  Soctest_soc.Soc_def.t ->
+  Constraint_def.t ->
+  Soctest_tam.Schedule.t ->
+  violation list
+(** Empty list = the schedule satisfies TAM capacity and every constraint.
+    Cores absent from the schedule are not flagged here (completeness is a
+    separate property checked by callers who require it). *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,161 @@
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+
+type t = {
+  core_count : int;
+  precedence : (int * int) list;
+  concurrency : (int * int) list;
+  power_limit : int option;
+  max_preemptions : int array;
+}
+
+let check_id n what id =
+  if id < 1 || id > n then
+    invalid_arg (Printf.sprintf "Constraint_def: %s core id %d out of range" what id)
+
+(* Kahn's algorithm: detect precedence cycles and compute levels. *)
+let levels_of ~core_count ~precedence =
+  let indegree = Array.make (core_count + 1) 0 in
+  let succ = Array.make (core_count + 1) [] in
+  List.iter
+    (fun (a, b) ->
+      indegree.(b) <- indegree.(b) + 1;
+      succ.(a) <- b :: succ.(a))
+    precedence;
+  let current =
+    ref
+      (List.filter
+         (fun id -> indegree.(id) = 0)
+         (List.init core_count (fun k -> k + 1)))
+  in
+  let seen = ref 0 in
+  let levels = ref [] in
+  while !current <> [] do
+    levels := List.sort compare !current :: !levels;
+    seen := !seen + List.length !current;
+    let next = ref [] in
+    List.iter
+      (fun id ->
+        List.iter
+          (fun s ->
+            indegree.(s) <- indegree.(s) - 1;
+            if indegree.(s) = 0 then next := s :: !next)
+          succ.(id))
+      !current;
+    current := !next
+  done;
+  if !seen <> core_count then None else Some (List.rev !levels)
+
+let make ~core_count ?(precedence = []) ?(concurrency = []) ?power_limit
+    ?(max_preemptions = []) () =
+  if core_count < 1 then
+    invalid_arg "Constraint_def.make: core_count must be >= 1";
+  List.iter
+    (fun (a, b) ->
+      check_id core_count "precedence" a;
+      check_id core_count "precedence" b;
+      if a = b then invalid_arg "Constraint_def.make: precedence self-pair")
+    precedence;
+  List.iter
+    (fun (a, b) ->
+      check_id core_count "concurrency" a;
+      check_id core_count "concurrency" b;
+      if a = b then invalid_arg "Constraint_def.make: concurrency self-pair")
+    concurrency;
+  (match power_limit with
+  | Some p when p <= 0 ->
+    invalid_arg "Constraint_def.make: power limit must be positive"
+  | _ -> ());
+  let preempt = Array.make core_count 0 in
+  List.iter
+    (fun (id, limit) ->
+      check_id core_count "preemption" id;
+      if limit < 0 then
+        invalid_arg "Constraint_def.make: negative preemption limit";
+      preempt.(id - 1) <- limit)
+    max_preemptions;
+  (match levels_of ~core_count ~precedence with
+  | None -> invalid_arg "Constraint_def.make: precedence cycle"
+  | Some _ -> ());
+  {
+    core_count;
+    precedence = List.sort_uniq compare precedence;
+    concurrency =
+      List.sort_uniq compare
+        (List.map (fun (a, b) -> (min a b, max a b)) concurrency);
+    power_limit;
+    max_preemptions = preempt;
+  }
+
+let unconstrained ~core_count = make ~core_count ()
+
+let of_soc soc ?precedence ?power_limit ?max_preemptions () =
+  let hierarchy_pairs = soc.Soc_def.hierarchy in
+  let bist_pairs =
+    List.concat_map
+      (fun (_, ids) ->
+        let rec pairs = function
+          | [] -> []
+          | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+        in
+        pairs ids)
+      (Soc_def.bist_groups soc)
+  in
+  make
+    ~core_count:(Soc_def.core_count soc)
+    ?precedence
+    ~concurrency:(hierarchy_pairs @ bist_pairs)
+    ?power_limit ?max_preemptions ()
+
+let must_precede t i j = List.mem (i, j) t.precedence
+
+let excluded t i j =
+  i <> j && List.mem ((min i j), (max i j)) t.concurrency
+
+let predecessors t j =
+  List.filter_map (fun (a, b) -> if b = j then Some a else None) t.precedence
+
+let max_preemptions_of t id =
+  check_id t.core_count "max_preemptions_of" id;
+  t.max_preemptions.(id - 1)
+
+let with_power_limit t power_limit =
+  (match power_limit with
+  | Some p when p <= 0 ->
+    invalid_arg "Constraint_def.with_power_limit: must be positive"
+  | _ -> ());
+  { t with power_limit }
+
+let with_max_preemptions t assoc =
+  let preempt = Array.make t.core_count 0 in
+  List.iter
+    (fun (id, limit) ->
+      check_id t.core_count "preemption" id;
+      if limit < 0 then
+        invalid_arg "Constraint_def.with_max_preemptions: negative limit";
+      preempt.(id - 1) <- limit)
+    assoc;
+  { t with max_preemptions = preempt }
+
+let topological_levels t =
+  match levels_of ~core_count:t.core_count ~precedence:t.precedence with
+  | Some levels -> levels
+  | None -> [] (* unreachable: cycles rejected at construction *)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>constraints over %d cores" t.core_count;
+  List.iter
+    (fun (a, b) -> Format.fprintf ppf "@,%d < %d" a b)
+    t.precedence;
+  List.iter
+    (fun (a, b) -> Format.fprintf ppf "@,%d # %d" a b)
+    t.concurrency;
+  (match t.power_limit with
+  | Some p -> Format.fprintf ppf "@,power <= %d" p
+  | None -> ());
+  Array.iteri
+    (fun k limit ->
+      if limit > 0 then
+        Format.fprintf ppf "@,core %d: <= %d preemptions" (k + 1) limit)
+    t.max_preemptions;
+  Format.fprintf ppf "@]"

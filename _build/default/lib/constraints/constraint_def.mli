@@ -1,0 +1,68 @@
+(** Test-scheduling constraints (paper, Sec. 4).
+
+    - {b Precedence} [i < j]: test [i] must complete before test [j]
+      begins ("abort at first fail" orderings, memories first, ...).
+    - {b Concurrency} [i # j]: tests [i] and [j] must never overlap in
+      time (hierarchical Intest/Extest conflicts, shared test hardware).
+    - {b Power}: the power values of concurrently running tests must not
+      sum beyond [power_limit].
+    - {b Preemption}: each core may be interrupted at most
+      [max_preemptions] times; each interruption costs an extra scan-out +
+      scan-in when the test resumes. *)
+
+type t = private {
+  core_count : int;
+  precedence : (int * int) list;  (** [(before, after)] pairs *)
+  concurrency : (int * int) list;  (** unordered exclusion pairs *)
+  power_limit : int option;  (** [None] = unconstrained *)
+  max_preemptions : int array;  (** index [core_id - 1] *)
+}
+
+val unconstrained : core_count:int -> t
+(** No precedence/concurrency/power constraints, preemption forbidden
+    (non-preemptive scheduling — [max_preemptions] all zero). *)
+
+val make :
+  core_count:int ->
+  ?precedence:(int * int) list ->
+  ?concurrency:(int * int) list ->
+  ?power_limit:int ->
+  ?max_preemptions:(int * int) list ->
+  unit ->
+  t
+(** [max_preemptions] is an association list [(core, limit)]; unlisted
+    cores get [0].
+    @raise Invalid_argument on ids out of range, self-pairs, a
+    non-positive power limit, negative preemption limits, or a precedence
+    cycle. *)
+
+val of_soc :
+  Soctest_soc.Soc_def.t ->
+  ?precedence:(int * int) list ->
+  ?power_limit:int ->
+  ?max_preemptions:(int * int) list ->
+  unit ->
+  t
+(** Like {!make}, additionally deriving concurrency exclusions from the
+    SOC design hierarchy (parent/child Intest-Extest conflicts) and from
+    shared BIST engines. *)
+
+val must_precede : t -> int -> int -> bool
+(** [must_precede t i j] — is there a (direct) constraint [i < j]? *)
+
+val excluded : t -> int -> int -> bool
+(** [excluded t i j] — direct concurrency exclusion between [i] and [j]
+    (symmetric)? *)
+
+val predecessors : t -> int -> int list
+val max_preemptions_of : t -> int -> int
+
+val with_power_limit : t -> int option -> t
+val with_max_preemptions : t -> (int * int) list -> t
+(** Functional updates used by experiment sweeps. *)
+
+val topological_levels : t -> int list list
+(** Cores grouped by precedence depth (level 0 = no predecessors). Useful
+    for diagnostics; the scheduler itself works greedily. *)
+
+val pp : Format.formatter -> t -> unit

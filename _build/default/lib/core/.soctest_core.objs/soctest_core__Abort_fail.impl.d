@@ -1,0 +1,1 @@
+lib/core/abort_fail.ml: List Optimizer Option Printf Soctest_soc Soctest_tam Soctest_wrapper

@@ -1,0 +1,1 @@
+lib/core/abort_fail.mli: Optimizer Soctest_tam

@@ -1,0 +1,1 @@
+lib/core/anneal.ml: Array List Optimizer Soctest_soc Soctest_wrapper

@@ -1,0 +1,1 @@
+lib/core/anneal.mli: Optimizer Soctest_constraints

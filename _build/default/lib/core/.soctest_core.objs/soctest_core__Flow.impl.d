@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Cost List Optimizer Soctest_constraints Soctest_soc Volume

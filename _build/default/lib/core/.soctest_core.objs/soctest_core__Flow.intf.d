@@ -1,0 +1,1 @@
+lib/core/flow.mli: Cost Optimizer Soctest_constraints Soctest_soc Volume

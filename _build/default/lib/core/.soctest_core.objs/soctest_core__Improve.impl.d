@@ -1,0 +1,1 @@
+lib/core/improve.ml: List Optimizer Soctest_wrapper

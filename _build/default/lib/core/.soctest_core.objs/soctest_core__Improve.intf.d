@@ -1,0 +1,1 @@
+lib/core/improve.mli: Optimizer Soctest_constraints

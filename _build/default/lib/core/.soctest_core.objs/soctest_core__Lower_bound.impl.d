@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array List Optimizer Soctest_constraints Soctest_soc Soctest_wrapper

@@ -1,0 +1,1 @@
+lib/core/lower_bound.mli: Optimizer Soctest_constraints Soctest_soc

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Format List Logs Option Printf Sched_state Soctest_constraints Soctest_soc Soctest_tam Soctest_wrapper String

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Soctest_constraints Soctest_soc Soctest_tam Soctest_wrapper

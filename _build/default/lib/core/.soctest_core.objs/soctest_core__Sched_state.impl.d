@@ -1,0 +1,1 @@
+lib/core/sched_state.ml: Array Format List Soctest_tam

@@ -1,0 +1,1 @@
+lib/core/sched_state.mli: Format Soctest_tam

@@ -1,0 +1,1 @@
+lib/core/volume.ml: List Optimizer Soctest_tam

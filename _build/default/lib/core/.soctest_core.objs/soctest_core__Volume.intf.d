@@ -1,0 +1,1 @@
+lib/core/volume.mli: Optimizer Soctest_constraints Soctest_tam

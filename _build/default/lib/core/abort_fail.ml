@@ -1,0 +1,50 @@
+module Schedule = Soctest_tam.Schedule
+module Pareto = Soctest_wrapper.Pareto
+
+let expected_abort_time sched ~fail_probs =
+  List.iter
+    (fun (core, p) ->
+      if p < 0. then
+        invalid_arg "Abort_fail.expected_abort_time: negative probability";
+      if Schedule.core_finish sched core = None then
+        invalid_arg
+          (Printf.sprintf
+             "Abort_fail.expected_abort_time: core %d not in schedule" core))
+    fail_probs;
+  let total = List.fold_left (fun a (_, p) -> a +. p) 0. fail_probs in
+  if total <= 0. then
+    invalid_arg "Abort_fail.expected_abort_time: all probabilities zero";
+  List.fold_left
+    (fun acc (core, p) ->
+      let finish =
+        float_of_int (Option.get (Schedule.core_finish sched core))
+      in
+      acc +. (p /. total *. finish))
+    0. fail_probs
+
+let smith_order prepared ~fail_probs =
+  let soc = Optimizer.soc_of prepared in
+  let n = Soctest_soc.Soc_def.core_count soc in
+  let ratio id =
+    match List.assoc_opt id fail_probs with
+    | None -> 0.
+    | Some p ->
+      let t = Pareto.min_time (Optimizer.pareto_of prepared id) in
+      p /. float_of_int (max 1 t)
+  in
+  List.init n (fun k -> k + 1)
+  |> List.stable_sort (fun a b -> compare (ratio b) (ratio a))
+
+let defect_precedence prepared ~fail_probs ?(chain = 3) () =
+  if chain < 0 then invalid_arg "Abort_fail.defect_precedence: chain < 0";
+  let order = smith_order prepared ~fail_probs in
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  let chained = take chain order in
+  let rec edges = function
+    | a :: (b :: _ as rest) -> (a, b) :: edges rest
+    | _ -> []
+  in
+  edges chained

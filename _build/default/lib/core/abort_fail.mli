@@ -1,0 +1,37 @@
+(** Abort-at-first-fail analysis (the paper's Sec. 4 motivation for
+    precedence constraints, after Jiang & Vinnakota's defect-oriented
+    scheduling, ref. [15]).
+
+    In production, a die that fails is discarded the moment its first
+    failing core test completes; tests are therefore ordered so cores
+    most likely to fail finish early. Given per-core failure
+    probabilities, this module scores schedules by expected
+    time-to-abort for a bad die and derives precedence constraints that
+    realize a defect-oriented order. *)
+
+val expected_abort_time :
+  Soctest_tam.Schedule.t -> fail_probs:(int * float) list -> float
+(** Expected cycles until a bad die is caught: [sum_i q_i * finish_i]
+    with [q] the probabilities normalized over the cores present in the
+    schedule. Cores missing from [fail_probs] get probability 0.
+    @raise Invalid_argument if a probability is negative, all are zero,
+    or a listed core is absent from the schedule. *)
+
+val smith_order :
+  Optimizer.prepared -> fail_probs:(int * float) list -> int list
+(** Cores sorted by decreasing [p_i / T_i] (failure probability per cycle
+    of minimum testing time) — the classic single-machine rule for
+    minimizing expected weighted completion, adapted as a priority
+    order. Cores without a probability sort last (by id). *)
+
+val defect_precedence :
+  Optimizer.prepared ->
+  fail_probs:(int * float) list ->
+  ?chain:int ->
+  unit ->
+  (int * int) list
+(** Precedence edges forcing the first [chain] cores of {!smith_order}
+    (default 3) to complete in that order before any later chained core —
+    a lightweight way to push likely-failing cores to the front without
+    serializing the whole SOC.
+    @raise Invalid_argument if [chain < 0]. *)

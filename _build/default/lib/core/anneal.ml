@@ -1,0 +1,81 @@
+module Pareto = Soctest_wrapper.Pareto
+module Synth = Soctest_soc.Synth
+
+type report = {
+  result : Optimizer.result;
+  initial_time : int;
+  iterations : int;
+  accepted : int;
+}
+
+(* uniform float in [0, 1) from the splitmix stream *)
+let next_unit rng = float_of_int (Synth.next_int rng 1_000_000) /. 1e6
+
+let search ?(seed = 0x5EEDC0DEL) ?(iterations = 400) ?initial_temperature
+    ?(cooling = 0.99) prepared ~tam_width ~constraints seed_result =
+  if iterations < 1 then invalid_arg "Anneal.search: iterations must be >= 1";
+  if not (cooling > 0. && cooling <= 1.) then
+    invalid_arg "Anneal.search: cooling must be in (0, 1]";
+  let initial_time = seed_result.Optimizer.testing_time in
+  let temperature =
+    match initial_temperature with
+    | Some t ->
+      if t <= 0. then invalid_arg "Anneal.search: temperature must be > 0";
+      t
+    | None -> max 1. (0.02 *. float_of_int initial_time)
+  in
+  let params = seed_result.Optimizer.params in
+  let rng = Synth.rng_of_seed seed in
+  let widths = Array.of_list seed_result.Optimizer.widths in
+  let n = Array.length widths in
+  if n = 0 then invalid_arg "Anneal.search: seed has no width assignment";
+  let eval () =
+    Optimizer.run ~overrides:(Array.to_list widths) prepared ~tam_width
+      ~constraints ~params
+  in
+  let current = ref seed_result in
+  let best = ref seed_result in
+  let accepted = ref 0 in
+  let temp = ref temperature in
+  for _ = 1 to iterations do
+    let k = Synth.next_int rng n in
+    let core, w = widths.(k) in
+    let pareto = Optimizer.pareto_of prepared core in
+    let candidates =
+      List.filter
+        (fun x -> x <> w && x <= tam_width)
+        (Pareto.pareto_widths pareto)
+    in
+    (match candidates with
+    | [] -> ()
+    | _ ->
+      let w' = List.nth candidates (Synth.next_int rng (List.length candidates)) in
+      widths.(k) <- (core, w');
+      (match eval () with
+      | candidate ->
+        let delta =
+          float_of_int
+            (candidate.Optimizer.testing_time
+           - !current.Optimizer.testing_time)
+        in
+        let accept =
+          delta <= 0. || next_unit rng < exp (-.delta /. !temp)
+        in
+        if accept then begin
+          incr accepted;
+          current := candidate;
+          (* re-anchor to the realized widths (snapping may have moved
+             other cores' effective assignment) *)
+          List.iteri
+            (fun i cw -> if i < n then widths.(i) <- cw)
+            candidate.Optimizer.widths;
+          if
+            candidate.Optimizer.testing_time
+            < !best.Optimizer.testing_time
+          then best := candidate
+        end
+        else widths.(k) <- (core, w)
+      | exception Optimizer.Infeasible _ -> widths.(k) <- (core, w)));
+    temp := !temp *. cooling
+  done;
+  { result = !best; initial_time; iterations; accepted = !accepted }

@@ -1,0 +1,31 @@
+(** Simulated-annealing search over per-core TAM width vectors — the
+    stochastic sibling of {!Improve}'s hill climbing. Where polish stops
+    at the first local optimum, annealing occasionally accepts uphill
+    moves early on and can escape it. Fully deterministic given the
+    seed (splitmix64; no global randomness). *)
+
+type report = {
+  result : Optimizer.result;  (** best schedule visited *)
+  initial_time : int;
+  iterations : int;
+  accepted : int;  (** moves accepted (incl. uphill) *)
+}
+
+val search :
+  ?seed:int64 ->
+  ?iterations:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  Optimizer.result ->
+  report
+(** [search prepared ~tam_width ~constraints seed_result] runs
+    [iterations] (default 400) single-width moves from the seed's width
+    vector. Temperature starts at [initial_temperature] (default: 2% of
+    the seed makespan) and decays geometrically by [cooling] (default
+    0.99) per iteration. The best schedule ever visited is returned —
+    never worse than the seed.
+    @raise Invalid_argument for non-positive iterations/temperature or a
+    cooling factor outside (0, 1]. *)

@@ -1,0 +1,61 @@
+type evaluation = {
+  alpha : float;
+  effective_width : int;
+  cost : float;
+  time_at : int;
+  volume_at : int;
+}
+
+let check_alpha alpha =
+  if not (alpha >= 0. && alpha <= 1.) then
+    invalid_arg "Cost: alpha must be within [0, 1]"
+
+let cost_at ~alpha ~t_min ~v_min (p : Volume.point) =
+  check_alpha alpha;
+  if t_min <= 0 || v_min <= 0 then
+    invalid_arg "Cost.cost_at: minima must be positive";
+  (alpha *. (float_of_int p.Volume.time /. float_of_int t_min))
+  +. ((1. -. alpha) *. (float_of_int p.Volume.volume /. float_of_int v_min))
+
+let minima points =
+  let tp = Volume.min_time_point points
+  and vp = Volume.min_volume_point points in
+  (tp.Volume.time, vp.Volume.volume)
+
+let curve ~alpha points =
+  check_alpha alpha;
+  let t_min, v_min = minima points in
+  List.map
+    (fun p -> (p.Volume.width, cost_at ~alpha ~t_min ~v_min p))
+    points
+
+let evaluate ~alpha points =
+  check_alpha alpha;
+  let t_min, v_min = minima points in
+  let scored =
+    List.map (fun p -> (cost_at ~alpha ~t_min ~v_min p, p)) points
+  in
+  match scored with
+  | [] -> invalid_arg "Cost.evaluate: empty sweep"
+  | first :: rest ->
+    let cost, best =
+      List.fold_left
+        (fun ((bc, bp) as acc) ((c, p) as cand) ->
+          if
+            c < bc -. 1e-12
+            || (Float.abs (c -. bc) <= 1e-12
+               && p.Volume.width < bp.Volume.width)
+          then cand
+          else acc)
+        first rest
+    in
+    {
+      alpha;
+      effective_width = best.Volume.width;
+      cost;
+      time_at = best.Volume.time;
+      volume_at = best.Volume.volume;
+    }
+
+let evaluate_many ~alphas points =
+  List.map (fun alpha -> evaluate ~alpha points) alphas

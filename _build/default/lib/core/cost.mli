@@ -1,0 +1,29 @@
+(** The normalized testing-time / data-volume trade-off (paper, Sec. 5):
+
+    {v C(W) = alpha * T(W)/Tmin + (1 - alpha) * V(W)/Vmin v}
+
+    As [alpha] goes from 0 to 1 the [C]-curve morphs from the (normalized)
+    volume curve to the time curve; in between it is "U"-shaped with a
+    single practical minimum — the {e effective TAM width} [W*] the system
+    integrator should provision. *)
+
+type evaluation = {
+  alpha : float;
+  effective_width : int;  (** [W*], the width minimizing [C] *)
+  cost : float;  (** C at the effective width *)
+  time_at : int;  (** T at the effective width *)
+  volume_at : int;  (** V at the effective width *)
+}
+
+val cost_at :
+  alpha:float -> t_min:int -> v_min:int -> Volume.point -> float
+(** @raise Invalid_argument unless [0 <= alpha <= 1] and mins positive. *)
+
+val curve : alpha:float -> Volume.point list -> (int * float) list
+(** [(width, C(width))] for every swept point, normalized by the sweep's
+    own minima. @raise Invalid_argument on an empty sweep. *)
+
+val evaluate : alpha:float -> Volume.point list -> evaluation
+(** Effective-width identification over a sweep (ties: smaller width). *)
+
+val evaluate_many : alphas:float list -> Volume.point list -> evaluation list

@@ -1,0 +1,50 @@
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module Constraint_def = Soctest_constraints.Constraint_def
+
+type p3_result = {
+  points : Volume.point list;
+  evaluations : Cost.evaluation list;
+}
+
+let solve_p1 soc ~tam_width ?(params = Optimizer.default_params) () =
+  let constraints =
+    Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
+  in
+  Optimizer.run_soc soc ~tam_width ~constraints ~params ()
+
+let solve_p2 soc ~tam_width ~constraints ?(params = Optimizer.default_params)
+    () =
+  Optimizer.run_soc soc ~tam_width ~constraints ~params ()
+
+let solve_p3 soc ~widths ~alphas ?constraints
+    ?(params = Optimizer.default_params) () =
+  let constraints =
+    match constraints with
+    | Some c -> c
+    | None ->
+      Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
+  in
+  let prepared = Optimizer.prepare ~wmax:params.Optimizer.wmax soc in
+  let points = Volume.sweep prepared ~widths ~constraints ~params () in
+  { points; evaluations = Cost.evaluate_many ~alphas points }
+
+let default_power_limit soc =
+  let m = Soc_def.max_power soc in
+  m + (m / 2)
+
+let preemption_budget soc ~limit =
+  if limit < 0 then invalid_arg "Flow.preemption_budget: negative limit";
+  let volumes =
+    Array.to_list soc.Soc_def.cores
+    |> List.map (fun c -> (c.Core_def.id, Core_def.test_data_bits c))
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) volumes in
+  let median =
+    match List.nth_opt sorted (List.length sorted / 2) with
+    | Some (_, v) -> v
+    | None -> 0
+  in
+  List.filter_map
+    (fun (id, v) -> if v >= median then Some (id, limit) else None)
+    volumes

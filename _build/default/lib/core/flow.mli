@@ -1,0 +1,47 @@
+(** High-level facade: the three problems of the paper as one-call flows.
+
+    - {!solve_p1}: wrapper/TAM co-optimization + non-preemptive,
+      unconstrained scheduling (Problem 1 / [P_nw]).
+    - {!solve_p2}: adds precedence, concurrency, power constraints and
+      selective preemption (Problem 2 / [P_npw]).
+    - {!solve_p3}: sweeps the TAM width and identifies effective widths
+      for the time/volume trade-off (Problem 3). *)
+
+type p3_result = {
+  points : Volume.point list;
+  evaluations : Cost.evaluation list;
+}
+
+val solve_p1 :
+  Soctest_soc.Soc_def.t ->
+  tam_width:int ->
+  ?params:Optimizer.params ->
+  unit ->
+  Optimizer.result
+
+val solve_p2 :
+  Soctest_soc.Soc_def.t ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  ?params:Optimizer.params ->
+  unit ->
+  Optimizer.result
+
+val solve_p3 :
+  Soctest_soc.Soc_def.t ->
+  widths:int list ->
+  alphas:float list ->
+  ?constraints:Soctest_constraints.Constraint_def.t ->
+  ?params:Optimizer.params ->
+  unit ->
+  p3_result
+
+val default_power_limit : Soctest_soc.Soc_def.t -> int
+(** The experiment setting used throughout: 1.5x the largest per-core test
+    power — binding enough to serialize the biggest consumers, loose
+    enough to stay feasible. *)
+
+val preemption_budget :
+  Soctest_soc.Soc_def.t -> limit:int -> (int * int) list
+(** The paper's Table-1 preemption setting: allow [limit] preemptions for
+    the "larger cores" — those with above-median test data volume. *)

@@ -1,0 +1,109 @@
+module Schedule = Soctest_tam.Schedule
+
+type core_state = {
+  mutable w_pref : int;
+  mutable w_assigned : int;
+  mutable first_begin : int;
+  mutable end_time : int;
+  mutable time_remaining : int;
+  mutable begun : bool;
+  mutable scheduled : bool;
+  mutable complete : bool;
+  mutable preempts : int;
+  max_preempts : int;
+  mutable assign_start : int;
+}
+
+type t = {
+  tam_width : int;
+  cores : core_state array;
+  mutable slices : Schedule.slice list;
+  mutable curr_time : int;
+  mutable w_avail : int;
+  mutable remaining : int;
+}
+
+let create ~tam_width ~prefs ~max_preempts =
+  if Array.length prefs <> Array.length max_preempts then
+    invalid_arg "Sched_state.create: array length mismatch";
+  let cores =
+    Array.mapi
+      (fun k (w_pref, time_remaining, _) ->
+        {
+          w_pref;
+          w_assigned = 0;
+          first_begin = -1;
+          end_time = -1;
+          time_remaining;
+          begun = false;
+          scheduled = false;
+          complete = false;
+          preempts = 0;
+          max_preempts = max_preempts.(k);
+          assign_start = -1;
+        })
+      prefs
+  in
+  {
+    tam_width;
+    cores;
+    slices = [];
+    curr_time = 0;
+    w_avail = tam_width;
+    remaining = Array.length cores;
+  }
+
+let core t id = t.cores.(id - 1)
+
+let incomplete_exists t = t.remaining > 0
+
+let running_cores t =
+  let ids = ref [] in
+  Array.iteri
+    (fun k c -> if c.scheduled then ids := (k + 1) :: !ids)
+    t.cores;
+  List.rev !ids
+
+let record_slice t id ~stop =
+  let c = core t id in
+  if stop > c.assign_start then begin
+    let merged =
+      match t.slices with
+      | prev :: rest
+        when prev.Schedule.core = id
+             && prev.Schedule.stop = c.assign_start
+             && prev.Schedule.width = c.w_assigned ->
+        Some ({ prev with Schedule.stop } :: rest)
+      | _ -> None
+    in
+    match merged with
+    | Some slices -> t.slices <- slices
+    | None ->
+      t.slices <-
+        {
+          Schedule.core = id;
+          width = c.w_assigned;
+          start = c.assign_start;
+          stop;
+        }
+        :: t.slices
+  end
+
+let to_schedule t =
+  Schedule.make ~tam_width:t.tam_width ~slices:(List.rev t.slices)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>scheduler state: t=%d w_avail=%d remaining=%d" t.curr_time
+    t.w_avail t.remaining;
+  Array.iteri
+    (fun k c ->
+      Format.fprintf ppf
+        "@,core %2d: pref=%2d asgn=%2d rem=%7d %s%s%s preempts=%d/%d"
+        (k + 1) c.w_pref c.w_assigned c.time_remaining
+        (if c.begun then "begun " else "")
+        (if c.scheduled then "RUN " else "")
+        (if c.complete then "done" else "")
+        c.preempts c.max_preempts)
+    t.cores;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Mutable per-core bookkeeping of the scheduling loop — the data
+    structure of the paper's Fig. 3, plus the slice accumulator from which
+    the final {!Soctest_tam.Schedule.t} is assembled. *)
+
+type core_state = {
+  mutable w_pref : int;  (** preferred TAM width *)
+  mutable w_assigned : int;  (** TAM width assigned *)
+  mutable first_begin : int;  (** first begin time *)
+  mutable end_time : int;  (** (provisional) end time *)
+  mutable time_remaining : int;
+  mutable begun : bool;
+  mutable scheduled : bool;
+  mutable complete : bool;
+  mutable preempts : int;
+  max_preempts : int;
+  mutable assign_start : int;  (** start of the current run, if scheduled *)
+}
+
+type t = {
+  tam_width : int;
+  cores : core_state array;  (** index [core_id - 1] *)
+  mutable slices : Soctest_tam.Schedule.slice list;
+  mutable curr_time : int;
+  mutable w_avail : int;
+  mutable remaining : int;  (** cores not yet complete *)
+}
+
+val create :
+  tam_width:int -> prefs:(int * int * int) array -> max_preempts:int array -> t
+(** [create ~tam_width ~prefs ~max_preempts] where [prefs.(k)] is
+    [(w_pref, initial_time_remaining, _)] for core [k+1] — the third
+    component is ignored (kept for symmetry with callers building
+    triples); [max_preempts.(k)] its preemption budget. *)
+
+val core : t -> int -> core_state
+(** 1-based accessor. *)
+
+val incomplete_exists : t -> bool
+val running_cores : t -> int list
+(** Ids of currently scheduled cores. *)
+
+val record_slice : t -> int -> stop:int -> unit
+(** Close the current run of a core at time [stop] and append it to the
+    slice list (merging with a contiguous same-width predecessor). *)
+
+val to_schedule : t -> Soctest_tam.Schedule.t
+val pp : Format.formatter -> t -> unit

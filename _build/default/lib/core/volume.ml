@@ -1,0 +1,40 @@
+module Schedule = Soctest_tam.Schedule
+
+let of_schedule sched =
+  sched.Schedule.tam_width * Schedule.makespan sched
+
+type point = { width : int; time : int; volume : int }
+
+let sweep prepared ~widths ~constraints ?(params = Optimizer.default_params)
+    () =
+  List.sort_uniq compare widths
+  |> List.map (fun width ->
+         let result =
+           Optimizer.run prepared ~tam_width:width ~constraints ~params
+         in
+         {
+           width;
+           time = result.Optimizer.testing_time;
+           volume = width * result.Optimizer.testing_time;
+         })
+
+let best_by value points =
+  match points with
+  | [] -> invalid_arg "Volume: empty point list"
+  | p :: rest ->
+    List.fold_left
+      (fun best q -> if value q < value best then q else best)
+      p rest
+
+let min_time_point points = best_by (fun p -> (p.time, p.width)) points
+let min_volume_point points = best_by (fun p -> (p.volume, p.width)) points
+
+let pareto_front points =
+  let dominates a b =
+    a.time <= b.time && a.volume <= b.volume
+    && (a.time < b.time || a.volume < b.volume)
+  in
+  List.filter
+    (fun p -> not (List.exists (fun q -> dominates q p) points))
+    points
+  |> List.sort (fun a b -> compare a.width b.width)

@@ -1,0 +1,42 @@
+(** Tester data volume model (paper, Sec. 5).
+
+    Every TAM wire occupies one bit of tester vector memory per cycle of
+    the schedule — idle slots included, because the tester streams a fixed
+    vector depth on every connected pin. Hence for an SOC schedule of
+    makespan [T(W)] on [W] wires the tester memory requirement is
+
+    {v V(W) = W * T(W) v}
+
+    [V] is non-monotonic in [W]: it drops at Pareto points of the [T]
+    curve and climbs in between (paper Fig. 9(b); Table 2's p22810 numbers
+    satisfy the identity exactly, e.g. 44 x 167670 = 7377480). *)
+
+val of_schedule : Soctest_tam.Schedule.t -> int
+(** [tam_width * makespan] of the schedule. *)
+
+type point = { width : int; time : int; volume : int }
+
+val sweep :
+  Optimizer.prepared ->
+  widths:int list ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  ?params:Optimizer.params ->
+  unit ->
+  point list
+(** Runs the optimizer at each TAM width and records time and volume.
+    Widths are deduplicated and sorted. *)
+
+val min_time_point : point list -> point
+(** Point with the smallest testing time (ties: smaller width).
+    @raise Invalid_argument on an empty list. *)
+
+val min_volume_point : point list -> point
+(** Point with the smallest data volume (ties: smaller width).
+    @raise Invalid_argument on an empty list. *)
+
+val pareto_front : point list -> point list
+(** Non-dominated subset of a sweep for the biobjective (time, volume)
+    problem: points for which no other point is at least as good on both
+    axes and better on one. Sorted by ascending width. The cost function
+    [C] always picks from this front, so it is the menu the system
+    integrator actually chooses from. *)

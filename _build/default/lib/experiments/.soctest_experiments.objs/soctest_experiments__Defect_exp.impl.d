@@ -1,0 +1,1 @@
+lib/experiments/defect_exp.ml: Array List Printf Soctest_constraints Soctest_core Soctest_report Soctest_soc Table

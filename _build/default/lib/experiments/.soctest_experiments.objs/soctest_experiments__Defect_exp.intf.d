@@ -1,0 +1,1 @@
+lib/experiments/defect_exp.mli: Soctest_soc

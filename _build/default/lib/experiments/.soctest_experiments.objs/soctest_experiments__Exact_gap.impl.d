@@ -1,0 +1,1 @@
+lib/experiments/exact_gap.ml: Array List Printf Soctest_baselines Soctest_constraints Soctest_core Soctest_report Soctest_soc Table

@@ -1,0 +1,1 @@
+lib/experiments/exact_gap.mli: Soctest_soc

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: List Printf Soctest_report Soctest_soc Soctest_wrapper Table

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Printf Soctest_core Soctest_soc Soctest_tam

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: List Printf Soctest_constraints Soctest_core Soctest_report Soctest_soc String

@@ -1,0 +1,1 @@
+lib/experiments/fig9.mli: Soctest_core Soctest_soc

@@ -1,0 +1,1 @@
+lib/experiments/flexible_exp.ml: Array List Option Printf Soctest_constraints Soctest_core Soctest_report Soctest_soc Soctest_wrapper Table

@@ -1,0 +1,1 @@
+lib/experiments/flexible_exp.mli: Soctest_soc

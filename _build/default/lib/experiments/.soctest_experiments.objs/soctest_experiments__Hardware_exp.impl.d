@@ -1,0 +1,1 @@
+lib/experiments/hardware_exp.ml: List Printf Soctest_constraints Soctest_core Soctest_hardware Soctest_report Soctest_soc String Table

@@ -1,0 +1,1 @@
+lib/experiments/hardware_exp.mli: Soctest_hardware Soctest_soc

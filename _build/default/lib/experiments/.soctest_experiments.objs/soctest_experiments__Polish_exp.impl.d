@@ -1,0 +1,1 @@
+lib/experiments/polish_exp.ml: List Printf Soctest_constraints Soctest_core Soctest_report Soctest_soc Table

@@ -1,0 +1,1 @@
+lib/experiments/polish_exp.mli: Soctest_soc

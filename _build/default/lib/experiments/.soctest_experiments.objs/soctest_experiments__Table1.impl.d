@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Soctest_constraints Soctest_core Soctest_report Soctest_soc Table

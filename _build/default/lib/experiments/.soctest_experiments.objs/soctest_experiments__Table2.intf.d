@@ -1,0 +1,1 @@
+lib/experiments/table2.mli: Soctest_core Soctest_soc

@@ -1,0 +1,1 @@
+lib/experiments/tester_exp.mli: Soctest_soc Soctest_tester

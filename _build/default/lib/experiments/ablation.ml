@@ -1,0 +1,220 @@
+module Soc_def = Soctest_soc.Soc_def
+module Constraint_def = Soctest_constraints.Constraint_def
+module Optimizer = Soctest_core.Optimizer
+module Serial = Soctest_baselines.Serial
+module Shelf = Soctest_baselines.Shelf
+module Fixed_width = Soctest_baselines.Fixed_width
+module Session = Soctest_baselines.Session
+
+let unconstrained soc =
+  Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
+
+type delta_row = { width : int; without_delta : int; with_delta : int }
+
+let delta_effect ?soc ?(widths = [ 16; 24; 28; 32 ]) () =
+  let soc =
+    match soc with Some s -> s | None -> Soctest_soc.Benchmarks.p34392 ()
+  in
+  let prepared = Optimizer.prepare soc in
+  let constraints = unconstrained soc in
+  let best ~deltas tam_width =
+    (Optimizer.best_over_params prepared ~tam_width ~constraints ~deltas ())
+      .Optimizer.testing_time
+  in
+  List.map
+    (fun width ->
+      {
+        width;
+        without_delta = best ~deltas:[ 0 ] width;
+        with_delta = best ~deltas:[ 0; 1; 2; 3; 4 ] width;
+      })
+    widths
+
+type slack_row = { slack : int; testing_time : int }
+
+let insert_slack_effect ?soc ?(tam_width = 32)
+    ?(slacks = [ 0; 1; 2; 3; 4; 5; 6 ]) () =
+  let soc =
+    match soc with Some s -> s | None -> Soctest_soc.Benchmarks.d695 ()
+  in
+  let prepared = Optimizer.prepare soc in
+  let constraints = unconstrained soc in
+  List.map
+    (fun slack ->
+      let params =
+        { Optimizer.default_params with Optimizer.insert_slack = slack }
+      in
+      let r = Optimizer.run prepared ~tam_width ~constraints ~params in
+      { slack; testing_time = r.Optimizer.testing_time })
+    slacks
+
+type packer_row = { packer : string; testing_time : int }
+
+let packer_comparison ?soc ?(tam_width = 32) () =
+  let soc =
+    match soc with Some s -> s | None -> Soctest_soc.Benchmarks.d695 ()
+  in
+  let prepared = Optimizer.prepare soc in
+  let constraints = unconstrained soc in
+  let optimizer =
+    (Optimizer.best_over_params prepared ~tam_width ~constraints ())
+      .Optimizer.testing_time
+  in
+  [
+    { packer = "rectangle packing (this paper)"; testing_time = optimizer };
+    {
+      packer = "fixed-width TAM, best of 1-3 buses [12,13]";
+      testing_time =
+        (Fixed_width.best_design prepared ~tam_width ()).Fixed_width
+        .testing_time;
+    };
+    {
+      packer = "shelf FFDH [8]";
+      testing_time =
+        Shelf.testing_time prepared ~tam_width ~discipline:Shelf.Ffdh ();
+    };
+    {
+      packer = "shelf NFDH [8]";
+      testing_time =
+        Shelf.testing_time prepared ~tam_width ~discipline:Shelf.Nfdh ();
+    };
+    {
+      packer = "session-based [7]";
+      testing_time = Session.testing_time prepared ~tam_width;
+    };
+    {
+      packer = "serial (one core at a time)";
+      testing_time = Serial.testing_time prepared ~tam_width;
+    };
+  ]
+
+let delta_table rows =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:"Ablation: bottleneck delta-bump in preferred widths (p34392)"
+      ~columns:
+        [
+          ("W", Table.Right);
+          ("delta=0", Table.Right);
+          ("delta<=4", Table.Right);
+          ("gain", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.width;
+          string_of_int r.without_delta;
+          string_of_int r.with_delta;
+          Printf.sprintf "%.1f%%"
+            (100.
+            *. float_of_int (r.without_delta - r.with_delta)
+            /. float_of_int r.without_delta);
+        ])
+    rows;
+  Table.render table
+
+let slack_table rows =
+  let open Soctest_report in
+  let table =
+    Table.create ~title:"Ablation: idle-time insertion slack (d695, W=32)"
+      ~columns:[ ("slack (bits)", Table.Right); ("T (cycles)", Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ string_of_int r.slack; string_of_int r.testing_time ])
+    rows;
+  Table.render table
+
+let packer_table ~soc_name ~tam_width rows =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "Packing-discipline comparison (%s, W=%d)" soc_name
+           tam_width)
+      ~columns:
+        [
+          ("algorithm", Table.Left);
+          ("T (cycles)", Table.Right);
+          ("vs best", Table.Right);
+        ]
+      ()
+  in
+  let best =
+    List.fold_left (fun acc r -> min acc r.testing_time) max_int rows
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.packer;
+          string_of_int r.testing_time;
+          Printf.sprintf "%.2fx"
+            (float_of_int r.testing_time /. float_of_int best);
+        ])
+    rows;
+  Table.render table
+
+type wrapper_row = {
+  core : int;
+  name : string;
+  width : int;
+  bfd_time : int;
+  exact_time : int;
+}
+
+let wrapper_quality ?soc ?(width = 4) () =
+  let soc =
+    match soc with Some s -> s | None -> Soctest_soc.Benchmarks.d695 ()
+  in
+  Array.to_list soc.Soc_def.cores
+  |> List.map (fun (c : Soctest_soc.Core_def.t) ->
+         {
+           core = c.Soctest_soc.Core_def.id;
+           name = c.Soctest_soc.Core_def.name;
+           width;
+           bfd_time =
+             (Soctest_wrapper.Wrapper_design.design c ~width)
+               .Soctest_wrapper.Wrapper_design.time;
+           exact_time =
+             (Soctest_wrapper.Wrapper_design.design_exact c ~width)
+               .Soctest_wrapper.Wrapper_design.time;
+         })
+
+let wrapper_table rows =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: BFD wrapper design vs exact scan partition (per core)"
+      ~columns:
+        [
+          ("core", Table.Left);
+          ("width", Table.Right);
+          ("BFD T", Table.Right);
+          ("exact T", Table.Right);
+          ("gap", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.name;
+          string_of_int r.width;
+          string_of_int r.bfd_time;
+          string_of_int r.exact_time;
+          Printf.sprintf "%.2f%%"
+            (100.
+            *. float_of_int (r.bfd_time - r.exact_time)
+            /. float_of_int (max 1 r.exact_time));
+        ])
+    rows;
+  Table.render table

@@ -1,0 +1,51 @@
+(** Ablations of the design choices the paper motivates qualitatively:
+
+    - the [delta] bottleneck-bump in preferred-width initialization
+      (Sec. 4: one extra wire to a bottleneck core cuts SOC time);
+    - the 3-bit slack of idle-time rectangle insertion;
+    - packing discipline: the paper's algorithm vs serial testing,
+      NFDH/FFDH shelf packing, and fixed-width TAM buses. *)
+
+type delta_row = { width : int; without_delta : int; with_delta : int }
+
+val delta_effect :
+  ?soc:Soctest_soc.Soc_def.t -> ?widths:int list -> unit -> delta_row list
+(** Best-over-percent testing time with [delta = 0] vs [delta <= 4].
+    Defaults: p34392 at widths [16;24;28;32]. *)
+
+type slack_row = { slack : int; testing_time : int }
+
+val insert_slack_effect :
+  ?soc:Soctest_soc.Soc_def.t ->
+  ?tam_width:int ->
+  ?slacks:int list ->
+  unit ->
+  slack_row list
+(** Defaults: d695, W = 32, slacks 0..6. *)
+
+type packer_row = { packer : string; testing_time : int }
+
+val packer_comparison :
+  ?soc:Soctest_soc.Soc_def.t -> ?tam_width:int -> unit -> packer_row list
+(** Optimizer vs serial / NFDH / FFDH / fixed-width (1..3 buses).
+    Defaults: d695 at W = 32. *)
+
+val delta_table : delta_row list -> string
+val slack_table : slack_row list -> string
+val packer_table : soc_name:string -> tam_width:int -> packer_row list -> string
+
+type wrapper_row = {
+  core : int;
+  name : string;
+  width : int;
+  bfd_time : int;
+  exact_time : int;
+}
+
+val wrapper_quality :
+  ?soc:Soctest_soc.Soc_def.t -> ?width:int -> unit -> wrapper_row list
+(** Best-Fit-Decreasing wrapper design vs the exact scan partition, per
+    core at a common width (defaults: d695 at width 4) — audits how much
+    the [Design_wrapper] heuristic leaves on the table. *)
+
+val wrapper_table : wrapper_row list -> string

@@ -1,0 +1,90 @@
+module O = Soctest_core.Optimizer
+module Abort_fail = Soctest_core.Abort_fail
+module Constraint_def = Soctest_constraints.Constraint_def
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+
+type result = {
+  soc_name : string;
+  tam_width : int;
+  fail_probs : (int * float) list;
+  plain_makespan : int;
+  plain_abort : float;
+  defect_makespan : int;
+  defect_abort : float;
+}
+
+let ff_proportional_probs soc =
+  let total =
+    Array.fold_left
+      (fun a c -> a + max 1 (Core_def.flip_flops c))
+      0 soc.Soc_def.cores
+  in
+  Array.to_list soc.Soc_def.cores
+  |> List.map (fun c ->
+         ( c.Core_def.id,
+           float_of_int (max 1 (Core_def.flip_flops c))
+           /. float_of_int total ))
+
+let run ?soc ?(tam_width = 32) ?(chain = 4) () =
+  let soc =
+    match soc with Some s -> s | None -> Soctest_soc.Benchmarks.d695 ()
+  in
+  let prepared = O.prepare soc in
+  let n = Soc_def.core_count soc in
+  let fail_probs = ff_proportional_probs soc in
+  let plain =
+    O.best_over_params prepared ~tam_width
+      ~constraints:(Constraint_def.unconstrained ~core_count:n)
+      ()
+  in
+  let precedence =
+    Abort_fail.defect_precedence prepared ~fail_probs ~chain ()
+  in
+  let defect =
+    O.best_over_params prepared ~tam_width
+      ~constraints:(Constraint_def.make ~core_count:n ~precedence ())
+      ()
+  in
+  {
+    soc_name = soc.Soc_def.name;
+    tam_width;
+    fail_probs;
+    plain_makespan = plain.O.testing_time;
+    plain_abort =
+      Abort_fail.expected_abort_time plain.O.schedule ~fail_probs;
+    defect_makespan = defect.O.testing_time;
+    defect_abort =
+      Abort_fail.expected_abort_time defect.O.schedule ~fail_probs;
+  }
+
+let to_table r =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Defect-oriented scheduling (%s, W=%d): expected time to catch \
+            a bad die vs makespan"
+           r.soc_name r.tam_width)
+      ~columns:
+        [
+          ("schedule", Table.Left);
+          ("makespan", Table.Right);
+          ("E[abort]", Table.Right);
+        ]
+      ()
+  in
+  Table.add_row table
+    [
+      "makespan-optimized";
+      string_of_int r.plain_makespan;
+      Printf.sprintf "%.0f" r.plain_abort;
+    ];
+  Table.add_row table
+    [
+      "defect-oriented (smith-chain precedence)";
+      string_of_int r.defect_makespan;
+      Printf.sprintf "%.0f" r.defect_abort;
+    ];
+  Table.render table

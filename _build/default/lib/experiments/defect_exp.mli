@@ -1,0 +1,26 @@
+(** Defect-oriented ("abort at first fail") scheduling experiment: the
+    trade between makespan and expected time-to-abort for a bad die when
+    likely-failing cores are pushed to the front via precedence
+    constraints (paper Sec. 4 / ref. [15]). *)
+
+type result = {
+  soc_name : string;
+  tam_width : int;
+  fail_probs : (int * float) list;
+  plain_makespan : int;
+  plain_abort : float;
+  defect_makespan : int;
+  defect_abort : float;
+}
+
+val run :
+  ?soc:Soctest_soc.Soc_def.t ->
+  ?tam_width:int ->
+  ?chain:int ->
+  unit ->
+  result
+(** Defaults: d695 at W = 32, chain of 4. Failure probabilities are
+    proportional to each core's flip-flop count (bigger logic, more
+    likely defect site) — deterministic. *)
+
+val to_table : result -> string

@@ -1,0 +1,94 @@
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module O = Soctest_core.Optimizer
+module Exact = Soctest_baselines.Exact
+module Constraint_def = Soctest_constraints.Constraint_def
+
+type row = {
+  cores : int;
+  tam_width : int;
+  heuristic : int;
+  exact : int;
+  optimal : bool;
+  nodes : int;
+  gap_percent : float;
+}
+
+let prefix soc n =
+  let cores =
+    Array.to_list soc.Soc_def.cores
+    |> List.filteri (fun k _ -> k < n)
+    |> List.map (fun (c : Core_def.t) ->
+           Core_def.make ~id:c.Core_def.id ~name:c.Core_def.name
+             ~inputs:c.Core_def.inputs ~outputs:c.Core_def.outputs
+             ~bidirs:c.Core_def.bidirs ~scan_chains:c.Core_def.scan_chains
+             ~patterns:c.Core_def.patterns ())
+  in
+  Soc_def.make ~name:(Printf.sprintf "%s_%d" soc.Soc_def.name n) ~cores ()
+
+let run ?soc ?(core_counts = [ 2; 3; 4; 5; 6 ]) ?(tam_width = 16)
+    ?(node_limit = 3_000_000) () =
+  let soc =
+    match soc with Some s -> s | None -> Soctest_soc.Benchmarks.d695 ()
+  in
+  List.map
+    (fun n ->
+      let sub = prefix soc n in
+      let prepared = O.prepare sub in
+      let constraints = Constraint_def.unconstrained ~core_count:n in
+      let heuristic =
+        (O.best_over_params prepared ~tam_width ~constraints ())
+          .O.testing_time
+      in
+      let e =
+        Exact.solve ~node_limit ~upper_bound:(heuristic + 1) prepared
+          ~tam_width
+      in
+      {
+        cores = n;
+        tam_width;
+        heuristic;
+        exact = min heuristic e.Exact.testing_time;
+        optimal = e.Exact.optimal;
+        nodes = e.Exact.nodes;
+        gap_percent =
+          (let exact = min heuristic e.Exact.testing_time in
+           100.
+           *. float_of_int (heuristic - exact)
+           /. float_of_int exact);
+      })
+    core_counts
+
+let to_table rows =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:
+        "Heuristic vs exact branch-and-bound (d695 prefixes): the exact \
+         method's cost explodes, the heuristic's gap stays small"
+      ~columns:
+        [
+          ("cores", Table.Right);
+          ("W", Table.Right);
+          ("heuristic", Table.Right);
+          ("exact", Table.Right);
+          ("proved optimal", Table.Left);
+          ("B&B nodes", Table.Right);
+          ("gap", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.cores;
+          string_of_int r.tam_width;
+          string_of_int r.heuristic;
+          string_of_int r.exact;
+          (if r.optimal then "yes" else "budget hit");
+          string_of_int r.nodes;
+          Printf.sprintf "%.1f%%" r.gap_percent;
+        ])
+    rows;
+  Table.render table

@@ -1,0 +1,62 @@
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module Pareto = Soctest_wrapper.Pareto
+
+type result = {
+  soc_name : string;
+  core_id : int;
+  core_name : string;
+  staircase : (int * int) list;
+  pareto : (int * int) list;
+}
+
+let run ?soc ?(core_id = 6) ?(wmax = 64) () =
+  let soc =
+    match soc with Some s -> s | None -> Soctest_soc.Benchmarks.p93791 ()
+  in
+  let core = Soc_def.core soc core_id in
+  let p = Pareto.compute core ~wmax in
+  {
+    soc_name = soc.Soc_def.name;
+    core_id;
+    core_name = core.Core_def.name;
+    staircase =
+      List.init wmax (fun k -> (k + 1, Pareto.time p ~width:(k + 1)));
+    pareto = Pareto.rectangles p;
+  }
+
+let to_plot r =
+  Soctest_report.Plot.render
+    ~title:
+      (Printf.sprintf
+         "Fig. 1: testing time vs TAM width, core %d (%s) of %s" r.core_id
+         r.core_name r.soc_name)
+    ~y_label:"testing time (cycles)" ~x_label:"TAM width (bits)"
+    [
+      {
+        Soctest_report.Plot.label = '*';
+        points = Soctest_report.Plot.staircase r.staircase;
+      };
+    ]
+
+let to_csv r =
+  Soctest_report.Csv.render ~header:[ "width"; "time" ]
+    ~rows:
+      (List.map
+         (fun (w, t) -> [ string_of_int w; string_of_int t ])
+         r.staircase)
+
+let to_table r =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "Pareto-optimal widths of core %d (%s) of %s"
+           r.core_id r.core_name r.soc_name)
+      ~columns:[ ("width", Table.Right); ("time (cycles)", Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun (w, t) -> Table.add_row table [ string_of_int w; string_of_int t ])
+    r.pareto;
+  Table.render table

@@ -1,0 +1,20 @@
+(** Paper Fig. 1: testing time vs TAM width for a single core (the paper
+    shows Core 6 of p93791) — the staircase whose corners are the
+    Pareto-optimal widths. *)
+
+type result = {
+  soc_name : string;
+  core_id : int;
+  core_name : string;
+  staircase : (int * int) list;  (** (width, time) for w = 1..wmax *)
+  pareto : (int * int) list;  (** Pareto corners only *)
+}
+
+val run : ?soc:Soctest_soc.Soc_def.t -> ?core_id:int -> ?wmax:int -> unit -> result
+(** Defaults: p93791, core 6, wmax 64. @raise Invalid_argument if the
+    core id is out of range. *)
+
+val to_plot : result -> string
+val to_csv : result -> string
+val to_table : result -> string
+(** Pareto corners with their times — the data behind the figure. *)

@@ -1,0 +1,16 @@
+(** Paper Fig. 2: an example test schedule as packed rectangles — rendered
+    as an ASCII Gantt chart over the TAM wires. *)
+
+type result = {
+  soc_name : string;
+  tam_width : int;
+  schedule : Soctest_tam.Schedule.t;
+  gantt : string;
+  legend : string;
+}
+
+val run :
+  ?soc:Soctest_soc.Soc_def.t -> ?tam_width:int -> ?columns:int -> unit -> result
+(** Defaults: d695 at W = 16, 72 chart columns. *)
+
+val render : result -> string

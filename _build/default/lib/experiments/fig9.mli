@@ -1,0 +1,25 @@
+(** Paper Fig. 9: for one SOC (p22810 in the paper), over a TAM width
+    sweep — (a) testing time T(W); (b) tester data volume V(W) with its
+    non-monotonic local minima; (c, d) the normalized cost C(W) for two
+    trade-off weights, exhibiting the "U" shape. *)
+
+type result = {
+  soc_name : string;
+  points : Soctest_core.Volume.point list;
+  alphas : float * float;
+  cost_curves : (int * float) list * (int * float) list;
+}
+
+val run :
+  ?soc:Soctest_soc.Soc_def.t ->
+  ?max_width:int ->
+  ?alphas:float * float ->
+  unit ->
+  result
+(** Defaults: p22810, widths 1..80, alphas (0.5, 0.75). *)
+
+val to_plots : result -> string
+(** The four panels, stacked. *)
+
+val to_csv : result -> string
+(** width, time, volume, c_alpha1, c_alpha2 per row. *)

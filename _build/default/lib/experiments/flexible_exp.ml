@@ -1,0 +1,87 @@
+module O = Soctest_core.Optimizer
+module LB = Soctest_core.Lower_bound
+module SP = Soctest_wrapper.Scan_partition
+module Soc_def = Soctest_soc.Soc_def
+module Constraint_def = Soctest_constraints.Constraint_def
+
+type result = {
+  soc_name : string;
+  tam_width : int;
+  fixed_time : int;
+  flexible_time : int;
+  fixed_lb : int;
+  flexible_lb : int;
+}
+
+let run ?soc ?(tam_width = 32) () =
+  let soc =
+    match soc with Some s -> s | None -> Soctest_soc.Benchmarks.d695 ()
+  in
+  let n = Soc_def.core_count soc in
+  let constraints = Constraint_def.unconstrained ~core_count:n in
+  let prepared = O.prepare soc in
+  let fixed = O.best_over_params prepared ~tam_width ~constraints () in
+  (* re-stitch every core at the width the fixed-chain run assigned it *)
+  let flexible_soc =
+    let cores =
+      Array.to_list soc.Soc_def.cores
+      |> List.map (fun (c : Soctest_soc.Core_def.t) ->
+             let width =
+               Option.value ~default:1
+                 (List.assoc_opt c.Soctest_soc.Core_def.id
+                    fixed.O.widths)
+             in
+             SP.restitch c ~width)
+    in
+    Soc_def.make ~name:soc.Soc_def.name ~cores
+      ~hierarchy:soc.Soc_def.hierarchy ()
+  in
+  let flexible_prepared = O.prepare flexible_soc in
+  let flexible =
+    O.best_over_params flexible_prepared ~tam_width ~constraints ()
+  in
+  {
+    soc_name = soc.Soc_def.name;
+    tam_width;
+    fixed_time = fixed.O.testing_time;
+    flexible_time = flexible.O.testing_time;
+    fixed_lb = LB.compute prepared ~tam_width;
+    flexible_lb = LB.compute flexible_prepared ~tam_width;
+  }
+
+let to_table results =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:
+        "Fixed vs flexible scan chains: re-stitching cores at their \
+         assigned TAM widths (Aerts & Marinissen regime, paper ref. [1])"
+      ~columns:
+        [
+          ("SOC", Table.Left);
+          ("W", Table.Right);
+          ("fixed T", Table.Right);
+          ("flexible T", Table.Right);
+          ("gain", Table.Right);
+          ("fixed LB", Table.Right);
+          ("flexible LB", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.soc_name;
+          string_of_int r.tam_width;
+          string_of_int r.fixed_time;
+          string_of_int r.flexible_time;
+          Printf.sprintf "%.1f%%"
+            (100.
+            *. float_of_int (r.fixed_time - r.flexible_time)
+            /. float_of_int r.fixed_time);
+          string_of_int r.fixed_lb;
+          string_of_int r.flexible_lb;
+        ])
+    results;
+  Table.render table

@@ -1,0 +1,21 @@
+(** Fixed vs flexible scan-chain experiment (paper Sec. 3: "Unlike in
+    [1], we assume that the lengths of scan chains are fixed").
+
+    Quantifies what the fixed-chain assumption costs: schedule the SOC
+    with its given chains, then re-stitch every core's flip-flops into
+    balanced chains at the TAM width the optimizer assigned it (the
+    Aerts & Marinissen co-design regime) and schedule again. *)
+
+type result = {
+  soc_name : string;
+  tam_width : int;
+  fixed_time : int;
+  flexible_time : int;
+  fixed_lb : int;
+  flexible_lb : int;
+}
+
+val run : ?soc:Soctest_soc.Soc_def.t -> ?tam_width:int -> unit -> result
+(** Defaults: d695 at W = 32. *)
+
+val to_table : result list -> string

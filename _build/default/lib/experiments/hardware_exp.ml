@@ -1,0 +1,95 @@
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module O = Soctest_core.Optimizer
+module Overhead = Soctest_hardware.Overhead
+module Verilog = Soctest_hardware.Verilog
+module Constraint_def = Soctest_constraints.Constraint_def
+
+type row = {
+  core : int;
+  name : string;
+  width : int;
+  overhead : Overhead.t;
+}
+
+type result = {
+  soc_name : string;
+  tam_width : int;
+  rows : row list;
+  total : Overhead.t;
+  verilog_lines : int;
+}
+
+let run ?soc ?(tam_width = 32) () =
+  let soc =
+    match soc with Some s -> s | None -> Soctest_soc.Benchmarks.d695 ()
+  in
+  let prepared = O.prepare soc in
+  let constraints =
+    Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
+  in
+  let r = O.run prepared ~tam_width ~constraints ~params:O.default_params in
+  let rows =
+    List.map
+      (fun (core, width) ->
+        {
+          core;
+          name = (Soc_def.core soc core).Core_def.name;
+          width;
+          overhead = Overhead.core_overhead (Soc_def.core soc core) ~width;
+        })
+      r.O.widths
+  in
+  let total = Overhead.soc_overhead prepared ~widths:r.O.widths in
+  let verilog = Verilog.soc_testbench prepared ~widths:r.O.widths in
+  {
+    soc_name = soc.Soc_def.name;
+    tam_width;
+    rows;
+    total;
+    verilog_lines =
+      List.length (String.split_on_char '\n' verilog);
+  }
+
+let to_table result =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Wrapper hardware overhead (%s at W=%d, per-core TAM widths \
+            from the optimizer)"
+           result.soc_name result.tam_width)
+      ~columns:
+        [
+          ("core", Table.Left);
+          ("TAM width", Table.Right);
+          ("boundary cells", Table.Right);
+          ("chain muxes", Table.Right);
+          ("~gates", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.name;
+          string_of_int r.width;
+          string_of_int r.overhead.Overhead.boundary_cells;
+          string_of_int r.overhead.Overhead.chain_muxes;
+          string_of_int r.overhead.Overhead.gates;
+        ])
+    result.rows;
+  Table.add_separator table;
+  Table.add_row table
+    [
+      "total";
+      string_of_int result.total.Overhead.tam_wires;
+      string_of_int result.total.Overhead.boundary_cells;
+      string_of_int result.total.Overhead.chain_muxes;
+      string_of_int result.total.Overhead.gates;
+    ];
+  Table.render table
+  ^ Printf.sprintf "structural Verilog netlist: %d lines\n"
+      result.verilog_lines

@@ -1,0 +1,24 @@
+(** Hardware-overhead extension experiment: the gate/wire cost of the
+    wrapper/TAM fabric the co-optimizer designs (paper Sec. 1 lists
+    hardware overhead as the first thing TAM design "directly impacts"). *)
+
+type row = {
+  core : int;
+  name : string;
+  width : int;
+  overhead : Soctest_hardware.Overhead.t;
+}
+
+type result = {
+  soc_name : string;
+  tam_width : int;
+  rows : row list;
+  total : Soctest_hardware.Overhead.t;
+  verilog_lines : int;  (** size of the emitted structural netlist *)
+}
+
+val run : ?soc:Soctest_soc.Soc_def.t -> ?tam_width:int -> unit -> result
+(** Schedules the SOC (defaults: d695 at W = 32), takes the per-core TAM
+    widths the optimizer chose, and accounts the wrapper hardware. *)
+
+val to_table : result -> string

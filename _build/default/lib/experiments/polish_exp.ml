@@ -1,0 +1,89 @@
+module O = Soctest_core.Optimizer
+module Improve = Soctest_core.Improve
+module LB = Soctest_core.Lower_bound
+module Constraint_def = Soctest_constraints.Constraint_def
+module Soc_def = Soctest_soc.Soc_def
+
+type row = {
+  soc_name : string;
+  width : int;
+  grid_best : int;
+  polished : int;
+  annealed : int;
+  lower_bound : int;
+  evaluations : int;
+}
+
+let run ?socs ?(widths = [ 16; 32; 48; 64 ]) () =
+  let socs =
+    match socs with Some s -> s | None -> Soctest_soc.Benchmarks.all ()
+  in
+  List.concat_map
+    (fun (soc_name, soc) ->
+      let prepared = O.prepare soc in
+      let constraints =
+        Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
+      in
+      List.map
+        (fun width ->
+          let seed =
+            O.best_over_params prepared ~tam_width:width ~constraints ()
+          in
+          let report =
+            Improve.polish prepared ~tam_width:width ~constraints seed
+          in
+          let annealed =
+            (Soctest_core.Anneal.search ~iterations:600 prepared
+               ~tam_width:width ~constraints seed)
+              .Soctest_core.Anneal.result
+          in
+          {
+            soc_name;
+            width;
+            grid_best = report.Improve.initial_time;
+            polished = report.Improve.result.O.testing_time;
+            annealed = annealed.O.testing_time;
+            lower_bound = LB.compute prepared ~tam_width:width;
+            evaluations = report.Improve.evaluations;
+          })
+        widths)
+    socs
+
+let to_table rows =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:
+        "Search extensions on per-core TAM widths: the paper's parameter \
+         grid vs hill-climbing polish vs simulated annealing"
+      ~columns:
+        [
+          ("SOC", Table.Left);
+          ("W", Table.Right);
+          ("LB", Table.Right);
+          ("grid best", Table.Right);
+          ("polished", Table.Right);
+          ("annealed", Table.Right);
+          ("best gain", Table.Right);
+          ("re-runs", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.soc_name;
+          string_of_int r.width;
+          string_of_int r.lower_bound;
+          string_of_int r.grid_best;
+          string_of_int r.polished;
+          string_of_int r.annealed;
+          Printf.sprintf "%.1f%%"
+            (100.
+            *. float_of_int (r.grid_best - min r.polished r.annealed)
+            /. float_of_int r.grid_best);
+          string_of_int r.evaluations;
+        ])
+    rows;
+  Table.render table

@@ -1,0 +1,21 @@
+(** Local-search polish gains over the paper's best-of-grid schedules
+    (our extension; see {!Soctest_core.Improve}). *)
+
+type row = {
+  soc_name : string;
+  width : int;
+  grid_best : int;  (** the paper's best-of-parameter-grid method *)
+  polished : int;  (** + hill climbing on per-core widths *)
+  annealed : int;  (** + simulated annealing from the same seed *)
+  lower_bound : int;
+  evaluations : int;  (** scheduler re-runs spent by the polish pass *)
+}
+
+val run :
+  ?socs:(string * Soctest_soc.Soc_def.t) list ->
+  ?widths:int list ->
+  unit ->
+  row list
+(** Defaults: all four benchmark SOCs at widths [16;32;48;64]. *)
+
+val to_table : row list -> string

@@ -1,0 +1,121 @@
+module Soc_def = Soctest_soc.Soc_def
+module Constraint_def = Soctest_constraints.Constraint_def
+module Optimizer = Soctest_core.Optimizer
+module Flow = Soctest_core.Flow
+module Lower_bound = Soctest_core.Lower_bound
+
+type row = {
+  width : int;
+  lower_bound : int;
+  non_preemptive : int;
+  preemptive : int;
+  power_constrained : int;
+}
+
+type soc_result = { soc_name : string; rows : row list }
+
+let widths_for = function
+  | "p34392" -> [ 16; 24; 28; 32 ]
+  | _ -> [ 16; 32; 48; 64 ]
+
+let grid quick =
+  if quick then ([ 5 ], [ 1 ])
+  else ([ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ], [ 0; 1; 2; 3; 4 ])
+
+let run_soc ?(quick = false) soc ~widths =
+  let prepared = Optimizer.prepare soc in
+  let n = Soc_def.core_count soc in
+  let percents, deltas = grid quick in
+  let best constraints tam_width =
+    (Optimizer.best_over_params prepared ~tam_width ~constraints ~percents
+       ~deltas ())
+      .Optimizer.testing_time
+  in
+  let unconstrained = Constraint_def.unconstrained ~core_count:n in
+  let preempt_budget = Flow.preemption_budget soc ~limit:2 in
+  (* columns differ in exactly one knob each: preemption, then power *)
+  let preemptive =
+    Constraint_def.make ~core_count:n ~max_preemptions:preempt_budget ()
+  in
+  let powered =
+    Constraint_def.with_power_limit preemptive
+      (Some (Flow.default_power_limit soc))
+  in
+  let rows =
+    List.map
+      (fun width ->
+        {
+          width;
+          lower_bound = Lower_bound.compute prepared ~tam_width:width;
+          non_preemptive = best unconstrained width;
+          preemptive = best preemptive width;
+          power_constrained = best powered width;
+        })
+      widths
+  in
+  { soc_name = soc.Soc_def.name; rows }
+
+let run ?quick () =
+  List.map
+    (fun (name, soc) -> run_soc ?quick soc ~widths:(widths_for name))
+    (Soctest_soc.Benchmarks.all ())
+
+let to_table results =
+  let open Soctest_report in
+  let table =
+    Table.create
+      ~title:
+        "Table 1: Wrapper/TAM co-optimization and test scheduling \
+         (testing time, cycles)"
+      ~columns:
+        [
+          ("SOC", Table.Left);
+          ("W", Table.Right);
+          ("lower bound", Table.Right);
+          ("non-preempt.", Table.Right);
+          ("preemptive", Table.Right);
+          ("preempt.+power", Table.Right);
+        ]
+      ()
+  in
+  List.iteri
+    (fun k r ->
+      if k > 0 then Table.add_separator table;
+      List.iter
+        (fun row ->
+          Table.add_int_row table r.soc_name
+            [
+              row.width;
+              row.lower_bound;
+              row.non_preemptive;
+              row.preemptive;
+              row.power_constrained;
+            ])
+        r.rows)
+    results;
+  Table.render table
+
+let to_csv results =
+  let rows =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun row ->
+            [
+              r.soc_name;
+              string_of_int row.width;
+              string_of_int row.lower_bound;
+              string_of_int row.non_preemptive;
+              string_of_int row.preemptive;
+              string_of_int row.power_constrained;
+            ])
+          r.rows)
+      results
+  in
+  Soctest_report.Csv.render
+    ~header:
+      [
+        "soc"; "width"; "lower_bound"; "non_preemptive"; "preemptive";
+        "power_constrained";
+      ]
+    ~rows

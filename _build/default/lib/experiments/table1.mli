@@ -1,0 +1,32 @@
+(** Paper Table 1: wrapper/TAM co-optimization and test scheduling.
+
+    For every SOC and TAM width: the testing-time lower bound, the
+    non-preemptive schedule, the selectively-preemptive schedule
+    (2 preemptions allowed on the larger cores), and the preemptive +
+    power-constrained schedule. Times are best-of over the paper's
+    [(percent, delta)] parameter grid. *)
+
+type row = {
+  width : int;
+  lower_bound : int;
+  non_preemptive : int;
+  preemptive : int;
+  power_constrained : int;
+}
+
+type soc_result = { soc_name : string; rows : row list }
+
+val widths_for : string -> int list
+(** The paper's width column per SOC: [16;32;48;64] except p34392, which
+    uses [16;24;28;32]. *)
+
+val run_soc :
+  ?quick:bool -> Soctest_soc.Soc_def.t -> widths:int list -> soc_result
+(** [quick] restricts the parameter grid to a single [(percent, delta)]
+    pair — used by benchmarks; defaults to the full grid. *)
+
+val run : ?quick:bool -> unit -> soc_result list
+(** All four benchmark SOCs at their paper widths. *)
+
+val to_table : soc_result list -> string
+val to_csv : soc_result list -> string

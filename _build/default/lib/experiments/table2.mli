@@ -1,0 +1,31 @@
+(** Paper Table 2: effective TAM widths for tester data volume reduction.
+
+    Per SOC: the minimum testing time and minimum data volume over a full
+    width sweep (with the widths at which they occur), then for several
+    trade-off weights [alpha] the effective width minimizing the
+    normalized cost [C], with the resulting time and volume. *)
+
+type soc_result = {
+  soc_name : string;
+  t_min : int;
+  w_at_t_min : int;
+  v_min : int;
+  w_at_v_min : int;
+  evaluations : Soctest_core.Cost.evaluation list;
+}
+
+val alphas_for : string -> float list
+(** The alpha rows the paper reports per SOC. *)
+
+val run_soc :
+  Soctest_soc.Soc_def.t ->
+  ?widths:int list ->
+  ?alphas:float list ->
+  unit ->
+  soc_result
+(** Defaults: widths [1..64], the paper's alphas for that SOC name (or
+    [0.25; 0.5; 0.75] for unknown SOCs). *)
+
+val run : unit -> soc_result list
+val to_table : soc_result list -> string
+val to_csv : soc_result list -> string

@@ -1,0 +1,42 @@
+(** Tester-centric extension experiments: vector-memory utilization,
+    test-data compression, and multisite batch planning (paper Secs. 2
+    and 5). *)
+
+type memory_row = {
+  width : int;
+  time : int;
+  volume : int;
+  useful : int;
+  utilization : float;
+}
+
+val memory_table :
+  ?soc:Soctest_soc.Soc_def.t -> ?widths:int list -> unit -> memory_row list
+(** Per TAM width: schedule the SOC and account tester memory per wire.
+    Defaults: d695, widths [8;16;24;32;48;64]. *)
+
+val memory_to_table : soc_name:string -> memory_row list -> string
+
+val compression_table :
+  ?soc:Soctest_soc.Soc_def.t -> ?densities:float list -> unit ->
+  Soctest_tester.Tester_image.compression_report list
+(** Golomb compression of the SOC's stimulus data at several care-bit
+    densities. Defaults: d695, densities [0.02; 0.05; 0.10]. *)
+
+val compression_to_table :
+  soc_name:string ->
+  Soctest_tester.Tester_image.compression_report list ->
+  string
+
+val multisite_table :
+  ?soc:Soctest_soc.Soc_def.t ->
+  ?tester:Soctest_tester.Multisite.tester ->
+  ?batch_size:int ->
+  ?widths:int list ->
+  unit ->
+  Soctest_tester.Multisite.point list
+(** Batch test time vs TAM width. Defaults: d695, the default tester,
+    batch of 10000 dies, widths 1..64. *)
+
+val multisite_to_table :
+  soc_name:string -> batch_size:int -> Soctest_tester.Multisite.point list -> string

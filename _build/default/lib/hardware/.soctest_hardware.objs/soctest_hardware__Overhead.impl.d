@@ -1,0 +1,1 @@
+lib/hardware/overhead.ml: Format List Soctest_core Soctest_soc Soctest_wrapper

@@ -1,0 +1,1 @@
+lib/hardware/overhead.mli: Format Soctest_core Soctest_soc

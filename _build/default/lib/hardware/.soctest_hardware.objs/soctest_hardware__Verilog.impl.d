@@ -1,0 +1,1 @@
+lib/hardware/verilog.ml: Array Buffer List Printf Soctest_core Soctest_soc Soctest_wrapper String

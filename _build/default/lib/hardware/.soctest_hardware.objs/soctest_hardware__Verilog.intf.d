@@ -1,0 +1,1 @@
+lib/hardware/verilog.mli: Soctest_core Soctest_soc

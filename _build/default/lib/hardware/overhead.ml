@@ -1,0 +1,58 @@
+module Core_def = Soctest_soc.Core_def
+module Wrapper_design = Soctest_wrapper.Wrapper_design
+
+type t = {
+  boundary_cells : int;
+  chain_muxes : int;
+  wir_bits : int;
+  gates : int;
+  tam_wires : int;
+}
+
+let gates_per_cell = 6
+let gates_per_mux = 3
+let gates_per_wir_bit = 5
+
+let core_overhead (core : Core_def.t) ~width =
+  let design = Wrapper_design.design core ~width in
+  let boundary_cells =
+    core.Core_def.inputs + core.Core_def.outputs + (2 * core.Core_def.bidirs)
+  in
+  let chain_muxes = 2 * design.Wrapper_design.width in
+  let wir_bits = 3 (* Intest / Extest / Bypass select *) in
+  {
+    boundary_cells;
+    chain_muxes;
+    wir_bits;
+    gates =
+      (boundary_cells * gates_per_cell)
+      + (chain_muxes * gates_per_mux)
+      + (wir_bits * gates_per_wir_bit);
+    tam_wires = design.Wrapper_design.width;
+  }
+
+let zero =
+  { boundary_cells = 0; chain_muxes = 0; wir_bits = 0; gates = 0;
+    tam_wires = 0 }
+
+let add a b =
+  {
+    boundary_cells = a.boundary_cells + b.boundary_cells;
+    chain_muxes = a.chain_muxes + b.chain_muxes;
+    wir_bits = a.wir_bits + b.wir_bits;
+    gates = a.gates + b.gates;
+    tam_wires = a.tam_wires + b.tam_wires;
+  }
+
+let soc_overhead prepared ~widths =
+  let soc = Soctest_core.Optimizer.soc_of prepared in
+  List.fold_left
+    (fun acc (id, width) ->
+      add acc (core_overhead (Soctest_soc.Soc_def.core soc id) ~width))
+    zero widths
+
+let pp ppf t =
+  Format.fprintf ppf
+    "boundary cells: %d, chain muxes: %d, WIR bits: %d, ~%d gates, %d \
+     TAM wire-ends"
+    t.boundary_cells t.chain_muxes t.wir_bits t.gates t.tam_wires

@@ -1,0 +1,31 @@
+(** Wrapper and TAM hardware overhead estimation.
+
+    Wrapper/TAM co-optimization "directly impacts hardware overhead"
+    (paper, Sec. 1); this module quantifies it with the standard 1500-style
+    accounting: one wrapper boundary cell per functional terminal (two per
+    bidir), one 2-to-1 bypass/mode multiplexer per wrapper chain end, a
+    small wrapper-instruction register, and one chip-level wire per TAM
+    bit. Gate figures use the usual unit-gate equivalents (boundary cell
+    ~6 gates: a flip-flop plus muxes; mux ~3; WIR flip-flop ~5). *)
+
+type t = {
+  boundary_cells : int;  (** wrapper cells on functional terminals *)
+  chain_muxes : int;  (** per-wrapper-chain mode/bypass multiplexers *)
+  wir_bits : int;  (** wrapper instruction register bits *)
+  gates : int;  (** total gate-equivalent estimate *)
+  tam_wires : int;  (** chip-level TAM wires consumed *)
+}
+
+val core_overhead : Soctest_soc.Core_def.t -> width:int -> t
+(** Overhead of wrapping one core for a TAM slice of [width] (clamped to
+    the wrapper's useful width, as in {!Soctest_wrapper.Wrapper_design}).
+    @raise Invalid_argument if [width < 1]. *)
+
+val soc_overhead :
+  Soctest_core.Optimizer.prepared -> widths:(int * int) list -> t
+(** Sum over [(core, width)] assignments (e.g. the optimizer result's
+    [widths] field); [tam_wires] is the maximum wire index in use, i.e.
+    the widest concurrent assignment is the caller's business — here it
+    sums per-core slice widths for the wiring estimate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,210 @@
+module Core_def = Soctest_soc.Core_def
+module Wrapper_design = Soctest_wrapper.Wrapper_design
+
+let primitives =
+  {|// soctest wrapper primitives (IEEE 1500 style, simplified)
+module soctest_wbc (
+  input  wire clk, shift, capture,
+  input  wire scan_in, func_in,
+  output reg  scan_out,
+  output wire func_out
+);
+  always @(posedge clk)
+    if (shift) scan_out <= scan_in;
+    else if (capture) scan_out <= func_in;
+  assign func_out = scan_out;
+endmodule
+
+module soctest_mux2 (
+  input  wire a, b, sel,
+  output wire y
+);
+  assign y = sel ? b : a;
+endmodule
+
+module soctest_wir (
+  input  wire clk, wir_shift, wir_in,
+  output reg [2:0] mode
+);
+  always @(posedge clk)
+    if (wir_shift) mode <= {mode[1:0], wir_in};
+endmodule
+
+// placeholder for a core-internal scan chain of a given length
+module core_scan_segment #(parameter LENGTH = 1) (
+  input  wire clk, shift,
+  input  wire scan_in,
+  output wire scan_out
+);
+  reg [LENGTH-1:0] chain;
+  always @(posedge clk)
+    if (shift) chain <= {chain[LENGTH-2:0], scan_in};
+  assign scan_out = chain[LENGTH-1];
+endmodule
+|}
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* One wrapper chain: input cells -> internal scan segments -> output
+   cells, plus a mode mux on each end. *)
+let emit_chain buf ~core_name ~chain_id ~input_cells ~segments ~output_cells
+    =
+  let wire k = Printf.sprintf "%s_c%d_n%d" core_name chain_id k in
+  let node = ref 0 in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  emit "  // wrapper chain %d: %d input cells, %d scan segments, %d output cells\n"
+    chain_id input_cells (List.length segments) output_cells;
+  emit "  wire %s;\n" (wire 0);
+  emit
+    "  soctest_mux2 mux_in_%d (.a(tam_in[%d]), .b(bypass_in), \
+     .sel(mode[2]), .y(%s));\n"
+    chain_id chain_id (wire 0);
+  let next_nodes () =
+    let from = wire !node in
+    incr node;
+    let to_ = wire !node in
+    emit "  wire %s;\n" to_;
+    (from, to_)
+  in
+  let hook_cell () =
+    let from, to_ = next_nodes () in
+    emit
+      "  soctest_wbc %s_%d_%d (.clk(clk), .shift(shift), \
+       .capture(capture), .scan_in(%s), .func_in(1'b0), .scan_out(%s), \
+       .func_out());\n"
+      core_name chain_id !node from to_
+  in
+  let hook_segment len =
+    let from, to_ = next_nodes () in
+    emit
+      "  core_scan_segment #(.LENGTH(%d)) %s_%d_%d (.clk(clk), \
+       .shift(shift), .scan_in(%s), .scan_out(%s));\n"
+      len core_name chain_id !node from to_
+  in
+  for _ = 1 to input_cells do
+    hook_cell ()
+  done;
+  List.iter hook_segment segments;
+  for _ = 1 to output_cells do
+    hook_cell ()
+  done;
+  emit
+    "  soctest_mux2 mux_out_%d (.a(%s), .b(bypass_in), .sel(mode[2]), \
+     .y(tam_out[%d]));\n"
+    chain_id (wire !node) chain_id
+
+let wrapper_module (core : Core_def.t) ~width =
+  let design = Wrapper_design.design core ~width in
+  let w = design.Wrapper_design.width in
+  let core_name = sanitize core.Core_def.name in
+  let buf = Buffer.create 4096 in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  emit "// wrapper for core %d (%s): %d wrapper chains, si=%d so=%d\n"
+    core.Core_def.id core.Core_def.name w design.Wrapper_design.si
+    design.Wrapper_design.so;
+  emit "module wrapper_%s (\n" core_name;
+  emit "  input  wire clk, shift, capture, wir_shift, wir_in, bypass_in,\n";
+  emit "  input  wire [%d:0] tam_in,\n" (w - 1);
+  emit "  output wire [%d:0] tam_out\n" (w - 1);
+  emit ");\n";
+  emit "  wire [2:0] mode;\n";
+  emit
+    "  soctest_wir wir (.clk(clk), .wir_shift(wir_shift), .wir_in(wir_in), \
+     .mode(mode));\n";
+  (* distribute terminals and scan segments per the BFD design: recompute
+     the partition deterministically, mirroring Wrapper_design *)
+  let chains = Array.of_list core.Core_def.scan_chains in
+  let in_terminals = core.Core_def.inputs + core.Core_def.bidirs in
+  let out_terminals = core.Core_def.outputs + core.Core_def.bidirs in
+  let packed = Soctest_wrapper.Bfd.pack ~weights:chains ~bins:w in
+  let input_cells =
+    Soctest_wrapper.Bfd.spread_units ~loads:packed.Soctest_wrapper.Bfd.loads
+      ~units:in_terminals
+  in
+  let output_cells =
+    Soctest_wrapper.Bfd.spread_units ~loads:packed.Soctest_wrapper.Bfd.loads
+      ~units:out_terminals
+  in
+  for chain_id = 0 to w - 1 do
+    let segments =
+      List.map
+        (fun item -> chains.(item))
+        (List.rev packed.Soctest_wrapper.Bfd.bins.(chain_id))
+    in
+    emit_chain buf ~core_name ~chain_id
+      ~input_cells:input_cells.(chain_id)
+      ~segments
+      ~output_cells:output_cells.(chain_id)
+  done;
+  emit "endmodule\n";
+  Buffer.contents buf
+
+let soc_testbench prepared ~widths =
+  let soc = Soctest_core.Optimizer.soc_of prepared in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf primitives;
+  Buffer.add_char buf '\n';
+  let total_width = List.fold_left (fun a (_, w) -> a + w) 0 widths in
+  List.iter
+    (fun (id, width) ->
+      Buffer.add_string buf
+        (wrapper_module (Soctest_soc.Soc_def.core soc id) ~width);
+      Buffer.add_char buf '\n')
+    widths;
+  Buffer.add_string buf
+    (Printf.sprintf "module soc_%s_test_top (\n" (sanitize soc.Soctest_soc.Soc_def.name));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  input  wire clk, shift, capture, wir_shift, wir_in, bypass_in,\n\
+       \  input  wire [%d:0] tam_in,\n\
+       \  output wire [%d:0] tam_out\n);\n"
+       (total_width - 1) (total_width - 1));
+  let offset = ref 0 in
+  List.iter
+    (fun (id, width) ->
+      let core = Soctest_soc.Soc_def.core soc id in
+      let name = sanitize core.Core_def.name in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  wrapper_%s u_%s (.clk(clk), .shift(shift), \
+            .capture(capture), .wir_shift(wir_shift), .wir_in(wir_in), \
+            .bypass_in(bypass_in), .tam_in(tam_in[%d:%d]), \
+            .tam_out(tam_out[%d:%d]));\n"
+           name name
+           (!offset + width - 1)
+           !offset
+           (!offset + width - 1)
+           !offset);
+      offset := !offset + width)
+    widths;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let instance_count verilog module_name =
+  let pattern = module_name ^ " " in
+  let plen = String.length pattern in
+  let n = String.length verilog in
+  let starts_ident_before i =
+    i > 0
+    &&
+    match verilog.[i - 1] with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+    | _ -> false
+  in
+  let rec count i acc =
+    if i + plen > n then acc
+    else if
+      String.sub verilog i plen = pattern
+      && (not (starts_ident_before i))
+      && (* exclude the definition line "module <name> (" *)
+      not (i >= 7 && String.sub verilog (i - 7) 7 = "module ")
+    then count (i + plen) (acc + 1)
+    else count (i + 1) acc
+  in
+  count 0 0

@@ -1,0 +1,31 @@
+(** Structural Verilog emission for a core's test wrapper.
+
+    Produces a synthesizable-style netlist of the wrapper computed by
+    {!Soctest_wrapper.Wrapper_design}: one [soctest_wbc] boundary cell per
+    functional terminal, internal scan chains stitched between input and
+    output cells per wrapper chain, per-chain mode multiplexers, and a
+    3-bit wrapper instruction register. Internal scan chains themselves
+    are black-boxed as [core_scan_segment] instances (their flip-flops
+    belong to the core netlist, which we do not have).
+
+    The point is not tape-out readiness but a concrete, inspectable
+    artefact of the "hardware overhead" the paper trades against test
+    time — and a machine-checkable one: cell counts in the emitted text
+    equal the {!Overhead} accounting. *)
+
+val primitives : string
+(** Module definitions for [soctest_wbc] (wrapper boundary cell),
+    [soctest_mux2], [soctest_wir] — emit once per file. *)
+
+val wrapper_module : Soctest_soc.Core_def.t -> width:int -> string
+(** The wrapper netlist for one core at the given TAM width.
+    @raise Invalid_argument if [width < 1]. *)
+
+val soc_testbench :
+  Soctest_core.Optimizer.prepared -> widths:(int * int) list -> string
+(** A full file: primitives + one wrapper module per core (at its
+    assigned width) + a top module wiring them to a [W]-bit TAM port. *)
+
+val instance_count : string -> string -> int
+(** [instance_count verilog module_name] counts instantiations — used by
+    tests to tie the netlist back to the overhead model. *)

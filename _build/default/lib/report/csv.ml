@@ -1,0 +1,36 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape s =
+  if needs_quoting s then
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  else s
+
+let row cells = String.concat "," (List.map escape cells)
+
+let render ~header ~rows =
+  let arity = List.length header in
+  List.iteri
+    (fun k r ->
+      if List.length r <> arity then
+        invalid_arg
+          (Printf.sprintf "Csv.render: row %d has %d cells, header has %d"
+             k (List.length r) arity))
+    rows;
+  String.concat "\n" (row header :: List.map row rows) ^ "\n"
+
+let write_file path ~header ~rows =
+  let oc = open_out path in
+  (try output_string oc (render ~header ~rows)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

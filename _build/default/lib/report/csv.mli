@@ -1,0 +1,14 @@
+(** Tiny CSV writer (RFC-4180 quoting) so experiment data can be consumed
+    by external plotting tools. *)
+
+val escape : string -> string
+(** Quotes a field when it contains a comma, quote, CR or LF. *)
+
+val row : string list -> string
+(** One line, no trailing newline. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Full document with trailing newline.
+    @raise Invalid_argument if any row's arity differs from the header. *)
+
+val write_file : string -> header:string list -> rows:string list list -> unit

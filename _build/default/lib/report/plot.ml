@@ -1,0 +1,79 @@
+type series = { label : char; points : (int * float) list }
+
+let staircase points =
+  let rec expand = function
+    | [] -> []
+    | [ (x, y) ] -> [ (x, float_of_int y) ]
+    | (x1, y1) :: ((x2, _) :: _ as rest) ->
+      List.init (x2 - x1) (fun d -> (x1 + d, float_of_int y1))
+      @ expand rest
+  in
+  expand (List.sort compare points)
+
+let render ?(width = 64) ?(height = 16) ?title ?x_label ?y_label series =
+  if width < 8 || height < 4 then
+    invalid_arg "Plot.render: grid too small";
+  let all = List.concat_map (fun s -> s.points) series in
+  if all = [] then invalid_arg "Plot.render: nothing to plot";
+  let xs = List.map fst all and ys = List.map snd all in
+  let x_min = List.fold_left min max_int xs
+  and x_max = List.fold_left max min_int xs in
+  let y_min = List.fold_left min infinity ys
+  and y_max = List.fold_left max neg_infinity ys in
+  let x_span = max 1 (x_max - x_min) in
+  let y_span = if y_max > y_min then y_max -. y_min else 1. in
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          let col = (x - x_min) * (width - 1) / x_span in
+          let row =
+            height - 1
+            - int_of_float
+                ((y -. y_min) /. y_span *. float_of_int (height - 1))
+          in
+          if row >= 0 && row < height && col >= 0 && col < width then
+            grid.(row).(col) <- s.label)
+        s.points)
+    series;
+  let buf = Buffer.create ((height + 4) * (width + 16)) in
+  (match title with
+  | Some t ->
+    Buffer.add_string buf t;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  (match y_label with
+  | Some l ->
+    Buffer.add_string buf l;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let fmt_y v =
+    if Float.abs v >= 10000. then Printf.sprintf "%10.3e" v
+    else Printf.sprintf "%10.2f" v
+  in
+  for row = 0 to height - 1 do
+    let label =
+      if row = 0 then fmt_y y_max
+      else if row = height - 1 then fmt_y y_min
+      else String.make 10 ' '
+    in
+    Buffer.add_string buf label;
+    Buffer.add_string buf " |";
+    Array.iter (Buffer.add_char buf) grid.(row);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make 11 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let left = string_of_int x_min in
+  Buffer.add_string buf
+    (Printf.sprintf "%11s%s%*d\n" "" left
+       (width - String.length left)
+       x_max);
+  (match x_label with
+  | Some l ->
+    Buffer.add_string buf (Printf.sprintf "%11s%s\n" "" l)
+  | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Minimal ASCII plotting for the paper's figures: integer x-axis
+    (TAM width), numeric y-axis (cycles / bits / cost), rendered as a
+    character grid with axis labels. Good enough to eyeball staircases,
+    non-monotonic volume curves and U-shaped cost curves in a terminal or
+    a log file. *)
+
+type series = { label : char; points : (int * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** [render series] plots all series on a shared scale. Multiple series
+    landing on one cell show the later series' label.
+    @raise Invalid_argument if all series are empty or [width]/[height]
+    are smaller than 8/4. *)
+
+val staircase : (int * int) list -> (int * float) list
+(** Expands [(x, y)] steps so horizontal plateaus are visible: between two
+    consecutive points, the earlier y is held. *)

@@ -1,0 +1,82 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (** reverse order *)
+}
+
+let create ?title ~columns () =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  {
+    title;
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    rows = [];
+  }
+
+let arity t = List.length t.headers
+
+let add_row t cells =
+  if List.length cells <> arity t then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns"
+         (List.length cells) (arity t));
+  t.rows <- Cells cells :: t.rows
+
+let add_int_row t label ints =
+  add_row t (label :: List.map string_of_int ints)
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let row_count t =
+  List.length
+    (List.filter (function Cells _ -> true | Separator -> false) t.rows)
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+        List.iteri
+          (fun k cell -> widths.(k) <- max widths.(k) (String.length cell))
+          cells)
+    rows;
+  let pad align width s =
+    let fill = String.make (max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let render_cells cells =
+    List.mapi
+      (fun k cell -> pad (List.nth t.aligns k) widths.(k) cell)
+      cells
+    |> String.concat "  "
+  in
+  let rule =
+    Array.to_list widths
+    |> List.map (fun w -> String.make w '-')
+    |> String.concat "--"
+  in
+  let buf = Buffer.create 1024 in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (render_cells t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      (match row with
+      | Separator -> Buffer.add_string buf rule
+      | Cells cells -> Buffer.add_string buf (render_cells cells));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

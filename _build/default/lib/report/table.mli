@@ -1,0 +1,23 @@
+(** Column-aligned ASCII tables for experiment output. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** @raise Invalid_argument if [columns] is empty. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the header. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** Convenience: a leading label cell then integer cells.
+    @raise Invalid_argument on arity mismatch. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+(** Multi-line table; every call reflects rows added so far. *)
+
+val row_count : t -> int

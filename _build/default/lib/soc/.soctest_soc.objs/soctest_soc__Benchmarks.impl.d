@@ -1,0 +1,1 @@
+lib/soc/benchmarks.ml: Core_def List Soc_def Synth

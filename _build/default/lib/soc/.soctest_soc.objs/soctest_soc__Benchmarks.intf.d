@@ -1,0 +1,1 @@
+lib/soc/benchmarks.mli: Soc_def

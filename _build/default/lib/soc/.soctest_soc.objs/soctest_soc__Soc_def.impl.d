@@ -1,0 +1,1 @@
+lib/soc/soc_def.ml: Array Core_def Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/soc/soc_def.mli: Core_def Format

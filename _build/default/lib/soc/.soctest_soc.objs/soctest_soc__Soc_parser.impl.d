@@ -1,0 +1,1 @@
+lib/soc/soc_parser.ml: Core_def Format List Printf Soc_def String

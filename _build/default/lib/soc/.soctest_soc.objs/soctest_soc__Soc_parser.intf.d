@@ -1,0 +1,1 @@
+lib/soc/soc_parser.mli: Format Soc_def

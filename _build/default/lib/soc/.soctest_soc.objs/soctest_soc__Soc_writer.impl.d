@@ -1,0 +1,1 @@
+lib/soc/soc_writer.ml: Array Buffer Core_def List Printf Soc_def String

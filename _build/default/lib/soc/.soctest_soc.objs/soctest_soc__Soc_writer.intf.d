@@ -1,0 +1,1 @@
+lib/soc/soc_writer.mli: Soc_def

@@ -1,0 +1,1 @@
+lib/soc/synth.ml: Array Core_def Float Int64 List Printf Soc_def

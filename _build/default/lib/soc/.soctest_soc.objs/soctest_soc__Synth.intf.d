@@ -1,0 +1,1 @@
+lib/soc/synth.mli: Soc_def

@@ -1,0 +1,132 @@
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      cache := Some v;
+      v
+
+let repeat n x = List.init n (fun _ -> x)
+
+(* d695: reconstruction from the published ITC'02 / JETTA'02 parameters of
+   the ten ISCAS cores. *)
+let d695 =
+  memo (fun () ->
+      let mk = Core_def.make in
+      let cores =
+        [
+          mk ~id:1 ~name:"c6288" ~inputs:32 ~outputs:32 ~bidirs:0
+            ~scan_chains:[] ~patterns:12 ();
+          mk ~id:2 ~name:"c7552" ~inputs:207 ~outputs:108 ~bidirs:0
+            ~scan_chains:[] ~patterns:73 ();
+          mk ~id:3 ~name:"s838" ~inputs:35 ~outputs:2 ~bidirs:0
+            ~scan_chains:[ 32 ] ~patterns:75 ();
+          mk ~id:4 ~name:"s9234" ~inputs:36 ~outputs:39 ~bidirs:0
+            ~scan_chains:[ 54; 53; 52; 52 ] ~patterns:105 ();
+          mk ~id:5 ~name:"s38584" ~inputs:38 ~outputs:304 ~bidirs:0
+            ~scan_chains:(repeat 14 46 @ repeat 18 45)
+            ~patterns:110 ();
+          mk ~id:6 ~name:"s13207" ~inputs:62 ~outputs:152 ~bidirs:0
+            ~scan_chains:(repeat 13 41 @ repeat 3 40)
+            ~patterns:234 ();
+          mk ~id:7 ~name:"s15850" ~inputs:77 ~outputs:150 ~bidirs:0
+            ~scan_chains:(repeat 6 34 @ repeat 10 33)
+            ~patterns:95 ();
+          mk ~id:8 ~name:"s5378" ~inputs:35 ~outputs:49 ~bidirs:0
+            ~scan_chains:[ 46; 45; 44; 44 ] ~patterns:97 ();
+          mk ~id:9 ~name:"s35932" ~inputs:35 ~outputs:320 ~bidirs:0
+            ~scan_chains:(repeat 32 54) ~patterns:12 ();
+          mk ~id:10 ~name:"s38417" ~inputs:28 ~outputs:106 ~bidirs:0
+            ~scan_chains:(repeat 4 52 @ repeat 28 51)
+            ~patterns:68 ();
+        ]
+      in
+      Soc_def.make ~name:"d695" ~cores ())
+
+(* Calibration targets: Table 1 lower bounds at W=16 are driven by the
+   TAM-bandwidth term LB = ceil(total_bits / W), hence
+   total_bits ~ 16 * LB(16). *)
+let p22810 =
+  memo (fun () ->
+      Synth.generate
+        {
+          Synth.name = "p22810";
+          seed = 0x22810L;
+          core_count = 28;
+          target_data_bits = 16 * 421473;
+          big_core_fraction = 0.25;
+          combinational_fraction = 0.15;
+          hierarchy_pairs = 2;
+          (* the ITC'02 benchmark data carries no BIST-sharing information,
+             and binding BIST conflicts would distort the Table-1 regime *)
+          bist_engines = 0;
+        })
+
+let p34392 =
+  memo (fun () ->
+      let base =
+        Synth.generate
+          {
+            Synth.name = "p34392";
+            seed = 0x34392L;
+            core_count = 19;
+            target_data_bits = (16 * 936882) - (2093 * 265);
+            big_core_fraction = 0.3;
+            combinational_fraction = 0.1;
+            hierarchy_pairs = 2;
+            bist_engines = 0;
+          }
+      in
+      (* Core-18 analogue: 10 chains x 2048 FF, 265 patterns gives a
+         minimum testing time of ~544.5 kcycles at Pareto width 10. *)
+      Synth.with_bottleneck base ~chains:10 ~chain_length:2048 ~patterns:265)
+
+let p93791 =
+  memo (fun () ->
+      Synth.generate
+        {
+          Synth.name = "p93791";
+          seed = 0x93791L;
+          core_count = 32;
+          target_data_bits = 16 * 1749388;
+          big_core_fraction = 0.35;
+          combinational_fraction = 0.1;
+          hierarchy_pairs = 3;
+          bist_engines = 0;
+        })
+
+let mini4 =
+  memo (fun () ->
+      let mk = Core_def.make in
+      let cores =
+        [
+          mk ~id:1 ~name:"alpha" ~inputs:8 ~outputs:8 ~bidirs:0
+            ~scan_chains:[ 10; 10 ] ~patterns:20 ();
+          mk ~id:2 ~name:"beta" ~inputs:4 ~outputs:6 ~bidirs:0
+            ~scan_chains:[ 16 ] ~patterns:10 ~bist_engine:1 ();
+          mk ~id:3 ~name:"gamma" ~inputs:12 ~outputs:4 ~bidirs:2
+            ~scan_chains:[] ~patterns:25 ~bist_engine:1 ();
+          mk ~id:4 ~name:"delta" ~inputs:6 ~outputs:6 ~bidirs:0
+            ~scan_chains:[ 8; 8; 8 ] ~patterns:15 ();
+        ]
+      in
+      Soc_def.make ~name:"mini4" ~cores ~hierarchy:[ (1, 4) ] ())
+
+let all () =
+  [
+    ("d695", d695 ());
+    ("p22810", p22810 ());
+    ("p34392", p34392 ());
+    ("p93791", p93791 ());
+  ]
+
+let by_name name =
+  match name with
+  | "d695" -> Some (d695 ())
+  | "p22810" -> Some (p22810 ())
+  | "p34392" -> Some (p34392 ())
+  | "p93791" -> Some (p93791 ())
+  | "mini4" -> Some (mini4 ())
+  | _ -> None

@@ -1,0 +1,34 @@
+(** The four experiment SOCs of the paper plus a small SOC for tests.
+
+    [d695] is a reconstruction of the academic ITC'02 benchmark from its
+    published ISCAS-85/89 core parameters. The three Philips industrial
+    SOCs are proprietary; [p22810], [p34392] and [p93791] are deterministic
+    synthetic stand-ins calibrated to the aggregate test data volume implied
+    by the paper's Table 1 lower bounds (see DESIGN.md, Substitutions).
+    All functions are pure and memoized; repeated calls return structurally
+    equal SOCs. *)
+
+val d695 : unit -> Soc_def.t
+(** 10 cores: c6288, c7552, s838, s9234, s38584, s13207, s15850, s5378,
+    s35932, s38417. *)
+
+val p22810 : unit -> Soc_def.t
+(** 28 cores, ~6.74 Mbit total test data (16 x 421473 from Table 1). *)
+
+val p34392 : unit -> Soc_def.t
+(** 19 cores, ~15.0 Mbit total test data, including a bottleneck core
+    (10 chains x 2048 FF, 265 patterns) whose minimum testing time
+    ~544.5 kcycles dominates the SOC lower bound for W >= 24. *)
+
+val p93791 : unit -> Soc_def.t
+(** 32 cores, ~28.0 Mbit total test data (16 x 1749388 from Table 1). *)
+
+val mini4 : unit -> Soc_def.t
+(** A 4-core SOC small enough to check schedules by hand in unit tests;
+    includes one hierarchy pair and one shared BIST engine. *)
+
+val all : unit -> (string * Soc_def.t) list
+(** The four paper SOCs, in paper order. *)
+
+val by_name : string -> Soc_def.t option
+(** Look up any of the five SOCs (including ["mini4"]) by name. *)

@@ -1,0 +1,87 @@
+type t = {
+  name : string;
+  cores : Core_def.t array;
+  hierarchy : (int * int) list;
+}
+
+let make ~name ~cores ?(hierarchy = []) () =
+  if cores = [] then invalid_arg "Soc_def.make: SOC has no cores";
+  let cores = Array.of_list cores in
+  let n = Array.length cores in
+  Array.iteri
+    (fun k (c : Core_def.t) ->
+      if c.Core_def.id <> k + 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Soc_def.make: core at position %d has id %d (expected %d)" k
+             c.Core_def.id (k + 1)))
+    cores;
+  List.iter
+    (fun (p, c) ->
+      if p < 1 || p > n || c < 1 || c > n then
+        invalid_arg "Soc_def.make: hierarchy refers to unknown core id";
+      if p = c then invalid_arg "Soc_def.make: hierarchy self-loop")
+    hierarchy;
+  { name; cores; hierarchy }
+
+let core_count soc = Array.length soc.cores
+
+let core soc id =
+  if id < 1 || id > Array.length soc.cores then
+    invalid_arg (Printf.sprintf "Soc_def.core: id %d out of range" id);
+  soc.cores.(id - 1)
+
+let total_test_data_bits soc =
+  Array.fold_left (fun acc c -> acc + Core_def.test_data_bits c) 0 soc.cores
+
+let max_power soc =
+  Array.fold_left (fun acc c -> max acc c.Core_def.power) 0 soc.cores
+
+let children soc id =
+  List.filter_map
+    (fun (p, c) -> if p = id then Some c else None)
+    soc.hierarchy
+
+let bist_groups soc =
+  let tbl = Hashtbl.create 7 in
+  Array.iter
+    (fun (c : Core_def.t) ->
+      match c.Core_def.bist_engine with
+      | None -> ()
+      | Some e ->
+        let prev = try Hashtbl.find tbl e with Not_found -> [] in
+        Hashtbl.replace tbl e (c.Core_def.id :: prev))
+    soc.cores;
+  Hashtbl.fold
+    (fun e ids acc ->
+      match ids with
+      | [] | [ _ ] -> acc
+      | _ -> (e, List.sort compare ids) :: acc)
+    tbl []
+  |> List.sort compare
+
+let equal a b =
+  String.equal a.name b.name
+  && Array.length a.cores = Array.length b.cores
+  && Array.for_all2 Core_def.equal a.cores b.cores
+  && a.hierarchy = b.hierarchy
+
+let pp ppf soc =
+  Format.fprintf ppf "@[<v>SOC %s (%d cores)" soc.name (core_count soc);
+  Array.iter (fun c -> Format.fprintf ppf "@,%a" Core_def.pp c) soc.cores;
+  List.iter
+    (fun (p, c) -> Format.fprintf ppf "@,hierarchy: %d contains %d" p c)
+    soc.hierarchy;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf soc =
+  Format.fprintf ppf "@[<v>%-10s %6s %6s %6s %7s %9s %10s" "core" "in"
+    "out" "chains" "FFs" "patterns" "data bits";
+  Array.iter
+    (fun c ->
+      Format.fprintf ppf "@,%-10s %6d %6d %6d %7d %9d %10d"
+        c.Core_def.name c.Core_def.inputs c.Core_def.outputs
+        (Core_def.scan_chain_count c) (Core_def.flip_flops c)
+        c.Core_def.patterns (Core_def.test_data_bits c))
+    soc.cores;
+  Format.fprintf ppf "@]"

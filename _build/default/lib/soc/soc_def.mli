@@ -1,0 +1,43 @@
+(** A system-on-chip: a named collection of embedded cores plus the
+    structural information relevant to test planning (design hierarchy and
+    shared BIST engines). *)
+
+type t = private {
+  name : string;
+  cores : Core_def.t array;  (** indexed [0 .. n-1]; [cores.(k).id = k+1] *)
+  hierarchy : (int * int) list;
+      (** [(parent, child)] core-id pairs: the child core is embedded
+          inside the parent. A parent in Intest mode needs its children's
+          wrappers in Extest mode, so parent and child tests must not run
+          concurrently. *)
+}
+
+val make : name:string -> cores:Core_def.t list -> ?hierarchy:(int * int) list -> unit -> t
+(** Builds an SOC, checking that core ids are exactly [1..n] in order and
+    hierarchy refers to valid, distinct ids with no self-loop.
+    @raise Invalid_argument on violation. *)
+
+val core_count : t -> int
+
+val core : t -> int -> Core_def.t
+(** [core soc id] fetches a core by its 1-based id.
+    @raise Invalid_argument if out of range. *)
+
+val total_test_data_bits : t -> int
+(** Sum of per-core test data volumes. *)
+
+val max_power : t -> int
+(** Largest per-core test power value. *)
+
+val children : t -> int -> int list
+(** Direct children of a core in the design hierarchy. *)
+
+val bist_groups : t -> (int * int list) list
+(** Cores grouped by shared BIST engine: [(engine, core ids)], only for
+    engines used by at least two cores. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line-per-core human-readable summary table. *)

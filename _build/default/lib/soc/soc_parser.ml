@@ -1,0 +1,128 @@
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let pp_error ppf e =
+  Format.fprintf ppf "parse error at line %d: %s" e.line e.message
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let tokens_of_line s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let int_of_token line what t =
+  match int_of_string_opt t with
+  | Some n -> n
+  | None -> fail line "%s: expected integer, got %S" what t
+
+(* A [key=value] token; returns [None] when the token has no '='. *)
+let key_value t =
+  match String.index_opt t '=' with
+  | None -> None
+  | Some i ->
+    Some
+      ( String.sub t 0 i,
+        String.sub t (i + 1) (String.length t - i - 1) )
+
+let scan_lengths line value =
+  if value = "-" then []
+  else
+    String.split_on_char ',' value
+    |> List.map (fun t -> int_of_token line "scan chain length" t)
+
+let parse_core_line line rest =
+  match rest with
+  | id :: name :: kvs ->
+    let id = int_of_token line "core id" id in
+    let inputs = ref None
+    and outputs = ref None
+    and bidirs = ref None
+    and patterns = ref None
+    and scan = ref None
+    and power = ref None
+    and bist = ref None in
+    List.iter
+      (fun tok ->
+        match key_value tok with
+        | None -> fail line "expected key=value, got %S" tok
+        | Some (key, value) -> (
+          let intv () = int_of_token line key value in
+          match key with
+          | "inputs" -> inputs := Some (intv ())
+          | "outputs" -> outputs := Some (intv ())
+          | "bidirs" -> bidirs := Some (intv ())
+          | "patterns" -> patterns := Some (intv ())
+          | "scan" -> scan := Some (scan_lengths line value)
+          | "power" -> power := Some (intv ())
+          | "bist" -> bist := Some (intv ())
+          | _ -> fail line "unknown core attribute %S" key))
+      kvs;
+    let req what r =
+      match !r with
+      | Some v -> v
+      | None -> fail line "core %d: missing %s=" id what
+    in
+    (try
+       Core_def.make ~id ~name ~inputs:(req "inputs" inputs)
+         ~outputs:(req "outputs" outputs) ~bidirs:(req "bidirs" bidirs)
+         ~scan_chains:(req "scan" scan) ~patterns:(req "patterns" patterns)
+         ?power:!power ?bist_engine:!bist ()
+     with Invalid_argument msg -> fail line "%s" msg)
+  | _ -> fail line "Core line needs at least an id and a name"
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let soc_name = ref None in
+  let cores = ref [] in
+  let hierarchy = ref [] in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      match tokens_of_line (strip_comment raw) with
+      | [] -> ()
+      | "Soc" :: rest -> (
+        match (rest, !soc_name) with
+        | [ name ], None -> soc_name := Some name
+        | [ _ ], Some _ -> fail line "duplicate Soc line"
+        | _ -> fail line "Soc line needs exactly one name")
+      | "Core" :: rest -> cores := parse_core_line line rest :: !cores
+      | [ "Hierarchy"; p; c ] ->
+        let p = int_of_token line "parent id" p
+        and c = int_of_token line "child id" c in
+        hierarchy := (p, c) :: !hierarchy
+      | "Hierarchy" :: _ ->
+        fail line "Hierarchy line needs exactly two core ids"
+      | keyword :: _ -> fail line "unknown keyword %S" keyword)
+    lines;
+  let name =
+    match !soc_name with
+    | Some n -> n
+    | None -> raise (Parse_error { line = 1; message = "missing Soc line" })
+  in
+  try
+    Soc_def.make ~name ~cores:(List.rev !cores)
+      ~hierarchy:(List.rev !hierarchy) ()
+  with Invalid_argument msg -> raise (Parse_error { line = 1; message = msg })
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text =
+    try really_input_string ic len
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  parse_string text
+
+let parse_result text =
+  try Ok (parse_string text) with Parse_error e -> Error e

@@ -1,0 +1,31 @@
+(** Parser for the textual SOC test-parameter format used by this library.
+
+    The format is a line-oriented rendition of the ITC'02 SOC test
+    benchmark data. Grammar (one item per line, [#] starts a comment,
+    blank lines ignored):
+
+    {v
+    Soc <name>
+    Core <id> <name> inputs=<n> outputs=<n> bidirs=<n> patterns=<n> \
+      scan=<l1,l2,...|-> [power=<n>] [bist=<n>]
+    Hierarchy <parent-id> <child-id>
+    v}
+
+    [scan=-] denotes a core without internal scan chains. Core lines must
+    appear in id order starting from 1. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> Soc_def.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Soc_def.t
+(** @raise Parse_error on malformed input.
+    @raise Sys_error if the file cannot be read. *)
+
+val parse_result : string -> (Soc_def.t, error) result
+(** Like {!parse_string} but returning a [result]. *)

@@ -1,0 +1,39 @@
+let core_line (c : Core_def.t) =
+  let scan =
+    match c.Core_def.scan_chains with
+    | [] -> "-"
+    | ls -> String.concat "," (List.map string_of_int ls)
+  in
+  let base =
+    Printf.sprintf
+      "Core %d %s inputs=%d outputs=%d bidirs=%d patterns=%d scan=%s power=%d"
+      c.Core_def.id c.Core_def.name c.Core_def.inputs c.Core_def.outputs
+      c.Core_def.bidirs c.Core_def.patterns scan c.Core_def.power
+  in
+  match c.Core_def.bist_engine with
+  | None -> base
+  | Some e -> Printf.sprintf "%s bist=%d" base e
+
+let to_string (soc : Soc_def.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# SOC test parameters, %d cores\nSoc %s\n"
+       (Soc_def.core_count soc) soc.Soc_def.name);
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf (core_line c);
+      Buffer.add_char buf '\n')
+    soc.Soc_def.cores;
+  List.iter
+    (fun (p, c) ->
+      Buffer.add_string buf (Printf.sprintf "Hierarchy %d %d\n" p c))
+    soc.Soc_def.hierarchy;
+  Buffer.contents buf
+
+let to_file path soc =
+  let oc = open_out_bin path in
+  (try output_string oc (to_string soc)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

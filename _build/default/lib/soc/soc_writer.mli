@@ -1,0 +1,5 @@
+(** Writer for the SOC test-parameter format read by {!Soc_parser}.
+    [parse_string (to_string soc)] round-trips to an SOC equal to [soc]. *)
+
+val to_string : Soc_def.t -> string
+val to_file : string -> Soc_def.t -> unit

@@ -1,0 +1,160 @@
+type rng = { mutable state : int64 }
+
+let rng_of_seed seed = { state = seed }
+
+(* splitmix64: fast, high-quality, trivially reproducible. *)
+let next_u64 rng =
+  let open Int64 in
+  rng.state <- add rng.state 0x9E3779B97F4A7C15L;
+  let z = rng.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next_int rng bound =
+  if bound <= 0 then invalid_arg "Synth.next_int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_u64 rng) 2) in
+  v mod bound
+
+type profile = {
+  name : string;
+  seed : int64;
+  core_count : int;
+  target_data_bits : int;
+  big_core_fraction : float;
+  combinational_fraction : float;
+  hierarchy_pairs : int;
+  bist_engines : int;
+}
+
+type proto = {
+  p_name : string;
+  p_inputs : int;
+  p_outputs : int;
+  p_bidirs : int;
+  p_chains : int list;
+  p_patterns : int;
+  p_bist : int option;
+}
+
+let chains rng ~count ~len_lo ~len_hi =
+  List.init count (fun _ -> len_lo + next_int rng (max 1 (len_hi - len_lo)))
+
+let proto_core rng profile k =
+  let r = float_of_int (next_int rng 1000) /. 1000.0 in
+  let p_name = Printf.sprintf "%s_c%02d" profile.name (k + 1) in
+  if r < profile.combinational_fraction then
+    (* combinational / IO-dominated core, like c6288 or c7552 in d695 *)
+    {
+      p_name;
+      p_inputs = 20 + next_int rng 220;
+      p_outputs = 20 + next_int rng 120;
+      p_bidirs = 0;
+      p_chains = [];
+      p_patterns = 20 + next_int rng 200;
+      p_bist = None;
+    }
+  else if r < profile.combinational_fraction +. profile.big_core_fraction
+  then
+    (* large scan core: tens of chains, big FF count, many patterns *)
+    let chain_count = 8 + next_int rng 28 in
+    {
+      p_name;
+      p_inputs = 30 + next_int rng 120;
+      p_outputs = 30 + next_int rng 300;
+      p_bidirs = next_int rng 40;
+      p_chains = chains rng ~count:chain_count ~len_lo:30 ~len_hi:120;
+      p_patterns = 80 + next_int rng 400;
+      p_bist = None;
+    }
+  else
+    (* mid/small scan core *)
+    let chain_count = 1 + next_int rng 8 in
+    {
+      p_name;
+      p_inputs = 10 + next_int rng 70;
+      p_outputs = 5 + next_int rng 80;
+      p_bidirs = next_int rng 10;
+      p_chains = chains rng ~count:chain_count ~len_lo:20 ~len_hi:80;
+      p_patterns = 30 + next_int rng 200;
+      p_bist = None;
+    }
+
+let proto_bits p =
+  let ff = List.fold_left ( + ) 0 p.p_chains in
+  (ff + p.p_inputs + p.p_outputs + (2 * p.p_bidirs)) * p.p_patterns
+
+let scale_patterns protos target =
+  let actual = List.fold_left (fun a p -> a + proto_bits p) 0 protos in
+  if actual = 0 then protos
+  else
+    let ratio = float_of_int target /. float_of_int actual in
+    List.map
+      (fun p ->
+        let patterns =
+          max 1
+            (int_of_float (Float.round (float_of_int p.p_patterns *. ratio)))
+        in
+        { p with p_patterns = patterns })
+      protos
+
+let assign_bist rng engines protos =
+  if engines <= 0 then protos
+  else
+    List.map
+      (fun p ->
+        (* roughly a third of cores share a BIST engine *)
+        if next_int rng 3 = 0 then
+          { p with p_bist = Some (1 + next_int rng engines) }
+        else p)
+      protos
+
+let finalize profile protos =
+  let cores =
+    List.mapi
+      (fun k p ->
+        Core_def.make ~id:(k + 1) ~name:p.p_name ~inputs:p.p_inputs
+          ~outputs:p.p_outputs ~bidirs:p.p_bidirs ~scan_chains:p.p_chains
+          ~patterns:p.p_patterns ?bist_engine:p.p_bist ())
+      protos
+  in
+  let rng = rng_of_seed (Int64.add profile.seed 0x5EEDL) in
+  let n = List.length cores in
+  let rec pick_pairs acc remaining =
+    if remaining = 0 || n < 2 then acc
+    else
+      let p = 1 + next_int rng n in
+      let c = 1 + next_int rng n in
+      if p = c || List.mem (p, c) acc || List.mem (c, p) acc then
+        pick_pairs acc remaining
+      else pick_pairs ((p, c) :: acc) (remaining - 1)
+  in
+  let hierarchy = List.rev (pick_pairs [] profile.hierarchy_pairs) in
+  Soc_def.make ~name:profile.name ~cores ~hierarchy ()
+
+let generate profile =
+  if profile.core_count < 1 then
+    invalid_arg "Synth.generate: core_count must be >= 1";
+  let rng = rng_of_seed profile.seed in
+  let protos =
+    List.init profile.core_count (fun k -> proto_core rng profile k)
+  in
+  let protos = scale_patterns protos profile.target_data_bits in
+  let protos = assign_bist rng profile.bist_engines protos in
+  finalize profile protos
+
+let with_bottleneck soc ~chains ~chain_length ~patterns =
+  let n = Soc_def.core_count soc in
+  let cores =
+    Array.to_list soc.Soc_def.cores
+    |> List.mapi (fun k c ->
+           if k = n - 1 then
+             Core_def.make ~id:n
+               ~name:(c.Core_def.name ^ "_bottleneck")
+               ~inputs:40 ~outputs:40 ~bidirs:0
+               ~scan_chains:(List.init chains (fun _ -> chain_length))
+               ~patterns ()
+           else c)
+  in
+  Soc_def.make ~name:soc.Soc_def.name ~cores
+    ~hierarchy:soc.Soc_def.hierarchy ()

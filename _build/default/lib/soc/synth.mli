@@ -1,0 +1,43 @@
+(** Deterministic synthetic SOC generation.
+
+    Industrial SOC test parameters (the Philips p-series of the ITC'02
+    initiative) are proprietary; this module generates stand-ins with a
+    controlled aggregate test data volume and core-size distribution so the
+    scheduling experiments exercise the same regimes. Generation is fully
+    deterministic given the seed (splitmix64 PRNG, no global state). *)
+
+type rng
+(** Deterministic pseudo-random stream. *)
+
+val rng_of_seed : int64 -> rng
+val next_int : rng -> int -> int
+(** [next_int rng bound] returns a value in [0 .. bound-1], advancing the
+    stream. @raise Invalid_argument if [bound <= 0]. *)
+
+type profile = {
+  name : string;
+  seed : int64;
+  core_count : int;
+  target_data_bits : int;
+      (** calibration target for the sum of per-core test data volumes *)
+  big_core_fraction : float;
+      (** fraction of cores drawn from the "large" regime (many scan
+          chains, hundreds of patterns) *)
+  combinational_fraction : float;
+      (** fraction of cores with no internal scan *)
+  hierarchy_pairs : int;  (** number of parent/child pairs to create *)
+  bist_engines : int;  (** shared BIST engines to scatter over the cores *)
+}
+
+val generate : profile -> Soc_def.t
+(** Generates an SOC matching [profile]. The total test data volume is
+    calibrated to within ~2% of [target_data_bits] by scaling pattern
+    counts. *)
+
+val with_bottleneck :
+  Soc_def.t -> chains:int -> chain_length:int -> patterns:int -> Soc_def.t
+(** [with_bottleneck soc ~chains ~chain_length ~patterns] replaces the last
+    core of [soc] with a dominant "bottleneck" core (the p34392 Core-18
+    situation discussed in the paper, Sec. 4): few long scan chains, so its
+    highest Pareto-optimal width is small and its minimum testing time
+    dominates the SOC lower bound at wide TAMs. *)

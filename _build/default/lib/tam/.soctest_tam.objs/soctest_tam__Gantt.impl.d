@@ -1,0 +1,1 @@
+lib/tam/gantt.ml: Array Buffer Char List Option Printf Schedule String Wire_alloc

@@ -1,0 +1,1 @@
+lib/tam/gantt_svg.ml: Buffer List Printf Schedule String Wire_alloc

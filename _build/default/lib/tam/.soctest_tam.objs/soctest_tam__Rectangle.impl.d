@@ -1,0 +1,1 @@
+lib/tam/rectangle.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/tam/rectangle.mli: Format

@@ -1,0 +1,1 @@
+lib/tam/sched_stats.ml: Format Hashtbl List Option Schedule

@@ -1,0 +1,1 @@
+lib/tam/sched_stats.mli: Format Schedule

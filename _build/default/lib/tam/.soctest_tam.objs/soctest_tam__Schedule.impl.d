@@ -1,0 +1,1 @@
+lib/tam/schedule.ml: Format Hashtbl List Printf

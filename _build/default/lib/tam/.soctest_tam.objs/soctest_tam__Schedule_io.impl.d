@@ -1,0 +1,1 @@
+lib/tam/schedule_io.ml: Buffer Format List Printf Schedule String

@@ -1,0 +1,1 @@
+lib/tam/schedule_io.mli: Format Schedule

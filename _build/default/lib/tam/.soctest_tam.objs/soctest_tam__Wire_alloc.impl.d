@@ -1,0 +1,1 @@
+lib/tam/wire_alloc.ml: Fun Int List Schedule Set

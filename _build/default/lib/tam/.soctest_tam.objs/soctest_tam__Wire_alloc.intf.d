@@ -1,0 +1,1 @@
+lib/tam/wire_alloc.mli: Schedule

@@ -1,0 +1,60 @@
+let symbol core =
+  if core < 1 then '?'
+  else if core <= 9 then Char.chr (Char.code '0' + core)
+  else if core <= 35 then Char.chr (Char.code 'a' + core - 10)
+  else '*'
+
+let render ?(columns = 72) (sched : Schedule.t) =
+  if columns < 1 then invalid_arg "Gantt.render: columns must be >= 1";
+  let span = Schedule.makespan sched in
+  if span = 0 then "(empty schedule)\n"
+  else begin
+    let w = sched.Schedule.tam_width in
+    let grid = Array.make_matrix w columns '.' in
+    let allocations = Wire_alloc.allocate sched in
+    List.iter
+      (fun { Wire_alloc.slice; wires } ->
+        (* paint buckets whose midpoint falls inside the slice *)
+        for col = 0 to columns - 1 do
+          let mid = ((2 * col) + 1) * span / (2 * columns) in
+          if slice.Schedule.start <= mid && mid < slice.Schedule.stop then
+            List.iter
+              (fun wire ->
+                grid.(wire).(col) <- symbol slice.Schedule.core)
+              wires
+        done)
+      allocations;
+    let buf = Buffer.create ((w + 2) * (columns + 10)) in
+    Buffer.add_string buf
+      (Printf.sprintf "TAM schedule: W=%d, makespan=%d cycles, util=%.1f%%\n"
+         w span
+         (100. *. Schedule.utilization sched));
+    for wire = w - 1 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "w%02d |" wire);
+      Array.iter (Buffer.add_char buf) grid.(wire);
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf "    +";
+    Buffer.add_string buf (String.make columns '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "     t=0%*s\n" (columns - 4)
+         (Printf.sprintf "t=%d" span));
+    Buffer.contents buf
+  end
+
+let legend sched name_of_core =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun core ->
+      let start = Option.value ~default:0 (Schedule.core_start sched core) in
+      let stop = Option.value ~default:0 (Schedule.core_finish sched core) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %c = %-12s  [%d, %d)%s\n" (symbol core)
+           (name_of_core core) start stop
+           (match Schedule.preemptions sched core with
+           | 0 -> ""
+           | n -> Printf.sprintf "  (%d preemption%s)" n
+                    (if n = 1 then "" else "s"))))
+    (Schedule.cores sched);
+  Buffer.contents buf

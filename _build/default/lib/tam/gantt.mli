@@ -1,0 +1,18 @@
+(** ASCII Gantt rendering of a test schedule (paper Fig. 2).
+
+    Rows are TAM wires (top wire first); columns are time buckets. Each
+    cell shows the core occupying that wire during that bucket (the core
+    covering the majority of the bucket), ['.'] when idle. Core ids are
+    rendered base-36 (1-9, then a-z) so SOCs with up to 35 cores stay one
+    character wide. *)
+
+val render : ?columns:int -> Schedule.t -> string
+(** [render ?columns sched] produces a multi-line chart scaled to
+    [columns] time buckets (default 72).
+    @raise Invalid_argument if [columns < 1]. *)
+
+val legend : Schedule.t -> (int -> string) -> string
+(** [legend sched name_of_core] lists [symbol = name (span)] lines. *)
+
+val symbol : int -> char
+(** Base-36 symbol used for a core id. *)

@@ -1,0 +1,107 @@
+let color_of_core id =
+  (* golden-angle hue walk: visually distinct, deterministic *)
+  let hue = id * 137 mod 360 in
+  Printf.sprintf "hsl(%d, 65%%, 55%%)" hue
+
+let rect_count svg =
+  let rec go i acc =
+    match String.index_from_opt svg i '<' with
+    | None -> acc
+    | Some j ->
+      if j + 5 <= String.length svg && String.sub svg j 5 = "<rect" then
+        go (j + 5) (acc + 1)
+      else go (j + 1) acc
+  in
+  go 0 0
+
+(* group a slice's wires into maximal runs of consecutive indices so each
+   fork/merge piece becomes one rectangle *)
+let wire_runs wires =
+  let sorted = List.sort compare wires in
+  let rec go = function
+    | [] -> []
+    | w :: rest ->
+      let rec extend last = function
+        | x :: more when x = last + 1 -> extend x more
+        | remaining -> (last, remaining)
+      in
+      let last, remaining = extend w rest in
+      (w, last) :: go remaining
+  in
+  go sorted
+
+let render ?(width_px = 800) ?(row_px = 14) ?name_of_core
+    (sched : Schedule.t) =
+  if width_px < 100 || row_px < 4 then
+    invalid_arg "Gantt_svg.render: chart too small";
+  let makespan = max 1 (Schedule.makespan sched) in
+  let w = sched.Schedule.tam_width in
+  let margin_left = 60 and margin_top = 24 and margin_bottom = 40 in
+  let legend_height =
+    match name_of_core with Some _ -> 18 * List.length (Schedule.cores sched) | None -> 0
+  in
+  let chart_w = width_px - margin_left - 20 in
+  let chart_h = w * row_px in
+  let total_h = margin_top + chart_h + margin_bottom + legend_height in
+  let x_of t = margin_left + (t * chart_w / makespan) in
+  let y_of wire = margin_top + ((w - 1 - wire) * row_px) in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     font-family=\"sans-serif\" font-size=\"11\">\n"
+    width_px total_h;
+  (* background = the bin; idle area stays this color *)
+  out
+    "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#f2f2f2\" \
+     stroke=\"#999\"/>\n"
+    margin_left margin_top chart_w chart_h;
+  let allocations = Wire_alloc.allocate sched in
+  List.iter
+    (fun { Wire_alloc.slice; wires } ->
+      List.iter
+        (fun (lo, hi) ->
+          let x = x_of slice.Schedule.start in
+          let x' = x_of slice.Schedule.stop in
+          out
+            "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+             fill=\"%s\" stroke=\"#333\" stroke-width=\"0.5\"><title>core \
+             %d [%d,%d) w=%d</title></rect>\n"
+            x (y_of hi)
+            (max 1 (x' - x))
+            ((hi - lo + 1) * row_px)
+            (color_of_core slice.Schedule.core)
+            slice.Schedule.core slice.Schedule.start slice.Schedule.stop
+            slice.Schedule.width)
+        (wire_runs wires))
+    allocations;
+  (* axes *)
+  out
+    "<text x=\"%d\" y=\"%d\">TAM wires (W=%d)</text>\n"
+    4 (margin_top + (chart_h / 2)) w;
+  out "<text x=\"%d\" y=\"%d\">t=0</text>\n" margin_left
+    (margin_top + chart_h + 16);
+  out
+    "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">t=%d cycles</text>\n"
+    (margin_left + chart_w)
+    (margin_top + chart_h + 16)
+    makespan;
+  out
+    "<text x=\"%d\" y=\"14\">test schedule: makespan %d, utilization \
+     %.1f%%</text>\n"
+    margin_left makespan
+    (100. *. Schedule.utilization sched);
+  (match name_of_core with
+  | None -> ()
+  | Some name ->
+    List.iteri
+      (fun k core ->
+        let y = margin_top + chart_h + margin_bottom + (18 * k) in
+        out
+          "<rect x=\"%d\" y=\"%d\" width=\"12\" height=\"12\" fill=\"%s\"/>\n"
+          margin_left (y - 10) (color_of_core core);
+        out "<text x=\"%d\" y=\"%d\">%d: %s</text>\n" (margin_left + 18) y
+          core (name core))
+      (Schedule.cores sched));
+  out "</svg>\n";
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** SVG rendering of a test schedule — the publication-quality version of
+    the ASCII Gantt (paper Fig. 2). Each core's slices are drawn as
+    rectangles over (time x TAM wires), colored deterministically by core
+    id, with a time axis and a legend. *)
+
+val render :
+  ?width_px:int ->
+  ?row_px:int ->
+  ?name_of_core:(int -> string) ->
+  Schedule.t ->
+  string
+(** [render sched] produces a standalone SVG document. [width_px]
+    (default 800) is the chart width; [row_px] (default 14) the height of
+    one TAM wire row. @raise Invalid_argument for a capacity-violating
+    schedule (wires cannot be assigned) or non-positive dimensions. *)
+
+val color_of_core : int -> string
+(** Deterministic CSS color for a core id. *)
+
+val rect_count : string -> int
+(** Number of [<rect] elements in an SVG string — exposed so tests can
+    tie the drawing back to the schedule structure. *)

@@ -1,0 +1,24 @@
+type t = { core : int; width : int; time : int }
+
+let make ~core ~width ~time =
+  if core < 1 then invalid_arg "Rectangle.make: core must be >= 1";
+  if width < 1 then invalid_arg "Rectangle.make: width must be >= 1";
+  if time < 1 then invalid_arg "Rectangle.make: time must be >= 1";
+  { core; width; time }
+
+let area r = r.width * r.time
+
+let split_vertical r w1 =
+  if w1 <= 0 || w1 >= r.width then
+    invalid_arg "Rectangle.split_vertical: bad split width";
+  ({ r with width = w1 }, { r with width = r.width - w1 })
+
+let split_horizontal r t1 =
+  if t1 <= 0 || t1 >= r.time then
+    invalid_arg "Rectangle.split_horizontal: bad split time";
+  ({ r with time = t1 }, { r with time = r.time - t1 })
+
+let compare = Stdlib.compare
+
+let pp ppf r =
+  Format.fprintf ppf "rect(core=%d, w=%d, t=%d)" r.core r.width r.time

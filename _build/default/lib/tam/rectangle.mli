@@ -1,0 +1,25 @@
+(** Rectangles: the currency of the co-optimization.
+
+    A core test at TAM width [w] is a rectangle of height [w] (wires) and
+    width [time] (cycles). Packing selected rectangles into a bin of height
+    [W] and unbounded width {e is} the test schedule (paper, Sec. 3). *)
+
+type t = { core : int; width : int; time : int }
+
+val make : core:int -> width:int -> time:int -> t
+(** @raise Invalid_argument unless [width >= 1], [time >= 1], [core >= 1]. *)
+
+val area : t -> int
+
+val split_vertical : t -> int -> t * t
+(** [split_vertical r w1] splits into heights [w1] and [width - w1] (both
+    pieces keep the time span) — fork/merge of TAM wires.
+    @raise Invalid_argument unless [0 < w1 < r.width]. *)
+
+val split_horizontal : t -> int -> t * t
+(** [split_horizontal r t1] splits along the time axis (preemption) into
+    durations [t1] and [time - t1].
+    @raise Invalid_argument unless [0 < t1 < r.time]. *)
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+type core_stat = {
+  core : int;
+  width : int;
+  busy : int;
+  span : int;
+  wire_cycles : int;
+}
+
+type t = {
+  makespan : int;
+  utilization : float;
+  idle_area : int;
+  peak_width : int;
+  core_stats : core_stat list;
+  occupancy : (int * int) list;
+}
+
+let occupancy_profile (sched : Schedule.t) =
+  let deltas = Hashtbl.create 16 in
+  let bump t d =
+    Hashtbl.replace deltas t (d + Option.value ~default:0 (Hashtbl.find_opt deltas t))
+  in
+  List.iter
+    (fun (s : Schedule.slice) ->
+      bump s.Schedule.start s.Schedule.width;
+      bump s.Schedule.stop (-s.Schedule.width))
+    sched.Schedule.slices;
+  let times = Hashtbl.fold (fun t _ acc -> t :: acc) deltas [] in
+  let times = List.sort_uniq compare times in
+  let level = ref 0 in
+  List.map
+    (fun t ->
+      level := !level + Hashtbl.find deltas t;
+      (t, !level))
+    times
+
+let compute sched =
+  let core_stats =
+    List.map
+      (fun core ->
+        let slices = Schedule.slices_of_core sched core in
+        let busy =
+          List.fold_left
+            (fun a (s : Schedule.slice) -> a + (s.Schedule.stop - s.Schedule.start))
+            0 slices
+        in
+        let width = Option.value ~default:0 (Schedule.width_of_core sched core) in
+        let start = Option.value ~default:0 (Schedule.core_start sched core) in
+        let finish = Option.value ~default:0 (Schedule.core_finish sched core) in
+        { core; width; busy; span = finish - start;
+          wire_cycles = width * busy })
+      (Schedule.cores sched)
+  in
+  {
+    makespan = Schedule.makespan sched;
+    utilization = Schedule.utilization sched;
+    idle_area = Schedule.idle_area sched;
+    peak_width = Schedule.peak_width sched;
+    core_stats;
+    occupancy = occupancy_profile sched;
+  }
+
+let idle_tail t =
+  (* trailing cycles during which occupancy has dropped below the peak
+     for good: makespan minus the end of the last peak-level segment *)
+  let rec last_peak_end best = function
+    | [] -> best
+    | (_start, level) :: rest ->
+      let segment_end =
+        match rest with (next, _) :: _ -> next | [] -> t.makespan
+      in
+      let best =
+        if level >= t.peak_width then max best segment_end else best
+      in
+      last_peak_end best rest
+  in
+  max 0 (t.makespan - last_peak_end 0 t.occupancy)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>makespan %d, utilization %.1f%%, idle %d wire-cycles, peak \
+     width %d"
+    t.makespan (100. *. t.utilization) t.idle_area t.peak_width;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "@,core %2d: w=%2d busy=%7d span=%7d (%s)" c.core c.width c.busy
+        c.span
+        (if c.span > c.busy then "preempted" else "contiguous"))
+    t.core_stats;
+  Format.fprintf ppf "@]"

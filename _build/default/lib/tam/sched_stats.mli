@@ -1,0 +1,30 @@
+(** Schedule quality statistics beyond the makespan: where the idle area
+    sits, how well each core's slice uses its wires, and the
+    instantaneous TAM occupancy profile. *)
+
+type core_stat = {
+  core : int;
+  width : int;  (** assigned TAM width *)
+  busy : int;  (** cycles the core is actually running *)
+  span : int;  (** first start to last finish, incl. preemption gaps *)
+  wire_cycles : int;  (** width x busy *)
+}
+
+type t = {
+  makespan : int;
+  utilization : float;
+  idle_area : int;
+  peak_width : int;
+  core_stats : core_stat list;
+  occupancy : (int * int) list;
+      (** piecewise-constant wires-in-use profile: [(start_time, wires)]
+          breakpoints, ascending *)
+}
+
+val compute : Schedule.t -> t
+
+val idle_tail : t -> int
+(** Cycles at the end of the schedule during which occupancy is below
+    the peak — the "staircase tail" rectangle packing tries to fill. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(** SOC test schedules and their independent validation.
+
+    A schedule is a set of {e slices}: core [c] holds [width] TAM wires
+    from cycle [start] (inclusive) to [stop] (exclusive). Several slices
+    for the same core represent a preempted (horizontally split) test.
+    The validator re-checks everything from first principles so tests need
+    not trust the optimizer's internal bookkeeping. *)
+
+type slice = { core : int; width : int; start : int; stop : int }
+
+type t = private {
+  tam_width : int;
+  slices : slice list;  (** sorted by [start], then [core] *)
+}
+
+val make : tam_width:int -> slices:slice list -> t
+(** Sorts and stores. @raise Invalid_argument if [tam_width < 1] or a slice
+    is malformed ([width < 1], [start < 0], [stop <= start]). *)
+
+val empty : tam_width:int -> t
+
+val makespan : t -> int
+(** Latest [stop] over all slices; [0] for an empty schedule. *)
+
+val total_busy_area : t -> int
+(** Sum over slices of [width * (stop - start)]. *)
+
+val idle_area : t -> int
+(** [tam_width * makespan - total_busy_area]: unused wire-cycles (the
+    unfilled bin area of the packing view). *)
+
+val utilization : t -> float
+(** Busy fraction of the bin, in [0, 1]; [0.] for an empty schedule. *)
+
+val cores : t -> int list
+(** Distinct core ids appearing in the schedule, ascending. *)
+
+val slices_of_core : t -> int -> slice list
+(** Ascending by start time. *)
+
+val core_start : t -> int -> int option
+val core_finish : t -> int -> int option
+
+val preemptions : t -> int -> int
+(** Number of times the given core's test was interrupted: maximal
+    contiguous runs of its slices minus one ([0] if absent). *)
+
+val width_of_core : t -> int -> int option
+(** TAM width assigned to the core, when constant across its slices;
+    [None] if the core is absent. @raise Invalid_argument if the core's
+    slices disagree on width (not a legal schedule of this framework). *)
+
+val peak_width : t -> int
+(** Maximum number of simultaneously busy TAM wires. *)
+
+val active_at : t -> int -> slice list
+(** Slices covering cycle [t]. *)
+
+type violation =
+  | Capacity_exceeded of { time : int; used : int }
+  | Core_overlap of { core : int; time : int }
+
+val check_capacity : t -> violation list
+(** Event-sweep re-validation: at no instant may total slice width exceed
+    [tam_width], and a core must never run twice at once. Returns [[]] for
+    a valid schedule. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> t -> unit

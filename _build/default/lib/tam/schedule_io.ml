@@ -1,0 +1,83 @@
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let pp_error ppf e =
+  Format.fprintf ppf "schedule parse error at line %d: %s" e.line e.message
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let to_string (sched : Schedule.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# %d slices, makespan %d\nSchedule %d\n"
+       (List.length sched.Schedule.slices)
+       (Schedule.makespan sched) sched.Schedule.tam_width);
+  List.iter
+    (fun (s : Schedule.slice) ->
+      Buffer.add_string buf
+        (Printf.sprintf "Slice %d %d %d %d\n" s.Schedule.core
+           s.Schedule.width s.Schedule.start s.Schedule.stop))
+    sched.Schedule.slices;
+  Buffer.contents buf
+
+let of_string text =
+  let tam_width = ref None in
+  let slices = ref [] in
+  let int_of line what t =
+    match int_of_string_opt t with
+    | Some v -> v
+    | None -> fail line "%s: expected integer, got %S" what t
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let raw =
+        match String.index_opt raw '#' with
+        | Some k -> String.sub raw 0 k
+        | None -> raw
+      in
+      match
+        String.split_on_char ' ' raw |> List.filter (fun t -> t <> "")
+      with
+      | [] -> ()
+      | [ "Schedule"; w ] -> (
+        match !tam_width with
+        | Some _ -> fail line "duplicate Schedule line"
+        | None -> tam_width := Some (int_of line "tam width" w))
+      | [ "Slice"; core; width; start; stop ] ->
+        slices :=
+          {
+            Schedule.core = int_of line "core" core;
+            width = int_of line "width" width;
+            start = int_of line "start" start;
+            stop = int_of line "stop" stop;
+          }
+          :: !slices
+      | token :: _ -> fail line "unknown or malformed line starting %S" token)
+    (String.split_on_char '\n' text);
+  match !tam_width with
+  | None -> fail 1 "missing Schedule line"
+  | Some tam_width -> (
+    try Schedule.make ~tam_width ~slices:(List.rev !slices)
+    with Invalid_argument msg -> fail 1 "%s" msg)
+
+let to_file path sched =
+  let oc = open_out path in
+  (try output_string oc (to_string sched)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let of_file path =
+  let ic = open_in_bin path in
+  let text =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  of_string text

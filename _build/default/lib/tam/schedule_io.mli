@@ -1,0 +1,24 @@
+(** Textual serialization of test schedules so external tooling (or a
+    later session) can consume and re-validate them.
+
+    Format — line-oriented, [#] comments:
+
+    {v
+    Schedule <tam-width>
+    Slice <core> <width> <start> <stop>
+    v} *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val to_string : Schedule.t -> string
+val of_string : string -> Schedule.t
+(** @raise Parse_error on malformed input (including slices that the
+    {!Schedule.make} validator rejects). *)
+
+val to_file : string -> Schedule.t -> unit
+val of_file : string -> Schedule.t
+(** @raise Parse_error / [Sys_error]. *)

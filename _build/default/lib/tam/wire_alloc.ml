@@ -1,0 +1,61 @@
+type allocation = { slice : Schedule.slice; wires : int list }
+
+module Int_set = Set.Make (Int)
+
+let allocate (sched : Schedule.t) =
+  let all_wires =
+    Int_set.of_list (List.init sched.Schedule.tam_width Fun.id)
+  in
+  (* Sweep boundaries in time order; ends release wires before starts
+     claim them at identical timestamps. *)
+  let starts =
+    List.map (fun s -> (s.Schedule.start, s)) sched.Schedule.slices
+    |> List.sort compare
+  in
+  let free = ref all_wires in
+  let live = ref [] (* (stop, wires) of running slices *) in
+  let release_until time =
+    let expired, alive =
+      List.partition (fun (stop, _) -> stop <= time) !live
+    in
+    List.iter
+      (fun (_, wires) ->
+        free := List.fold_left (fun f w -> Int_set.add w f) !free wires)
+      expired;
+    live := alive
+  in
+  let take n =
+    let rec loop n acc =
+      if n = 0 then List.rev acc
+      else
+        match Int_set.min_elt_opt !free with
+        | None -> invalid_arg "Wire_alloc.allocate: capacity exceeded"
+        | Some w ->
+          free := Int_set.remove w !free;
+          loop (n - 1) (w :: acc)
+    in
+    loop n []
+  in
+  List.map
+    (fun (start, slice) ->
+      release_until start;
+      let wires = take slice.Schedule.width in
+      live := (slice.Schedule.stop, wires) :: !live;
+      { slice; wires })
+    starts
+
+let is_disjoint allocations =
+  let overlaps (a : Schedule.slice) (b : Schedule.slice) =
+    a.Schedule.start < b.Schedule.stop && b.Schedule.start < a.Schedule.stop
+  in
+  let rec check = function
+    | [] -> true
+    | a :: rest ->
+      List.for_all
+        (fun b ->
+          (not (overlaps a.slice b.slice))
+          || not (List.exists (fun w -> List.mem w b.wires) a.wires))
+        rest
+      && check rest
+  in
+  check allocations

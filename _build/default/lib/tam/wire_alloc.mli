@@ -1,0 +1,18 @@
+(** Concrete TAM wire assignment.
+
+    The scheduler only reasons about widths; this module maps each schedule
+    slice onto an explicit set of wire indices in [0 .. W-1], exploiting
+    fork/merge: the wires given to a core need not be adjacent, and a
+    preempted core may resume on different wires. Allocation is greedy
+    (lowest free wires first) and always succeeds for a capacity-valid
+    schedule. *)
+
+type allocation = { slice : Schedule.slice; wires : int list }
+
+val allocate : Schedule.t -> allocation list
+(** @raise Invalid_argument if the schedule violates capacity (run
+    {!Schedule.check_capacity} first for a diagnosis). *)
+
+val is_disjoint : allocation list -> bool
+(** Re-check: no wire is used by two overlapping slices. Exposed for
+    property tests. *)

@@ -1,0 +1,1 @@
+lib/tester/bitstream.ml: Bytes Char Format List Printf String

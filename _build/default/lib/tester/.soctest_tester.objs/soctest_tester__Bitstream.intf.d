@@ -1,0 +1,1 @@
+lib/tester/bitstream.mli: Format

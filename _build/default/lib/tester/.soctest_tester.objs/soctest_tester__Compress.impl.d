@@ -1,0 +1,1 @@
+lib/tester/compress.ml: Bitstream List

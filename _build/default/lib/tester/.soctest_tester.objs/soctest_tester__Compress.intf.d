@@ -1,0 +1,1 @@
+lib/tester/compress.mli: Bitstream

@@ -1,0 +1,1 @@
+lib/tester/multisite.mli:

@@ -1,0 +1,1 @@
+lib/tester/pattern_gen.ml: Bitstream Int64 List Soctest_soc

@@ -1,0 +1,1 @@
+lib/tester/pattern_gen.mli: Bitstream Soctest_soc

@@ -1,0 +1,1 @@
+lib/tester/power_model.ml: Array Bitstream List Pattern_gen Soctest_soc

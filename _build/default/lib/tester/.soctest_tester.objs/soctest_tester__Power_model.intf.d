@@ -1,0 +1,1 @@
+lib/tester/power_model.mli: Bitstream Soctest_soc

@@ -1,0 +1,1 @@
+lib/tester/test_program.ml: Array Bitstream Buffer Bytes Hashtbl List Pattern_gen Printf Soctest_core Soctest_soc Soctest_tam

@@ -1,0 +1,1 @@
+lib/tester/test_program.mli: Bytes Soctest_core Soctest_tam

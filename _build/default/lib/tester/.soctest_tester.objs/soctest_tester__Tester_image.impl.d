@@ -1,0 +1,1 @@
+lib/tester/tester_image.ml: Array Bitstream Compress List Pattern_gen Soctest_soc Soctest_tam

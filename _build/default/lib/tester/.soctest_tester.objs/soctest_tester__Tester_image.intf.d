@@ -1,0 +1,1 @@
+lib/tester/tester_image.mli: Compress Soctest_soc Soctest_tam

@@ -1,0 +1,82 @@
+type t = { bits : Bytes.t; length : int }
+
+let create length =
+  if length < 0 then invalid_arg "Bitstream.create: negative length";
+  { bits = Bytes.make ((length + 7) / 8) '\000'; length }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then
+    invalid_arg (Printf.sprintf "Bitstream: index %d out of [0, %d)" i t.length)
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i v =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.bits (i lsr 3) (Char.chr byte)
+
+let popcount t =
+  let count = ref 0 in
+  for i = 0 to t.length - 1 do
+    if get t i then incr count
+  done;
+  !count
+
+let of_string s =
+  let t = create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set t i true
+      | _ -> invalid_arg "Bitstream.of_string: expected only '0'/'1'")
+    s;
+  t
+
+let to_string t = String.init t.length (fun i -> if get t i then '1' else '0')
+
+let append a b =
+  let t = create (a.length + b.length) in
+  for i = 0 to a.length - 1 do
+    set t i (get a i)
+  done;
+  for i = 0 to b.length - 1 do
+    set t (a.length + i) (get b i)
+  done;
+  t
+
+let concat ts = List.fold_left append (create 0) ts
+
+let runs t =
+  if t.length = 0 then []
+  else begin
+    let out = ref [] in
+    let current = ref false (* runs start with the zero run *)
+    and run = ref 0 in
+    for i = 0 to t.length - 1 do
+      let bit = get t i in
+      if bit = !current then incr run
+      else begin
+        out := !run :: !out;
+        current := bit;
+        run := 1
+      end
+    done;
+    out := !run :: !out;
+    List.rev !out
+  end
+
+let equal a b = a.length = b.length && to_string a = to_string b
+
+let pp ppf t =
+  if t.length <= 64 then Format.pp_print_string ppf (to_string t)
+  else
+    Format.fprintf ppf "%s... (%d bits, %d ones)"
+      (String.init 64 (fun i -> if get t i then '1' else '0'))
+      t.length (popcount t)

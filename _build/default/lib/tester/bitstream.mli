@@ -1,0 +1,37 @@
+(** Bit-packed test-data vectors: the raw currency of tester memory.
+    Mutable fixed-length bit arrays with run iteration for the
+    compression codecs. *)
+
+type t
+
+val create : int -> t
+(** [create n] is [n] zero bits. @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : t -> int -> bool -> unit
+(** @raise Invalid_argument when out of bounds. *)
+
+val popcount : t -> int
+(** Number of one-bits. *)
+
+val of_string : string -> t
+(** From a ['0']/['1'] string. @raise Invalid_argument on other chars. *)
+
+val to_string : t -> string
+
+val append : t -> t -> t
+
+val concat : t list -> t
+
+val runs : t -> int list
+(** Maximal-run decomposition: lengths of alternating runs, starting with
+    the run of zeros (possibly 0-length when the stream starts with a
+    one). [runs (of_string "0001101")] = [[3; 2; 1; 1]]. Empty stream:
+    [[]]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

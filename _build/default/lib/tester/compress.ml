@@ -1,0 +1,111 @@
+let is_power_of_two b = b > 0 && b land (b - 1) = 0
+
+let log2 b =
+  let rec go acc b = if b <= 1 then acc else go (acc + 1) (b lsr 1) in
+  go 0 b
+
+let check_b b =
+  if not (is_power_of_two b) then
+    invalid_arg "Compress: group size must be a positive power of two"
+
+(* zero-run lengths, each (except possibly the last) terminated by a 1 *)
+let zero_runs stream =
+  let n = Bitstream.length stream in
+  let out = ref [] in
+  let run = ref 0 in
+  for i = 0 to n - 1 do
+    if Bitstream.get stream i then begin
+      out := (!run, true) :: !out;
+      run := 0
+    end
+    else incr run
+  done;
+  if !run > 0 then out := (!run, false) :: !out;
+  List.rev !out
+
+let code_size ~b l = (l / b) + 1 + log2 b
+
+let encoded_bits ~b stream =
+  check_b b;
+  List.fold_left (fun acc (l, _) -> acc + code_size ~b l) 0
+    (zero_runs stream)
+
+let encode ~b stream =
+  check_b b;
+  let runs = zero_runs stream in
+  let total = List.fold_left (fun acc (l, _) -> acc + code_size ~b l) 0 runs in
+  let out = Bitstream.create total in
+  let pos = ref 0 in
+  let emit bit =
+    Bitstream.set out !pos bit;
+    incr pos
+  in
+  let k = log2 b in
+  List.iter
+    (fun (l, _) ->
+      (* unary quotient: q ones then a zero *)
+      for _ = 1 to l / b do
+        emit true
+      done;
+      emit false;
+      (* remainder, most significant bit first *)
+      let r = l mod b in
+      for bit = k - 1 downto 0 do
+        emit (r land (1 lsl bit) <> 0)
+      done)
+    runs;
+  out
+
+let decode ~b ~original_length code =
+  check_b b;
+  if original_length < 0 then
+    invalid_arg "Compress.decode: negative original length";
+  let out = Bitstream.create original_length in
+  let k = log2 b in
+  let n = Bitstream.length code in
+  let pos = ref 0 in
+  let read () =
+    if !pos >= n then invalid_arg "Compress.decode: truncated code stream";
+    let bit = Bitstream.get code !pos in
+    incr pos;
+    bit
+  in
+  let written = ref 0 in
+  while !written < original_length do
+    let q = ref 0 in
+    while read () do
+      incr q
+    done;
+    let r = ref 0 in
+    for _ = 1 to k do
+      r := (!r lsl 1) lor if read () then 1 else 0
+    done;
+    let l = (!q * b) + !r in
+    if !written + l > original_length then
+      invalid_arg "Compress.decode: run overflows original length";
+    (* l zeros are already in place; skip over them *)
+    written := !written + l;
+    (* the terminating one, unless this was the trailing zero run *)
+    if !written < original_length then begin
+      Bitstream.set out !written true;
+      incr written
+    end
+  done;
+  out
+
+type choice = { b : int; bits : int; ratio : float }
+
+let best ?(bs = [ 2; 4; 8; 16; 32; 64; 128; 256 ]) stream =
+  if bs = [] then invalid_arg "Compress.best: no candidate group sizes";
+  let original = Bitstream.length stream in
+  if original = 0 then invalid_arg "Compress.best: empty stream";
+  let candidates =
+    List.map
+      (fun b ->
+        let bits = encoded_bits ~b stream in
+        { b; bits; ratio = float_of_int original /. float_of_int bits })
+      bs
+  in
+  List.fold_left
+    (fun best c -> if c.bits < best.bits then c else best)
+    (List.hd candidates) (List.tl candidates)

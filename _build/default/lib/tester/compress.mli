@@ -1,0 +1,27 @@
+(** Test-data compression codecs (the paper's Sec. 2 alternative route to
+    tester data volume reduction, refs [3, 6]).
+
+    Scan stimuli are mostly fill; run-length codes over the zero runs
+    compress them heavily. We implement Golomb coding of zero-run lengths
+    (Chandra & Chakrabarty's scheme): a run of [l] zeros terminated by a
+    one is coded as [l / b] in unary plus [log2 b] remainder bits, with
+    the group size [b] a power of two. The decoder is implemented too, so
+    round-tripping is testable. *)
+
+val encoded_bits : b:int -> Bitstream.t -> int
+(** Size in bits of the Golomb encoding with group size [b].
+    @raise Invalid_argument unless [b] is a positive power of two. *)
+
+val encode : b:int -> Bitstream.t -> Bitstream.t
+(** The actual code stream (header-less; the decoder needs [b] and the
+    original length). *)
+
+val decode : b:int -> original_length:int -> Bitstream.t -> Bitstream.t
+(** Inverse of {!encode}. @raise Invalid_argument on a malformed stream. *)
+
+type choice = { b : int; bits : int; ratio : float }
+
+val best : ?bs:int list -> Bitstream.t -> choice
+(** Best group size over [bs] (default powers of two 2..256); [ratio] is
+    original/encoded (> 1 means compression wins).
+    @raise Invalid_argument on an empty candidate list or empty stream. *)

@@ -1,0 +1,49 @@
+type tester = { channels : int; memory_depth : int; reload_cycles : int }
+
+let default_tester =
+  { channels = 256; memory_depth = 256 * 1024; reload_cycles = 1_000_000 }
+
+type point = {
+  width : int;
+  die_time : int;
+  sites : int;
+  reloads : int;
+  batch_time : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let evaluate tester ~batch_size sweep =
+  if batch_size < 1 then
+    invalid_arg "Multisite.evaluate: batch_size must be >= 1";
+  if tester.channels < 1 || tester.memory_depth < 1 then
+    invalid_arg "Multisite.evaluate: malformed tester";
+  let points =
+    List.filter_map
+      (fun (width, die_time) ->
+        if width < 1 || width > tester.channels then None
+        else begin
+          let sites = tester.channels / width in
+          let reloads = ceil_div die_time tester.memory_depth - 1 in
+          let session = die_time + (reloads * tester.reload_cycles) in
+          let rounds = ceil_div batch_size sites in
+          Some { width; die_time; sites; reloads;
+                 batch_time = rounds * session }
+        end)
+      sweep
+  in
+  if points = [] then invalid_arg "Multisite.evaluate: empty sweep";
+  points
+
+let best points =
+  match points with
+  | [] -> invalid_arg "Multisite.best: no points"
+  | p :: rest ->
+    List.fold_left
+      (fun acc q ->
+        if
+          q.batch_time < acc.batch_time
+          || (q.batch_time = acc.batch_time && q.width < acc.width)
+        then q
+        else acc)
+      p rest

@@ -1,0 +1,44 @@
+(** Multisite test economics — the paper's Sec. 5 motivation made
+    quantitative. A tester has a fixed number of digital channels and a
+    fixed vector-memory depth per channel. Narrower TAMs let one tester
+    host more dies in parallel (more sites) and keep the per-pin data
+    inside one buffer load; wider TAMs test each die faster. The batch
+    test time exposes the sweet spot. *)
+
+type tester = {
+  channels : int;  (** digital channels available for TAM data *)
+  memory_depth : int;  (** vector memory per channel, bits *)
+  reload_cycles : int;
+      (** cost of refilling the vector memory from the workstation, in
+          equivalent test cycles (the paper's Sec. 5: transfer time is
+          "significant if performed frequently") *)
+}
+
+val default_tester : tester
+(** 256 channels, 256 Kbit vector memory per channel, 1 M cycles per
+    reload — deliberately sized so that very narrow TAMs (long per-die
+    sessions) overflow the buffer and pay reloads, exposing the U-shaped
+    batch-time curve. *)
+
+type point = {
+  width : int;
+  die_time : int;  (** T(W) for a single die *)
+  sites : int;  (** dies tested in parallel = channels / W *)
+  reloads : int;  (** buffer refills per session = ceil(T / depth) - 1 *)
+  batch_time : int;  (** time to test the whole batch *)
+}
+
+val evaluate :
+  tester ->
+  batch_size:int ->
+  (int * int) list ->
+  point list
+(** [evaluate tester ~batch_size sweep] where [sweep] is [(width, T(W))]
+    pairs (e.g. from {!Soctest_core.Volume.sweep}). Widths wider than the
+    channel count are dropped.
+    @raise Invalid_argument if [batch_size < 1] or the sweep is empty
+    after filtering. *)
+
+val best : point list -> point
+(** Minimum batch time (ties: narrower width).
+    @raise Invalid_argument on []. *)

@@ -1,0 +1,59 @@
+module Core_def = Soctest_soc.Core_def
+module Synth = Soctest_soc.Synth
+
+type pattern = { stimulus : Bitstream.t; response : Bitstream.t }
+
+type t = {
+  core : int;
+  patterns : pattern list;
+  stimulus_bits : int;
+  response_bits : int;
+  care_bits : int;
+}
+
+let generate ?(care_density = 0.05) ?seed (core : Core_def.t) =
+  if not (care_density >= 0. && care_density <= 1.) then
+    invalid_arg "Pattern_gen.generate: care_density must be in [0, 1]";
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> Int64.of_int (0x7357 + core.Core_def.id)
+  in
+  let rng = Synth.rng_of_seed seed in
+  let ff = Core_def.flip_flops core in
+  let stimulus_bits = ff + core.Core_def.inputs + core.Core_def.bidirs in
+  let response_bits = ff + core.Core_def.outputs + core.Core_def.bidirs in
+  let per_mille = int_of_float (care_density *. 1000.) in
+  let care_bits = ref 0 in
+  let make_pattern () =
+    let stimulus = Bitstream.create stimulus_bits in
+    for i = 0 to stimulus_bits - 1 do
+      if Synth.next_int rng 1000 < per_mille then begin
+        incr care_bits;
+        (* a care bit carries a random value; zeros stay as fill *)
+        if Synth.next_int rng 2 = 1 then Bitstream.set stimulus i true
+      end
+    done;
+    let response = Bitstream.create response_bits in
+    for i = 0 to response_bits - 1 do
+      if Synth.next_int rng 2 = 1 then Bitstream.set response i true
+    done;
+    { stimulus; response }
+  in
+  let patterns =
+    List.init core.Core_def.patterns (fun _ -> make_pattern ())
+  in
+  {
+    core = core.Core_def.id;
+    patterns;
+    stimulus_bits;
+    response_bits;
+    care_bits = !care_bits;
+  }
+
+let total_stimulus_bits t = t.stimulus_bits * List.length t.patterns
+let total_response_bits t = t.response_bits * List.length t.patterns
+let total_bits t = total_stimulus_bits t + total_response_bits t
+
+let stimulus_stream t =
+  Bitstream.concat (List.map (fun p -> p.stimulus) t.patterns)

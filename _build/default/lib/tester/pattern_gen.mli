@@ -1,0 +1,37 @@
+(** Deterministic synthetic test-pattern generation.
+
+    Real ATPG vectors are sparse: only a few percent of stimulus bits are
+    {e care bits}; the remainder is filled (zero-fill here, as assumed by
+    run-length-based compression schemes such as the paper's ref. [3]
+    OPMISR / ref. [6] test-data compression). This module fabricates such
+    pattern sets deterministically from a seed so the data-volume and
+    compression experiments are reproducible. *)
+
+type pattern = {
+  stimulus : Bitstream.t;  (** scan-in data: flip-flops + input cells *)
+  response : Bitstream.t;  (** expected scan-out: flip-flops + outputs *)
+}
+
+type t = {
+  core : int;
+  patterns : pattern list;
+  stimulus_bits : int;  (** per pattern *)
+  response_bits : int;  (** per pattern *)
+  care_bits : int;  (** total care bits over all stimuli *)
+}
+
+val generate :
+  ?care_density:float -> ?seed:int64 -> Soctest_soc.Core_def.t -> t
+(** [generate core] builds [core.patterns] patterns. [care_density]
+    (default 0.05) is the fraction of stimulus bits that carry a random
+    care value; responses are dense pseudo-random. The seed defaults to
+    the core id, so a benchmark SOC always gets the same data.
+    @raise Invalid_argument unless [0 <= care_density <= 1]. *)
+
+val total_stimulus_bits : t -> int
+val total_response_bits : t -> int
+val total_bits : t -> int
+
+val stimulus_stream : t -> Bitstream.t
+(** All stimuli concatenated in pattern order — the per-core content of
+    tester vector memory. *)

@@ -1,0 +1,53 @@
+module B = Bitstream
+module Core_def = Soctest_soc.Core_def
+module Soc_def = Soctest_soc.Soc_def
+
+let transitions stream =
+  let n = B.length stream in
+  let count = ref 0 in
+  for i = 0 to n - 2 do
+    if B.get stream i <> B.get stream (i + 1) then incr count
+  done;
+  !count
+
+let wtc stream =
+  let n = B.length stream in
+  let total = ref 0 in
+  for i = 0 to n - 2 do
+    if B.get stream i <> B.get stream (i + 1) then
+      (* the toggle at shift position i+1 propagates through the rest *)
+      total := !total + (n - 1 - i)
+  done;
+  !total
+
+type estimate = { core : int; avg_per_cycle : int; peak_per_cycle : int }
+
+let estimate_core ?care_density (core : Core_def.t) =
+  let patterns = Pattern_gen.generate ?care_density core in
+  let shift_length = max 1 patterns.Pattern_gen.stimulus_bits in
+  let per_pattern =
+    List.map
+      (fun p -> wtc p.Pattern_gen.stimulus / shift_length)
+      patterns.Pattern_gen.patterns
+  in
+  let sum = List.fold_left ( + ) 0 per_pattern in
+  {
+    core = core.Core_def.id;
+    avg_per_cycle = sum / max 1 (List.length per_pattern);
+    peak_per_cycle = List.fold_left max 0 per_pattern;
+  }
+
+let with_measured_powers ?care_density (soc : Soc_def.t) =
+  let cores =
+    Array.to_list soc.Soc_def.cores
+    |> List.map (fun (c : Core_def.t) ->
+           let e = estimate_core ?care_density c in
+           Core_def.make ~id:c.Core_def.id ~name:c.Core_def.name
+             ~inputs:c.Core_def.inputs ~outputs:c.Core_def.outputs
+             ~bidirs:c.Core_def.bidirs ~scan_chains:c.Core_def.scan_chains
+             ~patterns:c.Core_def.patterns
+             ~power:(max 1 e.avg_per_cycle)
+             ?bist_engine:c.Core_def.bist_engine ())
+  in
+  Soc_def.make ~name:soc.Soc_def.name ~cores
+    ~hierarchy:soc.Soc_def.hierarchy ()

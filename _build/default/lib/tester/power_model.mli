@@ -1,0 +1,35 @@
+(** Scan-shift power estimation from actual test data.
+
+    The paper assigns each core a {e hypothetical} power value
+    proportional to test data bits per pattern. With the synthetic
+    pattern substrate we can do better: weighted transition count (WTC)
+    — a standard scan power estimate — over the stimuli a core actually
+    shifts. A transition entering a scan chain of length [L] at shift
+    position [j] toggles [L - j] cells as it rides through, so
+    [WTC = sum_j (L - j) * (b_j xor b_j+1)] per pattern, averaged over
+    the pattern set and normalized per shift cycle. *)
+
+val wtc : Bitstream.t -> int
+(** Weighted transition count of one scan-in vector (chain length =
+    stream length). 0 for streams shorter than 2 bits. *)
+
+val transitions : Bitstream.t -> int
+(** Unweighted adjacent-toggle count. *)
+
+type estimate = {
+  core : int;
+  avg_per_cycle : int;  (** average toggled cells per shift cycle *)
+  peak_per_cycle : int;  (** worst pattern *)
+}
+
+val estimate_core :
+  ?care_density:float -> Soctest_soc.Core_def.t -> estimate
+(** WTC over the core's generated pattern set, treating the stimulus as
+    one chain of [stimulus_bits] cells (a conservative single-chain
+    bound) and dividing by the shift length. *)
+
+val with_measured_powers :
+  ?care_density:float -> Soctest_soc.Soc_def.t -> Soctest_soc.Soc_def.t
+(** The same SOC with every core's [power] replaced by its measured
+    [avg_per_cycle] estimate (at least 1) — drop-in input for
+    power-constrained scheduling. *)

@@ -1,0 +1,92 @@
+module Schedule = Soctest_tam.Schedule
+module Wire_alloc = Soctest_tam.Wire_alloc
+module Optimizer = Soctest_core.Optimizer
+module Soc_def = Soctest_soc.Soc_def
+
+type t = { tam_width : int; depth : int; wires : Bytes.t array }
+
+let build ?care_density prepared (sched : Schedule.t) =
+  let soc = Optimizer.soc_of prepared in
+  let depth = Schedule.makespan sched in
+  let tam_width = sched.Schedule.tam_width in
+  let wires = Array.init tam_width (fun _ -> Bytes.make depth 'X') in
+  (* per-core stimulus streams and a per-core read cursor *)
+  let streams = Hashtbl.create 16 in
+  let stream_of core =
+    match Hashtbl.find_opt streams core with
+    | Some entry -> entry
+    | None ->
+      let patterns =
+        Pattern_gen.generate ?care_density (Soc_def.core soc core)
+      in
+      let entry = (Pattern_gen.stimulus_stream patterns, ref 0) in
+      Hashtbl.add streams core entry;
+      entry
+  in
+  let next_bit core =
+    let stream, cursor = stream_of core in
+    if !cursor < Bitstream.length stream then begin
+      let bit = Bitstream.get stream !cursor in
+      incr cursor;
+      if bit then '1' else '0'
+    end
+    else '0' (* fill once the deterministic stimulus is exhausted *)
+  in
+  (* chronological fill so a core's stream lands in time order *)
+  let allocations =
+    Wire_alloc.allocate sched
+    |> List.sort (fun a b ->
+           compare a.Wire_alloc.slice.Schedule.start
+             b.Wire_alloc.slice.Schedule.start)
+  in
+  List.iter
+    (fun { Wire_alloc.slice; wires = ws } ->
+      for cycle = slice.Schedule.start to slice.Schedule.stop - 1 do
+        List.iter
+          (fun w ->
+            Bytes.set wires.(w) cycle (next_bit slice.Schedule.core))
+          ws
+      done)
+    allocations;
+  { tam_width; depth; wires }
+
+let payload_bits t =
+  Array.fold_left
+    (fun acc row ->
+      let n = ref 0 in
+      Bytes.iter (fun c -> if c <> 'X' then incr n) row;
+      acc + !n)
+    0 t.wires
+
+let idle_bits t = (t.tam_width * t.depth) - payload_bits t
+
+let wire_row t w =
+  if w < 0 || w >= t.tam_width then
+    invalid_arg "Test_program.wire_row: wire out of range";
+  Bytes.to_string t.wires.(w)
+
+let to_stil ?max_cycles t =
+  let cycles =
+    match max_cycles with
+    | None -> t.depth
+    | Some m -> min m t.depth
+  in
+  let buf = Buffer.create ((cycles + 8) * (t.tam_width + 16)) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "// soctest transport-level test program\n\
+        Signals { tam[%d..0] In; }\n\
+        Pattern soc_test {\n"
+       (t.tam_width - 1));
+  for cycle = 0 to cycles - 1 do
+    Buffer.add_string buf "  V { tam = ";
+    for w = t.tam_width - 1 downto 0 do
+      Buffer.add_char buf (Bytes.get t.wires.(w) cycle)
+    done;
+    Buffer.add_string buf "; }\n"
+  done;
+  if cycles < t.depth then
+    Buffer.add_string buf
+      (Printf.sprintf "  // ... %d more cycles elided\n" (t.depth - cycles));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Transport-level test program generation: the per-cycle, per-TAM-wire
+    bit image a tester would stream for a given schedule.
+
+    Every busy wire-cycle carries one payload bit (the owning core's
+    stimulus stream, distributed round-robin over its wires, zero-filled
+    once the stream is exhausted); idle wire-cycles are ['X'] (don't
+    drive). This is the concrete object behind the V(W) = W x T model:
+    its dimensions are exactly (TAM width) x (makespan), its payload
+    count is exactly the schedule's busy area. Exportable as a STIL-like
+    vector file. *)
+
+type t = private {
+  tam_width : int;
+  depth : int;  (** cycles = schedule makespan *)
+  wires : Bytes.t array;  (** [wires.(w)] has [depth] chars of 0/1/X *)
+}
+
+val build :
+  ?care_density:float ->
+  Soctest_core.Optimizer.prepared ->
+  Soctest_tam.Schedule.t ->
+  t
+(** @raise Invalid_argument if the schedule violates TAM capacity. *)
+
+val payload_bits : t -> int
+(** Driven (non-X) cells — equals the schedule's busy area. *)
+
+val idle_bits : t -> int
+
+val wire_row : t -> int -> string
+(** The full vector stream of one wire. @raise Invalid_argument when out
+    of range. *)
+
+val to_stil : ?max_cycles:int -> t -> string
+(** STIL-flavoured text: a signal declaration plus one [V { tam = ...; }]
+    line per cycle (truncated to [max_cycles] with a comment when
+    given). *)

@@ -1,0 +1,1 @@
+lib/wrapper/pareto.ml: Array Format List Soctest_soc Wrapper_design

@@ -1,0 +1,1 @@
+lib/wrapper/pareto.mli: Format Soctest_soc

@@ -1,0 +1,1 @@
+lib/wrapper/scan_partition.ml: List Soctest_soc Wrapper_design

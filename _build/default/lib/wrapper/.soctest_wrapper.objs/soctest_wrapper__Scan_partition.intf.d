@@ -1,0 +1,1 @@
+lib/wrapper/scan_partition.mli: Soctest_soc

@@ -1,0 +1,1 @@
+lib/wrapper/wrapper_design.ml: Array Bfd Format Fun Soctest_soc

@@ -1,0 +1,1 @@
+lib/wrapper/wrapper_design.mli: Format Soctest_soc

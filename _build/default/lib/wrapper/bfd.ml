@@ -1,0 +1,75 @@
+type assignment = { bins : int list array; loads : int array }
+
+let least_loaded loads =
+  let best = ref 0 in
+  for k = 1 to Array.length loads - 1 do
+    if loads.(k) < loads.(!best) then best := k
+  done;
+  !best
+
+let pack ~weights ~bins =
+  if bins < 1 then invalid_arg "Bfd.pack: bins must be >= 1";
+  if Array.exists (fun w -> w < 0) weights then
+    invalid_arg "Bfd.pack: negative weight";
+  let order = Array.init (Array.length weights) Fun.id in
+  Array.sort (fun a b -> compare weights.(b) weights.(a)) order;
+  let result = { bins = Array.make bins []; loads = Array.make bins 0 } in
+  Array.iter
+    (fun item ->
+      let bin = least_loaded result.loads in
+      result.bins.(bin) <- item :: result.bins.(bin);
+      result.loads.(bin) <- result.loads.(bin) + weights.(item))
+    order;
+  result
+
+let max_load a = Array.fold_left max 0 a.loads
+
+let min_load a =
+  Array.fold_left min max_int a.loads
+
+let spread_units ~loads ~units =
+  if units < 0 then invalid_arg "Bfd.spread_units: negative units";
+  let bins = Array.length loads in
+  if bins = 0 then invalid_arg "Bfd.spread_units: no bins";
+  let current = Array.copy loads in
+  let given = Array.make bins 0 in
+  for _ = 1 to units do
+    let bin = least_loaded current in
+    current.(bin) <- current.(bin) + 1;
+    given.(bin) <- given.(bin) + 1
+  done;
+  given
+
+(* branch and bound: place items (largest first) into bins; prune when
+   the current max load already reaches the incumbent; break bin
+   symmetry by only allowing a new (empty) bin once per level *)
+let exact_max_load ~weights ~bins =
+  if bins < 1 then invalid_arg "Bfd.exact_max_load: bins must be >= 1";
+  if Array.exists (fun w -> w < 0) weights then
+    invalid_arg "Bfd.exact_max_load: negative weight";
+  if Array.length weights > 20 then
+    invalid_arg "Bfd.exact_max_load: too many items for exact search";
+  let items = Array.copy weights in
+  Array.sort (fun a b -> compare b a) items;
+  let n = Array.length items in
+  let loads = Array.make bins 0 in
+  (* seed the incumbent with the heuristic *)
+  let best = ref (max_load (pack ~weights ~bins)) in
+  let rec place k current_max =
+    if current_max >= !best then ()
+    else if k = n then best := current_max
+    else begin
+      let seen_empty = ref false in
+      for b = 0 to bins - 1 do
+        let empty = loads.(b) = 0 in
+        if (not empty) || not !seen_empty then begin
+          if empty then seen_empty := true;
+          loads.(b) <- loads.(b) + items.(k);
+          place (k + 1) (max current_max loads.(b));
+          loads.(b) <- loads.(b) - items.(k)
+        end
+      done
+    end
+  in
+  place 0 0;
+  !best

@@ -1,0 +1,31 @@
+(** Best-Fit-Decreasing partitioning of weighted items into a fixed number
+    of bins, minimizing the maximum bin load. This is the workhorse of the
+    [Design_wrapper] heuristic (Iyengar et al., JETTA 2002): items are
+    internal scan chains (weights = chain lengths) and bins are wrapper
+    scan chains. *)
+
+type assignment = {
+  bins : int list array;  (** item indices per bin *)
+  loads : int array;  (** total weight per bin *)
+}
+
+val pack : weights:int array -> bins:int -> assignment
+(** [pack ~weights ~bins] sorts items by decreasing weight and places each
+    in the currently least-loaded bin.
+    @raise Invalid_argument if [bins < 1] or any weight is negative. *)
+
+val max_load : assignment -> int
+val min_load : assignment -> int
+
+val spread_units : loads:int array -> units:int -> int array
+(** [spread_units ~loads ~units] greedily adds [units] unit-weight items
+    (functional terminals) one at a time to the currently least-loaded bin
+    and returns the number of units given to each bin. Used to attach
+    functional inputs/outputs to wrapper chains. *)
+
+val exact_max_load : weights:int array -> bins:int -> int
+(** Optimal (minimum possible) maximum bin load, by branch-and-bound —
+    a reference for testing the BFD heuristic's quality. Exponential:
+    intended for small item counts (tests use <= 14 items).
+    @raise Invalid_argument if [bins < 1], a weight is negative, or
+    there are more than 20 items. *)

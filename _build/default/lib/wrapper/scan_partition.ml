@@ -1,0 +1,38 @@
+module Core_def = Soctest_soc.Core_def
+
+let balanced_chains ~flip_flops ~chains =
+  if flip_flops < 0 then
+    invalid_arg "Scan_partition.balanced_chains: negative flip_flops";
+  if chains < 1 then
+    invalid_arg "Scan_partition.balanced_chains: chains must be >= 1";
+  let chains = min chains (max flip_flops 0) in
+  if chains = 0 then []
+  else
+    let base = flip_flops / chains and extra = flip_flops mod chains in
+    List.init chains (fun k -> if k < extra then base + 1 else base)
+
+let restitch (core : Core_def.t) ~width =
+  if width < 1 then invalid_arg "Scan_partition.restitch: width must be >= 1";
+  let scan_chains =
+    balanced_chains ~flip_flops:(Core_def.flip_flops core) ~chains:width
+  in
+  Core_def.make ~id:core.Core_def.id ~name:core.Core_def.name
+    ~inputs:core.Core_def.inputs ~outputs:core.Core_def.outputs
+    ~bidirs:core.Core_def.bidirs ~scan_chains
+    ~patterns:core.Core_def.patterns ~power:core.Core_def.power
+    ?bist_engine:core.Core_def.bist_engine ()
+
+let flexible_time core ~width =
+  Wrapper_design.testing_time (restitch core ~width) ~width
+
+let flexible_pareto core ~wmax =
+  if wmax < 1 then
+    invalid_arg "Scan_partition.flexible_pareto: wmax must be >= 1";
+  let rec go w best acc =
+    if w > wmax then List.rev acc
+    else
+      let t = flexible_time core ~width:w in
+      if t < best then go (w + 1) t ((w, t) :: acc)
+      else go (w + 1) best acc
+  in
+  go 1 max_int []

@@ -1,0 +1,28 @@
+(** Flexible scan-chain design (Aerts & Marinissen, ITC'98 — the paper's
+    ref. [1]).
+
+    The DAC'02 paper fixes each core's internal scan chains; its
+    predecessor [1] instead assumes the flip-flops can be re-stitched
+    into any number of balanced chains at design time. This module
+    implements that regime so the two can be compared: for a width [w],
+    the [F] flip-flops are split into [min(w, F)] chains whose lengths
+    differ by at most one. *)
+
+val balanced_chains : flip_flops:int -> chains:int -> int list
+(** [balanced_chains ~flip_flops ~chains] — lengths differing by at most
+    one, summing to [flip_flops]; fewer chains when there are not enough
+    flip-flops. @raise Invalid_argument if arguments are negative /
+    [chains < 1]. *)
+
+val restitch : Soctest_soc.Core_def.t -> width:int -> Soctest_soc.Core_def.t
+(** The same core with its flip-flops re-stitched into at most [width]
+    balanced chains (id, terminals, patterns, power preserved).
+    @raise Invalid_argument if [width < 1]. *)
+
+val flexible_time : Soctest_soc.Core_def.t -> width:int -> int
+(** Testing time at [width] when re-stitching is allowed — never worse
+    than a few cycles above the fixed-chain envelope time, and often much
+    better for cores with unbalanced chains. *)
+
+val flexible_pareto : Soctest_soc.Core_def.t -> wmax:int -> (int * int) list
+(** [(width, flexible_time)] with dominated widths removed. *)

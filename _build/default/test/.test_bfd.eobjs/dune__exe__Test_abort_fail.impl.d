@@ -1,0 +1,1 @@
+test/test_abort_fail.ml: Alcotest List Printf Soctest_core Soctest_experiments Soctest_soc Soctest_tam Test_helpers

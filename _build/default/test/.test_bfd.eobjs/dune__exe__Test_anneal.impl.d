@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Lazy List Printf Soctest_constraints Soctest_core Test_helpers

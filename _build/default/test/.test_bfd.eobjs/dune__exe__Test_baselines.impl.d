@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Lazy List Printf Soctest_baselines Soctest_core Soctest_tam Soctest_wrapper Test_helpers

@@ -1,0 +1,1 @@
+test/test_bfd.ml: Alcotest Array List Printf QCheck Soctest_wrapper Test_helpers

@@ -1,0 +1,1 @@
+test/test_bitstream.ml: Alcotest List QCheck Soctest_tester Test_helpers

@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest List Printf QCheck Soctest_tester String Test_helpers

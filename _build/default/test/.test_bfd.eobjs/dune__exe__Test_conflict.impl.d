@@ -1,0 +1,1 @@
+test/test_conflict.ml: Alcotest Format List Soctest_constraints Soctest_soc Soctest_tam String Test_helpers

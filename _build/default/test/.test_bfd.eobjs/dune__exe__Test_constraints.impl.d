@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest List QCheck Soctest_constraints Soctest_soc Test_helpers

@@ -1,0 +1,1 @@
+test/test_core_def.ml: Alcotest Format Soctest_soc String Test_helpers

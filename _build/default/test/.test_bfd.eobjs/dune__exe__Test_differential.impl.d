@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Format List Printf QCheck Soctest_constraints Soctest_soc Soctest_tam Test_helpers

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Soctest_core Soctest_experiments Soctest_tam String Test_helpers

@@ -1,0 +1,1 @@
+test/test_extras_exp.ml: Alcotest List Printf Soctest_experiments Soctest_hardware Soctest_tester String Test_helpers

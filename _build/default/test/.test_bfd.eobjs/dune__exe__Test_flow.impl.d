@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Format List Printf Soctest_constraints Soctest_core Soctest_soc Soctest_tam Test_helpers

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Printf QCheck Soctest_soc Soctest_tam Soctest_tester String Test_helpers

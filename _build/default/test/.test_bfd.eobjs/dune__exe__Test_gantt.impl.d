@@ -1,0 +1,1 @@
+test/test_gantt.ml: Alcotest List Printf Soctest_tam String Test_helpers

@@ -1,0 +1,1 @@
+test/test_gantt_svg.ml: Alcotest Format List Printf Soctest_core Soctest_soc Soctest_tam String Test_helpers

@@ -1,0 +1,1 @@
+test/test_hardware.ml: Alcotest List Printf QCheck Soctest_core Soctest_hardware Soctest_soc Soctest_wrapper String Test_helpers

@@ -1,0 +1,1 @@
+test/test_improve.ml: Alcotest Lazy List Option Printf Soctest_constraints Soctest_core Soctest_tam Soctest_wrapper Test_helpers

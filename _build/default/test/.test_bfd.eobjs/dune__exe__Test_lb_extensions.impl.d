@@ -1,0 +1,1 @@
+test/test_lb_extensions.ml: Alcotest Array List Printf QCheck Soctest_constraints Soctest_core Soctest_soc Soctest_wrapper Test_helpers

@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest List Printf Soctest_core Soctest_soc Soctest_wrapper Test_helpers

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest List Option Printf Soctest_constraints Soctest_core Soctest_soc Soctest_tam Soctest_wrapper Test_helpers

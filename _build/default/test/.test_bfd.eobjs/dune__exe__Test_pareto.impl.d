@@ -1,0 +1,1 @@
+test/test_pareto.ml: Alcotest List Printf QCheck Soctest_soc Soctest_wrapper Test_helpers

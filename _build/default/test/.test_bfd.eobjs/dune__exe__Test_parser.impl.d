@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Filename Format List Printf Soctest_soc Sys Test_helpers

@@ -1,0 +1,1 @@
+test/test_pattern_gen.ml: Alcotest List Printf Soctest_soc Soctest_tester String Test_helpers

@@ -1,0 +1,1 @@
+test/test_power_model.ml: Alcotest Array QCheck Soctest_constraints Soctest_core Soctest_soc Soctest_tester String Test_helpers

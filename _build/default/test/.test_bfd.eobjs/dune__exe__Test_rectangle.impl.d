@@ -1,0 +1,1 @@
+test/test_rectangle.ml: Alcotest QCheck Soctest_tam Test_helpers

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename List Soctest_report String Sys Test_helpers

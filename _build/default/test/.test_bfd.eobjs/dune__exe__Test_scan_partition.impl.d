@@ -1,0 +1,1 @@
+test/test_scan_partition.ml: Alcotest List Printf QCheck Soctest_soc Soctest_wrapper Test_helpers

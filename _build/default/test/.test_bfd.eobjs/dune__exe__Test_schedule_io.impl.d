@@ -1,0 +1,1 @@
+test/test_schedule_io.ml: Alcotest Filename List Printf Soctest_core Soctest_tam Sys Test_helpers

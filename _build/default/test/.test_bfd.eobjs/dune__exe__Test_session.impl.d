@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Lazy List Option Printf QCheck Soctest_baselines Soctest_core Soctest_soc Soctest_tam Test_helpers

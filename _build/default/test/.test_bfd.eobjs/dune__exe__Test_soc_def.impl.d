@@ -1,0 +1,1 @@
+test/test_soc_def.ml: Alcotest Format List Printf Soctest_soc Test_helpers

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Float List Printf Soctest_core Soctest_soc Soctest_wrapper

@@ -1,0 +1,1 @@
+test/test_test_program.ml: Alcotest Array Bytes List Soctest_core Soctest_tam Soctest_tester String Test_helpers

@@ -1,0 +1,1 @@
+test/test_tester_image.ml: Alcotest Array List Soctest_core Soctest_tam Soctest_tester Test_helpers

@@ -1,0 +1,1 @@
+test/test_volume_cost.ml: Alcotest Lazy List Soctest_core Soctest_tam Test_helpers

@@ -1,0 +1,1 @@
+test/test_wire_alloc.ml: Alcotest List Soctest_core Soctest_tam Test_helpers

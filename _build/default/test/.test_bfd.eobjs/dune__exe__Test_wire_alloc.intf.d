@@ -1,0 +1,1 @@
+test/test_wire_alloc.mli:

@@ -1,0 +1,1 @@
+test/test_wrapper_design.ml: Alcotest Array List QCheck Soctest_soc Soctest_wrapper Test_helpers

@@ -1,0 +1,6 @@
+  $ soctest soc-info does-not-exist
+  $ cat > bad.soc <<'END'
+  > Soc broken
+  > Core 1 a inputs=1
+  > END
+  $ soctest soc-info bad.soc

@@ -1,0 +1,5 @@
+  $ soctest export --soc mini4 -o out.soc
+  $ cat out.soc
+  $ soctest soc-info out.soc > from_file.txt
+  $ soctest soc-info mini4 > builtin.txt
+  $ diff from_file.txt builtin.txt

@@ -1,0 +1,2 @@
+  $ soctest schedule --soc mini4 -w 8
+  $ soctest schedule --soc mini4 -w 8 --power --preempt 1

@@ -1,0 +1,5 @@
+  $ soctest schedule --soc mini4 -w 8 --save sched.txt > /dev/null
+  $ cat sched.txt
+  $ soctest validate --soc mini4 sched.txt
+  $ sed 's/^Schedule 8/Schedule 1/' sched.txt > narrow.txt
+  $ soctest validate --soc mini4 narrow.txt

@@ -1,0 +1,1 @@
+  $ soctest soc-info mini4

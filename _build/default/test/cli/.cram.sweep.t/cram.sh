@@ -1,0 +1,2 @@
+  $ soctest sweep --soc mini4 --max-width 10 --csv sweep.csv
+  $ head -4 sweep.csv

@@ -1,0 +1,15 @@
+Unknown SOC names are reported cleanly:
+
+  $ soctest soc-info does-not-exist
+  soctest: unknown SOC "does-not-exist" (not a benchmark name and not a file)
+  [124]
+
+Malformed .soc files report the offending line:
+
+  $ cat > bad.soc <<'END'
+  > Soc broken
+  > Core 1 a inputs=1
+  > END
+  $ soctest soc-info bad.soc
+  soctest: parse error at line 2: core 1: missing patterns=
+  [124]

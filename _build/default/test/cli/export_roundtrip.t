@@ -1,0 +1,17 @@
+Exporting a benchmark and reading it back preserves the test parameters:
+
+  $ soctest export --soc mini4 -o out.soc
+  wrote out.soc (4 cores)
+
+  $ cat out.soc
+  # SOC test parameters, 4 cores
+  Soc mini4
+  Core 1 alpha inputs=8 outputs=8 bidirs=0 patterns=20 scan=10,10 power=36
+  Core 2 beta inputs=4 outputs=6 bidirs=0 patterns=10 scan=16 power=26 bist=1
+  Core 3 gamma inputs=12 outputs=4 bidirs=2 patterns=25 scan=- power=20 bist=1
+  Core 4 delta inputs=6 outputs=6 bidirs=0 patterns=15 scan=8,8,8 power=36
+  Hierarchy 1 4
+
+  $ soctest soc-info out.soc > from_file.txt
+  $ soctest soc-info mini4 > builtin.txt
+  $ diff from_file.txt builtin.txt

@@ -1,0 +1,16 @@
+One-off scheduling of the mini benchmark:
+
+  $ soctest schedule --soc mini4 -w 8
+  SOC mini4 at W=8: testing time 405 cycles
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 5
+    core  4 (delta): width 3
+A power cap and preemption budget change the schedule:
+
+  $ soctest schedule --soc mini4 -w 8 --power --preempt 1
+  SOC mini4 at W=8: testing time 635 cycles
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 7
+    core  4 (delta): width 4

@@ -1,0 +1,29 @@
+Schedules round-trip through the textual schedule format and re-validate:
+
+  $ soctest schedule --soc mini4 -w 8 --save sched.txt > /dev/null
+  $ cat sched.txt
+  # 5 slices, makespan 405
+  Schedule 8
+  Slice 1 3 0 186
+  Slice 2 2 0 186
+  Slice 1 3 186 230
+  Slice 3 5 186 288
+  Slice 4 3 230 405
+  $ soctest validate --soc mini4 sched.txt
+  sched.txt: valid schedule for mini4 (W=8, makespan 405, utilization 64.7%)
+
+Validation catches a corrupted schedule (capacity blown at W=1):
+
+  $ sed 's/^Schedule 8/Schedule 1/' sched.txt > narrow.txt
+  $ soctest validate --soc mini4 narrow.txt
+  narrow.txt: capacity exceeded at t=0 (5 wires in use)
+  narrow.txt: capacity exceeded at t=186 (8 wires in use)
+  narrow.txt: capacity exceeded at t=230 (8 wires in use)
+  narrow.txt: capacity exceeded at t=288 (3 wires in use)
+  narrow.txt: core 1 width 3 exceeds the TAM
+  narrow.txt: core 2 width 2 exceeds the TAM
+  narrow.txt: core 1 width 3 exceeds the TAM
+  narrow.txt: core 3 width 5 exceeds the TAM
+  narrow.txt: core 4 width 3 exceeds the TAM
+  soctest: 9 violation(s)
+  [124]

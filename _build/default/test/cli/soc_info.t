@@ -1,0 +1,11 @@
+The soc-info command summarizes a benchmark SOC:
+
+  $ soctest soc-info mini4
+  core           in    out chains     FFs  patterns  data bits
+  alpha           8      8      2      20        20        720
+  beta            4      6      1      16        10        260
+  gamma          12      4      0       0        25        500
+  delta           6      6      3      24        15        540
+  total test data: 2020 bits
+  hierarchy: core 1 contains 4
+  BIST engine 1 shared by cores 2, 3

@@ -1,0 +1,19 @@
+The sweep command prints the non-dominated (time, volume) menu:
+
+  $ soctest sweep --soc mini4 --max-width 10 --csv sweep.csv
+  Time/volume Pareto front for mini4 (non-dominated widths)
+   W  T (cycles)  V (bits)
+  ------------------------
+   1        1734      1734
+   2         974      1948
+   3         725      2175
+   5         457      2285
+   8         288      2304
+   9         287      2583
+  10         262      2620
+  (csv written to sweep.csv)
+  $ head -4 sweep.csv
+  width,time,volume
+  1,1734,1734
+  2,974,1948
+  3,725,2175

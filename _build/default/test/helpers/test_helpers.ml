@@ -1,0 +1,107 @@
+(* Shared helpers for the test suites: tiny hand-checkable SOCs, QCheck
+   generators for cores / SOCs / constraints, and common assertions. *)
+
+module Core_def = Soctest_soc.Core_def
+module Soc_def = Soctest_soc.Soc_def
+module Schedule = Soctest_tam.Schedule
+module Constraint_def = Soctest_constraints.Constraint_def
+module Conflict = Soctest_constraints.Conflict
+module Optimizer = Soctest_core.Optimizer
+
+let core ?(inputs = 8) ?(outputs = 8) ?(bidirs = 0) ?(scan = [ 10; 10 ])
+    ?(patterns = 20) ?power ?bist id name =
+  Core_def.make ~id ~name ~inputs ~outputs ~bidirs ~scan_chains:scan
+    ~patterns ?power ?bist_engine:bist ()
+
+let soc2 () =
+  Soc_def.make ~name:"soc2"
+    ~cores:[ core 1 "a"; core ~scan:[ 16 ] ~patterns:10 2 "b" ]
+    ()
+
+let mini4 () = Soctest_soc.Benchmarks.mini4 ()
+let d695 () = Soctest_soc.Benchmarks.d695 ()
+
+let unconstrained soc =
+  Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
+
+(* ---------------- QCheck generators ---------------- *)
+
+let gen_core id =
+  let open QCheck.Gen in
+  let* inputs = int_range 1 60 in
+  let* outputs = int_range 1 60 in
+  let* bidirs = int_range 0 8 in
+  let* chain_count = int_range 0 8 in
+  let* chains = list_repeat chain_count (int_range 1 80) in
+  let* patterns = int_range 1 120 in
+  return
+    (Core_def.make ~id ~name:(Printf.sprintf "g%d" id) ~inputs ~outputs
+       ~bidirs ~scan_chains:chains ~patterns ())
+
+let gen_soc =
+  let open QCheck.Gen in
+  let* n = int_range 1 8 in
+  let* cores =
+    flatten_l (List.init n (fun k -> gen_core (k + 1)))
+  in
+  return (Soc_def.make ~name:"gen" ~cores ())
+
+let arb_soc =
+  QCheck.make gen_soc ~print:(fun soc ->
+      Format.asprintf "%a" Soc_def.pp soc)
+
+(* A random precedence DAG (edges only from lower to higher id — always
+   acyclic) plus a random preemption budget. *)
+let gen_constraints soc =
+  let open QCheck.Gen in
+  let n = Soc_def.core_count soc in
+  let* edges =
+    if n < 2 then return []
+    else
+      let* count = int_range 0 (min 6 (n * (n - 1) / 2)) in
+      list_repeat count
+        (let* a = int_range 1 (n - 1) in
+         let* b = int_range (a + 1) n in
+         return (a, b))
+  in
+  let* budgets = list_repeat n (int_range 0 2) in
+  let max_preemptions = List.mapi (fun k b -> (k + 1, b)) budgets in
+  return (Constraint_def.make ~core_count:n ~precedence:edges ~max_preemptions ())
+
+let gen_soc_with_constraints =
+  let open QCheck.Gen in
+  let* soc = gen_soc in
+  let* constraints = gen_constraints soc in
+  let* tam_width = int_range 1 48 in
+  return (soc, constraints, tam_width)
+
+let arb_soc_with_constraints =
+  QCheck.make gen_soc_with_constraints ~print:(fun (soc, c, w) ->
+      Format.asprintf "%a@.%a@.W=%d" Soc_def.pp soc Constraint_def.pp c w)
+
+(* ---------------- assertions ---------------- *)
+
+let check_valid_schedule ?(msg = "schedule valid") soc constraints sched =
+  match Conflict.validate soc constraints sched with
+  | [] -> ()
+  | violations ->
+    Alcotest.failf "%s: %s" msg
+      (String.concat "; "
+         (List.map
+            (Format.asprintf "%a" Conflict.pp_violation)
+            violations))
+
+let check_complete ?(msg = "all cores scheduled") soc sched =
+  let want = List.init (Soc_def.core_count soc) (fun k -> k + 1) in
+  Alcotest.(check (list int)) msg want (Schedule.cores sched)
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i =
+    i + n <= h && (String.sub haystack i n = needle || loop (i + 1))
+  in
+  n = 0 || loop 0
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name arb prop)

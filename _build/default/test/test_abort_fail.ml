@@ -1,0 +1,110 @@
+(* Tests for the abort-at-first-fail model. *)
+
+module AF = Soctest_core.Abort_fail
+module O = Soctest_core.Optimizer
+module S = Soctest_tam.Schedule
+module Soc_def = Soctest_soc.Soc_def
+
+let mk = Test_helpers.core
+
+let slice core width start stop = { S.core; width; start; stop }
+
+let sched =
+  S.make ~tam_width:4
+    ~slices:[ slice 1 2 0 10; slice 2 2 0 20; slice 3 4 20 30 ]
+
+let test_expected_abort_time () =
+  (* equal probabilities: (10 + 20 + 30)/3 = 20 *)
+  Alcotest.(check (float 1e-9)) "uniform" 20.
+    (AF.expected_abort_time sched ~fail_probs:[ (1, 1.); (2, 1.); (3, 1.) ]);
+  (* all mass on core 3: its finish *)
+  Alcotest.(check (float 1e-9)) "point mass" 30.
+    (AF.expected_abort_time sched ~fail_probs:[ (3, 0.5) ]);
+  (* unnormalized weights normalize *)
+  Alcotest.(check (float 1e-9)) "weights" ((0.75 *. 10.) +. (0.25 *. 30.))
+    (AF.expected_abort_time sched ~fail_probs:[ (1, 3.); (3, 1.) ])
+
+let test_expected_abort_validation () =
+  let expect fail_probs =
+    match AF.expected_abort_time sched ~fail_probs with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected rejection"
+  in
+  expect [ (1, -0.1) ];
+  expect [ (1, 0.); (2, 0.) ];
+  expect [ (9, 1.) ]
+
+let test_smith_order () =
+  (* three cores with equal probability: shorter test first *)
+  let soc =
+    Soc_def.make ~name:"s"
+      ~cores:
+        [
+          mk ~scan:[ 60; 60 ] ~patterns:80 1 "slow";
+          mk ~scan:[ 10 ] ~patterns:10 2 "fast";
+          mk ~scan:[ 30 ] ~patterns:30 3 "mid";
+        ]
+      ()
+  in
+  let prepared = O.prepare soc in
+  let order =
+    AF.smith_order prepared ~fail_probs:[ (1, 1.); (2, 1.); (3, 1.) ]
+  in
+  Alcotest.(check (list int)) "short first" [ 2; 3; 1 ] order;
+  (* massive probability trumps duration *)
+  let order =
+    AF.smith_order prepared ~fail_probs:[ (1, 1000.); (2, 0.01); (3, 0.01) ]
+  in
+  Alcotest.(check int) "high-prob first" 1 (List.hd order);
+  (* cores without probability sort last *)
+  let order = AF.smith_order prepared ~fail_probs:[ (3, 1.) ] in
+  Alcotest.(check int) "only-prob core first" 3 (List.hd order)
+
+let test_defect_precedence () =
+  let soc = Test_helpers.d695 () in
+  let prepared = O.prepare soc in
+  let fail_probs = List.init 10 (fun k -> (k + 1, 1.)) in
+  let edges = AF.defect_precedence prepared ~fail_probs ~chain:4 () in
+  Alcotest.(check int) "chain of 4 = 3 edges" 3 (List.length edges);
+  (* the edges form a path following the smith order *)
+  let order = AF.smith_order prepared ~fail_probs in
+  let expected =
+    match order with
+    | a :: b :: c :: d :: _ -> [ (a, b); (b, c); (c, d) ]
+    | _ -> []
+  in
+  Alcotest.(check (list (pair int int))) "edges follow order" expected edges;
+  Alcotest.(check (list (pair int int))) "chain 0 = empty" []
+    (AF.defect_precedence prepared ~fail_probs ~chain:0 ());
+  match AF.defect_precedence prepared ~fail_probs ~chain:(-1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected chain rejection"
+
+let test_defect_schedule_improves_abort_time () =
+  let r = Soctest_experiments.Defect_exp.run ~tam_width:32 () in
+  let open Soctest_experiments.Defect_exp in
+  Alcotest.(check bool)
+    (Printf.sprintf "abort %.0f < %.0f" r.defect_abort r.plain_abort)
+    true
+    (r.defect_abort < r.plain_abort);
+  Alcotest.(check bool) "makespan pays a bounded premium" true
+    (r.defect_makespan < r.plain_makespan * 13 / 10);
+  Alcotest.(check bool) "renders" true
+    (Test_helpers.contains_substring (to_table r) "defect-oriented")
+
+let () =
+  Alcotest.run "abort_fail"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "expected abort time" `Quick
+            test_expected_abort_time;
+          Alcotest.test_case "validation" `Quick
+            test_expected_abort_validation;
+          Alcotest.test_case "smith order" `Quick test_smith_order;
+          Alcotest.test_case "defect precedence" `Quick
+            test_defect_precedence;
+          Alcotest.test_case "experiment" `Quick
+            test_defect_schedule_improves_abort_time;
+        ] );
+    ]

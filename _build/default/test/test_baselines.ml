@@ -1,0 +1,203 @@
+(* Tests for the comparison baselines: serial, shelf packing, fixed-width
+   TAM architectures. *)
+
+module O = Soctest_core.Optimizer
+module S = Soctest_tam.Schedule
+module Serial = Soctest_baselines.Serial
+module Shelf = Soctest_baselines.Shelf
+module Fixed = Soctest_baselines.Fixed_width
+module Pareto = Soctest_wrapper.Pareto
+
+let prepared_d695 = lazy (O.prepare (Test_helpers.d695 ()))
+
+let check_valid sched =
+  Alcotest.(check int) "capacity clean" 0
+    (List.length (S.check_capacity sched))
+
+let test_serial_is_sum () =
+  let prepared = Lazy.force prepared_d695 in
+  let expected =
+    List.fold_left
+      (fun acc id -> acc + Pareto.time (O.pareto_of prepared id) ~width:16)
+      0
+      (List.init 10 (fun k -> k + 1))
+  in
+  Alcotest.(check int) "serial time" expected
+    (Serial.testing_time prepared ~tam_width:16)
+
+let test_serial_schedule_valid () =
+  let prepared = Lazy.force prepared_d695 in
+  let sched = Serial.schedule prepared ~tam_width:16 in
+  check_valid sched;
+  Alcotest.(check int) "all cores" 10 (List.length (S.cores sched));
+  (* strictly sequential: at most one core active at any boundary *)
+  List.iter
+    (fun s -> Alcotest.(check int) "solo" 1 (List.length (S.active_at sched s.S.start)))
+    sched.S.slices
+
+let test_shelf_valid_and_complete () =
+  let prepared = Lazy.force prepared_d695 in
+  List.iter
+    (fun discipline ->
+      List.iter
+        (fun w ->
+          let sched = Shelf.schedule prepared ~tam_width:w ~discipline () in
+          check_valid sched;
+          Alcotest.(check int) "all cores" 10 (List.length (S.cores sched)))
+        [ 8; 16; 32; 64 ])
+    [ Shelf.Nfdh; Shelf.Ffdh ]
+
+let test_shelves_above_lower_bound () =
+  (* FFDH is usually but not always below NFDH (revisiting a shelf can
+     stretch its duration), so we only assert both stay sane: at or above
+     the lower bound and within the serial upper bound *)
+  let prepared = Lazy.force prepared_d695 in
+  List.iter
+    (fun w ->
+      let lb = Soctest_core.Lower_bound.compute prepared ~tam_width:w in
+      let serial = Serial.testing_time prepared ~tam_width:w in
+      List.iter
+        (fun discipline ->
+          let t = Shelf.testing_time prepared ~tam_width:w ~discipline () in
+          Alcotest.(check bool)
+            (Printf.sprintf "W=%d: LB %d <= shelf %d <= serial %d" w lb t
+               serial)
+            true
+            (lb <= t && t <= serial))
+        [ Shelf.Nfdh; Shelf.Ffdh ])
+    [ 16; 32; 64 ]
+
+let test_optimizer_beats_serial () =
+  let prepared = Lazy.force prepared_d695 in
+  let constraints = Test_helpers.unconstrained (Test_helpers.d695 ()) in
+  List.iter
+    (fun w ->
+      let opt =
+        (O.run prepared ~tam_width:w ~constraints ~params:O.default_params)
+          .O.testing_time
+      in
+      let serial = Serial.testing_time prepared ~tam_width:w in
+      Alcotest.(check bool)
+        (Printf.sprintf "W=%d: optimizer %d < serial %d" w opt serial)
+        true (opt < serial))
+    [ 8; 16; 32; 64 ]
+
+let test_optimizer_no_worse_than_shelves () =
+  let prepared = Lazy.force prepared_d695 in
+  let constraints = Test_helpers.unconstrained (Test_helpers.d695 ()) in
+  List.iter
+    (fun w ->
+      let opt =
+        (O.best_over_params prepared ~tam_width:w ~constraints ())
+          .O.testing_time
+      in
+      let ffdh = Shelf.testing_time prepared ~tam_width:w ~discipline:Shelf.Ffdh () in
+      Alcotest.(check bool)
+        (Printf.sprintf "W=%d: optimizer %d <= ffdh %d" w opt ffdh)
+        true (opt <= ffdh))
+    [ 16; 32; 64 ]
+
+let test_fixed_width_partitions () =
+  let prepared = Lazy.force prepared_d695 in
+  let d = Fixed.design_with_buses prepared ~tam_width:16 ~buses:3 in
+  Alcotest.(check int) "three buses" 3 (Array.length d.Fixed.bus_widths);
+  Alcotest.(check int) "widths sum to W" 16
+    (Array.fold_left ( + ) 0 d.Fixed.bus_widths);
+  Array.iter
+    (fun w -> Alcotest.(check bool) "positive" true (w >= 1))
+    d.Fixed.bus_widths;
+  check_valid d.Fixed.schedule;
+  Alcotest.(check int) "all cores" 10
+    (List.length (S.cores d.Fixed.schedule));
+  Alcotest.(check int) "makespan consistent" d.Fixed.testing_time
+    (S.makespan d.Fixed.schedule)
+
+let test_fixed_width_more_buses_no_worse () =
+  (* 1 bus = serial at full width; more buses can only help on d695 *)
+  let prepared = Lazy.force prepared_d695 in
+  let t b = (Fixed.design_with_buses prepared ~tam_width:24 ~buses:b).Fixed.testing_time in
+  Alcotest.(check bool) "2 <= 1" true (t 2 <= t 1);
+  Alcotest.(check bool) "3 <= 2 + tolerance" true (t 3 <= t 2 * 11 / 10)
+
+let test_fixed_width_invalid () =
+  let prepared = Lazy.force prepared_d695 in
+  (match Fixed.design_with_buses prepared ~tam_width:8 ~buses:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bus count rejection");
+  (match Fixed.design_with_buses prepared ~tam_width:8 ~buses:9 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bus count rejection");
+  match Fixed.design_with_buses prepared ~tam_width:64 ~buses:5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected enumeration limit"
+
+let test_flexible_beats_fixed () =
+  (* the paper's core claim: flexible-width packing beats fixed buses.
+     On this small 10-core SOC an exhaustive fixed-bus search is
+     competitive at the narrowest width (the paper's own d695 W=16 result
+     would also lose to it by ~0.5%), so W=16 gets a 3% tolerance while
+     wider TAMs must win outright. *)
+  let prepared = Lazy.force prepared_d695 in
+  let constraints = Test_helpers.unconstrained (Test_helpers.d695 ()) in
+  let compare_at ~slack w =
+    let opt =
+      (O.best_over_params prepared ~tam_width:w ~constraints ())
+        .O.testing_time
+    in
+    let fixed =
+      (Fixed.best_design prepared ~tam_width:w ()).Fixed.testing_time
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "W=%d: flexible %d vs fixed %d" w opt fixed)
+      true
+      (opt * 100 <= fixed * (100 + slack))
+  in
+  compare_at ~slack:3 16;
+  List.iter (fun w -> compare_at ~slack:0 w) [ 32; 48; 64 ]
+
+let test_best_design_picks_minimum () =
+  let prepared = Lazy.force prepared_d695 in
+  let best = Fixed.best_design prepared ~tam_width:20 ~max_buses:3 () in
+  List.iter
+    (fun b ->
+      let d = Fixed.design_with_buses prepared ~tam_width:20 ~buses:b in
+      Alcotest.(check bool) "best is min" true
+        (best.Fixed.testing_time <= d.Fixed.testing_time))
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "serial",
+        [
+          Alcotest.test_case "time is sum" `Quick test_serial_is_sum;
+          Alcotest.test_case "schedule valid" `Quick
+            test_serial_schedule_valid;
+        ] );
+      ( "shelf",
+        [
+          Alcotest.test_case "valid and complete" `Quick
+            test_shelf_valid_and_complete;
+          Alcotest.test_case "bounded by LB and serial" `Quick
+            test_shelves_above_lower_bound;
+        ] );
+      ( "fixed width",
+        [
+          Alcotest.test_case "partitions" `Quick test_fixed_width_partitions;
+          Alcotest.test_case "more buses help" `Quick
+            test_fixed_width_more_buses_no_worse;
+          Alcotest.test_case "invalid arguments" `Quick
+            test_fixed_width_invalid;
+          Alcotest.test_case "best design" `Quick
+            test_best_design_picks_minimum;
+        ] );
+      ( "comparisons",
+        [
+          Alcotest.test_case "optimizer < serial" `Quick
+            test_optimizer_beats_serial;
+          Alcotest.test_case "optimizer <= shelves" `Quick
+            test_optimizer_no_worse_than_shelves;
+          Alcotest.test_case "flexible <= fixed" `Quick
+            test_flexible_beats_fixed;
+        ] );
+    ]

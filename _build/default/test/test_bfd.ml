@@ -1,0 +1,141 @@
+(* Unit tests for the Best-Fit-Decreasing partitioner. *)
+
+module Bfd = Soctest_wrapper.Bfd
+
+let check_assignment ~weights ~bins (a : Bfd.assignment) =
+  (* every item appears exactly once *)
+  let seen = Array.make (Array.length weights) 0 in
+  Array.iter
+    (fun items -> List.iter (fun i -> seen.(i) <- seen.(i) + 1) items)
+    a.Bfd.bins;
+  Array.iteri
+    (fun i n -> Alcotest.(check int) (Printf.sprintf "item %d placed once" i) 1 n)
+    seen;
+  (* loads are consistent with the items *)
+  Array.iteri
+    (fun b items ->
+      let sum = List.fold_left (fun acc i -> acc + weights.(i)) 0 items in
+      Alcotest.(check int) (Printf.sprintf "bin %d load" b) sum a.Bfd.loads.(b))
+    a.Bfd.bins;
+  Alcotest.(check int) "bin count" bins (Array.length a.Bfd.bins)
+
+let test_empty () =
+  let a = Bfd.pack ~weights:[||] ~bins:3 in
+  check_assignment ~weights:[||] ~bins:3 a;
+  Alcotest.(check int) "max load" 0 (Bfd.max_load a)
+
+let test_single_bin () =
+  let weights = [| 5; 3; 9; 1 |] in
+  let a = Bfd.pack ~weights ~bins:1 in
+  check_assignment ~weights ~bins:1 a;
+  Alcotest.(check int) "all in one bin" 18 (Bfd.max_load a)
+
+let test_balanced () =
+  (* 4 equal items over 2 bins must split 2/2 *)
+  let weights = [| 7; 7; 7; 7 |] in
+  let a = Bfd.pack ~weights ~bins:2 in
+  check_assignment ~weights ~bins:2 a;
+  Alcotest.(check int) "max" 14 (Bfd.max_load a);
+  Alcotest.(check int) "min" 14 (Bfd.min_load a)
+
+let test_decreasing_heuristic () =
+  (* classic case: [6;5;4;3;2;2] into 2 bins; BFD gives 11/11 *)
+  let weights = [| 6; 5; 4; 3; 2; 2 |] in
+  let a = Bfd.pack ~weights ~bins:2 in
+  check_assignment ~weights ~bins:2 a;
+  Alcotest.(check int) "max load optimal" 11 (Bfd.max_load a)
+
+let test_more_bins_than_items () =
+  let weights = [| 4; 2 |] in
+  let a = Bfd.pack ~weights ~bins:5 in
+  check_assignment ~weights ~bins:5 a;
+  Alcotest.(check int) "max load" 4 (Bfd.max_load a);
+  Alcotest.(check int) "min load" 0 (Bfd.min_load a)
+
+let test_invalid () =
+  Alcotest.check_raises "zero bins" (Invalid_argument "Bfd.pack: bins must be >= 1")
+    (fun () -> ignore (Bfd.pack ~weights:[| 1 |] ~bins:0));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Bfd.pack: negative weight") (fun () ->
+      ignore (Bfd.pack ~weights:[| 1; -2 |] ~bins:2))
+
+let test_spread_units_even () =
+  let given = Bfd.spread_units ~loads:[| 0; 0; 0 |] ~units:7 in
+  Alcotest.(check int) "total" 7 (Array.fold_left ( + ) 0 given);
+  Array.iter
+    (fun g -> Alcotest.(check bool) "balanced" true (g = 2 || g = 3))
+    given
+
+let test_spread_units_prefers_low () =
+  let given = Bfd.spread_units ~loads:[| 10; 0 |] ~units:6 in
+  Alcotest.(check int) "low bin gets most" 6 given.(1) ;
+  Alcotest.(check int) "high bin gets none until balanced" 0 given.(0)
+
+let test_spread_units_tops_up () =
+  (* loads 5 and 2: first 3 units even things out, rest alternate *)
+  let given = Bfd.spread_units ~loads:[| 5; 2 |] ~units:5 in
+  Alcotest.(check int) "total" 5 (given.(0) + given.(1));
+  Alcotest.(check int) "final loads equal" (5 + given.(0)) (2 + given.(1))
+
+let test_spread_units_invalid () =
+  Alcotest.check_raises "negative units"
+    (Invalid_argument "Bfd.spread_units: negative units") (fun () ->
+      ignore (Bfd.spread_units ~loads:[| 1 |] ~units:(-1)));
+  Alcotest.check_raises "no bins"
+    (Invalid_argument "Bfd.spread_units: no bins") (fun () ->
+      ignore (Bfd.spread_units ~loads:[||] ~units:1))
+
+let prop_no_item_lost =
+  Test_helpers.qtest "pack places every item"
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 30) (0 -- 50)) (1 -- 8))
+    (fun (weights, bins) ->
+      let weights = Array.of_list weights in
+      let a = Soctest_wrapper.Bfd.pack ~weights ~bins in
+      let placed =
+        Array.fold_left (fun acc items -> acc + List.length items) 0 a.Bfd.bins
+      in
+      placed = Array.length weights
+      && Array.fold_left ( + ) 0 a.Bfd.loads
+         = Array.fold_left ( + ) 0 weights)
+
+let prop_bfd_quality =
+  (* BFD's max load is at most 2x the trivial lower bound
+     max(avg, max item) — far looser than the true 4/3+ bound, but a
+     useful sanity guard. *)
+  Test_helpers.qtest "pack max load within 2x lower bound"
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (1 -- 50)) (1 -- 8))
+    (fun (weights, bins) ->
+      let weights = Array.of_list weights in
+      let a = Soctest_wrapper.Bfd.pack ~weights ~bins in
+      let total = Array.fold_left ( + ) 0 weights in
+      let biggest = Array.fold_left max 0 weights in
+      let lower = max biggest ((total + bins - 1) / bins) in
+      Bfd.max_load a <= 2 * lower)
+
+let () =
+  Alcotest.run "bfd"
+    [
+      ( "pack",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single bin" `Quick test_single_bin;
+          Alcotest.test_case "balanced split" `Quick test_balanced;
+          Alcotest.test_case "decreasing heuristic" `Quick
+            test_decreasing_heuristic;
+          Alcotest.test_case "more bins than items" `Quick
+            test_more_bins_than_items;
+          Alcotest.test_case "invalid arguments" `Quick test_invalid;
+        ] );
+      ( "spread_units",
+        [
+          Alcotest.test_case "even spread" `Quick test_spread_units_even;
+          Alcotest.test_case "prefers low bins" `Quick
+            test_spread_units_prefers_low;
+          Alcotest.test_case "tops up imbalance" `Quick
+            test_spread_units_tops_up;
+          Alcotest.test_case "invalid arguments" `Quick
+            test_spread_units_invalid;
+        ] );
+      ( "properties",
+        [ prop_no_item_lost; prop_bfd_quality ] );
+    ]

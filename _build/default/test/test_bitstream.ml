@@ -1,0 +1,101 @@
+(* Tests for bit-packed vectors. *)
+
+module B = Soctest_tester.Bitstream
+
+let test_create_and_length () =
+  let t = B.create 17 in
+  Alcotest.(check int) "length" 17 (B.length t);
+  for i = 0 to 16 do
+    Alcotest.(check bool) "zero initialized" false (B.get t i)
+  done;
+  Alcotest.(check int) "empty" 0 (B.length (B.create 0))
+
+let test_set_get () =
+  let t = B.create 20 in
+  B.set t 0 true;
+  B.set t 7 true;
+  B.set t 8 true;
+  B.set t 19 true;
+  Alcotest.(check bool) "bit 0" true (B.get t 0);
+  Alcotest.(check bool) "bit 7 (byte edge)" true (B.get t 7);
+  Alcotest.(check bool) "bit 8 (next byte)" true (B.get t 8);
+  Alcotest.(check bool) "bit 19" true (B.get t 19);
+  Alcotest.(check bool) "bit 1 untouched" false (B.get t 1);
+  B.set t 7 false;
+  Alcotest.(check bool) "cleared" false (B.get t 7);
+  Alcotest.(check int) "popcount" 3 (B.popcount t)
+
+let test_bounds () =
+  let t = B.create 4 in
+  let expect f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected bounds error"
+  in
+  expect (fun () -> B.get t 4);
+  expect (fun () -> B.get t (-1));
+  expect (fun () -> B.set t 4 true);
+  expect (fun () -> B.create (-1))
+
+let test_string_round_trip () =
+  let s = "001101000111010" in
+  Alcotest.(check string) "round trip" s (B.to_string (B.of_string s));
+  Alcotest.(check string) "empty" "" (B.to_string (B.of_string ""));
+  match B.of_string "01x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bad char rejection"
+
+let test_append_concat () =
+  let a = B.of_string "101" and b = B.of_string "0011" in
+  Alcotest.(check string) "append" "1010011" (B.to_string (B.append a b));
+  Alcotest.(check string) "concat" "1010011101"
+    (B.to_string (B.concat [ a; b; a ]));
+  Alcotest.(check string) "concat empty" "" (B.to_string (B.concat []))
+
+let test_runs () =
+  Alcotest.(check (list int)) "mixed" [ 3; 2; 1; 1 ]
+    (B.runs (B.of_string "0001101"));
+  Alcotest.(check (list int)) "starts with one" [ 0; 2; 3 ]
+    (B.runs (B.of_string "11000"));
+  Alcotest.(check (list int)) "all zeros" [ 4 ] (B.runs (B.of_string "0000"));
+  Alcotest.(check (list int)) "all ones" [ 0; 4 ]
+    (B.runs (B.of_string "1111"));
+  Alcotest.(check (list int)) "empty" [] (B.runs (B.of_string ""))
+
+let test_equal () =
+  Alcotest.(check bool) "equal" true
+    (B.equal (B.of_string "0101") (B.of_string "0101"));
+  Alcotest.(check bool) "different content" false
+    (B.equal (B.of_string "0101") (B.of_string "0111"));
+  Alcotest.(check bool) "different length" false
+    (B.equal (B.of_string "01") (B.of_string "010"))
+
+let prop_runs_sum_to_length =
+  Test_helpers.qtest "runs partition the stream"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 200) (QCheck.Gen.oneofl [ '0'; '1' ]))
+    (fun s ->
+      let t = B.of_string s in
+      List.fold_left ( + ) 0 (B.runs t) = B.length t)
+
+let prop_string_round_trip =
+  Test_helpers.qtest "of_string/to_string round trip"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 200) (QCheck.Gen.oneofl [ '0'; '1' ]))
+    (fun s -> B.to_string (B.of_string s) = s)
+
+let () =
+  Alcotest.run "bitstream"
+    [
+      ( "bitstream",
+        [
+          Alcotest.test_case "create/length" `Quick test_create_and_length;
+          Alcotest.test_case "set/get" `Quick test_set_get;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "string round trip" `Quick
+            test_string_round_trip;
+          Alcotest.test_case "append/concat" `Quick test_append_concat;
+          Alcotest.test_case "runs" `Quick test_runs;
+          Alcotest.test_case "equal" `Quick test_equal;
+          prop_runs_sum_to_length;
+          prop_string_round_trip;
+        ] );
+    ]

@@ -1,0 +1,113 @@
+(* Tests for the Golomb run-length codec. *)
+
+module B = Soctest_tester.Bitstream
+module C = Soctest_tester.Compress
+
+let round_trip ?(b = 4) s =
+  let stream = B.of_string s in
+  let code = C.encode ~b stream in
+  let back = C.decode ~b ~original_length:(B.length stream) code in
+  Alcotest.(check string) (Printf.sprintf "round trip %S" s) s
+    (B.to_string back);
+  Alcotest.(check int)
+    (Printf.sprintf "declared size %S" s)
+    (B.length code)
+    (C.encoded_bits ~b stream)
+
+let test_round_trips () =
+  List.iter round_trip
+    [
+      "1"; "0"; "01"; "10"; "0001"; "1111"; "0000";
+      "000100000001"; "00010010000000000001"; "010101010101";
+      "00000000000000000000000001";
+    ]
+
+let test_known_sizes () =
+  (* run of 5 zeros + 1, b=4: q=1 -> "10", r=1 -> "01"; 4 bits total *)
+  Alcotest.(check int) "single run b=4" 4
+    (C.encoded_bits ~b:4 (B.of_string "000001"));
+  (* "1" is a zero-length run: "0" ++ "00" with b=4 -> 3 bits *)
+  Alcotest.(check int) "immediate one" 3 (C.encoded_bits ~b:4 (B.of_string "1"))
+
+let test_sparse_compresses () =
+  (* 1% ones: long zero runs; compression must win big *)
+  let t = B.create 2000 in
+  let rec mark i = if i < 2000 then (B.set t i true; mark (i + 199)) in
+  mark 100;
+  let c = C.best t in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f > 4" c.C.ratio)
+    true (c.C.ratio > 4.)
+
+let test_dense_does_not () =
+  (* alternating bits: run-length coding loses *)
+  let t = B.of_string (String.concat "" (List.init 100 (fun _ -> "01"))) in
+  let c = C.best t in
+  Alcotest.(check bool) "ratio <= 1" true (c.C.ratio <= 1.0)
+
+let test_bad_b () =
+  let t = B.of_string "0101" in
+  List.iter
+    (fun b ->
+      match C.encoded_bits ~b t with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "b=%d should be rejected" b)
+    [ 0; -2; 3; 6; 12 ]
+
+let test_decode_errors () =
+  (* truncated stream *)
+  (match C.decode ~b:4 ~original_length:10 (B.of_string "1") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected truncation error");
+  match C.decode ~b:2 ~original_length:(-1) (B.of_string "0") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected negative length rejection"
+
+let test_best_picks_minimum () =
+  let t = B.of_string "000000010000000000000100000001" in
+  let best = C.best t in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "best is min" true
+        (best.C.bits <= C.encoded_bits ~b t))
+    [ 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let prop_round_trip =
+  Test_helpers.qtest "encode/decode round-trips any stream"
+    QCheck.(
+      pair
+        (string_gen_of_size (QCheck.Gen.int_range 1 300)
+           (QCheck.Gen.frequency [ (5, QCheck.Gen.return '0'); (1, QCheck.Gen.return '1') ]))
+        (QCheck.Gen.oneofl [ 2; 4; 8; 16 ] |> QCheck.make))
+    (fun (s, b) ->
+      let stream = B.of_string s in
+      let code = C.encode ~b stream in
+      B.equal stream (C.decode ~b ~original_length:(B.length stream) code))
+
+let prop_size_consistent =
+  Test_helpers.qtest "encoded_bits matches encode length"
+    QCheck.(
+      string_gen_of_size (QCheck.Gen.int_range 0 300)
+        (QCheck.Gen.oneofl [ '0'; '1' ]))
+    (fun s ->
+      let stream = B.of_string s in
+      B.length (C.encode ~b:8 stream) = C.encoded_bits ~b:8 stream)
+
+let () =
+  Alcotest.run "compress"
+    [
+      ( "golomb",
+        [
+          Alcotest.test_case "round trips" `Quick test_round_trips;
+          Alcotest.test_case "known sizes" `Quick test_known_sizes;
+          Alcotest.test_case "sparse compresses" `Quick
+            test_sparse_compresses;
+          Alcotest.test_case "dense does not" `Quick test_dense_does_not;
+          Alcotest.test_case "bad group size" `Quick test_bad_b;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "best picks minimum" `Quick
+            test_best_picks_minimum;
+          prop_round_trip;
+          prop_size_consistent;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Tests for constraint construction and derivation. *)
+
+module C = Soctest_constraints.Constraint_def
+module Soc_def = Soctest_soc.Soc_def
+
+let mk = Test_helpers.core
+
+let test_unconstrained () =
+  let c = C.unconstrained ~core_count:5 in
+  Alcotest.(check int) "core count" 5 c.C.core_count;
+  Alcotest.(check (list (pair int int))) "no precedence" [] c.C.precedence;
+  Alcotest.(check bool) "no power" true (c.C.power_limit = None);
+  for id = 1 to 5 do
+    Alcotest.(check int) "no preemption" 0 (C.max_preemptions_of c id)
+  done
+
+let test_make_and_queries () =
+  let c =
+    C.make ~core_count:4
+      ~precedence:[ (1, 2); (1, 3) ]
+      ~concurrency:[ (3, 2); (2, 3); (4, 1) ]
+      ~power_limit:100
+      ~max_preemptions:[ (2, 3) ]
+      ()
+  in
+  Alcotest.(check bool) "1<2" true (C.must_precede c 1 2);
+  Alcotest.(check bool) "2<1 not" false (C.must_precede c 2 1);
+  Alcotest.(check bool) "2#3" true (C.excluded c 2 3);
+  Alcotest.(check bool) "3#2 symmetric" true (C.excluded c 3 2);
+  Alcotest.(check bool) "1#4" true (C.excluded c 1 4);
+  Alcotest.(check bool) "1#2 not" false (C.excluded c 1 2);
+  Alcotest.(check bool) "self not excluded" false (C.excluded c 2 2);
+  Alcotest.(check (list int)) "preds of 2" [ 1 ] (C.predecessors c 2);
+  Alcotest.(check (list int)) "preds of 1" [] (C.predecessors c 1);
+  Alcotest.(check int) "dedup concurrency" 2 (List.length c.C.concurrency);
+  Alcotest.(check int) "preempt budget" 3 (C.max_preemptions_of c 2)
+
+let test_cycle_rejected () =
+  match
+    C.make ~core_count:3 ~precedence:[ (1, 2); (2, 3); (3, 1) ] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection"
+
+let test_long_cycle_rejected () =
+  match
+    C.make ~core_count:5
+      ~precedence:[ (1, 2); (2, 3); (3, 4); (4, 5); (5, 2) ]
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection"
+
+let test_validation_errors () =
+  let expect name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect "bad id" (fun () -> C.make ~core_count:2 ~precedence:[ (1, 3) ] ());
+  expect "self precedence" (fun () ->
+      C.make ~core_count:2 ~precedence:[ (1, 1) ] ());
+  expect "self concurrency" (fun () ->
+      C.make ~core_count:2 ~concurrency:[ (2, 2) ] ());
+  expect "zero power" (fun () -> C.make ~core_count:2 ~power_limit:0 ());
+  expect "negative preemptions" (fun () ->
+      C.make ~core_count:2 ~max_preemptions:[ (1, -1) ] ());
+  expect "zero cores" (fun () -> C.make ~core_count:0 ())
+
+let test_of_soc_derivations () =
+  let soc =
+    Soc_def.make ~name:"h"
+      ~cores:
+        [ mk ~bist:7 1 "a"; mk ~bist:7 2 "b"; mk 3 "c"; mk ~bist:7 4 "d" ]
+      ~hierarchy:[ (3, 1) ]
+      ()
+  in
+  let c = C.of_soc soc () in
+  Alcotest.(check bool) "hierarchy exclusion" true (C.excluded c 3 1);
+  Alcotest.(check bool) "bist exclusion a-b" true (C.excluded c 1 2);
+  Alcotest.(check bool) "bist exclusion a-d" true (C.excluded c 1 4);
+  Alcotest.(check bool) "bist exclusion b-d" true (C.excluded c 2 4);
+  Alcotest.(check bool) "c free" false (C.excluded c 3 2)
+
+let test_topological_levels () =
+  let c =
+    C.make ~core_count:5 ~precedence:[ (1, 3); (2, 3); (3, 4) ] ()
+  in
+  Alcotest.(check (list (list int)))
+    "levels"
+    [ [ 1; 2; 5 ]; [ 3 ]; [ 4 ] ]
+    (C.topological_levels c)
+
+let test_functional_updates () =
+  let c = C.unconstrained ~core_count:3 in
+  let c' = C.with_power_limit c (Some 42) in
+  Alcotest.(check (option int)) "limit set" (Some 42) c'.C.power_limit;
+  Alcotest.(check (option int)) "original untouched" None c.C.power_limit;
+  let c'' = C.with_max_preemptions c' [ (3, 2) ] in
+  Alcotest.(check int) "budget set" 2 (C.max_preemptions_of c'' 3);
+  Alcotest.(check int) "others zero" 0 (C.max_preemptions_of c'' 1);
+  match C.with_power_limit c (Some 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of zero limit"
+
+let prop_random_dag_accepted =
+  Test_helpers.qtest "low-to-high edges always accepted"
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 2 10 in
+         let* edges =
+           list_size (int_range 0 15)
+             (let* a = int_range 1 (n - 1) in
+              let* b = int_range (a + 1) n in
+              return (a, b))
+         in
+         return (n, edges)))
+    (fun (n, edges) ->
+      match C.make ~core_count:n ~precedence:edges () with
+      | _ -> true)
+
+let () =
+  Alcotest.run "constraints"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "unconstrained" `Quick test_unconstrained;
+          Alcotest.test_case "make and queries" `Quick test_make_and_queries;
+          Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+          Alcotest.test_case "long cycle rejected" `Quick
+            test_long_cycle_rejected;
+          Alcotest.test_case "validation errors" `Quick
+            test_validation_errors;
+          Alcotest.test_case "of_soc derivations" `Quick
+            test_of_soc_derivations;
+          Alcotest.test_case "topological levels" `Quick
+            test_topological_levels;
+          Alcotest.test_case "functional updates" `Quick
+            test_functional_updates;
+          prop_random_dag_accepted;
+        ] );
+    ]

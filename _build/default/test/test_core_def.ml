@@ -1,0 +1,86 @@
+(* Unit tests for the core description record. *)
+
+module Core_def = Soctest_soc.Core_def
+
+let mk = Test_helpers.core
+
+let test_derived_metrics () =
+  let c = mk ~inputs:5 ~outputs:7 ~bidirs:2 ~scan:[ 10; 20; 30 ] ~patterns:4 1 "c" in
+  Alcotest.(check int) "flip flops" 60 (Core_def.flip_flops c);
+  Alcotest.(check int) "chain count" 3 (Core_def.scan_chain_count c);
+  Alcotest.(check int) "bits per pattern" (60 + 5 + 7 + 4)
+    (Core_def.bits_per_pattern c);
+  Alcotest.(check int) "total bits" ((60 + 5 + 7 + 4) * 4)
+    (Core_def.test_data_bits c);
+  Alcotest.(check bool) "not combinational" false (Core_def.is_combinational c)
+
+let test_default_power_is_bits_per_pattern () =
+  let c = mk ~inputs:5 ~outputs:7 ~bidirs:2 ~scan:[ 10 ] ~patterns:4 1 "c" in
+  Alcotest.(check int) "default power" (Core_def.bits_per_pattern c)
+    c.Core_def.power
+
+let test_explicit_power () =
+  let c = mk ~power:123 1 "c" in
+  Alcotest.(check int) "explicit power" 123 c.Core_def.power
+
+let test_combinational () =
+  let c = mk ~scan:[] 1 "comb" in
+  Alcotest.(check bool) "combinational" true (Core_def.is_combinational c);
+  Alcotest.(check int) "no flip flops" 0 (Core_def.flip_flops c)
+
+let test_max_useful_width () =
+  let c = mk ~inputs:3 ~outputs:2 ~bidirs:0 ~scan:[ 4; 4 ] 1 "c" in
+  Alcotest.(check bool) "at least chains" true (Core_def.max_useful_width c >= 2);
+  let comb = mk ~inputs:2 ~outputs:1 ~scan:[] 2 "comb" in
+  Alcotest.(check bool) "at least 1" true (Core_def.max_useful_width comb >= 1)
+
+let check_invalid name f =
+  Alcotest.test_case name `Quick (fun () ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s: expected Invalid_argument" name)
+
+let test_equal () =
+  let a = mk 1 "x" and b = mk 1 "x" in
+  Alcotest.(check bool) "equal" true (Core_def.equal a b);
+  let c = mk ~patterns:99 1 "x" in
+  Alcotest.(check bool) "different patterns" false (Core_def.equal a c)
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  n = 0 || loop 0
+
+let test_pp_smoke () =
+  let c = mk ~bist:2 1 "abc" in
+  let s = Format.asprintf "%a" Core_def.pp c in
+  Alcotest.(check bool) "mentions name" true (contains_substring s "abc");
+  Alcotest.(check bool) "mentions bist" true (contains_substring s "bist=2")
+
+let () =
+  Alcotest.run "core_def"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "derived metrics" `Quick test_derived_metrics;
+          Alcotest.test_case "default power" `Quick
+            test_default_power_is_bits_per_pattern;
+          Alcotest.test_case "explicit power" `Quick test_explicit_power;
+          Alcotest.test_case "combinational" `Quick test_combinational;
+          Alcotest.test_case "max useful width" `Quick test_max_useful_width;
+          Alcotest.test_case "equality" `Quick test_equal;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+      ( "validation",
+        [
+          check_invalid "id zero" (fun () -> mk 0 "c");
+          check_invalid "negative inputs" (fun () -> mk ~inputs:(-1) 1 "c");
+          check_invalid "negative outputs" (fun () -> mk ~outputs:(-2) 1 "c");
+          check_invalid "zero patterns" (fun () -> mk ~patterns:0 1 "c");
+          check_invalid "zero-length chain" (fun () -> mk ~scan:[ 4; 0 ] 1 "c");
+          check_invalid "negative power" (fun () -> mk ~power:(-5) 1 "c");
+          check_invalid "empty core" (fun () ->
+              Core_def.make ~id:1 ~name:"e" ~inputs:0 ~outputs:0 ~bidirs:0
+                ~scan_chains:[] ~patterns:1 ());
+        ] );
+    ]

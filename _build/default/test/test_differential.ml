@@ -1,0 +1,178 @@
+(* Differential testing: the event-sweep validators must agree with
+   brute-force per-cycle reference checkers on random small schedules.
+   The sweeps are what the whole test suite trusts, so they get their own
+   independent oracle. *)
+
+module S = Soctest_tam.Schedule
+module C = Soctest_constraints.Constraint_def
+module Conflict = Soctest_constraints.Conflict
+module Soc_def = Soctest_soc.Soc_def
+
+(* random small schedules over a short horizon, valid or not *)
+let gen_schedule =
+  QCheck.Gen.(
+    let* tam_width = int_range 1 6 in
+    let* n = int_range 1 5 in
+    let* slices =
+      list_size (int_range 1 8)
+        (let* core = int_range 1 n in
+         let* width = int_range 1 tam_width in
+         let* start = int_range 0 20 in
+         let* len = int_range 1 10 in
+         return { S.core; width; start; stop = start + len })
+    in
+    return (n, S.make ~tam_width ~slices))
+
+let arb_schedule =
+  QCheck.make gen_schedule ~print:(fun (_, sched) ->
+      Format.asprintf "%a" S.pp sched)
+
+(* reference: check every cycle directly *)
+let naive_capacity_ok (sched : S.t) =
+  let horizon = S.makespan sched in
+  let ok = ref true in
+  for t = 0 to horizon - 1 do
+    let used =
+      List.fold_left
+        (fun acc (s : S.slice) ->
+          if s.S.start <= t && t < s.S.stop then acc + s.S.width else acc)
+        0 sched.S.slices
+    in
+    if used > sched.S.tam_width then ok := false
+  done;
+  !ok
+
+let naive_core_overlap (sched : S.t) =
+  let horizon = S.makespan sched in
+  let clash = ref false in
+  for t = 0 to horizon - 1 do
+    let active = S.active_at sched t in
+    let cores = List.map (fun (s : S.slice) -> s.S.core) active in
+    if List.length cores <> List.length (List.sort_uniq compare cores) then
+      clash := true
+  done;
+  !clash
+
+let naive_peak (sched : S.t) =
+  let horizon = S.makespan sched in
+  let peak = ref 0 in
+  for t = 0 to horizon - 1 do
+    let used =
+      List.fold_left
+        (fun acc (s : S.slice) ->
+          if s.S.start <= t && t < s.S.stop then acc + s.S.width else acc)
+        0 sched.S.slices
+    in
+    peak := max !peak used
+  done;
+  !peak
+
+let prop_capacity_agrees =
+  Test_helpers.qtest "check_capacity agrees with per-cycle oracle"
+    ~count:300 arb_schedule
+    (fun (_, sched) ->
+      let sweep_says_ok =
+        not
+          (List.exists
+             (function S.Capacity_exceeded _ -> true | _ -> false)
+             (S.check_capacity sched))
+      in
+      sweep_says_ok = naive_capacity_ok sched)
+
+let prop_overlap_agrees =
+  Test_helpers.qtest "core-overlap detection agrees with oracle" ~count:300
+    arb_schedule
+    (fun (_, sched) ->
+      let sweep_says_clash =
+        List.exists
+          (function S.Core_overlap _ -> true | _ -> false)
+          (S.check_capacity sched)
+      in
+      sweep_says_clash = naive_core_overlap sched)
+
+let prop_peak_agrees =
+  Test_helpers.qtest "peak_width agrees with oracle" ~count:300 arb_schedule
+    (fun (_, sched) -> S.peak_width sched = naive_peak sched)
+
+(* power profile: Conflict.validate vs per-cycle summation *)
+let prop_power_agrees =
+  Test_helpers.qtest "power validation agrees with oracle" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         let* n, sched = gen_schedule in
+         let* powers = list_repeat n (int_range 1 20) in
+         let* limit = int_range 1 60 in
+         return (n, sched, powers, limit)))
+    (fun (n, sched, powers, limit) ->
+      let cores =
+        List.mapi
+          (fun k p ->
+            Soctest_soc.Core_def.make ~id:(k + 1)
+              ~name:(Printf.sprintf "c%d" (k + 1))
+              ~inputs:2 ~outputs:2 ~bidirs:0 ~scan_chains:[ 4 ] ~patterns:2
+              ~power:p ())
+          powers
+      in
+      let soc = Soc_def.make ~name:"diff" ~cores () in
+      let constraints = C.make ~core_count:n ~power_limit:limit () in
+      let sweep_says_over =
+        List.exists
+          (function Conflict.Power_violated _ -> true | _ -> false)
+          (Conflict.validate soc constraints sched)
+      in
+      let naive_over = ref false in
+      for t = 0 to S.makespan sched - 1 do
+        let power =
+          List.fold_left
+            (fun acc (s : S.slice) -> acc + List.nth powers (s.S.core - 1))
+            0 (S.active_at sched t)
+        in
+        if power > limit then naive_over := true
+      done;
+      sweep_says_over = !naive_over)
+
+(* precedence: validate vs direct finish/start comparison *)
+let prop_precedence_agrees =
+  Test_helpers.qtest "precedence validation agrees with oracle" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         let* n, sched = gen_schedule in
+         let* a = int_range 1 n in
+         let* b = int_range 1 n in
+         return (n, sched, a, b)))
+    (fun (n, sched, a, b) ->
+      QCheck.assume (a <> b);
+      let cores =
+        List.init n (fun k ->
+            Soctest_soc.Core_def.make ~id:(k + 1)
+              ~name:(Printf.sprintf "c%d" (k + 1))
+              ~inputs:2 ~outputs:2 ~bidirs:0 ~scan_chains:[ 4 ] ~patterns:2
+              ())
+      in
+      let soc = Soc_def.make ~name:"diff" ~cores () in
+      let constraints = C.make ~core_count:n ~precedence:[ (a, b) ] () in
+      let sweep_says_violated =
+        List.exists
+          (function Conflict.Precedence_violated _ -> true | _ -> false)
+          (Conflict.validate soc constraints sched)
+      in
+      let naive_violated =
+        match (S.core_finish sched a, S.core_start sched b) with
+        | Some fin, Some start -> start < fin
+        | None, Some _ -> true
+        | _ -> false
+      in
+      sweep_says_violated = naive_violated)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "validators vs oracles",
+        [
+          prop_capacity_agrees;
+          prop_overlap_agrees;
+          prop_peak_agrees;
+          prop_power_agrees;
+          prop_precedence_agrees;
+        ] );
+    ]

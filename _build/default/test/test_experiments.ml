@@ -1,0 +1,195 @@
+(* Integration tests: the experiment drivers produce well-formed,
+   self-consistent artefacts (using quick parameter grids and small
+   sweeps so the suite stays fast). *)
+
+module T1 = Soctest_experiments.Table1
+module T2 = Soctest_experiments.Table2
+module Fig1 = Soctest_experiments.Fig1
+module Fig2 = Soctest_experiments.Fig2
+module Fig9 = Soctest_experiments.Fig9
+module Ablation = Soctest_experiments.Ablation
+module V = Soctest_core.Volume
+module Cost = Soctest_core.Cost
+
+let contains = Test_helpers.contains_substring
+
+let test_table1_row_consistency () =
+  let r = T1.run_soc ~quick:true (Test_helpers.d695 ()) ~widths:[ 16; 32 ] in
+  Alcotest.(check string) "name" "d695" r.T1.soc_name;
+  Alcotest.(check int) "two rows" 2 (List.length r.T1.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "LB <= non-preemptive" true
+        (row.T1.lower_bound <= row.T1.non_preemptive);
+      Alcotest.(check bool) "LB <= preemptive" true
+        (row.T1.lower_bound <= row.T1.preemptive);
+      Alcotest.(check bool) "LB <= power-constrained" true
+        (row.T1.lower_bound <= row.T1.power_constrained))
+    r.T1.rows
+
+let test_table1_widths_for () =
+  Alcotest.(check (list int)) "p34392 widths" [ 16; 24; 28; 32 ]
+    (T1.widths_for "p34392");
+  Alcotest.(check (list int)) "default widths" [ 16; 32; 48; 64 ]
+    (T1.widths_for "d695")
+
+let test_table1_rendering () =
+  let r = T1.run_soc ~quick:true (Test_helpers.mini4 ()) ~widths:[ 8 ] in
+  let s = T1.to_table [ r ] in
+  Alcotest.(check bool) "soc name in table" true (contains s "mini4");
+  let csv = T1.to_csv [ r ] in
+  Alcotest.(check bool) "csv header" true (contains csv "lower_bound");
+  Alcotest.(check int) "csv lines" 3
+    (List.length (String.split_on_char '\n' csv))
+
+let test_table2_consistency () =
+  let r =
+    T2.run_soc (Test_helpers.d695 ())
+      ~widths:(List.init 24 (fun k -> k + 1))
+      ~alphas:[ 0.3; 0.7 ] ()
+  in
+  Alcotest.(check int) "two evaluations" 2 (List.length r.T2.evaluations);
+  List.iter
+    (fun (e : Cost.evaluation) ->
+      Alcotest.(check bool) "T@W* >= Tmin" true (e.Cost.time_at >= r.T2.t_min);
+      Alcotest.(check bool) "V@W* >= Vmin" true
+        (e.Cost.volume_at >= r.T2.v_min))
+    r.T2.evaluations;
+  let s = T2.to_table [ r ] in
+  Alcotest.(check bool) "renders" true (contains s "d695")
+
+let test_table2_alphas () =
+  Alcotest.(check (list (float 1e-9))) "p93791 alphas" [ 0.5; 0.95; 0.99 ]
+    (T2.alphas_for "p93791");
+  Alcotest.(check (list (float 1e-9))) "unknown" [ 0.25; 0.5; 0.75 ]
+    (T2.alphas_for "mystery")
+
+let test_fig1 () =
+  let r = Fig1.run ~soc:(Test_helpers.d695 ()) ~core_id:6 ~wmax:32 () in
+  Alcotest.(check int) "32 staircase points" 32 (List.length r.Fig1.staircase);
+  Alcotest.(check string) "core name" "s13207" r.Fig1.core_name;
+  (* pareto points are a subset of the staircase *)
+  List.iter
+    (fun (w, t) ->
+      Alcotest.(check int) "pareto point on staircase" t
+        (List.assoc w r.Fig1.staircase))
+    r.Fig1.pareto;
+  Alcotest.(check bool) "plot renders" true
+    (String.length (Fig1.to_plot r) > 0);
+  Alcotest.(check bool) "table renders" true
+    (contains (Fig1.to_table r) "s13207");
+  let csv = Fig1.to_csv r in
+  Alcotest.(check int) "csv rows" (32 + 2)
+    (List.length (String.split_on_char '\n' csv))
+
+let test_fig1_bad_core () =
+  match Fig1.run ~soc:(Test_helpers.mini4 ()) ~core_id:99 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_fig2 () =
+  let r = Fig2.run ~soc:(Test_helpers.mini4 ()) ~tam_width:8 () in
+  Alcotest.(check int) "width" 8 r.Fig2.tam_width;
+  let s = Fig2.render r in
+  Alcotest.(check bool) "gantt header" true (contains s "TAM schedule");
+  Alcotest.(check bool) "legend names" true (contains s "alpha");
+  Alcotest.(check int) "capacity clean" 0
+    (List.length (Soctest_tam.Schedule.check_capacity r.Fig2.schedule))
+
+let test_fig9 () =
+  let r = Fig9.run ~soc:(Test_helpers.mini4 ()) ~max_width:16 () in
+  Alcotest.(check int) "16 points" 16 (List.length r.Fig9.points);
+  let c1, c2 = r.Fig9.cost_curves in
+  Alcotest.(check int) "curves match sweep" 16 (List.length c1);
+  Alcotest.(check int) "curves match sweep" 16 (List.length c2);
+  Alcotest.(check bool) "plots render" true
+    (String.length (Fig9.to_plots r) > 200);
+  let csv = Fig9.to_csv r in
+  Alcotest.(check bool) "csv header" true (contains csv "cost_a1")
+
+let test_ablation_delta () =
+  let rows =
+    Ablation.delta_effect ~soc:(Test_helpers.mini4 ()) ~widths:[ 8; 16 ] ()
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "delta never hurts (best-of includes 0)" true
+        (r.Ablation.with_delta <= r.Ablation.without_delta))
+    rows;
+  Alcotest.(check bool) "renders" true
+    (String.length (Ablation.delta_table rows) > 0)
+
+let test_ablation_slack () =
+  let rows =
+    Ablation.insert_slack_effect ~soc:(Test_helpers.mini4 ()) ~tam_width:8
+      ~slacks:[ 0; 3 ] ()
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  Alcotest.(check bool) "renders" true
+    (String.length (Ablation.slack_table rows) > 0)
+
+let test_ablation_packers () =
+  let rows =
+    Ablation.packer_comparison ~soc:(Test_helpers.d695 ()) ~tam_width:32 ()
+  in
+  Alcotest.(check int) "six algorithms" 6 (List.length rows);
+  let time name =
+    (List.find (fun r -> Test_helpers.contains_substring r.Ablation.packer name) rows)
+      .Ablation.testing_time
+  in
+  Alcotest.(check bool) "paper's packer wins" true
+    (List.for_all
+       (fun r -> time "this paper" <= r.Ablation.testing_time)
+       rows);
+  Alcotest.(check bool) "serial is worst" true
+    (List.for_all (fun r -> r.Ablation.testing_time <= time "serial") rows);
+  Alcotest.(check bool) "renders" true
+    (String.length
+       (Ablation.packer_table ~soc_name:"d695" ~tam_width:16 rows)
+    > 0)
+
+let test_ablation_wrapper_quality () =
+  let rows =
+    Ablation.wrapper_quality ~soc:(Test_helpers.mini4 ()) ~width:2 ()
+  in
+  Alcotest.(check int) "row per core" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "exact <= bfd" true
+        (r.Ablation.exact_time <= r.Ablation.bfd_time))
+    rows;
+  Alcotest.(check bool) "renders" true
+    (String.length (Ablation.wrapper_table rows) > 0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "row consistency" `Quick
+            test_table1_row_consistency;
+          Alcotest.test_case "widths_for" `Quick test_table1_widths_for;
+          Alcotest.test_case "rendering" `Quick test_table1_rendering;
+        ] );
+      ( "table2",
+        [
+          Alcotest.test_case "consistency" `Quick test_table2_consistency;
+          Alcotest.test_case "alphas" `Quick test_table2_alphas;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig1" `Quick test_fig1;
+          Alcotest.test_case "fig1 bad core" `Quick test_fig1_bad_core;
+          Alcotest.test_case "fig2" `Quick test_fig2;
+          Alcotest.test_case "fig9" `Quick test_fig9;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "delta" `Quick test_ablation_delta;
+          Alcotest.test_case "slack" `Quick test_ablation_slack;
+          Alcotest.test_case "packers" `Quick test_ablation_packers;
+          Alcotest.test_case "wrapper quality" `Quick
+            test_ablation_wrapper_quality;
+        ] );
+    ]

@@ -1,0 +1,82 @@
+(* Robustness fuzzing: parsers must fail gracefully (typed errors), never
+   with unexpected exceptions, on arbitrary input. *)
+
+module Parser = Soctest_soc.Soc_parser
+module Schedule_io = Soctest_tam.Schedule_io
+
+let printable =
+  QCheck.Gen.oneofl
+    [ 'S'; 'o'; 'c'; 'C'; 'r'; 'e'; 'H'; '0'; '1'; '9'; '-'; '='; ','; ' ';
+      '\n'; '\t'; '#'; 'x'; '.'; '_' ]
+
+let arb_garbage =
+  QCheck.make
+    (QCheck.Gen.string_size ~gen:printable (QCheck.Gen.int_range 0 400))
+    ~print:(Printf.sprintf "%S")
+
+let prop_soc_parser_total =
+  Test_helpers.qtest "soc parser is total (Ok or typed Error)" ~count:500
+    arb_garbage
+    (fun text ->
+      match Parser.parse_result text with Ok _ | Error _ -> true)
+
+let prop_schedule_io_total =
+  Test_helpers.qtest "schedule parser fails only with Parse_error"
+    ~count:500 arb_garbage
+    (fun text ->
+      match Schedule_io.of_string text with
+      | _ -> true
+      | exception Schedule_io.Parse_error _ -> true)
+
+let prop_soc_like_documents =
+  (* structured fuzz: near-miss .soc documents exercise every error path *)
+  Test_helpers.qtest "near-miss .soc documents" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let* header = oneofl [ "Soc x"; "Soc"; ""; "Soc x y" ] in
+         let* n = int_range 0 4 in
+         let* lines =
+           list_repeat n
+             (let* id = int_range 0 3 in
+              let* inputs = int_range (-1) 5 in
+              let* scan = oneofl [ "-"; "3,4"; "0"; "x"; "" ] in
+              let* extra = oneofl [ ""; " bist=1"; " mood=bad"; " power=-1" ] in
+              return
+                (Printf.sprintf
+                   "Core %d c%d inputs=%d outputs=1 bidirs=0 patterns=1 \
+                    scan=%s%s"
+                   id id inputs scan extra))
+         in
+         return (String.concat "\n" (header :: lines))))
+    (fun text ->
+      match Parser.parse_result text with Ok _ | Error _ -> true)
+
+let prop_compress_decode_rejects_garbage =
+  (* decoding garbage must either produce some stream or raise the typed
+     Invalid_argument — never loop or crash *)
+  Test_helpers.qtest "golomb decoder is total" ~count:300
+    (QCheck.make
+       (QCheck.Gen.pair
+          (QCheck.Gen.string_size
+             ~gen:(QCheck.Gen.oneofl [ '0'; '1' ])
+             (QCheck.Gen.int_range 0 120))
+          (QCheck.Gen.int_range 0 64)))
+    (fun (code, original_length) ->
+      match
+        Soctest_tester.Compress.decode ~b:4 ~original_length
+          (Soctest_tester.Bitstream.of_string code)
+      with
+      | _ -> true
+      | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "fuzz",
+        [
+          prop_soc_parser_total;
+          prop_schedule_io_total;
+          prop_soc_like_documents;
+          prop_compress_decode_rejects_garbage;
+        ] );
+    ]

@@ -1,0 +1,113 @@
+(* Tests for the ASCII Gantt renderer. *)
+
+module S = Soctest_tam.Schedule
+module G = Soctest_tam.Gantt
+
+let slice core width start stop = { S.core; width; start; stop }
+
+let test_symbols () =
+  Alcotest.(check char) "1" '1' (G.symbol 1);
+  Alcotest.(check char) "9" '9' (G.symbol 9);
+  Alcotest.(check char) "10" 'a' (G.symbol 10);
+  Alcotest.(check char) "35" 'z' (G.symbol 35);
+  Alcotest.(check char) "36 overflows" '*' (G.symbol 36);
+  Alcotest.(check char) "invalid" '?' (G.symbol 0)
+
+let test_empty () =
+  let s = S.empty ~tam_width:4 in
+  Alcotest.(check string) "empty" "(empty schedule)\n" (G.render s)
+
+let test_dimensions () =
+  let s = S.make ~tam_width:3 ~slices:[ slice 1 3 0 100 ] in
+  let out = G.render ~columns:40 s in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  (* header + 3 wire rows + axis + time labels *)
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  List.iteri
+    (fun k line ->
+      if k >= 1 && k <= 3 then
+        Alcotest.(check int) "row width" (5 + 40) (String.length line))
+    lines
+
+let test_full_occupancy_symbols () =
+  let s = S.make ~tam_width:2 ~slices:[ slice 1 2 0 10 ] in
+  let out = G.render ~columns:10 s in
+  (* count marks only inside the chart body (after each row's '|') *)
+  let ones =
+    String.split_on_char '\n' out
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = 'w')
+    |> List.map (fun l ->
+           let bar = String.index l '|' in
+           String.fold_left
+             (fun acc c -> if c = '1' then acc + 1 else acc)
+             0
+             (String.sub l (bar + 1) (String.length l - bar - 1)))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "both wires fully painted" 20 ones
+
+let test_sequential_cores_visible () =
+  let s =
+    S.make ~tam_width:1 ~slices:[ slice 1 1 0 10; slice 2 1 10 20 ]
+  in
+  let out = G.render ~columns:20 s in
+  Alcotest.(check bool) "core 1 painted" true (String.contains out '1');
+  Alcotest.(check bool) "core 2 painted" true (String.contains out '2');
+  (* first half is core 1, second half core 2 *)
+  let row =
+    List.find
+      (fun l -> String.length l > 4 && String.sub l 0 3 = "w00")
+      (String.split_on_char '\n' out)
+  in
+  Alcotest.(check char) "left half" '1' row.[5];
+  Alcotest.(check char) "right half" '2' row.[String.length row - 1]
+
+let test_idle_shown_as_dots () =
+  let s = S.make ~tam_width:2 ~slices:[ slice 1 1 0 10 ] in
+  let out = G.render ~columns:10 s in
+  Alcotest.(check bool) "has idle dots" true (String.contains out '.')
+
+let test_invalid_columns () =
+  let s = S.make ~tam_width:1 ~slices:[ slice 1 1 0 5 ] in
+  Alcotest.check_raises "columns 0"
+    (Invalid_argument "Gantt.render: columns must be >= 1") (fun () ->
+      ignore (G.render ~columns:0 s))
+
+let test_legend () =
+  let s =
+    S.make ~tam_width:2
+      ~slices:[ slice 1 1 0 10; slice 2 1 0 4; slice 2 1 7 10 ]
+  in
+  let legend = G.legend s (fun id -> Printf.sprintf "core%d" id) in
+  Alcotest.(check bool) "names present" true
+    (Test_helpers.contains_substring legend "core1"
+    && Test_helpers.contains_substring legend "core2");
+  Alcotest.(check bool) "preemption annotated" true
+    (Test_helpers.contains_substring legend "1 preemption")
+
+let test_header_stats () =
+  let s = S.make ~tam_width:2 ~slices:[ slice 1 2 0 10 ] in
+  let out = G.render s in
+  Alcotest.(check bool) "makespan in header" true
+    (Test_helpers.contains_substring out "makespan=10");
+  Alcotest.(check bool) "width in header" true
+    (Test_helpers.contains_substring out "W=2")
+
+let () =
+  Alcotest.run "gantt"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "symbols" `Quick test_symbols;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "dimensions" `Quick test_dimensions;
+          Alcotest.test_case "full occupancy" `Quick
+            test_full_occupancy_symbols;
+          Alcotest.test_case "sequential cores" `Quick
+            test_sequential_cores_visible;
+          Alcotest.test_case "idle dots" `Quick test_idle_shown_as_dots;
+          Alcotest.test_case "invalid columns" `Quick test_invalid_columns;
+          Alcotest.test_case "legend" `Quick test_legend;
+          Alcotest.test_case "header stats" `Quick test_header_stats;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the SVG schedule renderer and schedule statistics. *)
+
+module S = Soctest_tam.Schedule
+module SVG = Soctest_tam.Gantt_svg
+module Stats = Soctest_tam.Sched_stats
+module WA = Soctest_tam.Wire_alloc
+module O = Soctest_core.Optimizer
+
+let contains = Test_helpers.contains_substring
+
+let slice core width start stop = { S.core; width; start; stop }
+
+let sample () =
+  S.make ~tam_width:6
+    ~slices:[ slice 1 2 0 10; slice 2 4 0 5; slice 3 6 10 14 ]
+
+let test_svg_well_formed () =
+  let svg = SVG.render (sample ()) in
+  Alcotest.(check bool) "svg root" true (contains svg "<svg xmlns=");
+  Alcotest.(check bool) "closes" true (contains svg "</svg>");
+  Alcotest.(check bool) "makespan label" true (contains svg "t=14 cycles")
+
+let test_svg_rect_count () =
+  let sched = sample () in
+  let svg = SVG.render sched in
+  (* background + one rect per contiguous wire run of each allocation *)
+  let expected_runs =
+    List.fold_left
+      (fun acc { WA.wires; _ } ->
+        let sorted = List.sort compare wires in
+        let rec runs prev acc = function
+          | [] -> acc
+          | w :: rest ->
+            runs w (if w = prev + 1 then acc else acc + 1) rest
+        in
+        acc + runs (-2) 0 sorted)
+      0
+      (WA.allocate sched)
+  in
+  Alcotest.(check int) "rect count" (1 + expected_runs)
+    (SVG.rect_count svg)
+
+let test_svg_legend () =
+  let svg =
+    SVG.render ~name_of_core:(Printf.sprintf "core%d") (sample ())
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " in legend") true (contains svg n))
+    [ "core1"; "core2"; "core3" ]
+
+let test_svg_colors_deterministic () =
+  Alcotest.(check string) "same color" (SVG.color_of_core 5)
+    (SVG.color_of_core 5);
+  Alcotest.(check bool) "different cores differ" true
+    (SVG.color_of_core 1 <> SVG.color_of_core 2)
+
+let test_svg_invalid () =
+  match SVG.render ~width_px:10 (sample ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected size rejection"
+
+let test_svg_on_optimizer_schedule () =
+  let soc = Test_helpers.d695 () in
+  let r =
+    O.run_soc soc ~tam_width:16
+      ~constraints:(Test_helpers.unconstrained soc)
+      ()
+  in
+  let svg =
+    SVG.render
+      ~name_of_core:(fun id ->
+        (Soctest_soc.Soc_def.core soc id).Soctest_soc.Core_def.name)
+      r.O.schedule
+  in
+  Alcotest.(check bool) "contains s38417" true (contains svg "s38417");
+  Alcotest.(check bool) "non-trivial" true (String.length svg > 2000)
+
+(* ---------------- stats ---------------- *)
+
+let test_stats_basic () =
+  let stats = Stats.compute (sample ()) in
+  Alcotest.(check int) "makespan" 14 stats.Stats.makespan;
+  Alcotest.(check int) "peak width" 6 stats.Stats.peak_width;
+  Alcotest.(check int) "idle" ((6 * 14) - (20 + 20 + 24))
+    stats.Stats.idle_area;
+  let core1 = List.find (fun c -> c.Stats.core = 1) stats.Stats.core_stats in
+  Alcotest.(check int) "busy" 10 core1.Stats.busy;
+  Alcotest.(check int) "span" 10 core1.Stats.span;
+  Alcotest.(check int) "wire cycles" 20 core1.Stats.wire_cycles
+
+let test_stats_occupancy () =
+  let stats = Stats.compute (sample ()) in
+  Alcotest.(check (list (pair int int)))
+    "profile"
+    [ (0, 6); (5, 2); (10, 6); (14, 0) ]
+    stats.Stats.occupancy
+
+let test_stats_preempted_span () =
+  let sched =
+    S.make ~tam_width:4 ~slices:[ slice 1 2 0 5; slice 1 2 9 12 ]
+  in
+  let stats = Stats.compute sched in
+  let c = List.hd stats.Stats.core_stats in
+  Alcotest.(check int) "busy excludes gap" 8 c.Stats.busy;
+  Alcotest.(check int) "span includes gap" 12 c.Stats.span
+
+let test_stats_idle_tail () =
+  (* sample's final segment [10,14) is at peak level, so no tail *)
+  let stats = Stats.compute (sample ()) in
+  Alcotest.(check int) "no tail" 0 (Stats.idle_tail stats);
+  let flat = S.make ~tam_width:2 ~slices:[ slice 1 2 0 7 ] in
+  Alcotest.(check int) "no tail when flat" 0
+    (Stats.idle_tail (Stats.compute flat));
+  (* declining occupancy: peak segment ends at 10, schedule ends at 20 *)
+  let declining =
+    S.make ~tam_width:4 ~slices:[ slice 1 4 0 10; slice 2 2 10 20 ]
+  in
+  Alcotest.(check int) "tail of 10"
+    10
+    (Stats.idle_tail (Stats.compute declining))
+
+let test_stats_pp () =
+  let s = Format.asprintf "%a" Stats.pp (Stats.compute (sample ())) in
+  Alcotest.(check bool) "mentions utilization" true
+    (contains s "utilization")
+
+let () =
+  Alcotest.run "gantt_svg"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "well formed" `Quick test_svg_well_formed;
+          Alcotest.test_case "rect count" `Quick test_svg_rect_count;
+          Alcotest.test_case "legend" `Quick test_svg_legend;
+          Alcotest.test_case "colors" `Quick test_svg_colors_deterministic;
+          Alcotest.test_case "invalid size" `Quick test_svg_invalid;
+          Alcotest.test_case "real schedule" `Quick
+            test_svg_on_optimizer_schedule;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "occupancy" `Quick test_stats_occupancy;
+          Alcotest.test_case "preempted span" `Quick
+            test_stats_preempted_span;
+          Alcotest.test_case "idle tail" `Quick test_stats_idle_tail;
+          Alcotest.test_case "pp" `Quick test_stats_pp;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the hardware overhead model and the Verilog emitter. *)
+
+module Overhead = Soctest_hardware.Overhead
+module Verilog = Soctest_hardware.Verilog
+module W = Soctest_wrapper.Wrapper_design
+module O = Soctest_core.Optimizer
+module Core_def = Soctest_soc.Core_def
+
+let mk = Test_helpers.core
+let contains = Test_helpers.contains_substring
+
+let core = mk ~inputs:6 ~outputs:4 ~bidirs:2 ~scan:[ 12; 8 ] ~patterns:10 1 "uart"
+
+let test_core_overhead () =
+  let t = Overhead.core_overhead core ~width:2 in
+  Alcotest.(check int) "boundary cells = in + out + 2*bidir" (6 + 4 + 4)
+    t.Overhead.boundary_cells;
+  Alcotest.(check int) "two muxes per chain" 4 t.Overhead.chain_muxes;
+  Alcotest.(check int) "wir" 3 t.Overhead.wir_bits;
+  Alcotest.(check int) "tam wires" 2 t.Overhead.tam_wires;
+  Alcotest.(check int) "gates"
+    ((14 * 6) + (4 * 3) + (3 * 5))
+    t.Overhead.gates
+
+let test_overhead_clamps_width () =
+  (* silly width clamps to the wrapper's useful width *)
+  let t = Overhead.core_overhead core ~width:500 in
+  Alcotest.(check bool) "clamped wires" true (t.Overhead.tam_wires < 500)
+
+let test_soc_overhead_sums () =
+  let soc = Test_helpers.d695 () in
+  let prepared = O.prepare soc in
+  let widths = [ (1, 4); (2, 8) ] in
+  let total = Overhead.soc_overhead prepared ~widths in
+  let a = Overhead.core_overhead (Soctest_soc.Soc_def.core soc 1) ~width:4 in
+  let b = Overhead.core_overhead (Soctest_soc.Soc_def.core soc 2) ~width:8 in
+  Alcotest.(check int) "cells add" (a.Overhead.boundary_cells + b.Overhead.boundary_cells)
+    total.Overhead.boundary_cells;
+  Alcotest.(check int) "gates add" (a.Overhead.gates + b.Overhead.gates)
+    total.Overhead.gates
+
+let test_wrapper_module_structure () =
+  let v = Verilog.wrapper_module core ~width:2 in
+  Alcotest.(check bool) "module header" true (contains v "module wrapper_uart");
+  Alcotest.(check bool) "endmodule" true (contains v "endmodule");
+  Alcotest.(check bool) "tam ports sized" true (contains v "[1:0] tam_in");
+  (* cell instances match the overhead accounting *)
+  let t = Overhead.core_overhead core ~width:2 in
+  Alcotest.(check int) "wbc instances" t.Overhead.boundary_cells
+    (Verilog.instance_count v "soctest_wbc");
+  Alcotest.(check int) "mux instances" t.Overhead.chain_muxes
+    (Verilog.instance_count v "soctest_mux2");
+  Alcotest.(check int) "one wir" 1 (Verilog.instance_count v "soctest_wir");
+  (* every internal scan chain appears as a segment *)
+  Alcotest.(check int) "scan segments" 2
+    (Verilog.instance_count v "core_scan_segment");
+  Alcotest.(check bool) "segment lengths emitted" true
+    (contains v ".LENGTH(12)" && contains v ".LENGTH(8)")
+
+let test_soc_testbench () =
+  let soc = Test_helpers.mini4 () in
+  let prepared = O.prepare soc in
+  let widths = [ (1, 2); (2, 2); (3, 1); (4, 3) ] in
+  let v = Verilog.soc_testbench prepared ~widths in
+  Alcotest.(check bool) "primitives included" true
+    (contains v "module soctest_wbc");
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "wrapper for %s" name)
+        true
+        (contains v (Printf.sprintf "module wrapper_%s" name)))
+    [ "alpha"; "beta"; "gamma"; "delta" ];
+  Alcotest.(check bool) "top module" true
+    (contains v "module soc_mini4_test_top");
+  (* total TAM width = 2+2+1+3 = 8 *)
+  Alcotest.(check bool) "top tam port" true (contains v "[7:0] tam_in");
+  (* balanced module/endmodule *)
+  let count needle =
+    let rec go i acc =
+      if i >= String.length v then acc
+      else if
+        i + String.length needle <= String.length v
+        && String.sub v i (String.length needle) = needle
+      then go (i + String.length needle) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "balanced module/endmodule" (count "\nmodule ")
+    (count "endmodule")
+
+let test_width_one_module () =
+  let v = Verilog.wrapper_module core ~width:1 in
+  Alcotest.(check bool) "single-bit tam" true (contains v "[0:0] tam_in");
+  Alcotest.(check int) "all cells on one chain"
+    (Overhead.core_overhead core ~width:1).Overhead.boundary_cells
+    (Verilog.instance_count v "soctest_wbc")
+
+let test_invalid_width () =
+  match Verilog.wrapper_module core ~width:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected width rejection"
+
+let test_name_sanitization () =
+  let odd = mk ~scan:[ 4 ] 1 "weird-name.v2" in
+  let v = Verilog.wrapper_module odd ~width:1 in
+  Alcotest.(check bool) "sanitized module name" true
+    (contains v "module wrapper_weird_name_v2")
+
+let prop_netlist_matches_overhead =
+  Test_helpers.qtest "netlist instances equal overhead accounting" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         let* core = Test_helpers.gen_core 1 in
+         let* width = int_range 1 16 in
+         return (core, width)))
+    (fun (core, width) ->
+      let v = Verilog.wrapper_module core ~width in
+      let t = Overhead.core_overhead core ~width in
+      Verilog.instance_count v "soctest_wbc" = t.Overhead.boundary_cells
+      && Verilog.instance_count v "soctest_mux2" = t.Overhead.chain_muxes
+      && Verilog.instance_count v "core_scan_segment"
+         = Core_def.scan_chain_count core)
+
+let () =
+  Alcotest.run "hardware"
+    [
+      ( "overhead",
+        [
+          Alcotest.test_case "core overhead" `Quick test_core_overhead;
+          Alcotest.test_case "width clamping" `Quick
+            test_overhead_clamps_width;
+          Alcotest.test_case "soc sums" `Quick test_soc_overhead_sums;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "wrapper structure" `Quick
+            test_wrapper_module_structure;
+          Alcotest.test_case "soc testbench" `Quick test_soc_testbench;
+          Alcotest.test_case "width one" `Quick test_width_one_module;
+          Alcotest.test_case "invalid width" `Quick test_invalid_width;
+          Alcotest.test_case "name sanitization" `Quick
+            test_name_sanitization;
+          prop_netlist_matches_overhead;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the constraint-aware lower-bound terms, the exact BFD
+   reference, and the biobjective Pareto front. *)
+
+module O = Soctest_core.Optimizer
+module LB = Soctest_core.Lower_bound
+module C = Soctest_constraints.Constraint_def
+module V = Soctest_core.Volume
+module Bfd = Soctest_wrapper.Bfd
+module Soc_def = Soctest_soc.Soc_def
+
+let mk = Test_helpers.core
+
+(* ---------------- energy / critical-path bounds ---------------- *)
+
+let test_energy_term () =
+  let soc =
+    Soc_def.make ~name:"e"
+      ~cores:[ mk ~power:10 1 "a"; mk ~power:10 2 "b" ]
+      ()
+  in
+  let prepared = O.prepare soc in
+  let unconstrained = C.unconstrained ~core_count:2 in
+  Alcotest.(check int) "no limit -> 0" 0
+    (LB.energy_term prepared ~constraints:unconstrained);
+  let limited = C.make ~core_count:2 ~power_limit:10 () in
+  let tmin id =
+    Soctest_wrapper.Pareto.min_time (O.pareto_of prepared id)
+  in
+  Alcotest.(check int) "energy / limit"
+    ((((tmin 1 + tmin 2) * 10) + 9) / 10)
+    (LB.energy_term prepared ~constraints:limited)
+
+let test_energy_term_binding () =
+  (* with the limit equal to one core's power, the energy bound must be
+     at least the serial sum of minimum times *)
+  let soc =
+    Soc_def.make ~name:"e"
+      ~cores:[ mk ~power:5 1 "a"; mk ~power:5 2 "b"; mk ~power:5 3 "c" ]
+      ()
+  in
+  let prepared = O.prepare soc in
+  let constraints = C.make ~core_count:3 ~power_limit:5 () in
+  let serial_min =
+    List.fold_left
+      (fun acc id ->
+        acc + Soctest_wrapper.Pareto.min_time (O.pareto_of prepared id))
+      0 [ 1; 2; 3 ]
+  in
+  Alcotest.(check int) "serial bound" serial_min
+    (LB.energy_term prepared ~constraints);
+  (* and the realized schedule respects it *)
+  let r = O.run prepared ~tam_width:32 ~constraints ~params:O.default_params in
+  Alcotest.(check bool) "schedule above bound" true
+    (r.O.testing_time >= LB.energy_term prepared ~constraints)
+
+let test_critical_path_term () =
+  let soc = Test_helpers.mini4 () in
+  let prepared = O.prepare soc in
+  let chain = C.make ~core_count:4 ~precedence:[ (1, 2); (2, 3) ] () in
+  let t id w =
+    Soctest_wrapper.Pareto.time (O.pareto_of prepared id)
+      ~width:
+        (min w
+           (Soctest_wrapper.Pareto.highest_pareto (O.pareto_of prepared id)))
+  in
+  Alcotest.(check int) "chain of three" (t 1 8 + t 2 8 + t 3 8)
+    (LB.critical_path_term prepared ~tam_width:8 ~constraints:chain);
+  let free = C.unconstrained ~core_count:4 in
+  Alcotest.(check int) "no precedence = slowest single core"
+    (List.fold_left max 0 (List.map (fun id -> t id 8) [ 1; 2; 3; 4 ]))
+    (LB.critical_path_term prepared ~tam_width:8 ~constraints:free)
+
+let test_compute_constrained_dominates () =
+  let soc = Test_helpers.mini4 () in
+  let prepared = O.prepare soc in
+  let constraints =
+    C.make ~core_count:4
+      ~precedence:[ (1, 2); (2, 3); (3, 4) ]
+      ~power_limit:(Soc_def.max_power soc)
+      ()
+  in
+  let lb = LB.compute_constrained prepared ~tam_width:8 ~constraints in
+  Alcotest.(check bool) "at least plain LB" true
+    (lb >= LB.compute prepared ~tam_width:8);
+  (* the constrained schedule respects the constrained bound *)
+  let r = O.run prepared ~tam_width:8 ~constraints ~params:O.default_params in
+  Alcotest.(check bool)
+    (Printf.sprintf "schedule %d >= constrained LB %d" r.O.testing_time lb)
+    true
+    (r.O.testing_time >= lb)
+
+let prop_constrained_lb_sound =
+  Test_helpers.qtest "constrained LB never exceeds a real schedule"
+    ~count:80 Test_helpers.arb_soc_with_constraints
+    (fun (soc, constraints, tam_width) ->
+      let prepared = O.prepare soc in
+      let r =
+        O.run prepared ~tam_width ~constraints ~params:O.default_params
+      in
+      LB.compute_constrained prepared ~tam_width ~constraints
+      <= r.O.testing_time)
+
+(* ---------------- exact BFD reference ---------------- *)
+
+let test_exact_max_load_known () =
+  Alcotest.(check int) "perfect split" 11
+    (Bfd.exact_max_load ~weights:[| 6; 5; 4; 3; 2; 2 |] ~bins:2);
+  Alcotest.(check int) "single bin" 22
+    (Bfd.exact_max_load ~weights:[| 6; 5; 4; 3; 2; 2 |] ~bins:1);
+  Alcotest.(check int) "more bins than items" 6
+    (Bfd.exact_max_load ~weights:[| 6; 5 |] ~bins:4);
+  Alcotest.(check int) "empty" 0 (Bfd.exact_max_load ~weights:[||] ~bins:3);
+  (* the classic LPT-suboptimal case: {3,3,2,2,2} into 2 bins — greedy
+     reaches 7, the optimum pairs the threes for 6 *)
+  Alcotest.(check int) "greedy suboptimal here" 7
+    (Bfd.max_load (Bfd.pack ~weights:[| 3; 3; 2; 2; 2 |] ~bins:2));
+  Alcotest.(check int) "beats greedy sometimes" 6
+    (Bfd.exact_max_load ~weights:[| 3; 3; 2; 2; 2 |] ~bins:2)
+
+let test_exact_validation () =
+  let expect f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected rejection"
+  in
+  expect (fun () -> Bfd.exact_max_load ~weights:[| 1 |] ~bins:0);
+  expect (fun () -> Bfd.exact_max_load ~weights:[| -1 |] ~bins:2);
+  expect (fun () -> Bfd.exact_max_load ~weights:(Array.make 21 1) ~bins:2)
+
+let prop_bfd_near_optimal =
+  (* LPT/BFD guarantee: max load <= (4/3 - 1/(3m)) OPT *)
+  Test_helpers.qtest "BFD within 4/3 of the exact optimum"
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 0 12) (1 -- 40))
+        (1 -- 5))
+    (fun (weights, bins) ->
+      let weights = Array.of_list weights in
+      let greedy = Bfd.max_load (Bfd.pack ~weights ~bins) in
+      let exact = Bfd.exact_max_load ~weights ~bins in
+      greedy >= exact && greedy * 3 <= exact * 4)
+
+(* ---------------- pareto front ---------------- *)
+
+let point width time = { V.width; time; volume = width * time }
+
+let test_pareto_front_filters_dominated () =
+  let points =
+    [ point 2 100; point 4 60; point 6 60; point 8 50 ]
+    (* volumes: 200, 240, 360, 400 *)
+  in
+  let front = V.pareto_front points in
+  (* (6,60,360) dominated by (4,60,240); others are incomparable *)
+  Alcotest.(check (list int)) "widths on front" [ 2; 4; 8 ]
+    (List.map (fun p -> p.V.width) front)
+
+let test_pareto_front_of_real_sweep () =
+  let soc = Test_helpers.d695 () in
+  let prepared = O.prepare soc in
+  let points =
+    V.sweep prepared
+      ~widths:(List.init 32 (fun k -> k + 1))
+      ~constraints:(Test_helpers.unconstrained soc)
+      ()
+  in
+  let front = V.pareto_front points in
+  Alcotest.(check bool) "front non-empty" true (front <> []);
+  (* the min-time and min-volume points are always on the front *)
+  let tp = V.min_time_point points and vp = V.min_volume_point points in
+  Alcotest.(check bool) "tmin on front" true
+    (List.exists (fun p -> p.V.time = tp.V.time) front);
+  Alcotest.(check bool) "vmin on front" true
+    (List.exists (fun p -> p.V.volume = vp.V.volume) front);
+  (* along the front, time falls as volume rises *)
+  let rec antitone = function
+    | a :: (b :: _ as rest) ->
+      a.V.time >= b.V.time && a.V.volume <= b.V.volume && antitone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "front is antitone" true (antitone front);
+  (* every cost-function optimum lies on the front *)
+  List.iter
+    (fun alpha ->
+      let e = Soctest_core.Cost.evaluate ~alpha points in
+      Alcotest.(check bool)
+        (Printf.sprintf "alpha=%.2f optimum on front" alpha)
+        true
+        (List.exists
+           (fun p -> p.V.width = e.Soctest_core.Cost.effective_width)
+           front))
+    [ 0.0; 0.3; 0.7; 1.0 ]
+
+let () =
+  Alcotest.run "lb_extensions"
+    [
+      ( "constrained bounds",
+        [
+          Alcotest.test_case "energy term" `Quick test_energy_term;
+          Alcotest.test_case "energy binding" `Quick
+            test_energy_term_binding;
+          Alcotest.test_case "critical path" `Quick test_critical_path_term;
+          Alcotest.test_case "constrained compute" `Quick
+            test_compute_constrained_dominates;
+          prop_constrained_lb_sound;
+        ] );
+      ( "exact bfd",
+        [
+          Alcotest.test_case "known optima" `Quick test_exact_max_load_known;
+          Alcotest.test_case "validation" `Quick test_exact_validation;
+          prop_bfd_near_optimal;
+        ] );
+      ( "pareto front",
+        [
+          Alcotest.test_case "filters dominated" `Quick
+            test_pareto_front_filters_dominated;
+          Alcotest.test_case "real sweep" `Quick
+            test_pareto_front_of_real_sweep;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+(* Tests for the testing-time lower bound. *)
+
+module O = Soctest_core.Optimizer
+module LB = Soctest_core.Lower_bound
+module Soc_def = Soctest_soc.Soc_def
+
+let mk = Test_helpers.core
+
+let test_single_core_equals_core_time () =
+  let soc = Soc_def.make ~name:"one" ~cores:[ mk 1 "a" ] () in
+  let prepared = O.prepare soc in
+  let p = O.pareto_of prepared 1 in
+  List.iter
+    (fun w ->
+      Alcotest.(check int)
+        (Printf.sprintf "W=%d" w)
+        (Soctest_wrapper.Pareto.time p ~width:w)
+        (LB.compute prepared ~tam_width:w))
+    [ 1; 2; 4 ]
+
+let test_terms () =
+  let soc = Test_helpers.d695 () in
+  let prepared = O.prepare soc in
+  List.iter
+    (fun w ->
+      let lb = LB.compute prepared ~tam_width:w in
+      let b = LB.bottleneck_term prepared ~tam_width:w
+      and a = LB.bandwidth_term prepared ~tam_width:w in
+      Alcotest.(check int) "max of terms" (max a b) lb)
+    [ 4; 16; 64 ]
+
+let test_bandwidth_halves () =
+  (* in the area-dominated regime, doubling W halves the bound *)
+  let soc = Test_helpers.d695 () in
+  let prepared = O.prepare soc in
+  let a16 = LB.bandwidth_term prepared ~tam_width:16 in
+  let a32 = LB.bandwidth_term prepared ~tam_width:32 in
+  Alcotest.(check bool) "halving" true (abs ((2 * a32) - a16) <= 1 * 2)
+
+let test_monotone_nonincreasing () =
+  let soc = Soctest_soc.Benchmarks.p22810 () in
+  let prepared = O.prepare soc in
+  let prev = ref max_int in
+  for w = 1 to 64 do
+    let lb = LB.compute prepared ~tam_width:w in
+    Alcotest.(check bool) (Printf.sprintf "LB(%d) <= LB(%d)" w (w - 1)) true
+      (lb <= !prev);
+    prev := lb
+  done
+
+let test_bottleneck_regime () =
+  (* p34392's bottleneck core keeps the LB flat at wide TAMs *)
+  let soc = Soctest_soc.Benchmarks.p34392 () in
+  let prepared = O.prepare soc in
+  let lb32 = LB.compute prepared ~tam_width:32
+  and lb48 = LB.compute prepared ~tam_width:48
+  and lb64 = LB.compute prepared ~tam_width:64 in
+  Alcotest.(check int) "flat 32-48" lb32 lb48;
+  Alcotest.(check int) "flat 48-64" lb48 lb64;
+  Alcotest.(check int) "equals bottleneck term"
+    (LB.bottleneck_term prepared ~tam_width:64)
+    lb64
+
+let test_invalid () =
+  let prepared = O.prepare (Test_helpers.mini4 ()) in
+  match LB.compute prepared ~tam_width:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let prop_lb_below_any_schedule =
+  Test_helpers.qtest "LB never exceeds an actual schedule" ~count:60
+    Test_helpers.arb_soc_with_constraints
+    (fun (soc, constraints, tam_width) ->
+      let prepared = O.prepare soc in
+      let r = O.run prepared ~tam_width ~constraints ~params:O.default_params in
+      LB.compute prepared ~tam_width <= r.O.testing_time)
+
+let () =
+  Alcotest.run "lower_bound"
+    [
+      ( "lower bound",
+        [
+          Alcotest.test_case "single core" `Quick
+            test_single_core_equals_core_time;
+          Alcotest.test_case "max of two terms" `Quick test_terms;
+          Alcotest.test_case "bandwidth halves with 2W" `Quick
+            test_bandwidth_halves;
+          Alcotest.test_case "non-increasing in W" `Quick
+            test_monotone_nonincreasing;
+          Alcotest.test_case "bottleneck regime (p34392)" `Quick
+            test_bottleneck_regime;
+          Alcotest.test_case "invalid width" `Quick test_invalid;
+          prop_lb_below_any_schedule;
+        ] );
+    ]

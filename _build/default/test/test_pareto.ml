@@ -1,0 +1,216 @@
+(* Unit and property tests for the Pareto staircase analysis. *)
+
+module Pareto = Soctest_wrapper.Pareto
+module W = Soctest_wrapper.Wrapper_design
+module Core_def = Soctest_soc.Core_def
+
+let mk = Test_helpers.core
+
+let sample () = Pareto.compute (mk ~scan:[ 30; 20; 20; 10 ] ~inputs:12 ~outputs:9 ~patterns:25 1 "p") ~wmax:16
+
+let test_envelope_monotone () =
+  let p = sample () in
+  let prev = ref max_int in
+  for w = 1 to Pareto.wmax p do
+    let t = Pareto.time p ~width:w in
+    Alcotest.(check bool) (Printf.sprintf "T(%d) <= T(%d)" w (w - 1)) true
+      (t <= !prev);
+    prev := t
+  done
+
+let test_pareto_strictly_decreasing () =
+  let p = sample () in
+  let widths = Pareto.pareto_widths p in
+  Alcotest.(check bool) "starts at 1" true (List.hd widths = 1);
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "widths ascend" true (a < b);
+      Alcotest.(check bool) "times strictly drop" true
+        (Pareto.time p ~width:b < Pareto.time p ~width:a);
+      check rest
+    | _ -> ()
+  in
+  check widths
+
+let test_time_clamps_above_wmax () =
+  let p = sample () in
+  Alcotest.(check int) "clamped"
+    (Pareto.time p ~width:(Pareto.wmax p))
+    (Pareto.time p ~width:1000)
+
+let test_time_invalid () =
+  let p = sample () in
+  Alcotest.check_raises "width 0" (Invalid_argument "Pareto: width must be >= 1")
+    (fun () -> ignore (Pareto.time p ~width:0))
+
+let test_effective_width () =
+  let p = sample () in
+  for w = 1 to Pareto.wmax p do
+    let e = Pareto.effective_width p ~width:w in
+    Alcotest.(check bool) "effective <= requested" true (e <= w);
+    Alcotest.(check int) "same time at effective width"
+      (Pareto.time p ~width:w) (Pareto.time p ~width:e);
+    Alcotest.(check bool) "effective is pareto" true
+      (List.mem e (Pareto.pareto_widths p))
+  done
+
+let test_highest_pareto_and_min_time () =
+  let p = sample () in
+  let top = Pareto.highest_pareto p in
+  Alcotest.(check int) "min time at top width" (Pareto.min_time p)
+    (Pareto.time p ~width:top);
+  Alcotest.(check int) "min time is envelope at wmax" (Pareto.min_time p)
+    (Pareto.time p ~width:(Pareto.wmax p))
+
+let test_rectangles_match () =
+  let p = sample () in
+  List.iter
+    (fun (w, t) -> Alcotest.(check int) "rect time" (Pareto.time p ~width:w) t)
+    (Pareto.rectangles p)
+
+let test_preferred_width_bounds () =
+  let p = sample () in
+  List.iter
+    (fun percent ->
+      let pref = Pareto.preferred_width p ~percent ~delta:0 in
+      Alcotest.(check bool) "preferred is pareto" true
+        (List.mem pref (Pareto.pareto_widths p)))
+    [ 0; 1; 5; 10; 50 ]
+
+let test_preferred_zero_percent_is_top () =
+  let p = sample () in
+  (* percent = 0, delta = 0: target is exactly the minimum time *)
+  Alcotest.(check int) "preferred at 0%" (Pareto.highest_pareto p)
+    (Pareto.preferred_width p ~percent:0 ~delta:0)
+
+let test_delta_bumps_to_top () =
+  let p = sample () in
+  let top = Pareto.highest_pareto p in
+  (* a huge delta always bumps to the highest Pareto width *)
+  Alcotest.(check int) "delta bump"
+    top
+    (Pareto.preferred_width p ~percent:50 ~delta:(Pareto.wmax p))
+
+let test_preferred_invalid () =
+  let p = sample () in
+  Alcotest.check_raises "negative percent"
+    (Invalid_argument "Pareto.preferred_width: percent < 0") (fun () ->
+      ignore (Pareto.preferred_width p ~percent:(-1) ~delta:0));
+  Alcotest.check_raises "negative delta"
+    (Invalid_argument "Pareto.preferred_width: delta < 0") (fun () ->
+      ignore (Pareto.preferred_width p ~percent:1 ~delta:(-1)))
+
+let test_min_area_bounds () =
+  let p = sample () in
+  let area = Pareto.min_area p in
+  Alcotest.(check bool) "area <= 1 * T(1)" true
+    (area <= Pareto.time p ~width:1);
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "area is a lower bound" true
+        (area <= w * Pareto.time p ~width:w))
+    (Pareto.pareto_widths p)
+
+let test_known_staircase () =
+  (* single chain of 32 FF + 35 in + 2 out, 75 patterns (s838-like):
+     beyond width 3 = 1 chain + remaining inputs spread, improvements
+     keep coming until terminals are singletons *)
+  let core =
+    Core_def.make ~id:1 ~name:"s838" ~inputs:35 ~outputs:2 ~bidirs:0
+      ~scan_chains:[ 32 ] ~patterns:75 ()
+  in
+  let p = Pareto.compute core ~wmax:64 in
+  Alcotest.(check int) "T(1) exact" ((1 + 67) * 75 + 34)
+    (Pareto.time p ~width:1);
+  Alcotest.(check bool) "staircase flattens" true
+    (Pareto.highest_pareto p < 40)
+
+let test_raw_vs_envelope () =
+  let p = sample () in
+  for w = 1 to Pareto.wmax p do
+    Alcotest.(check bool) "envelope <= raw" true
+      (Pareto.time p ~width:w <= Pareto.raw_time p ~width:w)
+  done
+
+let prop_envelope_nonincreasing =
+  Test_helpers.qtest "envelope is non-increasing for any core"
+    (QCheck.make (Test_helpers.gen_core 1))
+    (fun core ->
+      let p = Pareto.compute core ~wmax:48 in
+      let ok = ref true in
+      for w = 2 to 48 do
+        if Pareto.time p ~width:w > Pareto.time p ~width:(w - 1) then
+          ok := false
+      done;
+      !ok)
+
+let prop_pareto_corners_are_drops =
+  Test_helpers.qtest "pareto widths are exactly the envelope drops"
+    (QCheck.make (Test_helpers.gen_core 1))
+    (fun core ->
+      let p = Pareto.compute core ~wmax:48 in
+      let corners = Pareto.pareto_widths p in
+      List.for_all
+        (fun w ->
+          w = 1 || Pareto.time p ~width:w < Pareto.time p ~width:(w - 1))
+        corners
+      &&
+      let all = List.init 47 (fun k -> k + 2) in
+      List.for_all
+        (fun w ->
+          List.mem w corners
+          || Pareto.time p ~width:w = Pareto.time p ~width:(w - 1))
+        all)
+
+let prop_envelope_matches_design_min =
+  Test_helpers.qtest "envelope equals min of raw designs up to w" ~count:40
+    (QCheck.make (Test_helpers.gen_core 1))
+    (fun core ->
+      let p = Pareto.compute core ~wmax:24 in
+      let ok = ref true in
+      for w = 1 to 24 do
+        let best = ref max_int in
+        for v = 1 to w do
+          best := min !best (W.testing_time core ~width:v)
+        done;
+        if Pareto.time p ~width:w <> !best then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "pareto"
+    [
+      ( "staircase",
+        [
+          Alcotest.test_case "envelope monotone" `Quick test_envelope_monotone;
+          Alcotest.test_case "pareto strictly decreasing" `Quick
+            test_pareto_strictly_decreasing;
+          Alcotest.test_case "clamping above wmax" `Quick
+            test_time_clamps_above_wmax;
+          Alcotest.test_case "invalid width" `Quick test_time_invalid;
+          Alcotest.test_case "effective width" `Quick test_effective_width;
+          Alcotest.test_case "highest pareto / min time" `Quick
+            test_highest_pareto_and_min_time;
+          Alcotest.test_case "rectangles" `Quick test_rectangles_match;
+          Alcotest.test_case "raw vs envelope" `Quick test_raw_vs_envelope;
+          Alcotest.test_case "known staircase (s838)" `Quick
+            test_known_staircase;
+        ] );
+      ( "preferred width",
+        [
+          Alcotest.test_case "always pareto" `Quick
+            test_preferred_width_bounds;
+          Alcotest.test_case "0% means top width" `Quick
+            test_preferred_zero_percent_is_top;
+          Alcotest.test_case "delta bump" `Quick test_delta_bumps_to_top;
+          Alcotest.test_case "invalid arguments" `Quick
+            test_preferred_invalid;
+          Alcotest.test_case "min area bounds" `Quick test_min_area_bounds;
+        ] );
+      ( "properties",
+        [
+          prop_envelope_nonincreasing;
+          prop_pareto_corners_are_drops;
+          prop_envelope_matches_design_min;
+        ] );
+    ]

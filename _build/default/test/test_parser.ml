@@ -1,0 +1,134 @@
+(* Parser/writer tests: golden inputs, error reporting, round-trips. *)
+
+module Parser = Soctest_soc.Soc_parser
+module Writer = Soctest_soc.Soc_writer
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+
+let sample_text =
+  {|# demo
+Soc demo
+Core 1 cpu inputs=10 outputs=8 bidirs=2 patterns=50 scan=40,40,30
+Core 2 mem inputs=4 outputs=4 bidirs=0 patterns=100 scan=- power=77 bist=1
+Hierarchy 1 2
+|}
+
+let test_parse_basic () =
+  let soc = Parser.parse_string sample_text in
+  Alcotest.(check string) "name" "demo" soc.Soc_def.name;
+  Alcotest.(check int) "cores" 2 (Soc_def.core_count soc);
+  let cpu = Soc_def.core soc 1 in
+  Alcotest.(check string) "cpu name" "cpu" cpu.Core_def.name;
+  Alcotest.(check (list int)) "cpu scan" [ 40; 40; 30 ] cpu.Core_def.scan_chains;
+  Alcotest.(check int) "cpu bidirs" 2 cpu.Core_def.bidirs;
+  let mem = Soc_def.core soc 2 in
+  Alcotest.(check (list int)) "mem scan empty" [] mem.Core_def.scan_chains;
+  Alcotest.(check int) "mem power" 77 mem.Core_def.power;
+  Alcotest.(check (option int)) "mem bist" (Some 1) mem.Core_def.bist_engine;
+  Alcotest.(check (list (pair int int))) "hierarchy" [ (1, 2) ]
+    soc.Soc_def.hierarchy
+
+let test_comments_and_blank_lines () =
+  let text = "\n# comment only\nSoc x\n\nCore 1 a inputs=1 outputs=1 bidirs=0 patterns=1 scan=-  # trailing\n\n" in
+  let soc = Parser.parse_string text in
+  Alcotest.(check int) "one core" 1 (Soc_def.core_count soc)
+
+let test_tabs_as_separators () =
+  let text = "Soc x\nCore\t1\ta\tinputs=1\toutputs=1\tbidirs=0\tpatterns=1\tscan=-\n" in
+  let soc = Parser.parse_string text in
+  Alcotest.(check string) "core name" "a" (Soc_def.core soc 1).Core_def.name
+
+let check_error ~line text =
+  match Parser.parse_result text with
+  | Ok _ -> Alcotest.failf "expected parse error in %S" text
+  | Error e ->
+    Alcotest.(check int) (Printf.sprintf "error line in %S" text) line
+      e.Parser.line
+
+let test_errors () =
+  check_error ~line:1 "Core 1 a inputs=1 outputs=1 bidirs=0 patterns=1 scan=-";
+  (* missing Soc line reported at line 1 *)
+  check_error ~line:2 "Soc x\nCore 1 a inputs=1\n";
+  (* missing fields *)
+  check_error ~line:2 "Soc x\nCore one a inputs=1 outputs=1 bidirs=0 patterns=1 scan=-\n";
+  (* bad id *)
+  check_error ~line:2 "Soc x\nCore 1 a inputs=1 outputs=1 bidirs=0 patterns=1 scan=x\n";
+  (* bad scan list *)
+  check_error ~line:2 "Soc x\nCore 1 a inputs=1 outputs=1 bidirs=0 patterns=1 scan=- mood=great\n";
+  (* unknown attribute *)
+  check_error ~line:3 "Soc x\nCore 1 a inputs=1 outputs=1 bidirs=0 patterns=1 scan=-\nHierarchy 1\n";
+  (* malformed hierarchy *)
+  check_error ~line:3 "Soc x\nCore 1 a inputs=1 outputs=1 bidirs=0 patterns=1 scan=-\nSoc y\n";
+  (* duplicate Soc *)
+  check_error ~line:2 "Soc x\nBogus keyword\n"
+
+let test_error_message_rendering () =
+  match Parser.parse_result "Soc x\nCore 1 a inputs=1\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+    let s = Format.asprintf "%a" Parser.pp_error e in
+    Alcotest.(check bool) "mentions line number" true
+      (Test_helpers.contains_substring s "line 2")
+
+let test_out_of_order_ids_rejected () =
+  match
+    Parser.parse_result
+      "Soc x\n\
+       Core 2 b inputs=1 outputs=1 bidirs=0 patterns=1 scan=-\n\
+       Core 1 a inputs=1 outputs=1 bidirs=0 patterns=1 scan=-\n"
+  with
+  | Ok _ -> Alcotest.fail "expected id-order error"
+  | Error _ -> ()
+
+let round_trip soc =
+  let text = Writer.to_string soc in
+  let reparsed = Parser.parse_string text in
+  Alcotest.(check bool)
+    (Printf.sprintf "round trip %s" soc.Soc_def.name)
+    true
+    (Soc_def.equal soc reparsed)
+
+let test_round_trip_benchmarks () =
+  List.iter (fun (_, soc) -> round_trip soc) (Soctest_soc.Benchmarks.all ());
+  round_trip (Soctest_soc.Benchmarks.mini4 ())
+
+let test_file_io () =
+  let soc = Soctest_soc.Benchmarks.mini4 () in
+  let path = Filename.temp_file "soctest" ".soc" in
+  Writer.to_file path soc;
+  let reparsed = Parser.parse_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "file round trip" true (Soc_def.equal soc reparsed)
+
+let prop_round_trip_random =
+  Test_helpers.qtest "writer/parser round-trip on random SOCs"
+    Test_helpers.arb_soc
+    (fun soc ->
+      let reparsed = Parser.parse_string (Writer.to_string soc) in
+      Soc_def.equal soc reparsed)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "basic document" `Quick test_parse_basic;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_comments_and_blank_lines;
+          Alcotest.test_case "tabs" `Quick test_tabs_as_separators;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "positions" `Quick test_errors;
+          Alcotest.test_case "message rendering" `Quick
+            test_error_message_rendering;
+          Alcotest.test_case "out-of-order ids" `Quick
+            test_out_of_order_ids_rejected;
+        ] );
+      ( "round trip",
+        [
+          Alcotest.test_case "benchmarks" `Quick test_round_trip_benchmarks;
+          Alcotest.test_case "file io" `Quick test_file_io;
+          prop_round_trip_random;
+        ] );
+    ]

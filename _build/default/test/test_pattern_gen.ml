@@ -1,0 +1,99 @@
+(* Tests for synthetic ATPG pattern generation. *)
+
+module P = Soctest_tester.Pattern_gen
+module B = Soctest_tester.Bitstream
+module Core_def = Soctest_soc.Core_def
+
+let core = Test_helpers.core ~inputs:6 ~outputs:4 ~bidirs:2 ~scan:[ 20; 12 ] ~patterns:30 1 "c"
+
+let test_shapes () =
+  let t = P.generate core in
+  Alcotest.(check int) "pattern count" 30 (List.length t.P.patterns);
+  Alcotest.(check int) "stimulus bits = ff + in + bidir" (32 + 6 + 2)
+    t.P.stimulus_bits;
+  Alcotest.(check int) "response bits = ff + out + bidir" (32 + 4 + 2)
+    t.P.response_bits;
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "stimulus length" 40 (B.length p.P.stimulus);
+      Alcotest.(check int) "response length" 38 (B.length p.P.response))
+    t.P.patterns;
+  Alcotest.(check int) "total stimulus" (40 * 30) (P.total_stimulus_bits t);
+  Alcotest.(check int) "total response" (38 * 30) (P.total_response_bits t);
+  Alcotest.(check int) "total" ((40 + 38) * 30) (P.total_bits t)
+
+let test_deterministic () =
+  let a = P.generate core and b = P.generate core in
+  List.iter2
+    (fun p q ->
+      Alcotest.(check bool) "same stimulus" true
+        (B.equal p.P.stimulus q.P.stimulus);
+      Alcotest.(check bool) "same response" true
+        (B.equal p.P.response q.P.response))
+    a.P.patterns b.P.patterns
+
+let test_seed_sensitivity () =
+  let a = P.generate ~seed:1L core and b = P.generate ~seed:2L core in
+  let sa = B.to_string (P.stimulus_stream a)
+  and sb = B.to_string (P.stimulus_stream b) in
+  Alcotest.(check bool) "different data" false (String.equal sa sb)
+
+let test_density_controls_ones () =
+  let sparse = P.generate ~care_density:0.01 core in
+  let dense = P.generate ~care_density:0.5 core in
+  let ones t = B.popcount (P.stimulus_stream t) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sparse %d < dense %d" (ones sparse) (ones dense))
+    true
+    (ones sparse < ones dense);
+  (* care-bit accounting within loose binomial bounds *)
+  let total = P.total_stimulus_bits dense in
+  Alcotest.(check bool) "care bits near half the bits" true
+    (dense.P.care_bits > total * 4 / 10 && dense.P.care_bits < total * 6 / 10)
+
+let test_zero_density_is_all_fill () =
+  let t = P.generate ~care_density:0.0 core in
+  Alcotest.(check int) "no ones in stimulus" 0
+    (B.popcount (P.stimulus_stream t));
+  Alcotest.(check int) "no care bits" 0 t.P.care_bits
+
+let test_invalid_density () =
+  match P.generate ~care_density:1.5 core with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected density rejection"
+
+let test_stream_is_concatenation () =
+  let t = P.generate core in
+  let stream = P.stimulus_stream t in
+  Alcotest.(check int) "stream length" (P.total_stimulus_bits t)
+    (B.length stream);
+  let first = List.hd t.P.patterns in
+  let prefix = String.sub (B.to_string stream) 0 t.P.stimulus_bits in
+  Alcotest.(check string) "first pattern is the prefix"
+    (B.to_string first.P.stimulus)
+    prefix
+
+let test_combinational_core () =
+  let comb = Test_helpers.core ~scan:[] ~inputs:5 ~outputs:3 ~patterns:4 2 "comb" in
+  let t = P.generate comb in
+  Alcotest.(check int) "stimulus = inputs" 5 t.P.stimulus_bits;
+  Alcotest.(check int) "response = outputs" 3 t.P.response_bits
+
+let () =
+  Alcotest.run "pattern_gen"
+    [
+      ( "generate",
+        [
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "density" `Quick test_density_controls_ones;
+          Alcotest.test_case "zero density" `Quick
+            test_zero_density_is_all_fill;
+          Alcotest.test_case "invalid density" `Quick test_invalid_density;
+          Alcotest.test_case "stream concatenation" `Quick
+            test_stream_is_concatenation;
+          Alcotest.test_case "combinational core" `Quick
+            test_combinational_core;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* System-level property tests: random SOCs, random constraints, random
+   TAM widths — every schedule the optimizer emits must be complete,
+   capacity-clean, constraint-compliant and above the lower bound; the
+   whole pipeline must be deterministic and robust. *)
+
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module C = Soctest_constraints.Constraint_def
+module Conflict = Soctest_constraints.Conflict
+module S = Soctest_tam.Schedule
+module O = Soctest_core.Optimizer
+module LB = Soctest_core.Lower_bound
+module V = Soctest_core.Volume
+
+let run_ok (soc, constraints, tam_width) =
+  let prepared = O.prepare soc in
+  let r = O.run prepared ~tam_width ~constraints ~params:O.default_params in
+  (prepared, r)
+
+let prop_schedule_complete =
+  Test_helpers.qtest "every core is scheduled exactly to completion"
+    ~count:150 Test_helpers.arb_soc_with_constraints
+    (fun ((soc, _, _) as input) ->
+      let _, r = run_ok input in
+      S.cores r.O.schedule
+      = List.init (Soc_def.core_count soc) (fun k -> k + 1))
+
+let prop_schedule_valid =
+  Test_helpers.qtest "schedules satisfy capacity and all constraints"
+    ~count:150 Test_helpers.arb_soc_with_constraints
+    (fun ((soc, constraints, _) as input) ->
+      let _, r = run_ok input in
+      Conflict.validate soc constraints r.O.schedule = [])
+
+let prop_above_lower_bound =
+  Test_helpers.qtest "testing time >= lower bound" ~count:150
+    Test_helpers.arb_soc_with_constraints
+    (fun ((_, _, tam_width) as input) ->
+      let prepared, r = run_ok input in
+      r.O.testing_time >= LB.compute prepared ~tam_width)
+
+let prop_unconstrained_near_bound =
+  (* without constraints the greedy packer should stay within 3x of the
+     bound — a coarse regression guard against pathological schedules *)
+  Test_helpers.qtest "unconstrained within 3x of lower bound" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         let* soc = Test_helpers.gen_soc in
+         let* w = int_range 4 48 in
+         return (soc, w)))
+    (fun (soc, tam_width) ->
+      let prepared = O.prepare soc in
+      let constraints =
+        C.unconstrained ~core_count:(Soc_def.core_count soc)
+      in
+      let r =
+        O.run prepared ~tam_width ~constraints ~params:O.default_params
+      in
+      r.O.testing_time <= 3 * LB.compute prepared ~tam_width)
+
+let prop_slice_time_accounting =
+  (* for non-preempted cores, the scheduled span equals the wrapper
+     testing time at the assigned width *)
+  Test_helpers.qtest "busy time equals wrapper testing time" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         let* soc = Test_helpers.gen_soc in
+         let* w = int_range 1 48 in
+         return (soc, w)))
+    (fun (soc, tam_width) ->
+      let prepared = O.prepare soc in
+      let constraints =
+        C.unconstrained ~core_count:(Soc_def.core_count soc)
+      in
+      let r =
+        O.run prepared ~tam_width ~constraints ~params:O.default_params
+      in
+      List.for_all
+        (fun id ->
+          let slices = S.slices_of_core r.O.schedule id in
+          let busy =
+            List.fold_left (fun a s -> a + (s.S.stop - s.S.start)) 0 slices
+          in
+          match S.width_of_core r.O.schedule id with
+          | Some w ->
+            busy
+            = Soctest_wrapper.Pareto.time (O.pareto_of prepared id) ~width:w
+          | None -> false)
+        (S.cores r.O.schedule))
+
+let prop_deterministic =
+  Test_helpers.qtest "pipeline is deterministic" ~count:50
+    Test_helpers.arb_soc_with_constraints
+    (fun input ->
+      let _, a = run_ok input and _, b = run_ok input in
+      a.O.schedule.S.slices = b.O.schedule.S.slices)
+
+let prop_power_profile_under_limit =
+  Test_helpers.qtest "binding power limits are honoured" ~count:80
+    (QCheck.make
+       QCheck.Gen.(
+         let* soc = Test_helpers.gen_soc in
+         let* w = int_range 2 32 in
+         return (soc, w)))
+    (fun (soc, tam_width) ->
+      let limit = Soc_def.max_power soc + (Soc_def.max_power soc / 4) in
+      let constraints =
+        C.make ~core_count:(Soc_def.core_count soc) ~power_limit:limit ()
+      in
+      let prepared = O.prepare soc in
+      let r =
+        O.run prepared ~tam_width ~constraints ~params:O.default_params
+      in
+      Conflict.validate soc constraints r.O.schedule = [])
+
+let prop_precedence_order_in_schedule =
+  Test_helpers.qtest "precedence edges hold in the realized schedule"
+    ~count:80 Test_helpers.arb_soc_with_constraints
+    (fun ((_, constraints, _) as input) ->
+      let _, r = run_ok input in
+      List.for_all
+        (fun (before, after) ->
+          match
+            ( S.core_finish r.O.schedule before,
+              S.core_start r.O.schedule after )
+          with
+          | Some fin, Some start -> fin <= start
+          | _ -> false)
+        constraints.C.precedence)
+
+let prop_volume_sweep_consistent =
+  Test_helpers.qtest "volume sweep internally consistent" ~count:30
+    (QCheck.make Test_helpers.gen_soc)
+    (fun soc ->
+      let prepared = O.prepare soc in
+      let constraints =
+        C.unconstrained ~core_count:(Soc_def.core_count soc)
+      in
+      let points =
+        V.sweep prepared ~widths:[ 1; 2; 4; 8; 16 ] ~constraints ()
+      in
+      List.for_all (fun p -> p.V.volume = p.V.width * p.V.time) points
+      && (V.min_time_point points).V.time
+         <= (V.min_volume_point points).V.time)
+
+let prop_gantt_never_crashes =
+  Test_helpers.qtest "gantt renders any optimizer schedule" ~count:50
+    Test_helpers.arb_soc_with_constraints
+    (fun input ->
+      let _, r = run_ok input in
+      String.length (Soctest_tam.Gantt.render ~columns:40 r.O.schedule) > 0)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "system",
+        [
+          prop_schedule_complete;
+          prop_schedule_valid;
+          prop_above_lower_bound;
+          prop_unconstrained_near_bound;
+          prop_slice_time_accounting;
+          prop_deterministic;
+          prop_power_profile_under_limit;
+          prop_precedence_order_in_schedule;
+          prop_volume_sweep_consistent;
+          prop_gantt_never_crashes;
+        ] );
+    ]

@@ -1,0 +1,72 @@
+(* Tests for the rectangle model. *)
+
+module R = Soctest_tam.Rectangle
+
+let test_make_and_area () =
+  let r = R.make ~core:3 ~width:4 ~time:25 in
+  Alcotest.(check int) "area" 100 (R.area r);
+  Alcotest.(check int) "core" 3 r.R.core
+
+let test_make_invalid () =
+  let expect name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect "core 0" (fun () -> R.make ~core:0 ~width:1 ~time:1);
+  expect "width 0" (fun () -> R.make ~core:1 ~width:0 ~time:1);
+  expect "time 0" (fun () -> R.make ~core:1 ~width:1 ~time:0)
+
+let test_split_vertical () =
+  let r = R.make ~core:1 ~width:10 ~time:50 in
+  let a, b = R.split_vertical r 3 in
+  Alcotest.(check int) "a width" 3 a.R.width;
+  Alcotest.(check int) "b width" 7 b.R.width;
+  Alcotest.(check int) "time preserved a" 50 a.R.time;
+  Alcotest.(check int) "time preserved b" 50 b.R.time;
+  Alcotest.(check int) "area preserved" (R.area r) (R.area a + R.area b)
+
+let test_split_horizontal () =
+  let r = R.make ~core:1 ~width:10 ~time:50 in
+  let a, b = R.split_horizontal r 20 in
+  Alcotest.(check int) "a time" 20 a.R.time;
+  Alcotest.(check int) "b time" 30 b.R.time;
+  Alcotest.(check int) "width preserved" 10 a.R.width;
+  Alcotest.(check int) "area preserved" (R.area r) (R.area a + R.area b)
+
+let test_split_invalid () =
+  let r = R.make ~core:1 ~width:4 ~time:9 in
+  let expect name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect "vsplit 0" (fun () -> R.split_vertical r 0);
+  expect "vsplit full" (fun () -> R.split_vertical r 4);
+  expect "hsplit 0" (fun () -> R.split_horizontal r 0);
+  expect "hsplit full" (fun () -> R.split_horizontal r 9)
+
+let prop_splits_preserve_area =
+  Test_helpers.qtest "any legal split preserves area"
+    QCheck.(triple (2 -- 40) (2 -- 500) (0 -- 1000))
+    (fun (width, time, pick) ->
+      let r = R.make ~core:1 ~width ~time in
+      let w1 = 1 + (pick mod (width - 1)) in
+      let t1 = 1 + (pick mod (time - 1)) in
+      let va, vb = R.split_vertical r w1 in
+      let ha, hb = R.split_horizontal r t1 in
+      R.area va + R.area vb = R.area r && R.area ha + R.area hb = R.area r)
+
+let () =
+  Alcotest.run "rectangle"
+    [
+      ( "rectangle",
+        [
+          Alcotest.test_case "make and area" `Quick test_make_and_area;
+          Alcotest.test_case "make invalid" `Quick test_make_invalid;
+          Alcotest.test_case "vertical split" `Quick test_split_vertical;
+          Alcotest.test_case "horizontal split" `Quick test_split_horizontal;
+          Alcotest.test_case "invalid splits" `Quick test_split_invalid;
+          prop_splits_preserve_area;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for tables, plots and CSV. *)
+
+module Table = Soctest_report.Table
+module Plot = Soctest_report.Plot
+module Csv = Soctest_report.Csv
+
+let contains = Test_helpers.contains_substring
+
+let test_table_basic () =
+  let t =
+    Table.create ~title:"demo"
+      ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+      ()
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "12345" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "title" true (contains s "demo");
+  Alcotest.(check bool) "cells" true (contains s "alpha" && contains s "12345");
+  Alcotest.(check int) "rows" 2 (Table.row_count t);
+  (* right-aligned: the value column pads on the left *)
+  Alcotest.(check bool) "right alignment" true (contains s "    1")
+
+let test_table_alignment_consistency () =
+  let t = Table.create ~columns:[ ("c", Table.Left) ] () in
+  Table.add_row t [ "short" ];
+  Table.add_row t [ "a much longer cell" ];
+  let lines = String.split_on_char '\n' (String.trim (Table.render t)) in
+  let widths = List.map String.length lines in
+  (* header underline matches the widest row *)
+  Alcotest.(check bool) "constant width" true
+    (List.for_all (fun w -> w = List.hd (List.tl widths) || w <= List.hd (List.tl widths)) widths)
+
+let test_table_arity_errors () =
+  let t = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Right) ] () in
+  (match Table.add_row t [ "only one" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity error");
+  (match Table.add_int_row t "label" [ 1; 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity error on int row");
+  match Table.create ~columns:[] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected empty column rejection"
+
+let test_table_int_rows_and_separator () =
+  let t = Table.create ~columns:[ ("soc", Table.Left); ("w", Table.Right) ] () in
+  Table.add_int_row t "d695" [ 16 ];
+  Table.add_separator t;
+  Table.add_int_row t "p22810" [ 32 ];
+  let s = Table.render t in
+  Alcotest.(check int) "two data rows" 2 (Table.row_count t);
+  Alcotest.(check bool) "separator dashes" true (contains s "--")
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"say \"\"hi\"\"\"" (Csv.escape "say \"hi\"");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_render () =
+  let s = Csv.render ~header:[ "x"; "y" ] ~rows:[ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  Alcotest.(check string) "document" "x,y\n1,2\n3,4\n" s;
+  match Csv.render ~header:[ "x" ] ~rows:[ [ "1"; "2" ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity error"
+
+let test_csv_file () =
+  let path = Filename.temp_file "soctest" ".csv" in
+  Csv.write_file path ~header:[ "a" ] ~rows:[ [ "b" ] ];
+  let ic = open_in path in
+  let all = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "contents" "a\nb\n" all
+
+let test_plot_renders () =
+  let s =
+    Plot.render ~title:"t" ~y_label:"y" ~x_label:"x"
+      [ { Plot.label = '*'; points = [ (1, 1.); (2, 4.); (3, 9.) ] } ]
+  in
+  Alcotest.(check bool) "title" true (contains s "t");
+  Alcotest.(check bool) "marks" true (String.contains s '*');
+  Alcotest.(check bool) "x axis" true (contains s "x")
+
+let test_plot_flat_series () =
+  (* constant series must not divide by zero *)
+  let s =
+    Plot.render [ { Plot.label = 'c'; points = [ (1, 5.); (10, 5.) ] } ]
+  in
+  Alcotest.(check bool) "rendered" true (String.contains s 'c')
+
+let test_plot_single_point () =
+  let s = Plot.render [ { Plot.label = 'p'; points = [ (4, 2.) ] } ] in
+  Alcotest.(check bool) "rendered" true (String.contains s 'p')
+
+let test_plot_errors () =
+  (match Plot.render [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected empty rejection");
+  match
+    Plot.render ~width:2 ~height:2
+      [ { Plot.label = 'x'; points = [ (1, 1.) ] } ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected grid size rejection"
+
+let test_staircase () =
+  let expanded = Plot.staircase [ (1, 10); (4, 7); (5, 7) ] in
+  Alcotest.(check int) "length" 5 (List.length expanded);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "plateau holds earlier value"
+    [ (1, 10.); (2, 10.); (3, 10.); (4, 7.); (5, 7.) ]
+    expanded
+
+let test_staircase_single () =
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "single point" [ (3, 2.) ]
+    (Plot.staircase [ (3, 2) ])
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "basic" `Quick test_table_basic;
+          Alcotest.test_case "alignment" `Quick
+            test_table_alignment_consistency;
+          Alcotest.test_case "arity errors" `Quick test_table_arity_errors;
+          Alcotest.test_case "int rows + separator" `Quick
+            test_table_int_rows_and_separator;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "render" `Quick test_csv_render;
+          Alcotest.test_case "file io" `Quick test_csv_file;
+        ] );
+      ( "plot",
+        [
+          Alcotest.test_case "renders" `Quick test_plot_renders;
+          Alcotest.test_case "flat series" `Quick test_plot_flat_series;
+          Alcotest.test_case "single point" `Quick test_plot_single_point;
+          Alcotest.test_case "errors" `Quick test_plot_errors;
+          Alcotest.test_case "staircase" `Quick test_staircase;
+          Alcotest.test_case "staircase single" `Quick
+            test_staircase_single;
+        ] );
+    ]

@@ -1,0 +1,112 @@
+(* Tests for flexible scan-chain design (Aerts & Marinissen regime). *)
+
+module SP = Soctest_wrapper.Scan_partition
+module Pareto = Soctest_wrapper.Pareto
+module Core_def = Soctest_soc.Core_def
+
+let mk = Test_helpers.core
+
+let test_balanced_chains () =
+  Alcotest.(check (list int)) "even split" [ 5; 5; 5 ]
+    (SP.balanced_chains ~flip_flops:15 ~chains:3);
+  Alcotest.(check (list int)) "remainder spread" [ 6; 5; 5 ]
+    (SP.balanced_chains ~flip_flops:16 ~chains:3);
+  Alcotest.(check (list int)) "fewer ffs than chains" [ 1; 1 ]
+    (SP.balanced_chains ~flip_flops:2 ~chains:5);
+  Alcotest.(check (list int)) "no flip flops" []
+    (SP.balanced_chains ~flip_flops:0 ~chains:4)
+
+let test_balanced_chains_sum =
+  Test_helpers.qtest "balanced chains sum and balance"
+    QCheck.(pair (0 -- 500) (1 -- 32))
+    (fun (flip_flops, chains) ->
+      let lens = SP.balanced_chains ~flip_flops ~chains in
+      List.fold_left ( + ) 0 lens = flip_flops
+      && List.length lens <= chains
+      && (lens = []
+         ||
+         let mn = List.fold_left min max_int lens
+         and mx = List.fold_left max 0 lens in
+         mx - mn <= 1))
+
+let test_balanced_invalid () =
+  (match SP.balanced_chains ~flip_flops:(-1) ~chains:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative ffs");
+  match SP.balanced_chains ~flip_flops:4 ~chains:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero chains"
+
+let test_restitch_preserves_identity () =
+  let core = mk ~inputs:9 ~outputs:7 ~bidirs:1 ~scan:[ 30; 10; 5 ] ~patterns:42 3 "c" in
+  let re = SP.restitch core ~width:4 in
+  Alcotest.(check int) "id" 3 re.Core_def.id;
+  Alcotest.(check int) "patterns" 42 re.Core_def.patterns;
+  Alcotest.(check int) "same flip flops" (Core_def.flip_flops core)
+    (Core_def.flip_flops re);
+  Alcotest.(check int) "four chains" 4 (Core_def.scan_chain_count re);
+  Alcotest.(check int) "same power" core.Core_def.power re.Core_def.power
+
+let test_flexible_beats_unbalanced_fixed () =
+  (* a badly unbalanced fixed design: one huge chain dominates; flexible
+     re-stitching at width 4 must be much faster *)
+  let core = mk ~inputs:4 ~outputs:4 ~scan:[ 97; 1; 1; 1 ] ~patterns:50 1 "c" in
+  let fixed = Pareto.time (Pareto.compute core ~wmax:4) ~width:4 in
+  let flexible = SP.flexible_time core ~width:4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "flexible %d < fixed %d" flexible fixed)
+    true
+    (flexible < fixed * 70 / 100)
+
+let test_flexible_close_to_fixed_when_balanced () =
+  (* already balanced chains: re-stitching buys nothing *)
+  let core = mk ~inputs:4 ~outputs:4 ~scan:[ 25; 25; 25; 25 ] ~patterns:50 1 "c" in
+  let fixed = Pareto.time (Pareto.compute core ~wmax:4) ~width:4 in
+  let flexible = SP.flexible_time core ~width:4 in
+  Alcotest.(check int) "identical" fixed flexible
+
+let test_flexible_pareto () =
+  let core = mk ~inputs:10 ~outputs:10 ~scan:[ 40; 40 ] ~patterns:20 1 "c" in
+  let pareto = SP.flexible_pareto core ~wmax:16 in
+  Alcotest.(check bool) "starts at width 1" true
+    (fst (List.hd pareto) = 1);
+  let rec strictly_decreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a > b && strictly_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "times strictly decrease" true
+    (strictly_decreasing pareto)
+
+let prop_flexible_never_much_worse =
+  (* flexible design can always reproduce the fixed chains? No — it
+     rebalances, which is at least as good for the scan component; the
+     I/O spread is identical. Allow a tiny formula-level tolerance. *)
+  Test_helpers.qtest "flexible <= fixed envelope (1% tolerance)" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         let* core = Test_helpers.gen_core 1 in
+         let* width = int_range 1 16 in
+         return (core, width)))
+    (fun (core, width) ->
+      let fixed = Pareto.time (Pareto.compute core ~wmax:width) ~width in
+      let flexible = SP.flexible_time core ~width in
+      flexible <= (fixed * 101 / 100) + 2)
+
+let () =
+  Alcotest.run "scan_partition"
+    [
+      ( "scan partition",
+        [
+          Alcotest.test_case "balanced chains" `Quick test_balanced_chains;
+          test_balanced_chains_sum;
+          Alcotest.test_case "invalid" `Quick test_balanced_invalid;
+          Alcotest.test_case "restitch identity" `Quick
+            test_restitch_preserves_identity;
+          Alcotest.test_case "flexible beats unbalanced" `Quick
+            test_flexible_beats_unbalanced_fixed;
+          Alcotest.test_case "balanced is unchanged" `Quick
+            test_flexible_close_to_fixed_when_balanced;
+          Alcotest.test_case "flexible pareto" `Quick test_flexible_pareto;
+          prop_flexible_never_much_worse;
+        ] );
+    ]

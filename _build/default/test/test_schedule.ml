@@ -1,0 +1,150 @@
+(* Tests for the schedule representation and its first-principles
+   validator. *)
+
+module S = Soctest_tam.Schedule
+
+let slice core width start stop = { S.core; width; start; stop }
+
+let sample () =
+  (* W=8:
+     core 1: w=4 [0,10)
+     core 2: w=4 [0,6)
+     core 3: w=8 [10,15)
+     core 1 is NOT preempted; core 4 w=2 runs [6,10) in the hole *)
+  S.make ~tam_width:8
+    ~slices:
+      [
+        slice 1 4 0 10;
+        slice 2 4 0 6;
+        slice 3 8 10 15;
+        slice 4 2 6 10;
+      ]
+
+let test_basic_metrics () =
+  let s = sample () in
+  Alcotest.(check int) "makespan" 15 (S.makespan s);
+  Alcotest.(check int) "busy area" (40 + 24 + 40 + 8) (S.total_busy_area s);
+  Alcotest.(check int) "idle area" ((8 * 15) - 112) (S.idle_area s);
+  Alcotest.(check (float 1e-9)) "utilization" (112. /. 120.)
+    (S.utilization s);
+  Alcotest.(check (list int)) "cores" [ 1; 2; 3; 4 ] (S.cores s)
+
+let test_empty () =
+  let s = S.empty ~tam_width:4 in
+  Alcotest.(check int) "makespan" 0 (S.makespan s);
+  Alcotest.(check int) "idle" 0 (S.idle_area s);
+  Alcotest.(check (float 1e-9)) "utilization" 0. (S.utilization s);
+  Alcotest.(check (list int)) "no cores" [] (S.cores s);
+  Alcotest.(check int) "no violations" 0 (List.length (S.check_capacity s))
+
+let test_core_views () =
+  let s = sample () in
+  Alcotest.(check (option int)) "start of 3" (Some 10) (S.core_start s 3);
+  Alcotest.(check (option int)) "finish of 3" (Some 15) (S.core_finish s 3);
+  Alcotest.(check (option int)) "absent core" None (S.core_start s 9);
+  Alcotest.(check (option int)) "width of 1" (Some 4) (S.width_of_core s 1);
+  Alcotest.(check (option int)) "width of 9" None (S.width_of_core s 9)
+
+let test_preemptions () =
+  let s =
+    S.make ~tam_width:4
+      ~slices:[ slice 1 2 0 5; slice 1 2 8 12; slice 1 2 12 20 ]
+  in
+  (* one gap (5..8); the 12-boundary is contiguous *)
+  Alcotest.(check int) "one preemption" 1 (S.preemptions s 1);
+  Alcotest.(check int) "absent core" 0 (S.preemptions s 2)
+
+let test_peak_width () =
+  let s = sample () in
+  Alcotest.(check int) "peak" 8 (S.peak_width s);
+  let s2 = S.make ~tam_width:10 ~slices:[ slice 1 3 0 5; slice 2 4 5 9 ] in
+  Alcotest.(check int) "sequential peak" 4 (S.peak_width s2)
+
+let test_active_at () =
+  let s = sample () in
+  Alcotest.(check int) "two active at t=7" 2
+    (List.length (S.active_at s 7));
+  Alcotest.(check int) "two active at t=3" 2
+    (List.length (S.active_at s 3));
+  Alcotest.(check int) "one active at t=12" 1
+    (List.length (S.active_at s 12));
+  Alcotest.(check int) "none at makespan" 0
+    (List.length (S.active_at s 15))
+
+let test_capacity_ok () =
+  Alcotest.(check int) "sample valid" 0
+    (List.length (S.check_capacity (sample ())))
+
+let test_capacity_exceeded () =
+  let s =
+    S.make ~tam_width:4 ~slices:[ slice 1 3 0 10; slice 2 2 5 12 ]
+  in
+  match S.check_capacity s with
+  | [ S.Capacity_exceeded { time = 5; used = 5 } ] -> ()
+  | vs ->
+    Alcotest.failf "expected one capacity violation, got [%s]"
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" S.pp_violation) vs))
+
+let test_core_overlap () =
+  let s =
+    S.make ~tam_width:10 ~slices:[ slice 1 2 0 10; slice 1 2 5 8 ]
+  in
+  Alcotest.(check bool) "overlap detected" true
+    (List.exists
+       (function S.Core_overlap { core = 1; _ } -> true | _ -> false)
+       (S.check_capacity s))
+
+let test_end_meets_start_is_fine () =
+  (* releasing and claiming the same wires at the same instant is legal *)
+  let s =
+    S.make ~tam_width:4 ~slices:[ slice 1 4 0 5; slice 2 4 5 10 ]
+  in
+  Alcotest.(check int) "no violation" 0 (List.length (S.check_capacity s))
+
+let test_make_invalid () =
+  let expect name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect "zero width schedule" (fun () -> S.make ~tam_width:0 ~slices:[]);
+  expect "bad slice width" (fun () ->
+      S.make ~tam_width:4 ~slices:[ slice 1 0 0 5 ]);
+  expect "empty interval" (fun () ->
+      S.make ~tam_width:4 ~slices:[ slice 1 1 5 5 ]);
+  expect "negative start" (fun () ->
+      S.make ~tam_width:4 ~slices:[ slice 1 1 (-1) 5 ])
+
+let test_width_change_rejected () =
+  let s = S.make ~tam_width:8 ~slices:[ slice 1 2 0 5; slice 1 4 9 12 ] in
+  match S.width_of_core s 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for width change"
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "basic metrics" `Quick test_basic_metrics;
+          Alcotest.test_case "empty schedule" `Quick test_empty;
+          Alcotest.test_case "core views" `Quick test_core_views;
+          Alcotest.test_case "preemption counting" `Quick test_preemptions;
+          Alcotest.test_case "peak width" `Quick test_peak_width;
+          Alcotest.test_case "active_at" `Quick test_active_at;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "valid sample" `Quick test_capacity_ok;
+          Alcotest.test_case "capacity exceeded" `Quick
+            test_capacity_exceeded;
+          Alcotest.test_case "core overlap" `Quick test_core_overlap;
+          Alcotest.test_case "end meets start" `Quick
+            test_end_meets_start_is_fine;
+          Alcotest.test_case "constructor validation" `Quick
+            test_make_invalid;
+          Alcotest.test_case "width change rejected" `Quick
+            test_width_change_rejected;
+        ] );
+    ]

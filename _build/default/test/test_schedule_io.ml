@@ -1,0 +1,84 @@
+(* Tests for schedule serialization. *)
+
+module S = Soctest_tam.Schedule
+module IO = Soctest_tam.Schedule_io
+module O = Soctest_core.Optimizer
+
+let slice core width start stop = { S.core; width; start; stop }
+
+let sample =
+  S.make ~tam_width:8
+    ~slices:[ slice 1 4 0 10; slice 2 4 0 6; slice 1 4 15 20 ]
+
+let test_round_trip () =
+  let text = IO.to_string sample in
+  let back = IO.of_string text in
+  Alcotest.(check int) "width" sample.S.tam_width back.S.tam_width;
+  Alcotest.(check bool) "slices equal" true (sample.S.slices = back.S.slices)
+
+let test_format_shape () =
+  let text = IO.to_string sample in
+  Alcotest.(check bool) "header" true
+    (Test_helpers.contains_substring text "Schedule 8");
+  Alcotest.(check bool) "slice line" true
+    (Test_helpers.contains_substring text "Slice 2 4 0 6")
+
+let test_file_round_trip () =
+  let path = Filename.temp_file "soctest" ".sched" in
+  IO.to_file path sample;
+  let back = IO.of_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "file round trip" true
+    (sample.S.slices = back.S.slices)
+
+let check_error ~line text =
+  match IO.of_string text with
+  | exception IO.Parse_error e ->
+    Alcotest.(check int) (Printf.sprintf "line in %S" text) line e.IO.line
+  | _ -> Alcotest.failf "expected parse error in %S" text
+
+let test_errors () =
+  check_error ~line:1 "Slice 1 1 0 5\n";
+  (* missing header *)
+  check_error ~line:2 "Schedule 4\nSlice 1 1\n";
+  (* short slice *)
+  check_error ~line:2 "Schedule 4\nNonsense 1 2\n";
+  check_error ~line:2 "Schedule 4\nSlice x 1 0 5\n";
+  check_error ~line:2 "Schedule 4\nSchedule 8\n";
+  (* duplicate header *)
+  check_error ~line:1 "Schedule 4\nSlice 1 1 5 5\n"
+  (* empty interval rejected by Schedule.make, reported at line 1 *)
+
+let test_comments_ignored () =
+  let back =
+    IO.of_string "# header comment\nSchedule 4 # inline\nSlice 1 2 0 5\n"
+  in
+  Alcotest.(check int) "one slice" 1 (List.length back.S.slices)
+
+let test_empty_schedule () =
+  let empty = S.empty ~tam_width:3 in
+  let back = IO.of_string (IO.to_string empty) in
+  Alcotest.(check (list int)) "no cores" [] (S.cores back)
+
+let prop_optimizer_schedules_round_trip =
+  Test_helpers.qtest "optimizer schedules round-trip" ~count:40
+    Test_helpers.arb_soc_with_constraints
+    (fun (soc, constraints, tam_width) ->
+      let r = O.run_soc soc ~tam_width ~constraints () in
+      let back = IO.of_string (IO.to_string r.O.schedule) in
+      back.S.slices = r.O.schedule.S.slices)
+
+let () =
+  Alcotest.run "schedule_io"
+    [
+      ( "serialization",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "format shape" `Quick test_format_shape;
+          Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "comments" `Quick test_comments_ignored;
+          Alcotest.test_case "empty schedule" `Quick test_empty_schedule;
+          prop_optimizer_schedules_round_trip;
+        ] );
+    ]

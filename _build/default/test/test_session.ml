@@ -1,0 +1,108 @@
+(* Tests for the session-based scheduling baseline. *)
+
+module Session = Soctest_baselines.Session
+module S = Soctest_tam.Schedule
+module O = Soctest_core.Optimizer
+
+let prepared = lazy (O.prepare (Test_helpers.d695 ()))
+
+let test_structure () =
+  let prepared = Lazy.force prepared in
+  let r = Session.schedule prepared ~tam_width:16 in
+  (* every core in exactly one session *)
+  let all = List.concat r.Session.sessions |> List.sort compare in
+  Alcotest.(check (list int)) "all cores once"
+    (List.init 10 (fun k -> k + 1))
+    all;
+  Alcotest.(check int) "capacity clean" 0
+    (List.length (S.check_capacity r.Session.schedule));
+  Alcotest.(check int) "makespan consistent" r.Session.testing_time
+    (S.makespan r.Session.schedule)
+
+let test_sessions_are_barriers () =
+  (* within the schedule, each session's members start together and no
+     later session member starts before the previous session ends *)
+  let prepared = Lazy.force prepared in
+  let r = Session.schedule prepared ~tam_width:16 in
+  let sched = r.Session.schedule in
+  let boundary = ref 0 in
+  List.iter
+    (fun session ->
+      let starts =
+        List.map (fun id -> Option.get (S.core_start sched id)) session
+      in
+      List.iter
+        (fun s -> Alcotest.(check int) "session members start together"
+            (List.hd starts) s)
+        starts;
+      Alcotest.(check bool) "no overlap with previous session" true
+        (List.hd starts >= !boundary);
+      boundary :=
+        List.fold_left
+          (fun acc id -> max acc (Option.get (S.core_finish sched id)))
+          !boundary session)
+    r.Session.sessions
+
+let test_bounded_by_serial_and_lb () =
+  let prepared = Lazy.force prepared in
+  List.iter
+    (fun w ->
+      let session = Session.testing_time prepared ~tam_width:w in
+      let serial = Soctest_baselines.Serial.testing_time prepared ~tam_width:w in
+      let lb = Soctest_core.Lower_bound.compute prepared ~tam_width:w in
+      Alcotest.(check bool)
+        (Printf.sprintf "W=%d: LB %d <= session %d <= serial %d" w lb
+           session serial)
+        true
+        (lb <= session && session <= serial))
+    [ 8; 16; 32; 64 ]
+
+let test_optimizer_beats_sessions () =
+  (* the paper's point: removing the session barrier buys time *)
+  let prepared = Lazy.force prepared in
+  let constraints = Test_helpers.unconstrained (Test_helpers.d695 ()) in
+  List.iter
+    (fun w ->
+      let opt =
+        (O.best_over_params prepared ~tam_width:w ~constraints ())
+          .O.testing_time
+      in
+      let session = Session.testing_time prepared ~tam_width:w in
+      Alcotest.(check bool)
+        (Printf.sprintf "W=%d: optimizer %d <= sessions %d" w opt session)
+        true (opt <= session))
+    [ 16; 32; 64 ]
+
+let test_invalid () =
+  match Session.schedule (Lazy.force prepared) ~tam_width:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected width rejection"
+
+let prop_sessions_valid_on_random =
+  Test_helpers.qtest "session schedules valid on random SOCs" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         let* soc = Test_helpers.gen_soc in
+         let* w = int_range 1 32 in
+         return (soc, w)))
+    (fun (soc, tam_width) ->
+      let prepared = O.prepare soc in
+      let r = Session.schedule prepared ~tam_width in
+      S.check_capacity r.Session.schedule = []
+      && List.sort compare (List.concat r.Session.sessions)
+         = List.init (Soctest_soc.Soc_def.core_count soc) (fun k -> k + 1))
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "session baseline",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "barriers" `Quick test_sessions_are_barriers;
+          Alcotest.test_case "bounded" `Quick test_bounded_by_serial_and_lb;
+          Alcotest.test_case "optimizer beats sessions" `Quick
+            test_optimizer_beats_sessions;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+          prop_sessions_valid_on_random;
+        ] );
+    ]

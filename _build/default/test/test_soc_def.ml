@@ -1,0 +1,153 @@
+(* Unit tests for the SOC container: id discipline, hierarchy, BIST
+   groups, derived totals. *)
+
+module Core_def = Soctest_soc.Core_def
+module Soc_def = Soctest_soc.Soc_def
+
+let mk = Test_helpers.core
+
+let sample () =
+  Soc_def.make ~name:"s"
+    ~cores:
+      [
+        mk ~bist:1 1 "a";
+        mk ~bist:1 ~power:50 2 "b";
+        mk ~bist:2 3 "c";
+        mk ~power:999 4 "d";
+      ]
+    ~hierarchy:[ (1, 2); (1, 3) ]
+    ()
+
+let test_core_access () =
+  let soc = sample () in
+  Alcotest.(check int) "count" 4 (Soc_def.core_count soc);
+  Alcotest.(check string) "core 3 name" "c" (Soc_def.core soc 3).Core_def.name;
+  Alcotest.check_raises "id 0 out of range"
+    (Invalid_argument "Soc_def.core: id 0 out of range") (fun () ->
+      ignore (Soc_def.core soc 0));
+  Alcotest.check_raises "id 5 out of range"
+    (Invalid_argument "Soc_def.core: id 5 out of range") (fun () ->
+      ignore (Soc_def.core soc 5))
+
+let test_totals () =
+  let soc = sample () in
+  let expected =
+    List.fold_left ( + ) 0
+      (List.map
+         (fun id -> Core_def.test_data_bits (Soc_def.core soc id))
+         [ 1; 2; 3; 4 ])
+  in
+  Alcotest.(check int) "total bits" expected (Soc_def.total_test_data_bits soc);
+  Alcotest.(check int) "max power" 999 (Soc_def.max_power soc)
+
+let test_children () =
+  let soc = sample () in
+  Alcotest.(check (list int)) "children of 1" [ 2; 3 ] (Soc_def.children soc 1);
+  Alcotest.(check (list int)) "children of 2" [] (Soc_def.children soc 2)
+
+let test_bist_groups () =
+  let soc = sample () in
+  (* engine 1 shared by cores 1 and 2; engine 2 used by core 3 alone *)
+  Alcotest.(check (list (pair int (list int))))
+    "groups" [ (1, [ 1; 2 ]) ] (Soc_def.bist_groups soc)
+
+let test_id_discipline () =
+  (match
+     Soc_def.make ~name:"bad" ~cores:[ mk 1 "a"; mk 3 "b" ] ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for gapped ids");
+  match Soc_def.make ~name:"bad" ~cores:[] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for empty SOC"
+
+let test_hierarchy_validation () =
+  (match
+     Soc_def.make ~name:"bad" ~cores:[ mk 1 "a" ] ~hierarchy:[ (1, 2) ] ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown child should fail");
+  match
+    Soc_def.make ~name:"bad" ~cores:[ mk 1 "a" ] ~hierarchy:[ (1, 1) ] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "self-loop should fail"
+
+let test_equal () =
+  Alcotest.(check bool) "equal" true (Soc_def.equal (sample ()) (sample ()));
+  let other =
+    Soc_def.make ~name:"s" ~cores:[ mk 1 "a" ] ()
+  in
+  Alcotest.(check bool) "different" false (Soc_def.equal (sample ()) other)
+
+let test_pp_summary () =
+  let s = Format.asprintf "%a" Soc_def.pp_summary (sample ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "summary mentions %s" needle)
+        true
+        (Test_helpers.contains_substring s needle))
+    [ "a"; "b"; "c"; "d"; "patterns" ]
+
+let test_benchmarks_well_formed () =
+  List.iter
+    (fun (name, soc) ->
+      Alcotest.(check string) "name matches" name soc.Soc_def.name;
+      Alcotest.(check bool) "has cores" true (Soc_def.core_count soc > 0))
+    (Soctest_soc.Benchmarks.all ());
+  Alcotest.(check int) "d695 core count" 10
+    (Soc_def.core_count (Soctest_soc.Benchmarks.d695 ()));
+  Alcotest.(check int) "p22810 core count" 28
+    (Soc_def.core_count (Soctest_soc.Benchmarks.p22810 ()));
+  Alcotest.(check int) "p34392 core count" 19
+    (Soc_def.core_count (Soctest_soc.Benchmarks.p34392 ()));
+  Alcotest.(check int) "p93791 core count" 32
+    (Soc_def.core_count (Soctest_soc.Benchmarks.p93791 ()))
+
+let test_benchmarks_by_name () =
+  List.iter
+    (fun name ->
+      match Soctest_soc.Benchmarks.by_name name with
+      | Some soc -> Alcotest.(check string) "by_name" name soc.Soc_def.name
+      | None -> Alcotest.failf "missing benchmark %s" name)
+    [ "d695"; "p22810"; "p34392"; "p93791"; "mini4" ];
+  Alcotest.(check bool) "unknown" true
+    (Soctest_soc.Benchmarks.by_name "nope" = None)
+
+let test_benchmark_memoization () =
+  let a = Soctest_soc.Benchmarks.p22810 ()
+  and b = Soctest_soc.Benchmarks.p22810 () in
+  Alcotest.(check bool) "same value" true (Soc_def.equal a b)
+
+let test_d695_data_volume () =
+  (* reconstruction sanity: total test data within 10% of the published
+     aggregate implied by Table 1's LB(16) = 41232 wire-limited bound *)
+  let soc = Soctest_soc.Benchmarks.d695 () in
+  let bits = Soc_def.total_test_data_bits soc in
+  Alcotest.(check bool) "close to published" true
+    (bits > 600_000 && bits < 800_000)
+
+let () =
+  Alcotest.run "soc_def"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "core access" `Quick test_core_access;
+          Alcotest.test_case "totals" `Quick test_totals;
+          Alcotest.test_case "children" `Quick test_children;
+          Alcotest.test_case "bist groups" `Quick test_bist_groups;
+          Alcotest.test_case "id discipline" `Quick test_id_discipline;
+          Alcotest.test_case "hierarchy validation" `Quick
+            test_hierarchy_validation;
+          Alcotest.test_case "equality" `Quick test_equal;
+          Alcotest.test_case "pp summary" `Quick test_pp_summary;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "well formed" `Quick test_benchmarks_well_formed;
+          Alcotest.test_case "by_name" `Quick test_benchmarks_by_name;
+          Alcotest.test_case "memoization" `Quick test_benchmark_memoization;
+          Alcotest.test_case "d695 data volume" `Quick test_d695_data_volume;
+        ] );
+    ]

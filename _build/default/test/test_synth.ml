@@ -1,0 +1,141 @@
+(* Tests for the deterministic synthetic SOC generator. *)
+
+module Synth = Soctest_soc.Synth
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+
+let profile ?(seed = 42L) ?(cores = 12) ?(target = 500_000) () =
+  {
+    Synth.name = "synth";
+    seed;
+    core_count = cores;
+    target_data_bits = target;
+    big_core_fraction = 0.3;
+    combinational_fraction = 0.1;
+    hierarchy_pairs = 2;
+    bist_engines = 2;
+  }
+
+let test_rng_deterministic () =
+  let a = Synth.rng_of_seed 7L and b = Synth.rng_of_seed 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Synth.next_int a 1000)
+      (Synth.next_int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Synth.rng_of_seed 1L in
+  for _ = 1 to 1000 do
+    let v = Synth.next_int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Synth.next_int: bound must be positive") (fun () ->
+      ignore (Synth.next_int rng 0))
+
+let test_rng_spread () =
+  (* all residues of a small modulus appear over a long stream *)
+  let rng = Synth.rng_of_seed 3L in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Synth.next_int rng 8) <- true
+  done;
+  Array.iteri
+    (fun k s -> Alcotest.(check bool) (Printf.sprintf "residue %d" k) true s)
+    seen
+
+let test_generate_deterministic () =
+  let a = Synth.generate (profile ()) and b = Synth.generate (profile ()) in
+  Alcotest.(check bool) "equal SOCs" true (Soc_def.equal a b)
+
+let test_generate_seed_sensitivity () =
+  let a = Synth.generate (profile ())
+  and b = Synth.generate (profile ~seed:43L ()) in
+  Alcotest.(check bool) "different SOCs" false (Soc_def.equal a b)
+
+let test_calibration () =
+  List.iter
+    (fun target ->
+      let soc = Synth.generate (profile ~target ()) in
+      let bits = Soc_def.total_test_data_bits soc in
+      let err =
+        Float.abs (float_of_int (bits - target)) /. float_of_int target
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "volume within 2%% of %d (got %d)" target bits)
+        true (err < 0.02))
+    [ 200_000; 1_000_000; 10_000_000 ]
+
+let test_core_count_and_ids () =
+  let soc = Synth.generate (profile ~cores:7 ()) in
+  Alcotest.(check int) "core count" 7 (Soc_def.core_count soc);
+  Array.iteri
+    (fun k c -> Alcotest.(check int) "id order" (k + 1) c.Core_def.id)
+    soc.Soc_def.cores
+
+let test_hierarchy_pairs () =
+  let soc = Synth.generate (profile ()) in
+  Alcotest.(check int) "hierarchy pairs" 2
+    (List.length soc.Soc_def.hierarchy)
+
+let test_invalid_profile () =
+  match Synth.generate (profile ~cores:0 ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_with_bottleneck () =
+  let soc = Synth.generate (profile ()) in
+  let soc' =
+    Synth.with_bottleneck soc ~chains:10 ~chain_length:2048 ~patterns:265
+  in
+  let last = Soc_def.core soc' (Soc_def.core_count soc') in
+  Alcotest.(check int) "chains" 10 (Core_def.scan_chain_count last);
+  Alcotest.(check int) "flip flops" 20480 (Core_def.flip_flops last);
+  Alcotest.(check int) "patterns" 265 last.Core_def.patterns;
+  Alcotest.(check int) "same core count" (Soc_def.core_count soc)
+    (Soc_def.core_count soc');
+  (* the bottleneck's minimum testing time is near (1 + 2048 + eps) * 265 *)
+  let p = Soctest_wrapper.Pareto.compute last ~wmax:64 in
+  let t = Soctest_wrapper.Pareto.min_time p in
+  Alcotest.(check bool)
+    (Printf.sprintf "min time ~544k (got %d)" t)
+    true
+    (t > 540_000 && t < 560_000);
+  Alcotest.(check bool) "highest pareto near 10" true
+    (Soctest_wrapper.Pareto.highest_pareto p <= 12)
+
+let test_p34392_bottleneck_dominates () =
+  let soc = Soctest_soc.Benchmarks.p34392 () in
+  let prepared = Soctest_core.Optimizer.prepare soc in
+  let lb32 = Soctest_core.Lower_bound.compute prepared ~tam_width:32 in
+  let lb64 = Soctest_core.Lower_bound.compute prepared ~tam_width:64 in
+  Alcotest.(check int) "LB flat beyond 32 (bottleneck regime)" lb32 lb64
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "spread" `Quick test_rng_spread;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_generate_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_generate_seed_sensitivity;
+          Alcotest.test_case "volume calibration" `Quick test_calibration;
+          Alcotest.test_case "core count and ids" `Quick
+            test_core_count_and_ids;
+          Alcotest.test_case "hierarchy pairs" `Quick test_hierarchy_pairs;
+          Alcotest.test_case "invalid profile" `Quick test_invalid_profile;
+        ] );
+      ( "bottleneck",
+        [
+          Alcotest.test_case "with_bottleneck" `Quick test_with_bottleneck;
+          Alcotest.test_case "p34392 regime" `Quick
+            test_p34392_bottleneck_dominates;
+        ] );
+    ]

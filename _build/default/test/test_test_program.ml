@@ -1,0 +1,122 @@
+(* Tests for transport-level test program generation. *)
+
+module TP = Soctest_tester.Test_program
+module S = Soctest_tam.Schedule
+module O = Soctest_core.Optimizer
+
+let contains = Test_helpers.contains_substring
+
+let build () =
+  let soc = Test_helpers.mini4 () in
+  let prepared = O.prepare soc in
+  let r =
+    O.run prepared ~tam_width:8
+      ~constraints:(Test_helpers.unconstrained soc)
+      ~params:O.default_params
+  in
+  (prepared, r.O.schedule, TP.build prepared r.O.schedule)
+
+let test_dimensions () =
+  let _, sched, program = build () in
+  Alcotest.(check int) "width" sched.S.tam_width program.TP.tam_width;
+  Alcotest.(check int) "depth = makespan" (S.makespan sched)
+    program.TP.depth;
+  Array.iter
+    (fun row ->
+      Alcotest.(check int) "row length" program.TP.depth (Bytes.length row))
+    program.TP.wires
+
+let test_payload_equals_busy_area () =
+  let _, sched, program = build () in
+  Alcotest.(check int) "payload = busy area" (S.total_busy_area sched)
+    (TP.payload_bits program);
+  Alcotest.(check int) "idle = idle area" (S.idle_area sched)
+    (TP.idle_bits program)
+
+let test_rows_only_01X () =
+  let _, _, program = build () in
+  for w = 0 to program.TP.tam_width - 1 do
+    String.iter
+      (fun c ->
+        Alcotest.(check bool) "alphabet" true
+          (c = '0' || c = '1' || c = 'X'))
+      (TP.wire_row program w)
+  done
+
+let test_wire_row_bounds () =
+  let _, _, program = build () in
+  match TP.wire_row program 99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bounds error"
+
+let test_deterministic () =
+  let _, _, a = build () in
+  let _, _, b = build () in
+  Alcotest.(check string) "same program" (TP.wire_row a 0) (TP.wire_row b 0)
+
+let test_stimulus_lands_in_program () =
+  (* the first pattern's stimulus bits appear at the owning core's slice
+     start, round-robin across its wires *)
+  let prepared, sched, program = build () in
+  let core = List.hd (S.cores sched) in
+  ignore core;
+  (* at least some '1' payload must exist (responses are dense but
+     stimuli at default density still carry some care bits) *)
+  let ones =
+    List.init program.TP.tam_width (fun w -> TP.wire_row program w)
+    |> List.map (fun row ->
+           String.fold_left
+             (fun acc c -> if c = '1' then acc + 1 else acc)
+             0 row)
+    |> List.fold_left ( + ) 0
+  in
+  ignore prepared;
+  Alcotest.(check bool) "program carries care bits" true (ones > 0)
+
+let test_stil_output () =
+  let _, _, program = build () in
+  let stil = TP.to_stil ~max_cycles:10 program in
+  Alcotest.(check bool) "signals" true (contains stil "Signals { tam[7..0]");
+  Alcotest.(check bool) "pattern block" true (contains stil "Pattern soc_test");
+  Alcotest.(check bool) "elision note" true (contains stil "more cycles elided");
+  (* exactly 10 vector lines *)
+  let vectors =
+    String.split_on_char '\n' stil
+    |> List.filter (fun l -> contains l "V { tam = ")
+  in
+  Alcotest.(check int) "vector lines" 10 (List.length vectors);
+  (* each vector is W characters wide *)
+  List.iter
+    (fun l ->
+      let start = String.index l '=' + 2 in
+      let stop = String.index l ';' in
+      Alcotest.(check int) "vector width" 8 (stop - start))
+    vectors
+
+let test_full_stil_when_unbounded () =
+  let _, _, program = build () in
+  let stil = TP.to_stil program in
+  let vectors =
+    String.split_on_char '\n' stil
+    |> List.filter (fun l -> contains l "V { tam = ")
+  in
+  Alcotest.(check int) "one vector per cycle" program.TP.depth
+    (List.length vectors)
+
+let () =
+  Alcotest.run "test_program"
+    [
+      ( "test program",
+        [
+          Alcotest.test_case "dimensions" `Quick test_dimensions;
+          Alcotest.test_case "payload conservation" `Quick
+            test_payload_equals_busy_area;
+          Alcotest.test_case "alphabet" `Quick test_rows_only_01X;
+          Alcotest.test_case "bounds" `Quick test_wire_row_bounds;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "carries care bits" `Quick
+            test_stimulus_lands_in_program;
+          Alcotest.test_case "stil output" `Quick test_stil_output;
+          Alcotest.test_case "full stil" `Quick test_full_stil_when_unbounded;
+        ] );
+    ]

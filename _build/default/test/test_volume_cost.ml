@@ -1,0 +1,167 @@
+(* Tests for the tester data volume model and the cost function. *)
+
+module O = Soctest_core.Optimizer
+module V = Soctest_core.Volume
+module Cost = Soctest_core.Cost
+module S = Soctest_tam.Schedule
+
+let points_d695 =
+  lazy
+    (let soc = Test_helpers.d695 () in
+     let prepared = O.prepare soc in
+     V.sweep prepared
+       ~widths:(List.init 32 (fun k -> k + 1))
+       ~constraints:(Test_helpers.unconstrained soc)
+       ())
+
+let test_volume_identity () =
+  let sched =
+    S.make ~tam_width:6
+      ~slices:[ { S.core = 1; width = 3; start = 0; stop = 100 } ]
+  in
+  Alcotest.(check int) "V = W * makespan" 600 (V.of_schedule sched)
+
+let test_sweep_points () =
+  let points = Lazy.force points_d695 in
+  Alcotest.(check int) "32 points" 32 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "volume identity" (p.V.width * p.V.time)
+        p.V.volume)
+    points;
+  (* widths sorted ascending and unique *)
+  let widths = List.map (fun p -> p.V.width) points in
+  Alcotest.(check (list int)) "sorted" (List.sort_uniq compare widths) widths
+
+let test_sweep_dedups () =
+  let soc = Test_helpers.mini4 () in
+  let prepared = O.prepare soc in
+  let points =
+    V.sweep prepared ~widths:[ 4; 2; 4; 2 ]
+      ~constraints:(Test_helpers.unconstrained soc)
+      ()
+  in
+  Alcotest.(check (list int)) "dedup" [ 2; 4 ]
+    (List.map (fun p -> p.V.width) points)
+
+let test_min_points () =
+  let points = Lazy.force points_d695 in
+  let tp = V.min_time_point points and vp = V.min_volume_point points in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "tp minimal" true (tp.V.time <= p.V.time);
+      Alcotest.(check bool) "vp minimal" true (vp.V.volume <= p.V.volume))
+    points;
+  (* time shrinks with width, volume favours narrow TAMs *)
+  Alcotest.(check bool) "tmin at wide TAM" true (tp.V.width > 16);
+  Alcotest.(check bool) "vmin at narrow TAM" true (vp.V.width <= 8)
+
+let test_min_points_empty () =
+  (match V.min_time_point [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  match V.min_volume_point [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_cost_extremes () =
+  let points = Lazy.force points_d695 in
+  (* alpha=1: pure time; the effective width is the time minimizer *)
+  let e1 = Cost.evaluate ~alpha:1.0 points in
+  Alcotest.(check int) "alpha=1 picks Tmin width"
+    (V.min_time_point points).V.width e1.Cost.effective_width;
+  Alcotest.(check (float 1e-9)) "alpha=1 cost is 1" 1.0 e1.Cost.cost;
+  (* alpha=0: pure volume *)
+  let e0 = Cost.evaluate ~alpha:0.0 points in
+  Alcotest.(check int) "alpha=0 picks Vmin width"
+    (V.min_volume_point points).V.width e0.Cost.effective_width;
+  Alcotest.(check (float 1e-9)) "alpha=0 cost is 1" 1.0 e0.Cost.cost
+
+let test_cost_bounds () =
+  let points = Lazy.force points_d695 in
+  List.iter
+    (fun alpha ->
+      let e = Cost.evaluate ~alpha points in
+      Alcotest.(check bool) "C >= 1" true (e.Cost.cost >= 1.0 -. 1e-9);
+      Alcotest.(check bool) "W* in sweep" true
+        (List.exists (fun p -> p.V.width = e.Cost.effective_width) points))
+    [ 0.1; 0.25; 0.5; 0.75; 0.9 ]
+
+let test_cost_curve () =
+  let points = Lazy.force points_d695 in
+  let curve = Cost.curve ~alpha:0.5 points in
+  Alcotest.(check int) "one cost per point" (List.length points)
+    (List.length curve);
+  List.iter
+    (fun (_, c) -> Alcotest.(check bool) "cost >= 1" true (c >= 1.0 -. 1e-9))
+    curve;
+  (* the curve value at W* matches the evaluation *)
+  let e = Cost.evaluate ~alpha:0.5 points in
+  let c_at_star = List.assoc e.Cost.effective_width curve in
+  Alcotest.(check (float 1e-9)) "curve consistent" e.Cost.cost c_at_star
+
+let test_cost_validation () =
+  let points = Lazy.force points_d695 in
+  (match Cost.evaluate ~alpha:1.5 points with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "alpha out of range");
+  (match Cost.evaluate ~alpha:(-0.1) points with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "alpha out of range");
+  match Cost.evaluate ~alpha:0.5 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty sweep"
+
+let test_evaluate_many () =
+  let points = Lazy.force points_d695 in
+  let es = Cost.evaluate_many ~alphas:[ 0.2; 0.8 ] points in
+  Alcotest.(check int) "two evaluations" 2 (List.length es);
+  Alcotest.(check (float 1e-9)) "alphas preserved" 0.2
+    (List.hd es).Cost.alpha
+
+let test_larger_alpha_wider_or_equal () =
+  (* heavier weight on time should never pick a slower width *)
+  let points = Lazy.force points_d695 in
+  let e_narrow = Cost.evaluate ~alpha:0.1 points in
+  let e_wide = Cost.evaluate ~alpha:0.9 points in
+  Alcotest.(check bool) "time at high alpha <= time at low alpha" true
+    (e_wide.Cost.time_at <= e_narrow.Cost.time_at)
+
+let test_volume_nonmonotonic () =
+  (* V(W) must rise somewhere and fall somewhere (Fig. 9(b) shape) *)
+  let points = Lazy.force points_d695 in
+  let vols = List.map (fun p -> p.V.volume) points in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  let ps = pairs vols in
+  Alcotest.(check bool) "rises somewhere" true
+    (List.exists (fun (a, b) -> b > a) ps);
+  Alcotest.(check bool) "falls somewhere" true
+    (List.exists (fun (a, b) -> b < a) ps)
+
+let () =
+  Alcotest.run "volume_cost"
+    [
+      ( "volume",
+        [
+          Alcotest.test_case "identity" `Quick test_volume_identity;
+          Alcotest.test_case "sweep points" `Quick test_sweep_points;
+          Alcotest.test_case "sweep dedups" `Quick test_sweep_dedups;
+          Alcotest.test_case "min points" `Quick test_min_points;
+          Alcotest.test_case "min points empty" `Quick
+            test_min_points_empty;
+          Alcotest.test_case "non-monotonic" `Quick test_volume_nonmonotonic;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "extremes" `Quick test_cost_extremes;
+          Alcotest.test_case "bounds" `Quick test_cost_bounds;
+          Alcotest.test_case "curve" `Quick test_cost_curve;
+          Alcotest.test_case "validation" `Quick test_cost_validation;
+          Alcotest.test_case "evaluate_many" `Quick test_evaluate_many;
+          Alcotest.test_case "alpha ordering" `Quick
+            test_larger_alpha_wider_or_equal;
+        ] );
+    ]

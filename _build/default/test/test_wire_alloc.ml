@@ -1,0 +1,94 @@
+(* Tests for concrete wire allocation (fork/merge). *)
+
+module S = Soctest_tam.Schedule
+module WA = Soctest_tam.Wire_alloc
+
+let slice core width start stop = { S.core; width; start; stop }
+
+let test_counts_match () =
+  let s =
+    S.make ~tam_width:8
+      ~slices:[ slice 1 4 0 10; slice 2 4 0 6; slice 3 8 10 15 ]
+  in
+  let allocs = WA.allocate s in
+  Alcotest.(check int) "one allocation per slice" 3 (List.length allocs);
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "wire count = width" a.WA.slice.S.width
+        (List.length a.WA.wires);
+      List.iter
+        (fun w ->
+          Alcotest.(check bool) "wire in range" true (w >= 0 && w < 8))
+        a.WA.wires)
+    allocs;
+  Alcotest.(check bool) "disjoint" true (WA.is_disjoint allocs)
+
+let test_reuse_after_release () =
+  let s =
+    S.make ~tam_width:2 ~slices:[ slice 1 2 0 5; slice 2 2 5 9 ]
+  in
+  let allocs = WA.allocate s in
+  Alcotest.(check bool) "disjoint" true (WA.is_disjoint allocs);
+  (* both slices use both wires; fine because they don't overlap *)
+  List.iter
+    (fun a ->
+      Alcotest.(check (list int)) "wires 0,1" [ 0; 1 ]
+        (List.sort compare a.WA.wires))
+    allocs
+
+let test_fork_merge_possible () =
+  (* W=7: cores 1/2/4 take wires {0,1}/{2,3}/{4,5}; when core 2 releases
+     {2,3}, core 3 (width 3) must fork across {2,3} and the spare wire 6 —
+     a non-contiguous set, which fork/merge makes legal *)
+  let s =
+    S.make ~tam_width:7
+      ~slices:
+        [ slice 1 2 0 10; slice 2 2 0 4; slice 4 2 0 7; slice 3 3 4 6 ]
+  in
+  let allocs = WA.allocate s in
+  Alcotest.(check bool) "disjoint" true (WA.is_disjoint allocs);
+  let core3 =
+    List.find (fun a -> a.WA.slice.S.core = 3) allocs
+  in
+  Alcotest.(check (list int)) "forked wire set" [ 2; 3; 6 ]
+    (List.sort compare core3.WA.wires)
+
+let test_capacity_error () =
+  let s = S.make ~tam_width:3 ~slices:[ slice 1 2 0 5; slice 2 2 2 6 ] in
+  match WA.allocate s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected capacity failure"
+
+let test_is_disjoint_detects_clash () =
+  let a =
+    { WA.slice = slice 1 1 0 10; wires = [ 0 ] }
+  and b = { WA.slice = slice 2 1 5 12; wires = [ 0 ] } in
+  Alcotest.(check bool) "clash detected" false (WA.is_disjoint [ a; b ]);
+  let c = { WA.slice = slice 2 1 10 12; wires = [ 0 ] } in
+  Alcotest.(check bool) "sequential reuse ok" true (WA.is_disjoint [ a; c ])
+
+let prop_optimizer_schedules_allocatable =
+  Test_helpers.qtest "optimizer schedules always wire-allocatable" ~count:40
+    Test_helpers.arb_soc_with_constraints
+    (fun (soc, constraints, tam_width) ->
+      let r =
+        Soctest_core.Optimizer.run_soc soc ~tam_width ~constraints ()
+      in
+      let allocs = WA.allocate r.Soctest_core.Optimizer.schedule in
+      WA.is_disjoint allocs)
+
+let () =
+  Alcotest.run "wire_alloc"
+    [
+      ( "allocate",
+        [
+          Alcotest.test_case "counts match" `Quick test_counts_match;
+          Alcotest.test_case "reuse after release" `Quick
+            test_reuse_after_release;
+          Alcotest.test_case "fork/merge" `Quick test_fork_merge_possible;
+          Alcotest.test_case "capacity error" `Quick test_capacity_error;
+          Alcotest.test_case "is_disjoint" `Quick
+            test_is_disjoint_detects_clash;
+          prop_optimizer_schedules_allocatable;
+        ] );
+    ]

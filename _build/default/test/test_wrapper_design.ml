@@ -1,0 +1,193 @@
+(* Unit tests for Design_wrapper: scan-in/out lengths and the testing-time
+   formula on hand-checkable cores. *)
+
+module Core_def = Soctest_soc.Core_def
+module W = Soctest_wrapper.Wrapper_design
+
+let mk = Test_helpers.core
+
+let test_time_formula () =
+  Alcotest.(check int) "si=so" ((1 + 10) * 5 + 10)
+    (W.time_formula ~si:10 ~so:10 ~patterns:5);
+  Alcotest.(check int) "si>so" ((1 + 12) * 5 + 7)
+    (W.time_formula ~si:12 ~so:7 ~patterns:5);
+  Alcotest.(check int) "single pattern" ((1 + 3) * 1 + 2)
+    (W.time_formula ~si:3 ~so:2 ~patterns:1)
+
+let test_width_one () =
+  (* everything concatenates into a single wrapper chain *)
+  let core = mk ~inputs:4 ~outputs:6 ~scan:[ 10; 20 ] ~patterns:3 1 "c" in
+  let d = W.design core ~width:1 in
+  Alcotest.(check int) "width" 1 d.W.width;
+  Alcotest.(check int) "si = ff + inputs" 34 d.W.si;
+  Alcotest.(check int) "so = ff + outputs" 36 d.W.so;
+  Alcotest.(check int) "time" ((1 + 36) * 3 + 34) d.W.time
+
+let test_two_chains_two_wires () =
+  let core =
+    Core_def.make ~id:1 ~name:"c" ~inputs:0 ~outputs:1 ~bidirs:0
+      ~scan_chains:[ 10; 20 ] ~patterns:2 ()
+  in
+  let d = W.design core ~width:2 in
+  Alcotest.(check int) "si is longest chain" 20 d.W.si;
+  (* the single output cell lands on the shorter chain *)
+  Alcotest.(check int) "so" 20 d.W.so
+
+let test_combinational () =
+  let core =
+    Core_def.make ~id:1 ~name:"comb" ~inputs:8 ~outputs:4 ~bidirs:0
+      ~scan_chains:[] ~patterns:10 ()
+  in
+  let d = W.design core ~width:4 in
+  Alcotest.(check int) "si = ceil(8/4)" 2 d.W.si;
+  Alcotest.(check int) "so = 1" 1 d.W.so;
+  Alcotest.(check int) "time" ((1 + 2) * 10 + 1) d.W.time
+
+let test_bidirs_count_both_sides () =
+  let core =
+    Core_def.make ~id:1 ~name:"b" ~inputs:2 ~outputs:2 ~bidirs:3
+      ~scan_chains:[] ~patterns:1 ()
+  in
+  let d = W.design core ~width:1 in
+  Alcotest.(check int) "si includes bidirs" 5 d.W.si;
+  Alcotest.(check int) "so includes bidirs" 5 d.W.so
+
+let test_clamping () =
+  (* 2 chains + max(3,2) terminals = at most 5 useful wrapper chains *)
+  let core = mk ~inputs:3 ~outputs:2 ~scan:[ 5; 5 ] ~patterns:4 1 "c" in
+  let d = W.design core ~width:50 in
+  Alcotest.(check int) "clamped width" 5 d.W.width
+
+let test_wider_never_slower_envelope () =
+  (* raw BFD times may wiggle, but going from w to a much larger width
+     should never be slower on this simple core *)
+  let core = mk ~inputs:16 ~outputs:16 ~scan:[ 40; 40; 30; 30 ] ~patterns:7 1 "c" in
+  let t1 = W.testing_time core ~width:1 in
+  let t4 = W.testing_time core ~width:4 in
+  let t8 = W.testing_time core ~width:8 in
+  Alcotest.(check bool) "t4 < t1" true (t4 < t1);
+  Alcotest.(check bool) "t8 <= t4" true (t8 <= t4)
+
+let test_per_chain_arrays () =
+  let core =
+    Core_def.make ~id:1 ~name:"c" ~inputs:6 ~outputs:1 ~bidirs:0
+      ~scan_chains:[ 9; 9; 9 ] ~patterns:2 ()
+  in
+  let d = W.design core ~width:3 in
+  Alcotest.(check int) "three chains" 3 (Array.length d.W.scan_in);
+  Array.iter
+    (fun len -> Alcotest.(check int) "balanced scan-in" 11 len)
+    d.W.scan_in;
+  Alcotest.(check int) "si" 11 d.W.si
+
+let test_invalid_width () =
+  let core = mk 1 "c" in
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Wrapper_design.design: width must be >= 1")
+    (fun () -> ignore (W.design core ~width:0))
+
+let test_d695_core_magnitudes () =
+  (* s38417-like core: 32 chains of ~51 FF, 68 patterns. At width 32 the
+     longest wrapper chain is one scan chain plus a few I/O cells, so the
+     time is near (1+52)*68. *)
+  let soc = Test_helpers.d695 () in
+  let core = Soctest_soc.Soc_def.core soc 10 in
+  let d = W.design core ~width:32 in
+  Alcotest.(check bool) "time within 15% of ideal" true
+    (let ideal = (1 + 52) * 68 in
+     d.W.time >= ideal && d.W.time < ideal * 115 / 100)
+
+let test_design_exact_known () =
+  (* {3,3,2,2,2} into 2 bins: BFD splits 7/5, exact splits 6/6 *)
+  let core =
+    Core_def.make ~id:1 ~name:"e" ~inputs:0 ~outputs:2 ~bidirs:0
+      ~scan_chains:[ 3; 3; 2; 2; 2 ] ~patterns:10 ()
+  in
+  let greedy = W.design core ~width:2 in
+  let exact = W.design_exact core ~width:2 in
+  Alcotest.(check int) "greedy scan-in" 7 greedy.W.si;
+  Alcotest.(check int) "exact scan-in" 6 exact.W.si;
+  Alcotest.(check bool) "exact no slower" true
+    (exact.W.time <= greedy.W.time)
+
+let test_design_exact_fallback () =
+  (* > 16 chains falls back to the heuristic *)
+  let core =
+    Core_def.make ~id:1 ~name:"big" ~inputs:4 ~outputs:4 ~bidirs:0
+      ~scan_chains:(List.init 20 (fun k -> 10 + k))
+      ~patterns:5 ()
+  in
+  let a = W.design core ~width:6 and b = W.design_exact core ~width:6 in
+  Alcotest.(check int) "same result" a.W.time b.W.time
+
+let prop_design_exact_no_worse_scan =
+  Test_helpers.qtest "exact scan partition never has a longer max chain"
+    ~count:60
+    (QCheck.make
+       (QCheck.Gen.pair (Test_helpers.gen_core 1) (QCheck.Gen.int_range 1 12)))
+    (fun (core, width) ->
+      let greedy = W.design core ~width in
+      let exact = W.design_exact core ~width in
+      (* cells all present, and the exact design's time never exceeds
+         greedy's by more than the terminal-spread wobble (1 cell per
+         pattern) *)
+      Array.fold_left ( + ) 0 exact.W.scan_in
+      = Array.fold_left ( + ) 0 greedy.W.scan_in
+      && exact.W.time <= greedy.W.time + core.Core_def.patterns + 1)
+
+let prop_si_so_bounds =
+  Test_helpers.qtest "si/so bounded by total cells"
+    (QCheck.make (QCheck.Gen.pair (Test_helpers.gen_core 1) (QCheck.Gen.int_range 1 64)))
+    (fun (core, width) ->
+      let d = W.design core ~width in
+      let ff = Core_def.flip_flops core in
+      let in_cells = core.Core_def.inputs + core.Core_def.bidirs in
+      let out_cells = core.Core_def.outputs + core.Core_def.bidirs in
+      d.W.si <= ff + in_cells
+      && d.W.so <= ff + out_cells
+      && d.W.si >= (ff + in_cells + d.W.width - 1) / d.W.width
+      && d.W.time = W.time_formula ~si:d.W.si ~so:d.W.so ~patterns:core.Core_def.patterns)
+
+let prop_loads_cover_everything =
+  Test_helpers.qtest "wrapper chains hold all cells"
+    (QCheck.make (QCheck.Gen.pair (Test_helpers.gen_core 1) (QCheck.Gen.int_range 1 64)))
+    (fun (core, width) ->
+      let d = W.design core ~width in
+      let ff = Core_def.flip_flops core in
+      let in_cells = core.Core_def.inputs + core.Core_def.bidirs in
+      let out_cells = core.Core_def.outputs + core.Core_def.bidirs in
+      Array.fold_left ( + ) 0 d.W.scan_in = ff + in_cells
+      && Array.fold_left ( + ) 0 d.W.scan_out = ff + out_cells)
+
+let () =
+  Alcotest.run "wrapper_design"
+    [
+      ( "formula",
+        [ Alcotest.test_case "time formula" `Quick test_time_formula ] );
+      ( "design",
+        [
+          Alcotest.test_case "width one" `Quick test_width_one;
+          Alcotest.test_case "two chains two wires" `Quick
+            test_two_chains_two_wires;
+          Alcotest.test_case "combinational core" `Quick test_combinational;
+          Alcotest.test_case "bidirs on both sides" `Quick
+            test_bidirs_count_both_sides;
+          Alcotest.test_case "width clamping" `Quick test_clamping;
+          Alcotest.test_case "wider not slower" `Quick
+            test_wider_never_slower_envelope;
+          Alcotest.test_case "per-chain arrays" `Quick test_per_chain_arrays;
+          Alcotest.test_case "invalid width" `Quick test_invalid_width;
+          Alcotest.test_case "d695 magnitudes" `Quick
+            test_d695_core_magnitudes;
+          Alcotest.test_case "exact partition" `Quick
+            test_design_exact_known;
+          Alcotest.test_case "exact fallback" `Quick
+            test_design_exact_fallback;
+        ] );
+      ( "properties",
+        [
+          prop_si_so_bounds;
+          prop_loads_cover_everything;
+          prop_design_exact_no_worse_scan;
+        ] );
+    ]
