@@ -232,9 +232,44 @@ let extension_benches =
                  ~widths:r.O.widths)));
   ]
 
+let portfolio_benches =
+  (* portfolio-vs-sequential: the same strategy set raced on 1 worker
+     domain (sequential) vs several, plus the plain best_over_params cell
+     it must never lose to.  Strategy lists are built once; their thunks
+     are pure, so re-running them per measurement is sound. *)
+  let module Strategy = Soctest_portfolio.Strategy in
+  let module Portfolio = Soctest_portfolio.Portfolio in
+  let strats prep soc =
+    Strategy.default prep ~tam_width:32 ~constraints:(unconstrained soc)
+  in
+  let strats_d695 = strats prep_d695 d695 in
+  let strats_p93791 = strats prep_p93791 p93791 in
+  let race name strategies jobs =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Portfolio.run ~jobs strategies)))
+  in
+  [
+    Test.make ~name:"portfolio/sequential_grid_d695_w32"
+      (Staged.stage (fun () ->
+           ignore
+             (O.best_over_params prep_d695 ~tam_width:32
+                ~constraints:(unconstrained d695) ())));
+    race "portfolio/race_jobs1_d695_w32" strats_d695 1;
+    race "portfolio/race_jobs2_d695_w32" strats_d695 2;
+    race "portfolio/race_jobs4_d695_w32" strats_d695 4;
+    Test.make ~name:"portfolio/sequential_grid_p93791_w32"
+      (Staged.stage (fun () ->
+           ignore
+             (O.best_over_params prep_p93791 ~tam_width:32
+                ~constraints:(unconstrained p93791) ())));
+    race "portfolio/race_jobs1_p93791_w32" strats_p93791 1;
+    race "portfolio/race_jobs4_p93791_w32" strats_p93791 4;
+  ]
+
 let all_tests =
   table1_benches @ table2_benches @ figure_benches @ baseline_benches
   @ substrate_benches @ ablation_benches @ extension_benches
+  @ portfolio_benches
 
 let benchmark () =
   let ols =

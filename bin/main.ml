@@ -41,13 +41,19 @@ let csv_arg =
   let doc = "Also write the raw data as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+(* Write [contents] to [path] without leaking the channel when the write
+   itself raises (ENOSPC, closed pipe, ...). *)
+let write_string_to_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
 let write_csv path contents =
   match path with
   | None -> ()
   | Some path ->
-    let oc = open_out path in
-    output_string oc contents;
-    close_out oc;
+    write_string_to_file path contents;
     Printf.printf "(csv written to %s)\n" path
 
 let wrap f =
@@ -58,6 +64,8 @@ let wrap f =
     `Error (false, Format.asprintf "%a" Soctest_soc.Soc_parser.pp_error e)
   | Soctest_core.Optimizer.Infeasible msg ->
     `Error (false, "infeasible: " ^ msg)
+  | Soctest_portfolio.Portfolio.No_solution msg ->
+    `Error (false, "portfolio: " ^ msg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment commands *)
@@ -260,9 +268,7 @@ let verilog_cmd =
         match out with
         | None -> print_string text
         | Some path ->
-          let oc = open_out path in
-          output_string oc text;
-          close_out oc;
+          write_string_to_file path text;
           Printf.printf "wrote %s (%d lines)\n" path
             (List.length (String.split_on_char '\n' text)))
   in
@@ -370,6 +376,144 @@ let sweep_cmd =
        ~doc:
          "Sweep TAM widths and print the non-dominated (time, volume)           front.")
     Term.(ret (const run $ soc_arg ~default:"d695" $ max_width $ csv_arg))
+
+let portfolio_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains to race strategies on (0 = one less than the \
+             recommended domain count, at least 1).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Skip strategies that have not started after $(docv) \
+             milliseconds (running ones are never interrupted).")
+  in
+  let strategies =
+    Arg.(
+      value & opt string "all"
+      & info [ "strategies" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated strategy kinds to race: any of grid, anneal, \
+             polish, baseline, exact, or $(b,all).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full race telemetry (with timings) as JSON.")
+  in
+  let preempt =
+    Arg.(
+      value & opt int 0
+      & info [ "preempt" ] ~docv:"N"
+          ~doc:"Allow N preemptions on the larger cores.")
+  in
+  let power =
+    Arg.(
+      value & flag
+      & info [ "power" ]
+          ~doc:"Apply the default power limit (1.5x the largest core).")
+  in
+  let parse_kinds spec =
+    if spec = "all" then None
+    else
+      Some
+        (List.map
+           (fun name ->
+             match Soctest_portfolio.Strategy.kind_of_string name with
+             | Some kind -> kind
+             | None ->
+               failwith
+                 (Printf.sprintf
+                    "unknown strategy kind %S (expected grid, anneal, \
+                     polish, baseline or exact)"
+                    name))
+           (String.split_on_char ',' (String.trim spec)))
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Save the winning schedule in the textual schedule format \
+             (byte-identical across $(b,--jobs) values).")
+  in
+  let run soc width jobs deadline strategies preempt power csv json save =
+    wrap (fun () ->
+        let soc = load_soc soc in
+        let prepared = Optimizer.prepare soc in
+        let max_preempts =
+          if preempt > 0 then Flow.preemption_budget soc ~limit:preempt
+          else []
+        in
+        let constraints =
+          Constraint_def.of_soc soc ~max_preemptions:max_preempts
+            ?power_limit:
+              (if power then Some (Flow.default_power_limit soc) else None)
+            ()
+        in
+        let strats =
+          Soctest_portfolio.Strategy.default ?kinds:(parse_kinds strategies)
+            prepared ~tam_width:width ~constraints
+        in
+        if strats = [] then
+          failwith
+            "no strategies to race (note: exact is gated to SOCs with at \
+             most 6 cores)";
+        let jobs = if jobs <= 0 then None else Some jobs in
+        let r =
+          Soctest_portfolio.Portfolio.run ?jobs ?deadline_ms:deadline strats
+        in
+        Printf.printf "SOC %s at W=%d: raced %d strategies on %d domain(s)\n"
+          soc.Soc_def.name width (List.length strats)
+          r.Soctest_portfolio.Portfolio.jobs;
+        Printf.printf "winner: %s -> testing time %d cycles\n"
+          r.Soctest_portfolio.Portfolio.winner_name
+          r.Soctest_portfolio.Portfolio.winner
+            .Soctest_portfolio.Strategy.testing_time;
+        List.iter
+          (fun (id, w) ->
+            Printf.printf "  core %2d (%s): width %d\n" id
+              (Soc_def.core soc id).Core_def.name w)
+          r.Soctest_portfolio.Portfolio.winner.Soctest_portfolio.Strategy
+            .widths;
+        print_string
+          (Soctest_portfolio.Telemetry.summary_table r);
+        write_csv csv (Soctest_portfolio.Telemetry.csv r);
+        (match json with
+        | None -> ()
+        | Some path ->
+          write_string_to_file path
+            (Soctest_portfolio.Telemetry.json r);
+          Printf.printf "(json written to %s)\n" path);
+        match save with
+        | None -> ()
+        | Some path ->
+          Soctest_tam.Schedule_io.to_file path
+            r.Soctest_portfolio.Portfolio.winner
+              .Soctest_portfolio.Strategy.schedule;
+          Printf.printf "schedule saved to %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:
+         "Race the optimizer parameter grid, annealing restarts, polish \
+          and the baselines concurrently across OCaml domains; the winner \
+          is selected deterministically (best makespan, ties by \
+          registration order — never by completion order).")
+    Term.(
+      ret
+        (const run $ soc_arg ~default:"d695" $ width_arg ~default:32 $ jobs
+       $ deadline $ strategies $ preempt $ power $ csv_arg $ json $ save))
 
 (* ------------------------------------------------------------------ *)
 (* utility commands *)
@@ -550,7 +694,7 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; fig1_cmd; fig2_cmd; fig9_cmd; ablate_cmd;
       all_cmd; soc_info_cmd; schedule_cmd; export_cmd; extras_cmd; verilog_cmd;
-      validate_cmd; stil_cmd; sweep_cmd;
+      validate_cmd; stil_cmd; sweep_cmd; portfolio_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

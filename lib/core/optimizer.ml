@@ -28,6 +28,7 @@ let prepare ?(wmax = 64) soc =
 
 let pareto_of prepared id = prepared.paretos.(id - 1)
 let soc_of prepared = prepared.soc
+let wmax_of prepared = prepared.wmax
 
 let src = Logs.Src.create "soctest.optimizer" ~doc:"TAM schedule optimizer"
 
@@ -381,10 +382,14 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
 let run_soc soc ~tam_width ~constraints ?(params = default_params) () =
   run (prepare ~wmax:params.wmax soc) ~tam_width ~constraints ~params
 
+let default_percents = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 15; 25; 40 ]
+let default_deltas = [ 0; 1; 2; 4 ]
+let default_slacks = [ 3; 8 ]
+let default_widens = [ true; false ]
+
 let best_over_params prepared ~tam_width ~constraints
-    ?(percents = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 15; 25; 40 ])
-    ?(deltas = [ 0; 1; 2; 4 ]) ?(slacks = [ 3; 8 ])
-    ?(widens = [ true; false ]) () =
+    ?(percents = default_percents) ?(deltas = default_deltas)
+    ?(slacks = default_slacks) ?(widens = default_widens) () =
   let best = ref None in
   let consider params =
     let result = run prepared ~tam_width ~constraints ~params in

@@ -40,6 +40,10 @@ val prepare : ?wmax:int -> Soctest_soc.Soc_def.t -> prepared
 val pareto_of : prepared -> int -> Soctest_wrapper.Pareto.t
 val soc_of : prepared -> Soctest_soc.Soc_def.t
 
+val wmax_of : prepared -> int
+(** The [wmax] the Pareto analyses were built with; [params.wmax] passed
+    to {!run} must match it for the per-core staircases to be valid. *)
+
 exception Infeasible of string
 (** Raised when no incomplete core can ever be scheduled (e.g. a power
     limit below a single core's power). Precedence cycles are rejected
@@ -79,6 +83,14 @@ val run_soc :
   unit ->
   result
 (** Convenience: [prepare] + [run]. *)
+
+val default_percents : int list
+val default_deltas : int list
+val default_slacks : int list
+val default_widens : bool list
+(** The default parameter grid of {!best_over_params}, exported so other
+    searchers (e.g. the portfolio solver) can enumerate exactly the same
+    grid points. *)
 
 val best_over_params :
   prepared ->

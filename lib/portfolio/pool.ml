@@ -1,0 +1,105 @@
+(* A deliberately small domain pool: one mutex + one condition protect a
+   FIFO of erased [unit -> unit] tasks; [run_all] layers typed results,
+   timing and completion counting on top so the worker loop stays
+   oblivious to what it runs. *)
+
+type task = unit -> unit
+
+type t = {
+  lock : Mutex.t;
+  work_available : Condition.t;  (* new task pushed, or stop raised *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  jobs : int;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.work_available pool.lock
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.lock
+      (* stop && empty: drain finished, exit *)
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.lock;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+      jobs;
+    }
+  in
+  pool.workers <-
+    Array.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let jobs t = t.jobs
+
+type 'a outcome = { value : ('a, exn) result; elapsed_ms : float }
+
+let run_all pool thunks =
+  let n = List.length thunks in
+  let results = Array.make n None in
+  (* Completion bookkeeping has its own lock so finishing tasks never
+     contend with the queue. *)
+  let done_lock = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref n in
+  Mutex.lock pool.lock;
+  if pool.stop then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.run_all: pool is shut down"
+  end;
+  List.iteri
+    (fun i thunk ->
+      Queue.push
+        (fun () ->
+          let start = now_ms () in
+          let value = try Ok (thunk ()) with e -> Error e in
+          let elapsed_ms = Float.max 0. (now_ms () -. start) in
+          Mutex.lock done_lock;
+          results.(i) <- Some { value; elapsed_ms };
+          decr remaining;
+          if !remaining = 0 then Condition.signal all_done;
+          Mutex.unlock done_lock)
+        pool.queue)
+    thunks;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.lock;
+  Mutex.lock done_lock;
+  while !remaining > 0 do
+    Condition.wait all_done done_lock
+  done;
+  Mutex.unlock done_lock;
+  Array.to_list
+    (Array.map (function Some o -> o | None -> assert false) results)
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if pool.stop then Mutex.unlock pool.lock
+  else begin
+    pool.stop <- true;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.workers
+  end
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

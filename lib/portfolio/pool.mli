@@ -1,0 +1,38 @@
+(** Fixed-size OCaml 5 domain pool with a shared task queue.
+
+    Built from stdlib primitives only ([Domain], [Mutex], [Condition]):
+    [create] spawns the worker domains once; {!run_all} feeds a batch of
+    thunks through the queue and blocks until every one has finished,
+    returning per-task outcomes (captured exception or value, plus
+    wall-clock time) in submission order; {!shutdown} drains and joins
+    every worker. Workers pop tasks in FIFO order, so a one-worker pool
+    executes a batch exactly in submission order. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs] worker domains, idle until work arrives.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Number of worker domains the pool was created with. *)
+
+type 'a outcome = {
+  value : ('a, exn) result;  (** [Error e] when the task raised [e] *)
+  elapsed_ms : float;  (** task wall-clock time, milliseconds (>= 0) *)
+}
+
+val run_all : t -> (unit -> 'a) list -> 'a outcome list
+(** Enqueue every thunk, wait for all of them, and return their outcomes
+    in submission order (an empty list returns immediately). Exceptions
+    raised by a task are captured in its outcome, never re-raised.
+    Batches must be issued from one domain at a time — concurrent
+    [run_all] calls on the same pool are not supported.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** Finish any queued work, then join every worker domain. Idempotent;
+    after shutdown the pool rejects new batches. *)
+
+val with_pool : jobs:int -> (t -> 'b) -> 'b
+(** [create], run the callback, always [shutdown] (even on exceptions). *)

@@ -1,0 +1,54 @@
+(** Race a list of {!Strategy.t} across a {!Pool} of domains and select
+    the winner {e deterministically}.
+
+    The winner is the strategy with the smallest makespan, ties broken by
+    registration order (position in the input list) — never by completion
+    order. Since every strategy is itself deterministic, the winning
+    schedule is byte-identical whatever the worker count, and is never
+    worse than running any subset of the same strategies sequentially.
+
+    While the race runs, the incumbent best makespan is shared through an
+    [Atomic]: each finishing strategy folds its own makespan in and
+    records the incumbent it observed ({!report.incumbent_after}), which
+    telemetry uses to show how the race converged. The incumbent is
+    {e reporting only} — it never feeds back into any strategy's search,
+    which is what keeps the result independent of scheduling timing.
+
+    An optional deadline skips strategies that have not {e started} when
+    it expires (running strategies are never interrupted). A deadline
+    trades the determinism guarantee for bounded latency: which
+    strategies get skipped depends on wall-clock timing. *)
+
+type status =
+  | Done of { testing_time : int }
+  | Failed of string  (** the strategy raised; message from the exn *)
+  | Skipped  (** not started before the deadline *)
+
+type report = {
+  index : int;  (** registration order, 0-based *)
+  name : string;
+  kind : Strategy.kind;
+  status : status;
+  elapsed_ms : float;  (** wall-clock; ~0 for skipped strategies *)
+  iterations : int;  (** 0 unless [Done] *)
+  incumbent_after : int option;
+      (** best makespan across the whole race observed just after this
+          strategy finished; [None] unless [Done] *)
+}
+
+type t = {
+  winner : Strategy.solution;
+  winner_name : string;
+  winner_index : int;
+  reports : report list;  (** registration order *)
+  wall_ms : float;  (** whole-race wall-clock *)
+  jobs : int;  (** worker domains actually used *)
+}
+
+exception No_solution of string
+(** Every strategy failed or was skipped (or the list was empty). *)
+
+val run : ?jobs:int -> ?deadline_ms:float -> Strategy.t list -> t
+(** [jobs] defaults to [Domain.recommended_domain_count () - 1], at
+    least 1. @raise No_solution see above. @raise Invalid_argument if
+    [jobs < 1] or [deadline_ms < 0]. *)

@@ -1,0 +1,211 @@
+module O = Soctest_core.Optimizer
+module Schedule = Soctest_tam.Schedule
+module Conflict = Soctest_constraints.Conflict
+
+type solution = {
+  schedule : Schedule.t;
+  testing_time : int;
+  widths : (int * int) list;
+}
+
+type outcome = { solution : solution; iterations : int }
+type kind = Grid | Anneal | Polish | Baseline | Exact
+
+let kind_name = function
+  | Grid -> "grid"
+  | Anneal -> "anneal"
+  | Polish -> "polish"
+  | Baseline -> "baseline"
+  | Exact -> "exact"
+
+let all_kinds = [ Grid; Anneal; Polish; Baseline; Exact ]
+
+let kind_of_string s =
+  List.find_opt (fun k -> kind_name k = s) all_kinds
+
+type t = { name : string; kind : kind; run : unit -> outcome }
+
+exception Rejected of string
+
+let solution_of_result (r : O.result) =
+  {
+    schedule = r.O.schedule;
+    testing_time = r.O.testing_time;
+    widths = r.O.widths;
+  }
+
+let widths_of_schedule sched =
+  List.filter_map
+    (fun core ->
+      Option.map (fun w -> (core, w)) (Schedule.width_of_core sched core))
+    (Schedule.cores sched)
+
+(* Baseline/exact solvers schedule without looking at the constraint set;
+   only constraint-clean schedules may enter the race. *)
+let checked_solution prepared ~constraints sched =
+  let soc = O.soc_of prepared in
+  (match Conflict.validate soc constraints sched with
+  | [] -> ()
+  | violations ->
+    raise
+      (Rejected
+         (Format.asprintf "%d constraint violation(s): %a"
+            (List.length violations) Conflict.pp_violation
+            (List.hd violations))));
+  {
+    schedule = sched;
+    testing_time = Schedule.makespan sched;
+    widths = widths_of_schedule sched;
+  }
+
+let grid ?(percents = O.default_percents) ?(deltas = O.default_deltas)
+    ?(slacks = O.default_slacks) ?(widens = O.default_widens) prepared
+    ~tam_width ~constraints =
+  let wmax = O.wmax_of prepared in
+  List.concat_map
+    (fun percent ->
+      List.concat_map
+        (fun delta ->
+          List.concat_map
+            (fun insert_slack ->
+              List.map
+                (fun widen ->
+                  let params =
+                    { O.wmax; percent; delta; insert_slack; widen }
+                  in
+                  {
+                    name =
+                      Printf.sprintf "grid p=%d d=%d s=%d%s" percent delta
+                        insert_slack
+                        (if widen then "" else " nowiden");
+                    kind = Grid;
+                    run =
+                      (fun () ->
+                        let r =
+                          O.run prepared ~tam_width ~constraints ~params
+                        in
+                        { solution = solution_of_result r; iterations = 1 });
+                  })
+                widens)
+            slacks)
+        deltas)
+    percents
+
+(* splitmix64-flavoured odd-constant mixing: distinct, reproducible
+   seeds per restart index, never dependent on wall clock. *)
+let restart_seed k =
+  Int64.add 0x9E3779B97F4A7C15L
+    (Int64.mul (Int64.of_int (k + 1)) 0xBF58476D1CE4E5B9L)
+
+let greedy_seed prepared ~tam_width ~constraints =
+  O.run prepared ~tam_width ~constraints ~params:O.default_params
+
+let anneal_restarts ?(restarts = 4) ?(iterations = 400) prepared ~tam_width
+    ~constraints =
+  if restarts < 0 then invalid_arg "Strategy.anneal_restarts: restarts < 0";
+  List.init restarts (fun k ->
+      {
+        name = Printf.sprintf "anneal r%d" (k + 1);
+        kind = Anneal;
+        run =
+          (fun () ->
+            let start = greedy_seed prepared ~tam_width ~constraints in
+            let report =
+              Soctest_core.Anneal.search ~seed:(restart_seed k) ~iterations
+                prepared ~tam_width ~constraints start
+            in
+            {
+              solution = solution_of_result report.Soctest_core.Anneal.result;
+              iterations = report.Soctest_core.Anneal.iterations;
+            });
+      })
+
+let polish ?max_rounds prepared ~tam_width ~constraints =
+  {
+    name = "polish";
+    kind = Polish;
+    run =
+      (fun () ->
+        let start = greedy_seed prepared ~tam_width ~constraints in
+        let report =
+          Soctest_core.Improve.polish ?max_rounds prepared ~tam_width
+            ~constraints start
+        in
+        {
+          solution = solution_of_result report.Soctest_core.Improve.result;
+          iterations = report.Soctest_core.Improve.evaluations;
+        });
+  }
+
+let baselines ?(max_buses = 3) prepared ~tam_width ~constraints =
+  let once name schedule_of =
+    {
+      name;
+      kind = Baseline;
+      run =
+        (fun () ->
+          {
+            solution =
+              checked_solution prepared ~constraints (schedule_of ());
+            iterations = 1;
+          });
+    }
+  in
+  [
+    once "serial" (fun () ->
+        Soctest_baselines.Serial.schedule prepared ~tam_width);
+    once "shelf-nfdh" (fun () ->
+        Soctest_baselines.Shelf.schedule prepared ~tam_width
+          ~discipline:Soctest_baselines.Shelf.Nfdh ());
+    once "shelf-ffdh" (fun () ->
+        Soctest_baselines.Shelf.schedule prepared ~tam_width
+          ~discipline:Soctest_baselines.Shelf.Ffdh ());
+    once
+      (Printf.sprintf "fixed-width b<=%d" max_buses)
+      (fun () ->
+        (Soctest_baselines.Fixed_width.best_design prepared ~tam_width
+           ~max_buses ())
+          .Soctest_baselines.Fixed_width.schedule);
+  ]
+
+let exact ?(max_cores = 6) ?(node_limit = 2_000_000) prepared ~tam_width
+    ~constraints =
+  let soc = O.soc_of prepared in
+  if Soctest_soc.Soc_def.core_count soc > max_cores then []
+  else
+    [
+      {
+        name = "exact";
+        kind = Exact;
+        run =
+          (fun () ->
+            let o =
+              Soctest_baselines.Exact.solve ~node_limit prepared ~tam_width
+            in
+            {
+              solution =
+                checked_solution prepared ~constraints
+                  o.Soctest_baselines.Exact.schedule;
+              iterations = o.Soctest_baselines.Exact.nodes;
+            });
+      };
+    ]
+
+let default ?(kinds = all_kinds) ?restarts ?anneal_iterations
+    ?exact_max_cores prepared ~tam_width ~constraints =
+  let has k = List.mem k kinds in
+  List.concat
+    [
+      (if has Grid then grid prepared ~tam_width ~constraints else []);
+      (if has Anneal then
+         anneal_restarts ?restarts ?iterations:anneal_iterations prepared
+           ~tam_width ~constraints
+       else []);
+      (if has Polish then [ polish prepared ~tam_width ~constraints ]
+       else []);
+      (if has Baseline then baselines prepared ~tam_width ~constraints
+       else []);
+      (if has Exact then
+         exact ?max_cores:exact_max_cores prepared ~tam_width ~constraints
+       else []);
+    ]

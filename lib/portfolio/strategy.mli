@@ -1,0 +1,109 @@
+(** A uniform wrapper around every solver in the repo, so the portfolio
+    can race them: each strategy is a named, deterministic thunk that
+    yields a complete, constraint-checked schedule.
+
+    Strategies built from the baselines (and the exact solver) ignore
+    scheduling constraints by construction, so their schedules are
+    re-validated with {!Soctest_constraints.Conflict.validate} against
+    the constraints the portfolio was asked to honour; a violating
+    schedule raises {!Rejected} (the portfolio reports it as failed and
+    it can never win). *)
+
+type solution = {
+  schedule : Soctest_tam.Schedule.t;
+  testing_time : int;  (** schedule makespan, cycles *)
+  widths : (int * int) list;  (** TAM width per core *)
+}
+
+type outcome = {
+  solution : solution;
+  iterations : int;
+      (** solver-specific work count: scheduler evaluations (grid,
+          polish), annealing iterations, or branch-and-bound nodes *)
+}
+
+type kind = Grid | Anneal | Polish | Baseline | Exact
+
+val kind_name : kind -> string
+(** ["grid"], ["anneal"], ["polish"], ["baseline"], ["exact"]. *)
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_name}; [None] for unknown names. *)
+
+val all_kinds : kind list
+(** Every kind, in portfolio registration order. *)
+
+type t = {
+  name : string;  (** unique within a portfolio, e.g. ["grid p=5 d=1 s=3"] *)
+  kind : kind;
+  run : unit -> outcome;  (** deterministic; may raise *)
+}
+
+exception Rejected of string
+(** A baseline/exact schedule violated the requested constraints. *)
+
+val grid :
+  ?percents:int list ->
+  ?deltas:int list ->
+  ?slacks:int list ->
+  ?widens:bool list ->
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  t list
+(** One strategy per (percent, delta, slack, widen) grid point, in the
+    same enumeration order as {!Soctest_core.Optimizer.best_over_params}
+    with the same default lists — so the portfolio's grid subset always
+    reaches the sequential optimum, and ties resolve to the same point. *)
+
+val anneal_restarts :
+  ?restarts:int ->
+  ?iterations:int ->
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  t list
+(** [restarts] (default 4) annealing runs from the default-parameter
+    greedy schedule, each with a distinct deterministic seed derived
+    from the restart index; [iterations] per restart (default 400). *)
+
+val polish :
+  ?max_rounds:int ->
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  t
+(** {!Soctest_core.Improve.polish} on the default-parameter schedule. *)
+
+val baselines :
+  ?max_buses:int ->
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  t list
+(** Serial, NFDH/FFDH shelf and best fixed-width-bus designs, each
+    constraint-revalidated (see {!Rejected}). [max_buses] defaults to 3. *)
+
+val exact :
+  ?max_cores:int ->
+  ?node_limit:int ->
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  t list
+(** The branch-and-bound reference, gated behind a core-count budget:
+    empty unless the SOC has at most [max_cores] (default 6) cores,
+    since B&B time grows exponentially with core count. [node_limit]
+    defaults to the solver's 2 million. Constraint-revalidated. *)
+
+val default :
+  ?kinds:kind list ->
+  ?restarts:int ->
+  ?anneal_iterations:int ->
+  ?exact_max_cores:int ->
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  t list
+(** The full portfolio in registration order — grid, anneal restarts,
+    polish, baselines, exact — optionally restricted to [kinds]. *)

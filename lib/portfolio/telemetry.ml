@@ -1,0 +1,147 @@
+module Table = Soctest_report.Table
+module Csv = Soctest_report.Csv
+
+let status_label = function
+  | Portfolio.Done _ -> "ok"
+  | Portfolio.Failed _ -> "failed"
+  | Portfolio.Skipped -> "skipped"
+
+let makespan_of (r : Portfolio.report) =
+  match r.Portfolio.status with
+  | Portfolio.Done { testing_time } -> Some testing_time
+  | _ -> None
+
+let summary_table (t : Portfolio.t) =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "Portfolio summary (%d strategies)"
+           (List.length t.Portfolio.reports))
+      ~columns:
+        Table.
+          [
+            ("kind", Left); ("strategies", Right); ("ok", Right);
+            ("failed", Right); ("skipped", Right); ("best T", Right);
+            ("iterations", Right);
+          ]
+      ()
+  in
+  List.iter
+    (fun kind ->
+      let rs =
+        List.filter
+          (fun (r : Portfolio.report) -> r.Portfolio.kind = kind)
+          t.Portfolio.reports
+      in
+      if rs <> [] then begin
+        let count pred = List.length (List.filter pred rs) in
+        let best =
+          List.fold_left
+            (fun acc r ->
+              match (makespan_of r, acc) with
+              | Some m, Some b -> Some (min m b)
+              | Some m, None -> Some m
+              | None, _ -> acc)
+            None rs
+        in
+        let iterations =
+          List.fold_left (fun acc r -> acc + r.Portfolio.iterations) 0 rs
+        in
+        Table.add_row table
+          [
+            Strategy.kind_name kind;
+            string_of_int (List.length rs);
+            string_of_int
+              (count (fun r -> status_label r.Portfolio.status = "ok"));
+            string_of_int
+              (count (fun r -> status_label r.Portfolio.status = "failed"));
+            string_of_int
+              (count (fun r -> status_label r.Portfolio.status = "skipped"));
+            (match best with Some b -> string_of_int b | None -> "-");
+            string_of_int iterations;
+          ]
+      end)
+    Strategy.all_kinds;
+  Table.render table
+
+let csv (t : Portfolio.t) =
+  Csv.render
+    ~header:
+      [
+        "index"; "strategy"; "kind"; "status"; "makespan"; "iterations";
+        "elapsed_ms"; "incumbent_after"; "winner";
+      ]
+    ~rows:
+      (List.map
+         (fun (r : Portfolio.report) ->
+           [
+             string_of_int r.Portfolio.index;
+             r.Portfolio.name;
+             Strategy.kind_name r.Portfolio.kind;
+             status_label r.Portfolio.status;
+             (match makespan_of r with
+             | Some m -> string_of_int m
+             | None -> "");
+             string_of_int r.Portfolio.iterations;
+             Printf.sprintf "%.3f" r.Portfolio.elapsed_ms;
+             (match r.Portfolio.incumbent_after with
+             | Some i -> string_of_int i
+             | None -> "");
+             (if r.Portfolio.index = t.Portfolio.winner_index then "1"
+              else "0");
+           ])
+         t.Portfolio.reports)
+
+(* Minimal JSON emitter: every name here is ASCII, so escaping quotes,
+   backslashes and control characters suffices. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json (t : Portfolio.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"jobs\":%d,\"wall_ms\":%.3f,\"winner\":%s,\"winner_index\":%d,\
+        \"winner_makespan\":%d,\"strategies\":["
+       t.Portfolio.jobs t.Portfolio.wall_ms
+       (json_string t.Portfolio.winner_name)
+       t.Portfolio.winner_index
+       t.Portfolio.winner.Strategy.testing_time);
+  List.iteri
+    (fun i (r : Portfolio.report) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"index\":%d,\"name\":%s,\"kind\":%s,\"status\":%s%s,\
+            \"iterations\":%d,\"elapsed_ms\":%.3f%s%s}"
+           r.Portfolio.index
+           (json_string r.Portfolio.name)
+           (json_string (Strategy.kind_name r.Portfolio.kind))
+           (json_string (status_label r.Portfolio.status))
+           (match r.Portfolio.status with
+           | Portfolio.Failed msg ->
+             Printf.sprintf ",\"error\":%s" (json_string msg)
+           | _ -> "")
+           r.Portfolio.iterations r.Portfolio.elapsed_ms
+           (match makespan_of r with
+           | Some m -> Printf.sprintf ",\"makespan\":%d" m
+           | None -> "")
+           (match r.Portfolio.incumbent_after with
+           | Some i -> Printf.sprintf ",\"incumbent_after\":%d" i
+           | None -> "")))
+    t.Portfolio.reports;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

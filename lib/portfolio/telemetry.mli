@@ -1,0 +1,18 @@
+(** Reporting over a finished {!Portfolio.t} race.
+
+    {!summary_table} is fully deterministic (no wall-clock fields) so CLI
+    output stays stable across runs and worker counts; the CSV and JSON
+    exports additionally carry per-strategy timings and the incumbent
+    trace, which {e do} vary run to run. *)
+
+val summary_table : Portfolio.t -> string
+(** Per-kind aggregate (strategy counts, outcome counts, best makespan,
+    total solver iterations) as an ASCII table via {!Soctest_report.Table}. *)
+
+val csv : Portfolio.t -> string
+(** One row per strategy, registration order: index, name, kind, status,
+    makespan, iterations, elapsed_ms, incumbent_after, winner flag. *)
+
+val json : Portfolio.t -> string
+(** The whole race — jobs, wall time, winner, per-strategy records — as
+    a single JSON object (hand-rolled emitter; no JSON dependency). *)

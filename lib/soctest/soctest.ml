@@ -19,6 +19,9 @@
     {2 Baselines}
     - {!Serial}, {!Session}, {!Shelf}, {!Fixed_width}, {!Exact}
 
+    {2 Parallel portfolio}
+    - {!Pool}, {!Strategy}, {!Portfolio}, {!Telemetry}
+
     {2 Tester substrate}
     - {!Bitstream}, {!Pattern_gen}, {!Compress}, {!Tester_image},
       {!Test_program}, {!Multisite}, {!Power_model}
@@ -68,6 +71,11 @@ module Session = Soctest_baselines.Session
 module Shelf = Soctest_baselines.Shelf
 module Fixed_width = Soctest_baselines.Fixed_width
 module Exact = Soctest_baselines.Exact
+
+module Pool = Soctest_portfolio.Pool
+module Strategy = Soctest_portfolio.Strategy
+module Portfolio = Soctest_portfolio.Portfolio
+module Telemetry = Soctest_portfolio.Telemetry
 
 module Bitstream = Soctest_tester.Bitstream
 module Pattern_gen = Soctest_tester.Pattern_gen

@@ -1,0 +1,34 @@
+The portfolio race is deterministic: the winner is selected by best
+makespan with ties broken by registration order, never by completion
+order, so the output is stable for any --jobs value.
+
+  $ soctest portfolio --soc mini4 --jobs 2
+  SOC mini4 at W=32: raced 218 strategies on 2 domain(s)
+  winner: grid p=1 d=0 s=3 -> testing time 373 cycles
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 14
+    core  4 (delta): width 4
+  Portfolio summary (218 strategies)
+  kind      strategies   ok  failed  skipped  best T  iterations
+  --------------------------------------------------------------
+  grid             208  208       0        0     373         208
+  anneal             4    4       0        0     373        1600
+  polish             1    1       0        0     373           4
+  baseline           4    1       3        0     610           1
+  exact              1    0       1        0       -           0
+
+Eight workers produce the byte-identical winning schedule:
+
+  $ soctest portfolio --soc mini4 --jobs 2 --save two.sched > /dev/null
+  $ soctest portfolio --soc mini4 --jobs 8 --save eight.sched > /dev/null
+  $ cmp two.sched eight.sched
+
+A subset of strategy kinds can be raced, and unknown kinds are rejected:
+
+  $ soctest portfolio --soc mini4 --jobs 2 --strategies grid,anneal | head -2
+  SOC mini4 at W=32: raced 212 strategies on 2 domain(s)
+  winner: grid p=1 d=0 s=3 -> testing time 373 cycles
+  $ soctest portfolio --soc mini4 --strategies warp
+  soctest: unknown strategy kind "warp" (expected grid, anneal, polish, baseline or exact)
+  [124]

@@ -1,0 +1,98 @@
+(* Tests for the fixed-size domain pool underlying the portfolio. *)
+
+module Pool = Soctest_portfolio.Pool
+
+let test_all_tasks_execute () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let hits = Atomic.make 0 in
+      let outcomes =
+        Pool.run_all pool
+          (List.init 25 (fun i () ->
+               Atomic.incr hits;
+               i * i))
+      in
+      Alcotest.(check int) "every task ran" 25 (Atomic.get hits);
+      List.iteri
+        (fun i (o : int Pool.outcome) ->
+          match o.Pool.value with
+          | Ok v -> Alcotest.(check int) "submission order kept" (i * i) v
+          | Error e -> Alcotest.failf "task %d raised %s" i (Printexc.to_string e))
+        outcomes)
+
+let test_exceptions_are_captured () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let outcomes =
+        Pool.run_all pool
+          [
+            (fun () -> 1);
+            (fun () -> failwith "boom");
+            (fun () -> 3);
+          ]
+      in
+      match List.map (fun (o : int Pool.outcome) -> o.Pool.value) outcomes with
+      | [ Ok 1; Error (Failure msg); Ok 3 ] ->
+        Alcotest.(check string) "original exception kept" "boom" msg
+      | _ -> Alcotest.fail "expected Ok 1 / Error boom / Ok 3 in order")
+
+let test_timings_non_negative () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let outcomes =
+        Pool.run_all pool
+          (List.init 8 (fun i () ->
+               (* a little real work so at least some timings are > 0 *)
+               let acc = ref 0 in
+               for k = 0 to 10_000 do
+                 acc := !acc + (k mod (i + 2))
+               done;
+               !acc))
+      in
+      List.iter
+        (fun (o : int Pool.outcome) ->
+          Alcotest.(check bool) "elapsed >= 0" true (o.Pool.elapsed_ms >= 0.))
+        outcomes)
+
+let test_shutdown_joins_and_rejects () =
+  let pool = Pool.create ~jobs:4 in
+  Alcotest.(check int) "jobs recorded" 4 (Pool.jobs pool);
+  let outcomes = Pool.run_all pool (List.init 10 (fun i () -> i)) in
+  Alcotest.(check int) "batch completed" 10 (List.length outcomes);
+  Pool.shutdown pool;
+  (* all domains joined: a second shutdown is a no-op, not a crash/hang *)
+  Pool.shutdown pool;
+  Alcotest.check_raises "run_all after shutdown rejected"
+    (Invalid_argument "Pool.run_all: pool is shut down") (fun () ->
+      ignore (Pool.run_all pool [ (fun () -> 0) ]))
+
+let test_empty_batch_and_sequential_order () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "empty batch" 0 (List.length (Pool.run_all pool []));
+      (* one worker pops FIFO: observed execution order == submission order *)
+      let log = ref [] in
+      ignore
+        (Pool.run_all pool
+           (List.init 6 (fun i () -> log := i :: !log)));
+      Alcotest.(check (list int)) "FIFO on one worker" [ 0; 1; 2; 3; 4; 5 ]
+        (List.rev !log))
+
+let test_create_validation () =
+  Alcotest.check_raises "jobs < 1 rejected"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "all tasks execute" `Quick test_all_tasks_execute;
+          Alcotest.test_case "exceptions captured" `Quick
+            test_exceptions_are_captured;
+          Alcotest.test_case "timings non-negative" `Quick
+            test_timings_non_negative;
+          Alcotest.test_case "shutdown joins + rejects" `Quick
+            test_shutdown_joins_and_rejects;
+          Alcotest.test_case "empty batch + FIFO order" `Quick
+            test_empty_batch_and_sequential_order;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+    ]
