@@ -12,6 +12,9 @@ module Benchmarks = Soctest_soc.Benchmarks
 module Constraint_def = Soctest_constraints.Constraint_def
 module Optimizer = Soctest_core.Optimizer
 module Flow = Soctest_core.Flow
+module Obs = Soctest_obs.Obs
+module Obs_export = Soctest_obs.Export
+module Obs_summary = Soctest_obs.Summary
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments *)
@@ -56,10 +59,69 @@ let write_csv path contents =
     write_string_to_file path contents;
     Printf.printf "(csv written to %s)\n" path
 
+(* Observability sinks, shared by schedule/sweep/portfolio. *)
+
+let trace_arg =
+  let doc =
+    "Profile the run and write a Chrome trace_event JSON document to \
+     $(docv) (open it at chrome://tracing or https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write recorded counters, gauges and histograms (plus every span) \
+     as JSON Lines to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let obs_summary_arg =
+  let doc =
+    "Print a plain-text profile after the run: per-span wall time and \
+     allocation, then non-zero counters, gauges and histograms."
+  in
+  Arg.(value & flag & info [ "obs-summary" ] ~doc)
+
+(* Record around [f] only when some sink was requested; the default path
+   leaves recording off, so instrumented code pays one atomic load per
+   probe. Sinks are flushed even when [f] raises — a failed run still
+   leaves a trace to inspect. *)
+let with_obs ~trace ~metrics ~summary f =
+  if trace = None && metrics = None && not summary then f ()
+  else begin
+    Obs.enable ();
+    let flush () =
+      let events = Obs.events () in
+      let m = Obs.metrics () in
+      Obs.disable ();
+      (match trace with
+      | None -> ()
+      | Some path ->
+        write_string_to_file path (Obs_export.chrome_trace events m);
+        Printf.printf "(trace written to %s)\n" path);
+      (match metrics with
+      | None -> ()
+      | Some path ->
+        write_string_to_file path (Obs_export.jsonl events m);
+        Printf.printf "(metrics written to %s)\n" path);
+      if summary then print_string (Obs_summary.render events m)
+    in
+    match f () with
+    | v ->
+      flush ();
+      v
+    | exception e ->
+      (* best-effort flush: a sink error must not mask the run's own
+         failure (and must not surface as Fun.Finally_raised) *)
+      (try flush () with _ -> ());
+      raise e
+  end
+
 let wrap f =
   try `Ok (f ()) with
   | Failure msg -> `Error (false, msg)
   | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
   | Soctest_soc.Soc_parser.Parse_error e ->
     `Error (false, Format.asprintf "%a" Soctest_soc.Soc_parser.pp_error e)
   | Soctest_core.Optimizer.Infeasible msg ->
@@ -325,8 +387,9 @@ let sweep_cmd =
       value & opt int 64
       & info [ "max-width" ] ~docv:"W" ~doc:"Largest TAM width to sweep.")
   in
-  let run soc_name max_width csv =
+  let run soc_name max_width csv trace metrics obs_summary =
     wrap (fun () ->
+        with_obs ~trace ~metrics ~summary:obs_summary @@ fun () ->
         let soc = load_soc soc_name in
         let prepared = Optimizer.prepare soc in
         let constraints =
@@ -375,7 +438,10 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Sweep TAM widths and print the non-dominated (time, volume)           front.")
-    Term.(ret (const run $ soc_arg ~default:"d695" $ max_width $ csv_arg))
+    Term.(
+      ret
+        (const run $ soc_arg ~default:"d695" $ max_width $ csv_arg
+       $ trace_arg $ metrics_arg $ obs_summary_arg))
 
 let portfolio_cmd =
   let jobs =
@@ -447,8 +513,10 @@ let portfolio_cmd =
             "Save the winning schedule in the textual schedule format \
              (byte-identical across $(b,--jobs) values).")
   in
-  let run soc width jobs deadline strategies preempt power csv json save =
+  let run soc width jobs deadline strategies preempt power csv json save
+      trace metrics obs_summary =
     wrap (fun () ->
+        with_obs ~trace ~metrics ~summary:obs_summary @@ fun () ->
         let soc = load_soc soc in
         let prepared = Optimizer.prepare soc in
         let max_preempts =
@@ -513,7 +581,8 @@ let portfolio_cmd =
     Term.(
       ret
         (const run $ soc_arg ~default:"d695" $ width_arg ~default:32 $ jobs
-       $ deadline $ strategies $ preempt $ power $ csv_arg $ json $ save))
+       $ deadline $ strategies $ preempt $ power $ csv_arg $ json $ save
+       $ trace_arg $ metrics_arg $ obs_summary_arg))
 
 (* ------------------------------------------------------------------ *)
 (* utility commands *)
@@ -591,8 +660,9 @@ let schedule_cmd =
       & info [ "save" ] ~docv:"FILE"
           ~doc:"Save the schedule in the textual schedule format.")
   in
-  let run soc width preempt power gantt save =
+  let run soc width preempt power gantt save trace metrics obs_summary =
     wrap (fun () ->
+        with_obs ~trace ~metrics ~summary:obs_summary @@ fun () ->
         let soc = load_soc soc in
         let max_preempts =
           if preempt > 0 then Flow.preemption_budget soc ~limit:preempt
@@ -632,7 +702,8 @@ let schedule_cmd =
     Term.(
       ret
         (const run $ soc_arg ~default:"d695" $ width_arg ~default:32
-       $ preempt $ power $ gantt $ save))
+       $ preempt $ power $ gantt $ save $ trace_arg $ metrics_arg
+       $ obs_summary_arg))
 
 let validate_cmd =
   let file =
@@ -671,9 +742,11 @@ let validate_cmd =
             (Soctest_tam.Schedule.makespan sched)
             (100. *. Soctest_tam.Schedule.utilization sched)
         | violations ->
+          (* diagnostics belong on stderr: stdout stays machine-readable
+             and the exit code already signals failure *)
           List.iter
             (fun v ->
-              Format.printf "%s: %a@." file
+              Format.eprintf "%s: %a@." file
                 Soctest_constraints.Conflict.pp_violation v)
             violations;
           failwith

@@ -1,8 +1,15 @@
 module Soc_def = Soctest_soc.Soc_def
 module Core_def = Soctest_soc.Core_def
 module Schedule = Soctest_tam.Schedule
+module Obs = Soctest_obs.Obs
 
 type running = { core : int; power : int }
+
+(* [admissible] sits in the optimizer's innermost contention loop, so it
+   gets a lock-free counter only; the full [validate] pass is rare
+   enough to afford a span. *)
+let admissible_counter = Obs.counter "constraints.admissible_checks"
+let validations_counter = Obs.counter "constraints.validations"
 
 type reason =
   | Precedence_pending of int
@@ -19,6 +26,7 @@ let shares_bist soc a b =
   | _ -> false
 
 let admissible soc constraints ~completed ~running ~candidate =
+  Obs.incr admissible_counter;
   let pending =
     List.find_opt
       (fun p -> not (completed p))
@@ -159,6 +167,8 @@ let width_violations (sched : Schedule.t) =
     sched.Schedule.slices
 
 let validate soc constraints sched =
+  Obs.with_span ~cat:"constraints" "conflict.validate" @@ fun () ->
+  Obs.incr validations_counter;
   List.map (fun v -> Capacity v) (Schedule.check_capacity sched)
   @ width_violations sched
   @ precedence_violations constraints sched

@@ -1,5 +1,10 @@
 module Pareto = Soctest_wrapper.Pareto
 module Synth = Soctest_soc.Synth
+module Obs = Soctest_obs.Obs
+
+let accepted_counter = Obs.counter "anneal.accepted"
+let rejected_counter = Obs.counter "anneal.rejected"
+let temperature_gauge = Obs.gauge "anneal.temperature"
 
 type report = {
   result : Optimizer.result;
@@ -24,6 +29,9 @@ let search ?(seed = 0x5EEDC0DEL) ?(iterations = 400) ?initial_temperature
       t
     | None -> max 1. (0.02 *. float_of_int initial_time)
   in
+  Obs.with_span ~cat:"phase" "anneal.search"
+    ~args:[ ("iterations", string_of_int iterations) ]
+  @@ fun () ->
   let params = seed_result.Optimizer.params in
   let rng = Synth.rng_of_seed seed in
   let widths = Array.of_list seed_result.Optimizer.widths in
@@ -62,6 +70,7 @@ let search ?(seed = 0x5EEDC0DEL) ?(iterations = 400) ?initial_temperature
           delta <= 0. || next_unit rng < exp (-.delta /. !temp)
         in
         if accept then begin
+          Obs.incr accepted_counter;
           incr accepted;
           current := candidate;
           (* re-anchor to the realized widths (snapping may have moved
@@ -74,8 +83,12 @@ let search ?(seed = 0x5EEDC0DEL) ?(iterations = 400) ?initial_temperature
             < !best.Optimizer.testing_time
           then best := candidate
         end
-        else widths.(k) <- (core, w)
+        else begin
+          Obs.incr rejected_counter;
+          widths.(k) <- (core, w)
+        end
       | exception Optimizer.Infeasible _ -> widths.(k) <- (core, w)));
-    temp := !temp *. cooling
+    temp := !temp *. cooling;
+    Obs.set_gauge temperature_gauge !temp
   done;
   { result = !best; initial_time; iterations; accepted = !accepted }

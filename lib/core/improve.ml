@@ -25,6 +25,7 @@ let polish ?(max_rounds = 10) prepared ~tam_width ~constraints seed =
   if max_rounds < 0 then invalid_arg "Improve.polish: negative max_rounds";
   if seed.Optimizer.widths = [] then
     invalid_arg "Improve.polish: seed has no width assignment";
+  Soctest_obs.Obs.with_span ~cat:"phase" "improve.polish" @@ fun () ->
   let params = seed.Optimizer.params in
   let evaluations = ref 0 in
   let eval overrides =

@@ -5,6 +5,7 @@ module Wrapper_design = Soctest_wrapper.Wrapper_design
 module Schedule = Soctest_tam.Schedule
 module Constraint_def = Soctest_constraints.Constraint_def
 module Conflict = Soctest_constraints.Conflict
+module Obs = Soctest_obs.Obs
 
 type params = {
   wmax : int;
@@ -21,6 +22,9 @@ type prepared = { soc : Soc_def.t; wmax : int; paretos : Pareto.t array }
 
 let prepare ?(wmax = 64) soc =
   if wmax < 1 then invalid_arg "Optimizer.prepare: wmax must be >= 1";
+  Obs.with_span ~cat:"phase" "wrapper.pareto"
+    ~args:[ ("soc", soc.Soc_def.name); ("wmax", string_of_int wmax) ]
+  @@ fun () ->
   let paretos =
     Array.map (fun core -> Pareto.compute core ~wmax) soc.Soc_def.cores
   in
@@ -33,6 +37,10 @@ let wmax_of prepared = prepared.wmax
 let src = Logs.Src.create "soctest.optimizer" ~doc:"TAM schedule optimizer"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+let runs_counter = Obs.counter "optimizer.runs"
+let grid_cells_counter = Obs.counter "optimizer.grid_cells"
+let preemptions_counter = Obs.counter "tam.preemptions"
 
 exception Infeasible of string
 
@@ -91,6 +99,14 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
       if w < 1 || w > tam_width then
         invalid_arg "Optimizer.run: override width out of range")
     overrides;
+  Obs.incr runs_counter;
+  Obs.with_span ~cat:"phase" "tam.schedule"
+    ~args:
+      [
+        ("percent", string_of_int params.percent);
+        ("delta", string_of_int params.delta);
+      ]
+  @@ fun () ->
   let pareto id = prepared.paretos.(id - 1) in
   (* Initialize (Fig. 5): preferred widths and initial remaining times;
      explicit overrides (snapped to the Pareto set) replace the
@@ -148,6 +164,13 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
     c.Sched_state.scheduled <- true;
     st.Sched_state.w_avail <- st.Sched_state.w_avail - width;
     if gap_resume then begin
+      Obs.incr preemptions_counter;
+      Obs.instant ~cat:"tam" "preempt"
+        ~args:
+          [
+            ("core", string_of_int id);
+            ("t", string_of_int st.Sched_state.curr_time);
+          ];
       c.Sched_state.preempts <- c.Sched_state.preempts + 1;
       c.Sched_state.time_remaining <-
         c.Sched_state.time_remaining
@@ -390,8 +413,10 @@ let default_widens = [ true; false ]
 let best_over_params prepared ~tam_width ~constraints
     ?(percents = default_percents) ?(deltas = default_deltas)
     ?(slacks = default_slacks) ?(widens = default_widens) () =
+  Obs.with_span ~cat:"phase" "optimizer.grid" @@ fun () ->
   let best = ref None in
   let consider params =
+    Obs.incr grid_cells_counter;
     let result = run prepared ~tam_width ~constraints ~params in
     match !best with
     | Some r when r.testing_time <= result.testing_time -> ()

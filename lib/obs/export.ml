@@ -1,0 +1,185 @@
+let args_obj args =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)
+
+(* Chrome's JSON dialect wants integer-ish pid/tid and microsecond
+   floats for ts/dur; everything nonstandard rides in "args". *)
+let chrome_trace ?(process_name = "soctest") events (m : Obs.metrics) =
+  let domains =
+    List.sort_uniq compare
+      (List.map
+         (function
+           | Obs.Span { domain; _ } -> domain
+           | Obs.Instant { domain; _ } -> domain)
+         events)
+  in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String process_name) ]);
+      ]
+    :: List.map
+         (fun d ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int d);
+               ( "args",
+                 Json.Obj
+                   [ ("name", Json.String (Printf.sprintf "domain-%d" d)) ] );
+             ])
+         domains
+  in
+  let last_ts =
+    List.fold_left
+      (fun acc -> function
+        | Obs.Span { ts_us; dur_us; _ } -> Float.max acc (ts_us +. dur_us)
+        | Obs.Instant { ts_us; _ } -> Float.max acc ts_us)
+      0. events
+  in
+  let of_event = function
+    | Obs.Span
+        {
+          name; cat; domain; depth; ts_us; dur_us;
+          minor_words; major_words; args;
+        } ->
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("cat", Json.String cat);
+          ("ph", Json.String "X");
+          ("ts", Json.Float ts_us);
+          ("dur", Json.Float dur_us);
+          ("pid", Json.Int 1);
+          ("tid", Json.Int domain);
+          ( "args",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.String v)) args
+              @ [
+                  ("minor_words", Json.Float minor_words);
+                  ("major_words", Json.Float major_words);
+                  ("depth", Json.Int depth);
+                ]) );
+        ]
+    | Obs.Instant { name; cat; domain; ts_us; args } ->
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("cat", Json.String cat);
+          ("ph", Json.String "i");
+          ("s", Json.String "t");
+          ("ts", Json.Float ts_us);
+          ("pid", Json.Int 1);
+          ("tid", Json.Int domain);
+          ("args", args_obj args);
+        ]
+  in
+  let counter_sample name value =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "C");
+        ("ts", Json.Float last_ts);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("value", value) ]);
+      ]
+  in
+  let counters =
+    List.map (fun (n, v) -> counter_sample n (Json.Int v)) m.Obs.counters
+    @ List.map (fun (n, v) -> counter_sample n (Json.Float v)) m.Obs.gauges
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ( "traceEvents",
+           Json.List (meta @ List.map of_event events @ counters) );
+         ("displayTimeUnit", Json.String "ms");
+       ])
+
+let jsonl events (m : Obs.metrics) =
+  let buf = Buffer.create 4096 in
+  let line v =
+    Buffer.add_string buf (Json.to_string v);
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun ev ->
+      line
+        (match ev with
+        | Obs.Span
+            {
+              name; cat; domain; depth; ts_us; dur_us;
+              minor_words; major_words; args;
+            } ->
+          Json.Obj
+            [
+              ("type", Json.String "span");
+              ("name", Json.String name);
+              ("cat", Json.String cat);
+              ("domain", Json.Int domain);
+              ("depth", Json.Int depth);
+              ("ts_us", Json.Float ts_us);
+              ("dur_us", Json.Float dur_us);
+              ("minor_words", Json.Float minor_words);
+              ("major_words", Json.Float major_words);
+              ("args", args_obj args);
+            ]
+        | Obs.Instant { name; cat; domain; ts_us; args } ->
+          Json.Obj
+            [
+              ("type", Json.String "instant");
+              ("name", Json.String name);
+              ("cat", Json.String cat);
+              ("domain", Json.Int domain);
+              ("ts_us", Json.Float ts_us);
+              ("args", args_obj args);
+            ]))
+    events;
+  List.iter
+    (fun (n, v) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.String "counter");
+             ("name", Json.String n);
+             ("value", Json.Int v);
+           ]))
+    m.Obs.counters;
+  List.iter
+    (fun (n, v) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.String "gauge");
+             ("name", Json.String n);
+             ("value", Json.Float v);
+           ]))
+    m.Obs.gauges;
+  List.iter
+    (fun (n, bs) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.String "histogram");
+             ("name", Json.String n);
+             ( "buckets",
+               Json.List
+                 (List.map
+                    (fun (edge, count) ->
+                      Json.Obj
+                        [
+                          ( "le",
+                            if Float.is_finite edge then Json.Float edge
+                            else Json.String "+Inf" );
+                          ("count", Json.Int count);
+                        ])
+                    bs) );
+           ]))
+    m.Obs.histograms;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Serialize recorded {!Obs} data.
+
+    Two formats: a Chrome [trace_event] JSON document (open it at
+    [chrome://tracing] or {:https://ui.perfetto.dev}), and a JSONL
+    stream (one event object per line, metrics appended last) for
+    ad-hoc processing with [jq]-style tools. *)
+
+val chrome_trace :
+  ?process_name:string -> Obs.event list -> Obs.metrics -> string
+(** A [{"traceEvents": [...]}] document. Spans become ["ph":"X"]
+    complete events ([tid] = domain id, GC word deltas under [args]),
+    instants become ["ph":"i"] thread-scoped events, and each counter
+    and gauge becomes one final ["ph":"C"] counter sample. Thread-name
+    metadata labels every domain. [process_name] defaults to
+    ["soctest"]. *)
+
+val jsonl : Obs.event list -> Obs.metrics -> string
+(** One JSON object per line: [{"type":"span",...}] /
+    [{"type":"instant",...}] in timestamp order, then
+    [{"type":"counter"|"gauge"|"histogram",...}] per metric. *)

@@ -1,0 +1,29 @@
+(** Minimal JSON support shared by the observability exporters and
+    {!Soctest_portfolio.Telemetry}: a value type with a renderer, and a
+    strict well-formedness checker used by tests and the [@obs-smoke]
+    alias. No external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** rendered with ["%.3f"]; must be finite *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Strings are escaped per RFC 8259;
+    non-finite floats render as [null]. *)
+
+val escape : string -> string
+(** [escape s] is [s] as a quoted JSON string literal. *)
+
+val check : string -> (unit, string) result
+(** Strict well-formedness check of one JSON document (surrounding
+    whitespace allowed, nothing else after it). [Error msg] carries the
+    byte offset of the first problem. *)
+
+val check_lines : string -> (unit, string) result
+(** Validate newline-separated JSON documents (JSONL); blank lines are
+    allowed and skipped. *)

@@ -1,0 +1,235 @@
+(* Global recorder. The fast path (recording off) is one Atomic.get and
+   a branch; everything else only runs once a CLI flag or a test called
+   [enable]. Span stacks are domain-local (Domain.DLS); the finished
+   event buffer is a single mutex-protected list — span begin/end is
+   coarse (strategies, pipeline phases), so contention is negligible
+   next to the work being measured. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* Trace epoch: timestamps are relative so traces start near zero. *)
+let epoch = Atomic.make 0.
+let since_epoch_us () = now_us () -. Atomic.get epoch
+
+(* ------------------------------------------------------------------ *)
+(* events *)
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      domain : int;
+      depth : int;
+      ts_us : float;
+      dur_us : float;
+      minor_words : float;
+      major_words : float;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      domain : int;
+      ts_us : float;
+      args : (string * string) list;
+    }
+
+let ts_of = function Span s -> s.ts_us | Instant i -> i.ts_us
+
+let buf_lock = Mutex.create ()
+let buf : event list ref = ref []
+
+let record ev =
+  Mutex.lock buf_lock;
+  buf := ev :: !buf;
+  Mutex.unlock buf_lock
+
+let events () =
+  Mutex.lock buf_lock;
+  let snapshot = !buf in
+  Mutex.unlock buf_lock;
+  (* reversal restores record order; the stable sort then orders by
+     start time while keeping record order for equal timestamps *)
+  List.stable_sort
+    (fun a b -> Float.compare (ts_of a) (ts_of b))
+    (List.rev snapshot)
+
+(* ------------------------------------------------------------------ *)
+(* spans *)
+
+type frame = {
+  f_name : string;
+  f_cat : string;
+  f_args : (string * string) list;
+  start_us : float;
+  minor0 : float;
+  major0 : float;
+}
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let domain_id () = (Domain.self () :> int)
+
+let with_span ?(cat = "span") ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    (* [Gc.minor_words] reads the allocation pointer, so it is exact;
+       [quick_stat] fields only advance at GC boundaries and would
+       report 0 for spans shorter than a minor collection. *)
+    let g0 = Gc.quick_stat () in
+    let frame =
+      {
+        f_name = name;
+        f_cat = cat;
+        f_args = args;
+        start_us = since_epoch_us ();
+        minor0 = Gc.minor_words ();
+        major0 = g0.Gc.major_words;
+      }
+    in
+    stack := frame :: !stack;
+    let depth = List.length !stack - 1 in
+    let finish () =
+      (match !stack with
+      | top :: rest when top == frame -> stack := rest
+      | _ -> () (* enable/disable raced a span; drop the pop *));
+      let g1 = Gc.quick_stat () in
+      record
+        (Span
+           {
+             name;
+             cat;
+             domain = domain_id ();
+             depth;
+             ts_us = frame.start_us;
+             dur_us = Float.max 0. (since_epoch_us () -. frame.start_us);
+             minor_words = Float.max 0. (Gc.minor_words () -. frame.minor0);
+             major_words = Float.max 0. (g1.Gc.major_words -. frame.major0);
+             args;
+           })
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let instant ?(cat = "event") ?(args = []) name =
+  if enabled () then
+    record
+      (Instant
+         { name; cat; domain = domain_id (); ts_us = since_epoch_us (); args })
+
+(* ------------------------------------------------------------------ *)
+(* metrics registry *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+type histogram = {
+  edges : float array;
+  buckets : int Atomic.t array;  (* length edges + 1; last = overflow *)
+}
+
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+(* [make] can raise (histogram edge validation): release the lock on
+   that path too, or every later registration would deadlock. *)
+let registered table name make =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some v -> v
+      | None ->
+        let v = make () in
+        Hashtbl.add table name v;
+        v)
+
+let counter name = registered counters name (fun () -> Atomic.make 0)
+let add c n = if enabled () then ignore (Atomic.fetch_and_add c n)
+let incr c = add c 1
+let counter_value c = Atomic.get c
+
+let gauge name = registered gauges name (fun () -> Atomic.make 0.)
+let set_gauge g v = if enabled () then Atomic.set g v
+let gauge_value g = Atomic.get g
+
+let default_edges = [| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
+
+let histogram ?(edges = default_edges) name =
+  registered histograms name (fun () ->
+      if Array.length edges = 0 then
+        invalid_arg "Obs.histogram: empty bucket edges";
+      Array.iteri
+        (fun i e ->
+          if i > 0 && not (edges.(i - 1) < e) then
+            invalid_arg "Obs.histogram: edges must be strictly increasing")
+        edges;
+      {
+        edges = Array.copy edges;
+        buckets = Array.init (Array.length edges + 1) (fun _ -> Atomic.make 0);
+      })
+
+let observe h v =
+  if enabled () then begin
+    let n = Array.length h.edges in
+    let rec bucket i = if i >= n || v <= h.edges.(i) then i else bucket (i + 1) in
+    ignore (Atomic.fetch_and_add h.buckets.(bucket 0) 1)
+  end
+
+let histogram_counts h =
+  List.init
+    (Array.length h.buckets)
+    (fun i ->
+      let edge =
+        if i < Array.length h.edges then h.edges.(i) else Float.infinity
+      in
+      (edge, Atomic.get h.buckets.(i)))
+
+(* ------------------------------------------------------------------ *)
+(* snapshots and lifecycle *)
+
+type metrics = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * (float * int) list) list;
+}
+
+let sorted_bindings table value =
+  Mutex.lock registry_lock;
+  let all = Hashtbl.fold (fun k v acc -> (k, value v) :: acc) table [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let metrics () =
+  {
+    counters = sorted_bindings counters Atomic.get;
+    gauges = sorted_bindings gauges Atomic.get;
+    histograms = sorted_bindings histograms histogram_counts;
+  }
+
+let reset () =
+  Mutex.lock buf_lock;
+  buf := [];
+  Mutex.unlock buf_lock;
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g 0.) gauges;
+  Hashtbl.iter
+    (fun _ h -> Array.iter (fun b -> Atomic.set b 0) h.buckets)
+    histograms;
+  Mutex.unlock registry_lock
+
+let enable () =
+  reset ();
+  Atomic.set epoch (now_us ());
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false

@@ -1,0 +1,122 @@
+(** Domain-aware tracing and metrics for the solver stack.
+
+    One global recorder with a zero-cost no-op default: every
+    instrumentation entry point first reads a single [Atomic] flag and
+    returns immediately when recording is off, so uninstrumented runs
+    pay one load and one branch per call site. The CLI ([--trace],
+    [--metrics], [--obs-summary]) and tests flip the flag with
+    {!enable}.
+
+    {2 Model}
+
+    - {e Spans} are hierarchical timed regions. Each domain keeps its
+      own span stack (via [Domain.DLS] keyed by [Domain.self ()]), so
+      portfolio workers nest independently; a finished span records its
+      wall-clock interval, nesting depth, domain id and the
+      [Gc.quick_stat] minor/major-word deltas observed by that domain.
+    - {e Instants} are point events (a preemption, an incumbent
+      improvement).
+    - {e Counters}, {e gauges} and {e histograms} are process-global
+      metrics backed by [Atomic], so worker domains record without
+      locks. Handles are created once (typically at module top level)
+      and are valid whether or not recording is on.
+
+    Timing uses [Unix.gettimeofday] (the [Mtime]-free fallback; the
+    stdlib exposes no monotonic clock), with durations clamped to be
+    non-negative. Timestamps are microseconds since {!enable}. *)
+
+(** {1 Recording control} *)
+
+val enabled : unit -> bool
+(** One relaxed [Atomic.get]; the branch every entry point takes. *)
+
+val enable : unit -> unit
+(** Clear previously recorded events and metric values, set the trace
+    epoch to now, and start recording. *)
+
+val disable : unit -> unit
+(** Stop recording. Recorded events and metric values stay readable. *)
+
+val reset : unit -> unit
+(** Clear events and zero every registered metric without changing the
+    enabled flag. Registered handles remain valid. *)
+
+(** {1 Spans and instants} *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span ~cat name f] runs [f ()]; when recording, the interval is
+    pushed on the calling domain's span stack and recorded on exit
+    (also on exception). [cat] defaults to ["span"]. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** A point event at the current time on the calling domain. *)
+
+(** {1 Metrics} *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create the counter registered under [name]. Idempotent:
+    the same name always yields the same underlying cell. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Lock-free ([Atomic.fetch_and_add]); no-ops while disabled. *)
+
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type histogram
+
+val histogram : ?edges:float array -> string -> histogram
+(** Cumulative-style buckets: an observation [v] lands in the first
+    bucket with [v <= edges.(i)], else in the overflow bucket. [edges]
+    must be strictly increasing (checked on first registration; later
+    calls with the same name reuse the registered edges). Default
+    edges suit millisecond latencies: 0.1 … 5000. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_counts : histogram -> (float * int) list
+(** [(upper_edge, count)] per bucket; the final pair is
+    [(infinity, overflow_count)]. *)
+
+(** {1 Introspection (exporters, summary, tests)} *)
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      domain : int;
+      depth : int;  (** 0 = outermost on its domain *)
+      ts_us : float;  (** start, microseconds since {!enable} *)
+      dur_us : float;
+      minor_words : float;  (** allocation delta over the span *)
+      major_words : float;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      domain : int;
+      ts_us : float;
+      args : (string * string) list;
+    }
+
+val events : unit -> event list
+(** Recorded events in start-timestamp order (stable for ties). *)
+
+type metrics = {
+  counters : (string * int) list;  (** name order *)
+  gauges : (string * float) list;
+  histograms : (string * (float * int) list) list;
+}
+
+val metrics : unit -> metrics
+(** Snapshot of every registered metric (including zero-valued ones). *)

@@ -1,0 +1,127 @@
+module Table = Soctest_report.Table
+
+type span_stat = {
+  name : string;
+  cat : string;
+  count : int;
+  total_ms : float;
+  mean_ms : float;
+  max_ms : float;
+  minor_mwords : float;
+}
+
+let span_stats events =
+  let acc : (string * string, int ref * float ref * float ref * float ref)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (function
+      | Obs.Instant _ -> ()
+      | Obs.Span { name; cat; dur_us; minor_words; _ } ->
+        let key = (cat, name) in
+        let count, total, mx, minor =
+          match Hashtbl.find_opt acc key with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0, ref 0., ref 0., ref 0.) in
+            Hashtbl.add acc key cell;
+            cell
+        in
+        Stdlib.incr count;
+        total := !total +. dur_us;
+        mx := Float.max !mx dur_us;
+        minor := !minor +. minor_words)
+    events;
+  Hashtbl.fold
+    (fun (cat, name) (count, total_us, max_us, minor) out ->
+      {
+        name;
+        cat;
+        count = !count;
+        total_ms = !total_us /. 1e3;
+        mean_ms = !total_us /. 1e3 /. float_of_int !count;
+        max_ms = !max_us /. 1e3;
+        minor_mwords = !minor /. 1e6;
+      }
+      :: out)
+    acc []
+  |> List.sort (fun a b ->
+         match Float.compare b.total_ms a.total_ms with
+         | 0 -> compare (a.cat, a.name) (b.cat, b.name)
+         | c -> c)
+
+let ms f = Printf.sprintf "%.2f" f
+
+let render events (m : Obs.metrics) =
+  let buf = Buffer.create 2048 in
+  let stats = span_stats events in
+  if stats <> [] then begin
+    let table =
+      Table.create ~title:"Observability summary: spans"
+        ~columns:
+          Table.
+            [
+              ("cat", Left); ("span", Left); ("count", Right);
+              ("total ms", Right); ("mean ms", Right); ("max ms", Right);
+              ("minor Mw", Right);
+            ]
+        ()
+    in
+    List.iter
+      (fun s ->
+        Table.add_row table
+          [
+            s.cat; s.name; string_of_int s.count; ms s.total_ms;
+            ms s.mean_ms; ms s.max_ms; Printf.sprintf "%.3f" s.minor_mwords;
+          ])
+      stats;
+    Buffer.add_string buf (Table.render table)
+  end;
+  let nonzero_counters = List.filter (fun (_, v) -> v <> 0) m.Obs.counters in
+  let nonzero_gauges = List.filter (fun (_, v) -> v <> 0.) m.Obs.gauges in
+  if nonzero_counters <> [] || nonzero_gauges <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    let table =
+      Table.create ~title:"Observability summary: counters and gauges"
+        ~columns:Table.[ ("metric", Left); ("value", Right) ]
+        ()
+    in
+    List.iter
+      (fun (n, v) -> Table.add_row table [ n; string_of_int v ])
+      nonzero_counters;
+    List.iter
+      (fun (n, v) -> Table.add_row table [ n; Printf.sprintf "%.3f" v ])
+      nonzero_gauges;
+    Buffer.add_string buf (Table.render table)
+  end;
+  let observed =
+    List.filter
+      (fun (_, bs) -> List.exists (fun (_, c) -> c > 0) bs)
+      m.Obs.histograms
+  in
+  if observed <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    let table =
+      Table.create ~title:"Observability summary: histograms"
+        ~columns:Table.[ ("histogram", Left); ("le", Right); ("count", Right) ]
+        ()
+    in
+    List.iter
+      (fun (n, bs) ->
+        List.iter
+          (fun (edge, count) ->
+            if count > 0 then
+              Table.add_row table
+                [
+                  n;
+                  (if Float.is_finite edge then Printf.sprintf "%g" edge
+                   else "+Inf");
+                  string_of_int count;
+                ])
+          bs)
+      observed;
+    Buffer.add_string buf (Table.render table)
+  end;
+  if Buffer.length buf = 0 then "Observability summary: nothing recorded\n"
+  else Buffer.contents buf

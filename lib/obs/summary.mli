@@ -1,0 +1,20 @@
+(** Plain-text digest of recorded {!Obs} data, rendered through
+    {!Soctest_report.Table} (the [--obs-summary] CLI output). *)
+
+type span_stat = {
+  name : string;
+  cat : string;
+  count : int;
+  total_ms : float;
+  mean_ms : float;
+  max_ms : float;
+  minor_mwords : float;  (** summed minor-heap allocation, megawords *)
+}
+
+val span_stats : Obs.event list -> span_stat list
+(** Aggregate spans by (category, name), largest total time first. *)
+
+val render : Obs.event list -> Obs.metrics -> string
+(** Span table, then counters/gauges, then histograms (sections with no
+    data are omitted). Wall-time columns come straight from the span
+    durations, so they agree with any exported trace by construction. *)

@@ -3,7 +3,12 @@
    timing and completion counting on top so the worker loop stays
    oblivious to what it runs. *)
 
+module Obs = Soctest_obs.Obs
+
 type task = unit -> unit
+
+let queue_wait_hist = Obs.histogram "pool.queue_wait_ms"
+let tasks_counter = Obs.counter "pool.tasks"
 
 type t = {
   lock : Mutex.t;
@@ -51,7 +56,14 @@ let create ~jobs =
 
 let jobs t = t.jobs
 
-type 'a outcome = { value : ('a, exn) result; elapsed_ms : float }
+type worker_error = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+exception Pool_error of worker_error
+
+let raise_error we =
+  Printexc.raise_with_backtrace (Pool_error we) we.backtrace
+
+type 'a outcome = { value : ('a, worker_error) result; elapsed_ms : float }
 
 let run_all pool thunks =
   let n = List.length thunks in
@@ -66,12 +78,22 @@ let run_all pool thunks =
     Mutex.unlock pool.lock;
     invalid_arg "Pool.run_all: pool is shut down"
   end;
+  let enqueued = now_ms () in
   List.iteri
     (fun i thunk ->
       Queue.push
         (fun () ->
           let start = now_ms () in
-          let value = try Ok (thunk ()) with e -> Error e in
+          Obs.incr tasks_counter;
+          Obs.observe queue_wait_hist (Float.max 0. (start -. enqueued));
+          let value =
+            try Ok (thunk ())
+            with e ->
+              (* capture in the worker, at the raise point, before any
+                 other code can disturb the backtrace *)
+              let backtrace = Printexc.get_raw_backtrace () in
+              Error { exn = e; backtrace }
+          in
           let elapsed_ms = Float.max 0. (now_ms () -. start) in
           Mutex.lock done_lock;
           results.(i) <- Some { value; elapsed_ms };

@@ -3,10 +3,14 @@
     Built from stdlib primitives only ([Domain], [Mutex], [Condition]):
     [create] spawns the worker domains once; {!run_all} feeds a batch of
     thunks through the queue and blocks until every one has finished,
-    returning per-task outcomes (captured exception or value, plus
+    returning per-task outcomes (captured error or value, plus
     wall-clock time) in submission order; {!shutdown} drains and joins
     every worker. Workers pop tasks in FIFO order, so a one-worker pool
-    executes a batch exactly in submission order. *)
+    executes a batch exactly in submission order.
+
+    When observability recording is on ({!Soctest_obs.Obs.enable}), the
+    pool feeds a [pool.queue_wait_ms] histogram (enqueue-to-start
+    latency per task) and a [pool.tasks] counter. *)
 
 type t
 
@@ -17,17 +21,32 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Number of worker domains the pool was created with. *)
 
+type worker_error = {
+  exn : exn;  (** the exception the task raised, unmodified *)
+  backtrace : Printexc.raw_backtrace;
+      (** captured in the worker domain at the raise point *)
+}
+
+exception Pool_error of worker_error
+(** Never escapes {!run_all}; raised only by {!raise_error}. *)
+
+val raise_error : worker_error -> 'a
+(** Re-raise as {!Pool_error} with the worker's original backtrace
+    attached (via [Printexc.raise_with_backtrace]), so the trace shown
+    to the user points into the task, not into the pool. *)
+
 type 'a outcome = {
-  value : ('a, exn) result;  (** [Error e] when the task raised [e] *)
+  value : ('a, worker_error) result;
+      (** [Error we] when the task raised [we.exn] *)
   elapsed_ms : float;  (** task wall-clock time, milliseconds (>= 0) *)
 }
 
 val run_all : t -> (unit -> 'a) list -> 'a outcome list
 (** Enqueue every thunk, wait for all of them, and return their outcomes
     in submission order (an empty list returns immediately). Exceptions
-    raised by a task are captured in its outcome, never re-raised.
-    Batches must be issued from one domain at a time — concurrent
-    [run_all] calls on the same pool are not supported.
+    raised by a task are captured with their backtraces in its outcome,
+    never re-raised. Batches must be issued from one domain at a time —
+    concurrent [run_all] calls on the same pool are not supported.
     @raise Invalid_argument if the pool has been shut down. *)
 
 val shutdown : t -> unit

@@ -1,3 +1,5 @@
+module Obs = Soctest_obs.Obs
+
 type status =
   | Done of { testing_time : int }
   | Failed of string
@@ -30,11 +32,14 @@ type task_result =
   | R_done of Strategy.outcome * int  (* incumbent right after finishing *)
   | R_skipped
 
+(* Returns [true] when [time] strictly improved the incumbent (i.e. our
+   CAS installed it), so the caller can emit one event per improvement. *)
 let fold_incumbent incumbent time =
   let rec loop () =
     let current = Atomic.get incumbent in
-    if time < current && not (Atomic.compare_and_set incumbent current time)
-    then loop ()
+    if time >= current then false
+    else if Atomic.compare_and_set incumbent current time then true
+    else loop ()
   in
   loop ()
 
@@ -65,15 +70,31 @@ let run ?jobs ?deadline_ms strategies =
     List.map
       (fun (s : Strategy.t) () ->
         if past_deadline () then R_skipped
-        else begin
+        else
+          Obs.with_span ~cat:"strategy" s.Strategy.name
+          @@ fun () ->
           let outcome = s.Strategy.run () in
-          fold_incumbent incumbent
-            outcome.Strategy.solution.Strategy.testing_time;
-          R_done (outcome, Atomic.get incumbent)
-        end)
+          let time = outcome.Strategy.solution.Strategy.testing_time in
+          if fold_incumbent incumbent time then
+            Obs.instant ~cat:"portfolio" "incumbent.improved"
+              ~args:
+                [
+                  ("strategy", s.Strategy.name);
+                  ("testing_time", string_of_int time);
+                ];
+          R_done (outcome, Atomic.get incumbent))
       strategies
   in
-  let outcomes = Pool.with_pool ~jobs (fun pool -> Pool.run_all pool thunks) in
+  let outcomes =
+    Obs.with_span ~cat:"phase" "portfolio.race"
+      ~args:
+        [
+          ("strategies", string_of_int (List.length strategies));
+          ("jobs", string_of_int jobs);
+        ]
+    @@ fun () ->
+    Pool.with_pool ~jobs (fun pool -> Pool.run_all pool thunks)
+  in
   let wall_ms = Float.max 0. ((Unix.gettimeofday () -. started) *. 1000.) in
   let entries =
     List.mapi
@@ -90,7 +111,7 @@ let run ?jobs ?deadline_ms strategies =
               Some inc,
               Some outcome.Strategy.solution )
           | Ok R_skipped -> (Skipped, 0, None, None)
-          | Error e -> (Failed (message_of_exn e), 0, None, None)
+          | Error we -> (Failed (message_of_exn we.Pool.exn), 0, None, None)
         in
         ( {
             index;

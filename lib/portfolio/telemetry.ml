@@ -1,5 +1,6 @@
 module Table = Soctest_report.Table
 module Csv = Soctest_report.Csv
+module Json = Soctest_obs.Json
 
 let status_label = function
   | Portfolio.Done _ -> "ok"
@@ -92,56 +93,39 @@ let csv (t : Portfolio.t) =
            ])
          t.Portfolio.reports)
 
-(* Minimal JSON emitter: every name here is ASCII, so escaping quotes,
-   backslashes and control characters suffices. *)
-let json_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
-
 let json (t : Portfolio.t) =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "{\"jobs\":%d,\"wall_ms\":%.3f,\"winner\":%s,\"winner_index\":%d,\
-        \"winner_makespan\":%d,\"strategies\":["
-       t.Portfolio.jobs t.Portfolio.wall_ms
-       (json_string t.Portfolio.winner_name)
-       t.Portfolio.winner_index
-       t.Portfolio.winner.Strategy.testing_time);
-  List.iteri
-    (fun i (r : Portfolio.report) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"index\":%d,\"name\":%s,\"kind\":%s,\"status\":%s%s,\
-            \"iterations\":%d,\"elapsed_ms\":%.3f%s%s}"
-           r.Portfolio.index
-           (json_string r.Portfolio.name)
-           (json_string (Strategy.kind_name r.Portfolio.kind))
-           (json_string (status_label r.Portfolio.status))
-           (match r.Portfolio.status with
-           | Portfolio.Failed msg ->
-             Printf.sprintf ",\"error\":%s" (json_string msg)
-           | _ -> "")
-           r.Portfolio.iterations r.Portfolio.elapsed_ms
-           (match makespan_of r with
-           | Some m -> Printf.sprintf ",\"makespan\":%d" m
-           | None -> "")
-           (match r.Portfolio.incumbent_after with
-           | Some i -> Printf.sprintf ",\"incumbent_after\":%d" i
-           | None -> "")))
-    t.Portfolio.reports;
-  Buffer.add_string buf "]}";
-  Buffer.contents buf
+  let report_obj (r : Portfolio.report) =
+    Json.Obj
+      ([
+         ("index", Json.Int r.Portfolio.index);
+         ("name", Json.String r.Portfolio.name);
+         ("kind", Json.String (Strategy.kind_name r.Portfolio.kind));
+         ("status", Json.String (status_label r.Portfolio.status));
+       ]
+      @ (match r.Portfolio.status with
+        | Portfolio.Failed msg -> [ ("error", Json.String msg) ]
+        | _ -> [])
+      @ [
+          ("iterations", Json.Int r.Portfolio.iterations);
+          ("elapsed_ms", Json.Float r.Portfolio.elapsed_ms);
+        ]
+      @ (match makespan_of r with
+        | Some m -> [ ("makespan", Json.Int m) ]
+        | None -> [])
+      @
+      match r.Portfolio.incumbent_after with
+      | Some i -> [ ("incumbent_after", Json.Int i) ]
+      | None -> [])
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("jobs", Json.Int t.Portfolio.jobs);
+         ("wall_ms", Json.Float t.Portfolio.wall_ms);
+         ("winner", Json.String t.Portfolio.winner_name);
+         ("winner_index", Json.Int t.Portfolio.winner_index);
+         ( "winner_makespan",
+           Json.Int t.Portfolio.winner.Strategy.testing_time );
+         ( "strategies",
+           Json.List (List.map report_obj t.Portfolio.reports) );
+       ])

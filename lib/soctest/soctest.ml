@@ -22,6 +22,11 @@
     {2 Parallel portfolio}
     - {!Pool}, {!Strategy}, {!Portfolio}, {!Telemetry}
 
+    {2 Observability}
+    - {!Obs} — spans, instants, counters, gauges, histograms
+    - {!Obs_export} — Chrome trace / JSONL exporters; {!Obs_summary}
+    - {!Json} — minimal JSON value type, renderer and checker
+
     {2 Tester substrate}
     - {!Bitstream}, {!Pattern_gen}, {!Compress}, {!Tester_image},
       {!Test_program}, {!Multisite}, {!Power_model}
@@ -76,6 +81,11 @@ module Pool = Soctest_portfolio.Pool
 module Strategy = Soctest_portfolio.Strategy
 module Portfolio = Soctest_portfolio.Portfolio
 module Telemetry = Soctest_portfolio.Telemetry
+
+module Obs = Soctest_obs.Obs
+module Obs_export = Soctest_obs.Export
+module Obs_summary = Soctest_obs.Summary
+module Json = Soctest_obs.Json
 
 module Bitstream = Soctest_tester.Bitstream
 module Pattern_gen = Soctest_tester.Pattern_gen

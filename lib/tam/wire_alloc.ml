@@ -1,8 +1,14 @@
+module Obs = Soctest_obs.Obs
+
 type allocation = { slice : Schedule.slice; wires : int list }
 
 module Int_set = Set.Make (Int)
 
+let slices_counter = Obs.counter "tam.wire_alloc_slices"
+
 let allocate (sched : Schedule.t) =
+  Obs.with_span ~cat:"tam" "wire_alloc.allocate" @@ fun () ->
+  Obs.add slices_counter (List.length sched.Schedule.slices);
   let all_wires =
     Int_set.of_list (List.init sched.Schedule.tam_width Fun.id)
   in

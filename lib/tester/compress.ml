@@ -1,3 +1,8 @@
+module Obs = Soctest_obs.Obs
+
+let encodes_counter = Obs.counter "tester.golomb_encodes"
+let encoded_bits_counter = Obs.counter "tester.encoded_bits"
+
 let is_power_of_two b = b > 0 && b land (b - 1) = 0
 
 let log2 b =
@@ -34,6 +39,8 @@ let encode ~b stream =
   check_b b;
   let runs = zero_runs stream in
   let total = List.fold_left (fun acc (l, _) -> acc + code_size ~b l) 0 runs in
+  Obs.incr encodes_counter;
+  Obs.add encoded_bits_counter total;
   let out = Bitstream.create total in
   let pos = ref 0 in
   let emit bit =

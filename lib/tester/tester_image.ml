@@ -1,5 +1,6 @@
 module Schedule = Soctest_tam.Schedule
 module Wire_alloc = Soctest_tam.Wire_alloc
+module Obs = Soctest_obs.Obs
 
 type t = {
   tam_width : int;
@@ -11,6 +12,7 @@ type t = {
 }
 
 let of_schedule sched =
+  Obs.with_span ~cat:"phase" "tester.image" @@ fun () ->
   let tam_width = sched.Schedule.tam_width in
   let depth = Schedule.makespan sched in
   let per_wire_busy = Array.make tam_width 0 in
@@ -39,6 +41,9 @@ type compression_report = {
 }
 
 let compress_soc ?(care_density = 0.05) (soc : Soctest_soc.Soc_def.t) =
+  Obs.with_span ~cat:"phase" "tester.compress"
+    ~args:[ ("soc", soc.Soctest_soc.Soc_def.name) ]
+  @@ fun () ->
   let per_core =
     Array.to_list soc.Soctest_soc.Soc_def.cores
     |> List.map (fun core ->

@@ -1,4 +1,9 @@
+module Obs = Soctest_obs.Obs
+
 type assignment = { bins : int list array; loads : int array }
+
+let packs_counter = Obs.counter "wrapper.bfd_packs"
+let exact_nodes_counter = Obs.counter "wrapper.bfd_exact_nodes"
 
 let least_loaded loads =
   let best = ref 0 in
@@ -9,6 +14,7 @@ let least_loaded loads =
 
 let pack ~weights ~bins =
   if bins < 1 then invalid_arg "Bfd.pack: bins must be >= 1";
+  Obs.incr packs_counter;
   if Array.exists (fun w -> w < 0) weights then
     invalid_arg "Bfd.pack: negative weight";
   let order = Array.init (Array.length weights) Fun.id in
@@ -56,6 +62,7 @@ let exact_max_load ~weights ~bins =
   (* seed the incumbent with the heuristic *)
   let best = ref (max_load (pack ~weights ~bins)) in
   let rec place k current_max =
+    Obs.incr exact_nodes_counter;
     if current_max >= !best then ()
     else if k = n then best := current_max
     else begin

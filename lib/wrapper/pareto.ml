@@ -1,4 +1,5 @@
 module Core_def = Soctest_soc.Core_def
+module Obs = Soctest_obs.Obs
 
 type t = {
   core_id : int;
@@ -11,6 +12,9 @@ type t = {
 
 let compute core ~wmax =
   if wmax < 1 then invalid_arg "Pareto.compute: wmax must be >= 1";
+  Obs.with_span ~cat:"wrapper" "pareto.compute"
+    ~args:[ ("core", string_of_int core.Core_def.id) ]
+  @@ fun () ->
   let raw =
     Array.init wmax (fun k ->
         Wrapper_design.testing_time core ~width:(k + 1))

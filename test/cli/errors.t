@@ -13,3 +13,15 @@ Malformed .soc files report the offending line:
   $ soctest soc-info bad.soc
   soctest: parse error at line 2: core 1: missing patterns=
   [124]
+
+A sink that cannot be written is reported cleanly, not as an internal
+error:
+
+  $ soctest schedule --soc mini4 -w 8 --trace missing-dir/t.json
+  soctest: missing-dir/t.json: No such file or directory
+  SOC mini4 at W=8: testing time 405 cycles
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 5
+    core  4 (delta): width 3
+  [124]

@@ -1,0 +1,37 @@
+Observability sinks on a one-off schedule. The run itself must be
+unchanged by tracing:
+
+  $ soctest schedule --soc mini4 -w 8 --trace t.json --metrics m.jsonl
+  SOC mini4 at W=8: testing time 405 cycles
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 5
+    core  4 (delta): width 3
+  (trace written to t.json)
+  (metrics written to m.jsonl)
+
+The trace is a Chrome trace_event document covering the pipeline phases:
+
+  $ grep -c traceEvents t.json
+  1
+  $ grep -o '"name":"wrapper.pareto"' t.json | head -1
+  "name":"wrapper.pareto"
+  $ grep -o '"name":"tam.schedule"' t.json | head -1
+  "name":"tam.schedule"
+  $ grep -o '"name":"conflict.validate"' t.json | head -1
+  "name":"conflict.validate"
+
+The metrics stream is one JSON object per line, counters included:
+
+  $ grep -o '"type":"counter","name":"optimizer.runs"' m.jsonl
+  "type":"counter","name":"optimizer.runs"
+
+The summary prints span and counter tables on stdout:
+
+  $ soctest schedule --soc mini4 -w 8 --obs-summary > summary.out
+  $ grep -c 'Observability summary' summary.out
+  2
+  $ grep -c 'tam.schedule' summary.out
+  1
+  $ grep -c 'optimizer.runs' summary.out
+  1

@@ -1,0 +1,36 @@
+(* Validator behind the @obs-smoke alias: check that an instrumented
+   run produced a well-formed Chrome trace (argv.(1), one JSON
+   document that must mention "traceEvents") and a well-formed JSONL
+   metrics stream (argv.(2)). Exits non-zero with a diagnostic on
+   stderr otherwise. *)
+
+module Json = Soctest_obs.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let () =
+  if Array.length Sys.argv <> 3 then
+    fail "usage: json_check TRACE.json METRICS.jsonl";
+  let trace = read_file Sys.argv.(1) in
+  (match Json.check trace with
+  | Ok () -> ()
+  | Error msg -> fail "%s: invalid JSON: %s" Sys.argv.(1) msg);
+  if not (contains trace "\"traceEvents\"") then
+    fail "%s: missing traceEvents array" Sys.argv.(1);
+  if not (contains trace "\"ph\":\"X\"") then
+    fail "%s: no complete spans recorded" Sys.argv.(1);
+  let metrics = read_file Sys.argv.(2) in
+  match Json.check_lines metrics with
+  | Ok () -> ()
+  | Error msg -> fail "%s: invalid JSONL: %s" Sys.argv.(2) msg

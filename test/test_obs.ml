@@ -1,0 +1,250 @@
+(* Tests for lib/obs: span nesting, metrics, multi-domain recording and
+   the exporters. The recorder is global state, so every test starts
+   with [Obs.enable] (which resets) and the runner is sequential. *)
+
+module Obs = Soctest_obs.Obs
+module Export = Soctest_obs.Export
+module Summary = Soctest_obs.Summary
+module Json = Soctest_obs.Json
+
+let spans events =
+  List.filter_map
+    (function
+      | Obs.Span { name; depth; ts_us; dur_us; _ } ->
+        Some (name, depth, ts_us, dur_us)
+      | Obs.Instant _ -> None)
+    events
+
+let test_disabled_records_nothing () =
+  Obs.disable ();
+  Obs.reset ();
+  let r = Obs.with_span "quiet" (fun () -> 41 + 1) in
+  Obs.instant "nope";
+  Alcotest.(check int) "value passes through" 42 r;
+  Alcotest.(check int) "no events" 0 (List.length (Obs.events ()))
+
+let test_span_nesting_and_ordering () =
+  Obs.enable ();
+  Obs.with_span "outer" (fun () ->
+      Obs.with_span "inner1" (fun () -> ());
+      Obs.with_span "inner2" (fun () -> ()));
+  Obs.disable ();
+  match spans (Obs.events ()) with
+  | [
+      ("outer", d0, ts0, dur0); ("inner1", d1, ts1, _); ("inner2", d2, ts2, _);
+    ] ->
+    (* children finish (and record) first, but events are sorted by
+       start time, so the enclosing span comes back first *)
+    Alcotest.(check int) "outer depth" 0 d0;
+    Alcotest.(check int) "inner1 depth" 1 d1;
+    Alcotest.(check int) "inner2 depth" 1 d2;
+    Alcotest.(check bool) "inner1 starts after outer" true (ts1 >= ts0);
+    Alcotest.(check bool) "inner2 after inner1" true (ts2 >= ts1);
+    Alcotest.(check bool) "outer covers inner2" true
+      (ts0 +. dur0 >= ts2)
+  | l -> Alcotest.failf "unexpected span list (%d entries)" (List.length l)
+
+let test_span_records_on_exception () =
+  Obs.enable ();
+  (try Obs.with_span "bang" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Obs.disable ();
+  Alcotest.(check int) "span recorded despite raise" 1
+    (List.length (spans (Obs.events ())))
+
+let test_counter_and_gauge () =
+  let c = Obs.counter "test.counter" in
+  let g = Obs.gauge "test.gauge" in
+  Obs.enable ();
+  Obs.incr c;
+  Obs.add c 9;
+  Obs.set_gauge g 2.5;
+  Obs.disable ();
+  Alcotest.(check int) "counter" 10 (Obs.counter_value c);
+  (* same name -> same cell *)
+  Alcotest.(check int) "idempotent handle" 10
+    (Obs.counter_value (Obs.counter "test.counter"));
+  Alcotest.(check (float 1e-9)) "gauge" 2.5 (Obs.gauge_value g)
+
+let test_histogram_bucket_edges () =
+  let h = Obs.histogram ~edges:[| 1.; 10.; 100. |] "test.hist" in
+  Obs.enable ();
+  (* v lands in the first bucket with v <= edge; above all edges ->
+     overflow *)
+  List.iter (Obs.observe h) [ 0.5; 1.0; 1.5; 10.0; 99.9; 100.0; 100.1; 1e9 ];
+  Obs.disable ();
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "bucket counts"
+    [ (1., 2); (10., 2); (100., 2); (infinity, 2) ]
+    (Obs.histogram_counts h)
+
+let test_histogram_edges_validated () =
+  Alcotest.check_raises "non-increasing edges rejected"
+    (Invalid_argument "Obs.histogram: edges must be strictly increasing")
+    (fun () -> ignore (Obs.histogram ~edges:[| 1.; 1. |] "test.hist.bad"))
+
+let test_concurrent_counters () =
+  let c = Obs.counter "test.concurrent" in
+  Obs.enable ();
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Obs.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  Obs.disable ();
+  Alcotest.(check int) "no lost increments" 40_000 (Obs.counter_value c)
+
+let test_concurrent_spans_per_domain () =
+  Obs.enable ();
+  let domains =
+    List.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            Obs.with_span ("worker-" ^ string_of_int i) (fun () ->
+                Obs.with_span "nested" (fun () -> ()))))
+  in
+  List.iter Domain.join domains;
+  Obs.disable ();
+  let events = Obs.events () in
+  (* each domain keeps its own stack: every nested span has depth 1 on
+     the same domain as its parent *)
+  let nested =
+    List.filter_map
+      (function
+        | Obs.Span { name = "nested"; depth; domain; _ } ->
+          Some (depth, domain)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check int) "three nested spans" 3 (List.length nested);
+  List.iter
+    (fun (depth, domain) ->
+      Alcotest.(check int) "independent nesting" 1 depth;
+      let parent_ok =
+        List.exists
+          (function
+            | Obs.Span { depth = 0; domain = d; _ } -> d = domain
+            | _ -> false)
+          events
+      in
+      Alcotest.(check bool) "parent on same domain" true parent_ok)
+    nested
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let check_json label s =
+  match Json.check s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: invalid JSON: %s" label msg
+
+let test_chrome_trace_shape () =
+  let c = Obs.counter "test.trace.counter" in
+  Obs.enable ();
+  Obs.incr c;
+  Obs.with_span ~cat:"phase" "work" ~args:[ ("k", "v") ] (fun () ->
+      Obs.instant "tick");
+  Obs.disable ();
+  let doc = Export.chrome_trace (Obs.events ()) (Obs.metrics ()) in
+  check_json "chrome trace" doc;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains doc needle))
+    [
+      "\"traceEvents\"";
+      "\"ph\":\"X\"";
+      "\"ph\":\"i\"";
+      "\"ph\":\"C\"";
+      "\"ph\":\"M\"";
+      "\"name\":\"work\"";
+      "\"cat\":\"phase\"";
+      "\"displayTimeUnit\":\"ms\"";
+    ]
+
+let test_jsonl_lines_valid () =
+  Obs.enable ();
+  Obs.with_span "a" (fun () -> Obs.instant "b");
+  Obs.observe (Obs.histogram "test.jsonl.hist") 3.;
+  Obs.disable ();
+  let out = Export.jsonl (Obs.events ()) (Obs.metrics ()) in
+  (match Json.check_lines out with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid JSONL: %s" msg);
+  (* the overflow bucket must render as the string "+Inf", not as a bare
+     non-finite number *)
+  Alcotest.(check bool) "+Inf rendered" true (contains out "\"+Inf\"")
+
+let test_summary_consistent_with_spans () =
+  Obs.enable ();
+  Obs.with_span "slow" (fun () -> Unix.sleepf 0.002);
+  Obs.with_span "slow" (fun () -> ());
+  Obs.disable ();
+  let stats = Summary.span_stats (Obs.events ()) in
+  match List.find_opt (fun s -> s.Summary.name = "slow") stats with
+  | None -> Alcotest.fail "slow span missing from summary"
+  | Some s ->
+    Alcotest.(check int) "count aggregated" 2 s.Summary.count;
+    let total_us =
+      List.fold_left
+        (fun acc (_, _, _, dur) -> acc +. dur)
+        0.
+        (spans (Obs.events ()))
+    in
+    (* summary milliseconds must match the raw span durations *)
+    Alcotest.(check bool) "total within 5%" true
+      (Float.abs ((s.Summary.total_ms *. 1000.) -. total_us)
+      <= 0.05 *. total_us)
+
+let test_json_check_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      match Json.check bad with
+      | Ok () -> Alcotest.failf "accepted invalid JSON: %s" bad
+      | Error _ -> ())
+    [
+      ""; "{"; "[1,]"; "{\"a\":}"; "{\"a\":1,}"; "nul"; "01"; "1 2";
+      "\"unterminated"; "{\"a\" 1}"; "[1] trailing";
+    ];
+  List.iter
+    (fun good ->
+      match Json.check good with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "rejected valid JSON %s: %s" good msg)
+    [
+      "null"; "true"; "-1.5e3"; "[]"; "{}"; " {\"a\":[1,2,{}]} ";
+      "\"esc\\u00e9\\n\"";
+    ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "obs",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "span nesting and ordering" `Quick
+            test_span_nesting_and_ordering;
+          Alcotest.test_case "span records on exception" `Quick
+            test_span_records_on_exception;
+          Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+          Alcotest.test_case "histogram bucket edges" `Quick
+            test_histogram_bucket_edges;
+          Alcotest.test_case "histogram edges validated" `Quick
+            test_histogram_edges_validated;
+          Alcotest.test_case "concurrent counters" `Quick
+            test_concurrent_counters;
+          Alcotest.test_case "concurrent spans per domain" `Quick
+            test_concurrent_spans_per_domain;
+          Alcotest.test_case "chrome trace shape" `Quick
+            test_chrome_trace_shape;
+          Alcotest.test_case "jsonl lines valid" `Quick test_jsonl_lines_valid;
+          Alcotest.test_case "summary consistent with spans" `Quick
+            test_summary_consistent_with_spans;
+          Alcotest.test_case "json check rejects garbage" `Quick
+            test_json_check_rejects_garbage;
+        ] );
+    ]

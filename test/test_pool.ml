@@ -16,7 +16,9 @@ let test_all_tasks_execute () =
         (fun i (o : int Pool.outcome) ->
           match o.Pool.value with
           | Ok v -> Alcotest.(check int) "submission order kept" (i * i) v
-          | Error e -> Alcotest.failf "task %d raised %s" i (Printexc.to_string e))
+          | Error we ->
+            Alcotest.failf "task %d raised %s" i
+              (Printexc.to_string we.Pool.exn))
         outcomes)
 
 let test_exceptions_are_captured () =
@@ -30,8 +32,13 @@ let test_exceptions_are_captured () =
           ]
       in
       match List.map (fun (o : int Pool.outcome) -> o.Pool.value) outcomes with
-      | [ Ok 1; Error (Failure msg); Ok 3 ] ->
-        Alcotest.(check string) "original exception kept" "boom" msg
+      | [ Ok 1; Error ({ Pool.exn = Failure msg; _ } as we); Ok 3 ] ->
+        Alcotest.(check string) "original exception kept" "boom" msg;
+        (* re-raising must wrap in Pool_error and keep the payload *)
+        (match Pool.raise_error we with
+        | _ -> Alcotest.fail "raise_error returned"
+        | exception Pool.Pool_error { Pool.exn = Failure m; _ } ->
+          Alcotest.(check string) "raise_error keeps exn" "boom" m)
       | _ -> Alcotest.fail "expected Ok 1 / Error boom / Ok 3 in order")
 
 let test_timings_non_negative () =
