@@ -13,7 +13,8 @@ module Soc_def = Soctest_soc.Soc_def
 module Benchmarks = Soctest_soc.Benchmarks
 module Constraint_def = Soctest_constraints.Constraint_def
 module O = Soctest_core.Optimizer
-module Flow = Soctest_core.Flow
+module Engine = Soctest_engine.Engine
+module Flow = Soctest_engine.Flow
 
 let unconstrained soc =
   Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
@@ -266,10 +267,30 @@ let portfolio_benches =
     race "portfolio/race_jobs4_p93791_w32" strats_p93791 4;
   ]
 
+let engine_benches =
+  (* the engine's reason to exist: re-solving a Table-2 style width sweep
+     against a fresh cache (every Pareto analysis and grid cell computed)
+     vs a pre-warmed one (everything answered from the cache) *)
+  let constraints = unconstrained d695 in
+  let reqs () =
+    List.map
+      (fun w -> Engine.request d695 ~tam_width:w ~constraints ())
+      (List.init 16 (fun k -> k + 1))
+  in
+  let warm = Engine.create () in
+  ignore (Engine.solve_many warm (reqs ()));
+  [
+    Test.make ~name:"engine/solve_many_cold_d695_w1-16"
+      (Staged.stage (fun () ->
+           ignore (Engine.solve_many (Engine.create ()) (reqs ()))));
+    Test.make ~name:"engine/solve_many_warm_d695_w1-16"
+      (Staged.stage (fun () -> ignore (Engine.solve_many warm (reqs ()))));
+  ]
+
 let all_tests =
   table1_benches @ table2_benches @ figure_benches @ baseline_benches
   @ substrate_benches @ ablation_benches @ extension_benches
-  @ portfolio_benches
+  @ portfolio_benches @ engine_benches
 
 let benchmark () =
   let ols =

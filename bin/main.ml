@@ -11,7 +11,9 @@ module Core_def = Soctest_soc.Core_def
 module Benchmarks = Soctest_soc.Benchmarks
 module Constraint_def = Soctest_constraints.Constraint_def
 module Optimizer = Soctest_core.Optimizer
-module Flow = Soctest_core.Flow
+module Budget = Soctest_core.Budget
+module Engine = Soctest_engine.Engine
+module Flow = Soctest_engine.Flow
 module Obs = Soctest_obs.Obs
 module Obs_export = Soctest_obs.Export
 module Obs_summary = Soctest_obs.Summary
@@ -391,15 +393,12 @@ let sweep_cmd =
     wrap (fun () ->
         with_obs ~trace ~metrics ~summary:obs_summary @@ fun () ->
         let soc = load_soc soc_name in
-        let prepared = Optimizer.prepare soc in
-        let constraints =
-          Constraint_def.unconstrained
-            ~core_count:(Soc_def.core_count soc)
-        in
         let points =
-          Soctest_core.Volume.sweep prepared
-            ~widths:(List.init max_width (fun k -> k + 1))
-            ~constraints ()
+          (Flow.solve_sweep
+             (Flow.sweep_spec soc
+                ~widths:(List.init max_width (fun k -> k + 1))
+                ~alphas:[]))
+            .Flow.points
         in
         let front = Soctest_core.Volume.pareto_front points in
         let table =
@@ -518,7 +517,10 @@ let portfolio_cmd =
     wrap (fun () ->
         with_obs ~trace ~metrics ~summary:obs_summary @@ fun () ->
         let soc = load_soc soc in
-        let prepared = Optimizer.prepare soc in
+        (* one engine cache for the whole race: strategies share Pareto
+           analyses and dedup overlapping evaluations *)
+        let engine = Engine.create () in
+        let prepared = Engine.prepare engine soc in
         let max_preempts =
           if preempt > 0 then Flow.preemption_budget soc ~limit:preempt
           else []
@@ -531,7 +533,8 @@ let portfolio_cmd =
         in
         let strats =
           Soctest_portfolio.Strategy.default ?kinds:(parse_kinds strategies)
-            prepared ~tam_width:width ~constraints
+            ~eval:(Engine.evaluator engine) prepared ~tam_width:width
+            ~constraints
         in
         if strats = [] then
           failwith
@@ -660,7 +663,18 @@ let schedule_cmd =
       & info [ "save" ] ~docv:"FILE"
           ~doc:"Save the schedule in the textual schedule format.")
   in
-  let run soc width preempt power gantt save trace metrics obs_summary =
+  let budget_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Search the full parameter grid, but stop after $(docv) \
+             milliseconds of wall clock and keep the best schedule found \
+             so far (at least one grid point is always evaluated).")
+  in
+  let run soc width preempt power gantt save budget_ms trace metrics
+      obs_summary =
     wrap (fun () ->
         with_obs ~trace ~metrics ~summary:obs_summary @@ fun () ->
         let soc = load_soc soc in
@@ -674,9 +688,31 @@ let schedule_cmd =
               (if power then Some (Flow.default_power_limit soc) else None)
             ()
         in
-        let r = Flow.solve_p2 soc ~tam_width:width ~constraints () in
+        let r, budget_note =
+          match budget_ms with
+          | None -> (Flow.solve (Flow.spec ~constraints soc ~tam_width:width), None)
+          | Some ms ->
+            let o =
+              Engine.solve (Engine.create ())
+                (Engine.request ~grid:Engine.default_grid
+                   ~budget:(Budget.create ~deadline_ms:ms ()) soc
+                   ~tam_width:width ~constraints ())
+            in
+            let note =
+              match o.Engine.status with
+              | Engine.Deadline ->
+                Printf.sprintf
+                  "budget expired: kept best of %d grid evaluation(s)"
+                  o.Engine.evaluations
+              | Engine.Complete ->
+                Printf.sprintf "grid complete: %d evaluation(s)"
+                  o.Engine.evaluations
+            in
+            (o.Engine.result, Some note)
+        in
         Printf.printf "SOC %s at W=%d: testing time %d cycles\n"
           soc.Soc_def.name width r.Optimizer.testing_time;
+        Option.iter (Printf.printf "(%s)\n") budget_note;
         List.iter
           (fun (id, w) ->
             Printf.printf "  core %2d (%s): width %d%s\n" id
@@ -702,8 +738,8 @@ let schedule_cmd =
     Term.(
       ret
         (const run $ soc_arg ~default:"d695" $ width_arg ~default:32
-       $ preempt $ power $ gantt $ save $ trace_arg $ metrics_arg
-       $ obs_summary_arg))
+       $ preempt $ power $ gantt $ save $ budget_ms $ trace_arg
+       $ metrics_arg $ obs_summary_arg))
 
 let validate_cmd =
   let file =

@@ -8,7 +8,7 @@ module Core_def = Soctest_soc.Core_def
 module Soc_def = Soctest_soc.Soc_def
 module Parser = Soctest_soc.Soc_parser
 module Writer = Soctest_soc.Soc_writer
-module Flow = Soctest_core.Flow
+module Flow = Soctest_engine.Flow
 module Optimizer = Soctest_core.Optimizer
 
 let description = {|
@@ -42,7 +42,7 @@ let () =
 
   List.iter
     (fun w ->
-      let r = Flow.solve_p2 soc ~tam_width:w ~constraints () in
+      let r = Flow.solve (Flow.spec ~constraints soc ~tam_width:w) in
       Printf.printf "W=%2d: testing time %6d cycles (TAM utilization %.1f%%)\n"
         w r.Optimizer.testing_time
         (100. *. Soctest_tam.Schedule.utilization r.Optimizer.schedule))

@@ -6,7 +6,7 @@
 
    Run with: dune exec examples/data_volume_tradeoff.exe *)
 
-module Flow = Soctest_core.Flow
+module Flow = Soctest_engine.Flow
 module Volume = Soctest_core.Volume
 module Cost = Soctest_core.Cost
 module Plot = Soctest_report.Plot
@@ -16,7 +16,7 @@ let () =
   let widths = List.init 64 (fun k -> k + 1) in
   let alphas = [ 0.1; 0.3; 0.5; 0.7; 0.9 ] in
   let { Flow.points; evaluations } =
-    Flow.solve_p3 soc ~widths ~alphas ()
+    Flow.solve_sweep (Flow.sweep_spec soc ~widths ~alphas)
   in
 
   let tp = Volume.min_time_point points

@@ -10,7 +10,7 @@
 module Core_def = Soctest_soc.Core_def
 module Soc_def = Soctest_soc.Soc_def
 module Constraint_def = Soctest_constraints.Constraint_def
-module Flow = Soctest_core.Flow
+module Flow = Soctest_engine.Flow
 module Optimizer = Soctest_core.Optimizer
 module Schedule = Soctest_tam.Schedule
 
@@ -50,7 +50,7 @@ let report label (r : Optimizer.result) =
 
 let () =
   (* Unconstrained baseline. *)
-  let free = Flow.solve_p1 soc ~tam_width () in
+  let free = Flow.solve (Flow.spec soc ~tam_width) in
   report "unconstrained:" free;
   print_newline ();
 
@@ -62,7 +62,7 @@ let () =
       ~precedence:[ (1, 3); (1, 5); (2, 3) ]
       ~power_limit:2000 ()
   in
-  let constrained = Flow.solve_p2 soc ~tam_width ~constraints () in
+  let constrained = Flow.solve (Flow.spec ~constraints soc ~tam_width) in
   report "precedence + hierarchy + power:" constrained;
   print_newline ();
 

@@ -10,7 +10,7 @@
 
 module Constraint_def = Soctest_constraints.Constraint_def
 module Optimizer = Soctest_core.Optimizer
-module Flow = Soctest_core.Flow
+module Flow = Soctest_engine.Flow
 module Schedule = Soctest_tam.Schedule
 
 let () =

@@ -88,6 +88,7 @@ let make ~core_count ?(precedence = []) ?(concurrency = []) ?power_limit
   }
 
 let unconstrained ~core_count = make ~core_count ()
+let empty = unconstrained
 
 let of_soc soc ?precedence ?power_limit ?max_preemptions () =
   let hierarchy_pairs = soc.Soc_def.hierarchy in

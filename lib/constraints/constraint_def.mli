@@ -22,6 +22,10 @@ val unconstrained : core_count:int -> t
 (** No precedence/concurrency/power constraints, preemption forbidden
     (non-preemptive scheduling — [max_preemptions] all zero). *)
 
+val empty : core_count:int -> t
+(** Alias of {!unconstrained}: the constraint set under which Problem 1
+    ([P_nw]) is Problem 2 — the spelling {!Soctest_engine.Flow} uses. *)
+
 val make :
   core_count:int ->
   ?precedence:(int * int) list ->

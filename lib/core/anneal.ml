@@ -17,7 +17,9 @@ type report = {
 let next_unit rng = float_of_int (Synth.next_int rng 1_000_000) /. 1e6
 
 let search ?(seed = 0x5EEDC0DEL) ?(iterations = 400) ?initial_temperature
-    ?(cooling = 0.99) prepared ~tam_width ~constraints seed_result =
+    ?(cooling = 0.99) ?(budget = Budget.unlimited)
+    ?(eval : Optimizer.evaluator = Optimizer.run_request) prepared ~tam_width
+    ~constraints seed_result =
   if iterations < 1 then invalid_arg "Anneal.search: iterations must be >= 1";
   if not (cooling > 0. && cooling <= 1.) then
     invalid_arg "Anneal.search: cooling must be in (0, 1]";
@@ -37,15 +39,18 @@ let search ?(seed = 0x5EEDC0DEL) ?(iterations = 400) ?initial_temperature
   let widths = Array.of_list seed_result.Optimizer.widths in
   let n = Array.length widths in
   if n = 0 then invalid_arg "Anneal.search: seed has no width assignment";
-  let eval () =
-    Optimizer.run ~overrides:(Array.to_list widths) prepared ~tam_width
-      ~constraints ~params
-  in
+  let req = Optimizer.request ~params ~tam_width ~constraints () in
+  let eval () = eval ~overrides:(Array.to_list widths) prepared req in
   let current = ref seed_result in
   let best = ref seed_result in
   let accepted = ref 0 in
   let temp = ref temperature in
-  for _ = 1 to iterations do
+  let performed = ref 0 in
+  let i = ref 0 in
+  while !i < iterations && not (Budget.exhausted budget) do
+    incr i;
+    incr performed;
+    Budget.note_eval budget;
     let k = Synth.next_int rng n in
     let core, w = widths.(k) in
     let pareto = Optimizer.pareto_of prepared core in
@@ -91,4 +96,4 @@ let search ?(seed = 0x5EEDC0DEL) ?(iterations = 400) ?initial_temperature
     temp := !temp *. cooling;
     Obs.set_gauge temperature_gauge !temp
   done;
-  { result = !best; initial_time; iterations; accepted = !accepted }
+  { result = !best; initial_time; iterations = !performed; accepted = !accepted }

@@ -7,7 +7,7 @@
 type report = {
   result : Optimizer.result;  (** best schedule visited *)
   initial_time : int;
-  iterations : int;
+  iterations : int;  (** iterations actually performed *)
   accepted : int;  (** moves accepted (incl. uphill) *)
 }
 
@@ -16,6 +16,8 @@ val search :
   ?iterations:int ->
   ?initial_temperature:float ->
   ?cooling:float ->
+  ?budget:Budget.t ->
+  ?eval:Optimizer.evaluator ->
   Optimizer.prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
@@ -27,5 +29,12 @@ val search :
     the seed makespan) and decays geometrically by [cooling] (default
     0.99) per iteration. The best schedule ever visited is returned —
     never worse than the seed.
+
+    [budget] stops the walk early (before the next evaluation) once
+    exhausted; [report.iterations] then records how far it got. The
+    returned result is still never worse than the seed. [eval] replaces
+    the direct {!Optimizer.run_request} evaluation — the engine passes
+    its caching evaluator here; substituting one never changes the walk
+    (same results, same acceptance sequence), only its cost.
     @raise Invalid_argument for non-positive iterations/temperature or a
     cooling factor outside (0, 1]. *)

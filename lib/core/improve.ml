@@ -21,22 +21,26 @@ let neighbours pareto ~tam_width w =
   in
   List.filter (fun x -> x > 0) [ smaller; larger ]
 
-let polish ?(max_rounds = 10) prepared ~tam_width ~constraints seed =
+let polish ?(max_rounds = 10) ?(budget = Budget.unlimited)
+    ?(eval : Optimizer.evaluator = Optimizer.run_request) prepared ~tam_width
+    ~constraints seed =
   if max_rounds < 0 then invalid_arg "Improve.polish: negative max_rounds";
   if seed.Optimizer.widths = [] then
     invalid_arg "Improve.polish: seed has no width assignment";
   Soctest_obs.Obs.with_span ~cat:"phase" "improve.polish" @@ fun () ->
   let params = seed.Optimizer.params in
+  let req = Optimizer.request ~params ~tam_width ~constraints () in
   let evaluations = ref 0 in
   let eval overrides =
     incr evaluations;
-    Optimizer.run ~overrides prepared ~tam_width ~constraints ~params
+    Budget.note_eval budget;
+    eval ~overrides prepared req
   in
   let best = ref seed in
   let widths = ref seed.Optimizer.widths in
   let rounds = ref 0 in
   let improved = ref true in
-  while !improved && !rounds < max_rounds do
+  while !improved && !rounds < max_rounds && not (Budget.exhausted budget) do
     improved := false;
     incr rounds;
     List.iter
@@ -44,20 +48,21 @@ let polish ?(max_rounds = 10) prepared ~tam_width ~constraints seed =
         let pareto = Optimizer.pareto_of prepared core in
         List.iter
           (fun w' ->
-            let overrides =
-              (core, w') :: List.remove_assoc core !widths
-            in
-            match eval overrides with
-            | candidate ->
-              if
-                candidate.Optimizer.testing_time
-                < !best.Optimizer.testing_time
-              then begin
-                best := candidate;
-                widths := candidate.Optimizer.widths;
-                improved := true
-              end
-            | exception Optimizer.Infeasible _ -> ())
+            if not (Budget.exhausted budget) then
+              let overrides =
+                (core, w') :: List.remove_assoc core !widths
+              in
+              match eval overrides with
+              | candidate ->
+                if
+                  candidate.Optimizer.testing_time
+                  < !best.Optimizer.testing_time
+                then begin
+                  best := candidate;
+                  widths := candidate.Optimizer.widths;
+                  improved := true
+                end
+              | exception Optimizer.Infeasible _ -> ())
           (neighbours pareto ~tam_width w))
       !widths
   done;
@@ -68,8 +73,9 @@ let polish ?(max_rounds = 10) prepared ~tam_width ~constraints seed =
     evaluations = !evaluations;
   }
 
-let best_with_polish ?max_rounds prepared ~tam_width ~constraints () =
+let best_with_polish ?max_rounds ?budget ?eval prepared ~tam_width
+    ~constraints () =
   let seed =
-    Optimizer.best_over_params prepared ~tam_width ~constraints ()
+    Optimizer.best_over_params ?budget prepared ~tam_width ~constraints ()
   in
-  polish ?max_rounds prepared ~tam_width ~constraints seed
+  polish ?max_rounds ?budget ?eval prepared ~tam_width ~constraints seed

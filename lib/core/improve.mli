@@ -19,6 +19,8 @@ type report = {
 
 val polish :
   ?max_rounds:int ->
+  ?budget:Budget.t ->
+  ?eval:Optimizer.evaluator ->
   Optimizer.prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
@@ -27,14 +29,22 @@ val polish :
 (** [polish prepared ~tam_width ~constraints seed] improves [seed] until
     a local optimum or [max_rounds] (default 10) rounds. The returned
     result is never worse than the seed. Deterministic.
+
+    [budget] stops the climb before the next evaluation once exhausted
+    (the result so far is kept); [eval] replaces the direct
+    {!Optimizer.run_request} evaluation with e.g. the engine's caching
+    evaluator without changing the climb itself.
     @raise Invalid_argument if [max_rounds < 0] or the seed's width list
     is empty. *)
 
 val best_with_polish :
   ?max_rounds:int ->
+  ?budget:Budget.t ->
+  ?eval:Optimizer.evaluator ->
   Optimizer.prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
   unit ->
   report
-(** Convenience: {!Optimizer.best_over_params} then {!polish}. *)
+(** Convenience: {!Optimizer.best_over_params} then {!polish}, under the
+    same [budget]. *)

@@ -20,15 +20,16 @@ let default_params =
 
 type prepared = { soc : Soc_def.t; wmax : int; paretos : Pareto.t array }
 
-let prepare ?(wmax = 64) soc =
+let prepare_via compute ?(wmax = 64) soc =
   if wmax < 1 then invalid_arg "Optimizer.prepare: wmax must be >= 1";
   Obs.with_span ~cat:"phase" "wrapper.pareto"
     ~args:[ ("soc", soc.Soc_def.name); ("wmax", string_of_int wmax) ]
   @@ fun () ->
-  let paretos =
-    Array.map (fun core -> Pareto.compute core ~wmax) soc.Soc_def.cores
-  in
+  let paretos = Array.map (fun core -> compute core ~wmax) soc.Soc_def.cores in
   { soc; wmax; paretos }
+
+let prepare ?wmax soc =
+  prepare_via (fun core ~wmax -> Pareto.compute core ~wmax) ?wmax soc
 
 let pareto_of prepared id = prepared.paretos.(id - 1)
 let soc_of prepared = prepared.soc
@@ -402,6 +403,21 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
     params;
   }
 
+type request = {
+  tam_width : int;
+  constraints : Constraint_def.t;
+  params : params;
+}
+
+let request ?(params = default_params) ~tam_width ~constraints () =
+  { tam_width; constraints; params }
+
+let run_request ?overrides prepared req =
+  run ?overrides prepared ~tam_width:req.tam_width
+    ~constraints:req.constraints ~params:req.params
+
+type evaluator = ?overrides:(int * int) list -> prepared -> request -> result
+
 let run_soc soc ~tam_width ~constraints ?(params = default_params) () =
   run (prepare ~wmax:params.wmax soc) ~tam_width ~constraints ~params
 
@@ -410,33 +426,42 @@ let default_deltas = [ 0; 1; 2; 4 ]
 let default_slacks = [ 3; 8 ]
 let default_widens = [ true; false ]
 
-let best_over_params prepared ~tam_width ~constraints
-    ?(percents = default_percents) ?(deltas = default_deltas)
-    ?(slacks = default_slacks) ?(widens = default_widens) () =
-  Obs.with_span ~cat:"phase" "optimizer.grid" @@ fun () ->
-  let best = ref None in
-  let consider params =
-    Obs.incr grid_cells_counter;
-    let result = run prepared ~tam_width ~constraints ~params in
-    match !best with
-    | Some r when r.testing_time <= result.testing_time -> ()
-    | _ -> best := Some result
-  in
-  List.iter
+let grid_points ~wmax ?(percents = default_percents)
+    ?(deltas = default_deltas) ?(slacks = default_slacks)
+    ?(widens = default_widens) () =
+  List.concat_map
     (fun percent ->
-      List.iter
+      List.concat_map
         (fun delta ->
-          List.iter
+          List.concat_map
             (fun insert_slack ->
-              List.iter
-                (fun widen ->
-                  consider
-                    { wmax = prepared.wmax; percent; delta; insert_slack;
-                      widen })
+              List.map
+                (fun widen -> { wmax; percent; delta; insert_slack; widen })
                 widens)
             slacks)
         deltas)
-    percents;
-  match !best with
-  | Some r -> r
-  | None -> invalid_arg "Optimizer.best_over_params: empty parameter lists"
+    percents
+
+let best_over_params ?(budget = Budget.unlimited) prepared ~tam_width
+    ~constraints ?percents ?deltas ?slacks ?widens () =
+  Obs.with_span ~cat:"phase" "optimizer.grid" @@ fun () ->
+  let points =
+    grid_points ~wmax:prepared.wmax ?percents ?deltas ?slacks ?widens ()
+  in
+  if points = [] then
+    invalid_arg "Optimizer.best_over_params: empty parameter lists";
+  let best = ref None in
+  List.iter
+    (fun params ->
+      (* the first point always runs, so an already-expired budget still
+         yields a valid incumbent *)
+      if !best = None || not (Budget.exhausted budget) then begin
+        Obs.incr grid_cells_counter;
+        Budget.note_eval budget;
+        let result = run prepared ~tam_width ~constraints ~params in
+        match !best with
+        | Some r when r.testing_time <= result.testing_time -> ()
+        | _ -> best := Some result
+      end)
+    points;
+  Option.get !best

@@ -37,6 +37,17 @@ type prepared
 (** Per-SOC Pareto analyses, reusable across parameter sweeps. *)
 
 val prepare : ?wmax:int -> Soctest_soc.Soc_def.t -> prepared
+
+val prepare_via :
+  (Soctest_soc.Core_def.t -> wmax:int -> Soctest_wrapper.Pareto.t) ->
+  ?wmax:int ->
+  Soctest_soc.Soc_def.t ->
+  prepared
+(** [prepare_via compute soc] builds the same analyses as {!prepare} but
+    obtains each core's staircase from [compute] — the hook the engine's
+    deduplicating Pareto cache plugs into. [compute core ~wmax] must
+    return a staircase equivalent to [Pareto.compute core ~wmax]. *)
+
 val pareto_of : prepared -> int -> Soctest_wrapper.Pareto.t
 val soc_of : prepared -> Soctest_soc.Soc_def.t
 
@@ -57,6 +68,24 @@ type result = {
   params : params;
 }
 
+type request = {
+  tam_width : int;  (** total SOC TAM width [W] *)
+  constraints : Soctest_constraints.Constraint_def.t;
+  params : params;
+}
+(** One solver request: everything a single scheduler evaluation needs
+    beyond the prepared SOC. Grouping the three labels into a value makes
+    call sites cacheable and lets searchers pass requests around instead
+    of re-threading argument tails. *)
+
+val request :
+  ?params:params ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  unit ->
+  request
+(** [params] defaults to {!default_params}. *)
+
 val run :
   ?overrides:(int * int) list ->
   prepared ->
@@ -75,6 +104,15 @@ val run :
     @raise Invalid_argument if [tam_width < 1], params are out of range,
     or an override is out of range. *)
 
+val run_request : ?overrides:(int * int) list -> prepared -> request -> result
+(** {!run} on a {!request} — the canonical evaluation entry point. *)
+
+type evaluator = ?overrides:(int * int) list -> prepared -> request -> result
+(** The shape of one scheduler evaluation. Searchers ({!Anneal},
+    {!Improve}, the portfolio strategies) accept an [?eval] of this type
+    so the engine can substitute a deduplicating cached evaluator for the
+    direct {!run_request}. *)
+
 val run_soc :
   Soctest_soc.Soc_def.t ->
   tam_width:int ->
@@ -82,7 +120,11 @@ val run_soc :
   ?params:params ->
   unit ->
   result
-(** Convenience: [prepare] + [run]. *)
+[@@deprecated
+  "re-runs the Pareto analyses on every call; use \
+   Soctest_engine.Engine.solve (cached) or prepare + run_request"]
+(** Convenience: [prepare] + [run]. Deprecated — every call redoes the
+    per-core Pareto analyses. *)
 
 val default_percents : int list
 val default_deltas : int list
@@ -92,7 +134,20 @@ val default_widens : bool list
     searchers (e.g. the portfolio solver) can enumerate exactly the same
     grid points. *)
 
+val grid_points :
+  wmax:int ->
+  ?percents:int list ->
+  ?deltas:int list ->
+  ?slacks:int list ->
+  ?widens:bool list ->
+  unit ->
+  params list
+(** The exact parameter enumeration of {!best_over_params} (percent-major,
+    then delta, slack, widen), exported so the engine and the portfolio
+    reproduce the sequential optimum including its tie choice. *)
+
 val best_over_params :
+  ?budget:Budget.t ->
   prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
@@ -106,4 +161,6 @@ val best_over_params :
     the given parameter values (defaults: percent in 1..10 plus a few
     coarse larger values, delta in 0..4, insert slack in 3 or 8, widen
     on/off) and keep the schedule with the smallest testing time (ties:
-    first found). *)
+    first found). When [budget] expires mid-grid the best incumbent so
+    far is returned (at least the first point is always evaluated);
+    query [Budget.exhausted] to detect the degradation. *)

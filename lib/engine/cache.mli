@@ -1,0 +1,43 @@
+(** Concurrent, deduplicating memo table — the storage behind
+    {!Engine}.
+
+    A cache maps keys to computed values and guarantees that, for any
+    key, the computation runs {e at most once} process-wide even when
+    several OCaml 5 domains request it simultaneously: the first caller
+    computes (outside the lock), concurrent callers for the same key
+    block until that computation finishes and then share its value.
+    Exceptions are memoized too — a key whose computation raised
+    re-raises the same exception for every past and future requester,
+    which is the right semantics for deterministic solvers (re-running
+    would fail identically, only slower).
+
+    Each cache registers [<name>.hits] / [<name>.misses] counters with
+    {!Soctest_obs.Obs}, and every blocked duplicate request records its
+    wait on the shared [engine.cache.dedup_wait_ms] histogram. *)
+
+type ('k, 'v) t
+
+val create : name:string -> ('k, 'v) t
+(** [name] prefixes the obs counters; keys use polymorphic equality and
+    hashing, so use structural keys (strings, tuples of scalars). *)
+
+type outcome =
+  | Computed  (** this caller ran the computation *)
+  | Cached  (** already present; served without blocking *)
+  | Deduped  (** another domain was computing it; we waited and shared *)
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v * outcome
+(** [find_or_compute t k f] returns the cached value for [k], or runs
+    [f ()] (at most once per key across all domains) and caches it.
+    Re-raises the memoized exception if the computation failed. [f] must
+    not re-enter the cache with the same key (it would deadlock —
+    distinct keys are fine). *)
+
+val length : ('k, 'v) t -> int
+(** Number of settled (value or failure) entries. *)
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+(** Totals since creation, counted whether or not obs recording is on:
+    a {!Cached} or {!Deduped} outcome is a hit, a {!Computed} one a
+    miss. *)

@@ -1,0 +1,250 @@
+module Optimizer = Soctest_core.Optimizer
+module Budget = Soctest_core.Budget
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module Soc_writer = Soctest_soc.Soc_writer
+module Pareto = Soctest_wrapper.Pareto
+module Constraint_def = Soctest_constraints.Constraint_def
+module Obs = Soctest_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Digests: MD5 hex of canonical textual renderings, so keys are stable
+   across Soc_writer/Soc_parser round-trips and across processes. *)
+
+let soc_digest soc = Digest.to_hex (Digest.string (Soc_writer.to_string soc))
+
+let core_digest (c : Core_def.t) =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%d|%s|%d|%d|%d|%s|%d|%d|%s" c.Core_def.id
+          c.Core_def.name c.Core_def.inputs c.Core_def.outputs
+          c.Core_def.bidirs
+          (String.concat "," (List.map string_of_int c.Core_def.scan_chains))
+          c.Core_def.patterns c.Core_def.power
+          (match c.Core_def.bist_engine with
+          | None -> "-"
+          | Some b -> string_of_int b)))
+
+let constraints_digest c =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" Constraint_def.pp c))
+
+let params_key (p : Optimizer.params) =
+  Printf.sprintf "wmax=%d,p=%d,d=%d,s=%d,w=%b" p.Optimizer.wmax
+    p.Optimizer.percent p.Optimizer.delta p.Optimizer.insert_slack
+    p.Optimizer.widen
+
+let overrides_key = function
+  | [] -> ""
+  | overrides ->
+    List.sort compare overrides
+    |> List.map (fun (id, w) -> Printf.sprintf "%d:%d" id w)
+    |> String.concat ","
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  pareto_cache : (string * int, Pareto.t) Cache.t;
+  prepare_cache : (string * int, Optimizer.prepared) Cache.t;
+  eval_cache : (string, Optimizer.result) Cache.t;
+  (* one-slot physical-equality memos: a batch re-digests the same SOC /
+     constraint values over and over, so remember the last rendering *)
+  soc_memo : (Soc_def.t * string) option Atomic.t;
+  constraints_memo : (Constraint_def.t * string) option Atomic.t;
+}
+
+let create () =
+  {
+    pareto_cache = Cache.create ~name:"engine.cache.pareto";
+    prepare_cache = Cache.create ~name:"engine.cache.prepare";
+    eval_cache = Cache.create ~name:"engine.cache.eval";
+    soc_memo = Atomic.make None;
+    constraints_memo = Atomic.make None;
+  }
+
+let memoized memo digest v =
+  match Atomic.get memo with
+  | Some (v', d) when v' == v -> d
+  | _ ->
+    let d = digest v in
+    Atomic.set memo (Some (v, d));
+    d
+
+let soc_digest_of t soc = memoized t.soc_memo soc_digest soc
+let constraints_digest_of t c = memoized t.constraints_memo constraints_digest c
+
+let prepare_with_outcome t ~wmax soc =
+  let key = (soc_digest_of t soc, wmax) in
+  Cache.find_or_compute t.prepare_cache key (fun () ->
+      Optimizer.prepare_via
+        (fun core ~wmax ->
+          fst
+            (Cache.find_or_compute t.pareto_cache (core_digest core, wmax)
+               (fun () -> Pareto.compute core ~wmax)))
+        ~wmax soc)
+
+let prepare t ?(wmax = 64) soc = fst (prepare_with_outcome t ~wmax soc)
+
+let eval_key t ?(overrides = []) prepared (req : Optimizer.request) =
+  Printf.sprintf "%s|pw=%d|W=%d|%s|c=%s|o=%s"
+    (soc_digest_of t (Optimizer.soc_of prepared))
+    (Optimizer.wmax_of prepared)
+    req.Optimizer.tam_width
+    (params_key req.Optimizer.params)
+    (constraints_digest_of t req.Optimizer.constraints)
+    (overrides_key overrides)
+
+(* The caching drop-in for [Optimizer.run_request]; [tally] (per-solve
+   stats) is threaded separately so the public evaluator can omit it. *)
+let cached_eval t ?tally ?overrides prepared req =
+  let key = eval_key t ?overrides prepared req in
+  let result, outcome =
+    Cache.find_or_compute t.eval_cache key (fun () ->
+        Optimizer.run_request ?overrides prepared req)
+  in
+  (match tally with
+  | None -> ()
+  | Some (computed, cached, deduped) -> (
+    match outcome with
+    | Cache.Computed -> incr computed
+    | Cache.Cached -> incr cached
+    | Cache.Deduped -> incr deduped));
+  result
+
+let evaluator t : Optimizer.evaluator =
+ fun ?overrides prepared req -> cached_eval t ?overrides prepared req
+
+(* ------------------------------------------------------------------ *)
+
+type grid = {
+  percents : int list;
+  deltas : int list;
+  slacks : int list;
+  widens : bool list;
+}
+
+let default_grid =
+  {
+    percents = Optimizer.default_percents;
+    deltas = Optimizer.default_deltas;
+    slacks = Optimizer.default_slacks;
+    widens = Optimizer.default_widens;
+  }
+
+let point_grid ?(params = Optimizer.default_params) () =
+  {
+    percents = [ params.Optimizer.percent ];
+    deltas = [ params.Optimizer.delta ];
+    slacks = [ params.Optimizer.insert_slack ];
+    widens = [ params.Optimizer.widen ];
+  }
+
+type request = {
+  soc : Soc_def.t;
+  tam_width : int;
+  constraints : Constraint_def.t;
+  wmax : int;
+  grid : grid;
+  budget : Budget.t;
+}
+
+let request ?(wmax = 64) ?grid ?(budget = Budget.unlimited) soc ~tam_width
+    ~constraints () =
+  let grid = match grid with Some g -> g | None -> point_grid () in
+  { soc; tam_width; constraints; wmax; grid; budget }
+
+type stats = {
+  pareto_computed : int;
+  pareto_cached : int;
+  eval_computed : int;
+  eval_cached : int;
+  eval_deduped : int;
+  elapsed_ms : float;
+}
+
+type status = Complete | Deadline
+
+type outcome = {
+  result : Optimizer.result;
+  status : status;
+  evaluations : int;
+  stats : stats;
+}
+
+let solve t (r : request) =
+  let started = Unix.gettimeofday () in
+  Obs.with_span ~cat:"phase" "engine.solve"
+    ~args:
+      [ ("soc", r.soc.Soc_def.name); ("W", string_of_int r.tam_width) ]
+  @@ fun () ->
+  let points =
+    Optimizer.grid_points ~wmax:r.wmax ~percents:r.grid.percents
+      ~deltas:r.grid.deltas ~slacks:r.grid.slacks ~widens:r.grid.widens ()
+  in
+  if points = [] then invalid_arg "Engine.solve: empty parameter grid";
+  let pareto_misses0 = Cache.misses t.pareto_cache in
+  let prepared, prep_outcome = prepare_with_outcome t ~wmax:r.wmax r.soc in
+  (* a prepare-level hit skips the per-core cache entirely: every
+     staircase it hands back counts as cached *)
+  let pareto_computed =
+    match prep_outcome with
+    | Cache.Computed -> Cache.misses t.pareto_cache - pareto_misses0
+    | Cache.Cached | Cache.Deduped -> 0
+  in
+  let pareto_cached = Soc_def.core_count r.soc - pareto_computed in
+  let computed = ref 0 and cached = ref 0 and deduped = ref 0 in
+  let tally = (computed, cached, deduped) in
+  let best = ref None in
+  let evaluated = ref 0 in
+  List.iter
+    (fun params ->
+      (* the first point always runs: an expired budget still yields a
+         valid incumbent *)
+      if !best = None || not (Budget.exhausted r.budget) then begin
+        Budget.note_eval r.budget;
+        incr evaluated;
+        let req =
+          Optimizer.request ~params ~tam_width:r.tam_width
+            ~constraints:r.constraints ()
+        in
+        let result = cached_eval t ~tally prepared req in
+        match !best with
+        | Some b
+          when b.Optimizer.testing_time <= result.Optimizer.testing_time ->
+          ()
+        | _ -> best := Some result
+      end)
+    points;
+  let status =
+    if !evaluated < List.length points then begin
+      Obs.instant ~cat:"engine" "engine.deadline"
+        ~args:
+          [
+            ("evaluated", string_of_int !evaluated);
+            ("grid", string_of_int (List.length points));
+          ];
+      Deadline
+    end
+    else Complete
+  in
+  {
+    result = Option.get !best;
+    status;
+    evaluations = !evaluated;
+    stats =
+      {
+        pareto_computed;
+        pareto_cached;
+        eval_computed = !computed;
+        eval_cached = !cached;
+        eval_deduped = !deduped;
+        elapsed_ms = Float.max 0. ((Unix.gettimeofday () -. started) *. 1000.);
+      };
+  }
+
+let solve_many t requests =
+  Obs.with_span ~cat:"phase" "engine.solve_many"
+    ~args:[ ("requests", string_of_int (List.length requests)) ]
+  @@ fun () -> List.map (solve t) requests
+
+let pareto_cache_stats t = (Cache.hits t.pareto_cache, Cache.misses t.pareto_cache)
+let eval_cache_stats t = (Cache.hits t.eval_cache, Cache.misses t.eval_cache)

@@ -1,0 +1,149 @@
+(** The solver service layer: one canonical request/response pair for
+    every way the repo evaluates a SOC, backed by a deduplicating
+    evaluation cache and a cooperative {!Soctest_core.Budget}.
+
+    An engine value owns two concurrent caches:
+
+    - {e Pareto analyses}, keyed by (core digest, wmax) — shared across
+      SOCs that embed identical cores and across every TAM width of a
+      sweep;
+    - {e optimizer evaluations}, keyed by (SOC digest, TAM width,
+      params, constraints digest, width overrides) — shared across grid
+      searches, annealing restarts, polish climbs and racing portfolio
+      strategies, with in-flight dedup so two domains never compute the
+      same grid point twice.
+
+    Digests are MD5 of the canonical textual renderings
+    ({!Soctest_soc.Soc_writer.to_string} for SOCs), so they are stable
+    across a {!Soctest_soc.Soc_writer}/{!Soctest_soc.Soc_parser}
+    round-trip and across processes.
+
+    Caching is {e transparent}: a cached solve returns bit-for-bit the
+    result of an uncached one, and budget accounting ticks per
+    {e requested} evaluation whether or not the cache served it, so
+    budgeted searches behave identically warm or cold. On budget expiry
+    every entry point degrades gracefully — it stops before the next
+    evaluation and returns the best incumbent found (never fewer than
+    one evaluation), flagged [`Deadline] instead of raising. *)
+
+module Optimizer = Soctest_core.Optimizer
+module Budget = Soctest_core.Budget
+
+type t
+(** A cache handle. Create one per logical workload (a CLI invocation,
+    an experiment, a portfolio race) and route every solve in that
+    workload through it; sharing a handle across domains is safe. *)
+
+val create : unit -> t
+
+(** {1 Requests} *)
+
+type grid = {
+  percents : int list;
+  deltas : int list;
+  slacks : int list;
+  widens : bool list;
+}
+(** The parameter grid a solve searches — the four knob axes of
+    {!Optimizer.best_over_params} (wmax travels in the request). *)
+
+val default_grid : grid
+(** {!Optimizer.default_percents} × [default_deltas] × [default_slacks]
+    × [default_widens] — the paper's Table-1 search. *)
+
+val point_grid : ?params:Optimizer.params -> unit -> grid
+(** The singleton grid holding just [params]' knobs (default
+    {!Optimizer.default_params}) — a plain one-shot solve. *)
+
+type request = {
+  soc : Soctest_soc.Soc_def.t;
+  tam_width : int;
+  constraints : Soctest_constraints.Constraint_def.t;
+  wmax : int;
+  grid : grid;
+  budget : Budget.t;
+}
+
+val request :
+  ?wmax:int ->
+  ?grid:grid ->
+  ?budget:Budget.t ->
+  Soctest_soc.Soc_def.t ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  unit ->
+  request
+(** [wmax] defaults to 64 (the paper's), [grid] to {!point_grid}
+    (single default-parameter evaluation), [budget] to
+    {!Budget.unlimited}. *)
+
+(** {1 Outcomes} *)
+
+type stats = {
+  pareto_computed : int;  (** staircases computed for this solve *)
+  pareto_cached : int;  (** staircases served from the cache *)
+  eval_computed : int;  (** scheduler runs this solve executed *)
+  eval_cached : int;  (** evaluations served without blocking *)
+  eval_deduped : int;  (** evaluations shared with a concurrent computer *)
+  elapsed_ms : float;
+}
+
+type status =
+  | Complete  (** the whole grid was evaluated *)
+  | Deadline
+      (** the budget expired mid-search; the result is the best
+          incumbent over the evaluations that did run *)
+
+type outcome = {
+  result : Optimizer.result;
+      (** best over the evaluated grid points — ties kept by enumeration
+          order, exactly as {!Optimizer.best_over_params} *)
+  status : status;
+  evaluations : int;  (** grid points evaluated (computed or cached) *)
+  stats : stats;
+}
+
+(** {1 Solving} *)
+
+val solve : t -> request -> outcome
+(** Evaluate the request's grid through the cache, best result wins.
+    At least one grid point is always evaluated, so even an
+    already-expired budget yields a valid schedule (status
+    [Deadline]).
+    @raise Optimizer.Infeasible when a grid point is infeasible (a
+    property of SOC/width/constraints, not of the params searched).
+    @raise Invalid_argument on an empty grid axis or invalid widths. *)
+
+val solve_many : t -> request list -> outcome list
+(** Batch entry point — the p3 width sweep, the experiments drivers and
+    the portfolio all route through this. Requests are solved in order
+    through the shared cache, so common sub-work (Pareto staircases,
+    repeated grid points) is computed once for the whole batch. *)
+
+(** {1 Plugging the cache into other searchers} *)
+
+val prepare : t -> ?wmax:int -> Soctest_soc.Soc_def.t -> Optimizer.prepared
+(** {!Optimizer.prepare} through the Pareto cache (and an analysis
+    cache, so re-preparing the same SOC at the same [wmax] is free). *)
+
+val evaluator : t -> Optimizer.evaluator
+(** A caching drop-in for {!Optimizer.run_request}: pass it as the
+    [?eval] of {!Soctest_core.Anneal.search},
+    {!Soctest_core.Improve.polish} or the portfolio strategy builders to
+    dedup their evaluations through this engine. Results are identical
+    to the uncached evaluator's. *)
+
+(** {1 Introspection} *)
+
+val pareto_cache_stats : t -> int * int
+(** (hits, misses) of the Pareto/prepare level so far. *)
+
+val eval_cache_stats : t -> int * int
+(** (hits, misses) of the evaluation level so far. *)
+
+val soc_digest : Soctest_soc.Soc_def.t -> string
+(** The engine's SOC cache key: MD5 (as lowercase hex) of the canonical
+    [.soc] rendering. Stable across writer/parser round-trips. *)
+
+val constraints_digest : Soctest_constraints.Constraint_def.t -> string
+(** MD5 hex of the constraint set's canonical rendering. *)

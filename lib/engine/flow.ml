@@ -1,0 +1,101 @@
+module Optimizer = Soctest_core.Optimizer
+module Volume = Soctest_core.Volume
+module Cost = Soctest_core.Cost
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module Constraint_def = Soctest_constraints.Constraint_def
+
+type spec = {
+  soc : Soc_def.t;
+  tam_width : int;
+  constraints : Constraint_def.t;
+  params : Optimizer.params;
+}
+
+let spec ?constraints ?(params = Optimizer.default_params) soc ~tam_width =
+  let constraints =
+    match constraints with
+    | Some c -> c
+    | None -> Constraint_def.empty ~core_count:(Soc_def.core_count soc)
+  in
+  { soc; tam_width; constraints; params }
+
+let engine_or_fresh = function Some e -> e | None -> Engine.create ()
+
+let solve ?engine { soc; tam_width; constraints; params } =
+  let engine = engine_or_fresh engine in
+  (Engine.solve engine
+     (Engine.request ~wmax:params.Optimizer.wmax
+        ~grid:(Engine.point_grid ~params ()) soc ~tam_width ~constraints ()))
+    .Engine.result
+
+type sweep_spec = {
+  soc : Soc_def.t;
+  widths : int list;
+  alphas : float list;
+  constraints : Constraint_def.t;
+  params : Optimizer.params;
+}
+
+let sweep_spec ?constraints ?(params = Optimizer.default_params) soc ~widths
+    ~alphas =
+  let constraints =
+    match constraints with
+    | Some c -> c
+    | None -> Constraint_def.empty ~core_count:(Soc_def.core_count soc)
+  in
+  { soc; widths; alphas; constraints; params }
+
+type p3_result = {
+  points : Volume.point list;
+  evaluations : Cost.evaluation list;
+}
+
+let solve_sweep ?engine { soc; widths; alphas; constraints; params } =
+  let engine = engine_or_fresh engine in
+  let widths = List.sort_uniq compare widths in
+  let outcomes =
+    Engine.solve_many engine
+      (List.map
+         (fun width ->
+           Engine.request ~wmax:params.Optimizer.wmax
+             ~grid:(Engine.point_grid ~params ()) soc ~tam_width:width
+             ~constraints ())
+         widths)
+  in
+  let points =
+    List.map2
+      (fun width (o : Engine.outcome) ->
+        let time = o.Engine.result.Optimizer.testing_time in
+        { Volume.width; time; volume = width * time })
+      widths outcomes
+  in
+  { points; evaluations = Cost.evaluate_many ~alphas points }
+
+let default_power_limit soc =
+  let m = Soc_def.max_power soc in
+  m + (m / 2)
+
+let preemption_budget soc ~limit =
+  if limit < 0 then invalid_arg "Flow.preemption_budget: negative limit";
+  let volumes =
+    Array.to_list soc.Soc_def.cores
+    |> List.map (fun c -> (c.Core_def.id, Core_def.test_data_bits c))
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) volumes in
+  let median =
+    match List.nth_opt sorted (List.length sorted / 2) with
+    | Some (_, v) -> v
+    | None -> 0
+  in
+  List.filter_map
+    (fun (id, v) -> if v >= median then Some (id, limit) else None)
+    volumes
+
+let solve_p1 soc ~tam_width ?params () = solve (spec ?params soc ~tam_width)
+
+let solve_p2 soc ~tam_width ~constraints ?params () =
+  solve (spec ~constraints ?params soc ~tam_width)
+
+let solve_p3 soc ~widths ~alphas ?constraints ?params () =
+  solve_sweep (sweep_spec ?constraints ?params soc ~widths ~alphas)

@@ -1,0 +1,108 @@
+(** High-level facade: the three problems of the paper as one-call flows
+    over the {!Engine}.
+
+    - {!solve}: wrapper/TAM co-optimization + scheduling under a
+      {!spec}. With [Constraint_def.empty] constraints (the default)
+      this is Problem 1 ([P_nw]); with constraints it is Problem 2
+      ([P_npw]) — p1 {e is} p2 with the empty constraint set.
+    - {!solve_sweep}: sweeps the TAM width and identifies effective
+      widths for the time/volume trade-off (Problem 3).
+
+    Every flow routes through {!Engine.solve} / {!Engine.solve_many};
+    pass your own [?engine] handle to share its caches across calls
+    (e.g. across the widths of a sweep and a later single solve). *)
+
+module Optimizer = Soctest_core.Optimizer
+module Volume = Soctest_core.Volume
+module Cost = Soctest_core.Cost
+
+type spec = {
+  soc : Soctest_soc.Soc_def.t;
+  tam_width : int;
+  constraints : Soctest_constraints.Constraint_def.t;
+  params : Optimizer.params;
+}
+(** One labeled record instead of the old [?params ... unit ->] optional
+    tails. Build with {!spec}. *)
+
+val spec :
+  ?constraints:Soctest_constraints.Constraint_def.t ->
+  ?params:Optimizer.params ->
+  Soctest_soc.Soc_def.t ->
+  tam_width:int ->
+  spec
+(** [constraints] defaults to
+    [Constraint_def.empty ~core_count:(Soc_def.core_count soc)] (Problem
+    1); [params] to {!Optimizer.default_params}. *)
+
+val solve : ?engine:Engine.t -> spec -> Optimizer.result
+(** A fresh engine is created when [engine] is omitted (no caching
+    across calls). *)
+
+type sweep_spec = {
+  soc : Soctest_soc.Soc_def.t;
+  widths : int list;
+  alphas : float list;
+  constraints : Soctest_constraints.Constraint_def.t;
+  params : Optimizer.params;
+}
+
+val sweep_spec :
+  ?constraints:Soctest_constraints.Constraint_def.t ->
+  ?params:Optimizer.params ->
+  Soctest_soc.Soc_def.t ->
+  widths:int list ->
+  alphas:float list ->
+  sweep_spec
+(** Defaults as {!spec}. *)
+
+type p3_result = {
+  points : Volume.point list;
+  evaluations : Cost.evaluation list;
+}
+
+val solve_sweep : ?engine:Engine.t -> sweep_spec -> p3_result
+(** One {!Engine.solve_many} batch over the (deduplicated, sorted)
+    widths: the per-core Pareto staircases are computed once for the
+    whole sweep. *)
+
+val default_power_limit : Soctest_soc.Soc_def.t -> int
+(** The experiment setting used throughout: 1.5x the largest per-core test
+    power — binding enough to serialize the biggest consumers, loose
+    enough to stay feasible. *)
+
+val preemption_budget :
+  Soctest_soc.Soc_def.t -> limit:int -> (int * int) list
+(** The paper's Table-1 preemption setting: allow [limit] preemptions for
+    the "larger cores" — those with above-median test data volume. *)
+
+(** {1 Deprecated aliases}
+
+    The pre-engine entry points, kept for one release. *)
+
+val solve_p1 :
+  Soctest_soc.Soc_def.t ->
+  tam_width:int ->
+  ?params:Optimizer.params ->
+  unit ->
+  Optimizer.result
+[@@deprecated "use Flow.solve (Flow.spec soc ~tam_width)"]
+
+val solve_p2 :
+  Soctest_soc.Soc_def.t ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  ?params:Optimizer.params ->
+  unit ->
+  Optimizer.result
+[@@deprecated "use Flow.solve (Flow.spec soc ~tam_width ~constraints)"]
+
+val solve_p3 :
+  Soctest_soc.Soc_def.t ->
+  widths:int list ->
+  alphas:float list ->
+  ?constraints:Soctest_constraints.Constraint_def.t ->
+  ?params:Optimizer.params ->
+  unit ->
+  p3_result
+[@@deprecated "use Flow.solve_sweep (Flow.sweep_spec soc ~widths ~alphas)"]

@@ -1,7 +1,7 @@
 module Soc_def = Soctest_soc.Soc_def
 module Core_def = Soctest_soc.Core_def
 module Optimizer = Soctest_core.Optimizer
-module Flow = Soctest_core.Flow
+module Flow = Soctest_engine.Flow
 
 type result = {
   soc_name : string;
@@ -15,7 +15,7 @@ let run ?soc ?(tam_width = 16) ?(columns = 72) () =
   let soc =
     match soc with Some s -> s | None -> Soctest_soc.Benchmarks.d695 ()
   in
-  let r = Flow.solve_p1 soc ~tam_width () in
+  let r = Flow.solve (Flow.spec soc ~tam_width) in
   let schedule = r.Optimizer.schedule in
   {
     soc_name = soc.Soc_def.name;

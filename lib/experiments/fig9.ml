@@ -1,6 +1,6 @@
 module Soc_def = Soctest_soc.Soc_def
 module Constraint_def = Soctest_constraints.Constraint_def
-module Optimizer = Soctest_core.Optimizer
+module Flow = Soctest_engine.Flow
 module Volume = Soctest_core.Volume
 module Cost = Soctest_core.Cost
 module Plot = Soctest_report.Plot
@@ -16,12 +16,10 @@ let run ?soc ?(max_width = 80) ?(alphas = (0.5, 0.75)) () =
   let soc =
     match soc with Some s -> s | None -> Soctest_soc.Benchmarks.p22810 ()
   in
-  let prepared = Optimizer.prepare soc in
-  let constraints =
-    Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
-  in
   let widths = List.init max_width (fun k -> k + 1) in
-  let points = Volume.sweep prepared ~widths ~constraints () in
+  let points =
+    (Flow.solve_sweep (Flow.sweep_spec soc ~widths ~alphas:[])).Flow.points
+  in
   let a1, a2 = alphas in
   {
     soc_name = soc.Soc_def.name;

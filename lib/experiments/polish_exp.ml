@@ -1,5 +1,6 @@
 module O = Soctest_core.Optimizer
 module Improve = Soctest_core.Improve
+module Engine = Soctest_engine.Engine
 module LB = Soctest_core.Lower_bound
 module Constraint_def = Soctest_constraints.Constraint_def
 module Soc_def = Soctest_soc.Soc_def
@@ -20,20 +21,28 @@ let run ?socs ?(widths = [ 16; 32; 48; 64 ]) () =
   in
   List.concat_map
     (fun (soc_name, soc) ->
-      let prepared = O.prepare soc in
+      (* one engine cache per SOC: the Pareto analyses are shared across
+         widths, and the grid/polish/anneal searches dedup the width
+         vectors they revisit *)
+      let engine = Engine.create () in
+      let eval = Engine.evaluator engine in
+      let prepared = Engine.prepare engine soc in
       let constraints =
         Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
       in
       List.map
         (fun width ->
           let seed =
-            O.best_over_params prepared ~tam_width:width ~constraints ()
+            (Engine.solve engine
+               (Engine.request ~grid:Engine.default_grid soc
+                  ~tam_width:width ~constraints ()))
+              .Engine.result
           in
           let report =
-            Improve.polish prepared ~tam_width:width ~constraints seed
+            Improve.polish ~eval prepared ~tam_width:width ~constraints seed
           in
           let annealed =
-            (Soctest_core.Anneal.search ~iterations:600 prepared
+            (Soctest_core.Anneal.search ~iterations:600 ~eval prepared
                ~tam_width:width ~constraints seed)
               .Soctest_core.Anneal.result
           in

@@ -1,7 +1,8 @@
 module Soc_def = Soctest_soc.Soc_def
 module Constraint_def = Soctest_constraints.Constraint_def
 module Optimizer = Soctest_core.Optimizer
-module Flow = Soctest_core.Flow
+module Engine = Soctest_engine.Engine
+module Flow = Soctest_engine.Flow
 module Lower_bound = Soctest_core.Lower_bound
 
 type row = {
@@ -23,12 +24,17 @@ let grid quick =
   else ([ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ], [ 0; 1; 2; 3; 4 ])
 
 let run_soc ?(quick = false) soc ~widths =
-  let prepared = Optimizer.prepare soc in
+  (* one engine per SOC: the Pareto analyses and any grid points the
+     three constraint regimes share are computed once *)
+  let engine = Engine.create () in
+  let prepared = Engine.prepare engine soc in
   let n = Soc_def.core_count soc in
   let percents, deltas = grid quick in
+  let grid = { Engine.default_grid with percents; deltas } in
   let best constraints tam_width =
-    (Optimizer.best_over_params prepared ~tam_width ~constraints ~percents
-       ~deltas ())
+    (Engine.solve engine
+       (Engine.request ~grid soc ~tam_width ~constraints ()))
+      .Engine.result
       .Optimizer.testing_time
   in
   let unconstrained = Constraint_def.unconstrained ~core_count:n in

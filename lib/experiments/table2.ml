@@ -1,6 +1,6 @@
 module Soc_def = Soctest_soc.Soc_def
 module Constraint_def = Soctest_constraints.Constraint_def
-module Optimizer = Soctest_core.Optimizer
+module Flow = Soctest_engine.Flow
 module Volume = Soctest_core.Volume
 module Cost = Soctest_core.Cost
 
@@ -26,11 +26,10 @@ let run_soc soc ?(widths = default_widths) ?alphas () =
   let alphas =
     match alphas with Some a -> a | None -> alphas_for soc.Soc_def.name
   in
-  let prepared = Optimizer.prepare soc in
-  let constraints =
-    Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
-  in
-  let points = Volume.sweep prepared ~widths ~constraints () in
+  (* the p3 flow batches the whole width sweep through one engine, so
+     the Pareto analyses are computed once per SOC *)
+  let sweep = Flow.solve_sweep (Flow.sweep_spec soc ~widths ~alphas) in
+  let points = sweep.Flow.points in
   let tp = Volume.min_time_point points
   and vp = Volume.min_volume_point points in
   {
@@ -39,7 +38,7 @@ let run_soc soc ?(widths = default_widths) ?alphas () =
     w_at_t_min = tp.Volume.width;
     v_min = vp.Volume.volume;
     w_at_v_min = vp.Volume.width;
-    evaluations = Cost.evaluate_many ~alphas points;
+    evaluations = sweep.Flow.evaluations;
   }
 
 let run () =

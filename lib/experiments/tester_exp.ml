@@ -1,5 +1,7 @@
 module Soc_def = Soctest_soc.Soc_def
 module O = Soctest_core.Optimizer
+module Engine = Soctest_engine.Engine
+module Flow = Soctest_engine.Flow
 module Constraint_def = Soctest_constraints.Constraint_def
 module Tester_image = Soctest_tester.Tester_image
 module Multisite = Soctest_tester.Multisite
@@ -17,15 +19,16 @@ let default_soc () = Soctest_soc.Benchmarks.d695 ()
 
 let memory_table ?soc ?(widths = [ 8; 16; 24; 32; 48; 64 ]) () =
   let soc = match soc with Some s -> s | None -> default_soc () in
-  let prepared = O.prepare soc in
+  let engine = Engine.create () in
   let constraints =
     Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
   in
   List.map
     (fun width ->
       let r =
-        O.run prepared ~tam_width:width ~constraints
-          ~params:O.default_params
+        (Engine.solve engine
+           (Engine.request soc ~tam_width:width ~constraints ()))
+          .Engine.result
       in
       let image = Tester_image.of_schedule r.O.schedule in
       {
@@ -113,12 +116,8 @@ let multisite_table ?soc ?(tester = Multisite.default_tester)
     | Some ws -> ws
     | None -> List.init 64 (fun k -> k + 1)
   in
-  let prepared = O.prepare soc in
-  let constraints =
-    Constraint_def.unconstrained ~core_count:(Soc_def.core_count soc)
-  in
   let sweep =
-    Volume.sweep prepared ~widths ~constraints ()
+    (Flow.solve_sweep (Flow.sweep_spec soc ~widths ~alphas:[])).Flow.points
     |> List.map (fun p -> (p.Volume.width, p.Volume.time))
   in
   Multisite.evaluate tester ~batch_size sweep

@@ -50,7 +50,8 @@ let message_of_exn = function
   | Soctest_core.Optimizer.Infeasible msg -> "infeasible: " ^ msg
   | e -> Printexc.to_string e
 
-let run ?jobs ?deadline_ms strategies =
+let run ?jobs ?deadline_ms ?(budget = Soctest_core.Budget.unlimited)
+    strategies =
   let jobs =
     match jobs with
     | Some j -> if j < 1 then invalid_arg "Portfolio.run: jobs < 1" else j
@@ -61,6 +62,8 @@ let run ?jobs ?deadline_ms strategies =
   | _ -> ());
   let started = Unix.gettimeofday () in
   let past_deadline () =
+    Soctest_core.Budget.exhausted budget
+    ||
     match deadline_ms with
     | None -> false
     | Some d -> (Unix.gettimeofday () -. started) *. 1000. >= d

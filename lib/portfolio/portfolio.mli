@@ -48,7 +48,16 @@ type t = {
 exception No_solution of string
 (** Every strategy failed or was skipped (or the list was empty). *)
 
-val run : ?jobs:int -> ?deadline_ms:float -> Strategy.t list -> t
+val run :
+  ?jobs:int ->
+  ?deadline_ms:float ->
+  ?budget:Soctest_core.Budget.t ->
+  Strategy.t list ->
+  t
 (** [jobs] defaults to [Domain.recommended_domain_count () - 1], at
-    least 1. @raise No_solution see above. @raise Invalid_argument if
+    least 1. [budget] acts like the deadline: strategies that have not
+    started when it exhausts are skipped (running ones finish; pass the
+    same token into the strategies themselves — see {!Strategy.default}
+    — to also cut their inner searches short).
+    @raise No_solution see above. @raise Invalid_argument if
     [jobs < 1] or [deadline_ms < 0]. *)

@@ -58,38 +58,25 @@ let checked_solution prepared ~constraints sched =
     widths = widths_of_schedule sched;
   }
 
-let grid ?(percents = O.default_percents) ?(deltas = O.default_deltas)
-    ?(slacks = O.default_slacks) ?(widens = O.default_widens) prepared
-    ~tam_width ~constraints =
+let grid ?percents ?deltas ?slacks ?widens
+    ?(eval : O.evaluator = O.run_request) prepared ~tam_width ~constraints =
   let wmax = O.wmax_of prepared in
-  List.concat_map
-    (fun percent ->
-      List.concat_map
-        (fun delta ->
-          List.concat_map
-            (fun insert_slack ->
-              List.map
-                (fun widen ->
-                  let params =
-                    { O.wmax; percent; delta; insert_slack; widen }
-                  in
-                  {
-                    name =
-                      Printf.sprintf "grid p=%d d=%d s=%d%s" percent delta
-                        insert_slack
-                        (if widen then "" else " nowiden");
-                    kind = Grid;
-                    run =
-                      (fun () ->
-                        let r =
-                          O.run prepared ~tam_width ~constraints ~params
-                        in
-                        { solution = solution_of_result r; iterations = 1 });
-                  })
-                widens)
-            slacks)
-        deltas)
-    percents
+  List.map
+    (fun (params : O.params) ->
+      {
+        name =
+          Printf.sprintf "grid p=%d d=%d s=%d%s" params.O.percent
+            params.O.delta params.O.insert_slack
+            (if params.O.widen then "" else " nowiden");
+        kind = Grid;
+        run =
+          (fun () ->
+            let r =
+              eval prepared (O.request ~params ~tam_width ~constraints ())
+            in
+            { solution = solution_of_result r; iterations = 1 });
+      })
+    (O.grid_points ~wmax ?percents ?deltas ?slacks ?widens ())
 
 (* splitmix64-flavoured odd-constant mixing: distinct, reproducible
    seeds per restart index, never dependent on wall clock. *)
@@ -97,11 +84,14 @@ let restart_seed k =
   Int64.add 0x9E3779B97F4A7C15L
     (Int64.mul (Int64.of_int (k + 1)) 0xBF58476D1CE4E5B9L)
 
-let greedy_seed prepared ~tam_width ~constraints =
-  O.run prepared ~tam_width ~constraints ~params:O.default_params
+(* Every restart and the polish strategy start from the same greedy
+   schedule; with a caching [eval] (the engine's) it is computed once
+   per race instead of once per strategy. *)
+let greedy_seed (eval : O.evaluator) prepared ~tam_width ~constraints =
+  eval prepared (O.request ~params:O.default_params ~tam_width ~constraints ())
 
-let anneal_restarts ?(restarts = 4) ?(iterations = 400) prepared ~tam_width
-    ~constraints =
+let anneal_restarts ?(restarts = 4) ?(iterations = 400) ?budget
+    ?(eval : O.evaluator = O.run_request) prepared ~tam_width ~constraints =
   if restarts < 0 then invalid_arg "Strategy.anneal_restarts: restarts < 0";
   List.init restarts (fun k ->
       {
@@ -109,10 +99,10 @@ let anneal_restarts ?(restarts = 4) ?(iterations = 400) prepared ~tam_width
         kind = Anneal;
         run =
           (fun () ->
-            let start = greedy_seed prepared ~tam_width ~constraints in
+            let start = greedy_seed eval prepared ~tam_width ~constraints in
             let report =
               Soctest_core.Anneal.search ~seed:(restart_seed k) ~iterations
-                prepared ~tam_width ~constraints start
+                ?budget ~eval prepared ~tam_width ~constraints start
             in
             {
               solution = solution_of_result report.Soctest_core.Anneal.result;
@@ -120,16 +110,17 @@ let anneal_restarts ?(restarts = 4) ?(iterations = 400) prepared ~tam_width
             });
       })
 
-let polish ?max_rounds prepared ~tam_width ~constraints =
+let polish ?max_rounds ?budget ?(eval : O.evaluator = O.run_request) prepared
+    ~tam_width ~constraints =
   {
     name = "polish";
     kind = Polish;
     run =
       (fun () ->
-        let start = greedy_seed prepared ~tam_width ~constraints in
+        let start = greedy_seed eval prepared ~tam_width ~constraints in
         let report =
-          Soctest_core.Improve.polish ?max_rounds prepared ~tam_width
-            ~constraints start
+          Soctest_core.Improve.polish ?max_rounds ?budget ~eval prepared
+            ~tam_width ~constraints start
         in
         {
           solution = solution_of_result report.Soctest_core.Improve.result;
@@ -192,16 +183,17 @@ let exact ?(max_cores = 6) ?(node_limit = 2_000_000) prepared ~tam_width
     ]
 
 let default ?(kinds = all_kinds) ?restarts ?anneal_iterations
-    ?exact_max_cores prepared ~tam_width ~constraints =
+    ?exact_max_cores ?budget ?eval prepared ~tam_width ~constraints =
   let has k = List.mem k kinds in
   List.concat
     [
-      (if has Grid then grid prepared ~tam_width ~constraints else []);
+      (if has Grid then grid ?eval prepared ~tam_width ~constraints else []);
       (if has Anneal then
-         anneal_restarts ?restarts ?iterations:anneal_iterations prepared
-           ~tam_width ~constraints
+         anneal_restarts ?restarts ?iterations:anneal_iterations ?budget
+           ?eval prepared ~tam_width ~constraints
        else []);
-      (if has Polish then [ polish prepared ~tam_width ~constraints ]
+      (if has Polish then
+         [ polish ?budget ?eval prepared ~tam_width ~constraints ]
        else []);
       (if has Baseline then baselines prepared ~tam_width ~constraints
        else []);

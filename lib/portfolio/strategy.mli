@@ -47,6 +47,7 @@ val grid :
   ?deltas:int list ->
   ?slacks:int list ->
   ?widens:bool list ->
+  ?eval:Soctest_core.Optimizer.evaluator ->
   Soctest_core.Optimizer.prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
@@ -54,21 +55,29 @@ val grid :
 (** One strategy per (percent, delta, slack, widen) grid point, in the
     same enumeration order as {!Soctest_core.Optimizer.best_over_params}
     with the same default lists — so the portfolio's grid subset always
-    reaches the sequential optimum, and ties resolve to the same point. *)
+    reaches the sequential optimum, and ties resolve to the same point.
+    [eval] substitutes a (possibly caching) evaluator for the direct
+    {!Soctest_core.Optimizer.run_request}; results are unchanged. *)
 
 val anneal_restarts :
   ?restarts:int ->
   ?iterations:int ->
+  ?budget:Soctest_core.Budget.t ->
+  ?eval:Soctest_core.Optimizer.evaluator ->
   Soctest_core.Optimizer.prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
   t list
 (** [restarts] (default 4) annealing runs from the default-parameter
     greedy schedule, each with a distinct deterministic seed derived
-    from the restart index; [iterations] per restart (default 400). *)
+    from the restart index; [iterations] per restart (default 400).
+    Every restart begins from the same greedy seed, so a caching [eval]
+    (e.g. the engine's) computes that seed once for the whole race. *)
 
 val polish :
   ?max_rounds:int ->
+  ?budget:Soctest_core.Budget.t ->
+  ?eval:Soctest_core.Optimizer.evaluator ->
   Soctest_core.Optimizer.prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
@@ -101,9 +110,13 @@ val default :
   ?restarts:int ->
   ?anneal_iterations:int ->
   ?exact_max_cores:int ->
+  ?budget:Soctest_core.Budget.t ->
+  ?eval:Soctest_core.Optimizer.evaluator ->
   Soctest_core.Optimizer.prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
   t list
 (** The full portfolio in registration order — grid, anneal restarts,
-    polish, baselines, exact — optionally restricted to [kinds]. *)
+    polish, baselines, exact — optionally restricted to [kinds].
+    [budget]/[eval] reach the optimizer-backed strategies (grid, anneal,
+    polish); baselines and exact ignore them. *)

@@ -13,8 +13,12 @@
 
     {2 Scheduling (the paper's contribution)}
     - {!Constraint_def}, {!Conflict}
-    - {!Optimizer}, {!Sched_state}, {!Lower_bound}
-    - {!Volume}, {!Cost}, {!Flow}, {!Improve}, {!Abort_fail}
+    - {!Optimizer}, {!Sched_state}, {!Lower_bound}, {!Budget}
+    - {!Volume}, {!Cost}, {!Improve}, {!Abort_fail}
+
+    {2 Solver service layer}
+    - {!Engine} — request/outcome API over the deduplicating caches
+    - {!Flow} — the paper's three problems as one-call flows
 
     {2 Baselines}
     - {!Serial}, {!Session}, {!Shelf}, {!Fixed_width}, {!Exact}
@@ -64,12 +68,15 @@ module Conflict = Soctest_constraints.Conflict
 module Optimizer = Soctest_core.Optimizer
 module Sched_state = Soctest_core.Sched_state
 module Lower_bound = Soctest_core.Lower_bound
+module Budget = Soctest_core.Budget
 module Volume = Soctest_core.Volume
 module Cost = Soctest_core.Cost
-module Flow = Soctest_core.Flow
 module Improve = Soctest_core.Improve
 module Anneal = Soctest_core.Anneal
 module Abort_fail = Soctest_core.Abort_fail
+
+module Engine = Soctest_engine.Engine
+module Flow = Soctest_engine.Flow
 
 module Serial = Soctest_baselines.Serial
 module Session = Soctest_baselines.Session

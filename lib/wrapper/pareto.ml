@@ -10,8 +10,11 @@ type t = {
   pareto : int list;  (** ascending Pareto-optimal widths *)
 }
 
+let computes_counter = Obs.counter "pareto.computes"
+
 let compute core ~wmax =
   if wmax < 1 then invalid_arg "Pareto.compute: wmax must be >= 1";
+  Obs.incr computes_counter;
   Obs.with_span ~cat:"wrapper" "pareto.compute"
     ~args:[ ("core", string_of_int core.Core_def.id) ]
   @@ fun () ->

@@ -1,0 +1,31 @@
+Budgeted scheduling degrades gracefully: an already-expired budget still
+returns a valid schedule from the one guaranteed grid evaluation, and the
+first default grid point on mini4 already reaches the grid optimum:
+
+  $ soctest schedule --soc mini4 -w 8 --budget-ms 0
+  SOC mini4 at W=8: testing time 405 cycles
+  (budget expired: kept best of 1 grid evaluation(s))
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 5
+    core  4 (delta): width 3
+
+A generous budget searches the whole default grid (and must agree with
+the unbudgeted single-point solve on this benchmark):
+
+  $ soctest schedule --soc mini4 -w 8 --budget-ms 60000
+  SOC mini4 at W=8: testing time 405 cycles
+  (grid complete: 208 evaluation(s))
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 5
+    core  4 (delta): width 3
+
+Without --budget-ms the output is unchanged from before the engine:
+
+  $ soctest schedule --soc mini4 -w 8
+  SOC mini4 at W=8: testing time 405 cycles
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 5
+    core  4 (delta): width 3

@@ -1,6 +1,6 @@
 (* Tests for the Flow facade and the scheduler-state module. *)
 
-module Flow = Soctest_core.Flow
+module Flow = Soctest_engine.Flow
 module O = Soctest_core.Optimizer
 module Volume = Soctest_core.Volume
 module Cost = Soctest_core.Cost
@@ -14,7 +14,8 @@ let mk = Test_helpers.core
 
 let test_solve_p1 () =
   let soc = Test_helpers.mini4 () in
-  let r = Flow.solve_p1 soc ~tam_width:8 () in
+  (* no constraints in the spec = Problem 1 *)
+  let r = Flow.solve (Flow.spec soc ~tam_width:8) in
   Test_helpers.check_complete soc r.O.schedule;
   (* P1 is unconstrained and non-preemptive *)
   Alcotest.(check (list (pair int int))) "no preemptions" []
@@ -23,14 +24,16 @@ let test_solve_p1 () =
 let test_solve_p2_equals_optimizer () =
   let soc = Test_helpers.mini4 () in
   let constraints = C.of_soc soc () in
-  let a = Flow.solve_p2 soc ~tam_width:8 ~constraints () in
-  let b = O.run_soc soc ~tam_width:8 ~constraints () in
+  let a = Flow.solve (Flow.spec ~constraints soc ~tam_width:8) in
+  let b =
+    O.run_request (O.prepare soc) (O.request ~tam_width:8 ~constraints ())
+  in
   Alcotest.(check int) "same result" b.O.testing_time a.O.testing_time
 
 let test_solve_p3 () =
   let soc = Test_helpers.mini4 () in
   let { Flow.points; evaluations } =
-    Flow.solve_p3 soc ~widths:[ 2; 4; 8 ] ~alphas:[ 0.0; 1.0 ] ()
+    Flow.solve_sweep (Flow.sweep_spec soc ~widths:[ 2; 4; 8 ] ~alphas:[ 0.0; 1.0 ])
   in
   Alcotest.(check int) "three points" 3 (List.length points);
   Alcotest.(check int) "two evaluations" 2 (List.length evaluations);
@@ -46,9 +49,37 @@ let test_solve_p3_with_constraints () =
   let soc = Test_helpers.mini4 () in
   let constraints = C.make ~core_count:4 ~precedence:[ (1, 2) ] () in
   let { Flow.points; _ } =
-    Flow.solve_p3 soc ~widths:[ 4; 8 ] ~alphas:[ 0.5 ] ~constraints ()
+    Flow.solve_sweep
+      (Flow.sweep_spec ~constraints soc ~widths:[ 4; 8 ] ~alphas:[ 0.5 ])
   in
   Alcotest.(check int) "two points" 2 (List.length points)
+
+(* The pre-engine entry points survive one release as aliases; this is
+   the one place allowed to call them. *)
+module Aliases = struct
+  [@@@alert "-deprecated"]
+  [@@@warning "-3"]
+
+  let test_agree_with_spec () =
+    let soc = Test_helpers.mini4 () in
+    let constraints = C.of_soc soc () in
+    Alcotest.(check int)
+      "solve_p1 = solve(spec)"
+      (Flow.solve (Flow.spec soc ~tam_width:8)).O.testing_time
+      (Flow.solve_p1 soc ~tam_width:8 ()).O.testing_time;
+    Alcotest.(check int)
+      "solve_p2 = solve(spec ~constraints)"
+      (Flow.solve (Flow.spec ~constraints soc ~tam_width:8)).O.testing_time
+      (Flow.solve_p2 soc ~tam_width:8 ~constraints ()).O.testing_time;
+    let old_sweep = Flow.solve_p3 soc ~widths:[ 2; 4 ] ~alphas:[ 0.5 ] () in
+    let new_sweep =
+      Flow.solve_sweep (Flow.sweep_spec soc ~widths:[ 2; 4 ] ~alphas:[ 0.5 ])
+    in
+    Alcotest.(check (list (pair int int)))
+      "solve_p3 = solve_sweep(sweep_spec)"
+      (List.map (fun p -> (p.Volume.width, p.Volume.time)) old_sweep.Flow.points)
+      (List.map (fun p -> (p.Volume.width, p.Volume.time)) new_sweep.Flow.points)
+end
 
 let test_default_power_limit () =
   let soc =
@@ -163,6 +194,8 @@ let () =
             test_default_power_limit;
           Alcotest.test_case "preemption budget" `Quick
             test_preemption_budget;
+          Alcotest.test_case "deprecated aliases agree" `Quick
+            Aliases.test_agree_with_spec;
         ] );
       ( "sched_state",
         [

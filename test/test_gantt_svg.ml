@@ -63,9 +63,9 @@ let test_svg_invalid () =
 let test_svg_on_optimizer_schedule () =
   let soc = Test_helpers.d695 () in
   let r =
-    O.run_soc soc ~tam_width:16
-      ~constraints:(Test_helpers.unconstrained soc)
-      ()
+    O.run_request (O.prepare soc)
+      (O.request ~tam_width:16 ~constraints:(Test_helpers.unconstrained soc)
+         ())
   in
   let svg =
     SVG.render

@@ -8,12 +8,12 @@ module Conflict = Soctest_constraints.Conflict
 module S = Soctest_tam.Schedule
 module O = Soctest_core.Optimizer
 module LB = Soctest_core.Lower_bound
-module Flow = Soctest_core.Flow
+module Flow = Soctest_engine.Flow
 
 let mk = Test_helpers.core
 
-let run ?(params = O.default_params) soc constraints tam_width =
-  O.run_soc soc ~tam_width ~constraints ~params ()
+let run ?params soc constraints tam_width =
+  O.run_request (O.prepare soc) (O.request ?params ~tam_width ~constraints ())
 
 let test_single_core () =
   let soc = Soc_def.make ~name:"one" ~cores:[ mk 1 "a" ] () in
@@ -162,21 +162,21 @@ let test_params_validation () =
   let soc = Test_helpers.mini4 () in
   let constraints = C.unconstrained ~core_count:4 in
   let expect name params =
-    match O.run_soc soc ~tam_width:8 ~constraints ~params () with
+    match run ~params soc constraints 8 with
     | exception Invalid_argument _ -> ()
     | _ -> Alcotest.failf "%s: expected Invalid_argument" name
   in
   expect "bad percent" { O.default_params with O.percent = -1 };
   expect "bad delta" { O.default_params with O.delta = -2 };
   expect "bad slack" { O.default_params with O.insert_slack = -1 };
-  match O.run_soc soc ~tam_width:0 ~constraints () with
+  match run soc constraints 0 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument for W=0"
 
 let test_constraints_mismatch () =
   let soc = Test_helpers.mini4 () in
   let constraints = C.unconstrained ~core_count:7 in
-  match O.run_soc soc ~tam_width:8 ~constraints () with
+  match run soc constraints 8 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected core-count mismatch rejection"
 

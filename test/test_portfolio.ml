@@ -149,7 +149,7 @@ let test_constraint_violating_baselines_rejected () =
   let prepared = Lazy.force prep_mini4 in
   let constraints =
     Soctest_constraints.Constraint_def.of_soc soc
-      ~power_limit:(Soctest_core.Flow.default_power_limit soc) ()
+      ~power_limit:(Soctest_engine.Flow.default_power_limit soc) ()
   in
   let r =
     Portfolio.run ~jobs:2

@@ -68,12 +68,15 @@ let test_with_measured_powers () =
 
 let test_measured_powers_usable_for_scheduling () =
   let soc = PM.with_measured_powers (Test_helpers.mini4 ()) in
-  let limit = Soctest_core.Flow.default_power_limit soc in
+  let limit = Soctest_engine.Flow.default_power_limit soc in
   let constraints =
     Soctest_constraints.Constraint_def.make ~core_count:4
       ~power_limit:limit ()
   in
-  let r = Soctest_core.Flow.solve_p2 soc ~tam_width:8 ~constraints () in
+  let r =
+    Soctest_engine.Flow.solve
+      (Soctest_engine.Flow.spec ~constraints soc ~tam_width:8)
+  in
   Test_helpers.check_valid_schedule soc constraints
     r.Soctest_core.Optimizer.schedule
 

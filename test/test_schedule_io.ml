@@ -64,7 +64,9 @@ let prop_optimizer_schedules_round_trip =
   Test_helpers.qtest "optimizer schedules round-trip" ~count:40
     Test_helpers.arb_soc_with_constraints
     (fun (soc, constraints, tam_width) ->
-      let r = O.run_soc soc ~tam_width ~constraints () in
+      let r =
+        O.run_request (O.prepare soc) (O.request ~tam_width ~constraints ())
+      in
       let back = IO.of_string (IO.to_string r.O.schedule) in
       back.S.slices = r.O.schedule.S.slices)
 

@@ -72,7 +72,8 @@ let prop_optimizer_schedules_allocatable =
     Test_helpers.arb_soc_with_constraints
     (fun (soc, constraints, tam_width) ->
       let r =
-        Soctest_core.Optimizer.run_soc soc ~tam_width ~constraints ()
+        let module O = Soctest_core.Optimizer in
+        O.run_request (O.prepare soc) (O.request ~tam_width ~constraints ())
       in
       let allocs = WA.allocate r.Soctest_core.Optimizer.schedule in
       WA.is_disjoint allocs)
