@@ -130,6 +130,17 @@ let wrap f =
     `Error (false, "infeasible: " ^ msg)
   | Soctest_portfolio.Portfolio.No_solution msg ->
     `Error (false, "portfolio: " ^ msg)
+  | Soctest_check.Audit.Failed (source, report) ->
+    `Error
+      ( false,
+        Format.asprintf "audit failed (%s): %a" source
+          Soctest_check.Audit.pp_report report )
+  | Soctest_tam.Wire_alloc.Capacity_exceeded { time; core; deficit } ->
+    `Error
+      ( false,
+        Printf.sprintf
+          "wire allocation failed: core %d short %d wire(s) at t=%d" core
+          deficit time )
 
 (* ------------------------------------------------------------------ *)
 (* experiment commands *)
@@ -793,6 +804,97 @@ let validate_cmd =
        ~doc:"Re-validate a saved schedule against an SOC's constraints.")
     Term.(ret (const run $ soc_arg ~default:"d695" $ file $ power))
 
+let check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCHEDULE" ~doc:"Schedule file to audit.")
+  in
+  let power =
+    Arg.(
+      value & flag
+      & info [ "power" ] ~doc:"Also audit against the default power limit.")
+  in
+  let preempt =
+    Arg.(
+      value & opt int (-1)
+      & info [ "preempt" ] ~docv:"N"
+          ~doc:
+            "Audit with a budget of N preemptions on the larger cores \
+             (matching `schedule --preempt N`). N=0 forbids preemption on \
+             those cores; negative (the default) leaves it unlimited.")
+  in
+  let wmax =
+    Arg.(
+      value & opt int 64
+      & info [ "wmax" ] ~docv:"W"
+          ~doc:
+            "Per-core TAM width cap the Pareto staircases are re-derived \
+             at; must match the wmax the schedule was solved with.")
+  in
+  let partial =
+    Arg.(
+      value & flag
+      & info [ "partial" ]
+          ~doc:
+            "Allow schedules that do not cover every SOC core (skip the \
+             completeness check).")
+  in
+  let run soc_name file power preempt wmax partial =
+    wrap (fun () ->
+        let soc = load_soc soc_name in
+        let sched =
+          try Soctest_tam.Schedule_io.of_file file
+          with Soctest_tam.Schedule_io.Parse_error e ->
+            failwith
+              (Format.asprintf "%a" Soctest_tam.Schedule_io.pp_error e)
+        in
+        let max_preempts =
+          if preempt >= 0 then Flow.preemption_budget soc ~limit:preempt
+          else []
+        in
+        let constraints =
+          Constraint_def.of_soc soc ~max_preemptions:max_preempts
+            ?power_limit:
+              (if power then Some (Flow.default_power_limit soc) else None)
+            ()
+        in
+        let spec =
+          Soctest_check.Audit.spec ~wmax ~require_complete:(not partial)
+            constraints
+        in
+        let report = Soctest_check.Audit.run soc spec sched in
+        if Soctest_check.Audit.ok report then
+          Printf.printf
+            "%s: audit clean for %s (W=%d, makespan %d, %d checks over %d \
+             slices)\n"
+            file soc.Soc_def.name sched.Soctest_tam.Schedule.tam_width
+            report.Soctest_check.Audit.makespan
+            report.Soctest_check.Audit.checks_run
+            report.Soctest_check.Audit.slices_audited
+        else begin
+          List.iter
+            (fun v ->
+              Format.eprintf "%s: %a@." file Soctest_check.Audit.pp_violation
+                v)
+            report.Soctest_check.Audit.violations;
+          failwith
+            (Printf.sprintf "%d violation(s)"
+               (List.length report.Soctest_check.Audit.violations))
+        end)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Audit a saved schedule from first principles: wire occupancy, \
+          width discipline, Pareto consistency, time accounting, \
+          constraints and tester-image totals.")
+    Term.(
+      ret
+        (const run $ soc_arg ~default:"d695" $ file $ power $ preempt $ wmax
+       $ partial))
+
 let main_cmd =
   let doc =
     "wrapper/TAM co-optimization, constraint-driven test scheduling and \
@@ -803,7 +905,7 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; fig1_cmd; fig2_cmd; fig9_cmd; ablate_cmd;
       all_cmd; soc_info_cmd; schedule_cmd; export_cmd; extras_cmd; verilog_cmd;
-      validate_cmd; stil_cmd; sweep_cmd; portfolio_cmd;
+      validate_cmd; check_cmd; stil_cmd; sweep_cmd; portfolio_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -69,14 +69,47 @@ type violation =
   | Bist_violated of { a : int; b : int; engine : int; time : int }
   | Preemptions_exceeded of { core : int; count : int; limit : int }
   | Width_above_total of { core : int; width : int }
+  | Width_changed of { core : int; widths : int list }
+  | Unknown_core of { core : int }
 
 let overlap (a : Schedule.slice) (b : Schedule.slice) =
   if a.Schedule.start < b.Schedule.stop && b.Schedule.start < a.Schedule.stop
   then Some (max a.Schedule.start b.Schedule.start)
   else None
 
+(* Slice core ids the SOC actually defines. Everything that dereferences
+   [Soc_def.core] or the per-core preemption limits must stay inside this
+   set: a rogue id is reported as [Unknown_core] instead of letting the
+   lookup raise [Invalid_argument] mid-validation. *)
+let known_core soc core = core >= 1 && core <= Soc_def.core_count soc
+
+let unknown_core_violations soc (sched : Schedule.t) =
+  List.filter_map
+    (fun core ->
+      if known_core soc core then None else Some (Unknown_core { core }))
+    (Schedule.cores sched)
+
+(* The framework's schedules assign each core one TAM width for its whole
+   (possibly preempted) test; [Schedule.width_of_core] raises on a width
+   change, so group slices by hand here and report it as a violation. *)
+let width_change_violations (sched : Schedule.t) =
+  List.filter_map
+    (fun core ->
+      let widths =
+        List.map (fun s -> s.Schedule.width) (Schedule.slices_of_core sched core)
+        |> List.sort_uniq compare
+      in
+      match widths with
+      | [] | [ _ ] -> None
+      | widths -> Some (Width_changed { core; widths }))
+    (Schedule.cores sched)
+
 let pairwise_violations soc constraints (sched : Schedule.t) =
-  let slices = sched.Schedule.slices in
+  let slices =
+    List.filter
+      (fun s -> known_core soc s.Schedule.core)
+      sched.Schedule.slices
+  in
   let rec loop acc = function
     | [] -> acc
     | s :: rest ->
@@ -138,7 +171,9 @@ let power_violations soc constraints (sched : Schedule.t) =
         let power =
           List.fold_left
             (fun acc s ->
-              acc + (Soc_def.core soc s.Schedule.core).Core_def.power)
+              if known_core soc s.Schedule.core then
+                acc + (Soc_def.core soc s.Schedule.core).Core_def.power
+              else acc)
             0
             (Schedule.active_at sched time)
         in
@@ -149,11 +184,13 @@ let power_violations soc constraints (sched : Schedule.t) =
 let preemption_violations constraints (sched : Schedule.t) =
   List.filter_map
     (fun core ->
-      let count = Schedule.preemptions sched core in
-      let limit = Constraint_def.max_preemptions_of constraints core in
-      if count > limit then
-        Some (Preemptions_exceeded { core; count; limit })
-      else None)
+      if core < 1 || core > constraints.Constraint_def.core_count then None
+      else
+        let count = Schedule.preemptions sched core in
+        let limit = Constraint_def.max_preemptions_of constraints core in
+        if count > limit then
+          Some (Preemptions_exceeded { core; count; limit })
+        else None)
     (Schedule.cores sched)
 
 let width_violations (sched : Schedule.t) =
@@ -170,7 +207,9 @@ let validate soc constraints sched =
   Obs.with_span ~cat:"constraints" "conflict.validate" @@ fun () ->
   Obs.incr validations_counter;
   List.map (fun v -> Capacity v) (Schedule.check_capacity sched)
+  @ unknown_core_violations soc sched
   @ width_violations sched
+  @ width_change_violations sched
   @ precedence_violations constraints sched
   @ pairwise_violations soc constraints sched
   @ power_violations soc constraints sched
@@ -201,3 +240,9 @@ let pp_violation ppf = function
       limit
   | Width_above_total { core; width } ->
     Format.fprintf ppf "core %d width %d exceeds the TAM" core width
+  | Width_changed { core; widths } ->
+    Format.fprintf ppf "core %d changes width across slices (%s)" core
+      (String.concat ", " (List.map string_of_int widths))
+  | Unknown_core { core } ->
+    Format.fprintf ppf "slice refers to core %d, which the SOC does not define"
+      core

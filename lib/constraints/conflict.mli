@@ -32,6 +32,11 @@ type violation =
   | Bist_violated of { a : int; b : int; engine : int; time : int }
   | Preemptions_exceeded of { core : int; count : int; limit : int }
   | Width_above_total of { core : int; width : int }
+  | Width_changed of { core : int; widths : int list }
+      (** a core's slices disagree on TAM width — preemption may move a
+          core to different {e wires}, never to a different width *)
+  | Unknown_core of { core : int }
+      (** a slice names a core id the SOC does not define *)
 
 val validate :
   Soctest_soc.Soc_def.t ->
@@ -40,7 +45,11 @@ val validate :
   violation list
 (** Empty list = the schedule satisfies TAM capacity and every constraint.
     Cores absent from the schedule are not flagged here (completeness is a
-    separate property checked by callers who require it). *)
+    separate property checked by callers who require it). Never raises on
+    malformed input: out-of-range core ids become {!Unknown_core}
+    violations (and are excluded from the SOC-dereferencing checks), and a
+    core whose slices change width becomes {!Width_changed} rather than
+    the [Invalid_argument] that [Schedule.width_of_core] would raise. *)
 
 val pp_reason : Format.formatter -> reason -> unit
 val pp_violation : Format.formatter -> violation -> unit

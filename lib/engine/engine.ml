@@ -214,6 +214,19 @@ let solve t (r : request) =
         | _ -> best := Some result
       end)
     points;
+  (* debug-mode post-condition: with SOCTEST_AUDIT on, every schedule the
+     engine hands out is re-audited from first principles *)
+  (match !best with
+  | Some b ->
+    Soctest_check.Audit.enforce
+      ~source:
+        (Printf.sprintf "engine.solve %s W=%d" r.soc.Soc_def.name
+           r.tam_width)
+      r.soc
+      (Soctest_check.Audit.spec ~wmax:r.wmax ~expect_tam_width:r.tam_width
+         r.constraints)
+      b.Optimizer.schedule
+  | None -> ());
   let status =
     if !evaluated < List.length points then begin
       Obs.instant ~cat:"engine" "engine.deadline"

@@ -109,9 +109,13 @@ val solve : t -> request -> outcome
 (** Evaluate the request's grid through the cache, best result wins.
     At least one grid point is always evaluated, so even an
     already-expired budget yields a valid schedule (status
-    [Deadline]).
+    [Deadline]). When auditing is enabled
+    ({!Soctest_check.Audit.enabled}), the winning schedule is re-audited
+    from first principles as a post-condition.
     @raise Optimizer.Infeasible when a grid point is infeasible (a
     property of SOC/width/constraints, not of the params searched).
+    @raise Soctest_check.Audit.Failed when the enabled audit finds a
+    violation in the returned schedule (a solver bug, not a user error).
     @raise Invalid_argument on an empty grid axis or invalid widths. *)
 
 val solve_many : t -> request list -> outcome list

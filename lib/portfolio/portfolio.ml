@@ -48,6 +48,13 @@ let message_of_exn = function
   | Failure msg -> msg
   | Invalid_argument msg -> msg
   | Soctest_core.Optimizer.Infeasible msg -> "infeasible: " ^ msg
+  | Soctest_check.Audit.Failed (source, report) ->
+    Format.asprintf "audit failed (%s): %a" source
+      Soctest_check.Audit.pp_report report
+  | Soctest_tam.Wire_alloc.Capacity_exceeded { time; core; deficit } ->
+    Printf.sprintf
+      "wire allocation failed: core %d short %d wire(s) at t=%d" core
+      deficit time
   | e -> Printexc.to_string e
 
 let run ?jobs ?deadline_ms ?(budget = Soctest_core.Budget.unlimited)

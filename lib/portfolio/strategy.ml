@@ -1,6 +1,7 @@
 module O = Soctest_core.Optimizer
 module Schedule = Soctest_tam.Schedule
 module Conflict = Soctest_constraints.Conflict
+module Audit = Soctest_check.Audit
 
 type solution = {
   schedule : Schedule.t;
@@ -182,6 +183,30 @@ let exact ?(max_cores = 6) ?(node_limit = 2_000_000) prepared ~tam_width
       };
     ]
 
+(* Debug-mode post-condition (see [Audit.enabled]): every schedule a
+   strategy hands to the race is re-audited from first principles before
+   it can become the incumbent. A violation surfaces as [Audit.Failed]
+   with the strategy's name, which the portfolio reports as a failed
+   strategy instead of crashing the domain. *)
+let audited prepared ~tam_width ~constraints (s : t) =
+  if not (Audit.enabled ()) then s
+  else
+    let spec =
+      Audit.spec ~wmax:(O.wmax_of prepared) ~expect_tam_width:tam_width
+        constraints
+    in
+    let soc = O.soc_of prepared in
+    {
+      s with
+      run =
+        (fun () ->
+          let outcome = s.run () in
+          Audit.enforce
+            ~source:(Printf.sprintf "strategy %s" s.name)
+            soc spec outcome.solution.schedule;
+          outcome);
+    }
+
 let default ?(kinds = all_kinds) ?restarts ?anneal_iterations
     ?exact_max_cores ?budget ?eval prepared ~tam_width ~constraints =
   let has k = List.mem k kinds in
@@ -201,3 +226,4 @@ let default ?(kinds = all_kinds) ?restarts ?anneal_iterations
          exact ?max_cores:exact_max_cores prepared ~tam_width ~constraints
        else []);
     ]
+  |> List.map (audited prepared ~tam_width ~constraints)

@@ -105,6 +105,21 @@ val exact :
     since B&B time grows exponentially with core count. [node_limit]
     defaults to the solver's 2 million. Constraint-revalidated. *)
 
+val audited :
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  t ->
+  t
+(** Wraps a strategy with the {!Soctest_check.Audit} post-condition:
+    when auditing is enabled ([SOCTEST_AUDIT] or
+    {!Soctest_check.Audit.set_enabled}), the strategy's schedule is
+    re-audited from first principles before it can enter the race, and a
+    violation raises {!Soctest_check.Audit.Failed} carrying the
+    strategy's name. A no-op (the strategy is returned unchanged) when
+    auditing is disabled. {!default} applies this to every strategy it
+    builds. *)
+
 val default :
   ?kinds:kind list ->
   ?restarts:int ->

@@ -15,6 +15,7 @@
     - {!Constraint_def}, {!Conflict}
     - {!Optimizer}, {!Sched_state}, {!Lower_bound}, {!Budget}
     - {!Volume}, {!Cost}, {!Improve}, {!Abort_fail}
+    - {!Audit} — first-principles wire-exact schedule auditor
 
     {2 Solver service layer}
     - {!Engine} — request/outcome API over the deduplicating caches
@@ -64,6 +65,7 @@ module Sched_stats = Soctest_tam.Sched_stats
 
 module Constraint_def = Soctest_constraints.Constraint_def
 module Conflict = Soctest_constraints.Conflict
+module Audit = Soctest_check.Audit
 
 module Optimizer = Soctest_core.Optimizer
 module Sched_state = Soctest_core.Sched_state

@@ -39,8 +39,25 @@ let cores t =
   List.map (fun s -> s.core) t.slices
   |> List.sort_uniq compare
 
+(* [t.slices] is sorted by (start, core) by [make], and [t] is private, so
+   the filtered list is sorted by start. [preemptions] and [core_finish]
+   depend on that order; re-verify it here so a future constructor that
+   forgets to sort fails loudly instead of silently miscounting gaps. *)
 let slices_of_core t core =
-  List.filter (fun s -> s.core = core) t.slices
+  let ss = List.filter (fun s -> s.core = core) t.slices in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if a.start > b.start then
+        invalid_arg
+          (Printf.sprintf
+             "Schedule.slices_of_core: core %d slices unsorted ([%d,%d) \
+              before [%d,%d))"
+             core a.start a.stop b.start b.stop)
+      else check rest
+    | _ -> ()
+  in
+  check ss;
+  ss
 
 let core_start t core =
   match slices_of_core t core with [] -> None | s :: _ -> Some s.start
@@ -50,6 +67,10 @@ let core_finish t core =
   | [] -> None
   | ss -> Some (List.fold_left (fun acc s -> max acc s.stop) 0 ss)
 
+(* A resumption that is back-to-back with the previous slice
+   ([s.start = prev_stop]) is a merge artifact, not a real interruption:
+   nothing stopped, so no preemption (and no si+so restart cost) is
+   counted. Only a strict gap ([s.start > prev_stop]) counts. *)
 let preemptions t core =
   let rec runs prev_stop count = function
     | [] -> count

@@ -36,14 +36,21 @@ val cores : t -> int list
 (** Distinct core ids appearing in the schedule, ascending. *)
 
 val slices_of_core : t -> int -> slice list
-(** Ascending by start time. *)
+(** Ascending by start time. This ordering is a guarantee, not a hope:
+    [make] sorts and [t] is private, and this accessor re-verifies the
+    order so downstream gap counting ({!preemptions}) and finish times
+    ({!core_finish}) can rely on it. @raise Invalid_argument if the
+    invariant is somehow broken. *)
 
 val core_start : t -> int -> int option
 val core_finish : t -> int -> int option
 
 val preemptions : t -> int -> int
 (** Number of times the given core's test was interrupted: maximal
-    contiguous runs of its slices minus one ([0] if absent). *)
+    contiguous runs of its slices minus one ([0] if absent). A
+    back-to-back resumption ([start = previous stop]) is contiguous and
+    does {e not} count — only a strict idle gap does, and each such gap
+    incurs one [si + so] restart cost in the time accounting. *)
 
 val width_of_core : t -> int -> int option
 (** TAM width assigned to the core, when constant across its slices;

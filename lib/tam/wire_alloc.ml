@@ -2,9 +2,38 @@ module Obs = Soctest_obs.Obs
 
 type allocation = { slice : Schedule.slice; wires : int list }
 
+exception
+  Capacity_exceeded of { time : int; core : int; deficit : int }
+
+let pp_capacity_exceeded ppf (time, core, deficit) =
+  Format.fprintf ppf
+    "wire allocation: core %d needs %d more wire(s) than free at t=%d" core
+    deficit time
+
+let () =
+  Printexc.register_printer (function
+    | Capacity_exceeded { time; core; deficit } ->
+      Some
+        (Format.asprintf "Wire_alloc.Capacity_exceeded (%a)"
+           pp_capacity_exceeded (time, core, deficit))
+    | _ -> None)
+
 module Int_set = Set.Make (Int)
 
 let slices_counter = Obs.counter "tam.wire_alloc_slices"
+
+(* Start-time sweep order with an explicit tie-break: simultaneous starts
+   are processed by ascending core id, then width. A bare [List.sort
+   compare] on [(start, slice)] pairs would fall back to polymorphic
+   comparison of the whole slice record on tied start times — an
+   allocation order fixed only by the accident of record field layout. *)
+let sweep_order (a : Schedule.slice) (b : Schedule.slice) =
+  match compare a.Schedule.start b.Schedule.start with
+  | 0 -> (
+    match compare a.Schedule.core b.Schedule.core with
+    | 0 -> compare a.Schedule.width b.Schedule.width
+    | c -> c)
+  | c -> c
 
 let allocate (sched : Schedule.t) =
   Obs.with_span ~cat:"tam" "wire_alloc.allocate" @@ fun () ->
@@ -14,10 +43,7 @@ let allocate (sched : Schedule.t) =
   in
   (* Sweep boundaries in time order; ends release wires before starts
      claim them at identical timestamps. *)
-  let starts =
-    List.map (fun s -> (s.Schedule.start, s)) sched.Schedule.slices
-    |> List.sort compare
-  in
+  let starts = List.sort sweep_order sched.Schedule.slices in
   let free = ref all_wires in
   let live = ref [] (* (stop, wires) of running slices *) in
   let release_until time =
@@ -30,25 +56,34 @@ let allocate (sched : Schedule.t) =
       expired;
     live := alive
   in
-  let take n =
-    let rec loop n acc =
-      if n = 0 then List.rev acc
+  let take ~time ~core n =
+    let rec loop k acc =
+      if k = 0 then List.rev acc
       else
         match Int_set.min_elt_opt !free with
-        | None -> invalid_arg "Wire_alloc.allocate: capacity exceeded"
+        | None -> raise (Capacity_exceeded { time; core; deficit = k })
         | Some w ->
           free := Int_set.remove w !free;
-          loop (n - 1) (w :: acc)
+          loop (k - 1) (w :: acc)
     in
     loop n []
   in
   List.map
-    (fun (start, slice) ->
-      release_until start;
-      let wires = take slice.Schedule.width in
+    (fun (slice : Schedule.slice) ->
+      release_until slice.Schedule.start;
+      let wires =
+        take ~time:slice.Schedule.start ~core:slice.Schedule.core
+          slice.Schedule.width
+      in
       live := (slice.Schedule.stop, wires) :: !live;
       { slice; wires })
     starts
+
+let allocate_result sched =
+  match allocate sched with
+  | allocations -> Ok allocations
+  | exception Capacity_exceeded { time; core; deficit } ->
+    Error (time, core, deficit)
 
 let is_disjoint allocations =
   let overlaps (a : Schedule.slice) (b : Schedule.slice) =

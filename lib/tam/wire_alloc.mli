@@ -5,13 +5,26 @@
     fork/merge: the wires given to a core need not be adjacent, and a
     preempted core may resume on different wires. Allocation is greedy
     (lowest free wires first) and always succeeds for a capacity-valid
-    schedule. *)
+    schedule. Slices are processed in [(start, core, width)] order, so the
+    wire map is a deterministic function of the schedule alone. *)
 
 type allocation = { slice : Schedule.slice; wires : int list }
 
+exception
+  Capacity_exceeded of { time : int; core : int; deficit : int }
+(** Raised by {!allocate} when [core] asks for [deficit] more wires than
+    are free at cycle [time] — i.e. the schedule is not capacity-valid.
+    Typed (rather than [Invalid_argument]) so the auditor and the
+    portfolio racer can report the offending instant instead of crashing
+    a domain. *)
+
 val allocate : Schedule.t -> allocation list
-(** @raise Invalid_argument if the schedule violates capacity (run
+(** @raise Capacity_exceeded if the schedule violates capacity (run
     {!Schedule.check_capacity} first for a diagnosis). *)
+
+val allocate_result : Schedule.t -> (allocation list, int * int * int) result
+(** [allocate] with {!Capacity_exceeded} reflected as
+    [Error (time, core, deficit)]. *)
 
 val is_disjoint : allocation list -> bool
 (** Re-check: no wire is used by two overlapping slices. Exposed for

@@ -1,0 +1,56 @@
+`soctest check` re-derives every schedule invariant from first
+principles — wire occupancy, width constancy, Pareto consistency,
+exact time accounting, constraints and tester-image agreement:
+
+  $ soctest schedule --soc mini4 -w 8 --save sched.txt > /dev/null
+  $ soctest check --soc mini4 sched.txt
+  sched.txt: audit clean for mini4 (W=8, makespan 405, 16 checks over 5 slices)
+
+A single corrupted width is caught by four independent checks — the
+wire count, the wire-exact allocation, Pareto effectiveness, and the
+busy-time accounting:
+
+  $ sed 's/^Slice 3 5 186 288/Slice 3 8 186 288/' sched.txt > wide.txt
+  $ soctest check --soc mini4 wide.txt
+  wide.txt: [capacity] 11 wires in use at t=186 (W=8)
+  wide.txt: [capacity] 11 wires in use at t=230 (W=8)
+  wide.txt: [wire-occupancy] no wire assignment exists: core 3 short 3 wire(s) at t=186
+  wide.txt: [pareto-width] core 3 uses width 8; effective Pareto width is 7 (same time, fewer wires)
+  wide.txt: [time-accounting] core 3 busy 102 cycles; Pareto time 76 + 0 preemption(s) x (si+so = 3) = 76
+  soctest: 5 violation(s)
+  [124]
+
+Stretching a slice breaks the busy-time accounting against the Pareto
+staircase:
+
+  $ sed 's/^Slice 4 3 230 405/Slice 4 3 230 412/' sched.txt > slow.txt
+  $ soctest check --soc mini4 slow.txt
+  slow.txt: [time-accounting] core 4 busy 182 cycles; Pareto time 175 + 0 preemption(s) x (si+so = 20) = 175
+  soctest: 1 violation(s)
+  [124]
+
+Dropping a core fails completeness, unless --partial waives it:
+
+  $ grep -v '^Slice 2' sched.txt > partial.txt
+  $ soctest check --soc mini4 partial.txt
+  partial.txt: [completeness] core 2 is never scheduled
+  soctest: 1 violation(s)
+  [124]
+  $ soctest check --soc mini4 --partial partial.txt
+  partial.txt: audit clean for mini4 (W=8, makespan 405, 15 checks over 4 slices)
+
+Core 1 stops and resumes at t=186 back to back — that is not a
+preemption, so even a budget of zero audits clean:
+
+  $ soctest check --soc mini4 --preempt 0 sched.txt
+  sched.txt: audit clean for mini4 (W=8, makespan 405, 16 checks over 5 slices)
+
+Opening a real gap turns it into one preemption: over the zero budget,
+and missing the si+so resumption cost in the busy-time accounting:
+
+  $ sed 's/^Slice 1 3 186 230/Slice 1 3 410 454/' sched.txt > gap.txt
+  $ soctest check --soc mini4 --preempt 0 gap.txt
+  gap.txt: [time-accounting] core 1 busy 230 cycles; Pareto time 230 + 1 preemption(s) x (si+so = 20) = 250
+  gap.txt: [preemption-budget] core 1 preempted 1 time(s), limit 0
+  soctest: 2 violation(s)
+  [124]

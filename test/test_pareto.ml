@@ -132,6 +132,82 @@ let test_raw_vs_envelope () =
       (Pareto.time p ~width:w <= Pareto.raw_time p ~width:w)
   done
 
+(* Edge cases: the staircase must stay well-formed at the degenerate ends
+   of its domain — a single-wire budget, cores whose time curve is flat,
+   and the minimal pattern count (Core_def rejects 0 patterns outright). *)
+
+let assert_well_formed name p =
+  let widths = Pareto.pareto_widths p in
+  Alcotest.(check bool)
+    (name ^ ": pareto widths contain 1")
+    true (List.mem 1 widths);
+  let prev = ref max_int in
+  for w = 1 to Pareto.wmax p do
+    let t = Pareto.time p ~width:w in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: envelope non-increasing at w=%d" name w)
+      true (t <= !prev);
+    prev := t
+  done
+
+let test_wmax_one () =
+  let p =
+    Pareto.compute
+      (mk ~scan:[ 30; 20 ] ~inputs:12 ~outputs:9 ~patterns:25 1 "w1")
+      ~wmax:1
+  in
+  assert_well_formed "wmax=1" p;
+  Alcotest.(check (list int)) "only width 1" [ 1 ] (Pareto.pareto_widths p);
+  Alcotest.(check int) "highest pareto" 1 (Pareto.highest_pareto p);
+  Alcotest.(check int) "min time = T(1)" (Pareto.time p ~width:1)
+    (Pareto.min_time p);
+  Alcotest.(check int) "effective width" 1
+    (Pareto.effective_width p ~width:1);
+  Alcotest.(check int) "clamped above wmax" (Pareto.time p ~width:1)
+    (Pareto.time p ~width:500)
+
+let test_flat_staircase () =
+  (* a combinational core with one terminal per direction: the wrapper
+     design is identical at every width, so the time curve is flat and
+     width 1 dominates everything *)
+  let core =
+    Core_def.make ~id:1 ~name:"flat" ~inputs:1 ~outputs:1 ~bidirs:0
+      ~scan_chains:[] ~patterns:5 ()
+  in
+  let p = Pareto.compute core ~wmax:16 in
+  assert_well_formed "flat" p;
+  Alcotest.(check (list int)) "flat staircase collapses to width 1" [ 1 ]
+    (Pareto.pareto_widths p);
+  for w = 1 to 16 do
+    Alcotest.(check int)
+      (Printf.sprintf "T(%d) = T(1)" w)
+      (Pareto.time p ~width:1) (Pareto.time p ~width:w);
+    Alcotest.(check int)
+      (Printf.sprintf "effective_width at %d" w)
+      1
+      (Pareto.effective_width p ~width:w)
+  done;
+  Alcotest.(check int) "min_area = T(1)" (Pareto.time p ~width:1)
+    (Pareto.min_area p)
+
+let test_minimal_patterns () =
+  (* zero patterns are unrepresentable by construction... *)
+  (match
+     Core_def.make ~id:1 ~name:"none" ~inputs:4 ~outputs:4 ~bidirs:0
+       ~scan_chains:[ 8 ] ~patterns:0 ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "patterns = 0 must be rejected by Core_def.make");
+  (* ...so the smallest legal core has one pattern; the staircase must
+     still be a well-formed non-increasing envelope rooted at width 1 *)
+  let core =
+    Core_def.make ~id:1 ~name:"one" ~inputs:4 ~outputs:4 ~bidirs:0
+      ~scan_chains:[ 8; 3 ] ~patterns:1 ()
+  in
+  let p = Pareto.compute core ~wmax:12 in
+  assert_well_formed "patterns=1" p;
+  Alcotest.(check bool) "positive time" true (Pareto.min_time p > 0)
+
 let prop_envelope_nonincreasing =
   Test_helpers.qtest "envelope is non-increasing for any core"
     (QCheck.make (Test_helpers.gen_core 1))
@@ -195,6 +271,12 @@ let () =
           Alcotest.test_case "raw vs envelope" `Quick test_raw_vs_envelope;
           Alcotest.test_case "known staircase (s838)" `Quick
             test_known_staircase;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "wmax = 1" `Quick test_wmax_one;
+          Alcotest.test_case "flat staircase" `Quick test_flat_staircase;
+          Alcotest.test_case "minimal patterns" `Quick test_minimal_patterns;
         ] );
       ( "preferred width",
         [

@@ -54,6 +54,45 @@ let test_preemptions () =
   Alcotest.(check int) "one preemption" 1 (S.preemptions s 1);
   Alcotest.(check int) "absent core" 0 (S.preemptions s 2)
 
+let test_preemptions_back_to_back () =
+  (* every resumption is seamless: 5→5, 9→9 — zero preemptions, however
+     many slices the core was split into *)
+  let s =
+    S.make ~tam_width:4
+      ~slices:[ slice 1 2 0 5; slice 1 2 5 9; slice 1 2 9 14 ]
+  in
+  Alcotest.(check int) "back-to-back is contiguous" 0 (S.preemptions s 1);
+  (* mixing seamless and gapped resumptions counts only the gaps *)
+  let s2 =
+    S.make ~tam_width:4
+      ~slices:
+        [ slice 1 2 0 5; slice 1 2 5 9; slice 1 2 11 14; slice 1 2 14 16 ]
+  in
+  Alcotest.(check int) "only the 9..11 gap counts" 1 (S.preemptions s2 1);
+  Alcotest.(check (option int)) "finish spans all runs" (Some 16)
+    (S.core_finish s2 1)
+
+let test_zero_length_slice_rejected () =
+  (* zero-length slices are unrepresentable: [make] rejects stop = start,
+     so preemption counting never has to reason about empty runs *)
+  (match S.make ~tam_width:4 ~slices:[ slice 1 2 3 3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero-length slice must be rejected");
+  match
+    S.make ~tam_width:4 ~slices:[ slice 1 2 0 5; slice 1 2 7 7 ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero-length resumption must be rejected"
+
+let test_slices_of_core_sorted () =
+  (* input order scrambled; accessor must hand back ascending starts *)
+  let s =
+    S.make ~tam_width:4
+      ~slices:[ slice 1 2 11 14; slice 1 2 0 5; slice 1 2 5 9 ]
+  in
+  Alcotest.(check (list int)) "ascending starts" [ 0; 5; 11 ]
+    (List.map (fun x -> x.S.start) (S.slices_of_core s 1))
+
 let test_peak_width () =
   let s = sample () in
   Alcotest.(check int) "peak" 8 (S.peak_width s);
@@ -131,6 +170,12 @@ let () =
           Alcotest.test_case "empty schedule" `Quick test_empty;
           Alcotest.test_case "core views" `Quick test_core_views;
           Alcotest.test_case "preemption counting" `Quick test_preemptions;
+          Alcotest.test_case "back-to-back resumptions" `Quick
+            test_preemptions_back_to_back;
+          Alcotest.test_case "zero-length slices rejected" `Quick
+            test_zero_length_slice_rejected;
+          Alcotest.test_case "slices_of_core sorted" `Quick
+            test_slices_of_core_sorted;
           Alcotest.test_case "peak width" `Quick test_peak_width;
           Alcotest.test_case "active_at" `Quick test_active_at;
         ] );

@@ -56,8 +56,37 @@ let test_fork_merge_possible () =
 let test_capacity_error () =
   let s = S.make ~tam_width:3 ~slices:[ slice 1 2 0 5; slice 2 2 2 6 ] in
   match WA.allocate s with
-  | exception Invalid_argument _ -> ()
+  | exception WA.Capacity_exceeded { time; core; deficit } ->
+    Alcotest.(check int) "offending time" 2 time;
+    Alcotest.(check int) "offending core" 2 core;
+    (* core 2 wants 2 wires; only wire index 2 is free at t=2 *)
+    Alcotest.(check int) "deficit" 1 deficit;
+    (match WA.allocate_result s with
+    | Error (t, c, d) ->
+      Alcotest.(check (triple int int int))
+        "allocate_result mirrors exception" (2, 2, 1) (t, c, d)
+    | Ok _ -> Alcotest.fail "allocate_result should fail")
   | _ -> Alcotest.fail "expected capacity failure"
+
+let test_simultaneous_starts_deterministic () =
+  (* Three cores start at t=0 with equal widths: allocation must be a pure
+     function of (start, core, width), i.e. ascending core order claims
+     ascending wire blocks regardless of the slice list's input order. *)
+  let slices = [ slice 3 2 0 5; slice 1 2 0 7; slice 2 2 0 6 ] in
+  let expect = [ (1, [ 0; 1 ]); (2, [ 2; 3 ]); (3, [ 4; 5 ]) ] in
+  List.iter
+    (fun order ->
+      let s = S.make ~tam_width:6 ~slices:order in
+      let allocs = WA.allocate s in
+      List.iter
+        (fun (core, wires) ->
+          let a = List.find (fun a -> a.WA.slice.S.core = core) allocs in
+          Alcotest.(check (list int))
+            (Printf.sprintf "core %d wires" core)
+            wires
+            (List.sort compare a.WA.wires))
+        expect)
+    [ slices; List.rev slices; List.sort compare slices ]
 
 let test_is_disjoint_detects_clash () =
   let a =
@@ -88,6 +117,8 @@ let () =
             test_reuse_after_release;
           Alcotest.test_case "fork/merge" `Quick test_fork_merge_possible;
           Alcotest.test_case "capacity error" `Quick test_capacity_error;
+          Alcotest.test_case "simultaneous starts deterministic" `Quick
+            test_simultaneous_starts_deterministic;
           Alcotest.test_case "is_disjoint" `Quick
             test_is_disjoint_detects_clash;
           prop_optimizer_schedules_allocatable;
