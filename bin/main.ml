@@ -17,6 +17,9 @@ module Flow = Soctest_engine.Flow
 module Obs = Soctest_obs.Obs
 module Obs_export = Soctest_obs.Export
 module Obs_summary = Soctest_obs.Summary
+module Server = Soctest_serve.Server
+module Serve_client = Soctest_serve.Serve_client
+module Json = Soctest_obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments *)
@@ -544,8 +547,10 @@ let portfolio_cmd =
         in
         let strats =
           Soctest_portfolio.Strategy.default ?kinds:(parse_kinds strategies)
-            ~eval:(Engine.evaluator engine) prepared ~tam_width:width
-            ~constraints
+            ~eval:(Engine.evaluator engine)
+            ~pareto:
+              (Engine.pareto engine ~wmax:(Optimizer.wmax_of prepared))
+            prepared ~tam_width:width ~constraints
         in
         if strats = [] then
           failwith
@@ -816,6 +821,15 @@ let check_cmd =
       value & flag
       & info [ "power" ] ~doc:"Also audit against the default power limit.")
   in
+  let power_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "power-limit" ] ~docv:"N"
+          ~doc:
+            "Audit against an explicit power limit of $(docv) (overrides \
+             $(b,--power)'s derived default).")
+  in
   let preempt =
     Arg.(
       value & opt int (-1)
@@ -841,7 +855,7 @@ let check_cmd =
             "Allow schedules that do not cover every SOC core (skip the \
              completeness check).")
   in
-  let run soc_name file power preempt wmax partial =
+  let run soc_name file power power_limit preempt wmax partial =
     wrap (fun () ->
         let soc = load_soc soc_name in
         let sched =
@@ -854,11 +868,14 @@ let check_cmd =
           if preempt >= 0 then Flow.preemption_budget soc ~limit:preempt
           else []
         in
+        let power_limit =
+          match power_limit with
+          | Some _ as explicit -> explicit
+          | None -> if power then Some (Flow.default_power_limit soc) else None
+        in
         let constraints =
           Constraint_def.of_soc soc ~max_preemptions:max_preempts
-            ?power_limit:
-              (if power then Some (Flow.default_power_limit soc) else None)
-            ()
+            ?power_limit ()
         in
         let spec =
           Soctest_check.Audit.spec ~wmax ~require_complete:(not partial)
@@ -892,8 +909,255 @@ let check_cmd =
           constraints and tester-image totals.")
     Term.(
       ret
-        (const run $ soc_arg ~default:"d695" $ file $ power $ preempt $ wmax
-       $ partial))
+        (const run $ soc_arg ~default:"d695" $ file $ power $ power_limit
+       $ preempt $ wmax $ partial))
+
+(* ------------------------------------------------------------------ *)
+(* serve: the concurrent scheduling service *)
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port to listen on (loopback only). 0 picks an ephemeral one.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains solving admitted requests (0 = one less than \
+             the recommended domain count, at least 1).")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Maximum admitted-but-unfinished requests; beyond it the \
+             server answers 429 with Retry-After instead of queueing.")
+  in
+  let max_body =
+    Arg.(
+      value
+      & opt int (1024 * 1024)
+      & info [ "max-body" ] ~docv:"BYTES"
+          ~doc:"Request body cap; larger payloads are answered 413.")
+  in
+  let run port workers queue_depth max_body =
+    wrap (fun () ->
+        let workers = if workers <= 0 then default_workers () else workers in
+        let cfg = Server.config ~port ~workers ~queue_depth ~max_body () in
+        (* metrics-only recording: request-lifecycle counters stay live
+           without the daemon accumulating an unbounded event buffer *)
+        Obs.enable ~events:false ();
+        let server = Server.create cfg in
+        let stop _ = Server.stop server in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        (* a client hanging up mid-response must not kill the daemon *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        Printf.printf
+          "soctest serve: listening on 127.0.0.1:%d (%d workers, queue \
+           depth %d)\n\
+           endpoints: POST /v1/solve, POST /v1/check, GET /v1/metrics, GET \
+           /healthz\n\
+           %!"
+          (Server.port server) workers queue_depth;
+        Server.run server;
+        print_endline "soctest serve: queue drained, shut down cleanly")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling service: an HTTP/JSON daemon with bounded \
+          admission, per-request deadline budgets, shared solver caches \
+          and audited responses. SIGINT/SIGTERM drain and exit.")
+    Term.(ret (const run $ port $ workers $ queue_depth $ max_body))
+
+let bench_serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Load an already-running server on $(docv); 0 (the default) \
+             spawns an in-process server on an ephemeral port.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 64
+      & info [ "requests" ] ~docv:"N" ~doc:"Total solve requests to issue.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client domains.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"Attach a per-request deadline budget of $(docv).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the latency/throughput/cache report as JSON.")
+  in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+  in
+  let member_exn name path v =
+    match Json.member name v with
+    | Some x -> x
+    | None -> failwith (Printf.sprintf "bench-serve: %s missing %S" path name)
+  in
+  let run soc_name width port requests clients budget json =
+    wrap (fun () ->
+        if requests < 1 then failwith "--requests must be >= 1";
+        if clients < 1 then failwith "--clients must be >= 1";
+        let soc = load_soc soc_name in
+        let spawned =
+          if port <> 0 then None
+          else begin
+            Obs.enable ~events:false ();
+            let server =
+              Server.create
+                (Server.config ~port:0 ~workers:(default_workers ())
+                   ~queue_depth:(max 64 (2 * requests)) ())
+            in
+            Some (server, Domain.spawn (fun () -> Server.run server))
+          end
+        in
+        let port =
+          match spawned with Some (s, _) -> Server.port s | None -> port
+        in
+        let body =
+          let fields =
+            [
+              ("soc_text", Json.String (Soctest_soc.Soc_writer.to_string soc));
+              ("width", Json.Int width);
+            ]
+            @
+            match budget with
+            | None -> []
+            | Some ms -> [ ("budget_ms", Json.Float ms) ]
+          in
+          Json.to_string (Json.Obj fields)
+        in
+        let eval_stats () =
+          let m = Serve_client.json_body (Serve_client.get ~port "/v1/metrics") in
+          let eval = member_exn "eval" "engine" (member_exn "engine" "metrics" m) in
+          match
+            (member_exn "hits" "eval" eval, member_exn "misses" "eval" eval)
+          with
+          | Json.Int h, Json.Int miss -> (h, miss)
+          | _ -> failwith "bench-serve: malformed /v1/metrics"
+        in
+        let hits0, misses0 = eval_stats () in
+        let started = Unix.gettimeofday () in
+        let outcomes =
+          Soctest_portfolio.Pool.with_pool ~jobs:clients (fun pool ->
+              Soctest_portfolio.Pool.run_all pool
+                (List.init requests (fun _ () ->
+                     let t0 = Unix.gettimeofday () in
+                     let r = Serve_client.post ~port ~body "/v1/solve" in
+                     (r.Serve_client.status,
+                      (Unix.gettimeofday () -. t0) *. 1000.))))
+        in
+        let wall_ms = (Unix.gettimeofday () -. started) *. 1000. in
+        let hits1, misses1 = eval_stats () in
+        let results =
+          List.map
+            (fun (o : _ Soctest_portfolio.Pool.outcome) ->
+              match o.Soctest_portfolio.Pool.value with
+              | Ok r -> r
+              | Error we -> Soctest_portfolio.Pool.raise_error we)
+            outcomes
+        in
+        let ok = List.filter (fun (status, _) -> status = 200) results in
+        let latencies =
+          Array.of_list (List.map snd ok)
+        in
+        Array.sort compare latencies;
+        let p50 = percentile latencies 0.50
+        and p90 = percentile latencies 0.90
+        and p99 = percentile latencies 0.99
+        and worst = percentile latencies 1.0 in
+        let hits = hits1 - hits0 and misses = misses1 - misses0 in
+        let hit_ratio =
+          if hits + misses = 0 then 0.
+          else float_of_int hits /. float_of_int (hits + misses)
+        in
+        let throughput = float_of_int requests /. (wall_ms /. 1000.) in
+        Printf.printf
+          "bench-serve: %d requests (%d ok) over %d clients against %s \
+           W=%d on port %d\n"
+          requests (List.length ok) clients soc.Soc_def.name width port;
+        Printf.printf
+          "latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n" p50 p90
+          p99 worst;
+        Printf.printf "throughput: %.1f req/s (wall %.0f ms)\n" throughput
+          wall_ms;
+        Printf.printf "engine eval cache: %d hits / %d misses (%.0f%% hit)\n"
+          hits misses (100. *. hit_ratio);
+        (match json with
+        | None -> ()
+        | Some path ->
+          write_string_to_file path
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("soc", Json.String soc.Soc_def.name);
+                    ("width", Json.Int width);
+                    ("requests", Json.Int requests);
+                    ("ok", Json.Int (List.length ok));
+                    ("clients", Json.Int clients);
+                    ("wall_ms", Json.Float wall_ms);
+                    ("throughput_rps", Json.Float throughput);
+                    ( "latency_ms",
+                      Json.Obj
+                        [
+                          ("p50", Json.Float p50);
+                          ("p90", Json.Float p90);
+                          ("p99", Json.Float p99);
+                          ("max", Json.Float worst);
+                        ] );
+                    ( "eval_cache",
+                      Json.Obj
+                        [
+                          ("hits", Json.Int hits);
+                          ("misses", Json.Int misses);
+                          ("hit_ratio", Json.Float hit_ratio);
+                        ] );
+                  ]));
+          Printf.printf "(json written to %s)\n" path);
+        match spawned with
+        | None -> ()
+        | Some (server, d) ->
+          Server.stop server;
+          Domain.join d)
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Load-generate against the scheduling service and report latency \
+          percentiles, throughput and the engine cache hit ratio \
+          (spawning an in-process server unless $(b,--port) points at a \
+          running one).")
+    Term.(
+      ret
+        (const run $ soc_arg ~default:"d695" $ width_arg ~default:32 $ port
+       $ requests $ clients $ budget $ json))
 
 let main_cmd =
   let doc =
@@ -906,6 +1170,7 @@ let main_cmd =
       table1_cmd; table2_cmd; fig1_cmd; fig2_cmd; fig9_cmd; ablate_cmd;
       all_cmd; soc_info_cmd; schedule_cmd; export_cmd; extras_cmd; verilog_cmd;
       validate_cmd; check_cmd; stil_cmd; sweep_cmd; portfolio_cmd;
+      serve_cmd; bench_serve_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -14,11 +14,17 @@ type spec = {
   wmax : int;
   expect_tam_width : int option;
   require_complete : bool;
+  pareto : Core_def.t -> Pareto.t;
 }
 
-let spec ?(wmax = 64) ?expect_tam_width ?(require_complete = true)
+let spec ?(wmax = 64) ?expect_tam_width ?(require_complete = true) ?pareto
     constraints =
-  { constraints; wmax; expect_tam_width; require_complete }
+  let pareto =
+    match pareto with
+    | Some lookup -> lookup
+    | None -> fun core -> Pareto.compute core ~wmax
+  in
+  { constraints; wmax; expect_tam_width; require_complete; pareto }
 
 type check =
   | Wire_occupancy
@@ -315,7 +321,7 @@ let run soc spec sched =
       | [] -> ()
       | [ width ] ->
         let core = Soc_def.core soc c in
-        let p = Pareto.compute core ~wmax:spec.wmax in
+        let p = spec.pareto core in
         ran acc Pareto_width;
         let effective = Pareto.effective_width p ~width in
         if effective <> width then

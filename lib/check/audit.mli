@@ -41,17 +41,25 @@ type spec = {
       (** when set, the schedule's [tam_width] must equal it *)
   require_complete : bool;
       (** when set, every SOC core must appear in the schedule *)
+  pareto : Soctest_soc.Core_def.t -> Soctest_wrapper.Pareto.t;
+      (** staircase provider for the Pareto-effectiveness and
+          time-accounting checks; must be equivalent to
+          [Pareto.compute core ~wmax] (the default) — pass a
+          cache-backed lookup ({!Soctest_engine.Engine.pareto}) so
+          repeated audits stop recomputing staircases *)
 }
 
 val spec :
   ?wmax:int ->
   ?expect_tam_width:int ->
   ?require_complete:bool ->
+  ?pareto:(Soctest_soc.Core_def.t -> Soctest_wrapper.Pareto.t) ->
   Soctest_constraints.Constraint_def.t ->
   spec
 (** [wmax] defaults to 64 (the paper's cap — match the [wmax] the solver
     prepared with, or Pareto-effectiveness checks will misfire);
-    [require_complete] defaults to [true]. *)
+    [require_complete] defaults to [true]; [pareto] to
+    [Soctest_wrapper.Pareto.compute ~wmax] (uncached). *)
 
 type check =
   | Wire_occupancy

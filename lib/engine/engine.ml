@@ -72,17 +72,21 @@ let memoized memo digest v =
 let soc_digest_of t soc = memoized t.soc_memo soc_digest soc
 let constraints_digest_of t c = memoized t.constraints_memo constraints_digest c
 
+let pareto t ~wmax core =
+  fst
+    (Cache.find_or_compute t.pareto_cache (core_digest core, wmax) (fun () ->
+         Pareto.compute core ~wmax))
+
 let prepare_with_outcome t ~wmax soc =
   let key = (soc_digest_of t soc, wmax) in
   Cache.find_or_compute t.prepare_cache key (fun () ->
-      Optimizer.prepare_via
-        (fun core ~wmax ->
-          fst
-            (Cache.find_or_compute t.pareto_cache (core_digest core, wmax)
-               (fun () -> Pareto.compute core ~wmax)))
-        ~wmax soc)
+      Optimizer.prepare_via (fun core ~wmax -> pareto t ~wmax core) ~wmax soc)
 
 let prepare t ?(wmax = 64) soc = fst (prepare_with_outcome t ~wmax soc)
+
+let audit_spec t ?expect_tam_width ?require_complete ~wmax constraints =
+  Soctest_check.Audit.spec ~wmax ?expect_tam_width ?require_complete
+    ~pareto:(pareto t ~wmax) constraints
 
 let eval_key t ?(overrides = []) prepared (req : Optimizer.request) =
   Printf.sprintf "%s|pw=%d|W=%d|%s|c=%s|o=%s"
@@ -223,8 +227,7 @@ let solve t (r : request) =
         (Printf.sprintf "engine.solve %s W=%d" r.soc.Soc_def.name
            r.tam_width)
       r.soc
-      (Soctest_check.Audit.spec ~wmax:r.wmax ~expect_tam_width:r.tam_width
-         r.constraints)
+      (audit_spec t ~wmax:r.wmax ~expect_tam_width:r.tam_width r.constraints)
       b.Optimizer.schedule
   | None -> ());
   let status =

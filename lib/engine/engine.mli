@@ -130,6 +130,25 @@ val prepare : t -> ?wmax:int -> Soctest_soc.Soc_def.t -> Optimizer.prepared
 (** {!Optimizer.prepare} through the Pareto cache (and an analysis
     cache, so re-preparing the same SOC at the same [wmax] is free). *)
 
+val pareto : t -> wmax:int -> Soctest_soc.Core_def.t -> Soctest_wrapper.Pareto.t
+(** One core's staircase through the engine's Pareto cache — identical
+    to [Pareto.compute core ~wmax], shared with every solve/prepare that
+    touched the same core. Pass as the [?pareto] of
+    {!Soctest_check.Audit.spec} (or use {!audit_spec}) so repeated
+    audits stop recomputing staircases. *)
+
+val audit_spec :
+  t ->
+  ?expect_tam_width:int ->
+  ?require_complete:bool ->
+  wmax:int ->
+  Soctest_constraints.Constraint_def.t ->
+  Soctest_check.Audit.spec
+(** An {!Soctest_check.Audit.spec} whose staircase lookups go through
+    this engine's Pareto cache. [Engine.solve]'s own [SOCTEST_AUDIT]
+    post-condition and the serve daemon's per-response audits use
+    this. *)
+
 val evaluator : t -> Optimizer.evaluator
 (** A caching drop-in for {!Optimizer.run_request}: pass it as the
     [?eval] of {!Soctest_core.Anneal.search},

@@ -58,6 +58,10 @@ let to_string v =
   emit v;
   Buffer.contents buf
 
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Strict recursive-descent well-formedness checker. Recognizes exactly
    RFC 8259 value syntax; reports the byte offset of the first error. *)
@@ -206,6 +210,232 @@ let check s =
     if !pos <> n then fail "trailing garbage"
   with
   | () -> Ok ()
+  | exception Bad (at, msg) ->
+    Error (Printf.sprintf "invalid JSON at byte %d: %s" at msg)
+
+(* The parser shares the checker's grammar (and error wording) but
+   builds the value as it goes. Kept separate so [check] stays an
+   allocation-free validator for large exporter outputs. *)
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then pos := !pos + l
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' ->
+            advance ();
+            Buffer.add_char buf '"';
+            loop ()
+          | Some '\\' ->
+            advance ();
+            Buffer.add_char buf '\\';
+            loop ()
+          | Some '/' ->
+            advance ();
+            Buffer.add_char buf '/';
+            loop ()
+          | Some 'b' ->
+            advance ();
+            Buffer.add_char buf '\b';
+            loop ()
+          | Some 'f' ->
+            advance ();
+            Buffer.add_char buf '\012';
+            loop ()
+          | Some 'n' ->
+            advance ();
+            Buffer.add_char buf '\n';
+            loop ()
+          | Some 'r' ->
+            advance ();
+            Buffer.add_char buf '\r';
+            loop ()
+          | Some 't' ->
+            advance ();
+            Buffer.add_char buf '\t';
+            loop ()
+          | Some 'u' ->
+            advance ();
+            let code = ref 0 in
+            for _ = 1 to 4 do
+              (match peek () with
+              | Some ('0' .. '9' as c) ->
+                code := (!code * 16) + (Char.code c - Char.code '0')
+              | Some ('a' .. 'f' as c) ->
+                code := (!code * 16) + (Char.code c - Char.code 'a' + 10)
+              | Some ('A' .. 'F' as c) ->
+                code := (!code * 16) + (Char.code c - Char.code 'A' + 10)
+              | _ -> fail "bad \\u escape");
+              advance ()
+            done;
+            (* UTF-8 encode the code point (surrogates pass through as
+               replacement-free 3-byte sequences; exporters never emit
+               them and round-tripping is not required to pair them) *)
+            let c = !code in
+            if c < 0x80 then Buffer.add_char buf (Char.chr c)
+            else if c < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+            end;
+            loop ()
+          | _ -> fail "bad escape")
+        | c when Char.code c < 0x20 -> fail "raw control char in string"
+        | c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let saw = ref false in
+      while
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          true
+        | _ -> false
+      do
+        advance ()
+      done;
+      if not !saw then fail "expected digit"
+    in
+    (match peek () with
+    | Some '0' -> (
+      advance ();
+      match peek () with
+      | Some '0' .. '9' -> fail "leading zero in number"
+      | _ -> ())
+    | _ -> digits ());
+    let fractional = ref false in
+    (match peek () with
+    | Some '.' ->
+      fractional := true;
+      advance ();
+      digits ()
+    | _ -> ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+      fractional := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !fractional then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "expected a value"
+    | Some '"' -> String (string_lit ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws ();
+          let key = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else
+        let rec items acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+    | Some 't' ->
+      literal "true";
+      Bool true
+    | Some 'f' ->
+      literal "false";
+      Bool false
+    | Some 'n' ->
+      literal "null";
+      Null
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
   | exception Bad (at, msg) ->
     Error (Printf.sprintf "invalid JSON at byte %d: %s" at msg)
 

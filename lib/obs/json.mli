@@ -19,6 +19,18 @@ val to_string : t -> string
 val escape : string -> string
 (** [escape s] is [s] as a quoted JSON string literal. *)
 
+val parse : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed, nothing
+    else after it) into a value. Numbers without a fraction or exponent
+    that fit [int] parse as [Int], everything else as [Float]. Duplicate
+    object keys are kept in order (first one wins for {!member}).
+    [Error msg] carries the byte offset of the first problem — the same
+    diagnostics as {!check}. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None] on
+    a missing key or a non-object. *)
+
 val check : string -> (unit, string) result
 (** Strict well-formedness check of one JSON document (surrounding
     whitespace allowed, nothing else after it). [Error msg] carries the

@@ -8,6 +8,13 @@
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 
+(* Long-running processes (the serve daemon) record metrics forever but
+   must not accumulate an unbounded event list: [enable ~events:false]
+   keeps counters/gauges/histograms live while spans and instants stay
+   no-ops. *)
+let events_flag = Atomic.make true
+let events_on () = Atomic.get enabled_flag && Atomic.get events_flag
+
 let now_us () = Unix.gettimeofday () *. 1e6
 
 (* Trace epoch: timestamps are relative so traces start near zero. *)
@@ -75,7 +82,7 @@ let stack_key : frame list ref Domain.DLS.key =
 let domain_id () = (Domain.self () :> int)
 
 let with_span ?(cat = "span") ?(args = []) name f =
-  if not (enabled ()) then f ()
+  if not (events_on ()) then f ()
   else begin
     let stack = Domain.DLS.get stack_key in
     (* [Gc.minor_words] reads the allocation pointer, so it is exact;
@@ -117,7 +124,7 @@ let with_span ?(cat = "span") ?(args = []) name f =
   end
 
 let instant ?(cat = "event") ?(args = []) name =
-  if enabled () then
+  if events_on () then
     record
       (Instant
          { name; cat; domain = domain_id (); ts_us = since_epoch_us (); args })
@@ -227,9 +234,10 @@ let reset () =
     histograms;
   Mutex.unlock registry_lock
 
-let enable () =
+let enable ?(events = true) () =
   reset ();
   Atomic.set epoch (now_us ());
+  Atomic.set events_flag events;
   Atomic.set enabled_flag true
 
 let disable () = Atomic.set enabled_flag false

@@ -30,9 +30,12 @@
 val enabled : unit -> bool
 (** One relaxed [Atomic.get]; the branch every entry point takes. *)
 
-val enable : unit -> unit
+val enable : ?events:bool -> unit -> unit
 (** Clear previously recorded events and metric values, set the trace
-    epoch to now, and start recording. *)
+    epoch to now, and start recording. [events:false] records metrics
+    only: spans and instants stay no-ops, so a long-running process (the
+    serve daemon) can keep counters live without accumulating an
+    unbounded event buffer. Default [true]. *)
 
 val disable : unit -> unit
 (** Stop recording. Recorded events and metric values stay readable. *)

@@ -65,6 +65,24 @@ let raise_error we =
 
 type 'a outcome = { value : ('a, worker_error) result; elapsed_ms : float }
 
+let submit pool task =
+  Mutex.lock pool.lock;
+  if pool.stop then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  let enqueued = now_ms () in
+  Queue.push
+    (fun () ->
+      Obs.incr tasks_counter;
+      Obs.observe queue_wait_hist (Float.max 0. (now_ms () -. enqueued));
+      (* fire-and-forget: the task owns its error handling; an escaped
+         exception must not kill the worker domain *)
+      try task () with _ -> ())
+    pool.queue;
+  Condition.signal pool.work_available;
+  Mutex.unlock pool.lock
+
 let run_all pool thunks =
   let n = List.length thunks in
   let results = Array.make n None in

@@ -41,6 +41,15 @@ type 'a outcome = {
   elapsed_ms : float;  (** task wall-clock time, milliseconds (>= 0) *)
 }
 
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget streaming entry point (the serve daemon's worker
+    layer): enqueue one task and return immediately. The task is
+    responsible for delivering its own result/error (e.g. writing an
+    HTTP response); an exception escaping it is swallowed so it can
+    never kill a worker domain. Safe to call from any domain,
+    concurrently with {!run_all} batches.
+    @raise Invalid_argument if the pool has been shut down. *)
+
 val run_all : t -> (unit -> 'a) list -> 'a outcome list
 (** Enqueue every thunk, wait for all of them, and return their outcomes
     in submission order (an empty list returns immediately). Exceptions

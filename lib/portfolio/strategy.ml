@@ -188,12 +188,12 @@ let exact ?(max_cores = 6) ?(node_limit = 2_000_000) prepared ~tam_width
    it can become the incumbent. A violation surfaces as [Audit.Failed]
    with the strategy's name, which the portfolio reports as a failed
    strategy instead of crashing the domain. *)
-let audited prepared ~tam_width ~constraints (s : t) =
+let audited ?pareto prepared ~tam_width ~constraints (s : t) =
   if not (Audit.enabled ()) then s
   else
     let spec =
       Audit.spec ~wmax:(O.wmax_of prepared) ~expect_tam_width:tam_width
-        constraints
+        ?pareto constraints
     in
     let soc = O.soc_of prepared in
     {
@@ -208,7 +208,7 @@ let audited prepared ~tam_width ~constraints (s : t) =
     }
 
 let default ?(kinds = all_kinds) ?restarts ?anneal_iterations
-    ?exact_max_cores ?budget ?eval prepared ~tam_width ~constraints =
+    ?exact_max_cores ?budget ?eval ?pareto prepared ~tam_width ~constraints =
   let has k = List.mem k kinds in
   List.concat
     [
@@ -226,4 +226,4 @@ let default ?(kinds = all_kinds) ?restarts ?anneal_iterations
          exact ?max_cores:exact_max_cores prepared ~tam_width ~constraints
        else []);
     ]
-  |> List.map (audited prepared ~tam_width ~constraints)
+  |> List.map (audited ?pareto prepared ~tam_width ~constraints)

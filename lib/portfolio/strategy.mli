@@ -106,6 +106,7 @@ val exact :
     defaults to the solver's 2 million. Constraint-revalidated. *)
 
 val audited :
+  ?pareto:(Soctest_soc.Core_def.t -> Soctest_wrapper.Pareto.t) ->
   Soctest_core.Optimizer.prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
@@ -117,8 +118,9 @@ val audited :
     re-audited from first principles before it can enter the race, and a
     violation raises {!Soctest_check.Audit.Failed} carrying the
     strategy's name. A no-op (the strategy is returned unchanged) when
-    auditing is disabled. {!default} applies this to every strategy it
-    builds. *)
+    auditing is disabled. [pareto] substitutes a cache-backed staircase
+    lookup ({!Soctest_engine.Engine.pareto}) for the per-audit
+    recompute. {!default} applies this to every strategy it builds. *)
 
 val default :
   ?kinds:kind list ->
@@ -127,6 +129,7 @@ val default :
   ?exact_max_cores:int ->
   ?budget:Soctest_core.Budget.t ->
   ?eval:Soctest_core.Optimizer.evaluator ->
+  ?pareto:(Soctest_soc.Core_def.t -> Soctest_wrapper.Pareto.t) ->
   Soctest_core.Optimizer.prepared ->
   tam_width:int ->
   constraints:Soctest_constraints.Constraint_def.t ->
@@ -134,4 +137,5 @@ val default :
 (** The full portfolio in registration order — grid, anneal restarts,
     polish, baselines, exact — optionally restricted to [kinds].
     [budget]/[eval] reach the optimizer-backed strategies (grid, anneal,
-    polish); baselines and exact ignore them. *)
+    polish); baselines and exact ignore them. [pareto] feeds the
+    {!audited} wrapper's staircase lookups (see there). *)

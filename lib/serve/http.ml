@@ -1,0 +1,170 @@
+type request = {
+  meth : string;
+  target : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error =
+  | Bad_request of string
+  | Payload_too_large of { limit : int }
+  | Timeout
+  | Closed
+
+let max_header_bytes = 16 * 1024
+let default_max_body = 1024 * 1024
+
+exception Fail of error
+
+(* A read that maps peer misbehaviour to typed errors. [recv] on a
+   socket with SO_RCVTIMEO armed fails with EAGAIN/EWOULDBLOCK on
+   expiry. *)
+let read_some fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> raise (Fail Closed)
+  | n -> n
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+    raise (Fail Timeout)
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+    raise (Fail Closed)
+  | exception Unix.Unix_error (EINTR, _, _) -> 0
+
+let split_header_line line =
+  match String.index_opt line ':' with
+  | None -> raise (Fail (Bad_request ("malformed header line: " ^ line)))
+  | Some i ->
+    let name = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+    let value =
+      String.trim (String.sub line (i + 1) (String.length line - i - 1))
+    in
+    if name = "" then raise (Fail (Bad_request "empty header name"));
+    (name, value)
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] when meth <> "" && target <> "" ->
+    if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+      raise (Fail (Bad_request ("unsupported version: " ^ version)));
+    (String.uppercase_ascii meth, target, version)
+  | _ -> raise (Fail (Bad_request ("malformed request line: " ^ line)))
+
+(* Split the header section (request line + headers) at its CRLF (or
+   bare-LF) line breaks. *)
+let header_lines section =
+  String.split_on_char '\n' section
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+  |> List.filter (fun l -> l <> "")
+
+let find_header_end s =
+  (* index just past the first blank line, scanning for \n\r\n or \n\n *)
+  let n = String.length s in
+  let rec scan i =
+    if i >= n then None
+    else if s.[i] = '\n' then
+      if i + 1 < n && s.[i + 1] = '\n' then Some (i + 2)
+      else if i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n' then
+        Some (i + 3)
+      else scan (i + 1)
+    else scan (i + 1)
+  in
+  scan 0
+
+let read_request ?(max_body = default_max_body) fd =
+  let buf = Bytes.create 8192 in
+  let acc = Buffer.create 1024 in
+  try
+    (* 1. accumulate until the blank line ending the header section *)
+    let rec fill () =
+      match find_header_end (Buffer.contents acc) with
+      | Some split -> split
+      | None ->
+        if Buffer.length acc > max_header_bytes then
+          raise (Fail (Bad_request "header section too large"));
+        let n = read_some fd buf in
+        Buffer.add_subbytes acc buf 0 n;
+        fill ()
+    in
+    let split = fill () in
+    let all = Buffer.contents acc in
+    let section = String.sub all 0 split in
+    let rest = String.sub all split (String.length all - split) in
+    let meth, target, version, headers =
+      match header_lines section with
+      | [] -> raise (Fail (Bad_request "empty request"))
+      | first :: header_rows ->
+        let meth, target, version = parse_request_line first in
+        (meth, target, version, List.map split_header_line header_rows)
+    in
+    (* 2. body: exactly Content-Length bytes (0 when absent) *)
+    let content_length =
+      match List.assoc_opt "content-length" headers with
+      | None -> 0
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 0 -> n
+        | _ -> raise (Fail (Bad_request ("bad content-length: " ^ v))))
+    in
+    if content_length > max_body then
+      raise (Fail (Payload_too_large { limit = max_body }));
+    if List.mem_assoc "transfer-encoding" headers then
+      raise (Fail (Bad_request "chunked transfer encoding not supported"));
+    let body = Buffer.create (min content_length 65536) in
+    Buffer.add_string body rest;
+    while Buffer.length body < content_length do
+      let n = read_some fd buf in
+      Buffer.add_subbytes body buf 0 n
+    done;
+    let body =
+      let b = Buffer.contents body in
+      if String.length b > content_length then String.sub b 0 content_length
+      else b
+    in
+    Ok { meth; target; version; headers; body }
+  with Fail e -> Error e
+
+let header req name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let status_reason = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | c when c >= 200 && c < 300 -> "OK"
+  | c when c >= 400 && c < 500 -> "Client Error"
+  | _ -> "Server Error"
+
+let response_string ?(headers = []) ~status body =
+  let buf = Buffer.create (256 + String.length body) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_reason status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string buf "Connection: close\r\n\r\n";
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let write_response ?headers fd ~status body =
+  let s = response_string ?headers ~status body in
+  let n = String.length s in
+  let rec push off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> push (off + written)
+      | exception Unix.Unix_error (EINTR, _, _) -> push off
+  in
+  try push 0
+  with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ()

@@ -1,0 +1,74 @@
+(** Minimal HTTP/1.1 codec over [Unix] file descriptors — just enough
+    protocol for the scheduling service: one request per connection
+    (the server always answers [Connection: close]), methods GET/POST,
+    [Content-Length] bodies, no chunked transfer, no keep-alive, no
+    TLS. Pure stdlib; the framing is deliberately small so it can be
+    audited like the rest of the stack.
+
+    Reading is defensive: header section and body sizes are bounded,
+    socket timeouts surface as {!Timeout} (arm them with
+    [Unix.setsockopt_float fd SO_RCVTIMEO]), and a peer that closes
+    mid-request yields {!Closed} — the server never blocks forever on a
+    slow or dead client. *)
+
+type request = {
+  meth : string;  (** uppercased, e.g. ["POST"] *)
+  target : string;  (** origin-form request target, e.g. ["/v1/solve"] *)
+  version : string;  (** ["HTTP/1.1"] (or 1.0) *)
+  headers : (string * string) list;
+      (** names lowercased, values trimmed, in arrival order *)
+  body : string;
+}
+
+type error =
+  | Bad_request of string  (** malformed framing; answer 400 *)
+  | Payload_too_large of { limit : int }  (** body over limit; answer 413 *)
+  | Timeout  (** socket read timed out; answer 408 *)
+  | Closed  (** peer vanished before a full request; no answer possible *)
+
+val max_header_bytes : int
+(** Fixed 16 KiB cap on the request line + headers. *)
+
+val default_max_body : int
+(** 1 MiB — the [?max_body] default here and the server's default cap. *)
+
+val read_request :
+  ?max_body:int -> Unix.file_descr -> (request, error) result
+(** Read and parse one request from the socket. The header section is
+    capped at 16 KiB, the body at [max_body] (default 1 MiB). Never
+    raises on peer behaviour (resets and timeouts come back as
+    {!error}); [Unix_error]s that are not peer-related (e.g. [EBADF])
+    do propagate. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (first match). *)
+
+(** {1 Parsing helpers shared with {!Serve_client}} *)
+
+val find_header_end : string -> int option
+(** Index just past the blank line terminating a header section
+    ([\r\n\r\n] or bare [\n\n]), if present. *)
+
+val header_lines : string -> string list
+(** Split a header section at its (CR)LF line breaks, dropping the
+    trailing [\r] of each line and empty lines. *)
+
+val status_reason : int -> string
+(** Canonical reason phrase, e.g. [429 -> "Too Many Requests"]. *)
+
+val response_string :
+  ?headers:(string * string) list -> status:int -> string -> string
+(** [response_string ~status body] serializes a full response: status
+    line, [Content-Length], [Connection: close], extra [headers], blank
+    line, body. JSON bodies should add
+    [("Content-Type", "application/json")]. *)
+
+val write_response :
+  ?headers:(string * string) list ->
+  Unix.file_descr ->
+  status:int ->
+  string ->
+  unit
+(** Write {!response_string} to the socket. A peer that already hung up
+    ([EPIPE], [ECONNRESET]) is ignored — the response is best-effort by
+    then. *)

@@ -1,0 +1,78 @@
+(** The JSON wire protocol of the scheduling service: request decoding
+    (with full validation up front, so the accept loop can answer 400
+    before a job is ever admitted) and response rendering. Built on
+    {!Soctest_obs.Json} — no external JSON dependency.
+
+    A [/v1/solve] body looks like
+
+    {v
+    { "soc": "d695",            // benchmark name, or "soc_text": "Soc ..."
+      "width": 32,              // required TAM width W
+      "problem": "p2",          // p1 | p2 (default) | p3
+      "strategy": "point",      // point (default) | grid
+      "budget_ms": 500,         // optional per-request deadline
+      "power_limit": 100,       // optional power cap (p2/p3)
+      "preempt": 2,             // optional preemption budget (p2/p3)
+      "wmax": 64,               // per-core width cap (default 64)
+      "max_width": 24,          // p3 only: sweep 1..max_width (default W)
+      "stall_ms": 0 }           // hold a worker (admission tests, load gen)
+    v}
+
+    [p1] ignores the constraint knobs (the empty constraint set); [p3]
+    sweeps widths [1..max_width] and returns the (width, time, volume)
+    points instead of one schedule. *)
+
+module Json = Soctest_obs.Json
+
+type problem = P1 | P2 | P3
+type strategy = Point | Grid
+
+type solve_request = {
+  soc : Soctest_soc.Soc_def.t;
+  soc_source : string;  (** benchmark name or ["inline"] — for responses *)
+  tam_width : int;
+  problem : problem;
+  strategy : strategy;
+  budget_ms : float option;
+  power_limit : int option;
+  preempt : int option;
+  wmax : int;
+  max_width : int option;  (** P3 sweep bound; defaults to [tam_width] *)
+  stall_ms : int;
+}
+
+type check_request = {
+  soc : Soctest_soc.Soc_def.t;
+  soc_source : string;
+  schedule : Soctest_tam.Schedule.t;
+  power_limit : int option;
+  preempt : int option;
+  wmax : int;
+  partial : bool;  (** waive the completeness check *)
+}
+
+val solve_request_of_body : string -> (solve_request, string) result
+(** Decode and validate a [/v1/solve] body: JSON shape, benchmark-name
+    lookup or inline [.soc] parse, and range checks. The error string is
+    ready for a 400 response. *)
+
+val check_request_of_body : string -> (check_request, string) result
+(** Decode a [/v1/check] body: [{"soc": ... | "soc_text": ...,
+    "schedule_text": "Schedule ...", "power_limit"?, "preempt"?,
+    "wmax"?, "partial"?}]. Schedule parse errors come back as [Error]
+    (the service answers 400, never 500, on malformed input). *)
+
+(** {1 Response rendering} *)
+
+val json_of_report : Soctest_check.Audit.report -> Json.t
+(** The audit verdict attached to every solve response: [clean],
+    [checks_run], [violations] (with stable kebab-case check names). *)
+
+val json_of_outcome :
+  soc:Soctest_soc.Soc_def.t -> Soctest_engine.Engine.outcome -> Json.t
+(** Engine status, testing time, per-core widths/preemptions, the
+    schedule in {!Soctest_tam.Schedule_io} text form, and cache
+    statistics for this solve. *)
+
+val error_body : ?detail:Json.t -> string -> string
+(** [{"error": msg, ...detail}] rendered compactly. *)

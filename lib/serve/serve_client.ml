@@ -1,0 +1,116 @@
+module Json = Soctest_obs.Json
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let read_all fd =
+  let buf = Bytes.create 8192 in
+  let acc = Buffer.create 4096 in
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> Buffer.contents acc
+    | n ->
+      Buffer.add_subbytes acc buf 0 n;
+      go ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      fail "Serve_client: timed out reading response"
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+      Buffer.contents acc
+  in
+  go ()
+
+let parse_response raw =
+  match Http.find_header_end raw with
+  | None -> fail "Serve_client: truncated response (no header terminator)"
+  | Some split ->
+    let section = String.sub raw 0 split in
+    let body = String.sub raw split (String.length raw - split) in
+    (match Http.header_lines section with
+    | [] -> fail "Serve_client: empty response"
+    | status_line :: header_rows ->
+      let status =
+        match String.split_on_char ' ' status_line with
+        | version :: code :: _
+          when String.length version >= 5
+               && String.sub version 0 5 = "HTTP/" -> (
+          match int_of_string_opt code with
+          | Some c -> c
+          | None -> fail "Serve_client: bad status code %S" code)
+        | _ -> fail "Serve_client: bad status line %S" status_line
+      in
+      let split_header line =
+        match String.index_opt line ':' with
+        | None -> fail "Serve_client: malformed header %S" line
+        | Some i ->
+          ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+            String.trim
+              (String.sub line (i + 1) (String.length line - i - 1)) )
+      in
+      let headers = List.map split_header header_rows in
+      (* trust Content-Length when present; EOF delimits otherwise *)
+      let body =
+        match List.assoc_opt "content-length" headers with
+        | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | Some n when n >= 0 && n <= String.length body ->
+            String.sub body 0 n
+          | _ -> body)
+        | None -> body
+      in
+      { status; headers; body })
+
+let request ~port ?(host = "127.0.0.1") ?meth ?body ?(timeout_ms = 30_000.)
+    path =
+  let meth =
+    match (meth, body) with
+    | Some m, _ -> String.uppercase_ascii m
+    | None, Some _ -> "POST"
+    | None, None -> "GET"
+  in
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> fail "Serve_client: bad host %S" host
+  in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt_float fd SO_RCVTIMEO (timeout_ms /. 1000.);
+      Unix.setsockopt_float fd SO_SNDTIMEO (timeout_ms /. 1000.);
+      (try Unix.connect fd (ADDR_INET (addr, port))
+       with Unix.Unix_error (e, _, _) ->
+         fail "Serve_client: connect to %s:%d failed: %s" host port
+           (Unix.error_message e));
+      let payload = Option.value body ~default:"" in
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Type: \
+           application/json\r\nContent-Length: %d\r\nConnection: \
+           close\r\n\r\n%s"
+          meth path host port (String.length payload) payload
+      in
+      let n = String.length req in
+      let rec push off =
+        if off < n then
+          match Unix.write_substring fd req off (n - off) with
+          | written -> push (off + written)
+          | exception Unix.Unix_error (EINTR, _, _) -> push off
+      in
+      (try push 0
+       with Unix.Unix_error (e, _, _) ->
+         fail "Serve_client: write failed: %s" (Unix.error_message e));
+      parse_response (read_all fd))
+
+let get ~port path = request ~port path
+let post ~port ~body path = request ~port ~body path
+
+let json_body r =
+  match Json.parse r.body with
+  | Ok v -> v
+  | Error msg -> fail "Serve_client: response is not JSON: %s" msg

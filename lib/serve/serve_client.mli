@@ -1,0 +1,33 @@
+(** Minimal blocking HTTP client for the scheduling service — what the
+    [soctest bench-serve] load generator, the serve smoke test and the
+    unit tests speak. Connects to loopback, writes one request, reads to
+    EOF (the server always closes), parses the response. Not a general
+    HTTP client: no redirects, no keep-alive, no TLS. *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+val request :
+  port:int ->
+  ?host:string ->
+  ?meth:string ->
+  ?body:string ->
+  ?timeout_ms:float ->
+  string ->
+  response
+(** [request ~port path] performs [meth] (default [GET], [POST] when
+    [body] is given) against [host] (default 127.0.0.1). [timeout_ms]
+    (default 30 s) arms both [SO_RCVTIMEO] and [SO_SNDTIMEO].
+    @raise Failure on connection refusal, timeout or a malformed
+    response — callers are tests and benchmarks, which want to die
+    loudly. *)
+
+val get : port:int -> string -> response
+val post : port:int -> body:string -> string -> response
+
+val json_body : response -> Soctest_obs.Json.t
+(** Parse the response body as JSON.
+    @raise Failure when it is not valid JSON. *)

@@ -1,0 +1,424 @@
+module Engine = Soctest_engine.Engine
+module Flow = Soctest_engine.Flow
+module Budget = Soctest_core.Budget
+module Optimizer = Soctest_core.Optimizer
+module Constraint_def = Soctest_constraints.Constraint_def
+module Soc_def = Soctest_soc.Soc_def
+module Audit = Soctest_check.Audit
+module Pool = Soctest_portfolio.Pool
+module Obs = Soctest_obs.Obs
+module Json = Soctest_obs.Json
+
+type config = {
+  port : int;
+  workers : int;
+  queue_depth : int;
+  max_body : int;
+  read_timeout_ms : float;
+}
+
+let config ?(port = 8080)
+    ?(workers = max 1 (Domain.recommended_domain_count () - 1))
+    ?(queue_depth = 64) ?(max_body = Http.default_max_body)
+    ?(read_timeout_ms = 10_000.) () =
+  if port < 0 then invalid_arg "Server.config: negative port";
+  if workers < 1 then invalid_arg "Server.config: workers must be >= 1";
+  if queue_depth < 1 then
+    invalid_arg "Server.config: queue_depth must be >= 1";
+  if max_body < 1 then invalid_arg "Server.config: max_body must be >= 1";
+  if read_timeout_ms < 0. then
+    invalid_arg "Server.config: negative read_timeout_ms";
+  { port; workers; queue_depth; max_body; read_timeout_ms }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  engine_ : Engine.t;
+  pool : Pool.t;
+  inflight : int Atomic.t;  (* admitted (queued or running) jobs *)
+  stopping : bool Atomic.t;
+  started_at : float;
+}
+
+(* Request-lifecycle metrics; live only while Obs recording is on
+   ([soctest serve] enables metrics-only mode at startup). *)
+let accepted_c = Obs.counter "serve.accepted"
+let rejected_c = Obs.counter "serve.rejected"
+let bad_request_c = Obs.counter "serve.bad_request"
+let completed_c = Obs.counter "serve.completed"
+let deadline_c = Obs.counter "serve.deadline_exceeded"
+let inflight_g = Obs.gauge "serve.inflight"
+let latency_h = Obs.histogram "serve.latency_ms"
+
+let create ?engine cfg =
+  let engine_ =
+    match engine with Some e -> e | None -> Engine.create ()
+  in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd SO_REUSEADDR true;
+     Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, cfg.port));
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  {
+    cfg;
+    listen_fd = fd;
+    bound_port;
+    engine_;
+    pool = Pool.create ~jobs:cfg.workers;
+    inflight = Atomic.make 0;
+    stopping = Atomic.make false;
+    started_at = Unix.gettimeofday ();
+  }
+
+let port t = t.bound_port
+let engine t = t.engine_
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let json_headers = [ ("Content-Type", "application/json") ]
+
+let respond ?(headers = json_headers) fd ~status body =
+  Http.write_response ~headers fd ~status body
+
+(* answer inline and hang up — the non-admitted paths *)
+let finish ?headers t_fd ~status body =
+  respond ?headers t_fd ~status body;
+  close_quietly t_fd
+
+(* ------------------------------------------------------------------ *)
+(* GET endpoints — answered in the accept loop, never queued *)
+
+let uptime_ms t = (Unix.gettimeofday () -. t.started_at) *. 1000.
+
+let healthz t =
+  Json.to_string
+    (Json.Obj
+       [
+         ( "status",
+           Json.String (if Atomic.get t.stopping then "draining" else "ok")
+         );
+         ("uptime_ms", Json.Float (uptime_ms t));
+         ("inflight", Json.Int (Atomic.get t.inflight));
+         ("workers", Json.Int t.cfg.workers);
+         ("queue_depth", Json.Int t.cfg.queue_depth);
+       ])
+
+let metrics t =
+  let m = Obs.metrics () in
+  let cache_obj (hits, misses) =
+    Json.Obj [ ("hits", Json.Int hits); ("misses", Json.Int misses) ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("uptime_ms", Json.Float (uptime_ms t));
+         ("inflight", Json.Int (Atomic.get t.inflight));
+         ( "engine",
+           (* counted inside the engine, visible even when Obs is off *)
+           Json.Obj
+             [
+               ("pareto", cache_obj (Engine.pareto_cache_stats t.engine_));
+               ("eval", cache_obj (Engine.eval_cache_stats t.engine_));
+             ] );
+         ( "counters",
+           Json.Obj
+             (List.map (fun (k, v) -> (k, Json.Int v)) m.Obs.counters) );
+         ( "gauges",
+           Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) m.Obs.gauges)
+         );
+         ( "histograms",
+           Json.Obj
+             (List.map
+                (fun (k, buckets) ->
+                  ( k,
+                    Json.List
+                      (List.map
+                         (fun (edge, count) ->
+                           (* the overflow edge is infinity -> null *)
+                           Json.List [ Json.Float edge; Json.Int count ])
+                         buckets) ))
+                m.Obs.histograms) );
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* solve / check execution — runs on a pool worker *)
+
+let constraints_of_solve (req : Protocol.solve_request) =
+  match req.problem with
+  | Protocol.P1 ->
+    Constraint_def.empty ~core_count:(Soc_def.core_count req.soc)
+  | Protocol.P2 | Protocol.P3 ->
+    let max_preemptions =
+      match req.preempt with
+      | Some limit -> Flow.preemption_budget req.soc ~limit
+      | None -> []
+    in
+    Constraint_def.of_soc req.soc ?power_limit:req.power_limit
+      ~max_preemptions ()
+
+let grid_of = function
+  | Protocol.Point -> Engine.point_grid ()
+  | Protocol.Grid -> Engine.default_grid
+
+let problem_name = function
+  | Protocol.P1 -> "p1"
+  | Protocol.P2 -> "p2"
+  | Protocol.P3 -> "p3"
+
+let status_name = function
+  | Engine.Complete -> "complete"
+  | Engine.Deadline -> "deadline"
+
+let handle_solve t fd (req : Protocol.solve_request) ~budget =
+  (* test/bench aid: hold this worker to make admission control
+     deterministic under test *)
+  if req.stall_ms > 0 then Unix.sleepf (float_of_int req.stall_ms /. 1000.);
+  let constraints = constraints_of_solve req in
+  let solve ~tam_width =
+    Engine.solve t.engine_
+      (Engine.request req.soc ~tam_width ~constraints ~wmax:req.wmax
+         ~grid:(grid_of req.strategy) ~budget ())
+  in
+  let common =
+    [
+      ("soc", Json.String req.soc_source);
+      ("width", Json.Int req.tam_width);
+      ("problem", Json.String (problem_name req.problem));
+    ]
+  in
+  match req.problem with
+  | Protocol.P1 | Protocol.P2 ->
+    let outcome = solve ~tam_width:req.tam_width in
+    (match outcome.Engine.status with
+    | Engine.Deadline -> Obs.incr deadline_c
+    | Engine.Complete -> ());
+    (* no unaudited schedule leaves the service *)
+    let audit =
+      Audit.run req.soc
+        (Engine.audit_spec t.engine_ ~wmax:req.wmax
+           ~expect_tam_width:req.tam_width constraints)
+        outcome.Engine.result.Optimizer.schedule
+    in
+    if Audit.ok audit then
+      respond fd ~status:200
+        (Json.to_string
+           (Json.Obj
+              (common
+              @ [
+                  ("result", Protocol.json_of_outcome ~soc:req.soc outcome);
+                  ("audit", Protocol.json_of_report audit);
+                ])))
+    else
+      (* a dirty schedule out of the solver is a server bug, not a
+         client error *)
+      respond fd ~status:500
+        (Protocol.error_body
+           ~detail:(Json.Obj [ ("audit", Protocol.json_of_report audit) ])
+           "solver produced a schedule that failed its audit")
+  | Protocol.P3 ->
+    let max_width = Option.value req.max_width ~default:req.tam_width in
+    let widths = List.init max_width (fun i -> i + 1) in
+    let outcomes =
+      Engine.solve_many t.engine_
+        (List.map
+           (fun w ->
+             Engine.request req.soc ~tam_width:w ~constraints ~wmax:req.wmax
+               ~grid:(grid_of req.strategy) ~budget ())
+           widths)
+    in
+    if List.exists (fun o -> o.Engine.status = Engine.Deadline) outcomes
+    then Obs.incr deadline_c;
+    let points =
+      List.map2
+        (fun w (o : Engine.outcome) ->
+          let time = o.Engine.result.Optimizer.testing_time in
+          Json.Obj
+            [
+              ("width", Json.Int w);
+              ("time", Json.Int time);
+              ("volume", Json.Int (w * time));
+              ("status", Json.String (status_name o.Engine.status));
+            ])
+        widths outcomes
+    in
+    let evaluations =
+      List.fold_left (fun n o -> n + o.Engine.evaluations) 0 outcomes
+    in
+    respond fd ~status:200
+      (Json.to_string
+         (Json.Obj
+            (common
+            @ [
+                ("points", Json.List points);
+                ("evaluations", Json.Int evaluations);
+              ])))
+
+let handle_check t fd (req : Protocol.check_request) =
+  let max_preemptions =
+    match req.preempt with
+    | Some limit when limit >= 0 -> Flow.preemption_budget req.soc ~limit
+    | _ -> []
+  in
+  let constraints =
+    Constraint_def.of_soc req.soc ?power_limit:req.power_limit
+      ~max_preemptions ()
+  in
+  let spec =
+    Engine.audit_spec t.engine_ ~wmax:req.wmax
+      ~require_complete:(not req.partial) constraints
+  in
+  let report = Audit.run req.soc spec req.schedule in
+  (* violations are the answer here, not an error *)
+  respond fd ~status:200
+    (Json.to_string
+       (Json.Obj
+          [
+            ("soc", Json.String req.soc_source);
+            ("audit", Protocol.json_of_report report);
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* admission control *)
+
+let try_admit t =
+  let rec go () =
+    let n = Atomic.get t.inflight in
+    if n >= t.cfg.queue_depth then false
+    else if Atomic.compare_and_set t.inflight n (n + 1) then true
+    else go ()
+  in
+  go ()
+
+let note_inflight t = Obs.set_gauge inflight_g (float_of_int (Atomic.get t.inflight))
+
+(* Wrap an admitted job: deliver some answer no matter what, then
+   release the fd and the admission slot. *)
+let job t fd ~arrival run () =
+  Fun.protect
+    ~finally:(fun () ->
+      close_quietly fd;
+      Atomic.decr t.inflight;
+      note_inflight t)
+    (fun () ->
+      (try run ()
+       with
+      | Optimizer.Infeasible msg ->
+        respond fd ~status:422 (Protocol.error_body ("infeasible: " ^ msg))
+      | exn ->
+        respond fd ~status:500 (Protocol.error_body (Printexc.to_string exn)));
+      Obs.incr completed_c;
+      Obs.observe latency_h ((Unix.gettimeofday () -. arrival) *. 1000.))
+
+let admit t fd ?budget_ms run =
+  if not (try_admit t) then begin
+    Obs.incr rejected_c;
+    finish fd ~status:429
+      ~headers:(("Retry-After", "1") :: json_headers)
+      (Protocol.error_body "queue full, retry later")
+  end
+  else begin
+    Obs.incr accepted_c;
+    note_inflight t;
+    (* created at admission: queue wait burns the caller's budget *)
+    let budget =
+      match budget_ms with
+      | None -> Budget.unlimited
+      | Some ms -> Budget.create ~deadline_ms:ms ()
+    in
+    let arrival = Unix.gettimeofday () in
+    match Pool.submit t.pool (job t fd ~arrival (fun () -> run ~budget)) with
+    | () -> ()
+    | exception Invalid_argument _ ->
+      (* raced with shutdown *)
+      Atomic.decr t.inflight;
+      note_inflight t;
+      finish fd ~status:503 (Protocol.error_body "server shutting down")
+  end
+
+(* ------------------------------------------------------------------ *)
+(* routing and the accept loop *)
+
+let route t fd (req : Http.request) =
+  match (req.Http.meth, req.Http.target) with
+  | "GET", "/healthz" -> finish fd ~status:200 (healthz t)
+  | "GET", "/v1/metrics" -> finish fd ~status:200 (metrics t)
+  | "POST", "/v1/solve" -> (
+    match Protocol.solve_request_of_body req.Http.body with
+    | Error msg ->
+      Obs.incr bad_request_c;
+      finish fd ~status:400 (Protocol.error_body msg)
+    | Ok sreq ->
+      admit t fd ?budget_ms:sreq.Protocol.budget_ms (fun ~budget ->
+          handle_solve t fd sreq ~budget))
+  | "POST", "/v1/check" -> (
+    match Protocol.check_request_of_body req.Http.body with
+    | Error msg ->
+      Obs.incr bad_request_c;
+      finish fd ~status:400 (Protocol.error_body msg)
+    | Ok creq -> admit t fd (fun ~budget:_ -> handle_check t fd creq))
+  | (("GET" | "POST") as meth), target ->
+    Obs.incr bad_request_c;
+    finish fd ~status:404
+      (Protocol.error_body
+         (Printf.sprintf "no such endpoint: %s %s" meth target))
+  | meth, _ ->
+    Obs.incr bad_request_c;
+    finish fd ~status:405
+      (Protocol.error_body (Printf.sprintf "method %s not supported" meth))
+
+let handle_connection t fd =
+  Unix.setsockopt_float fd SO_RCVTIMEO (t.cfg.read_timeout_ms /. 1000.);
+  match Http.read_request ~max_body:t.cfg.max_body fd with
+  | Error (Http.Bad_request msg) ->
+    Obs.incr bad_request_c;
+    finish fd ~status:400 (Protocol.error_body msg)
+  | Error (Http.Payload_too_large { limit }) ->
+    Obs.incr bad_request_c;
+    finish fd ~status:413
+      (Protocol.error_body
+         (Printf.sprintf "request body exceeds %d bytes" limit))
+  | Error Http.Timeout ->
+    Obs.incr bad_request_c;
+    finish fd ~status:408 (Protocol.error_body "timed out reading request")
+  | Error Http.Closed -> close_quietly fd
+  | Ok req -> route t fd req
+
+let run t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        (try handle_connection t fd
+         with exn ->
+           (* defensive: no single connection may kill the loop *)
+           (try
+              respond fd ~status:500
+                (Protocol.error_body (Printexc.to_string exn))
+            with _ -> ());
+           close_quietly fd);
+        loop ()
+      | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (ECONNABORTED, _, _) -> loop ()
+      | exception Unix.Unix_error ((EINVAL | EBADF), _, _)
+        when Atomic.get t.stopping ->
+        (* [stop] shut the listener down under us — the normal exit *)
+        ()
+  in
+  loop ();
+  (* drain: every admitted job is answered before we return *)
+  Pool.shutdown t.pool;
+  close_quietly t.listen_fd
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    (* wakes a blocked [accept] (EINVAL on Linux) — closing the fd alone
+       does not reliably do that *)
+    try Unix.shutdown t.listen_fd SHUTDOWN_ALL
+    with Unix.Unix_error _ -> ()

@@ -1,0 +1,84 @@
+(** The concurrent scheduling service: a long-lived daemon that
+    amortizes the {!Soctest_engine.Engine} caches across requests
+    instead of rebuilding them per CLI invocation.
+
+    {2 Endpoints}
+
+    - [POST /v1/solve] — wrapper/TAM co-optimization for one SOC (see
+      {!Protocol} for the body). P1/P2 answer one audited schedule; P3
+      answers the width-sweep (width, time, volume) points.
+    - [POST /v1/check] — audit a {!Soctest_tam.Schedule_io} text with
+      {!Soctest_check.Audit.run}; always 200 with the report (a dirty
+      schedule is a valid answer here, not a server error).
+    - [GET /v1/metrics] — engine cache statistics plus every
+      {!Soctest_obs.Obs} counter/gauge/histogram, as JSON.
+    - [GET /healthz] — liveness: status, uptime, in-flight count.
+
+    {2 Request lifecycle}
+
+    The accept loop reads and fully validates each request inline
+    (malformed framing or JSON never consumes solver capacity), then
+    admits solve/check jobs into a bounded in-flight window of
+    [queue_depth] requests served by [workers] {!Soctest_portfolio.Pool}
+    domains sharing one engine. A full window answers
+    [429 Too Many Requests] with [Retry-After] instead of queueing
+    unboundedly. A request's [budget_ms] becomes an
+    {!Soctest_engine.Engine.Budget} created {e at admission}, so time
+    spent waiting behind other jobs consumes the caller's budget and an
+    overloaded solve degrades to the best-incumbent [deadline] response
+    rather than piling up. Every P1/P2 schedule is re-audited
+    ({!Soctest_check.Audit.run}, through the engine's Pareto cache)
+    before it is written back; the verdict rides in the response.
+
+    {2 Shutdown}
+
+    {!stop} (wired to SIGINT/SIGTERM by [soctest serve]) makes the
+    accept loop exit; {!run} then drains admitted jobs — every accepted
+    request is answered — joins the worker domains and closes the
+    listener before returning. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  workers : int;  (** worker domains solving admitted jobs *)
+  queue_depth : int;  (** max admitted-but-unfinished solve/check jobs *)
+  max_body : int;  (** request body cap, bytes (413 beyond) *)
+  read_timeout_ms : float;  (** per-socket read timeout (408 on expiry) *)
+}
+
+val config :
+  ?port:int ->
+  ?workers:int ->
+  ?queue_depth:int ->
+  ?max_body:int ->
+  ?read_timeout_ms:float ->
+  unit ->
+  config
+(** Defaults: port 8080, workers
+    [max 1 (Domain.recommended_domain_count () - 1)], queue depth 64,
+    1 MiB bodies, 10 s read timeout.
+    @raise Invalid_argument on non-positive workers/queue depth/body cap
+    or a negative timeout. *)
+
+type t
+
+val create : ?engine:Soctest_engine.Engine.t -> config -> t
+(** Bind and listen (loopback) and spawn the worker pool. A fresh
+    engine is created when [engine] is omitted; pass one to share its
+    caches with other work in the process.
+    @raise Unix.Unix_error when the port cannot be bound. *)
+
+val port : t -> int
+(** The bound port — the ephemeral one when [config.port] was 0. *)
+
+val engine : t -> Soctest_engine.Engine.t
+
+val run : t -> unit
+(** Serve until {!stop}: accept, validate, admit, answer. Returns only
+    after the queue has drained and the workers have been joined.
+    Call from the domain that owns the server (tests run it in a
+    spawned domain). *)
+
+val stop : t -> unit
+(** Ask {!run} to finish (idempotent, safe from signal handlers and
+    other domains): no new connections are accepted, admitted jobs
+    drain. *)

@@ -20,6 +20,9 @@
     {2 Solver service layer}
     - {!Engine} — request/outcome API over the deduplicating caches
     - {!Flow} — the paper's three problems as one-call flows
+    - {!Server}, {!Serve_protocol}, {!Serve_http}, {!Serve_client} — the
+      [soctest serve] HTTP/JSON daemon with admission control and
+      audited responses
 
     {2 Baselines}
     - {!Serial}, {!Session}, {!Shelf}, {!Fixed_width}, {!Exact}
@@ -79,6 +82,11 @@ module Abort_fail = Soctest_core.Abort_fail
 
 module Engine = Soctest_engine.Engine
 module Flow = Soctest_engine.Flow
+
+module Server = Soctest_serve.Server
+module Serve_protocol = Soctest_serve.Protocol
+module Serve_http = Soctest_serve.Http
+module Serve_client = Soctest_serve.Serve_client
 
 module Serial = Soctest_baselines.Serial
 module Session = Soctest_baselines.Session

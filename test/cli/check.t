@@ -54,3 +54,31 @@ and missing the si+so resumption cost in the busy-time accounting:
   gap.txt: [preemption-budget] core 1 preempted 1 time(s), limit 0
   soctest: 2 violation(s)
   [124]
+
+An explicit --power-limit audits against that cap directly (no derived
+default needed). mini4's cores never sum above their combined power, so
+a generous cap is clean while a cap of 1 serializes everything —
+flagging each co-running pair at its first overlapping instant:
+
+  $ soctest check --soc mini4 --power-limit 10000 sched.txt
+  sched.txt: audit clean for mini4 (W=8, makespan 405, 16 checks over 5 slices)
+  $ soctest check --soc mini4 --power-limit 1 sched.txt 2>&1 | head -n 2
+  sched.txt: [power] power 62 exceeds limit 1 at t=0
+  sched.txt: [power] power 56 exceeds limit 1 at t=186
+
+--power-limit overrides the derived --power default:
+
+  $ soctest check --soc mini4 --power --power-limit 1 sched.txt 2>&1 | tail -n 1
+  soctest: 4 violation(s)
+
+Corrupted schedule text is a parse error, never a crash — the same
+hardening the fuzz suite (test_audit_props) drives at random:
+
+  $ tr '3' 'x' < sched.txt > mangled.txt
+  $ soctest check --soc mini4 mangled.txt
+  soctest: schedule parse error at line 3: width: expected integer, got "x"
+  [124]
+  $ sed 's/^Slice 3 5 186 288/Slice 3 5 288 186/' sched.txt > backwards.txt
+  $ soctest check --soc mini4 backwards.txt
+  soctest: schedule parse error at line 1: Schedule.make: malformed slice core=3 w=5 [288,186)
+  [124]

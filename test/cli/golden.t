@@ -1,0 +1,19 @@
+Golden schedules: solver output committed under golden/ is re-audited
+from first principles on every test run. A scheduling regression that
+changes any invariant (or any makespan) fails here before it can land.
+
+  $ for f in golden/*.txt; do
+  >   soc=$(basename "$f" | sed 's/_w[0-9]*\.txt//')
+  >   soctest check --soc "$soc" "$f"
+  > done
+  golden/d695_w16.txt: audit clean for d695 (W=16, makespan 44875, 16 checks over 13 slices)
+  golden/d695_w32.txt: audit clean for d695 (W=32, makespan 24744, 16 checks over 15 slices)
+  golden/mini4_w8.txt: audit clean for mini4 (W=8, makespan 405, 16 checks over 5 slices)
+  golden/p34392_w32.txt: audit clean for p34392 (W=32, makespan 558825, 16 checks over 78 slices)
+
+The goldens also hold under the constraint knobs they were solved with
+(none — so an explicit unconstrained audit with a generous power cap
+must stay clean):
+
+  $ soctest check --soc d695 --power-limit 10000 golden/d695_w32.txt
+  golden/d695_w32.txt: audit clean for d695 (W=32, makespan 24744, 16 checks over 15 slices)

@@ -1,0 +1,337 @@
+(* lib/serve: the HTTP codec and JSON protocol decoders in isolation,
+   then a live loopback server exercised end to end — solve parity with
+   the engine, response auditing, cache visibility in /v1/metrics,
+   admission control (429 + Retry-After), deadline budgets and graceful
+   shutdown. *)
+
+module Http = Soctest_serve.Http
+module Protocol = Soctest_serve.Protocol
+module Server = Soctest_serve.Server
+module Client = Soctest_serve.Serve_client
+module Json = Soctest_obs.Json
+module Engine = Soctest_engine.Engine
+module Schedule_io = Soctest_tam.Schedule_io
+module Constraint_def = Soctest_constraints.Constraint_def
+
+(* ---------------- HTTP codec (over a socketpair) ------------------ *)
+
+let roundtrip ?max_body raw =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  let n = String.length raw in
+  let rec push off =
+    if off < n then push (off + Unix.write_substring a raw off (n - off))
+  in
+  push 0;
+  Unix.shutdown a SHUTDOWN_SEND;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () -> Http.read_request ?max_body b)
+
+let test_http_parse () =
+  match
+    roundtrip
+      "POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Length: \
+       4\r\nX-Seen: yes\r\n\r\nbody"
+  with
+  | Error _ -> Alcotest.fail "expected parse success"
+  | Ok req ->
+    Alcotest.(check string) "method" "POST" req.Http.meth;
+    Alcotest.(check string) "target" "/v1/solve" req.Http.target;
+    Alcotest.(check string) "body" "body" req.Http.body;
+    Alcotest.(check (option string))
+      "header" (Some "yes")
+      (Http.header req "X-Seen")
+
+let test_http_bare_lf () =
+  match roundtrip "GET /healthz HTTP/1.1\nHost: x\n\n" with
+  | Ok req -> Alcotest.(check string) "target" "/healthz" req.Http.target
+  | Error _ -> Alcotest.fail "bare-LF framing must parse"
+
+let test_http_malformed () =
+  let is_bad raw =
+    match roundtrip raw with
+    | Error (Http.Bad_request _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "garbage request line" true (is_bad "garbage\r\n\r\n");
+  Alcotest.(check bool) "bad version" true (is_bad "GET / HTTP/2.0\r\n\r\n");
+  Alcotest.(check bool)
+    "bad content-length" true
+    (is_bad "GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+  Alcotest.(check bool)
+    "chunked rejected" true
+    (is_bad "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+let test_http_body_cap () =
+  match
+    roundtrip ~max_body:10 "POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n"
+  with
+  | Error (Http.Payload_too_large { limit }) ->
+    Alcotest.(check int) "limit reported" 10 limit
+  | _ -> Alcotest.fail "expected Payload_too_large"
+
+let test_http_peer_vanished () =
+  match roundtrip "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort" with
+  | Error Http.Closed -> ()
+  | _ -> Alcotest.fail "expected Closed for a truncated body"
+
+(* ---------------- protocol decode -------------------------------- *)
+
+let decode_err body =
+  match Protocol.solve_request_of_body body with
+  | Error e -> e
+  | Ok _ -> Alcotest.fail "expected decode error"
+
+let test_protocol_solve_ok () =
+  match
+    Protocol.solve_request_of_body
+      {|{"soc": "d695", "width": 24, "problem": "p3", "strategy": "grid",
+         "budget_ms": 250, "max_width": 12}|}
+  with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok r ->
+    Alcotest.(check int) "width" 24 r.Protocol.tam_width;
+    Alcotest.(check bool) "p3" true (r.Protocol.problem = Protocol.P3);
+    Alcotest.(check bool) "grid" true (r.Protocol.strategy = Protocol.Grid);
+    Alcotest.(check (option int)) "max_width" (Some 12) r.Protocol.max_width;
+    Alcotest.(check string) "source" "d695" r.Protocol.soc_source
+
+let test_protocol_solve_errors () =
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let check_err body needle =
+    let e = decode_err body in
+    if not (contains e needle) then
+      Alcotest.failf "error %S does not mention %S" e needle
+  in
+  check_err {|not json|} "invalid JSON";
+  check_err {|[1]|} "JSON object";
+  check_err {|{"width": 8}|} "missing";
+  check_err {|{"soc": "nope", "width": 8}|} "unknown benchmark";
+  check_err {|{"soc": "d695"}|} "width";
+  check_err {|{"soc": "d695", "width": 0}|} "width";
+  check_err {|{"soc": "d695", "width": 8, "problem": "p9"}|} "p9";
+  check_err {|{"soc": "d695", "width": 8, "budget_ms": -1}|} "budget_ms";
+  check_err {|{"soc": "d695", "soc_text": "Soc x 1", "width": 8}|} "not both"
+
+let test_protocol_check_decode () =
+  let sched_text = "Schedule 8\nSlice 1 2 0 10\n" in
+  (match
+     Protocol.check_request_of_body
+       (Json.to_string
+          (Json.Obj
+             [
+               ("soc", Json.String "d695");
+               ("schedule_text", Json.String sched_text);
+               ("partial", Json.Bool true);
+             ]))
+   with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok r ->
+    Alcotest.(check bool) "partial" true r.Protocol.partial;
+    Alcotest.(check int)
+      "tam width parsed" 8
+      r.Protocol.schedule.Soctest_tam.Schedule.tam_width);
+  match
+    Protocol.check_request_of_body
+      {|{"soc": "d695", "schedule_text": "Schedule zero"}|}
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad schedule text must be a decode error"
+
+(* ---------------- live server ------------------------------------ *)
+
+let with_server ?(queue_depth = 16) ?(workers = 2) f =
+  (* metrics-only recording, as the daemon runs it *)
+  Soctest_obs.Obs.enable ~events:false ();
+  let server = Server.create (Server.config ~port:0 ~workers ~queue_depth ()) in
+  let d = Domain.spawn (fun () -> Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Domain.join d;
+      Soctest_obs.Obs.disable ())
+    (fun () -> f server (Server.port server))
+
+let solve_body ?(extra = []) width =
+  Json.to_string
+    (Json.Obj
+       ([ ("soc", Json.String "mini4"); ("width", Json.Int width) ] @ extra))
+
+let member name v =
+  match Json.member name v with
+  | Some x -> x
+  | None -> Alcotest.failf "response lacks %S" name
+
+let jint = function
+  | Json.Int i -> i
+  | _ -> Alcotest.fail "expected JSON int"
+
+let jstr = function
+  | Json.String s -> s
+  | _ -> Alcotest.fail "expected JSON string"
+
+let test_live_solve_parity () =
+  with_server @@ fun server port ->
+  let r = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
+  Alcotest.(check int) "status" 200 r.Client.status;
+  let v = Client.json_body r in
+  let result = member "result" v in
+  Alcotest.(check string) "complete" "complete" (jstr (member "status" result));
+  Alcotest.(check bool)
+    "audited clean" true
+    (member "clean" (member "audit" v) = Json.Bool true);
+  (* byte-identical to a direct engine solve of the same request *)
+  let soc = Soctest_soc.Benchmarks.mini4 () in
+  let expected =
+    Engine.solve (Server.engine server)
+      (Engine.request soc ~tam_width:8
+         ~constraints:(Constraint_def.of_soc soc ()) ())
+  in
+  Alcotest.(check string)
+    "schedule identical to direct Engine.solve"
+    (Schedule_io.to_string
+       expected.Engine.result.Soctest_core.Optimizer.schedule)
+    (jstr (member "schedule_text" result));
+  (* the identical request again must be served from the cache, and the
+     hit must be visible in /v1/metrics *)
+  let r2 = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
+  let cache = member "cache" (member "result" (Client.json_body r2)) in
+  Alcotest.(check int)
+    "second solve computed nothing" 0
+    (jint (member "eval_computed" cache));
+  Alcotest.(check bool)
+    "second solve was a cache hit" true
+    (jint (member "eval_cached" cache) >= 1);
+  let m = Client.json_body (Client.get ~port "/v1/metrics") in
+  let eval = member "eval" (member "engine" m) in
+  Alcotest.(check bool)
+    "metrics expose the hit" true
+    (jint (member "hits" eval) >= 1)
+
+let test_live_check_endpoint () =
+  with_server @@ fun _server port ->
+  let solved =
+    Client.json_body (Client.post ~port ~body:(solve_body 8) "/v1/solve")
+  in
+  let text = jstr (member "schedule_text" (member "result" solved)) in
+  let body ?(extra = []) () =
+    Json.to_string
+      (Json.Obj
+         ([
+            ("soc", Json.String "mini4");
+            ("schedule_text", Json.String text);
+          ]
+         @ extra))
+  in
+  let clean =
+    Client.json_body (Client.post ~port ~body:(body ()) "/v1/check")
+  in
+  Alcotest.(check bool)
+    "clean round-trip" true
+    (member "clean" (member "audit" clean) = Json.Bool true);
+  (* same schedule under an absurd power limit: still 200, with
+     violations as the answer *)
+  let strict =
+    Client.post ~port
+      ~body:(body ~extra:[ ("power_limit", Json.Int 1) ] ())
+      "/v1/check"
+  in
+  Alcotest.(check int) "violations are a 200 answer" 200 strict.Client.status;
+  let audit = member "audit" (Client.json_body strict) in
+  Alcotest.(check bool)
+    "not clean" true
+    (member "clean" audit = Json.Bool false)
+
+let test_live_admission_control () =
+  (* one worker, queue depth 1: a stalled solve fills the window and the
+     next request must bounce with 429 + Retry-After *)
+  with_server ~workers:1 ~queue_depth:1 @@ fun _server port ->
+  let stalled =
+    Domain.spawn (fun () ->
+        Client.post ~port
+          ~body:(solve_body ~extra:[ ("stall_ms", Json.Int 1500) ] 8)
+          "/v1/solve")
+  in
+  Unix.sleepf 0.3;
+  let bounced = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
+  Alcotest.(check int) "429 when full" 429 bounced.Client.status;
+  Alcotest.(check (option string))
+    "Retry-After" (Some "1")
+    (List.assoc_opt "retry-after" bounced.Client.headers);
+  (* GETs are never admission-controlled *)
+  let h = Client.get ~port "/healthz" in
+  Alcotest.(check int) "healthz while full" 200 h.Client.status;
+  let first = Domain.join stalled in
+  Alcotest.(check int) "stalled request still answered" 200 first.Client.status
+
+let test_live_deadline_budget () =
+  with_server @@ fun _server port ->
+  let r =
+    Client.post ~port
+      ~body:
+        (solve_body
+           ~extra:
+             [ ("budget_ms", Json.Int 0); ("strategy", Json.String "grid") ]
+           8)
+      "/v1/solve"
+  in
+  Alcotest.(check int) "still answered" 200 r.Client.status;
+  let v = Client.json_body r in
+  let result = member "result" v in
+  Alcotest.(check string)
+    "graceful degradation" "deadline"
+    (jstr (member "status" result));
+  Alcotest.(check bool)
+    "at least one evaluation" true
+    (jint (member "evaluations" result) >= 1);
+  Alcotest.(check bool)
+    "degraded result is still audited clean" true
+    (member "clean" (member "audit" v) = Json.Bool true)
+
+let test_live_error_paths () =
+  with_server @@ fun _server port ->
+  let bad = Client.post ~port ~body:"{" "/v1/solve" in
+  Alcotest.(check int) "malformed JSON -> 400" 400 bad.Client.status;
+  let missing = Client.post ~port ~body:{|{"soc": "mini4"}|} "/v1/solve" in
+  Alcotest.(check int) "missing width -> 400" 400 missing.Client.status;
+  let lost = Client.get ~port "/nope" in
+  Alcotest.(check int) "unknown path -> 404" 404 lost.Client.status;
+  let wrong = Client.request ~port ~meth:"DELETE" "/v1/solve" in
+  Alcotest.(check int) "bad method -> 405" 405 wrong.Client.status
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "http codec",
+        [
+          Alcotest.test_case "parse request" `Quick test_http_parse;
+          Alcotest.test_case "bare LF" `Quick test_http_bare_lf;
+          Alcotest.test_case "malformed framing" `Quick test_http_malformed;
+          Alcotest.test_case "body cap" `Quick test_http_body_cap;
+          Alcotest.test_case "peer vanished" `Quick test_http_peer_vanished;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "solve decode" `Quick test_protocol_solve_ok;
+          Alcotest.test_case "solve decode errors" `Quick
+            test_protocol_solve_errors;
+          Alcotest.test_case "check decode" `Quick test_protocol_check_decode;
+        ] );
+      ( "live server",
+        [
+          Alcotest.test_case "solve parity + cache visibility" `Quick
+            test_live_solve_parity;
+          Alcotest.test_case "check endpoint" `Quick test_live_check_endpoint;
+          Alcotest.test_case "admission control" `Quick
+            test_live_admission_control;
+          Alcotest.test_case "deadline budget" `Quick
+            test_live_deadline_budget;
+          Alcotest.test_case "error paths" `Quick test_live_error_paths;
+        ] );
+    ]
