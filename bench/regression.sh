@@ -1,0 +1,60 @@
+#!/bin/sh
+# One-command perf regression harness: build the tree, run the solver /
+# service / store benches, and emit a machine-readable BENCH_<n>.json at
+# the repo root so every PR leaves a comparable perf record.
+#
+#   bench/regression.sh [n]     # writes BENCH_<n>.json (default: 6)
+#
+# Sections:
+#   schedule — CLI solve wall time, cold vs warm-store vs disk-hit
+#   single   — bench-serve against one daemon: latency percentiles,
+#              throughput, per-tier (memory/store) cache hit ratios
+#   farm     — bench-serve --procs 2: private caches vs a shared
+#              persistent store, cold and warm, per-tier ratios
+set -eu
+
+cd "$(dirname "$0")/.."
+N=${1:-6}
+OUT=BENCH_${N}.json
+
+dune build bin/main.exe
+SOCTEST=_build/default/bin/main.exe
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+now_ms() {
+  # GNU date nanoseconds -> integer milliseconds
+  echo $(( $(date +%s%N) / 1000000 ))
+}
+
+# -- schedule: cold solve, then the same solve answered from the store --
+t0=$(now_ms)
+"$SOCTEST" schedule --soc d695 -w 32 --store "$TMP/sched.store" >/dev/null
+t1=$(now_ms)
+"$SOCTEST" schedule --soc d695 -w 32 --store "$TMP/sched.store" >/dev/null
+t2=$(now_ms)
+SCHED_COLD=$((t1 - t0))
+SCHED_WARM=$((t2 - t1))
+
+# -- single daemon, per-tier accounting ---------------------------------
+"$SOCTEST" bench-serve --soc d695 -w 16 --requests 32 --clients 8 \
+  --distinct 4 --json "$TMP/single.json" >/dev/null
+
+# -- solve farm: 2 daemons, private vs shared store, cold vs warm -------
+"$SOCTEST" bench-serve --soc d695 -w 16 --requests 32 --clients 8 \
+  --distinct 4 --procs 2 --store "$TMP/farm.store" \
+  --json "$TMP/farm.json" >/dev/null
+
+{
+  printf '{"bench": %s, "generated_by": "bench/regression.sh",\n' "$N"
+  printf '"schedule": {"soc": "d695", "width": 32, "cold_ms": %s, "store_warm_ms": %s},\n' \
+    "$SCHED_COLD" "$SCHED_WARM"
+  printf '"single": '
+  cat "$TMP/single.json"
+  printf ',\n"farm": '
+  cat "$TMP/farm.json"
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

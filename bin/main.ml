@@ -20,6 +20,7 @@ module Obs_summary = Soctest_obs.Summary
 module Server = Soctest_serve.Server
 module Serve_client = Soctest_serve.Serve_client
 module Json = Soctest_obs.Json
+module Store = Soctest_store.Store
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments *)
@@ -48,6 +49,18 @@ let width_arg ~default =
 let csv_arg =
   let doc = "Also write the raw data as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let store_arg =
+  let doc =
+    "Layer the persistent result store at $(docv) (created on first \
+     use) under the in-memory caches: previously solved requests are \
+     answered from disk after an integrity audit, new solves are \
+     written through. The $(b,SOCTEST_STORE) environment variable sets \
+     the same default."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
+
+let open_store path = Option.map (fun p -> Store.open_ p) path
 
 (* Write [contents] to [path] without leaking the channel when the write
    itself raises (ENOSPC, closed pipe, ...). *)
@@ -129,6 +142,7 @@ let wrap f =
   | Sys_error msg -> `Error (false, msg)
   | Soctest_soc.Soc_parser.Parse_error e ->
     `Error (false, Format.asprintf "%a" Soctest_soc.Soc_parser.pp_error e)
+  | Soctest_store.Store.Corrupt_store msg -> `Error (false, msg)
   | Soctest_core.Optimizer.Infeasible msg ->
     `Error (false, "infeasible: " ^ msg)
   | Soctest_portfolio.Portfolio.No_solution msg ->
@@ -689,7 +703,7 @@ let schedule_cmd =
              milliseconds of wall clock and keep the best schedule found \
              so far (at least one grid point is always evaluated).")
   in
-  let run soc width preempt power gantt save budget_ms trace metrics
+  let run soc width preempt power gantt save budget_ms store trace metrics
       obs_summary =
     wrap (fun () ->
         with_obs ~trace ~metrics ~summary:obs_summary @@ fun () ->
@@ -704,12 +718,13 @@ let schedule_cmd =
               (if power then Some (Flow.default_power_limit soc) else None)
             ()
         in
+        let engine = Engine.create ?store:(open_store store) () in
         let r, budget_note =
           match budget_ms with
-          | None -> (Flow.solve (Flow.spec ~constraints soc ~tam_width:width), None)
+          | None -> (Flow.solve ~engine (Flow.spec ~constraints soc ~tam_width:width), None)
           | Some ms ->
             let o =
-              Engine.solve (Engine.create ())
+              Engine.solve engine
                 (Engine.request ~grid:Engine.default_grid
                    ~budget:(Budget.create ~deadline_ms:ms ()) soc
                    ~tam_width:width ~constraints ())
@@ -729,6 +744,13 @@ let schedule_cmd =
         Printf.printf "SOC %s at W=%d: testing time %d cycles\n"
           soc.Soc_def.name width r.Optimizer.testing_time;
         Option.iter (Printf.printf "(%s)\n") budget_note;
+        (match Engine.store engine with
+        | None -> ()
+        | Some s ->
+          let ss = Engine.store_stats engine in
+          Printf.printf
+            "(store %s: %d disk hit(s), %d solve(s) written, %d entries)\n"
+            (Store.path s) ss.Engine.hits ss.Engine.misses (Store.length s));
         List.iter
           (fun (id, w) ->
             Printf.printf "  core %2d (%s): width %d%s\n" id
@@ -754,7 +776,7 @@ let schedule_cmd =
     Term.(
       ret
         (const run $ soc_arg ~default:"d695" $ width_arg ~default:32
-       $ preempt $ power $ gantt $ save $ budget_ms $ trace_arg
+       $ preempt $ power $ gantt $ save $ budget_ms $ store_arg $ trace_arg
        $ metrics_arg $ obs_summary_arg))
 
 let validate_cmd =
@@ -947,14 +969,15 @@ let serve_cmd =
       & info [ "max-body" ] ~docv:"BYTES"
           ~doc:"Request body cap; larger payloads are answered 413.")
   in
-  let run port workers queue_depth max_body =
+  let run port workers queue_depth max_body store =
     wrap (fun () ->
         let workers = if workers <= 0 then default_workers () else workers in
         let cfg = Server.config ~port ~workers ~queue_depth ~max_body () in
         (* metrics-only recording: request-lifecycle counters stay live
            without the daemon accumulating an unbounded event buffer *)
         Obs.enable ~events:false ();
-        let server = Server.create cfg in
+        let engine = Engine.create ?store:(open_store store) () in
+        let server = Server.create ~engine cfg in
         let stop _ = Server.stop server in
         Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
         Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
@@ -967,6 +990,11 @@ let serve_cmd =
            /healthz\n\
            %!"
           (Server.port server) workers queue_depth;
+        (match Engine.store engine with
+        | None -> ()
+        | Some s ->
+          Printf.printf "store: %s (%d warm entries)\n%!" (Store.path s)
+            (Store.length s));
         Server.run server;
         print_endline "soctest serve: queue drained, shut down cleanly")
   in
@@ -975,8 +1003,215 @@ let serve_cmd =
        ~doc:
          "Run the scheduling service: an HTTP/JSON daemon with bounded \
           admission, per-request deadline budgets, shared solver caches \
-          and audited responses. SIGINT/SIGTERM drain and exit.")
-    Term.(ret (const run $ port $ workers $ queue_depth $ max_body))
+          and audited responses. $(b,--store) layers a persistent result \
+          store under the in-memory caches so restarts stay warm and \
+          several daemons can share solves. SIGINT/SIGTERM drain and exit.")
+    Term.(
+      ret (const run $ port $ workers $ queue_depth $ max_body $ store_arg))
+
+(* ------------------------------------------------------------------ *)
+(* bench-serve: per-tier cache accounting and the multi-process farm  *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-tier cache counters scraped from one daemon's /v1/metrics. *)
+type tier_counts = {
+  mem_hits : int;
+  mem_misses : int;
+  disk_hits : int;
+  disk_misses : int;
+  disk_rejects : int;
+}
+
+let zero_tiers =
+  { mem_hits = 0; mem_misses = 0; disk_hits = 0; disk_misses = 0;
+    disk_rejects = 0 }
+
+let add_tiers a b =
+  {
+    mem_hits = a.mem_hits + b.mem_hits;
+    mem_misses = a.mem_misses + b.mem_misses;
+    disk_hits = a.disk_hits + b.disk_hits;
+    disk_misses = a.disk_misses + b.disk_misses;
+    disk_rejects = a.disk_rejects + b.disk_rejects;
+  }
+
+let sub_tiers a b =
+  {
+    mem_hits = a.mem_hits - b.mem_hits;
+    mem_misses = a.mem_misses - b.mem_misses;
+    disk_hits = a.disk_hits - b.disk_hits;
+    disk_misses = a.disk_misses - b.disk_misses;
+    disk_rejects = a.disk_rejects - b.disk_rejects;
+  }
+
+let scrape_tiers ~port =
+  let m = Serve_client.json_body (Serve_client.get ~port "/v1/metrics") in
+  let get path =
+    match Option.bind (Json.member_path path m) Json.to_int with
+    | Some i -> i
+    | None ->
+      failwith
+        (Printf.sprintf "bench-serve: /v1/metrics missing %s"
+           (String.concat "." path))
+  in
+  {
+    mem_hits = get [ "engine"; "eval"; "hits" ];
+    mem_misses = get [ "engine"; "eval"; "misses" ];
+    disk_hits = get [ "engine"; "store"; "hits" ];
+    disk_misses = get [ "engine"; "store"; "misses" ];
+    disk_rejects = get [ "engine"; "store"; "audit_rejects" ];
+  }
+
+let sum_tiers ports =
+  Array.fold_left (fun acc p -> add_tiers acc (scrape_tiers ~port:p))
+    zero_tiers ports
+
+let ratio hits misses =
+  if hits + misses = 0 then 0.
+  else float_of_int hits /. float_of_int (hits + misses)
+
+(* Fraction of evaluations answered by either cache tier. A memory miss
+   that the store answers is not a fresh solve; only
+   [mem_misses - disk_hits] evaluations hit the optimizer. *)
+let combined_ratio t =
+  let total = t.mem_hits + t.mem_misses in
+  if total = 0 then 0.
+  else float_of_int (total - (t.mem_misses - t.disk_hits)) /. float_of_int total
+
+let bench_percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+
+type bench_phase = {
+  ph_label : string;
+  ph_ok : int;
+  ph_wall_ms : float;
+  ph_latencies : float array;  (* sorted ascending *)
+  ph_tiers : tier_counts;
+}
+
+(* Issue [requests] solves across [ports], request i going to daemon
+   (i mod procs) with body ((i / procs) mod distinct) — every distinct
+   body visits every daemon, so a shared tier has real cross-process
+   hits to offer while private caches must each solve everything. *)
+let bench_workload ~ports ~requests ~clients ~bodies =
+  let n = Array.length ports and d = Array.length bodies in
+  let started = Unix.gettimeofday () in
+  let outcomes =
+    Soctest_portfolio.Pool.with_pool ~jobs:clients (fun pool ->
+        Soctest_portfolio.Pool.run_all pool
+          (List.init requests (fun i () ->
+               let port = ports.(i mod n) in
+               let body = bodies.(i / n mod d) in
+               let t0 = Unix.gettimeofday () in
+               let r = Serve_client.post ~port ~body "/v1/solve" in
+               (r.Serve_client.status,
+                (Unix.gettimeofday () -. t0) *. 1000.))))
+  in
+  let wall_ms = (Unix.gettimeofday () -. started) *. 1000. in
+  let results =
+    List.map
+      (fun (o : _ Soctest_portfolio.Pool.outcome) ->
+        match o.Soctest_portfolio.Pool.value with
+        | Ok r -> r
+        | Error we -> Soctest_portfolio.Pool.raise_error we)
+      outcomes
+  in
+  let ok = List.filter (fun (status, _) -> status = 200) results in
+  let latencies = Array.of_list (List.map snd ok) in
+  Array.sort compare latencies;
+  (wall_ms, List.length ok, latencies)
+
+let print_phase ~requests ph =
+  let t = ph.ph_tiers in
+  Printf.printf
+    "phase %-11s: %d/%d ok, wall %.0f ms, p50 %.1f ms, p99 %.1f ms\n"
+    ph.ph_label ph.ph_ok requests ph.ph_wall_ms
+    (bench_percentile ph.ph_latencies 0.50)
+    (bench_percentile ph.ph_latencies 0.99);
+  Printf.printf "  memory tier : %d hits / %d misses (%.0f%% hit)\n"
+    t.mem_hits t.mem_misses (100. *. ratio t.mem_hits t.mem_misses);
+  Printf.printf
+    "  store tier  : %d hits / %d misses, %d audit reject(s) (%.0f%% hit)\n"
+    t.disk_hits t.disk_misses t.disk_rejects
+    (100. *. ratio t.disk_hits t.disk_misses);
+  Printf.printf "  combined    : %.0f%% of evaluations served from cache\n%!"
+    (100. *. combined_ratio t)
+
+let json_of_phase ~requests ~clients ph =
+  let t = ph.ph_tiers in
+  Json.Obj
+    [
+      ("label", Json.String ph.ph_label);
+      ("requests", Json.Int requests);
+      ("ok", Json.Int ph.ph_ok);
+      ("clients", Json.Int clients);
+      ("wall_ms", Json.Float ph.ph_wall_ms);
+      ( "throughput_rps",
+        Json.Float (float_of_int requests /. (ph.ph_wall_ms /. 1000.)) );
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("p50", Json.Float (bench_percentile ph.ph_latencies 0.50));
+            ("p90", Json.Float (bench_percentile ph.ph_latencies 0.90));
+            ("p99", Json.Float (bench_percentile ph.ph_latencies 0.99));
+            ("max", Json.Float (bench_percentile ph.ph_latencies 1.0));
+          ] );
+      ( "memory_tier",
+        Json.Obj
+          [
+            ("hits", Json.Int t.mem_hits);
+            ("misses", Json.Int t.mem_misses);
+            ("hit_ratio", Json.Float (ratio t.mem_hits t.mem_misses));
+          ] );
+      ( "store_tier",
+        Json.Obj
+          [
+            ("hits", Json.Int t.disk_hits);
+            ("misses", Json.Int t.disk_misses);
+            ("audit_rejects", Json.Int t.disk_rejects);
+            ("hit_ratio", Json.Float (ratio t.disk_hits t.disk_misses));
+          ] );
+      ("combined_hit_ratio", Json.Float (combined_ratio t));
+    ]
+
+(* Spawn `soctest serve --port 0` as a child process and parse the
+   bound port out of its banner. The child's stdout stays piped to us
+   for its whole life (it prints nothing per-request, so the pipe
+   cannot fill). *)
+let spawn_daemon ?store () =
+  let r, w = Unix.pipe ~cloexec:true () in
+  let argv =
+    [ Sys.executable_name; "serve"; "--port"; "0"; "--workers"; "2" ]
+    @ (match store with None -> [] | Some p -> [ "--store"; p ])
+  in
+  let pid =
+    Unix.create_process Sys.executable_name (Array.of_list argv) Unix.stdin w
+      Unix.stderr
+  in
+  Unix.close w;
+  let ic = Unix.in_channel_of_descr r in
+  let rec await_port () =
+    let line =
+      try input_line ic
+      with End_of_file ->
+        failwith "bench-serve: daemon exited before announcing its port"
+    in
+    match
+      Scanf.sscanf_opt line "soctest serve: listening on 127.0.0.1:%d"
+        (fun p -> p)
+    with
+    | Some p -> p
+    | None -> await_port ()
+  in
+  let port = await_port () in
+  (pid, port, ic)
+
+let stop_daemon (pid, _port, ic) =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+  close_in_noerr ic
 
 let bench_serve_cmd =
   let port =
@@ -985,7 +1220,8 @@ let bench_serve_cmd =
       & info [ "port" ] ~docv:"PORT"
           ~doc:
             "Load an already-running server on $(docv); 0 (the default) \
-             spawns an in-process server on an ephemeral port.")
+             spawns an in-process server on an ephemeral port. Not \
+             meaningful with $(b,--procs).")
   in
   let requests =
     Arg.(
@@ -1004,6 +1240,24 @@ let bench_serve_cmd =
       & info [ "budget-ms" ] ~docv:"MS"
           ~doc:"Attach a per-request deadline budget of $(docv).")
   in
+  let distinct =
+    Arg.(
+      value & opt int 4
+      & info [ "distinct" ] ~docv:"D"
+          ~doc:
+            "Number of distinct solve bodies to cycle through (successive \
+             TAM widths); controls how much re-use the caches can see.")
+  in
+  let procs =
+    Arg.(
+      value & opt int 0
+      & info [ "procs" ] ~docv:"N"
+          ~doc:
+            "Solve-farm mode: spawn $(docv) independent daemon processes \
+             and run the workload three times — private in-memory caches, \
+             a shared persistent store starting cold, and the same store \
+             warm — reporting per-tier hit ratios for each phase.")
+  in
   let json =
     Arg.(
       value
@@ -1011,42 +1265,20 @@ let bench_serve_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the latency/throughput/cache report as JSON.")
   in
-  let percentile sorted q =
-    let n = Array.length sorted in
-    if n = 0 then 0.
-    else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
-  in
-  let member_exn name path v =
-    match Json.member name v with
-    | Some x -> x
-    | None -> failwith (Printf.sprintf "bench-serve: %s missing %S" path name)
-  in
-  let run soc_name width port requests clients budget json =
+  let run soc_name width port requests clients budget distinct procs store
+      json =
     wrap (fun () ->
         if requests < 1 then failwith "--requests must be >= 1";
         if clients < 1 then failwith "--clients must be >= 1";
+        if distinct < 1 then failwith "--distinct must be >= 1";
+        if procs < 0 then failwith "--procs must be >= 0";
+        if procs > 0 && port <> 0 then
+          failwith "--procs spawns its own daemons; it conflicts with --port";
         let soc = load_soc soc_name in
-        let spawned =
-          if port <> 0 then None
-          else begin
-            Obs.enable ~events:false ();
-            let server =
-              Server.create
-                (Server.config ~port:0 ~workers:(default_workers ())
-                   ~queue_depth:(max 64 (2 * requests)) ())
-            in
-            Some (server, Domain.spawn (fun () -> Server.run server))
-          end
-        in
-        let port =
-          match spawned with Some (s, _) -> Server.port s | None -> port
-        in
-        let body =
+        let soc_text = Soctest_soc.Soc_writer.to_string soc in
+        let body_for w =
           let fields =
-            [
-              ("soc_text", Json.String (Soctest_soc.Soc_writer.to_string soc));
-              ("width", Json.Int width);
-            ]
+            [ ("soc_text", Json.String soc_text); ("width", Json.Int w) ]
             @
             match budget with
             | None -> []
@@ -1054,110 +1286,221 @@ let bench_serve_cmd =
           in
           Json.to_string (Json.Obj fields)
         in
-        let eval_stats () =
-          let m = Serve_client.json_body (Serve_client.get ~port "/v1/metrics") in
-          let eval = member_exn "eval" "engine" (member_exn "engine" "metrics" m) in
-          match
-            (member_exn "hits" "eval" eval, member_exn "misses" "eval" eval)
-          with
-          | Json.Int h, Json.Int miss -> (h, miss)
-          | _ -> failwith "bench-serve: malformed /v1/metrics"
+        (* successive widths keep the bodies distinct without changing
+           the SOC, so every body exercises the same solver code path *)
+        let bodies = Array.init distinct (fun k -> body_for (width + 4 * k)) in
+        let emit_json phases =
+          match json with
+          | None -> ()
+          | Some path ->
+            write_string_to_file path
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("soc", Json.String soc.Soc_def.name);
+                      ("width", Json.Int width);
+                      ("requests", Json.Int requests);
+                      ("clients", Json.Int clients);
+                      ("distinct", Json.Int distinct);
+                      ("procs", Json.Int procs);
+                      ( "phases",
+                        Json.List
+                          (List.map (json_of_phase ~requests ~clients) phases)
+                      );
+                    ]));
+            Printf.printf "(json written to %s)\n" path
         in
-        let hits0, misses0 = eval_stats () in
-        let started = Unix.gettimeofday () in
-        let outcomes =
-          Soctest_portfolio.Pool.with_pool ~jobs:clients (fun pool ->
-              Soctest_portfolio.Pool.run_all pool
-                (List.init requests (fun _ () ->
-                     let t0 = Unix.gettimeofday () in
-                     let r = Serve_client.post ~port ~body "/v1/solve" in
-                     (r.Serve_client.status,
-                      (Unix.gettimeofday () -. t0) *. 1000.))))
-        in
-        let wall_ms = (Unix.gettimeofday () -. started) *. 1000. in
-        let hits1, misses1 = eval_stats () in
-        let results =
-          List.map
-            (fun (o : _ Soctest_portfolio.Pool.outcome) ->
-              match o.Soctest_portfolio.Pool.value with
-              | Ok r -> r
-              | Error we -> Soctest_portfolio.Pool.raise_error we)
-            outcomes
-        in
-        let ok = List.filter (fun (status, _) -> status = 200) results in
-        let latencies =
-          Array.of_list (List.map snd ok)
-        in
-        Array.sort compare latencies;
-        let p50 = percentile latencies 0.50
-        and p90 = percentile latencies 0.90
-        and p99 = percentile latencies 0.99
-        and worst = percentile latencies 1.0 in
-        let hits = hits1 - hits0 and misses = misses1 - misses0 in
-        let hit_ratio =
-          if hits + misses = 0 then 0.
-          else float_of_int hits /. float_of_int (hits + misses)
-        in
-        let throughput = float_of_int requests /. (wall_ms /. 1000.) in
-        Printf.printf
-          "bench-serve: %d requests (%d ok) over %d clients against %s \
-           W=%d on port %d\n"
-          requests (List.length ok) clients soc.Soc_def.name width port;
-        Printf.printf
-          "latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n" p50 p90
-          p99 worst;
-        Printf.printf "throughput: %.1f req/s (wall %.0f ms)\n" throughput
-          wall_ms;
-        Printf.printf "engine eval cache: %d hits / %d misses (%.0f%% hit)\n"
-          hits misses (100. *. hit_ratio);
-        (match json with
-        | None -> ()
-        | Some path ->
-          write_string_to_file path
-            (Json.to_string
-               (Json.Obj
-                  [
-                    ("soc", Json.String soc.Soc_def.name);
-                    ("width", Json.Int width);
-                    ("requests", Json.Int requests);
-                    ("ok", Json.Int (List.length ok));
-                    ("clients", Json.Int clients);
-                    ("wall_ms", Json.Float wall_ms);
-                    ("throughput_rps", Json.Float throughput);
-                    ( "latency_ms",
-                      Json.Obj
-                        [
-                          ("p50", Json.Float p50);
-                          ("p90", Json.Float p90);
-                          ("p99", Json.Float p99);
-                          ("max", Json.Float worst);
-                        ] );
-                    ( "eval_cache",
-                      Json.Obj
-                        [
-                          ("hits", Json.Int hits);
-                          ("misses", Json.Int misses);
-                          ("hit_ratio", Json.Float hit_ratio);
-                        ] );
-                  ]));
-          Printf.printf "(json written to %s)\n" path);
-        match spawned with
-        | None -> ()
-        | Some (server, d) ->
-          Server.stop server;
-          Domain.join d)
+        if procs = 0 then begin
+          (* single-server mode: one daemon (in-process unless --port),
+             per-tier accounting from /v1/metrics deltas *)
+          let spawned =
+            if port <> 0 then None
+            else begin
+              Obs.enable ~events:false ();
+              let engine = Engine.create ?store:(open_store store) () in
+              let server =
+                Server.create ~engine
+                  (Server.config ~port:0 ~workers:(default_workers ())
+                     ~queue_depth:(max 64 (2 * requests)) ())
+              in
+              Some (server, Domain.spawn (fun () -> Server.run server))
+            end
+          in
+          let port =
+            match spawned with Some (s, _) -> Server.port s | None -> port
+          in
+          Printf.printf
+            "bench-serve: %d requests (%d distinct) over %d clients against \
+             %s W=%d on port %d\n%!"
+            requests distinct clients soc.Soc_def.name width port;
+          let before = scrape_tiers ~port in
+          let wall_ms, okn, latencies =
+            bench_workload ~ports:[| port |] ~requests ~clients ~bodies
+          in
+          let after = scrape_tiers ~port in
+          let ph =
+            {
+              ph_label = "single";
+              ph_ok = okn;
+              ph_wall_ms = wall_ms;
+              ph_latencies = latencies;
+              ph_tiers = sub_tiers after before;
+            }
+          in
+          print_phase ~requests ph;
+          Printf.printf "throughput: %.1f req/s (wall %.0f ms)\n"
+            (float_of_int requests /. (wall_ms /. 1000.))
+            wall_ms;
+          emit_json [ ph ];
+          match spawned with
+          | None -> ()
+          | Some (server, d) ->
+            Server.stop server;
+            Domain.join d
+        end
+        else begin
+          (* solve-farm mode: N daemon processes, three phases *)
+          let tmp_store = store = None in
+          let store_path =
+            match store with
+            | Some p -> p
+            | None -> Filename.temp_file "soctest-bench" ".store"
+          in
+          (* stamp the magic once, before the daemons race to create it *)
+          Store.close (Store.open_ store_path);
+          let run_phase label store_opt =
+            let daemons = List.init procs (fun _ -> spawn_daemon ?store:store_opt ()) in
+            Fun.protect
+              ~finally:(fun () -> List.iter stop_daemon daemons)
+              (fun () ->
+                let ports =
+                  Array.of_list (List.map (fun (_, p, _) -> p) daemons)
+                in
+                let before = sum_tiers ports in
+                let wall_ms, okn, latencies =
+                  bench_workload ~ports ~requests ~clients ~bodies
+                in
+                let after = sum_tiers ports in
+                {
+                  ph_label = label;
+                  ph_ok = okn;
+                  ph_wall_ms = wall_ms;
+                  ph_latencies = latencies;
+                  ph_tiers = sub_tiers after before;
+                })
+          in
+          Printf.printf
+            "bench-serve farm: %d daemons, %d requests (%d distinct) over \
+             %d clients against %s W=%d, store %s\n%!"
+            procs requests distinct clients soc.Soc_def.name width store_path;
+          let p_private = run_phase "private" None in
+          print_phase ~requests p_private;
+          let p_cold = run_phase "shared-cold" (Some store_path) in
+          print_phase ~requests p_cold;
+          let p_warm = run_phase "shared-warm" (Some store_path) in
+          print_phase ~requests p_warm;
+          Printf.printf
+            "shared store vs private caches: combined hit ratio %.0f%% \
+             (cold) / %.0f%% (warm) vs %.0f%% (private)\n"
+            (100. *. combined_ratio p_cold.ph_tiers)
+            (100. *. combined_ratio p_warm.ph_tiers)
+            (100. *. combined_ratio p_private.ph_tiers);
+          emit_json [ p_private; p_cold; p_warm ];
+          if tmp_store then Sys.remove store_path
+        end)
   in
   Cmd.v
     (Cmd.info "bench-serve"
        ~doc:
          "Load-generate against the scheduling service and report latency \
-          percentiles, throughput and the engine cache hit ratio \
-          (spawning an in-process server unless $(b,--port) points at a \
-          running one).")
+          percentiles, throughput and per-tier cache hit ratios (memory \
+          vs persistent store) from $(b,/v1/metrics) deltas. \
+          $(b,--procs N) runs a multi-process solve farm comparing \
+          private caches against a shared store, cold and warm.")
     Term.(
       ret
         (const run $ soc_arg ~default:"d695" $ width_arg ~default:32 $ port
-       $ requests $ clients $ budget $ json))
+       $ requests $ clients $ budget $ distinct $ procs $ store_arg $ json))
+
+let store_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"The store file.")
+  in
+  let stats =
+    let run file =
+      wrap (fun () ->
+          let r = Store.verify file in
+          Printf.printf "store %s:\n" file;
+          Printf.printf "  entries      : %d\n" r.Store.v_entries;
+          Printf.printf "  records      : %d (%d superseded)\n"
+            r.Store.v_records
+            (r.Store.v_records - r.Store.v_entries);
+          Printf.printf "  corrupt      : %d record(s) skipped\n"
+            r.Store.v_corrupt;
+          Printf.printf "  torn tail    : %d byte(s)\n" r.Store.v_torn_bytes;
+          Printf.printf "  file size    : %d byte(s)\n" r.Store.v_file_bytes)
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Scan a store file and print record/entry/corruption counts.")
+      Term.(ret (const run $ file_arg))
+  in
+  let verify =
+    let run file =
+      wrap (fun () ->
+          let r = Store.verify file in
+          let bad = ref 0 in
+          let s = Store.open_ ~readonly:true file in
+          Fun.protect
+            ~finally:(fun () -> Store.close s)
+            (fun () ->
+              Store.iter s (fun ~key ~payload ->
+                  match Engine.result_of_payload payload with
+                  | Ok _ -> ()
+                  | Error e ->
+                    incr bad;
+                    Printf.printf "undecodable entry %s: %s\n" key e));
+          Printf.printf
+            "verified %s: %d live entries, %d corrupt record(s), %d torn \
+             byte(s), %d undecodable payload(s)\n"
+            file r.Store.v_entries r.Store.v_corrupt r.Store.v_torn_bytes !bad;
+          if r.Store.v_corrupt > 0 || r.Store.v_torn_bytes > 0 || !bad > 0
+          then failwith "store has damage (recoverable; see above)")
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Deep-check a store file: CRC every record and decode every \
+            live payload; non-zero exit when anything is damaged.")
+      Term.(ret (const run $ file_arg))
+  in
+  let compact =
+    let run file =
+      wrap (fun () ->
+          let s = Store.open_ file in
+          Fun.protect
+            ~finally:(fun () -> Store.close s)
+            (fun () ->
+              let reclaimed = Store.compact s in
+              Printf.printf "compacted %s: %d byte(s) reclaimed, %d entries\n"
+                file reclaimed (Store.length s)))
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Rewrite a store file keeping only the latest intact record \
+            per key, dropping superseded, corrupt and torn bytes.")
+      Term.(ret (const run $ file_arg))
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect and maintain persistent result stores (see $(b,--store) \
+          on $(b,schedule), $(b,serve) and $(b,bench-serve)).")
+    [ stats; verify; compact ]
 
 let main_cmd =
   let doc =
@@ -1170,7 +1513,7 @@ let main_cmd =
       table1_cmd; table2_cmd; fig1_cmd; fig2_cmd; fig9_cmd; ablate_cmd;
       all_cmd; soc_info_cmd; schedule_cmd; export_cmd; extras_cmd; verilog_cmd;
       validate_cmd; check_cmd; stil_cmd; sweep_cmd; portfolio_cmd;
-      serve_cmd; bench_serve_cmd;
+      serve_cmd; bench_serve_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

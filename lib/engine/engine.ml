@@ -6,6 +6,10 @@ module Soc_writer = Soctest_soc.Soc_writer
 module Pareto = Soctest_wrapper.Pareto
 module Constraint_def = Soctest_constraints.Constraint_def
 module Obs = Soctest_obs.Obs
+module Json = Soctest_obs.Json
+module Store = Soctest_store.Store
+module Schedule = Soctest_tam.Schedule
+module Schedule_io = Soctest_tam.Schedule_io
 
 (* ------------------------------------------------------------------ *)
 (* Digests: MD5 hex of canonical textual renderings, so keys are stable
@@ -41,6 +45,114 @@ let overrides_key = function
     |> String.concat ","
 
 (* ------------------------------------------------------------------ *)
+(* Result payload codec: the serialized form of an [Optimizer.result]
+   the on-disk store tier holds. JSON over [Soctest_obs.Json] (no
+   external dependency); the schedule rides as {!Schedule_io} text, so
+   a decode round-trips through the same validating parser the CLI
+   uses. *)
+
+let payload_version = 1
+
+let result_to_payload (r : Optimizer.result) =
+  let pairs l =
+    Json.List
+      (List.map (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ]) l)
+  in
+  let p = r.Optimizer.params in
+  Json.to_string
+    (Json.Obj
+       [
+         ("version", Json.Int payload_version);
+         ("testing_time", Json.Int r.Optimizer.testing_time);
+         ("widths", pairs r.Optimizer.widths);
+         ("preemptions", pairs r.Optimizer.preemptions);
+         ( "params",
+           Json.Obj
+             [
+               ("wmax", Json.Int p.Optimizer.wmax);
+               ("percent", Json.Int p.Optimizer.percent);
+               ("delta", Json.Int p.Optimizer.delta);
+               ("insert_slack", Json.Int p.Optimizer.insert_slack);
+               ("widen", Json.Bool p.Optimizer.widen);
+             ] );
+         ("schedule", Json.String (Schedule_io.to_string r.Optimizer.schedule));
+       ])
+
+let result_of_payload s =
+  let ( let* ) = Result.bind in
+  let int name j =
+    match Json.member name j with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "payload field %S missing or not an int" name)
+  in
+  let bool name j =
+    match Json.member name j with
+    | Some (Json.Bool b) -> Ok b
+    | _ ->
+      Error (Printf.sprintf "payload field %S missing or not a bool" name)
+  in
+  let pairs name j =
+    match Json.member name j with
+    | Some (Json.List l) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.List [ Json.Int a; Json.Int b ] :: rest ->
+          go ((a, b) :: acc) rest
+        | _ -> Error (Printf.sprintf "payload field %S malformed" name)
+      in
+      go [] l
+    | _ -> Error (Printf.sprintf "payload field %S missing or not a list" name)
+  in
+  match Json.parse s with
+  | Error msg -> Error ("payload is not JSON: " ^ msg)
+  | Ok j ->
+    let* version = int "version" j in
+    if version <> payload_version then
+      Error (Printf.sprintf "payload version %d (expected %d)" version
+               payload_version)
+    else
+      let* testing_time = int "testing_time" j in
+      let* widths = pairs "widths" j in
+      let* preemptions = pairs "preemptions" j in
+      let* params =
+        match Json.member "params" j with
+        | Some pj ->
+          let* wmax = int "wmax" pj in
+          let* percent = int "percent" pj in
+          let* delta = int "delta" pj in
+          let* insert_slack = int "insert_slack" pj in
+          let* widen = bool "widen" pj in
+          Ok
+            {
+              Optimizer.wmax;
+              percent;
+              delta;
+              insert_slack;
+              widen;
+            }
+        | None -> Error "payload field \"params\" missing"
+      in
+      let* schedule =
+        match Json.member "schedule" j with
+        | Some (Json.String text) -> (
+          try Ok (Schedule_io.of_string text)
+          with Schedule_io.Parse_error e ->
+            Error
+              (Format.asprintf "payload schedule malformed: %a"
+                 Schedule_io.pp_error e))
+        | _ -> Error "payload field \"schedule\" missing or not a string"
+      in
+      Ok
+        { Optimizer.schedule; testing_time; widths; preemptions; params }
+
+(* ------------------------------------------------------------------ *)
+
+type store_stats = {
+  hits : int;
+  misses : int;
+  audit_rejects : int;
+  write_errors : int;
+}
 
 type t = {
   pareto_cache : (string * int, Pareto.t) Cache.t;
@@ -50,15 +162,50 @@ type t = {
      constraint values over and over, so remember the last rendering *)
   soc_memo : (Soc_def.t * string) option Atomic.t;
   constraints_memo : (Constraint_def.t * string) option Atomic.t;
+  (* the persistent tier under the eval cache, plus its per-engine
+     tier counters (Atomic so they count whether or not Obs records) *)
+  store : Store.t option;
+  store_hits : int Atomic.t;
+  store_misses : int Atomic.t;
+  store_rejects : int Atomic.t;
+  store_write_errors : int Atomic.t;
 }
 
-let create () =
+let store_hits_c = Obs.counter "engine.store.hits"
+let store_misses_c = Obs.counter "engine.store.misses"
+let store_rejects_c = Obs.counter "engine.store.audit_rejects"
+let store_write_errors_c = Obs.counter "engine.store.write_errors"
+
+let create ?store () =
+  let store =
+    match store with
+    | Some _ as s -> s
+    | None -> (
+      match Sys.getenv_opt "SOCTEST_STORE" with
+      | Some path when String.trim path <> "" -> Some (Store.open_ path)
+      | _ -> None)
+  in
   {
     pareto_cache = Cache.create ~name:"engine.cache.pareto";
     prepare_cache = Cache.create ~name:"engine.cache.prepare";
     eval_cache = Cache.create ~name:"engine.cache.eval";
     soc_memo = Atomic.make None;
     constraints_memo = Atomic.make None;
+    store;
+    store_hits = Atomic.make 0;
+    store_misses = Atomic.make 0;
+    store_rejects = Atomic.make 0;
+    store_write_errors = Atomic.make 0;
+  }
+
+let store t = t.store
+
+let store_stats t =
+  {
+    hits = Atomic.get t.store_hits;
+    misses = Atomic.get t.store_misses;
+    audit_rejects = Atomic.get t.store_rejects;
+    write_errors = Atomic.get t.store_write_errors;
   }
 
 let memoized memo digest v =
@@ -97,19 +244,104 @@ let eval_key t ?(overrides = []) prepared (req : Optimizer.request) =
     (constraints_digest_of t req.Optimizer.constraints)
     (overrides_key overrides)
 
+(* ------------------------------------------------------------------ *)
+(* The disk tier. Lookup order is memory -> disk -> solve, with
+   write-through on a solve. A disk hit is never trusted: the decoded
+   schedule is re-audited from first principles ([Audit.run], through
+   this engine's Pareto cache) and the result's derived fields are
+   cross-checked against the schedule, so a corrupt, stale or tampered
+   entry degrades to a fresh solve (which then overwrites it) instead
+   of ever being served. *)
+
+let validate_store_result t prepared (req : Optimizer.request)
+    (r : Optimizer.result) =
+  let soc = Optimizer.soc_of prepared in
+  let wmax = Optimizer.wmax_of prepared in
+  r.Optimizer.params = req.Optimizer.params
+  && r.Optimizer.schedule.Schedule.tam_width = req.Optimizer.tam_width
+  &&
+  let report =
+    Soctest_check.Audit.run soc
+      (audit_spec t ~wmax ~expect_tam_width:req.Optimizer.tam_width
+         req.Optimizer.constraints)
+      r.Optimizer.schedule
+  in
+  Soctest_check.Audit.ok report
+  && r.Optimizer.testing_time = report.Soctest_check.Audit.makespan
+  &&
+  (* the non-schedule result fields must be re-derivable from the
+     audited schedule — a flipped byte in [widths] is as bad as one in
+     a slice *)
+  let sched = r.Optimizer.schedule in
+  let cores = Schedule.cores sched in
+  List.sort compare (List.map fst r.Optimizer.widths) = cores
+  && List.for_all
+       (fun (id, w) -> Schedule.width_of_core sched id = Some w)
+       r.Optimizer.widths
+  && List.sort compare r.Optimizer.preemptions
+     = List.filter_map
+         (fun c ->
+           match Schedule.preemptions sched c with
+           | 0 -> None
+           | n -> Some (c, n))
+         cores
+
+let store_find t key prepared req =
+  match t.store with
+  | None -> None
+  | Some store -> (
+    let payload =
+      try Store.find store key
+      with Unix.Unix_error _ | Sys_error _ -> None
+    in
+    match payload with
+    | None ->
+      Atomic.incr t.store_misses;
+      Obs.incr store_misses_c;
+      None
+    | Some payload -> (
+      match result_of_payload payload with
+      | Ok r when validate_store_result t prepared req r ->
+        Atomic.incr t.store_hits;
+        Obs.incr store_hits_c;
+        Some r
+      | Ok _ | Error _ ->
+        Atomic.incr t.store_rejects;
+        Obs.incr store_rejects_c;
+        None))
+
+let store_put t key r =
+  match t.store with
+  | None -> ()
+  | Some store -> (
+    try Store.add store ~key (result_to_payload r)
+    with Unix.Unix_error _ | Sys_error _ | Invalid_argument _ ->
+      (* a full disk or read-only store must not fail the solve that
+         produced a perfectly good result *)
+      Atomic.incr t.store_write_errors;
+      Obs.incr store_write_errors_c)
+
 (* The caching drop-in for [Optimizer.run_request]; [tally] (per-solve
    stats) is threaded separately so the public evaluator can omit it. *)
 let cached_eval t ?tally ?overrides prepared req =
   let key = eval_key t ?overrides prepared req in
+  let via_store = ref false in
   let result, outcome =
     Cache.find_or_compute t.eval_cache key (fun () ->
-        Optimizer.run_request ?overrides prepared req)
+        match store_find t key prepared req with
+        | Some r ->
+          via_store := true;
+          r
+        | None ->
+          let r = Optimizer.run_request ?overrides prepared req in
+          store_put t key r;
+          r)
   in
   (match tally with
   | None -> ()
-  | Some (computed, cached, deduped) -> (
+  | Some (computed, cached, deduped, from_store) -> (
     match outcome with
-    | Cache.Computed -> incr computed
+    | Cache.Computed -> if !via_store then incr from_store else incr computed
     | Cache.Cached -> incr cached
     | Cache.Deduped -> incr deduped));
   result
@@ -162,6 +394,7 @@ type stats = {
   eval_computed : int;
   eval_cached : int;
   eval_deduped : int;
+  eval_from_store : int;
   elapsed_ms : float;
 }
 
@@ -196,7 +429,8 @@ let solve t (r : request) =
   in
   let pareto_cached = Soc_def.core_count r.soc - pareto_computed in
   let computed = ref 0 and cached = ref 0 and deduped = ref 0 in
-  let tally = (computed, cached, deduped) in
+  let from_store = ref 0 in
+  let tally = (computed, cached, deduped, from_store) in
   let best = ref None in
   let evaluated = ref 0 in
   List.iter
@@ -253,6 +487,7 @@ let solve t (r : request) =
         eval_computed = !computed;
         eval_cached = !cached;
         eval_deduped = !deduped;
+        eval_from_store = !from_store;
         elapsed_ms = Float.max 0. ((Unix.gettimeofday () -. started) *. 1000.);
       };
   }

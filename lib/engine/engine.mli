@@ -24,7 +24,20 @@
     budgeted searches behave identically warm or cold. On budget expiry
     every entry point degrades gracefully — it stops before the next
     evaluation and returns the best incumbent found (never fewer than
-    one evaluation), flagged [`Deadline] instead of raising. *)
+    one evaluation), flagged [`Deadline] instead of raising.
+
+    {2 The persistent tier}
+
+    An engine can additionally sit on a {!Soctest_store.Store}: the
+    evaluation lookup order becomes {e memory -> disk -> solve}, with
+    write-through on a solve, so solved work survives process restarts
+    and is shared between the processes of a solve farm. Disk entries
+    are {e never trusted}: every disk hit is decoded and re-audited
+    from first principles ({!Soctest_check.Audit.run}, through this
+    engine's Pareto cache, with the result's derived fields
+    cross-checked against the audited schedule) before it is served — a
+    corrupt, stale or tampered record degrades to a fresh solve that
+    overwrites it, and can never emit an invalid schedule. *)
 
 module Optimizer = Soctest_core.Optimizer
 module Budget = Soctest_core.Budget
@@ -34,7 +47,10 @@ type t
     an experiment, a portfolio race) and route every solve in that
     workload through it; sharing a handle across domains is safe. *)
 
-val create : unit -> t
+val create : ?store:Soctest_store.Store.t -> unit -> t
+(** When [store] is omitted, the [SOCTEST_STORE] environment variable
+    (a store file path, created on first use) opens one; unset (the
+    default) means a purely in-memory engine, exactly as before. *)
 
 (** {1 Requests} *)
 
@@ -85,6 +101,8 @@ type stats = {
   eval_computed : int;  (** scheduler runs this solve executed *)
   eval_cached : int;  (** evaluations served without blocking *)
   eval_deduped : int;  (** evaluations shared with a concurrent computer *)
+  eval_from_store : int;
+      (** evaluations served by the disk tier (audited disk hits) *)
   elapsed_ms : float;
 }
 
@@ -163,6 +181,36 @@ val pareto_cache_stats : t -> int * int
 
 val eval_cache_stats : t -> int * int
 (** (hits, misses) of the evaluation level so far. *)
+
+val store : t -> Soctest_store.Store.t option
+(** The persistent tier this engine was created over, if any. *)
+
+type store_stats = {
+  hits : int;  (** disk hits that decoded, audited clean and were served *)
+  misses : int;  (** evaluations the disk tier did not have *)
+  audit_rejects : int;
+      (** disk records rejected: undecodable payloads, stale params, or
+          schedules that failed the mandatory {!Soctest_check.Audit} *)
+  write_errors : int;  (** write-through appends that failed (IO) *)
+}
+
+val store_stats : t -> store_stats
+(** Per-engine disk-tier counters (zero when the engine has no store).
+    Counted internally, visible whether or not {!Soctest_obs.Obs}
+    recording is on; the daemon exports them at [/v1/metrics]. *)
+
+(** {1 Result payloads (the disk tier's serialized form)} *)
+
+val result_to_payload : Optimizer.result -> string
+(** Serialize a solve result for the store: a JSON object carrying the
+    testing time, per-core widths/preemptions, the search params and
+    the schedule as {!Soctest_tam.Schedule_io} text. *)
+
+val result_of_payload : string -> (Optimizer.result, string) result
+(** Decode {!result_to_payload}'s form back; [Error] on malformed JSON,
+    an unknown payload version or a schedule text the validating parser
+    rejects. Decoding alone does {e not} vouch for the result — the
+    engine audits it against the requesting SOC before serving it. *)
 
 val soc_digest : Soctest_soc.Soc_def.t -> string
 (** The engine's SOC cache key: MD5 (as lowercase hex) of the canonical

@@ -62,6 +62,16 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
+let rec member_path path v =
+  match path with
+  | [] -> Some v
+  | key :: rest -> (
+    match member key v with
+    | None -> None
+    | Some inner -> member_path rest inner)
+
+let to_int = function Int i -> Some i | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Strict recursive-descent well-formedness checker. Recognizes exactly
    RFC 8259 value syntax; reports the byte offset of the first error. *)

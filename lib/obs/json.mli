@@ -31,6 +31,15 @@ val member : string -> t -> t option
 (** [member key (Obj fields)] is the first binding of [key]; [None] on
     a missing key or a non-object. *)
 
+val member_path : string list -> t -> t option
+(** [member_path ["engine"; "store"; "hits"] v] follows nested object
+    keys; [None] as soon as one is missing. [member_path [] v = Some v].
+    What metric-scraping clients ([soctest bench-serve]) use to pull
+    per-tier counters out of [/v1/metrics]. *)
+
+val to_int : t -> int option
+(** [Some i] for [Int i], [None] for every other constructor. *)
+
 val check : string -> (unit, string) result
 (** Strict well-formedness check of one JSON document (surrounding
     whitespace allowed, nothing else after it). [Error msg] carries the

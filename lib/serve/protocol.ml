@@ -237,6 +237,8 @@ let json_of_outcome ~soc (o : Engine.outcome) =
             ("eval_computed", Json.Int o.Engine.stats.Engine.eval_computed);
             ("eval_cached", Json.Int o.Engine.stats.Engine.eval_cached);
             ("eval_deduped", Json.Int o.Engine.stats.Engine.eval_deduped);
+            ( "eval_from_store",
+              Json.Int o.Engine.stats.Engine.eval_from_store );
           ] );
       ("solve_ms", Json.Float o.Engine.stats.Engine.elapsed_ms);
     ]

@@ -115,6 +115,32 @@ let metrics t =
   let cache_obj (hits, misses) =
     Json.Obj [ ("hits", Json.Int hits); ("misses", Json.Int misses) ]
   in
+  let store_obj =
+    (* per-tier counters: numeric fields are always present so clients
+       (bench-serve) can diff them without probing for the store *)
+    let s = Engine.store_stats t.engine_ in
+    let static =
+      [
+        ("hits", Json.Int s.Engine.hits);
+        ("misses", Json.Int s.Engine.misses);
+        ("audit_rejects", Json.Int s.Engine.audit_rejects);
+        ("write_errors", Json.Int s.Engine.write_errors);
+      ]
+    in
+    match Engine.store t.engine_ with
+    | None -> Json.Obj (("enabled", Json.Bool false) :: static)
+    | Some store ->
+      let fs = Soctest_store.Store.stats store in
+      Json.Obj
+        (("enabled", Json.Bool true)
+        :: static
+        @ [
+            ("path", Json.String (Soctest_store.Store.path store));
+            ("entries", Json.Int fs.Soctest_store.Store.entries);
+            ("file_bytes", Json.Int fs.Soctest_store.Store.file_bytes);
+            ("appends", Json.Int fs.Soctest_store.Store.appends);
+          ])
+  in
   Json.to_string
     (Json.Obj
        [
@@ -126,6 +152,7 @@ let metrics t =
              [
                ("pareto", cache_obj (Engine.pareto_cache_stats t.engine_));
                ("eval", cache_obj (Engine.eval_cache_stats t.engine_));
+               ("store", store_obj);
              ] );
          ( "counters",
            Json.Obj

@@ -10,7 +10,10 @@
     - [POST /v1/check] — audit a {!Soctest_tam.Schedule_io} text with
       {!Soctest_check.Audit.run}; always 200 with the report (a dirty
       schedule is a valid answer here, not a server error).
-    - [GET /v1/metrics] — engine cache statistics plus every
+    - [GET /v1/metrics] — engine cache statistics per tier (the
+      in-memory Pareto/eval caches and, when the engine sits on a
+      {!Soctest_store.Store}, the disk tier's
+      hits/misses/audit-rejects and file statistics) plus every
       {!Soctest_obs.Obs} counter/gauge/histogram, as JSON.
     - [GET /healthz] — liveness: status, uptime, in-flight count.
 

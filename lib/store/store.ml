@@ -1,0 +1,408 @@
+module Obs = Soctest_obs.Obs
+
+(* Every handle shares these: the names are process-global Obs
+   registrations, so a farm daemon exports one set of store counters no
+   matter how many handles it opens. *)
+let appends_c = Obs.counter "store.appends"
+let corrupt_c = Obs.counter "store.corrupt_skipped"
+
+let magic = "SOCSTORE1\n"
+let header_len = String.length magic
+let max_key_len = 4096
+let max_payload_len = 256 * 1024 * 1024
+
+exception Corrupt_store of string
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE, polynomial 0xEDB88320), table-driven. 32-bit values
+   live comfortably in OCaml's 63-bit ints. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_update crc s pos len =
+  let table = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s =
+  crc32_update 0 (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Record framing *)
+
+let u32_get b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let u32_set b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let record_len ~key_len ~payload_len = 8 + key_len + payload_len + 4
+
+let encode_record ~key payload =
+  let klen = String.length key and plen = String.length payload in
+  let total = record_len ~key_len:klen ~payload_len:plen in
+  let b = Bytes.create total in
+  u32_set b 0 klen;
+  u32_set b 4 plen;
+  Bytes.blit_string key 0 b 8 klen;
+  Bytes.blit_string payload 0 b (8 + klen) plen;
+  u32_set b (8 + klen + plen) (crc32_update 0 b 0 (8 + klen + plen));
+  b
+
+(* ------------------------------------------------------------------ *)
+
+type entry = { rec_off : int; key_len : int; payload_len : int }
+
+type t = {
+  path : string;
+  readonly : bool;
+  mutable fd : Unix.file_descr;
+  mutable closed : bool;
+  index : (string, entry) Hashtbl.t;
+  mutable order : string list;  (** reversed first-appended order *)
+  mutable scan_off : int;  (** clean prefix scanned so far *)
+  mutable records : int;
+  mutable corrupt : int;
+  mutable torn_bytes : int;
+  mutable appends : int;
+  lock : Mutex.t;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let check_open t op =
+  if t.closed then
+    invalid_arg (Printf.sprintf "Store.%s: handle for %s is closed" op t.path)
+
+let check_writable t op =
+  check_open t op;
+  if t.readonly then
+    invalid_arg (Printf.sprintf "Store.%s: %s opened read-only" op t.path)
+
+(* I/O helpers; [fd] offsets are managed explicitly (never rely on the
+   shared file position surviving between operations). *)
+
+let file_size fd = (Unix.fstat fd).Unix.st_size
+
+let read_at fd ~off ~len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create len in
+  let rec go pos =
+    if pos >= len then pos
+    else
+      match Unix.read fd b pos (len - pos) with
+      | 0 -> pos
+      | n -> go (pos + n)
+  in
+  let got = go 0 in
+  (b, got)
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let rec go pos =
+    if pos < len then go (pos + Unix.write fd b pos (len - pos))
+  in
+  go 0
+
+(* Advisory cross-process locks on the data file. [Unix.lockf] acts at
+   the current position; region 0 = to EOF, so lock from offset 0.
+   fcntl locks are per-process — the in-process mutex already serializes
+   domains, so lock/unlock pairs never interleave within a process. *)
+
+let flock t kind =
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  Unix.lockf t.fd kind 0
+
+let with_flock t kind f =
+  flock t kind;
+  Fun.protect ~finally:(fun () -> flock t Unix.F_ULOCK) f
+
+(* ------------------------------------------------------------------ *)
+(* Scanning: advance [scan_off] over intact records, skipping
+   CRC-invalid ones; stop at the first spot that cannot be a record (a
+   torn tail). [truncate] (writable handles holding the exclusive lock)
+   chops the torn tail off so the next append starts at a clean
+   boundary. *)
+
+let index_record t key entry =
+  if not (Hashtbl.mem t.index key) then t.order <- key :: t.order;
+  Hashtbl.replace t.index key entry
+
+let scan_forward ?(truncate = false) t =
+  let size = file_size t.fd in
+  let added = ref 0 in
+  let torn = ref false in
+  while (not !torn) && t.scan_off + 8 <= size do
+    let off = t.scan_off in
+    let header, got = read_at t.fd ~off ~len:8 in
+    if got < 8 then torn := true
+    else begin
+      let key_len = u32_get header 0 and payload_len = u32_get header 4 in
+      if
+        key_len < 1 || key_len > max_key_len || payload_len < 0
+        || payload_len > max_payload_len
+        || off + record_len ~key_len ~payload_len > size
+      then torn := true
+      else begin
+        let total = record_len ~key_len ~payload_len in
+        let record, got = read_at t.fd ~off ~len:total in
+        if got < total then torn := true
+        else if
+          u32_get record (total - 4) <> crc32_update 0 record 0 (total - 4)
+        then begin
+          (* a bit-rotted record: drop it, keep everything after it *)
+          t.corrupt <- t.corrupt + 1;
+          Obs.incr corrupt_c;
+          t.scan_off <- off + total
+        end
+        else begin
+          let key = Bytes.sub_string record 8 key_len in
+          index_record t key { rec_off = off; key_len; payload_len };
+          t.records <- t.records + 1;
+          incr added;
+          t.scan_off <- off + total
+        end
+      end
+    end
+  done;
+  if (not !torn) && t.scan_off < size then torn := true;
+  if !torn && truncate then begin
+    t.torn_bytes <- t.torn_bytes + (size - t.scan_off);
+    Unix.ftruncate t.fd t.scan_off
+  end;
+  !added
+
+(* ------------------------------------------------------------------ *)
+
+let open_ ?(readonly = false) path =
+  let fd =
+    if readonly then Unix.openfile path [ Unix.O_RDONLY ] 0
+    else Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  match
+    let size = file_size fd in
+    if size = 0 then
+      if readonly then raise (Corrupt_store (path ^ ": empty file"))
+      else write_all fd (Bytes.of_string magic)
+    else begin
+      let header, got = read_at fd ~off:0 ~len:header_len in
+      if got < header_len || Bytes.to_string header <> magic then
+        raise
+          (Corrupt_store
+             (path ^ ": bad magic (not a soctest store, or truncated header)"))
+    end;
+    let t =
+      {
+        path;
+        readonly;
+        fd;
+        closed = false;
+        index = Hashtbl.create 64;
+        order = [];
+        scan_off = header_len;
+        records = 0;
+        corrupt = 0;
+        torn_bytes = 0;
+        appends = 0;
+        lock = Mutex.create ();
+      }
+    in
+    if readonly then begin
+      (* report (but do not touch) whatever a recovery would drop *)
+      ignore (scan_forward t);
+      t.torn_bytes <- file_size fd - t.scan_off
+    end
+    else ignore (with_flock t Unix.F_LOCK (fun () -> scan_forward ~truncate:true t));
+    t
+  with
+  | t -> t
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        try Unix.close t.fd with Unix.Unix_error _ -> ()
+      end)
+
+let path t = t.path
+let readonly t = t.readonly
+let length t = with_lock t (fun () -> Hashtbl.length t.index)
+
+type stats = {
+  entries : int;
+  records : int;
+  corrupt : int;
+  torn_bytes : int;
+  file_bytes : int;
+  appends : int;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      check_open t "stats";
+      {
+        entries = Hashtbl.length t.index;
+        records = t.records;
+        corrupt = t.corrupt;
+        torn_bytes = t.torn_bytes;
+        file_bytes = file_size t.fd;
+        appends = t.appends;
+      })
+
+let refresh_locked t =
+  if file_size t.fd > t.scan_off then
+    if t.readonly then scan_forward t
+    else with_flock t Unix.F_RLOCK (fun () -> scan_forward t)
+  else 0
+
+let refresh t =
+  with_lock t (fun () ->
+      check_open t "refresh";
+      refresh_locked t)
+
+(* Re-read and re-verify one indexed record; a failed re-check (an
+   external truncation, bit rot since the scan) is a miss, never a
+   served payload. *)
+let read_entry t key e =
+  let total = record_len ~key_len:e.key_len ~payload_len:e.payload_len in
+  let record, got = read_at t.fd ~off:e.rec_off ~len:total in
+  if
+    got = total
+    && u32_get record (total - 4) = crc32_update 0 record 0 (total - 4)
+    && Bytes.sub_string record 8 e.key_len = key
+  then Some (Bytes.sub_string record (8 + e.key_len) e.payload_len)
+  else None
+
+let find t key =
+  with_lock t (fun () ->
+      check_open t "find";
+      let entry =
+        match Hashtbl.find_opt t.index key with
+        | Some _ as e -> e
+        | None ->
+          (* another process may have solved it since we last looked *)
+          ignore (refresh_locked t);
+          Hashtbl.find_opt t.index key
+      in
+      match entry with None -> None | Some e -> read_entry t key e)
+
+let mem t key = find t key <> None
+
+let add t ~key payload =
+  if key = "" then invalid_arg "Store.add: empty key";
+  if String.length key > max_key_len then invalid_arg "Store.add: key too long";
+  if String.length payload > max_payload_len then
+    invalid_arg "Store.add: payload too large";
+  with_lock t (fun () ->
+      check_writable t "add";
+      let record = encode_record ~key payload in
+      with_flock t Unix.F_LOCK (fun () ->
+          (* catch up on other writers (and clear any crash debris) so
+             the index offset we record is the real one *)
+          ignore (scan_forward ~truncate:true t);
+          let off = t.scan_off in
+          ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+          write_all t.fd record;
+          index_record t key
+            {
+              rec_off = off;
+              key_len = String.length key;
+              payload_len = String.length payload;
+            };
+          t.scan_off <- off + Bytes.length record;
+          t.records <- t.records + 1;
+          t.appends <- t.appends + 1;
+          Obs.incr appends_c))
+
+let live_entries t =
+  (* newest entry per key, in first-appended order ([order] is kept
+     reversed, so one rev_map restores it) *)
+  List.rev_map (fun key -> (key, Hashtbl.find t.index key)) t.order
+
+let iter t f =
+  let snapshot =
+    with_lock t (fun () ->
+        check_open t "iter";
+        ignore (refresh_locked t);
+        live_entries t)
+  in
+  List.iter
+    (fun (key, e) ->
+      match with_lock t (fun () -> if t.closed then None else read_entry t key e) with
+      | Some payload -> f ~key ~payload
+      | None -> ())
+    snapshot
+
+let compact t =
+  with_lock t (fun () ->
+      check_writable t "compact";
+      with_flock t Unix.F_LOCK (fun () ->
+          ignore (scan_forward ~truncate:true t);
+          let old_size = file_size t.fd in
+          let tmp_path = t.path ^ ".compact" in
+          let tmp =
+            Unix.openfile tmp_path
+              [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ]
+              0o644
+          in
+          (try
+             write_all tmp (Bytes.of_string magic);
+             List.iter
+               (fun (key, e) ->
+                 match read_entry t key e with
+                 | Some payload -> write_all tmp (encode_record ~key payload)
+                 | None -> ())
+               (live_entries t);
+             Unix.fsync tmp
+           with e ->
+             (try Unix.close tmp with Unix.Unix_error _ -> ());
+             (try Sys.remove tmp_path with Sys_error _ -> ());
+             raise e);
+          Unix.close tmp;
+          Unix.rename tmp_path t.path;
+          (* swap descriptors and rebuild the index against the new file *)
+          let old_fd = t.fd in
+          t.fd <- Unix.openfile t.path [ Unix.O_RDWR ] 0o644;
+          (try Unix.close old_fd with Unix.Unix_error _ -> ());
+          Hashtbl.reset t.index;
+          t.order <- [];
+          t.scan_off <- header_len;
+          t.records <- 0;
+          t.corrupt <- 0;
+          ignore (scan_forward t);
+          max 0 (old_size - file_size t.fd)))
+
+(* ------------------------------------------------------------------ *)
+
+type verify_report = {
+  v_records : int;
+  v_entries : int;
+  v_corrupt : int;
+  v_torn_bytes : int;
+  v_file_bytes : int;
+}
+
+let verify path =
+  let t = open_ ~readonly:true path in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      let s = stats t in
+      {
+        v_records = s.records;
+        v_entries = s.entries;
+        v_corrupt = s.corrupt;
+        v_torn_bytes = s.torn_bytes;
+        v_file_bytes = s.file_bytes;
+      })

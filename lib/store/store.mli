@@ -1,0 +1,141 @@
+(** Persistent result cache: a crash-safe, append-only record file plus
+    an in-memory index — the on-disk tier layered under the engine's
+    in-memory caches so solved work survives process restarts and is
+    shared across the daemons of a solve farm.
+
+    {2 File format}
+
+    A store file is a 10-byte header ([SOCSTORE1\n]) followed by
+    records, each
+
+    {v
+    key length   (4 bytes, little-endian)
+    payload length (4 bytes, little-endian)
+    key bytes
+    payload bytes
+    CRC-32       (4 bytes, little-endian, over the 8 length bytes,
+                  the key and the payload)
+    v}
+
+    Records are never rewritten in place: updating a key appends a new
+    record, and the {e last} intact record for a key wins. {!compact}
+    rewrites the file keeping only each key's newest record.
+
+    {2 Crash safety}
+
+    {!open_} rebuilds the index by scanning the file once. A record
+    whose CRC does not match is skipped (counted in [stats.corrupt]) and
+    the scan continues at the next record; a torn tail — a record that
+    runs past end-of-file, or length fields that are not plausible — is
+    truncated away (writable handles) or ignored (read-only handles),
+    never fatal. A crash mid-append therefore loses at most the record
+    being written; every intact prefix record survives.
+
+    {2 Concurrency}
+
+    Within a process a handle is domain-safe (one mutex around the file
+    descriptors and the index). Across processes, appends are serialized
+    by an advisory [lockf] exclusive lock on the data file — single
+    writer at a time — and each append first {!refresh}es the index, so
+    N daemons sharing one store file see each other's results: a lookup
+    that misses the in-memory index re-scans the freshly appended tail
+    before declaring a miss.
+
+    The store maps opaque string keys to opaque string payloads; it
+    knows nothing about schedules. The engine layers the semantics on
+    top (digest keys, serialized solve outcomes, and a mandatory
+    {!Soctest_check.Audit} pass on every disk hit before it is served —
+    see {!Soctest_engine.Engine}). *)
+
+type t
+
+exception Corrupt_store of string
+(** Raised by {!open_} only when the file cannot possibly be a store
+    (bad magic / unreadable header) — never for torn or corrupt
+    records, which are recovered from silently. *)
+
+val open_ : ?readonly:bool -> string -> t
+(** Open (creating it, unless [readonly]) the store at the given path
+    and rebuild the index by scanning. With [readonly] (default
+    [false]) the file is never modified: no truncation of a torn tail,
+    and {!add} / {!compact} raise [Invalid_argument].
+    @raise Corrupt_store on a non-store file;
+    @raise Unix.Unix_error / [Sys_error] on filesystem errors. *)
+
+val close : t -> unit
+(** Release the descriptors. Idempotent; other operations on a closed
+    handle raise [Invalid_argument]. *)
+
+val path : t -> string
+val readonly : t -> bool
+
+val find : t -> string -> string option
+(** [find t key] is the newest intact payload appended under [key],
+    re-read from disk and CRC-verified on every call (a record that
+    fails the re-check is treated as a miss, never served). A key
+    missing from the index triggers one {!refresh} before the miss is
+    final, so records appended by other processes are found. *)
+
+val mem : t -> string -> bool
+val add : t -> key:string -> string -> unit
+(** Append one record under the advisory file lock and index it. Keys
+    must be non-empty and at most {!max_key_len} bytes; payloads at
+    most {!max_payload_len}. Appending an existing key supersedes the
+    old record ({e last wins}).
+    @raise Invalid_argument on a read-only or closed handle or
+    out-of-range sizes. *)
+
+val refresh : t -> int
+(** Scan any records other processes appended since this handle last
+    looked, indexing them; returns how many new records were indexed.
+    {!find} calls this automatically on an index miss. *)
+
+val length : t -> int
+(** Distinct keys currently indexed. *)
+
+val iter : t -> (key:string -> payload:string -> unit) -> unit
+(** Apply to every live (newest-per-key) record, in first-appended
+    order. Payloads are re-read and CRC-verified; records that fail the
+    re-check are skipped. *)
+
+type stats = {
+  entries : int;  (** distinct keys indexed *)
+  records : int;  (** intact records scanned, including superseded ones *)
+  corrupt : int;  (** CRC-invalid records skipped while scanning *)
+  torn_bytes : int;  (** torn-tail bytes truncated (or ignored) at open *)
+  file_bytes : int;  (** current size of the store file *)
+  appends : int;  (** records appended through this handle *)
+}
+
+val stats : t -> stats
+
+val compact : t -> int
+(** Rewrite the file keeping only the newest record per key (atomic
+    rename of a fully written temporary), then reopen the descriptors.
+    Returns the number of bytes reclaimed. Requires exclusive use of
+    the store: other processes holding the old file open keep appending
+    to the unlinked inode and those appends are lost — run it from
+    maintenance tooling ([soctest store compact]), not from a live farm.
+    @raise Invalid_argument on a read-only or closed handle. *)
+
+(** {1 Offline inspection} *)
+
+type verify_report = {
+  v_records : int;  (** intact records *)
+  v_entries : int;  (** distinct keys *)
+  v_corrupt : int;  (** CRC-invalid records *)
+  v_torn_bytes : int;  (** unparseable tail bytes *)
+  v_file_bytes : int;
+}
+
+val verify : string -> verify_report
+(** Scan a store file read-only and report what a recovery would keep —
+    what [soctest store verify] prints.
+    @raise Corrupt_store / [Sys_error] as {!open_}. *)
+
+val crc32 : string -> int
+(** The store's checksum (IEEE CRC-32, polynomial 0xEDB88320), exposed
+    for tests. [crc32 "123456789" = 0xCBF43926]. *)
+
+val max_key_len : int
+val max_payload_len : int

@@ -1,0 +1,65 @@
+A schedule solved with --store writes the result through to the
+persistent store (one miss per evaluation, written on the way out):
+
+  $ soctest schedule --soc mini4 -w 8 --store mini4.store
+  SOC mini4 at W=8: testing time 405 cycles
+  (store mini4.store: 0 disk hit(s), 1 solve(s) written, 1 entries)
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 5
+    core  4 (delta): width 3
+
+A second, fresh process answers the same request from the disk tier —
+no solver work, bit-identical schedule:
+
+  $ soctest schedule --soc mini4 -w 8 --store mini4.store
+  SOC mini4 at W=8: testing time 405 cycles
+  (store mini4.store: 1 disk hit(s), 0 solve(s) written, 1 entries)
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 5
+    core  4 (delta): width 3
+
+SOCTEST_STORE is the same default without the flag:
+
+  $ SOCTEST_STORE=mini4.store soctest schedule --soc mini4 -w 8
+  SOC mini4 at W=8: testing time 405 cycles
+  (store mini4.store: 1 disk hit(s), 0 solve(s) written, 1 entries)
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 5
+    core  4 (delta): width 3
+
+The store subcommands inspect and maintain the file. A freshly written
+store is clean and already compact:
+
+  $ soctest store stats mini4.store | sed -e 's/: [0-9]* byte(s)$/: N byte(s)/'
+  store mini4.store:
+    entries      : 1
+    records      : 1 (0 superseded)
+    corrupt      : 0 record(s) skipped
+    torn tail    : N byte(s)
+    file size    : N byte(s)
+
+  $ soctest store verify mini4.store
+  verified mini4.store: 1 live entries, 0 corrupt record(s), 0 torn byte(s), 0 undecodable payload(s)
+
+  $ soctest store compact mini4.store
+  compacted mini4.store: 0 byte(s) reclaimed, 1 entries
+
+Damage is detected, reported, and survivable. Chop off the last nine
+bytes (a torn append) and verify exits non-zero while naming the tear:
+
+  $ head -c -9 mini4.store > torn.store
+  $ soctest store verify torn.store > verify-out.txt
+  soctest: store has damage (recoverable; see above)
+  [124]
+  $ sed -e 's/[0-9][0-9]* torn/N torn/' verify-out.txt
+  verified torn.store: 0 live entries, 0 corrupt record(s), N torn byte(s), 0 undecodable payload(s)
+
+A plain file is rejected loudly rather than scanned as garbage:
+
+  $ echo "not a store" > junk.store
+  $ soctest store stats junk.store
+  soctest: junk.store: bad magic (not a soctest store, or truncated header)
+  [124]

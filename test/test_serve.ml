@@ -294,6 +294,69 @@ let test_live_deadline_budget () =
     "degraded result is still audited clean" true
     (member "clean" (member "audit" v) = Json.Bool true)
 
+(* A daemon restarted against a warm store must answer a
+   previously-solved request from the disk tier, visibly in
+   /v1/metrics. *)
+let test_live_warm_restart () =
+  let module Store = Soctest_store.Store in
+  let path = Filename.temp_file "soctest-serve-test" ".store" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let with_stored_server f =
+    Soctest_obs.Obs.enable ~events:false ();
+    let store = Store.open_ path in
+    let engine = Engine.create ~store () in
+    let server = Server.create ~engine (Server.config ~port:0 ~workers:2 ()) in
+    let d = Domain.spawn (fun () -> Server.run server) in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop server;
+        Domain.join d;
+        Store.close store;
+        Soctest_obs.Obs.disable ())
+      (fun () -> f server (Server.port server))
+  in
+  let store_stat name port =
+    let m = Client.json_body (Client.get ~port "/v1/metrics") in
+    jint (member name (member "store" (member "engine" m)))
+  in
+  (* first life: solve, which writes through to the store *)
+  let first_schedule =
+    with_stored_server @@ fun _server port ->
+    let r = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
+    Alcotest.(check int) "first life status" 200 r.Client.status;
+    Alcotest.(check bool)
+      "metrics show the store enabled" true
+      (let m = Client.json_body (Client.get ~port "/v1/metrics") in
+       member "enabled" (member "store" (member "engine" m)) = Json.Bool true);
+    Alcotest.(check bool)
+      "first life wrote through" true
+      (store_stat "misses" port >= 1);
+    jstr (member "schedule_text" (member "result" (Client.json_body r)))
+  in
+  (* second life: a fresh process-worth of state, same store file *)
+  with_stored_server @@ fun _server port ->
+  Alcotest.(check int) "fresh daemon, no disk traffic yet" 0
+    (store_stat "hits" port);
+  let r = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
+  Alcotest.(check int) "second life status" 200 r.Client.status;
+  let v = Client.json_body r in
+  let cache = member "cache" (member "result" v) in
+  Alcotest.(check bool)
+    "served from the disk tier" true
+    (jint (member "eval_from_store" cache) >= 1);
+  Alcotest.(check int)
+    "solved nothing fresh" 0
+    (jint (member "eval_computed" cache));
+  Alcotest.(check string)
+    "bit-identical across the restart" first_schedule
+    (jstr (member "schedule_text" (member "result" v)));
+  Alcotest.(check bool)
+    "disk hit visible in /v1/metrics" true
+    (store_stat "hits" port >= 1);
+  Alcotest.(check int) "no audit rejects" 0 (store_stat "audit_rejects" port)
+
 let test_live_error_paths () =
   with_server @@ fun _server port ->
   let bad = Client.post ~port ~body:"{" "/v1/solve" in
@@ -333,5 +396,7 @@ let () =
           Alcotest.test_case "deadline budget" `Quick
             test_live_deadline_budget;
           Alcotest.test_case "error paths" `Quick test_live_error_paths;
+          Alcotest.test_case "warm restart from store" `Quick
+            test_live_warm_restart;
         ] );
     ]
