@@ -3,18 +3,23 @@
 # service / store benches, and emit a machine-readable BENCH_<n>.json at
 # the repo root so every PR leaves a comparable perf record.
 #
-#   bench/regression.sh [n]     # writes BENCH_<n>.json (default: 6)
+#   bench/regression.sh [n]     # writes BENCH_<n>.json (default: 7)
 #
 # Sections:
 #   schedule — CLI solve wall time, cold vs warm-store vs disk-hit
-#   single   — bench-serve against one daemon: latency percentiles,
-#              throughput, per-tier (memory/store) cache hit ratios
+#   single   — bench-serve against one daemon: latency percentiles
+#              (client-side and server-side, the latter from the
+#              /metrics Prometheus histogram), throughput, per-tier
+#              (memory/store) cache hit ratios
 #   farm     — bench-serve --procs 2: private caches vs a shared
 #              persistent store, cold and warm, per-tier ratios
+#   logging  — the same single-daemon load with the JSON log sink on
+#              (info level, file sink): req/s with logs off vs on and
+#              the overhead percentage
 set -eu
 
 cd "$(dirname "$0")/.."
-N=${1:-6}
+N=${1:-7}
 OUT=BENCH_${N}.json
 
 dune build bin/main.exe
@@ -28,6 +33,11 @@ now_ms() {
   echo $(( $(date +%s%N) / 1000000 ))
 }
 
+# first match of a numeric JSON field in a file
+jnum() {
+  sed -n "s/.*\"$2\":\([0-9][0-9.]*\).*/\1/p" "$1" | head -1
+}
+
 # -- schedule: cold solve, then the same solve answered from the store --
 t0=$(now_ms)
 "$SOCTEST" schedule --soc d695 -w 32 --store "$TMP/sched.store" >/dev/null
@@ -37,9 +47,25 @@ t2=$(now_ms)
 SCHED_COLD=$((t1 - t0))
 SCHED_WARM=$((t2 - t1))
 
-# -- single daemon, per-tier accounting ---------------------------------
+# -- single daemon, per-tier accounting, logs off -----------------------
 "$SOCTEST" bench-serve --soc d695 -w 16 --requests 32 --clients 8 \
   --distinct 4 --json "$TMP/single.json" >/dev/null
+
+# server-side percentiles come from the /metrics histogram the bench
+# scrapes before and after the workload (distinct from the client-side
+# latency_ms object, hence the anchored pattern)
+PROM_P50=$(sed -n 's/.*"prom_latency_ms":{"p50":\([0-9][0-9.]*\).*/\1/p' "$TMP/single.json")
+PROM_P99=$(sed -n 's/.*"prom_latency_ms":{"p50":[0-9.]*,"p99":\([0-9][0-9.]*\).*/\1/p' "$TMP/single.json")
+
+# -- the same load with the structured log sink on ----------------------
+"$SOCTEST" bench-serve --soc d695 -w 16 --requests 32 --clients 8 \
+  --distinct 4 --log-level info --log-file "$TMP/serve.jsonl" \
+  --json "$TMP/logged.json" >/dev/null
+
+RPS_OFF=$(jnum "$TMP/single.json" throughput_rps)
+RPS_ON=$(jnum "$TMP/logged.json" throughput_rps)
+LOG_LINES=$(wc -l < "$TMP/serve.jsonl" | tr -d ' ')
+OVERHEAD_PCT=$(awk "BEGIN { printf \"%.1f\", 100 * (1 - $RPS_ON / $RPS_OFF) }")
 
 # -- solve farm: 2 daemons, private vs shared store, cold vs warm -------
 "$SOCTEST" bench-serve --soc d695 -w 16 --requests 32 --clients 8 \
@@ -50,6 +76,10 @@ SCHED_WARM=$((t2 - t1))
   printf '{"bench": %s, "generated_by": "bench/regression.sh",\n' "$N"
   printf '"schedule": {"soc": "d695", "width": 32, "cold_ms": %s, "store_warm_ms": %s},\n' \
     "$SCHED_COLD" "$SCHED_WARM"
+  printf '"prom_latency_ms": {"p50": %s, "p99": %s},\n' \
+    "${PROM_P50:-0}" "${PROM_P99:-0}"
+  printf '"logging": {"off_rps": %s, "on_rps": %s, "overhead_pct": %s, "log_lines": %s},\n' \
+    "$RPS_OFF" "$RPS_ON" "$OVERHEAD_PCT" "$LOG_LINES"
   printf '"single": '
   cat "$TMP/single.json"
   printf ',\n"farm": '

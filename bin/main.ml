@@ -17,6 +17,7 @@ module Flow = Soctest_engine.Flow
 module Obs = Soctest_obs.Obs
 module Obs_export = Soctest_obs.Export
 module Obs_summary = Soctest_obs.Summary
+module Log = Soctest_obs.Log
 module Server = Soctest_serve.Server
 module Serve_client = Soctest_serve.Serve_client
 module Json = Soctest_obs.Json
@@ -939,6 +940,52 @@ let check_cmd =
 
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Structured-logging flags shared by serve and bench-serve. *)
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Emit structured JSON log lines at $(docv) (debug, info, warn, \
+           error) and above; without this flag logging stays a no-op.")
+
+let log_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-file" ] ~docv:"FILE"
+        ~doc:
+          "Append log lines to $(docv) instead of stderr (implies \
+           $(b,--log-level) info when that flag is absent).")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Dump the flight record of any request slower than $(docv) \
+           milliseconds end-to-end through the structured log.")
+
+let setup_logging ~level ~file =
+  match (level, file) with
+  | None, None -> ()
+  | _ ->
+    let level =
+      match level with
+      | None -> Log.Info
+      | Some s -> (
+        match Log.level_of_string s with
+        | Some l -> l
+        | None ->
+          failwith
+            (Printf.sprintf
+               "--log-level %s: expected debug, info, warn or error" s))
+    in
+    Log.enable ~level ?file ()
+
 let serve_cmd =
   let port =
     Arg.(
@@ -969,13 +1016,15 @@ let serve_cmd =
       & info [ "max-body" ] ~docv:"BYTES"
           ~doc:"Request body cap; larger payloads are answered 413.")
   in
-  let run port workers queue_depth max_body store =
+  let run port workers queue_depth max_body store log_level log_file slow_ms
+      =
     wrap (fun () ->
         let workers = if workers <= 0 then default_workers () else workers in
-        let cfg = Server.config ~port ~workers ~queue_depth ~max_body () in
-        (* metrics-only recording: request-lifecycle counters stay live
-           without the daemon accumulating an unbounded event buffer *)
-        Obs.enable ~events:false ();
+        setup_logging ~level:log_level ~file:log_file;
+        (* Server.create enables metrics-only Obs recording itself *)
+        let cfg =
+          Server.config ~port ~workers ~queue_depth ~max_body ?slow_ms ()
+        in
         let engine = Engine.create ?store:(open_store store) () in
         let server = Server.create ~engine cfg in
         let stop _ = Server.stop server in
@@ -987,7 +1036,7 @@ let serve_cmd =
           "soctest serve: listening on 127.0.0.1:%d (%d workers, queue \
            depth %d)\n\
            endpoints: POST /v1/solve, POST /v1/check, GET /v1/metrics, GET \
-           /healthz\n\
+           /metrics, GET /v1/debug/requests, GET /healthz\n\
            %!"
           (Server.port server) workers queue_depth;
         (match Engine.store engine with
@@ -1005,9 +1054,14 @@ let serve_cmd =
           admission, per-request deadline budgets, shared solver caches \
           and audited responses. $(b,--store) layers a persistent result \
           store under the in-memory caches so restarts stay warm and \
-          several daemons can share solves. SIGINT/SIGTERM drain and exit.")
+          several daemons can share solves. Every response carries an \
+          $(b,x-request-id); $(b,GET /metrics) exposes Prometheus text \
+          format and $(b,GET /v1/debug/requests) the flight recorder. \
+          SIGINT/SIGTERM drain and exit.")
     Term.(
-      ret (const run $ port $ workers $ queue_depth $ max_body $ store_arg))
+      ret
+        (const run $ port $ workers $ queue_depth $ max_body $ store_arg
+       $ log_level_arg $ log_file_arg $ slow_ms_arg))
 
 (* ------------------------------------------------------------------ *)
 (* bench-serve: per-tier cache accounting and the multi-process farm  *)
@@ -1083,12 +1137,107 @@ let bench_percentile sorted q =
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
 
+(* ------------------------------------------------------------------ *)
+(* Server-side latency out of the Prometheus exposition: the
+   per-endpoint request_ms histogram gives percentiles as the server
+   measured them (admission to response written), independent of
+   client-side queueing in the load generator. *)
+
+let substring_index s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Cumulative (le, count) buckets of the /v1/solve request_ms series,
+   sorted by edge, +Inf last. *)
+let scrape_prom_buckets ~port =
+  let body = (Serve_client.get ~port "/metrics").Serve_client.body in
+  String.split_on_char '\n' body
+  |> List.filter_map (fun line ->
+         if
+           substring_index line "soctest_serve_request_ms_bucket{"
+           <> Some 0
+           || substring_index line "endpoint=\"/v1/solve\"" = None
+         then None
+         else
+           match substring_index line "le=\"" with
+           | None -> None
+           | Some i -> (
+             let rest =
+               String.sub line (i + 4) (String.length line - i - 4)
+             in
+             match (String.index_opt rest '"', String.index_opt rest '}') with
+             | Some q, Some b when q < b ->
+               let le_s = String.sub rest 0 q in
+               let le =
+                 if le_s = "+Inf" then infinity
+                 else float_of_string le_s
+               in
+               let count =
+                 String.trim
+                   (String.sub rest (b + 1) (String.length rest - b - 1))
+               in
+               Option.map (fun c -> (le, c)) (int_of_string_opt count)
+             | _ -> None))
+  |> List.sort compare
+
+let sum_prom_buckets ports =
+  Array.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc (le, c) ->
+          match List.assoc_opt le acc with
+          | Some _ ->
+            List.map
+              (fun (l, v) -> if l = le then (l, v + c) else (l, v))
+              acc
+          | None -> acc @ [ (le, c) ])
+        acc (scrape_prom_buckets ~port:p))
+    [] ports
+  |> List.sort compare
+
+let sub_prom_buckets after before =
+  List.map
+    (fun (le, c) ->
+      (le, c - Option.value (List.assoc_opt le before) ~default:0))
+    after
+
+let prom_total buckets =
+  match List.rev buckets with (_, t) :: _ -> t | [] -> 0
+
+(* The percentile estimate a Prometheus histogram supports: the upper
+   edge of the first bucket whose cumulative count reaches the target
+   rank (+Inf clamps to the largest finite edge). *)
+let prom_percentile buckets q =
+  let total = prom_total buckets in
+  if total = 0 then 0.
+  else begin
+    let target = q *. float_of_int total in
+    let finite_max =
+      List.fold_left
+        (fun acc (le, _) -> if le < infinity then le else acc)
+        0. buckets
+    in
+    let rec find = function
+      | [] -> finite_max
+      | (le, c) :: _ when float_of_int c >= target ->
+        if le = infinity then finite_max else le
+      | _ :: rest -> find rest
+    in
+    find buckets
+  end
+
 type bench_phase = {
   ph_label : string;
   ph_ok : int;
   ph_wall_ms : float;
   ph_latencies : float array;  (* sorted ascending *)
   ph_tiers : tier_counts;
+  ph_prom : (float * int) list;  (* server-side cumulative buckets *)
 }
 
 (* Issue [requests] solves across [ports], request i going to daemon
@@ -1137,7 +1286,14 @@ let print_phase ~requests ph =
     t.disk_hits t.disk_misses t.disk_rejects
     (100. *. ratio t.disk_hits t.disk_misses);
   Printf.printf "  combined    : %.0f%% of evaluations served from cache\n%!"
-    (100. *. combined_ratio t)
+    (100. *. combined_ratio t);
+  if prom_total ph.ph_prom > 0 then
+    Printf.printf
+      "  server side : p50 <= %.1f ms, p99 <= %.1f ms over %d requests \
+       (/metrics histogram)\n%!"
+      (prom_percentile ph.ph_prom 0.50)
+      (prom_percentile ph.ph_prom 0.99)
+      (prom_total ph.ph_prom)
 
 let json_of_phase ~requests ~clients ph =
   let t = ph.ph_tiers in
@@ -1174,6 +1330,13 @@ let json_of_phase ~requests ~clients ph =
             ("hit_ratio", Json.Float (ratio t.disk_hits t.disk_misses));
           ] );
       ("combined_hit_ratio", Json.Float (combined_ratio t));
+      ( "prom_latency_ms",
+        Json.Obj
+          [
+            ("p50", Json.Float (prom_percentile ph.ph_prom 0.50));
+            ("p99", Json.Float (prom_percentile ph.ph_prom 0.99));
+            ("count", Json.Int (prom_total ph.ph_prom));
+          ] );
     ]
 
 (* Spawn `soctest serve --port 0` as a child process and parse the
@@ -1212,6 +1375,40 @@ let stop_daemon (pid, _port, ic) =
   (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
   (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
   close_in_noerr ic
+
+(* Pull a few flight records back and report how much of each request's
+   end-to-end latency the per-phase decomposition accounts for — the
+   observability layer auditing itself. *)
+let print_flight_summary ~port =
+  let j =
+    Serve_client.json_body
+      (Serve_client.get ~port "/v1/debug/requests?limit=64")
+  in
+  match Json.member "requests" j with
+  | Some (Json.List records) when records <> [] ->
+    let coverage r =
+      match (Json.member "total_ms" r, Json.member "phases" r) with
+      | Some (Json.Float total), Some (Json.Obj phases) when total > 0. ->
+        let sum =
+          List.fold_left
+            (fun acc (_, v) ->
+              match v with Json.Float f -> acc +. f | _ -> acc)
+            0. phases
+        in
+        Some (sum /. total)
+      | _ -> None
+    in
+    let covers = List.filter_map coverage records in
+    if covers <> [] then begin
+      let n = float_of_int (List.length covers) in
+      Printf.printf
+        "flight recorder: %d record(s); phase timings cover %.0f%% of \
+         end-to-end latency on average (min %.0f%%)\n%!"
+        (List.length records)
+        (100. *. (List.fold_left ( +. ) 0. covers /. n))
+        (100. *. List.fold_left Float.min infinity covers)
+    end
+  | _ -> ()
 
 let bench_serve_cmd =
   let port =
@@ -1266,7 +1463,7 @@ let bench_serve_cmd =
           ~doc:"Write the latency/throughput/cache report as JSON.")
   in
   let run soc_name width port requests clients budget distinct procs store
-      json =
+      json log_level log_file slow_ms =
     wrap (fun () ->
         if requests < 1 then failwith "--requests must be >= 1";
         if clients < 1 then failwith "--clients must be >= 1";
@@ -1316,12 +1513,13 @@ let bench_serve_cmd =
           let spawned =
             if port <> 0 then None
             else begin
-              Obs.enable ~events:false ();
+              setup_logging ~level:log_level ~file:log_file;
+              (* Server.create enables metrics-only Obs itself *)
               let engine = Engine.create ?store:(open_store store) () in
               let server =
                 Server.create ~engine
                   (Server.config ~port:0 ~workers:(default_workers ())
-                     ~queue_depth:(max 64 (2 * requests)) ())
+                     ~queue_depth:(max 64 (2 * requests)) ?slow_ms ())
               in
               Some (server, Domain.spawn (fun () -> Server.run server))
             end
@@ -1334,10 +1532,12 @@ let bench_serve_cmd =
              %s W=%d on port %d\n%!"
             requests distinct clients soc.Soc_def.name width port;
           let before = scrape_tiers ~port in
+          let prom_before = scrape_prom_buckets ~port in
           let wall_ms, okn, latencies =
             bench_workload ~ports:[| port |] ~requests ~clients ~bodies
           in
           let after = scrape_tiers ~port in
+          let prom_after = scrape_prom_buckets ~port in
           let ph =
             {
               ph_label = "single";
@@ -1345,12 +1545,14 @@ let bench_serve_cmd =
               ph_wall_ms = wall_ms;
               ph_latencies = latencies;
               ph_tiers = sub_tiers after before;
+              ph_prom = sub_prom_buckets prom_after prom_before;
             }
           in
           print_phase ~requests ph;
           Printf.printf "throughput: %.1f req/s (wall %.0f ms)\n"
             (float_of_int requests /. (wall_ms /. 1000.))
             wall_ms;
+          print_flight_summary ~port;
           emit_json [ ph ];
           match spawned with
           | None -> ()
@@ -1377,16 +1579,19 @@ let bench_serve_cmd =
                   Array.of_list (List.map (fun (_, p, _) -> p) daemons)
                 in
                 let before = sum_tiers ports in
+                let prom_before = sum_prom_buckets ports in
                 let wall_ms, okn, latencies =
                   bench_workload ~ports ~requests ~clients ~bodies
                 in
                 let after = sum_tiers ports in
+                let prom_after = sum_prom_buckets ports in
                 {
                   ph_label = label;
                   ph_ok = okn;
                   ph_wall_ms = wall_ms;
                   ph_latencies = latencies;
                   ph_tiers = sub_tiers after before;
+                  ph_prom = sub_prom_buckets prom_after prom_before;
                 })
           in
           Printf.printf
@@ -1420,7 +1625,8 @@ let bench_serve_cmd =
     Term.(
       ret
         (const run $ soc_arg ~default:"d695" $ width_arg ~default:32 $ port
-       $ requests $ clients $ budget $ distinct $ procs $ store_arg $ json))
+       $ requests $ clients $ budget $ distinct $ procs $ store_arg $ json
+       $ log_level_arg $ log_file_arg $ slow_ms_arg))
 
 let store_cmd =
   let file_arg =
@@ -1502,6 +1708,85 @@ let store_cmd =
           on $(b,schedule), $(b,serve) and $(b,bench-serve)).")
     [ stats; verify; compact ]
 
+let debug_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port of a running $(b,soctest serve) daemon.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Newest flight records to fetch (default 32).")
+  in
+  let requests =
+    let run port limit =
+      wrap (fun () ->
+          let j =
+            Serve_client.json_body
+              (Serve_client.get ~port
+                 (Printf.sprintf "/v1/debug/requests?limit=%d" limit))
+          in
+          let records =
+            match Json.member "requests" j with
+            | Some (Json.List rs) -> rs
+            | _ -> failwith "debug requests: malformed response"
+          in
+          if records = [] then print_endline "flight recorder is empty"
+          else
+            List.iter
+              (fun r ->
+                let str k =
+                  match Json.member k r with
+                  | Some (Json.String s) -> s
+                  | _ -> "?"
+                in
+                let num k =
+                  match Json.member k r with
+                  | Some (Json.Float f) -> f
+                  | Some (Json.Int i) -> float_of_int i
+                  | _ -> Float.nan
+                in
+                let flag k =
+                  match Json.member k r with
+                  | Some (Json.Bool b) -> b
+                  | _ -> false
+                in
+                Printf.printf "%s %s %.0f %8.2f ms  tier=%s%s%s%s\n"
+                  (str "id") (str "endpoint") (num "status") (num "total_ms")
+                  (str "tier")
+                  (if flag "slow" then " slow" else "")
+                  (if flag "store_rejected" then " store-reject" else "")
+                  (if flag "healed" then " healed" else "");
+                match Json.member "phases" r with
+                | Some (Json.Obj phases) ->
+                  List.iter
+                    (fun (name, v) ->
+                      match v with
+                      | Json.Float f ->
+                        Printf.printf "    %-12s %8.3f ms\n" name f
+                      | _ -> ())
+                    phases
+                | _ -> ())
+              records)
+    in
+    Cmd.v
+      (Cmd.info "requests"
+         ~doc:
+           "Fetch $(b,GET /v1/debug/requests) from a running daemon and \
+            print the flight recorder: the last completed requests with \
+            their per-phase timing decomposition, cache tier and \
+            store-audit flags, newest first.")
+      Term.(ret (const run $ port_arg $ limit_arg))
+  in
+  Cmd.group
+    (Cmd.info "debug"
+       ~doc:"Interrogate a running $(b,soctest serve) daemon.")
+    [ requests ]
+
 let main_cmd =
   let doc =
     "wrapper/TAM co-optimization, constraint-driven test scheduling and \
@@ -1513,7 +1798,7 @@ let main_cmd =
       table1_cmd; table2_cmd; fig1_cmd; fig2_cmd; fig9_cmd; ablate_cmd;
       all_cmd; soc_info_cmd; schedule_cmd; export_cmd; extras_cmd; verilog_cmd;
       validate_cmd; check_cmd; stil_cmd; sweep_cmd; portfolio_cmd;
-      serve_cmd; bench_serve_cmd; store_cmd;
+      serve_cmd; bench_serve_cmd; debug_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

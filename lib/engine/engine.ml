@@ -7,6 +7,8 @@ module Pareto = Soctest_wrapper.Pareto
 module Constraint_def = Soctest_constraints.Constraint_def
 module Obs = Soctest_obs.Obs
 module Json = Soctest_obs.Json
+module Clock = Soctest_obs.Clock
+module Log = Soctest_obs.Log
 module Store = Soctest_store.Store
 module Schedule = Soctest_tam.Schedule
 module Schedule_io = Soctest_tam.Schedule_io
@@ -305,9 +307,19 @@ let store_find t key prepared req =
         Atomic.incr t.store_hits;
         Obs.incr store_hits_c;
         Some r
-      | Ok _ | Error _ ->
+      | (Ok _ | Error _) as decoded ->
         Atomic.incr t.store_rejects;
         Obs.incr store_rejects_c;
+        Log.warn "engine.store.audit_reject"
+          ~fields:
+            [
+              ("key", Json.String key);
+              ( "reason",
+                Json.String
+                  (match decoded with
+                  | Error msg -> msg
+                  | Ok _ -> "decoded entry failed re-audit") );
+            ];
         None))
 
 let store_put t key r =
@@ -315,35 +327,73 @@ let store_put t key r =
   | None -> ()
   | Some store -> (
     try Store.add store ~key (result_to_payload r)
-    with Unix.Unix_error _ | Sys_error _ | Invalid_argument _ ->
+    with
+    | (Unix.Unix_error _ | Sys_error _ | Invalid_argument _) as exn ->
       (* a full disk or read-only store must not fail the solve that
          produced a perfectly good result *)
       Atomic.incr t.store_write_errors;
-      Obs.incr store_write_errors_c)
+      Obs.incr store_write_errors_c;
+      Log.warn "engine.store.write_error"
+        ~fields:
+          [
+            ("key", Json.String key);
+            ("error", Json.String (Printexc.to_string exn));
+          ])
 
-(* The caching drop-in for [Optimizer.run_request]; [tally] (per-solve
-   stats) is threaded separately so the public evaluator can omit it. *)
+(* Per-solve accounting threaded through [cached_eval]; the public
+   evaluator omits it. The two time accumulators attribute where a
+   computed evaluation's wall time went: probing (and auditing) the
+   disk tier vs running the optimizer. *)
+type tally = {
+  t_computed : int ref;
+  t_cached : int ref;
+  t_deduped : int ref;
+  t_from_store : int ref;
+  t_store_probe_ms : float ref;
+  t_solve_ms : float ref;
+}
+
+let new_tally () =
+  {
+    t_computed = ref 0;
+    t_cached = ref 0;
+    t_deduped = ref 0;
+    t_from_store = ref 0;
+    t_store_probe_ms = ref 0.;
+    t_solve_ms = ref 0.;
+  }
+
+(* The caching drop-in for [Optimizer.run_request]. *)
 let cached_eval t ?tally ?overrides prepared req =
   let key = eval_key t ?overrides prepared req in
   let via_store = ref false in
+  let probe_ms = ref 0. and solve_ms = ref 0. in
   let result, outcome =
     Cache.find_or_compute t.eval_cache key (fun () ->
+        let t0 = Clock.now_ms () in
         match store_find t key prepared req with
         | Some r ->
+          probe_ms := Clock.now_ms () -. t0;
           via_store := true;
           r
         | None ->
+          probe_ms := Clock.now_ms () -. t0;
+          let t1 = Clock.now_ms () in
           let r = Optimizer.run_request ?overrides prepared req in
+          solve_ms := Clock.now_ms () -. t1;
           store_put t key r;
           r)
   in
   (match tally with
   | None -> ()
-  | Some (computed, cached, deduped, from_store) -> (
+  | Some ty -> (
+    ty.t_store_probe_ms := !(ty.t_store_probe_ms) +. !probe_ms;
+    ty.t_solve_ms := !(ty.t_solve_ms) +. !solve_ms;
     match outcome with
-    | Cache.Computed -> if !via_store then incr from_store else incr computed
-    | Cache.Cached -> incr cached
-    | Cache.Deduped -> incr deduped));
+    | Cache.Computed ->
+      if !via_store then incr ty.t_from_store else incr ty.t_computed
+    | Cache.Cached -> incr ty.t_cached
+    | Cache.Deduped -> incr ty.t_deduped));
   result
 
 let evaluator t : Optimizer.evaluator =
@@ -396,6 +446,8 @@ type stats = {
   eval_deduped : int;
   eval_from_store : int;
   elapsed_ms : float;
+  store_probe_ms : float;
+  eval_solve_ms : float;
 }
 
 type status = Complete | Deadline
@@ -408,7 +460,7 @@ type outcome = {
 }
 
 let solve t (r : request) =
-  let started = Unix.gettimeofday () in
+  let started = Clock.now_ms () in
   Obs.with_span ~cat:"phase" "engine.solve"
     ~args:
       [ ("soc", r.soc.Soc_def.name); ("W", string_of_int r.tam_width) ]
@@ -428,9 +480,7 @@ let solve t (r : request) =
     | Cache.Cached | Cache.Deduped -> 0
   in
   let pareto_cached = Soc_def.core_count r.soc - pareto_computed in
-  let computed = ref 0 and cached = ref 0 and deduped = ref 0 in
-  let from_store = ref 0 in
-  let tally = (computed, cached, deduped, from_store) in
+  let tally = new_tally () in
   let best = ref None in
   let evaluated = ref 0 in
   List.iter
@@ -484,11 +534,13 @@ let solve t (r : request) =
       {
         pareto_computed;
         pareto_cached;
-        eval_computed = !computed;
-        eval_cached = !cached;
-        eval_deduped = !deduped;
-        eval_from_store = !from_store;
-        elapsed_ms = Float.max 0. ((Unix.gettimeofday () -. started) *. 1000.);
+        eval_computed = !(tally.t_computed);
+        eval_cached = !(tally.t_cached);
+        eval_deduped = !(tally.t_deduped);
+        eval_from_store = !(tally.t_from_store);
+        elapsed_ms = Float.max 0. (Clock.now_ms () -. started);
+        store_probe_ms = !(tally.t_store_probe_ms);
+        eval_solve_ms = !(tally.t_solve_ms);
       };
   }
 

@@ -103,7 +103,13 @@ type stats = {
   eval_deduped : int;  (** evaluations shared with a concurrent computer *)
   eval_from_store : int;
       (** evaluations served by the disk tier (audited disk hits) *)
-  elapsed_ms : float;
+  elapsed_ms : float;  (** whole solve, monotonic *)
+  store_probe_ms : float;
+      (** time inside the disk tier: lookup, decode and audit-on-load,
+          summed over this solve's computed evaluations *)
+  eval_solve_ms : float;
+      (** time inside {!Optimizer.run_request}, summed likewise — the
+          remainder of [elapsed_ms] is cache-probe and bookkeeping *)
 }
 
 type status =

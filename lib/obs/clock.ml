@@ -1,0 +1,5 @@
+external monotonic_ns : unit -> int64 = "soctest_clock_monotonic_ns"
+
+let now_us () = Int64.to_float (monotonic_ns ()) /. 1e3
+let now_ms () = Int64.to_float (monotonic_ns ()) /. 1e6
+let now_s () = Int64.to_float (monotonic_ns ()) /. 1e9

@@ -1,0 +1,29 @@
+/* Monotonic clock shim. POSIX clock_gettime(CLOCK_MONOTONIC) where it
+   exists, falling back to gettimeofday on platforms without it — the
+   fallback loses monotonicity but keeps the same unit and epoch-free
+   semantics, so callers never have to care which source they got. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value soctest_clock_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 +
+                             (int64_t)ts.tv_nsec);
+  }
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000 +
+                           (int64_t)tv.tv_usec * 1000);
+  }
+}

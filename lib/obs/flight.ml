@@ -1,0 +1,65 @@
+(* Lock-free ring buffer of completed-request records. Each slot holds
+   an immutable record behind its own Atomic, so a write is claim-slot
+   (fetch_and_add) + publish (set); readers see either the old or the
+   new record, never a torn one. *)
+
+type record = {
+  id : string;
+  endpoint : string;
+  status : int;
+  total_ms : float;
+  phases : (string * float) list;
+  tier : string;
+  store_rejected : bool;
+  healed : bool;
+  slow : bool;
+}
+
+type t = {
+  slots : record option Atomic.t array;
+  next : int Atomic.t;  (* monotonically increasing claim counter *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  {
+    slots = Array.init capacity (fun _ -> Atomic.make None);
+    next = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.slots
+
+let record t r =
+  let n = Atomic.fetch_and_add t.next 1 in
+  Atomic.set t.slots.(n mod Array.length t.slots) (Some r)
+
+let recent ?limit t =
+  let cap = Array.length t.slots in
+  let n = Atomic.get t.next in
+  let want = match limit with Some l -> max 0 (min l cap) | None -> cap in
+  (* walk backwards from the most recently claimed slot; prepending
+     while walking newest->oldest leaves the result oldest-first, so
+     reverse once at the end to hand back newest-first *)
+  let rec gather i got acc =
+    if got >= want || i < n - cap || i < 0 then acc
+    else
+      match Atomic.get t.slots.(i mod cap) with
+      | Some r -> gather (i - 1) (got + 1) (r :: acc)
+      | None -> gather (i - 1) got acc
+  in
+  List.rev (gather (n - 1) 0 [])
+
+let to_json r =
+  Json.Obj
+    [
+      ("id", Json.String r.id);
+      ("endpoint", Json.String r.endpoint);
+      ("status", Json.Int r.status);
+      ("total_ms", Json.Float r.total_ms);
+      ( "phases",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.phases) );
+      ("tier", Json.String r.tier);
+      ("store_rejected", Json.Bool r.store_rejected);
+      ("healed", Json.Bool r.healed);
+      ("slow", Json.Bool r.slow);
+    ]

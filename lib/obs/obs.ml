@@ -15,11 +15,33 @@ let enabled () = Atomic.get enabled_flag
 let events_flag = Atomic.make true
 let events_on () = Atomic.get enabled_flag && Atomic.get events_flag
 
-let now_us () = Unix.gettimeofday () *. 1e6
+(* Monotonic: an NTP step mid-run must not corrupt span durations or
+   latency histograms (Clock falls back to gettimeofday only on
+   platforms without CLOCK_MONOTONIC). *)
+let now_us () = Clock.now_us ()
 
 (* Trace epoch: timestamps are relative so traces start near zero. *)
 let epoch = Atomic.make 0.
 let since_epoch_us () = now_us () -. Atomic.get epoch
+
+(* ------------------------------------------------------------------ *)
+(* Ambient request id: the serving stack tags the worker domain with the
+   originating request's id for the duration of a job, so spans, log
+   lines and store-tier diagnostics recorded anywhere down the call
+   chain attribute to that request without threading a parameter
+   through every signature. Domain-local, so concurrent workers never
+   see each other's ids. *)
+
+let request_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_request () = !(Domain.DLS.get request_key)
+
+let with_request id f =
+  let cell = Domain.DLS.get request_key in
+  let saved = !cell in
+  cell := Some id;
+  Fun.protect ~finally:(fun () -> cell := saved) f
 
 (* ------------------------------------------------------------------ *)
 (* events *)
@@ -106,6 +128,14 @@ let with_span ?(cat = "span") ?(args = []) name f =
       | top :: rest when top == frame -> stack := rest
       | _ -> () (* enable/disable raced a span; drop the pop *));
       let g1 = Gc.quick_stat () in
+      (* tag the span with the ambient request id so worker-domain spans
+         attribute to the request that queued them *)
+      let args =
+        match current_request () with
+        | Some id when not (List.mem_assoc "request_id" args) ->
+          ("request_id", id) :: args
+        | _ -> args
+      in
       record
         (Span
            {
@@ -138,6 +168,7 @@ type gauge = float Atomic.t
 type histogram = {
   edges : float array;
   buckets : int Atomic.t array;  (* length edges + 1; last = overflow *)
+  sum : float Atomic.t;  (* running sum of observations (Prometheus _sum) *)
 }
 
 let registry_lock = Mutex.create ()
@@ -182,13 +213,21 @@ let histogram ?(edges = default_edges) name =
       {
         edges = Array.copy edges;
         buckets = Array.init (Array.length edges + 1) (fun _ -> Atomic.make 0);
+        sum = Atomic.make 0.;
       })
+
+(* no fetch_and_add for float atomics: a CAS retry loop (contention on a
+   histogram cell is light — one observation per request) *)
+let rec atomic_add_float a v =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. v)) then atomic_add_float a v
 
 let observe h v =
   if enabled () then begin
     let n = Array.length h.edges in
     let rec bucket i = if i >= n || v <= h.edges.(i) then i else bucket (i + 1) in
-    ignore (Atomic.fetch_and_add h.buckets.(bucket 0) 1)
+    ignore (Atomic.fetch_and_add h.buckets.(bucket 0) 1);
+    atomic_add_float h.sum v
   end
 
 let histogram_counts h =
@@ -200,6 +239,8 @@ let histogram_counts h =
       in
       (edge, Atomic.get h.buckets.(i)))
 
+let histogram_sum h = Atomic.get h.sum
+
 (* ------------------------------------------------------------------ *)
 (* snapshots and lifecycle *)
 
@@ -207,6 +248,7 @@ type metrics = {
   counters : (string * int) list;
   gauges : (string * float) list;
   histograms : (string * (float * int) list) list;
+  histogram_sums : (string * float) list;
 }
 
 let sorted_bindings table value =
@@ -220,6 +262,7 @@ let metrics () =
     counters = sorted_bindings counters Atomic.get;
     gauges = sorted_bindings gauges Atomic.get;
     histograms = sorted_bindings histograms histogram_counts;
+    histogram_sums = sorted_bindings histograms histogram_sum;
   }
 
 let reset () =
@@ -230,7 +273,9 @@ let reset () =
   Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
   Hashtbl.iter (fun _ g -> Atomic.set g 0.) gauges;
   Hashtbl.iter
-    (fun _ h -> Array.iter (fun b -> Atomic.set b 0) h.buckets)
+    (fun _ h ->
+      Array.iter (fun b -> Atomic.set b 0) h.buckets;
+      Atomic.set h.sum 0.)
     histograms;
   Mutex.unlock registry_lock
 

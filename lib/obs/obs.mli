@@ -21,9 +21,9 @@
       locks. Handles are created once (typically at module top level)
       and are valid whether or not recording is on.
 
-    Timing uses [Unix.gettimeofday] (the [Mtime]-free fallback; the
-    stdlib exposes no monotonic clock), with durations clamped to be
-    non-negative. Timestamps are microseconds since {!enable}. *)
+    Timing uses the monotonic source in {!Clock}, so an NTP step cannot
+    corrupt span durations or latency histograms. Timestamps are
+    microseconds since {!enable}. *)
 
 (** {1 Recording control} *)
 
@@ -43,6 +43,19 @@ val disable : unit -> unit
 val reset : unit -> unit
 (** Clear events and zero every registered metric without changing the
     enabled flag. Registered handles remain valid. *)
+
+(** {1 Ambient request id} *)
+
+val with_request : string -> (unit -> 'a) -> 'a
+(** [with_request id f] runs [f ()] with [id] as the calling domain's
+    ambient request id: spans finished inside [f] gain a ["request_id"]
+    arg and {!Log} lines emitted inside [f] carry it, without threading
+    the id through every signature. Restores the previous ambient id on
+    exit (also on exception); nesting is safe. Domain-local — a worker
+    domain running a job never sees another domain's id. *)
+
+val current_request : unit -> string option
+(** The calling domain's ambient request id, if inside {!with_request}. *)
 
 (** {1 Spans and instants} *)
 
@@ -90,6 +103,9 @@ val histogram_counts : histogram -> (float * int) list
 (** [(upper_edge, count)] per bucket; the final pair is
     [(infinity, overflow_count)]. *)
 
+val histogram_sum : histogram -> float
+(** Running sum of all observed values (the Prometheus [_sum] series). *)
+
 (** {1 Introspection (exporters, summary, tests)} *)
 
 type event =
@@ -119,6 +135,7 @@ type metrics = {
   counters : (string * int) list;  (** name order *)
   gauges : (string * float) list;
   histograms : (string * (float * int) list) list;
+  histogram_sums : (string * float) list;  (** same name order *)
 }
 
 val metrics : unit -> metrics

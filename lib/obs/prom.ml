@@ -1,0 +1,179 @@
+(* Prometheus text exposition. The Obs registry is a flat name->cell
+   table; labels are a naming convention decoded here at render time
+   (name{key="value",...}), so the hot path never touches label
+   machinery. *)
+
+let prefix = "soctest_"
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* Decode an optional {k="v",...} suffix. Values may contain backslash
+   escapes; a malformed suffix is treated as part of the name (it will
+   be sanitized away) rather than raising — exposition must not fail a
+   scrape over one odd registry name. *)
+let parse_labels s =
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let labels = ref [] in
+  let fail = ref false in
+  let i = ref 0 in
+  let read_until_eq () =
+    Buffer.clear buf;
+    while !i < n && s.[!i] <> '=' && not !fail do
+      Buffer.add_char buf s.[!i];
+      incr i
+    done;
+    if !i >= n then fail := true else incr i (* skip '=' *);
+    Buffer.contents buf
+  in
+  let read_quoted () =
+    if !i >= n || s.[!i] <> '"' then fail := true
+    else begin
+      incr i;
+      Buffer.clear buf;
+      let fin = ref false in
+      while (not !fin) && not !fail do
+        if !i >= n then fail := true
+        else
+          match s.[!i] with
+          | '"' ->
+            incr i;
+            fin := true
+          | '\\' when !i + 1 < n ->
+            Buffer.add_char buf s.[!i + 1];
+            i := !i + 2
+          | c ->
+            Buffer.add_char buf c;
+            incr i
+      done
+    end;
+    Buffer.contents buf
+  in
+  while !i < n && not !fail do
+    let key = read_until_eq () in
+    let v = read_quoted () in
+    if not !fail then begin
+      labels := (key, v) :: !labels;
+      if !i < n then
+        if s.[!i] = ',' then incr i
+        else fail := true
+    end
+  done;
+  if !fail then None else Some (List.rev !labels)
+
+let base_name name =
+  match String.index_opt name '{' with
+  | Some lb when name.[String.length name - 1] = '}' -> (
+    let inside = String.sub name (lb + 1) (String.length name - lb - 2) in
+    match parse_labels inside with
+    | Some labels -> (prefix ^ sanitize (String.sub name 0 lb), labels)
+    | None -> (prefix ^ sanitize name, []))
+  | _ -> (prefix ^ sanitize name, [])
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labels_to_string = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+           labels)
+    ^ "}"
+
+(* Prometheus accepts any float literal; integral values render without
+   a fraction part so counters read naturally. *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let edge_to_string e =
+  if e = Float.infinity then "+Inf" else Printf.sprintf "%g" e
+
+(* Group series by base name, keeping first-seen order, so all the
+   label variants of one metric sit under a single # TYPE line. *)
+let group series =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, v) ->
+      let base, labels = base_name name in
+      (match Hashtbl.find_opt tbl base with
+      | None ->
+        Hashtbl.add tbl base [ (labels, v) ];
+        order := base :: !order
+      | Some prev -> Hashtbl.replace tbl base ((labels, v) :: prev)))
+    series;
+  List.rev_map (fun base -> (base, List.rev (Hashtbl.find tbl base))) !order
+  |> List.rev
+
+let render_metrics (m : Obs.metrics) =
+  let buf = Buffer.create 4096 in
+  let type_line base kind =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+  in
+  let sample name labels value =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" name (labels_to_string labels) value)
+  in
+  List.iter
+    (fun (base, variants) ->
+      type_line base "counter";
+      List.iter
+        (fun (labels, v) -> sample base labels (string_of_int v))
+        variants)
+    (group m.Obs.counters);
+  List.iter
+    (fun (base, variants) ->
+      type_line base "gauge";
+      List.iter (fun (labels, v) -> sample base labels (number v)) variants)
+    (group m.Obs.gauges);
+  List.iter
+    (fun (base, variants) ->
+      type_line base "histogram";
+      List.iter
+        (fun (labels, (buckets, sum)) ->
+          (* exposition buckets are cumulative; Obs buckets are not *)
+          let total = ref 0 in
+          List.iter
+            (fun (edge, count) ->
+              total := !total + count;
+              sample (base ^ "_bucket")
+                (labels @ [ ("le", edge_to_string edge) ])
+                (string_of_int !total))
+            buckets;
+          sample (base ^ "_sum") labels (number sum);
+          sample (base ^ "_count") labels (string_of_int !total))
+        variants)
+    (group
+       (List.map
+          (fun (name, buckets) ->
+            let sum =
+              match List.assoc_opt name m.Obs.histogram_sums with
+              | Some s -> s
+              | None -> 0.
+            in
+            (name, (buckets, sum)))
+          m.Obs.histograms));
+  Buffer.contents buf
+
+let render () = render_metrics (Obs.metrics ())

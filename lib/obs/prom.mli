@@ -1,0 +1,30 @@
+(** Prometheus text-format exposition of the {!Obs} metric registry.
+
+    Serves [GET /metrics]. Every registered counter, gauge and
+    histogram is rendered; names are sanitized to the Prometheus
+    alphabet ([[a-zA-Z0-9_:]], dots become underscores) and prefixed
+    with [soctest_].
+
+    Labels ride inside the {!Obs} registry name: a metric registered as
+    [serve.requests{endpoint="/v1/solve",status="200"}] renders as the
+    series [soctest_serve_requests] with those labels — the registry
+    itself stays a flat name->cell table and the label convention is
+    purely a rendering contract. Series sharing a base name share one
+    [# TYPE] line.
+
+    Histograms render cumulatively per the exposition format: one
+    [_bucket] series per upper edge plus [le="+Inf"], then [_sum] and
+    [_count]; [_count] equals the [+Inf] bucket and [_sum] is
+    {!Obs.histogram_sum}. Label values are escaped (backslash, double
+    quote, newline). *)
+
+val render_metrics : Obs.metrics -> string
+(** Render a snapshot (deterministic; what tests check). *)
+
+val render : unit -> string
+(** [render_metrics (Obs.metrics ())]. *)
+
+val base_name : string -> string * (string * string) list
+(** Split a registry name into its sanitized, [soctest_]-prefixed base
+    name and its decoded label list ([[]] when the name carries no
+    [{…}] suffix). Exposed for tests. *)

@@ -128,6 +128,26 @@ let read_request ?(max_body = default_max_body) fd =
 let header req name =
   List.assoc_opt (String.lowercase_ascii name) req.headers
 
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some q ->
+    let path = String.sub target 0 q in
+    let query = String.sub target (q + 1) (String.length target - q - 1) in
+    let params =
+      String.split_on_char '&' query
+      |> List.filter_map (fun pair ->
+             if pair = "" then None
+             else
+               match String.index_opt pair '=' with
+               | None -> Some (pair, "")
+               | Some i ->
+                 Some
+                   ( String.sub pair 0 i,
+                     String.sub pair (i + 1) (String.length pair - i - 1) ))
+    in
+    (path, params)
+
 let status_reason = function
   | 200 -> "OK"
   | 202 -> "Accepted"

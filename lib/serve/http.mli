@@ -43,6 +43,13 @@ val read_request :
 val header : request -> string -> string option
 (** Case-insensitive header lookup (first match). *)
 
+val split_target : string -> string * (string * string) list
+(** [split_target "/v1/debug/requests?limit=5"] is
+    [("/v1/debug/requests", [("limit", "5")])] — the origin-form path
+    and its query parameters (no percent-decoding; the service's
+    parameters are plain tokens). A missing [=] yields an empty
+    value. *)
+
 (** {1 Parsing helpers shared with {!Serve_client}} *)
 
 val find_header_end : string -> int option

@@ -241,6 +241,9 @@ let json_of_outcome ~soc (o : Engine.outcome) =
               Json.Int o.Engine.stats.Engine.eval_from_store );
           ] );
       ("solve_ms", Json.Float o.Engine.stats.Engine.elapsed_ms);
+      ( "store_probe_ms",
+        Json.Float o.Engine.stats.Engine.store_probe_ms );
+      ("eval_solve_ms", Json.Float o.Engine.stats.Engine.eval_solve_ms);
     ]
 
 let error_body ?detail msg =

@@ -65,8 +65,8 @@ let parse_response raw =
       in
       { status; headers; body })
 
-let request ~port ?(host = "127.0.0.1") ?meth ?body ?(timeout_ms = 30_000.)
-    path =
+let request ~port ?(host = "127.0.0.1") ?meth ?body ?(headers = [])
+    ?(timeout_ms = 30_000.) path =
   let meth =
     match (meth, body) with
     | Some m, _ -> String.uppercase_ascii m
@@ -88,12 +88,16 @@ let request ~port ?(host = "127.0.0.1") ?meth ?body ?(timeout_ms = 30_000.)
          fail "Serve_client: connect to %s:%d failed: %s" host port
            (Unix.error_message e));
       let payload = Option.value body ~default:"" in
+      let extra =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+      in
       let req =
         Printf.sprintf
           "%s %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Type: \
-           application/json\r\nContent-Length: %d\r\nConnection: \
+           application/json\r\nContent-Length: %d\r\n%sConnection: \
            close\r\n\r\n%s"
-          meth path host port (String.length payload) payload
+          meth path host port (String.length payload) extra payload
       in
       let n = String.length req in
       let rec push off =

@@ -15,12 +15,15 @@ val request :
   ?host:string ->
   ?meth:string ->
   ?body:string ->
+  ?headers:(string * string) list ->
   ?timeout_ms:float ->
   string ->
   response
 (** [request ~port path] performs [meth] (default [GET], [POST] when
-    [body] is given) against [host] (default 127.0.0.1). [timeout_ms]
-    (default 30 s) arms both [SO_RCVTIMEO] and [SO_SNDTIMEO].
+    [body] is given) against [host] (default 127.0.0.1). [headers] are
+    extra request headers (e.g. an inbound [x-request-id] to be echoed
+    back). [timeout_ms] (default 30 s) arms both [SO_RCVTIMEO] and
+    [SO_SNDTIMEO].
     @raise Failure on connection refusal, timeout or a malformed
     response — callers are tests and benchmarks, which want to die
     loudly. *)

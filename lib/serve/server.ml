@@ -8,6 +8,10 @@ module Audit = Soctest_check.Audit
 module Pool = Soctest_portfolio.Pool
 module Obs = Soctest_obs.Obs
 module Json = Soctest_obs.Json
+module Clock = Soctest_obs.Clock
+module Log = Soctest_obs.Log
+module Flight = Soctest_obs.Flight
+module Prom = Soctest_obs.Prom
 
 type config = {
   port : int;
@@ -15,12 +19,14 @@ type config = {
   queue_depth : int;
   max_body : int;
   read_timeout_ms : float;
+  slow_ms : float option;
+  flight_capacity : int;
 }
 
 let config ?(port = 8080)
     ?(workers = max 1 (Domain.recommended_domain_count () - 1))
     ?(queue_depth = 64) ?(max_body = Http.default_max_body)
-    ?(read_timeout_ms = 10_000.) () =
+    ?(read_timeout_ms = 10_000.) ?slow_ms ?(flight_capacity = 256) () =
   if port < 0 then invalid_arg "Server.config: negative port";
   if workers < 1 then invalid_arg "Server.config: workers must be >= 1";
   if queue_depth < 1 then
@@ -28,7 +34,13 @@ let config ?(port = 8080)
   if max_body < 1 then invalid_arg "Server.config: max_body must be >= 1";
   if read_timeout_ms < 0. then
     invalid_arg "Server.config: negative read_timeout_ms";
-  { port; workers; queue_depth; max_body; read_timeout_ms }
+  (match slow_ms with
+  | Some ms when ms < 0. -> invalid_arg "Server.config: negative slow_ms"
+  | _ -> ());
+  if flight_capacity < 1 then
+    invalid_arg "Server.config: flight_capacity must be >= 1";
+  { port; workers; queue_depth; max_body; read_timeout_ms; slow_ms;
+    flight_capacity }
 
 type t = {
   cfg : config;
@@ -38,11 +50,13 @@ type t = {
   pool : Pool.t;
   inflight : int Atomic.t;  (* admitted (queued or running) jobs *)
   stopping : bool Atomic.t;
-  started_at : float;
+  started_at : float;  (* monotonic ms *)
+  flight : Flight.t;
 }
 
-(* Request-lifecycle metrics; live only while Obs recording is on
-   ([soctest serve] enables metrics-only mode at startup). *)
+(* Request-lifecycle metrics. [create] turns on metrics-only Obs
+   recording itself, so these are live in every embedding, not just
+   under [soctest serve]. *)
 let accepted_c = Obs.counter "serve.accepted"
 let rejected_c = Obs.counter "serve.rejected"
 let bad_request_c = Obs.counter "serve.bad_request"
@@ -51,7 +65,22 @@ let deadline_c = Obs.counter "serve.deadline_exceeded"
 let inflight_g = Obs.gauge "serve.inflight"
 let latency_h = Obs.histogram "serve.latency_ms"
 
+(* Per-endpoint/per-status series: labels ride inside the registry name
+   (the {!Prom} rendering convention), so the registry stays a flat
+   table and these land as labelled Prometheus series. *)
+let requests_c ~endpoint ~status =
+  Obs.counter
+    (Printf.sprintf "serve.requests{endpoint=%S,status=%S}" endpoint
+       (string_of_int status))
+
+let request_ms_h ~endpoint =
+  Obs.histogram (Printf.sprintf "serve.request_ms{endpoint=%S}" endpoint)
+
 let create ?engine cfg =
+  (* metrics-only: embedding [Server] must not silently record nothing,
+     and must not clobber an Obs session a host already runs (tests
+     enable full recording before creating servers) *)
+  if not (Obs.enabled ()) then Obs.enable ~events:false ();
   let engine_ =
     match engine with Some e -> e | None -> Engine.create ()
   in
@@ -76,26 +105,144 @@ let create ?engine cfg =
     pool = Pool.create ~jobs:cfg.workers;
     inflight = Atomic.make 0;
     stopping = Atomic.make false;
-    started_at = Unix.gettimeofday ();
+    started_at = Clock.now_ms ();
+    flight = Flight.create ~capacity:cfg.flight_capacity;
   }
 
 let port t = t.bound_port
 let engine t = t.engine_
+let flight_recorder t = t.flight
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let json_headers = [ ("Content-Type", "application/json") ]
 
-let respond ?(headers = json_headers) fd ~status body =
-  Http.write_response ~headers fd ~status body
+(* ------------------------------------------------------------------ *)
+(* Per-request context and the uniform completion path. Handlers build
+   a [reply]; [complete] writes it (echoing the request id), observes
+   the per-endpoint metrics, publishes the flight record and dumps it
+   through {!Log} on 5xx or a slow request — one choke point instead of
+   per-handler bookkeeping. *)
+
+type reply = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let json_reply ?(headers = []) ~status body =
+  { status; headers = headers @ json_headers; body }
+
+type ctx = {
+  id : string;
+  endpoint : string;
+  accepted_at : float;  (* monotonic ms: request parsed, context minted *)
+  mutable queued_at : float;  (* monotonic ms at admission *)
+  mutable phases : (string * float) list;  (* reverse accumulation *)
+  mutable tier : string;
+  mutable store_rejected : bool;
+  mutable healed : bool;
+}
+
+(* An inbound x-request-id is echoed when it is a sane header token;
+   anything else (or nothing) gets a fresh ULID. *)
+let acceptable_inbound_id s =
+  let n = String.length s in
+  n > 0 && n <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+         | _ -> false)
+       s
+
+let make_ctx ?req ~endpoint () =
+  let id =
+    match Option.bind req (fun r -> Http.header r "x-request-id") with
+    | Some inbound when acceptable_inbound_id inbound -> inbound
+    | _ -> Ulid.gen ()
+  in
+  {
+    id;
+    endpoint;
+    accepted_at = Clock.now_ms ();
+    queued_at = 0.;
+    phases = [];
+    tier = "-";
+    store_rejected = false;
+    healed = false;
+  }
+
+let add_phase ctx name ms = ctx.phases <- (name, ms) :: ctx.phases
+
+let phase ctx name f =
+  let t0 = Clock.now_ms () in
+  let r = f () in
+  add_phase ctx name (Float.max 0. (Clock.now_ms () -. t0));
+  r
+
+(* Merge repeated phase names (a P3 sweep attributes engine phases once
+   per width) and restore accumulation order. *)
+let merged_phases ctx =
+  List.fold_left
+    (fun acc (name, ms) ->
+      match List.assoc_opt name acc with
+      | Some _ ->
+        List.map (fun (n, v) -> if n = name then (n, v +. ms) else (n, v)) acc
+      | None -> acc @ [ (name, ms) ])
+    [] (List.rev ctx.phases)
+
+let complete t ctx fd (reply : reply) =
+  let w0 = Clock.now_ms () in
+  Http.write_response
+    ~headers:(("x-request-id", ctx.id) :: reply.headers)
+    fd ~status:reply.status reply.body;
+  let now = Clock.now_ms () in
+  add_phase ctx "write" (Float.max 0. (now -. w0));
+  let total = Float.max 0. (now -. ctx.accepted_at) in
+  Obs.observe latency_h total;
+  Obs.observe (request_ms_h ~endpoint:ctx.endpoint) total;
+  Obs.incr (requests_c ~endpoint:ctx.endpoint ~status:reply.status);
+  let slow =
+    match t.cfg.slow_ms with Some ms -> total > ms | None -> false
+  in
+  let record =
+    {
+      Flight.id = ctx.id;
+      endpoint = ctx.endpoint;
+      status = reply.status;
+      total_ms = total;
+      phases = merged_phases ctx;
+      tier = ctx.tier;
+      store_rejected = ctx.store_rejected;
+      healed = ctx.healed;
+      slow;
+    }
+  in
+  Flight.record t.flight record;
+  (* inline GETs complete outside the worker's [with_request]; re-assert
+     the ambient id so every line carries it exactly once *)
+  Obs.with_request ctx.id @@ fun () ->
+  Log.info "serve.request"
+    ~fields:
+      [
+        ("endpoint", Json.String ctx.endpoint);
+        ("status", Json.Int reply.status);
+        ("total_ms", Json.Float total);
+        ("tier", Json.String ctx.tier);
+      ];
+  if reply.status >= 500 then
+    Log.error "serve.error_response"
+      ~fields:[ ("record", Flight.to_json record) ]
+  else if slow then
+    Log.warn "serve.slow" ~fields:[ ("record", Flight.to_json record) ]
 
 (* answer inline and hang up — the non-admitted paths *)
-let finish ?headers t_fd ~status body =
-  respond ?headers t_fd ~status body;
-  close_quietly t_fd
+let finish t ctx fd reply =
+  complete t ctx fd reply;
+  close_quietly fd
 
 (* ------------------------------------------------------------------ *)
 (* GET endpoints — answered in the accept loop, never queued *)
 
-let uptime_ms t = (Unix.gettimeofday () -. t.started_at) *. 1000.
+let uptime_ms t = Float.max 0. (Clock.now_ms () -. t.started_at)
 
 let healthz t =
   Json.to_string
@@ -174,6 +321,20 @@ let metrics t =
                 m.Obs.histograms) );
        ])
 
+let debug_requests t query =
+  let limit =
+    match List.assoc_opt "limit" query with
+    | Some v -> int_of_string_opt v
+    | None -> None
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ( "requests",
+           Json.List (List.map Flight.to_json (Flight.recent ?limit t.flight))
+         );
+       ])
+
 (* ------------------------------------------------------------------ *)
 (* solve / check execution — runs on a pool worker *)
 
@@ -203,11 +364,45 @@ let status_name = function
   | Engine.Complete -> "complete"
   | Engine.Deadline -> "deadline"
 
-let handle_solve t fd (req : Protocol.solve_request) ~budget =
+(* Attribute an engine solve's elapsed time to the flight-record
+   phases: disk probe+audit and optimizer time are measured inside the
+   engine; the remainder is memory-cache probing and bookkeeping. *)
+let note_engine_phases ctx (s : Engine.stats) =
+  let probe = s.Engine.store_probe_ms in
+  let solve = s.Engine.eval_solve_ms in
+  add_phase ctx "cache_probe"
+    (Float.max 0. (s.Engine.elapsed_ms -. probe -. solve));
+  add_phase ctx "disk_audit" probe;
+  add_phase ctx "solve" solve
+
+let note_tier ctx (s : Engine.stats) =
+  ctx.tier <-
+    (if s.Engine.eval_computed > 0 then "solve"
+     else if s.Engine.eval_from_store > 0 then "store"
+     else "memory")
+
+(* Store-audit outcome flags, from the engine's tier counters around
+   the solve. [healed] means a rejected entry degraded to a fresh solve
+   whose write-through then replaced it. Deltas are per-engine, so a
+   concurrent worker's reject can blur attribution — good enough for a
+   diagnostic flag. *)
+let with_store_flags t ctx f =
+  let s0 = Engine.store_stats t.engine_ in
+  let r = f () in
+  let s1 = Engine.store_stats t.engine_ in
+  if s1.Engine.audit_rejects > s0.Engine.audit_rejects then begin
+    ctx.store_rejected <- true;
+    ctx.healed <- s1.Engine.write_errors = s0.Engine.write_errors
+  end;
+  r
+
+let handle_solve t ctx (req : Protocol.solve_request) ~budget =
   (* test/bench aid: hold this worker to make admission control
      deterministic under test *)
-  if req.stall_ms > 0 then Unix.sleepf (float_of_int req.stall_ms /. 1000.);
-  let constraints = constraints_of_solve req in
+  if req.stall_ms > 0 then
+    phase ctx "stall" (fun () ->
+        Unix.sleepf (float_of_int req.stall_ms /. 1000.));
+  let constraints = phase ctx "prep" (fun () -> constraints_of_solve req) in
   let solve ~tam_width =
     Engine.solve t.engine_
       (Engine.request req.soc ~tam_width ~constraints ~wmax:req.wmax
@@ -222,30 +417,37 @@ let handle_solve t fd (req : Protocol.solve_request) ~budget =
   in
   match req.problem with
   | Protocol.P1 | Protocol.P2 ->
-    let outcome = solve ~tam_width:req.tam_width in
+    let outcome =
+      with_store_flags t ctx (fun () -> solve ~tam_width:req.tam_width)
+    in
+    note_engine_phases ctx outcome.Engine.stats;
+    note_tier ctx outcome.Engine.stats;
     (match outcome.Engine.status with
     | Engine.Deadline -> Obs.incr deadline_c
     | Engine.Complete -> ());
     (* no unaudited schedule leaves the service *)
     let audit =
-      Audit.run req.soc
-        (Engine.audit_spec t.engine_ ~wmax:req.wmax
-           ~expect_tam_width:req.tam_width constraints)
-        outcome.Engine.result.Optimizer.schedule
+      phase ctx "audit" (fun () ->
+          Audit.run req.soc
+            (Engine.audit_spec t.engine_ ~wmax:req.wmax
+               ~expect_tam_width:req.tam_width constraints)
+            outcome.Engine.result.Optimizer.schedule)
     in
     if Audit.ok audit then
-      respond fd ~status:200
-        (Json.to_string
-           (Json.Obj
-              (common
-              @ [
-                  ("result", Protocol.json_of_outcome ~soc:req.soc outcome);
-                  ("audit", Protocol.json_of_report audit);
-                ])))
+      json_reply ~status:200
+        (phase ctx "render" (fun () ->
+             Json.to_string
+               (Json.Obj
+                  (common
+                  @ [
+                      ( "result",
+                        Protocol.json_of_outcome ~soc:req.soc outcome );
+                      ("audit", Protocol.json_of_report audit);
+                    ]))))
     else
       (* a dirty schedule out of the solver is a server bug, not a
          client error *)
-      respond fd ~status:500
+      json_reply ~status:500
         (Protocol.error_body
            ~detail:(Json.Obj [ ("audit", Protocol.json_of_report audit) ])
            "solver produced a schedule that failed its audit")
@@ -253,13 +455,30 @@ let handle_solve t fd (req : Protocol.solve_request) ~budget =
     let max_width = Option.value req.max_width ~default:req.tam_width in
     let widths = List.init max_width (fun i -> i + 1) in
     let outcomes =
-      Engine.solve_many t.engine_
-        (List.map
-           (fun w ->
-             Engine.request req.soc ~tam_width:w ~constraints ~wmax:req.wmax
-               ~grid:(grid_of req.strategy) ~budget ())
-           widths)
+      with_store_flags t ctx (fun () ->
+          Engine.solve_many t.engine_
+            (List.map
+               (fun w ->
+                 Engine.request req.soc ~tam_width:w ~constraints
+                   ~wmax:req.wmax ~grid:(grid_of req.strategy) ~budget ())
+               widths))
     in
+    List.iter (fun (o : Engine.outcome) ->
+        note_engine_phases ctx o.Engine.stats)
+      outcomes;
+    (* the sweep's tier is its most expensive constituent *)
+    let summed =
+      List.fold_left
+        (fun (c, s) (o : Engine.outcome) ->
+          ( c + o.Engine.stats.Engine.eval_computed,
+            s + o.Engine.stats.Engine.eval_from_store ))
+        (0, 0) outcomes
+    in
+    (ctx.tier <-
+       (match summed with
+       | c, _ when c > 0 -> "solve"
+       | _, s when s > 0 -> "store"
+       | _ -> "memory"));
     if List.exists (fun o -> o.Engine.status = Engine.Deadline) outcomes
     then Obs.incr deadline_c;
     let points =
@@ -278,38 +497,42 @@ let handle_solve t fd (req : Protocol.solve_request) ~budget =
     let evaluations =
       List.fold_left (fun n o -> n + o.Engine.evaluations) 0 outcomes
     in
-    respond fd ~status:200
-      (Json.to_string
-         (Json.Obj
-            (common
-            @ [
-                ("points", Json.List points);
-                ("evaluations", Json.Int evaluations);
-              ])))
+    json_reply ~status:200
+      (phase ctx "render" (fun () ->
+           Json.to_string
+             (Json.Obj
+                (common
+                @ [
+                    ("points", Json.List points);
+                    ("evaluations", Json.Int evaluations);
+                  ]))))
 
-let handle_check t fd (req : Protocol.check_request) =
-  let max_preemptions =
-    match req.preempt with
-    | Some limit when limit >= 0 -> Flow.preemption_budget req.soc ~limit
-    | _ -> []
-  in
+let handle_check t ctx (req : Protocol.check_request) =
   let constraints =
-    Constraint_def.of_soc req.soc ?power_limit:req.power_limit
-      ~max_preemptions ()
+    phase ctx "prep" (fun () ->
+        let max_preemptions =
+          match req.preempt with
+          | Some limit when limit >= 0 ->
+            Flow.preemption_budget req.soc ~limit
+          | _ -> []
+        in
+        Constraint_def.of_soc req.soc ?power_limit:req.power_limit
+          ~max_preemptions ())
   in
   let spec =
     Engine.audit_spec t.engine_ ~wmax:req.wmax
       ~require_complete:(not req.partial) constraints
   in
-  let report = Audit.run req.soc spec req.schedule in
+  let report = phase ctx "audit" (fun () -> Audit.run req.soc spec req.schedule) in
   (* violations are the answer here, not an error *)
-  respond fd ~status:200
-    (Json.to_string
-       (Json.Obj
-          [
-            ("soc", Json.String req.soc_source);
-            ("audit", Protocol.json_of_report report);
-          ]))
+  json_reply ~status:200
+    (phase ctx "render" (fun () ->
+         Json.to_string
+           (Json.Obj
+              [
+                ("soc", Json.String req.soc_source);
+                ("audit", Protocol.json_of_report report);
+              ])))
 
 (* ------------------------------------------------------------------ *)
 (* admission control *)
@@ -323,32 +546,43 @@ let try_admit t =
   in
   go ()
 
-let note_inflight t = Obs.set_gauge inflight_g (float_of_int (Atomic.get t.inflight))
+let note_inflight t =
+  Obs.set_gauge inflight_g (float_of_int (Atomic.get t.inflight))
 
 (* Wrap an admitted job: deliver some answer no matter what, then
-   release the fd and the admission slot. *)
-let job t fd ~arrival run () =
+   release the fd and the admission slot. The worker domain carries the
+   request id for the whole job, so engine spans and store log lines
+   attribute to it. *)
+let job t fd ctx run () =
   Fun.protect
     ~finally:(fun () ->
       close_quietly fd;
       Atomic.decr t.inflight;
       note_inflight t)
     (fun () ->
-      (try run ()
-       with
-      | Optimizer.Infeasible msg ->
-        respond fd ~status:422 (Protocol.error_body ("infeasible: " ^ msg))
-      | exn ->
-        respond fd ~status:500 (Protocol.error_body (Printexc.to_string exn)));
+      Obs.with_request ctx.id @@ fun () ->
+      add_phase ctx "queue"
+        (Float.max 0. (Clock.now_ms () -. ctx.queued_at));
+      let reply =
+        try run ()
+        with
+        | Optimizer.Infeasible msg ->
+          json_reply ~status:422
+            (Protocol.error_body ("infeasible: " ^ msg))
+        | exn ->
+          json_reply ~status:500
+            (Protocol.error_body (Printexc.to_string exn))
+      in
       Obs.incr completed_c;
-      Obs.observe latency_h ((Unix.gettimeofday () -. arrival) *. 1000.))
+      complete t ctx fd reply)
 
-let admit t fd ?budget_ms run =
+let admit t fd ctx ?budget_ms run =
   if not (try_admit t) then begin
     Obs.incr rejected_c;
-    finish fd ~status:429
-      ~headers:(("Retry-After", "1") :: json_headers)
-      (Protocol.error_body "queue full, retry later")
+    finish t ctx fd
+      (json_reply ~status:429
+         ~headers:[ ("Retry-After", "1") ]
+         (Protocol.error_body "queue full, retry later"))
   end
   else begin
     Obs.incr accepted_c;
@@ -359,65 +593,97 @@ let admit t fd ?budget_ms run =
       | None -> Budget.unlimited
       | Some ms -> Budget.create ~deadline_ms:ms ()
     in
-    let arrival = Unix.gettimeofday () in
-    match Pool.submit t.pool (job t fd ~arrival (fun () -> run ~budget)) with
+    ctx.queued_at <- Clock.now_ms ();
+    match Pool.submit t.pool (job t fd ctx (fun () -> run ~budget)) with
     | () -> ()
     | exception Invalid_argument _ ->
       (* raced with shutdown *)
       Atomic.decr t.inflight;
       note_inflight t;
-      finish fd ~status:503 (Protocol.error_body "server shutting down")
+      finish t ctx fd
+        (json_reply ~status:503
+           (Protocol.error_body "server shutting down"))
   end
 
 (* ------------------------------------------------------------------ *)
 (* routing and the accept loop *)
 
+let prom_headers = [ ("Content-Type", "text/plain; version=0.0.4") ]
+
 let route t fd (req : Http.request) =
-  match (req.Http.meth, req.Http.target) with
-  | "GET", "/healthz" -> finish fd ~status:200 (healthz t)
-  | "GET", "/v1/metrics" -> finish fd ~status:200 (metrics t)
+  let path, query = Http.split_target req.Http.target in
+  let ctx = make_ctx ~req ~endpoint:path () in
+  match (req.Http.meth, path) with
+  | "GET", "/healthz" ->
+    finish t ctx fd
+      (phase ctx "render" (fun () -> json_reply ~status:200 (healthz t)))
+  | "GET", "/v1/metrics" ->
+    finish t ctx fd
+      (phase ctx "render" (fun () -> json_reply ~status:200 (metrics t)))
+  | "GET", "/metrics" ->
+    finish t ctx fd
+      (phase ctx "render" (fun () ->
+           { status = 200; headers = prom_headers; body = Prom.render () }))
+  | "GET", "/v1/debug/requests" ->
+    finish t ctx fd
+      (phase ctx "render" (fun () ->
+           json_reply ~status:200 (debug_requests t query)))
   | "POST", "/v1/solve" -> (
     match Protocol.solve_request_of_body req.Http.body with
     | Error msg ->
       Obs.incr bad_request_c;
-      finish fd ~status:400 (Protocol.error_body msg)
+      finish t ctx fd (json_reply ~status:400 (Protocol.error_body msg))
     | Ok sreq ->
-      admit t fd ?budget_ms:sreq.Protocol.budget_ms (fun ~budget ->
-          handle_solve t fd sreq ~budget))
+      admit t fd ctx ?budget_ms:sreq.Protocol.budget_ms (fun ~budget ->
+          handle_solve t ctx sreq ~budget))
   | "POST", "/v1/check" -> (
     match Protocol.check_request_of_body req.Http.body with
     | Error msg ->
       Obs.incr bad_request_c;
-      finish fd ~status:400 (Protocol.error_body msg)
-    | Ok creq -> admit t fd (fun ~budget:_ -> handle_check t fd creq))
+      finish t ctx fd (json_reply ~status:400 (Protocol.error_body msg))
+    | Ok creq ->
+      admit t fd ctx (fun ~budget:_ -> handle_check t ctx creq))
   | (("GET" | "POST") as meth), target ->
     Obs.incr bad_request_c;
-    finish fd ~status:404
-      (Protocol.error_body
-         (Printf.sprintf "no such endpoint: %s %s" meth target))
+    finish t ctx fd
+      (json_reply ~status:404
+         (Protocol.error_body
+            (Printf.sprintf "no such endpoint: %s %s" meth target)))
   | meth, _ ->
     Obs.incr bad_request_c;
-    finish fd ~status:405
-      (Protocol.error_body (Printf.sprintf "method %s not supported" meth))
+    finish t ctx fd
+      (json_reply ~status:405
+         (Protocol.error_body (Printf.sprintf "method %s not supported" meth)))
 
 let handle_connection t fd =
   Unix.setsockopt_float fd SO_RCVTIMEO (t.cfg.read_timeout_ms /. 1000.);
   match Http.read_request ~max_body:t.cfg.max_body fd with
   | Error (Http.Bad_request msg) ->
     Obs.incr bad_request_c;
-    finish fd ~status:400 (Protocol.error_body msg)
+    finish t (make_ctx ~endpoint:"-" ()) fd
+      (json_reply ~status:400 (Protocol.error_body msg))
   | Error (Http.Payload_too_large { limit }) ->
     Obs.incr bad_request_c;
-    finish fd ~status:413
-      (Protocol.error_body
-         (Printf.sprintf "request body exceeds %d bytes" limit))
+    finish t (make_ctx ~endpoint:"-" ()) fd
+      (json_reply ~status:413
+         (Protocol.error_body
+            (Printf.sprintf "request body exceeds %d bytes" limit)))
   | Error Http.Timeout ->
     Obs.incr bad_request_c;
-    finish fd ~status:408 (Protocol.error_body "timed out reading request")
+    finish t (make_ctx ~endpoint:"-" ()) fd
+      (json_reply ~status:408
+         (Protocol.error_body "timed out reading request"))
   | Error Http.Closed -> close_quietly fd
   | Ok req -> route t fd req
 
 let run t =
+  Log.info "serve.started"
+    ~fields:
+      [
+        ("port", Json.Int t.bound_port);
+        ("workers", Json.Int t.cfg.workers);
+        ("queue_depth", Json.Int t.cfg.queue_depth);
+      ];
   let rec loop () =
     if not (Atomic.get t.stopping) then
       match Unix.accept t.listen_fd with
@@ -426,7 +692,9 @@ let run t =
          with exn ->
            (* defensive: no single connection may kill the loop *)
            (try
-              respond fd ~status:500
+              Http.write_response
+                ~headers:(("x-request-id", Ulid.gen ()) :: json_headers)
+                fd ~status:500
                 (Protocol.error_body (Printexc.to_string exn))
             with _ -> ());
            close_quietly fd);
@@ -441,7 +709,9 @@ let run t =
   loop ();
   (* drain: every admitted job is answered before we return *)
   Pool.shutdown t.pool;
-  close_quietly t.listen_fd
+  close_quietly t.listen_fd;
+  Log.info "serve.stopped"
+    ~fields:[ ("uptime_ms", Json.Float (uptime_ms t)) ]
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then

@@ -15,9 +15,29 @@
       {!Soctest_store.Store}, the disk tier's
       hits/misses/audit-rejects and file statistics) plus every
       {!Soctest_obs.Obs} counter/gauge/histogram, as JSON.
+    - [GET /metrics] — the same {!Soctest_obs.Obs} registry in
+      Prometheus text format ({!Soctest_obs.Prom}), including
+      per-endpoint/per-status request counters and per-endpoint latency
+      histograms (millisecond edges).
+    - [GET /v1/debug/requests] — the flight recorder: the last
+      [flight_capacity] completed requests (newest first; [?limit=N]
+      truncates), each with its id, endpoint, status, per-phase timing
+      decomposition, cache tier and store-audit flags.
     - [GET /healthz] — liveness: status, uptime, in-flight count.
 
     {2 Request lifecycle}
+
+    Every request gets an id at parse time: an inbound [x-request-id]
+    header is echoed back when it is a sane token, anything else gets a
+    fresh {!Ulid}; every response carries the id in its [x-request-id]
+    header. On a worker domain the id is ambient
+    ({!Soctest_obs.Obs.with_request}) for the whole job, so engine
+    spans and store log lines attribute to the request that queued
+    them. Completed requests land in the flight recorder with a
+    per-phase timing decomposition (queue wait, constraint prep, cache
+    probe, disk audit, optimizer time, response audit, render, write —
+    monotonic clock); a 5xx response or one slower than [slow_ms] also
+    dumps its record through {!Soctest_obs.Log}.
 
     The accept loop reads and fully validates each request inline
     (malformed framing or JSON never consumes solver capacity), then
@@ -46,6 +66,10 @@ type config = {
   queue_depth : int;  (** max admitted-but-unfinished solve/check jobs *)
   max_body : int;  (** request body cap, bytes (413 beyond) *)
   read_timeout_ms : float;  (** per-socket read timeout (408 on expiry) *)
+  slow_ms : float option;
+      (** dump a request's flight record through {!Soctest_obs.Log}
+          when its end-to-end latency exceeds this; [None] disables *)
+  flight_capacity : int;  (** completed requests the recorder retains *)
 }
 
 val config :
@@ -54,26 +78,37 @@ val config :
   ?queue_depth:int ->
   ?max_body:int ->
   ?read_timeout_ms:float ->
+  ?slow_ms:float ->
+  ?flight_capacity:int ->
   unit ->
   config
 (** Defaults: port 8080, workers
     [max 1 (Domain.recommended_domain_count () - 1)], queue depth 64,
-    1 MiB bodies, 10 s read timeout.
-    @raise Invalid_argument on non-positive workers/queue depth/body cap
-    or a negative timeout. *)
+    1 MiB bodies, 10 s read timeout, no slow threshold, 256 flight
+    records.
+    @raise Invalid_argument on non-positive workers/queue depth/body
+    cap/flight capacity or a negative timeout/threshold. *)
 
 type t
 
 val create : ?engine:Soctest_engine.Engine.t -> config -> t
 (** Bind and listen (loopback) and spawn the worker pool. A fresh
     engine is created when [engine] is omitted; pass one to share its
-    caches with other work in the process.
+    caches with other work in the process. When {!Soctest_obs.Obs}
+    recording is off, [create] enables metrics-only recording
+    ([Obs.enable ~events:false]) so the request-lifecycle metrics are
+    live in every embedding; an already-enabled Obs session (e.g. a
+    test recording events) is left untouched.
     @raise Unix.Unix_error when the port cannot be bound. *)
 
 val port : t -> int
 (** The bound port — the ephemeral one when [config.port] was 0. *)
 
 val engine : t -> Soctest_engine.Engine.t
+
+val flight_recorder : t -> Soctest_obs.Flight.t
+(** The server's flight recorder — what [GET /v1/debug/requests]
+    reads; exposed for embeddings and tests. *)
 
 val run : t -> unit
 (** Serve until {!stop}: accept, validate, admit, answer. Returns only

@@ -1,0 +1,42 @@
+(* ULID-style ids: 48-bit ms timestamp + 80 random bits, Crockford
+   base32. The timestamp keeps ids sortable by mint time (useful when
+   eyeballing logs); the 80 random bits make collisions implausible
+   without any cross-domain coordination. *)
+
+let alphabet = "0123456789ABCDEFGHJKMNPQRSTVWXYZ"
+
+(* Per-domain random state: [Random.State.make_self_init] mixes time,
+   pid and a counter, and each domain owning its state keeps [gen]
+   lock-free. *)
+let rng_key : Random.State.t Domain.DLS.key =
+  Domain.DLS.new_key Random.State.make_self_init
+
+let gen () =
+  let rng = Domain.DLS.get rng_key in
+  let b = Bytes.create 26 in
+  (* 48-bit timestamp -> 10 base32 chars (watchful of the sign bit:
+     ms since epoch fits 63-bit OCaml ints for the next few millennia) *)
+  let ms = Int64.of_float (Unix.gettimeofday () *. 1000.) in
+  for i = 0 to 9 do
+    let shift = (9 - i) * 5 in
+    let idx = Int64.to_int (Int64.logand (Int64.shift_right_logical ms shift) 31L) in
+    Bytes.set b i alphabet.[idx]
+  done;
+  (* 80 random bits -> 16 base32 chars *)
+  for i = 10 to 25 do
+    Bytes.set b i alphabet.[Random.State.int rng 32]
+  done;
+  Bytes.to_string b
+
+let is_valid s =
+  String.length s = 26
+  && String.for_all
+       (fun c ->
+         match c with
+         | '0' .. '9' -> true
+         | 'A' .. 'Z' | 'a' .. 'z' ->
+           (* Crockford excludes I, L, O, U (either case) *)
+           let u = Char.uppercase_ascii c in
+           u <> 'I' && u <> 'L' && u <> 'O' && u <> 'U'
+         | _ -> false)
+       s

@@ -1,0 +1,13 @@
+(** ULID-style request identifiers.
+
+    26 characters of Crockford base32: a 48-bit millisecond wall-clock
+    timestamp followed by 80 bits of per-domain randomness. Sortable by
+    mint time, unique without coordination, and safe to log or put in
+    an HTTP header unquoted. *)
+
+val gen : unit -> string
+(** Mint a fresh id. Lock-free: the random state is domain-local. *)
+
+val is_valid : string -> bool
+(** True when [s] is 26 Crockford base32 characters — what the server
+    accepts as an inbound [x-request-id] before echoing it. *)

@@ -1,4 +1,6 @@
 module Obs = Soctest_obs.Obs
+module Log = Soctest_obs.Log
+module Json = Soctest_obs.Json
 
 (* Every handle shares these: the names are process-global Obs
    registrations, so a farm daemon exports one set of store counters no
@@ -161,6 +163,13 @@ let scan_forward ?(truncate = false) t =
           (* a bit-rotted record: drop it, keep everything after it *)
           t.corrupt <- t.corrupt + 1;
           Obs.incr corrupt_c;
+          Log.warn "store.corrupt_skipped"
+            ~fields:
+              [
+                ("path", Json.String t.path);
+                ("offset", Json.Int off);
+                ("bytes", Json.Int total);
+              ];
           t.scan_off <- off + total
         end
         else begin
@@ -381,7 +390,15 @@ let compact t =
           t.records <- 0;
           t.corrupt <- 0;
           ignore (scan_forward t);
-          max 0 (old_size - file_size t.fd)))
+          let reclaimed = max 0 (old_size - file_size t.fd) in
+          Log.info "store.compacted"
+            ~fields:
+              [
+                ("path", Json.String t.path);
+                ("entries", Json.Int (Hashtbl.length t.index));
+                ("reclaimed_bytes", Json.Int reclaimed);
+              ];
+          reclaimed))
 
 (* ------------------------------------------------------------------ *)
 

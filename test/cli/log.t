@@ -1,0 +1,31 @@
+Structured logging riding the serving stack: `--log-file` turns on the
+JSON log sink in bench-serve's in-process daemon. Every line must be
+one intact JSON object (the strict checker behind @obs-smoke):
+
+  $ soctest bench-serve --soc mini4 -w 8 --requests 6 --clients 2 --distinct 2 --log-level info --log-file serve.jsonl --slow-ms 0.01 > bench.out
+  $ grep -c 'phase single' bench.out
+  1
+  $ ../obs/json_check.exe --jsonl serve.jsonl
+
+The daemon lifecycle is logged once each way:
+
+  $ grep -c '"event":"serve.started"' serve.jsonl
+  1
+  $ grep -c '"event":"serve.stopped"' serve.jsonl
+  1
+
+Every solve is logged exactly once (info lines are never deduplicated),
+and every request line carries its request id:
+
+  $ grep '"event":"serve.request"' serve.jsonl | grep -c '"endpoint":"/v1/solve"'
+  6
+  $ grep '"event":"serve.request"' serve.jsonl | grep -v '"request_id"' | wc -l
+  0
+
+The 0.01 ms slow threshold trips the flight-recorder dump (warn lines
+are rate-limited, so assert presence, not a count):
+
+  $ test "$(grep -c '"event":"serve.slow"' serve.jsonl)" -ge 1 && echo slow-logged
+  slow-logged
+  $ grep '"event":"serve.slow"' serve.jsonl | head -1 | grep -c '"phases"'
+  1

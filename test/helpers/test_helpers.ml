@@ -105,3 +105,112 @@ let contains_substring haystack needle =
 let qtest ?(count = 100) name arb prop =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count ~name arb prop)
+
+(* ---------------- Prometheus text-format lint ---------------- *)
+
+(* Validate one exposition-format sample line:
+   name{key="value",...} value. Pure string work, shared by the Prom
+   unit tests and the live GET /metrics test. *)
+let prom_lint_sample line =
+  let n = String.length line in
+  let is_name_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let is_name_char c = is_name_start c || (c >= '0' && c <= '9') in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do
+    incr i
+  done;
+  if !i = 0 || not (is_name_start line.[0]) then Error "bad metric name"
+  else begin
+    let status = ref (Ok ()) in
+    let err msg = status := Error msg in
+    (if !i < n && line.[!i] = '{' then begin
+       incr i;
+       let fin = ref false in
+       while (not !fin) && !status = Ok () do
+         if !i >= n then err "unterminated label set"
+         else if line.[!i] = '}' then begin
+           incr i;
+           fin := true
+         end
+         else begin
+           let k0 = !i in
+           while !i < n && is_name_char line.[!i] do
+             incr i
+           done;
+           if !i = k0 then err "empty label name"
+           else if !i >= n || line.[!i] <> '=' then err "label missing '='"
+           else begin
+             incr i;
+             if !i >= n || line.[!i] <> '"' then err "label value not quoted"
+             else begin
+               incr i;
+               let vfin = ref false in
+               while (not !vfin) && !status = Ok () do
+                 if !i >= n then err "unterminated label value"
+                 else
+                   match line.[!i] with
+                   | '"' ->
+                     incr i;
+                     vfin := true
+                   | '\\' ->
+                     if !i + 1 >= n then err "dangling backslash"
+                     else begin
+                       (match line.[!i + 1] with
+                       | '\\' | '"' | 'n' -> ()
+                       | _ -> err "bad escape in label value");
+                       i := !i + 2
+                     end
+                   | _ -> incr i
+               done;
+               if !status = Ok () then
+                 if !i < n && line.[!i] = ',' then incr i
+                 else if !i < n && line.[!i] = '}' then ()
+                 else if !i >= n then err "unterminated label set"
+                 else err "expected ',' or '}' after label"
+             end
+           end
+         end
+       done
+     end);
+    match !status with
+    | Error _ as e -> e
+    | Ok () ->
+      if !i >= n || line.[!i] <> ' ' then Error "expected space before value"
+      else begin
+        let value = String.sub line (!i + 1) (n - !i - 1) in
+        match value with
+        | "+Inf" | "-Inf" | "NaN" -> Ok ()
+        | v -> (
+          match float_of_string_opt v with
+          | Some _ -> Ok ()
+          | None -> Error (Printf.sprintf "bad sample value %S" v))
+      end
+  end
+
+(* Validate a whole /metrics body: every line is blank, a
+   `# TYPE name kind` / `# HELP ...` comment, or a well-formed sample.
+   The error carries the first offending line. *)
+let prom_lint text =
+  let lint_line line =
+    if String.trim line = "" then Ok ()
+    else if String.length line > 0 && line.[0] = '#' then begin
+      match String.split_on_char ' ' line with
+      | "#" :: "TYPE" :: _ :: [ kind ]
+        when List.mem kind
+               [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ] ->
+        Ok ()
+      | "#" :: "HELP" :: _ :: _ -> Ok ()
+      | _ -> Error "malformed comment (want # TYPE name kind or # HELP)"
+    end
+    else prom_lint_sample line
+  in
+  let rec go ln = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      match lint_line line with
+      | Ok () -> go (ln + 1) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s: %S" ln msg line))
+  in
+  go 1 (String.split_on_char '\n' text)

@@ -1,8 +1,9 @@
 (* Validator behind the @obs-smoke alias: check that an instrumented
    run produced a well-formed Chrome trace (argv.(1), one JSON
    document that must mention "traceEvents") and a well-formed JSONL
-   metrics stream (argv.(2)). Exits non-zero with a diagnostic on
-   stderr otherwise. *)
+   metrics stream (argv.(2)). With [--jsonl FILE] (the @log-smoke cram
+   test) it validates a single newline-delimited JSON stream instead.
+   Exits non-zero with a diagnostic on stderr otherwise. *)
 
 module Json = Soctest_obs.Json
 
@@ -20,8 +21,14 @@ let contains haystack needle =
   n = 0 || go 0
 
 let () =
+  (match Sys.argv with
+  | [| _; "--jsonl"; path |] ->
+    (match Json.check_lines (read_file path) with
+    | Ok () -> exit 0
+    | Error msg -> fail "%s: invalid JSONL: %s" path msg)
+  | _ -> ());
   if Array.length Sys.argv <> 3 then
-    fail "usage: json_check TRACE.json METRICS.jsonl";
+    fail "usage: json_check TRACE.json METRICS.jsonl | json_check --jsonl FILE";
   let trace = read_file Sys.argv.(1) in
   (match Json.check trace with
   | Ok () -> ()

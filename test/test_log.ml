@@ -1,0 +1,146 @@
+(* lib/obs Log: leveled structured JSON logging — threshold gating,
+   line-atomic multi-domain writes (every line must survive
+   Json.check_lines), the ambient request id, and warn/error dedup.
+   The sink is global state, so every test owns it for its duration
+   and the runner is sequential. *)
+
+module Log = Soctest_obs.Log
+module Obs = Soctest_obs.Obs
+module Json = Soctest_obs.Json
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let with_log_file ?(level = Log.Debug) f =
+  let path = Filename.temp_file "soctest-log-test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.disable ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Log.enable ~level ~file:path ();
+      f path)
+
+let log_lines path =
+  List.filter
+    (fun l -> String.trim l <> "")
+    (String.split_on_char '\n' (read_file path))
+
+let parse line =
+  match Json.parse line with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "bad log line %S: %s" line e
+
+let test_levels_and_threshold () =
+  Log.disable ();
+  Alcotest.(check bool) "disabled emits nothing" false (Log.enabled Log.Error);
+  with_log_file ~level:Log.Warn (fun path ->
+      Alcotest.(check bool) "info below threshold" false (Log.enabled Log.Info);
+      Alcotest.(check bool) "warn at threshold" true (Log.enabled Log.Warn);
+      Log.info "dropped.event";
+      Log.error "kept.event" ~fields:[ ("k", Json.Int 7) ];
+      Log.disable ();
+      match log_lines path with
+      | [ line ] ->
+        let v = parse line in
+        Alcotest.(check (option string))
+          "level" (Some "error")
+          (Option.map
+             (function Json.String s -> s | _ -> "?")
+             (Json.member "level" v));
+        Alcotest.(check (option string))
+          "event" (Some "kept.event")
+          (Option.map
+             (function Json.String s -> s | _ -> "?")
+             (Json.member "event" v));
+        Alcotest.(check bool) "caller field rides along" true
+          (Json.member "k" v = Some (Json.Int 7));
+        Alcotest.(check bool) "ts present" true (Json.member "ts" v <> None)
+      | l -> Alcotest.failf "expected exactly one line, got %d" (List.length l));
+  (* the string codec round-trips *)
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "level_of_string inverse" true
+        (Log.level_of_string (Log.level_to_string l) = Some l))
+    [ Log.Debug; Log.Info; Log.Warn; Log.Error ];
+  Alcotest.(check bool) "unknown level name" true
+    (Log.level_of_string "loud" = None)
+
+(* Satellite criterion: a multi-domain burst must produce a file where
+   every line is one intact JSON document — no interleaved bytes. *)
+let test_multi_domain_burst () =
+  with_log_file (fun path ->
+      let domains = 4 and per_domain = 200 in
+      let spawned =
+        List.init domains (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to per_domain do
+                  Log.info "burst.event"
+                    ~fields:
+                      [
+                        ("domain", Json.Int d);
+                        ("i", Json.Int i);
+                        ("pad", Json.String (String.make 64 'x'));
+                      ]
+                done))
+      in
+      List.iter Domain.join spawned;
+      Log.disable ();
+      (match Json.check_lines (read_file path) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "burst produced invalid JSONL: %s" e);
+      Alcotest.(check int)
+        "every line intact (info is never deduplicated)"
+        (domains * per_domain)
+        (List.length (log_lines path)))
+
+let test_ambient_request_id () =
+  with_log_file (fun path ->
+      Obs.with_request "01REQIDFORLOGTEST" (fun () -> Log.info "with.id");
+      Log.info "without.id";
+      Log.disable ();
+      match List.map parse (log_lines path) with
+      | [ tagged; bare ] ->
+        Alcotest.(check bool) "ambient id on the line" true
+          (Json.member "request_id" tagged
+          = Some (Json.String "01REQIDFORLOGTEST"));
+        Alcotest.(check bool) "no id outside with_request" true
+          (Json.member "request_id" bare = None)
+      | l -> Alcotest.failf "expected 2 lines, got %d" (List.length l))
+
+let test_warn_dedup () =
+  with_log_file (fun path ->
+      for _ = 1 to 5 do
+        Log.warn "noisy.event"
+      done;
+      (* info shares the event name but never the dedup table *)
+      Log.info "noisy.event";
+      Unix.sleepf (Log.window +. 0.15);
+      Log.warn "noisy.event";
+      Log.disable ();
+      match List.map parse (log_lines path) with
+      | [ first; info_line; reopened ] ->
+        Alcotest.(check bool) "first warn has no suppressed field" true
+          (Json.member "suppressed" first = None);
+        Alcotest.(check bool) "info passes through" true
+          (Json.member "level" info_line = Some (Json.String "info"));
+        Alcotest.(check bool)
+          "re-opened window reports the 4 dropped lines" true
+          (Json.member "suppressed" reopened = Some (Json.Int 4))
+      | l ->
+        Alcotest.failf "expected 3 lines (1 warn, 1 info, 1 warn), got %d"
+          (List.length l))
+
+let () =
+  Alcotest.run "log"
+    [
+      ( "logging",
+        [
+          Alcotest.test_case "levels and threshold" `Quick
+            test_levels_and_threshold;
+          Alcotest.test_case "multi-domain burst is line-atomic" `Quick
+            test_multi_domain_burst;
+          Alcotest.test_case "ambient request id" `Quick
+            test_ambient_request_id;
+          Alcotest.test_case "warn dedup window" `Quick test_warn_dedup;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+(* lib/obs Prom: the Prometheus text exposition for GET /metrics —
+   registry-name/label decoding, label-value escaping, cumulative
+   histogram buckets with _sum/_count agreement, and a full-output
+   format lint. The Obs registry is global state, so each test starts
+   with [Obs.enable] (which zeroes values) and the runner is
+   sequential. *)
+
+module Obs = Soctest_obs.Obs
+module Prom = Soctest_obs.Prom
+
+let lint text =
+  match Test_helpers.prom_lint text with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let lines_of text =
+  List.filter
+    (fun l -> String.trim l <> "")
+    (String.split_on_char '\n' text)
+
+(* The value of the unique sample line starting with [prefix]. *)
+let sample text prefix =
+  match
+    List.filter (fun l -> String.starts_with ~prefix l) (lines_of text)
+  with
+  | [ line ] -> (
+    match String.rindex_opt line ' ' with
+    | Some i -> String.sub line (i + 1) (String.length line - i - 1)
+    | None -> Alcotest.failf "no value on %S" line)
+  | [] -> Alcotest.failf "no series starting with %S" prefix
+  | _ -> Alcotest.failf "series %S is not unique" prefix
+
+let test_base_name () =
+  let t = Alcotest.(pair string (list (pair string string))) in
+  Alcotest.check t "plain name sanitized and prefixed"
+    ("soctest_serve_latency_ms", [])
+    (Prom.base_name "serve.latency_ms");
+  Alcotest.check t "labels decoded"
+    ("soctest_serve_requests", [ ("endpoint", "/v1/solve"); ("status", "200") ])
+    (Prom.base_name {|serve.requests{endpoint="/v1/solve",status="200"}|});
+  Alcotest.check t "escaped quote inside a label value"
+    ("soctest_m", [ ("k", {|a"b|}) ])
+    (Prom.base_name "m{k=\"a\\\"b\"}");
+  (* a malformed suffix folds into the sanitized name instead of
+     raising — a scrape must never fail over one odd registry name *)
+  Alcotest.check t "malformed labels become part of the name"
+    ("soctest_bad_oops_", [])
+    (Prom.base_name "bad{oops}")
+
+let test_label_escaping () =
+  Obs.enable ~events:false ();
+  (* registry label value of a-quote-b-backslash-c (the registry
+     convention backslash-escapes quote and backslash inside a value) *)
+  Obs.incr (Obs.counter "promtest.esc{path=\"a\\\"b\\\\c\"}");
+  let text = Prom.render () in
+  lint text;
+  Alcotest.(check string)
+    "quote and backslash re-escaped on the way out" "1"
+    (sample text "soctest_promtest_esc{path=\"a\\\"b\\\\c\"}");
+  Obs.disable ()
+
+let test_histogram_exposition () =
+  Obs.enable ~events:false ();
+  let h = Obs.histogram ~edges:[| 1.; 10.; 100. |] "promtest.hist" in
+  List.iter (Obs.observe h) [ 0.5; 5.; 50.; 500.; 0.25 ];
+  let text = Prom.render () in
+  lint text;
+  Alcotest.(check bool)
+    "TYPE histogram line" true
+    (List.mem "# TYPE soctest_promtest_hist histogram" (lines_of text));
+  (* Obs buckets are per-bucket counts; the exposition must be
+     cumulative *)
+  let bucket le = sample text (Printf.sprintf "soctest_promtest_hist_bucket{le=\"%s\"}" le) in
+  Alcotest.(check string) "le=1" "2" (bucket "1");
+  Alcotest.(check string) "le=10" "3" (bucket "10");
+  Alcotest.(check string) "le=100" "4" (bucket "100");
+  Alcotest.(check string) "le=+Inf" "5" (bucket "+Inf");
+  Alcotest.(check string)
+    "_count equals the +Inf bucket" "5"
+    (sample text "soctest_promtest_hist_count ");
+  let sum = float_of_string (sample text "soctest_promtest_hist_sum ") in
+  Alcotest.(check (float 1e-6)) "_sum is the observed total" 555.75 sum;
+  Alcotest.(check (float 1e-6))
+    "_sum agrees with Obs.histogram_sum" (Obs.histogram_sum h) sum;
+  Obs.disable ()
+
+let test_labeled_series_share_type () =
+  Obs.enable ~events:false ();
+  Obs.incr (Obs.counter {|promtest.req{status="200"}|});
+  Obs.add (Obs.counter {|promtest.req{status="500"}|}) 3;
+  let text = Prom.render () in
+  lint text;
+  Alcotest.(check int)
+    "one TYPE line for both label variants" 1
+    (List.length
+       (List.filter
+          (fun l -> l = "# TYPE soctest_promtest_req counter")
+          (lines_of text)));
+  Alcotest.(check string) "200 series" "1"
+    (sample text "soctest_promtest_req{status=\"200\"}");
+  Alcotest.(check string) "500 series" "3"
+    (sample text "soctest_promtest_req{status=\"500\"}");
+  Obs.disable ()
+
+let test_full_render_lints () =
+  Obs.enable ~events:false ();
+  Obs.set_gauge (Obs.gauge "promtest.inflight") 2.5;
+  Obs.incr (Obs.counter "promtest.plain");
+  Obs.observe (Obs.histogram "promtest.default_edges") 3.2;
+  lint (Prom.render ());
+  Obs.disable ()
+
+let () =
+  Alcotest.run "prom"
+    [
+      ( "exposition",
+        [
+          Alcotest.test_case "base_name decoding" `Quick test_base_name;
+          Alcotest.test_case "label escaping" `Quick test_label_escaping;
+          Alcotest.test_case "cumulative histogram" `Quick
+            test_histogram_exposition;
+          Alcotest.test_case "shared TYPE line" `Quick
+            test_labeled_series_share_type;
+          Alcotest.test_case "full render lints" `Quick test_full_render_lints;
+        ] );
+    ]

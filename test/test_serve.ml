@@ -357,6 +357,115 @@ let test_live_warm_restart () =
     (store_stat "hits" port >= 1);
   Alcotest.(check int) "no audit rejects" 0 (store_stat "audit_rejects" port)
 
+(* Tentpole criteria: every response carries x-request-id (inbound ids
+   echoed, junk replaced by a fresh ULID), GET /metrics passes a
+   Prometheus text-format lint and carries the per-endpoint series. *)
+let test_live_request_ids_and_metrics () =
+  with_server @@ fun _server port ->
+  let r = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
+  let minted =
+    match List.assoc_opt "x-request-id" r.Client.headers with
+    | Some id -> id
+    | None -> Alcotest.fail "solve response lacks x-request-id"
+  in
+  Alcotest.(check bool)
+    "minted id is a ULID" true
+    (Soctest_serve.Ulid.is_valid minted);
+  let echo =
+    Client.request ~port
+      ~headers:[ ("x-request-id", "client-id_42.a") ]
+      "/healthz"
+  in
+  Alcotest.(check (option string))
+    "sane inbound id echoed" (Some "client-id_42.a")
+    (List.assoc_opt "x-request-id" echo.Client.headers);
+  let junk =
+    Client.request ~port ~headers:[ ("x-request-id", "has spaces!") ] "/healthz"
+  in
+  (match List.assoc_opt "x-request-id" junk.Client.headers with
+  | Some id ->
+    Alcotest.(check bool) "junk inbound id replaced" true (id <> "has spaces!");
+    Alcotest.(check bool) "replacement is a ULID" true
+      (Soctest_serve.Ulid.is_valid id)
+  | None -> Alcotest.fail "response lacks x-request-id");
+  (* a 400 carries one too *)
+  let bad = Client.post ~port ~body:"{" "/v1/solve" in
+  Alcotest.(check bool) "error responses carry x-request-id" true
+    (List.assoc_opt "x-request-id" bad.Client.headers <> None);
+  let m = Client.get ~port "/metrics" in
+  Alcotest.(check int) "/metrics status" 200 m.Client.status;
+  Alcotest.(check (option string))
+    "exposition content type"
+    (Some "text/plain; version=0.0.4")
+    (List.assoc_opt "content-type" m.Client.headers);
+  (match Test_helpers.prom_lint m.Client.body with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "GET /metrics fails the format lint: %s" e);
+  Alcotest.(check bool)
+    "per-endpoint/status counter exposed" true
+    (Test_helpers.contains_substring m.Client.body
+       "soctest_serve_requests{endpoint=\"/v1/solve\",status=\"200\"}");
+  Alcotest.(check bool)
+    "per-endpoint latency histogram exposed" true
+    (Test_helpers.contains_substring m.Client.body
+       "soctest_serve_request_ms_bucket{endpoint=\"/v1/solve\"")
+
+(* The flight recorder must hold the completed solve under its response
+   id, with a per-phase decomposition that sums to within 10% of the
+   end-to-end latency. *)
+let test_live_flight_recorder () =
+  with_server @@ fun _server port ->
+  let r = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
+  Alcotest.(check int) "solve ok" 200 r.Client.status;
+  let id = List.assoc "x-request-id" r.Client.headers in
+  let j = Client.json_body (Client.get ~port "/v1/debug/requests?limit=16") in
+  let records =
+    match member "requests" j with
+    | Json.List l -> l
+    | _ -> Alcotest.fail "debug response lacks a requests list"
+  in
+  match
+    List.find_opt
+      (fun rc -> Json.member "id" rc = Some (Json.String id))
+      records
+  with
+  | None -> Alcotest.failf "request %s not in the flight recorder" id
+  | Some rc ->
+    Alcotest.(check string)
+      "endpoint" "/v1/solve"
+      (jstr (member "endpoint" rc));
+    Alcotest.(check int) "status" 200 (jint (member "status" rc));
+    Alcotest.(check string)
+      "a computed solve is tier=solve" "solve"
+      (jstr (member "tier" rc));
+    let total =
+      match member "total_ms" rc with
+      | Json.Float f -> f
+      | _ -> Alcotest.fail "total_ms must be a float"
+    in
+    let phases =
+      match member "phases" rc with
+      | Json.Obj l -> l
+      | _ -> Alcotest.fail "phases must be an object"
+    in
+    List.iter
+      (fun name ->
+        Alcotest.(check bool)
+          (Printf.sprintf "phase %s present" name)
+          true
+          (List.mem_assoc name phases))
+      [ "queue"; "prep"; "solve"; "audit"; "render"; "write" ];
+    let sum =
+      List.fold_left
+        (fun acc (_, v) -> match v with Json.Float f -> acc +. f | _ -> acc)
+        0. phases
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf
+         "phase sum %.3f ms within 10%% of end-to-end %.3f ms" sum total)
+      true
+      (sum >= 0.9 *. total && sum <= 1.1 *. total)
+
 let test_live_error_paths () =
   with_server @@ fun _server port ->
   let bad = Client.post ~port ~body:"{" "/v1/solve" in
@@ -396,6 +505,10 @@ let () =
           Alcotest.test_case "deadline budget" `Quick
             test_live_deadline_budget;
           Alcotest.test_case "error paths" `Quick test_live_error_paths;
+          Alcotest.test_case "request ids + /metrics exposition" `Quick
+            test_live_request_ids_and_metrics;
+          Alcotest.test_case "flight recorder" `Quick
+            test_live_flight_recorder;
           Alcotest.test_case "warm restart from store" `Quick
             test_live_warm_restart;
         ] );
