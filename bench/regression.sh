@@ -3,23 +3,29 @@
 # service / store benches, and emit a machine-readable BENCH_<n>.json at
 # the repo root so every PR leaves a comparable perf record.
 #
-#   bench/regression.sh [n]     # writes BENCH_<n>.json (default: 7)
+#   bench/regression.sh [n]     # writes BENCH_<n>.json (default: 8)
 #
 # Sections:
-#   schedule — CLI solve wall time, cold vs warm-store vs disk-hit
-#   single   — bench-serve against one daemon: latency percentiles
-#              (client-side and server-side, the latter from the
-#              /metrics Prometheus histogram), throughput, per-tier
-#              (memory/store) cache hit ratios
-#   farm     — bench-serve --procs 2: private caches vs a shared
-#              persistent store, cold and warm, per-tier ratios
-#   logging  — the same single-daemon load with the JSON log sink on
-#              (info level, file sink): req/s with logs off vs on and
-#              the overhead percentage
+#   schedule  — CLI solve wall time, cold vs warm-store vs disk-hit
+#   single    — bench-serve against one daemon: latency percentiles
+#               (client-side and server-side, the latter from the
+#               /metrics Prometheus histogram), throughput, per-tier
+#               (memory/store) cache hit ratios
+#   conn_mode — the same load over per-request connections (--conn-mode
+#               close) vs kept-alive ones: throughput delta of HTTP
+#               keep-alive
+#   admission — a mixed-budget workload (short-deadline requests
+#               interleaved with stalled heavy ones) under FIFO vs EDF
+#               admission: deadline-miss rate and budgeted-class p99
+#   farm      — bench-serve --procs 2: private caches vs a shared
+#               persistent store, cold and warm, per-tier ratios
+#   logging   — the same single-daemon load with the JSON log sink on
+#               (info level, file sink): req/s with logs off vs on and
+#               the overhead percentage
 set -eu
 
 cd "$(dirname "$0")/.."
-N=${1:-7}
+N=${1:-8}
 OUT=BENCH_${N}.json
 
 dune build bin/main.exe
@@ -57,6 +63,42 @@ SCHED_WARM=$((t2 - t1))
 PROM_P50=$(sed -n 's/.*"prom_latency_ms":{"p50":\([0-9][0-9.]*\).*/\1/p' "$TMP/single.json")
 PROM_P99=$(sed -n 's/.*"prom_latency_ms":{"p50":[0-9.]*,"p99":\([0-9][0-9.]*\).*/\1/p' "$TMP/single.json")
 
+# -- keep-alive vs per-request connections ------------------------------
+# enough requests that connection handling, not the handful of cold
+# solves, dominates the wall clock
+"$SOCTEST" bench-serve --soc d695 -w 16 --requests 200 --clients 8 \
+  --distinct 4 --json "$TMP/keepalive.json" >/dev/null
+"$SOCTEST" bench-serve --soc d695 -w 16 --requests 200 --clients 8 \
+  --distinct 4 --conn-mode close --json "$TMP/close.json" >/dev/null
+
+RPS_KEEPALIVE=$(jnum "$TMP/keepalive.json" throughput_rps)
+RPS_CLOSE=$(jnum "$TMP/close.json" throughput_rps)
+KEEPALIVE_GAIN_PCT=$(awk "BEGIN { printf \"%.1f\", 100 * ($RPS_KEEPALIVE / $RPS_CLOSE - 1) }")
+
+# -- FIFO vs EDF admission under mixed budgets --------------------------
+# --mixed-budgets interleaves short-budget requests with stalled heavy
+# ones; under FIFO a budgeted request burns its deadline queued behind
+# a stall, under EDF it overtakes at the queue
+#
+# --distinct 24 keeps every budgeted request a fresh (uncached) grid
+# solve, and 75 ms sits between a fresh solve (~40 ms) and the FIFO
+# queue wait (~170 ms) so only queueing order decides the outcome
+"$SOCTEST" bench-serve --soc mini4 -w 8 --requests 48 --clients 8 \
+  --distinct 24 --mixed-budgets --budget-ms 75 --admission fifo \
+  --json "$TMP/fifo.json" >/dev/null
+"$SOCTEST" bench-serve --soc mini4 -w 8 --requests 48 --clients 8 \
+  --distinct 24 --mixed-budgets --budget-ms 75 --admission edf \
+  --json "$TMP/edf.json" >/dev/null
+
+FIFO_BUDGETED=$(jnum "$TMP/fifo.json" budgeted)
+FIFO_MISSED=$(jnum "$TMP/fifo.json" missed)
+FIFO_MISS_RATE=$(jnum "$TMP/fifo.json" miss_rate)
+FIFO_P99=$(jnum "$TMP/fifo.json" budgeted_p99_ms)
+EDF_BUDGETED=$(jnum "$TMP/edf.json" budgeted)
+EDF_MISSED=$(jnum "$TMP/edf.json" missed)
+EDF_MISS_RATE=$(jnum "$TMP/edf.json" miss_rate)
+EDF_P99=$(jnum "$TMP/edf.json" budgeted_p99_ms)
+
 # -- the same load with the structured log sink on ----------------------
 "$SOCTEST" bench-serve --soc d695 -w 16 --requests 32 --clients 8 \
   --distinct 4 --log-level info --log-file "$TMP/serve.jsonl" \
@@ -80,6 +122,12 @@ OVERHEAD_PCT=$(awk "BEGIN { printf \"%.1f\", 100 * (1 - $RPS_ON / $RPS_OFF) }")
     "${PROM_P50:-0}" "${PROM_P99:-0}"
   printf '"logging": {"off_rps": %s, "on_rps": %s, "overhead_pct": %s, "log_lines": %s},\n' \
     "$RPS_OFF" "$RPS_ON" "$OVERHEAD_PCT" "$LOG_LINES"
+  printf '"conn_mode": {"keepalive_rps": %s, "close_rps": %s, "keepalive_gain_pct": %s},\n' \
+    "$RPS_KEEPALIVE" "$RPS_CLOSE" "$KEEPALIVE_GAIN_PCT"
+  printf '"admission": {"fifo": {"budgeted": %s, "missed": %s, "miss_rate": %s, "budgeted_p99_ms": %s},\n' \
+    "${FIFO_BUDGETED:-0}" "${FIFO_MISSED:-0}" "${FIFO_MISS_RATE:-0}" "${FIFO_P99:-0}"
+  printf '              "edf": {"budgeted": %s, "missed": %s, "miss_rate": %s, "budgeted_p99_ms": %s}},\n' \
+    "${EDF_BUDGETED:-0}" "${EDF_MISSED:-0}" "${EDF_MISS_RATE:-0}" "${EDF_P99:-0}"
   printf '"single": '
   cat "$TMP/single.json"
   printf ',\n"farm": '

@@ -146,6 +146,8 @@ let wrap f =
   | Soctest_store.Store.Corrupt_store msg -> `Error (false, msg)
   | Soctest_core.Optimizer.Infeasible msg ->
     `Error (false, "infeasible: " ^ msg)
+  | Serve_client.Error e ->
+    `Error (false, "serve client: " ^ Serve_client.error_message e)
   | Soctest_portfolio.Portfolio.No_solution msg ->
     `Error (false, "portfolio: " ^ msg)
   | Soctest_check.Audit.Failed (source, report) ->
@@ -1016,14 +1018,71 @@ let serve_cmd =
       & info [ "max-body" ] ~docv:"BYTES"
           ~doc:"Request body cap; larger payloads are answered 413.")
   in
-  let run port workers queue_depth max_body store log_level log_file slow_ms
-      =
+  let idle_timeout_ms =
+    Arg.(
+      value & opt float 5_000.
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Close a kept-alive connection after $(docv) without a new \
+             request.")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int 64
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Open-connection cap; beyond it accepts are answered 503.")
+  in
+  let max_conn_requests =
+    Arg.(
+      value & opt int 1000
+      & info [ "max-conn-requests" ] ~docv:"N"
+          ~doc:
+            "Requests served per connection before it is closed \
+             (Connection: close on the last response).")
+  in
+  let admission_arg =
+    let mode_conv =
+      Arg.conv
+        ( (fun s ->
+            match Soctest_serve.Dispatch.mode_of_string s with
+            | Some m -> Ok m
+            | None -> Error (`Msg (Printf.sprintf "unknown admission %S" s))),
+          fun fmt m ->
+            Format.pp_print_string fmt
+              (Soctest_serve.Dispatch.mode_name m) )
+    in
+    Arg.(
+      value
+      & opt mode_conv Soctest_serve.Dispatch.Edf
+      & info [ "admission" ] ~docv:"MODE"
+          ~doc:
+            "Admission-queue order: $(b,edf) (earliest deadline first — \
+             budgeted requests overtake unbudgeted ones) or $(b,fifo) \
+             (strict arrival order).")
+  in
+  let max_jobs =
+    Arg.(
+      value & opt int 256
+      & info [ "max-jobs" ] ~docv:"N"
+          ~doc:"Async jobs retained at once; beyond it submissions get 503.")
+  in
+  let job_ttl_ms =
+    Arg.(
+      value & opt float 300_000.
+      & info [ "job-ttl-ms" ] ~docv:"MS"
+          ~doc:"Retention of a finished async job's result before eviction.")
+  in
+  let run port workers queue_depth max_body idle_timeout_ms max_connections
+      max_conn_requests admission max_jobs job_ttl_ms store log_level
+      log_file slow_ms =
     wrap (fun () ->
         let workers = if workers <= 0 then default_workers () else workers in
         setup_logging ~level:log_level ~file:log_file;
         (* Server.create enables metrics-only Obs recording itself *)
         let cfg =
-          Server.config ~port ~workers ~queue_depth ~max_body ?slow_ms ()
+          Server.config ~port ~workers ~queue_depth ~max_body
+            ~idle_timeout_ms ~max_connections ~max_conn_requests ~admission
+            ~job_capacity:max_jobs ~job_ttl_ms ?slow_ms ()
         in
         let engine = Engine.create ?store:(open_store store) () in
         let server = Server.create ~engine cfg in
@@ -1034,11 +1093,13 @@ let serve_cmd =
         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
         Printf.printf
           "soctest serve: listening on 127.0.0.1:%d (%d workers, queue \
-           depth %d)\n\
-           endpoints: POST /v1/solve, POST /v1/check, GET /v1/metrics, GET \
-           /metrics, GET /v1/debug/requests, GET /healthz\n\
+           depth %d, %s admission)\n\
+           endpoints: POST /v1/solve[?mode=async], GET|DELETE \
+           /v1/jobs/<id>, POST /v1/check, GET /v1/metrics, GET /metrics, \
+           GET /v1/debug/requests, GET /healthz\n\
            %!"
-          (Server.port server) workers queue_depth;
+          (Server.port server) workers queue_depth
+          (Soctest_serve.Dispatch.mode_name admission);
         (match Engine.store engine with
         | None -> ()
         | Some s ->
@@ -1050,18 +1111,22 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the scheduling service: an HTTP/JSON daemon with bounded \
-          admission, per-request deadline budgets, shared solver caches \
-          and audited responses. $(b,--store) layers a persistent result \
-          store under the in-memory caches so restarts stay warm and \
-          several daemons can share solves. Every response carries an \
-          $(b,x-request-id); $(b,GET /metrics) exposes Prometheus text \
-          format and $(b,GET /v1/debug/requests) the flight recorder. \
-          SIGINT/SIGTERM drain and exit.")
+         "Run the scheduling service: an HTTP/1.1 keep-alive JSON daemon \
+          with bounded, deadline-aware (EDF) admission, per-request \
+          deadline budgets, async jobs ($(b,POST /v1/solve?mode=async) \
+          then $(b,GET /v1/jobs/<id>)), shared solver caches and audited \
+          responses. $(b,--store) layers a persistent result store under \
+          the in-memory caches so restarts stay warm and several daemons \
+          can share solves. Every response carries an $(b,x-request-id); \
+          $(b,GET /metrics) exposes Prometheus text format and $(b,GET \
+          /v1/debug/requests) the flight recorder. SIGINT/SIGTERM drain \
+          and exit.")
     Term.(
       ret
-        (const run $ port $ workers $ queue_depth $ max_body $ store_arg
-       $ log_level_arg $ log_file_arg $ slow_ms_arg))
+        (const run $ port $ workers $ queue_depth $ max_body
+       $ idle_timeout_ms $ max_connections $ max_conn_requests
+       $ admission_arg $ max_jobs $ job_ttl_ms $ store_arg $ log_level_arg
+       $ log_file_arg $ slow_ms_arg))
 
 (* ------------------------------------------------------------------ *)
 (* bench-serve: per-tier cache accounting and the multi-process farm  *)
@@ -1238,39 +1303,113 @@ type bench_phase = {
   ph_latencies : float array;  (* sorted ascending *)
   ph_tiers : tier_counts;
   ph_prom : (float * int) list;  (* server-side cumulative buckets *)
+  ph_budgeted : int;  (* requests issued with a deadline budget *)
+  ph_missed : int;  (* budgeted requests that blew their deadline *)
+  ph_budgeted_lat : float array;  (* budgeted-class latencies, sorted *)
 }
+
+type workload_result = {
+  wl_wall_ms : float;
+  wl_ok : int;
+  wl_latencies : float array;
+  wl_budgeted : int;
+  wl_missed : int;
+  wl_budgeted_lat : float array;
+}
+
+(* A budgeted request missed its deadline when the server answered but
+   the engine had to stop early: 200 with result.status = "deadline"
+   (degraded incumbent), or an outright non-200 (timeout/reject). *)
+let reply_missed_deadline (r : Serve_client.response) =
+  r.Serve_client.status <> 200
+  ||
+  match
+    Json.member_path [ "result"; "status" ] (Serve_client.json_body r)
+  with
+  | Some (Json.String "deadline") -> true
+  | _ -> false
 
 (* Issue [requests] solves across [ports], request i going to daemon
    (i mod procs) with body ((i / procs) mod distinct) — every distinct
    body visits every daemon, so a shared tier has real cross-process
-   hits to offer while private caches must each solve everything. *)
-let bench_workload ~ports ~requests ~clients ~bodies =
+   hits to offer while private caches must each solve everything.
+
+   [clients] domains pull request indices off a shared counter. Under
+   [`Keep_alive] (the default) each client holds one persistent
+   connection per daemon and reuses it for every request it issues;
+   under [`Close] every request opens a fresh connection — the v1
+   behaviour, kept for the throughput comparison. *)
+let bench_workload ?(conn_mode = `Keep_alive) ~ports ~requests ~clients
+    ~bodies () =
   let n = Array.length ports and d = Array.length bodies in
+  let next = Atomic.make 0 in
   let started = Unix.gettimeofday () in
-  let outcomes =
-    Soctest_portfolio.Pool.with_pool ~jobs:clients (fun pool ->
-        Soctest_portfolio.Pool.run_all pool
-          (List.init requests (fun i () ->
-               let port = ports.(i mod n) in
-               let body = bodies.(i / n mod d) in
-               let t0 = Unix.gettimeofday () in
-               let r = Serve_client.post ~port ~body "/v1/solve" in
-               (r.Serve_client.status,
-                (Unix.gettimeofday () -. t0) *. 1000.))))
+  let worker () =
+    let conns = Hashtbl.create 4 in
+    let conn_of port =
+      match Hashtbl.find_opt conns port with
+      | Some c -> c
+      | None ->
+        let c = Serve_client.connect ~port () in
+        Hashtbl.add conns port c;
+        c
+    in
+    let rec go acc =
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= requests then acc
+      else begin
+        let port = ports.(i mod n) in
+        let body, budgeted = bodies.(i / n mod d) in
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          match
+            match conn_mode with
+            | `Keep_alive ->
+              Serve_client.call (conn_of port) ~meth:"POST" ~body
+                "/v1/solve"
+            | `Close -> Serve_client.post ~port ~body "/v1/solve"
+          with
+          | r ->
+            Some (r.Serve_client.status, budgeted && reply_missed_deadline r)
+          | exception Serve_client.Error _ -> None
+        in
+        let lat = (Unix.gettimeofday () -. t0) *. 1000. in
+        let status, missed =
+          match outcome with
+          | Some (s, m) -> (s, m)
+          | None -> (0, budgeted)
+        in
+        go ((status, lat, budgeted, missed) :: acc)
+      end
+    in
+    let results = go [] in
+    Hashtbl.iter (fun _ c -> Serve_client.close c) conns;
+    results
   in
+  let domains =
+    List.init (max 1 (min clients requests)) (fun _ -> Domain.spawn worker)
+  in
+  let results = List.concat_map Domain.join domains in
   let wall_ms = (Unix.gettimeofday () -. started) *. 1000. in
-  let results =
-    List.map
-      (fun (o : _ Soctest_portfolio.Pool.outcome) ->
-        match o.Soctest_portfolio.Pool.value with
-        | Ok r -> r
-        | Error we -> Soctest_portfolio.Pool.raise_error we)
-      outcomes
+  let ok = List.filter (fun (status, _, _, _) -> status = 200) results in
+  let latencies =
+    Array.of_list (List.map (fun (_, l, _, _) -> l) ok)
   in
-  let ok = List.filter (fun (status, _) -> status = 200) results in
-  let latencies = Array.of_list (List.map snd ok) in
   Array.sort compare latencies;
-  (wall_ms, List.length ok, latencies)
+  let budgeted = List.filter (fun (_, _, b, _) -> b) results in
+  let budgeted_lat =
+    Array.of_list (List.map (fun (_, l, _, _) -> l) budgeted)
+  in
+  Array.sort compare budgeted_lat;
+  {
+    wl_wall_ms = wall_ms;
+    wl_ok = List.length ok;
+    wl_latencies = latencies;
+    wl_budgeted = List.length budgeted;
+    wl_missed =
+      List.length (List.filter (fun (_, _, _, m) -> m) results);
+    wl_budgeted_lat = budgeted_lat;
+  }
 
 let print_phase ~requests ph =
   let t = ph.ph_tiers in
@@ -1293,7 +1432,14 @@ let print_phase ~requests ph =
        (/metrics histogram)\n%!"
       (prom_percentile ph.ph_prom 0.50)
       (prom_percentile ph.ph_prom 0.99)
-      (prom_total ph.ph_prom)
+      (prom_total ph.ph_prom);
+  if ph.ph_budgeted > 0 then
+    Printf.printf
+      "  deadlines   : %d/%d budgeted requests missed (%.0f%%), budgeted \
+       p99 %.1f ms\n%!"
+      ph.ph_missed ph.ph_budgeted
+      (100. *. float_of_int ph.ph_missed /. float_of_int ph.ph_budgeted)
+      (bench_percentile ph.ph_budgeted_lat 0.99)
 
 let json_of_phase ~requests ~clients ph =
   let t = ph.ph_tiers in
@@ -1330,6 +1476,20 @@ let json_of_phase ~requests ~clients ph =
             ("hit_ratio", Json.Float (ratio t.disk_hits t.disk_misses));
           ] );
       ("combined_hit_ratio", Json.Float (combined_ratio t));
+      ( "deadline",
+        Json.Obj
+          [
+            ("budgeted", Json.Int ph.ph_budgeted);
+            ("missed", Json.Int ph.ph_missed);
+            ( "miss_rate",
+              Json.Float
+                (if ph.ph_budgeted = 0 then 0.
+                 else
+                   float_of_int ph.ph_missed
+                   /. float_of_int ph.ph_budgeted) );
+            ( "budgeted_p99_ms",
+              Json.Float (bench_percentile ph.ph_budgeted_lat 0.99) );
+          ] );
       ( "prom_latency_ms",
         Json.Obj
           [
@@ -1343,11 +1503,15 @@ let json_of_phase ~requests ~clients ph =
    bound port out of its banner. The child's stdout stays piped to us
    for its whole life (it prints nothing per-request, so the pipe
    cannot fill). *)
-let spawn_daemon ?store () =
+let spawn_daemon ?store ?admission () =
   let r, w = Unix.pipe ~cloexec:true () in
   let argv =
     [ Sys.executable_name; "serve"; "--port"; "0"; "--workers"; "2" ]
     @ (match store with None -> [] | Some p -> [ "--store"; p ])
+    @ (match admission with
+      | None -> []
+      | Some m ->
+        [ "--admission"; Soctest_serve.Dispatch.mode_name m ])
   in
   let pid =
     Unix.create_process Sys.executable_name (Array.of_list argv) Unix.stdin w
@@ -1462,8 +1626,51 @@ let bench_serve_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the latency/throughput/cache report as JSON.")
   in
+  let conn_mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("keep-alive", `Keep_alive); ("close", `Close) ])
+          `Keep_alive
+      & info [ "conn-mode" ] ~docv:"MODE"
+          ~doc:
+            "Client connection discipline: $(b,keep-alive) reuses one \
+             persistent connection per client per daemon; $(b,close) \
+             opens a fresh connection for every request (the v1 \
+             behaviour, kept for the throughput comparison).")
+  in
+  let bench_admission =
+    let mode_conv =
+      Arg.conv
+        ( (fun s ->
+            match Soctest_serve.Dispatch.mode_of_string s with
+            | Some m -> Ok m
+            | None -> Error (`Msg (Printf.sprintf "unknown admission %S" s))),
+          fun fmt m ->
+            Format.pp_print_string fmt
+              (Soctest_serve.Dispatch.mode_name m) )
+    in
+    Arg.(
+      value
+      & opt mode_conv Soctest_serve.Dispatch.Edf
+      & info [ "admission" ] ~docv:"MODE"
+          ~doc:
+            "Admission order of the spawned server(s): $(b,edf) or \
+             $(b,fifo). Ignored with $(b,--port) (the running server \
+             keeps its own setting).")
+  in
+  let mixed_budgets =
+    Arg.(
+      value & flag
+      & info [ "mixed-budgets" ]
+          ~doc:
+            "Alternate a deadline-budgeted request class (budget from \
+             $(b,--budget-ms), default 20 ms) with an unbudgeted heavy \
+             class (a 40 ms server-side stall per request), and report \
+             the budgeted class's deadline-miss rate and p99 — the \
+             workload that separates $(b,edf) from $(b,fifo) admission.")
+  in
   let run soc_name width port requests clients budget distinct procs store
-      json log_level log_file slow_ms =
+      json conn_mode admission mixed_budgets log_level log_file slow_ms =
     wrap (fun () ->
         if requests < 1 then failwith "--requests must be >= 1";
         if clients < 1 then failwith "--clients must be >= 1";
@@ -1473,19 +1680,44 @@ let bench_serve_cmd =
           failwith "--procs spawns its own daemons; it conflicts with --port";
         let soc = load_soc soc_name in
         let soc_text = Soctest_soc.Soc_writer.to_string soc in
-        let body_for w =
+        let body_for ?budget_ms ?stall_ms ?strategy w =
           let fields =
             [ ("soc_text", Json.String soc_text); ("width", Json.Int w) ]
+            @ (match budget_ms with
+              | None -> []
+              | Some ms -> [ ("budget_ms", Json.Float ms) ])
+            @ (match stall_ms with
+              | None -> []
+              | Some ms -> [ ("stall_ms", Json.Int ms) ])
             @
-            match budget with
+            match strategy with
             | None -> []
-            | Some ms -> [ ("budget_ms", Json.Float ms) ]
+            | Some s -> [ ("strategy", Json.String s) ]
           in
           Json.to_string (Json.Obj fields)
         in
         (* successive widths keep the bodies distinct without changing
            the SOC, so every body exercises the same solver code path *)
-        let bodies = Array.init distinct (fun k -> body_for (width + 4 * k)) in
+        let bodies =
+          if mixed_budgets then begin
+            (* interleave the two classes so consecutive admissions
+               alternate: a short-budget request always has a heavy
+               stalled one just ahead of it in a FIFO queue *)
+            let short = Option.value budget ~default:20. in
+            (* the budgeted class sweeps the parameter grid so an
+               expired budget is observable as a degraded (deadline)
+               result rather than an uncuttable single evaluation *)
+            Array.init (2 * distinct) (fun k ->
+                let w = width + 4 * (k / 2) in
+                if k mod 2 = 0 then
+                  (body_for ~budget_ms:short ~strategy:"grid" w, true)
+                else (body_for ~stall_ms:40 w, false))
+          end
+          else
+            Array.init distinct (fun k ->
+                ( body_for ?budget_ms:budget (width + 4 * k),
+                  budget <> None ))
+        in
         let emit_json phases =
           match json with
           | None -> ()
@@ -1500,6 +1732,15 @@ let bench_serve_cmd =
                       ("clients", Json.Int clients);
                       ("distinct", Json.Int distinct);
                       ("procs", Json.Int procs);
+                      ( "conn_mode",
+                        Json.String
+                          (match conn_mode with
+                          | `Keep_alive -> "keep-alive"
+                          | `Close -> "close") );
+                      ( "admission",
+                        Json.String
+                          (Soctest_serve.Dispatch.mode_name admission) );
+                      ("mixed_budgets", Json.Bool mixed_budgets);
                       ( "phases",
                         Json.List
                           (List.map (json_of_phase ~requests ~clients) phases)
@@ -1519,7 +1760,8 @@ let bench_serve_cmd =
               let server =
                 Server.create ~engine
                   (Server.config ~port:0 ~workers:(default_workers ())
-                     ~queue_depth:(max 64 (2 * requests)) ?slow_ms ())
+                     ~queue_depth:(max 64 (2 * requests)) ~admission
+                     ?slow_ms ())
               in
               Some (server, Domain.spawn (fun () -> Server.run server))
             end
@@ -1533,25 +1775,29 @@ let bench_serve_cmd =
             requests distinct clients soc.Soc_def.name width port;
           let before = scrape_tiers ~port in
           let prom_before = scrape_prom_buckets ~port in
-          let wall_ms, okn, latencies =
-            bench_workload ~ports:[| port |] ~requests ~clients ~bodies
+          let wl =
+            bench_workload ~conn_mode ~ports:[| port |] ~requests ~clients
+              ~bodies ()
           in
           let after = scrape_tiers ~port in
           let prom_after = scrape_prom_buckets ~port in
           let ph =
             {
               ph_label = "single";
-              ph_ok = okn;
-              ph_wall_ms = wall_ms;
-              ph_latencies = latencies;
+              ph_ok = wl.wl_ok;
+              ph_wall_ms = wl.wl_wall_ms;
+              ph_latencies = wl.wl_latencies;
               ph_tiers = sub_tiers after before;
               ph_prom = sub_prom_buckets prom_after prom_before;
+              ph_budgeted = wl.wl_budgeted;
+              ph_missed = wl.wl_missed;
+              ph_budgeted_lat = wl.wl_budgeted_lat;
             }
           in
           print_phase ~requests ph;
           Printf.printf "throughput: %.1f req/s (wall %.0f ms)\n"
-            (float_of_int requests /. (wall_ms /. 1000.))
-            wall_ms;
+            (float_of_int requests /. (wl.wl_wall_ms /. 1000.))
+            wl.wl_wall_ms;
           print_flight_summary ~port;
           emit_json [ ph ];
           match spawned with
@@ -1571,7 +1817,10 @@ let bench_serve_cmd =
           (* stamp the magic once, before the daemons race to create it *)
           Store.close (Store.open_ store_path);
           let run_phase label store_opt =
-            let daemons = List.init procs (fun _ -> spawn_daemon ?store:store_opt ()) in
+            let daemons =
+              List.init procs (fun _ ->
+                  spawn_daemon ?store:store_opt ~admission ())
+            in
             Fun.protect
               ~finally:(fun () -> List.iter stop_daemon daemons)
               (fun () ->
@@ -1580,18 +1829,22 @@ let bench_serve_cmd =
                 in
                 let before = sum_tiers ports in
                 let prom_before = sum_prom_buckets ports in
-                let wall_ms, okn, latencies =
-                  bench_workload ~ports ~requests ~clients ~bodies
+                let wl =
+                  bench_workload ~conn_mode ~ports ~requests ~clients
+                    ~bodies ()
                 in
                 let after = sum_tiers ports in
                 let prom_after = sum_prom_buckets ports in
                 {
                   ph_label = label;
-                  ph_ok = okn;
-                  ph_wall_ms = wall_ms;
-                  ph_latencies = latencies;
+                  ph_ok = wl.wl_ok;
+                  ph_wall_ms = wl.wl_wall_ms;
+                  ph_latencies = wl.wl_latencies;
                   ph_tiers = sub_tiers after before;
                   ph_prom = sub_prom_buckets prom_after prom_before;
+                  ph_budgeted = wl.wl_budgeted;
+                  ph_missed = wl.wl_missed;
+                  ph_budgeted_lat = wl.wl_budgeted_lat;
                 })
           in
           Printf.printf
@@ -1626,7 +1879,116 @@ let bench_serve_cmd =
       ret
         (const run $ soc_arg ~default:"d695" $ width_arg ~default:32 $ port
        $ requests $ clients $ budget $ distinct $ procs $ store_arg $ json
-       $ log_level_arg $ log_file_arg $ slow_ms_arg))
+       $ conn_mode_arg $ bench_admission $ mixed_budgets $ log_level_arg
+       $ log_file_arg $ slow_ms_arg))
+
+(* ------------------------------------------------------------------ *)
+(* jobs: the async solve lifecycle from the command line              *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port of a running $(b,soctest serve).")
+  in
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOB" ~doc:"Job id (printed by $(b,jobs submit)).")
+  in
+  let with_client port f =
+    let c = Serve_client.connect ~port () in
+    Fun.protect ~finally:(fun () -> Serve_client.close c) (fun () -> f c)
+  in
+  (* print the JSON document; a 4xx/5xx still fails the command so
+     scripts can branch on the exit code *)
+  let finish (r : Serve_client.response) =
+    print_endline r.Serve_client.body;
+    if r.Serve_client.status >= 400 then
+      failwith (Printf.sprintf "http %d" r.Serve_client.status)
+  in
+  let submit =
+    let budget =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "budget-ms" ] ~docv:"MS"
+            ~doc:"Attach a deadline budget of $(docv) to the solve.")
+    in
+    let await_flag =
+      Arg.(
+        value & flag
+        & info [ "await" ]
+            ~doc:
+              "Wait for the job to finish and print its result instead \
+               of returning right after the 202.")
+    in
+    let run soc_name width port budget await_flag =
+      wrap (fun () ->
+          let soc = load_soc soc_name in
+          let fields =
+            [
+              ( "soc_text",
+                Json.String (Soctest_soc.Soc_writer.to_string soc) );
+              ("width", Json.Int width);
+            ]
+            @
+            match budget with
+            | None -> []
+            | Some ms -> [ ("budget_ms", Json.Float ms) ]
+          in
+          let body = Json.to_string (Json.Obj fields) in
+          with_client port (fun c ->
+              let id = Serve_client.solve_async c ~body in
+              if not await_flag then
+                Printf.printf "job %s accepted (GET /v1/jobs/%s)\n" id id
+              else begin
+                Printf.printf "job %s accepted, awaiting result...\n%!" id;
+                finish (Serve_client.await_job c id)
+              end))
+    in
+    Cmd.v
+      (Cmd.info "submit"
+         ~doc:
+           "POST the solve as an async job (202) and print its id — or \
+            its final result with $(b,--await).")
+      Term.(
+        ret
+          (const run $ soc_arg ~default:"d695" $ width_arg ~default:32
+         $ port_arg $ budget $ await_flag))
+  in
+  let simple name doc f =
+    let run port id = wrap (fun () -> with_client port (fun c -> f c id)) in
+    Cmd.v (Cmd.info name ~doc) Term.(ret (const run $ port_arg $ id_arg))
+  in
+  let status =
+    simple "status"
+      "GET /v1/jobs/<id>: a status document while queued/running, the \
+       replayed solve response once done."
+      (fun c id -> finish (Serve_client.job_status c id))
+  in
+  let cancel =
+    simple "cancel"
+      "DELETE /v1/jobs/<id>: cancel a queued job immediately, or ask a \
+       running one to stop at its next budget poll."
+      (fun c id -> finish (Serve_client.cancel_job c id))
+  in
+  let await =
+    simple "await"
+      "Poll until the job leaves queued/running and print the final \
+       document."
+      (fun c id -> finish (Serve_client.await_job c id))
+  in
+  Cmd.group
+    (Cmd.info "jobs"
+       ~doc:
+         "Drive the serve daemon's async job API: submit a solve, poll \
+          its status, cancel it, or await its result.")
+    [ submit; status; cancel; await ]
 
 let store_cmd =
   let file_arg =
@@ -1798,7 +2160,7 @@ let main_cmd =
       table1_cmd; table2_cmd; fig1_cmd; fig2_cmd; fig9_cmd; ablate_cmd;
       all_cmd; soc_info_cmd; schedule_cmd; export_cmd; extras_cmd; verilog_cmd;
       validate_cmd; check_cmd; stil_cmd; sweep_cmd; portfolio_cmd;
-      serve_cmd; bench_serve_cmd; debug_cmd; store_cmd;
+      serve_cmd; bench_serve_cmd; jobs_cmd; debug_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

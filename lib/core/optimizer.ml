@@ -418,9 +418,6 @@ let run_request ?overrides prepared req =
 
 type evaluator = ?overrides:(int * int) list -> prepared -> request -> result
 
-let run_soc soc ~tam_width ~constraints ?(params = default_params) () =
-  run (prepare ~wmax:params.wmax soc) ~tam_width ~constraints ~params
-
 let default_percents = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 15; 25; 40 ]
 let default_deltas = [ 0; 1; 2; 4 ]
 let default_slacks = [ 3; 8 ]

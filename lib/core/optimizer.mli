@@ -113,19 +113,6 @@ type evaluator = ?overrides:(int * int) list -> prepared -> request -> result
     so the engine can substitute a deduplicating cached evaluator for the
     direct {!run_request}. *)
 
-val run_soc :
-  Soctest_soc.Soc_def.t ->
-  tam_width:int ->
-  constraints:Soctest_constraints.Constraint_def.t ->
-  ?params:params ->
-  unit ->
-  result
-[@@deprecated
-  "re-runs the Pareto analyses on every call; use \
-   Soctest_engine.Engine.solve (cached) or prepare + run_request"]
-(** Convenience: [prepare] + [run]. Deprecated — every call redoes the
-    per-core Pareto analyses. *)
-
 val default_percents : int list
 val default_deltas : int list
 val default_slacks : int list

@@ -91,11 +91,3 @@ let preemption_budget soc ~limit =
   List.filter_map
     (fun (id, v) -> if v >= median then Some (id, limit) else None)
     volumes
-
-let solve_p1 soc ~tam_width ?params () = solve (spec ?params soc ~tam_width)
-
-let solve_p2 soc ~tam_width ~constraints ?params () =
-  solve (spec ~constraints ?params soc ~tam_width)
-
-let solve_p3 soc ~widths ~alphas ?constraints ?params () =
-  solve_sweep (sweep_spec ?constraints ?params soc ~widths ~alphas)

@@ -75,34 +75,3 @@ val preemption_budget :
   Soctest_soc.Soc_def.t -> limit:int -> (int * int) list
 (** The paper's Table-1 preemption setting: allow [limit] preemptions for
     the "larger cores" — those with above-median test data volume. *)
-
-(** {1 Deprecated aliases}
-
-    The pre-engine entry points, kept for one release. *)
-
-val solve_p1 :
-  Soctest_soc.Soc_def.t ->
-  tam_width:int ->
-  ?params:Optimizer.params ->
-  unit ->
-  Optimizer.result
-[@@deprecated "use Flow.solve (Flow.spec soc ~tam_width)"]
-
-val solve_p2 :
-  Soctest_soc.Soc_def.t ->
-  tam_width:int ->
-  constraints:Soctest_constraints.Constraint_def.t ->
-  ?params:Optimizer.params ->
-  unit ->
-  Optimizer.result
-[@@deprecated "use Flow.solve (Flow.spec soc ~tam_width ~constraints)"]
-
-val solve_p3 :
-  Soctest_soc.Soc_def.t ->
-  widths:int list ->
-  alphas:float list ->
-  ?constraints:Soctest_constraints.Constraint_def.t ->
-  ?params:Optimizer.params ->
-  unit ->
-  p3_result
-[@@deprecated "use Flow.solve_sweep (Flow.sweep_spec soc ~widths ~alphas)"]

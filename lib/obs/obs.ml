@@ -197,6 +197,18 @@ let counter_value c = Atomic.get c
 
 let gauge name = registered gauges name (fun () -> Atomic.make 0.)
 let set_gauge g v = if enabled () then Atomic.set g v
+
+(* No float fetch_and_add in [Atomic]; a CAS loop keeps concurrent
+   +1/-1 transitions (the serve job-state gauges) exact. *)
+let add_gauge g d =
+  if enabled () then begin
+    let rec go () =
+      let v = Atomic.get g in
+      if not (Atomic.compare_and_set g v (v +. d)) then go ()
+    in
+    go ()
+  end
+
 let gauge_value g = Atomic.get g
 
 let default_edges = [| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]

@@ -86,6 +86,12 @@ type gauge
 
 val gauge : string -> gauge
 val set_gauge : gauge -> float -> unit
+
+val add_gauge : gauge -> float -> unit
+(** Atomic relative adjustment (CAS loop) — lets concurrent writers
+    keep a population gauge (e.g. jobs per state) exact where
+    read-modify-[set_gauge] would race. No-ops while disabled. *)
+
 val gauge_value : gauge -> float
 
 type histogram

@@ -10,10 +10,20 @@ type error =
   | Bad_request of string
   | Payload_too_large of { limit : int }
   | Timeout
+  | Idle
   | Closed
 
 let max_header_bytes = 16 * 1024
 let default_max_body = 1024 * 1024
+
+(* A connection carries the bytes read past the end of the previous
+   request (pipelined clients batch several requests into one send), so
+   framing never loses data between requests on a kept-alive socket. *)
+type conn = { fd : Unix.file_descr; mutable residual : string }
+
+let conn fd = { fd; residual = "" }
+let fd c = c.fd
+let pending c = String.length c.residual > 0
 
 exception Fail of error
 
@@ -72,9 +82,37 @@ let find_header_end s =
   in
   scan 0
 
-let read_request ?(max_body = default_max_body) fd =
+let arm_timeout fd ms =
+  match ms with
+  | None -> ()
+  | Some ms -> (
+    try Unix.setsockopt_float fd SO_RCVTIMEO (ms /. 1000.)
+    with Unix.Unix_error _ -> ())
+
+let read_request ?(max_body = default_max_body) ?idle_timeout_ms
+    ?read_timeout_ms conn =
   let buf = Bytes.create 8192 in
   let acc = Buffer.create 1024 in
+  Buffer.add_string acc conn.residual;
+  conn.residual <- "";
+  (* Waiting for the request's first byte runs under the (long) idle
+     timeout; once the request has started arriving, mid-request stalls
+     get the (short) read timeout. A timeout before any byte of this
+     request is [Idle] — the natural end of a kept-alive connection,
+     not an answerable error. *)
+  let got_any = ref (Buffer.length acc > 0) in
+  if !got_any then arm_timeout conn.fd read_timeout_ms
+  else arm_timeout conn.fd idle_timeout_ms;
+  let fill_once () =
+    let n = read_some conn.fd buf in
+    if n > 0 then begin
+      if not !got_any then begin
+        got_any := true;
+        arm_timeout conn.fd read_timeout_ms
+      end;
+      Buffer.add_subbytes acc buf 0 n
+    end
+  in
   try
     (* 1. accumulate until the blank line ending the header section *)
     let rec fill () =
@@ -83,14 +121,11 @@ let read_request ?(max_body = default_max_body) fd =
       | None ->
         if Buffer.length acc > max_header_bytes then
           raise (Fail (Bad_request "header section too large"));
-        let n = read_some fd buf in
-        Buffer.add_subbytes acc buf 0 n;
+        fill_once ();
         fill ()
     in
     let split = fill () in
-    let all = Buffer.contents acc in
-    let section = String.sub all 0 split in
-    let rest = String.sub all split (String.length all - split) in
+    let section = String.sub (Buffer.contents acc) 0 split in
     let meth, target, version, headers =
       match header_lines section with
       | [] -> raise (Fail (Bad_request "empty request"))
@@ -98,7 +133,9 @@ let read_request ?(max_body = default_max_body) fd =
         let meth, target, version = parse_request_line first in
         (meth, target, version, List.map split_header_line header_rows)
     in
-    (* 2. body: exactly Content-Length bytes (0 when absent) *)
+    (* 2. body: exactly Content-Length bytes (0 when absent); anything
+       beyond it is the next pipelined request and stays in the
+       connection's residual buffer *)
     let content_length =
       match List.assoc_opt "content-length" headers with
       | None -> 0
@@ -111,22 +148,32 @@ let read_request ?(max_body = default_max_body) fd =
       raise (Fail (Payload_too_large { limit = max_body }));
     if List.mem_assoc "transfer-encoding" headers then
       raise (Fail (Bad_request "chunked transfer encoding not supported"));
-    let body = Buffer.create (min content_length 65536) in
-    Buffer.add_string body rest;
-    while Buffer.length body < content_length do
-      let n = read_some fd buf in
-      Buffer.add_subbytes body buf 0 n
+    let wanted = split + content_length in
+    while Buffer.length acc < wanted do
+      fill_once ()
     done;
-    let body =
-      let b = Buffer.contents body in
-      if String.length b > content_length then String.sub b 0 content_length
-      else b
-    in
+    let all = Buffer.contents acc in
+    conn.residual <- String.sub all wanted (String.length all - wanted);
+    let body = String.sub all split content_length in
     Ok { meth; target; version; headers; body }
-  with Fail e -> Error e
+  with
+  | Fail Timeout when not !got_any -> Error Idle
+  | Fail e -> Error e
 
 let header req name =
   List.assoc_opt (String.lowercase_ascii name) req.headers
+
+(* RFC 7230 connection persistence: HTTP/1.1 persists unless the client
+   says [close]; HTTP/1.0 closes unless it says [keep-alive]. *)
+let wants_close req =
+  let conn_header =
+    Option.map String.lowercase_ascii (header req "connection")
+  in
+  match (req.version, conn_header) with
+  | _, Some "close" -> true
+  | "HTTP/1.0", Some "keep-alive" -> false
+  | "HTTP/1.0", _ -> true
+  | _, _ -> false
 
 let split_target target =
   match String.index_opt target '?' with
@@ -155,6 +202,7 @@ let status_reason = function
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
   | 413 -> "Payload Too Large"
   | 422 -> "Unprocessable Entity"
   | 429 -> "Too Many Requests"
@@ -164,7 +212,7 @@ let status_reason = function
   | c when c >= 400 && c < 500 -> "Client Error"
   | _ -> "Server Error"
 
-let response_string ?(headers = []) ~status body =
+let response_string ?(headers = []) ?(close = true) ~status body =
   let buf = Buffer.create (256 + String.length body) in
   Buffer.add_string buf
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_reason status));
@@ -173,12 +221,14 @@ let response_string ?(headers = []) ~status body =
     headers;
   Buffer.add_string buf
     (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
-  Buffer.add_string buf "Connection: close\r\n\r\n";
+  Buffer.add_string buf
+    (if close then "Connection: close\r\n\r\n"
+     else "Connection: keep-alive\r\n\r\n");
   Buffer.add_string buf body;
   Buffer.contents buf
 
-let write_response ?headers fd ~status body =
-  let s = response_string ?headers ~status body in
+let write_response ?headers ?close fd ~status body =
+  let s = response_string ?headers ?close ~status body in
   let n = String.length s in
   let rec push off =
     if off < n then

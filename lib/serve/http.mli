@@ -1,15 +1,21 @@
 (** Minimal HTTP/1.1 codec over [Unix] file descriptors — just enough
-    protocol for the scheduling service: one request per connection
-    (the server always answers [Connection: close]), methods GET/POST,
-    [Content-Length] bodies, no chunked transfer, no keep-alive, no
-    TLS. Pure stdlib; the framing is deliberately small so it can be
-    audited like the rest of the stack.
+    protocol for the scheduling service: GET/POST/DELETE with
+    [Content-Length] bodies, persistent (keep-alive) connections with
+    pipelining, no chunked transfer, no TLS. Pure stdlib; the framing
+    is deliberately small so it can be audited like the rest of the
+    stack.
+
+    A {!conn} wraps the socket with a residual buffer: bytes a read
+    pulled in past the end of one request (a pipelining client batches
+    several requests per send) are retained verbatim and framed as the
+    next request — nothing is dropped between requests on a kept-alive
+    socket.
 
     Reading is defensive: header section and body sizes are bounded,
-    socket timeouts surface as {!Timeout} (arm them with
-    [Unix.setsockopt_float fd SO_RCVTIMEO]), and a peer that closes
-    mid-request yields {!Closed} — the server never blocks forever on a
-    slow or dead client. *)
+    mid-request socket stalls surface as {!Timeout} (answer 408), a
+    quiet kept-alive socket surfaces as {!Idle} (close without an
+    answer), and a peer that closes mid-request yields {!Closed} — the
+    server never blocks forever on a slow or dead client. *)
 
 type request = {
   meth : string;  (** uppercased, e.g. ["POST"] *)
@@ -23,7 +29,10 @@ type request = {
 type error =
   | Bad_request of string  (** malformed framing; answer 400 *)
   | Payload_too_large of { limit : int }  (** body over limit; answer 413 *)
-  | Timeout  (** socket read timed out; answer 408 *)
+  | Timeout  (** stalled mid-request; answer 408 *)
+  | Idle
+      (** timed out with no byte of a next request — the quiet end of a
+          kept-alive connection; close without answering *)
   | Closed  (** peer vanished before a full request; no answer possible *)
 
 val max_header_bytes : int
@@ -32,16 +41,39 @@ val max_header_bytes : int
 val default_max_body : int
 (** 1 MiB — the [?max_body] default here and the server's default cap. *)
 
+type conn
+(** One client connection: the socket plus the residual bytes read past
+    the previous request's end. *)
+
+val conn : Unix.file_descr -> conn
+val fd : conn -> Unix.file_descr
+
+val pending : conn -> bool
+(** Whether pipelined bytes are already buffered — the next
+    {!read_request} will start from them without touching the socket. *)
+
 val read_request :
-  ?max_body:int -> Unix.file_descr -> (request, error) result
-(** Read and parse one request from the socket. The header section is
-    capped at 16 KiB, the body at [max_body] (default 1 MiB). Never
-    raises on peer behaviour (resets and timeouts come back as
-    {!error}); [Unix_error]s that are not peer-related (e.g. [EBADF])
-    do propagate. *)
+  ?max_body:int ->
+  ?idle_timeout_ms:float ->
+  ?read_timeout_ms:float ->
+  conn ->
+  (request, error) result
+(** Read and parse one request from the connection, starting from its
+    residual buffer. The header section is capped at 16 KiB, the body
+    at [max_body] (default 1 MiB); bytes beyond the body stay buffered
+    for the next call. [idle_timeout_ms] arms [SO_RCVTIMEO] while
+    waiting for the request's first byte (expiry yields {!Idle});
+    [read_timeout_ms] re-arms it once the request has started arriving
+    (expiry yields {!Timeout}). Never raises on peer behaviour;
+    [Unix_error]s that are not peer-related (e.g. [EBADF]) do
+    propagate. *)
 
 val header : request -> string -> string option
 (** Case-insensitive header lookup (first match). *)
+
+val wants_close : request -> bool
+(** RFC 7230 persistence: true on [Connection: close], or on HTTP/1.0
+    without [Connection: keep-alive]. *)
 
 val split_target : string -> string * (string * string) list
 (** [split_target "/v1/debug/requests?limit=5"] is
@@ -64,14 +96,19 @@ val status_reason : int -> string
 (** Canonical reason phrase, e.g. [429 -> "Too Many Requests"]. *)
 
 val response_string :
-  ?headers:(string * string) list -> status:int -> string -> string
+  ?headers:(string * string) list ->
+  ?close:bool ->
+  status:int ->
+  string ->
+  string
 (** [response_string ~status body] serializes a full response: status
-    line, [Content-Length], [Connection: close], extra [headers], blank
-    line, body. JSON bodies should add
-    [("Content-Type", "application/json")]. *)
+    line, [Content-Length], [Connection: close] (or [keep-alive] when
+    [~close:false]), extra [headers], blank line, body. JSON bodies
+    should add [("Content-Type", "application/json")]. *)
 
 val write_response :
   ?headers:(string * string) list ->
+  ?close:bool ->
   Unix.file_descr ->
   status:int ->
   string ->

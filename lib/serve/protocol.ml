@@ -246,8 +246,58 @@ let json_of_outcome ~soc (o : Engine.outcome) =
       ("eval_solve_ms", Json.Float o.Engine.stats.Engine.eval_solve_ms);
     ]
 
-let error_body ?detail msg =
+(* ------------------------------------------------------------------ *)
+(* error taxonomy *)
+
+type error_code =
+  | Bad_request_error
+  | Payload_too_large_error
+  | Request_timeout
+  | Queue_full
+  | Jobs_full
+  | Connections_full
+  | Infeasible
+  | Not_found
+  | Method_not_allowed
+  | Conflict
+  | Shutting_down
+  | Internal
+
+let error_code_name = function
+  | Bad_request_error -> "bad_request"
+  | Payload_too_large_error -> "payload_too_large"
+  | Request_timeout -> "request_timeout"
+  | Queue_full -> "queue_full"
+  | Jobs_full -> "jobs_full"
+  | Connections_full -> "connections_full"
+  | Infeasible -> "infeasible"
+  | Not_found -> "not_found"
+  | Method_not_allowed -> "method_not_allowed"
+  | Conflict -> "conflict"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let error_status = function
+  | Bad_request_error -> 400
+  | Payload_too_large_error -> 413
+  | Request_timeout -> 408
+  | Queue_full -> 429
+  | Jobs_full -> 503
+  | Connections_full -> 503
+  | Infeasible -> 422
+  | Not_found -> 404
+  | Method_not_allowed -> 405
+  | Conflict -> 409
+  | Shutting_down -> 503
+  | Internal -> 500
+
+let error_body ?code ?detail msg =
   let fields = [ ("error", Json.String msg) ] in
+  let fields =
+    match code with
+    | None -> fields
+    | Some c -> fields @ [ ("code", Json.String (error_code_name c)) ]
+  in
   let fields =
     match detail with
     | None -> fields
@@ -255,3 +305,30 @@ let error_body ?detail msg =
     | Some v -> fields @ [ ("detail", v) ]
   in
   Json.to_string (Json.Obj fields)
+
+(* ------------------------------------------------------------------ *)
+(* async job rendering *)
+
+let job_url id = "/v1/jobs/" ^ id
+
+let json_of_job (v : Jobs.view) =
+  Json.Obj
+    [
+      ("id", Json.String v.Jobs.v_id);
+      ("state", Json.String v.Jobs.v_state);
+      ("request_id", Json.String v.Jobs.v_request_id);
+      ("age_ms", Json.Float v.Jobs.v_age_ms);
+      ("wait_ms", Json.Float v.Jobs.v_wait_ms);
+      ( "run_ms",
+        match v.Jobs.v_run_ms with Some ms -> Json.Float ms | None -> Json.Null
+      );
+    ]
+
+let job_accepted_body ~id =
+  Json.to_string
+    (Json.Obj
+       [
+         ("job_id", Json.String id);
+         ("state", Json.String "queued");
+         ("status_url", Json.String (job_url id));
+       ])

@@ -74,5 +74,45 @@ val json_of_outcome :
     schedule in {!Soctest_tam.Schedule_io} text form, and cache
     statistics for this solve. *)
 
-val error_body : ?detail:Json.t -> string -> string
-(** [{"error": msg, ...detail}] rendered compactly. *)
+(** {1 Error taxonomy}
+
+    Every error response carries a machine-readable [code] alongside
+    the human-readable [error] message, so clients can branch without
+    string-matching messages. {!error_status} is the canonical HTTP
+    status for each code — the server uses it, so code and status can
+    never drift apart. *)
+
+type error_code =
+  | Bad_request_error  (** 400 — malformed framing or body *)
+  | Payload_too_large_error  (** 413 *)
+  | Request_timeout  (** 408 — socket stalled mid-request *)
+  | Queue_full  (** 429 — admission window full; [Retry-After] rides along *)
+  | Jobs_full  (** 503 — async job store at capacity *)
+  | Connections_full  (** 503 — connection cap reached; retry later *)
+  | Infeasible  (** 422 — the instance admits no schedule *)
+  | Not_found  (** 404 — unknown endpoint or job id *)
+  | Method_not_allowed  (** 405 *)
+  | Conflict  (** 409 — e.g. cancelling an already-finished job *)
+  | Shutting_down  (** 503 — raced with server shutdown *)
+  | Internal  (** 500 *)
+
+val error_code_name : error_code -> string
+(** Stable snake_case wire name, e.g. [Queue_full -> "queue_full"]. *)
+
+val error_status : error_code -> int
+
+val error_body : ?code:error_code -> ?detail:Json.t -> string -> string
+(** [{"error": msg, "code": code?, ...detail}] rendered compactly. *)
+
+(** {1 Async job rendering} *)
+
+val job_url : string -> string
+(** [job_url id] is ["/v1/jobs/" ^ id]. *)
+
+val json_of_job : Jobs.view -> Json.t
+(** Status document for a job that is not (yet) done: id, state,
+    originating request id, age/wait/run timings. *)
+
+val job_accepted_body : id:string -> string
+(** The 202 body of [POST /v1/solve?mode=async]: job id, initial state
+    and the status URL to poll. *)

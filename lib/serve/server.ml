@@ -5,7 +5,6 @@ module Optimizer = Soctest_core.Optimizer
 module Constraint_def = Soctest_constraints.Constraint_def
 module Soc_def = Soctest_soc.Soc_def
 module Audit = Soctest_check.Audit
-module Pool = Soctest_portfolio.Pool
 module Obs = Soctest_obs.Obs
 module Json = Soctest_obs.Json
 module Clock = Soctest_obs.Clock
@@ -19,6 +18,12 @@ type config = {
   queue_depth : int;
   max_body : int;
   read_timeout_ms : float;
+  idle_timeout_ms : float;
+  max_connections : int;
+  max_conn_requests : int;
+  admission : Dispatch.mode;
+  job_capacity : int;
+  job_ttl_ms : float;
   slow_ms : float option;
   flight_capacity : int;
 }
@@ -26,7 +31,11 @@ type config = {
 let config ?(port = 8080)
     ?(workers = max 1 (Domain.recommended_domain_count () - 1))
     ?(queue_depth = 64) ?(max_body = Http.default_max_body)
-    ?(read_timeout_ms = 10_000.) ?slow_ms ?(flight_capacity = 256) () =
+    ?(read_timeout_ms = 10_000.) ?(idle_timeout_ms = 5_000.)
+    ?(max_connections = 64) ?(max_conn_requests = 1000)
+    ?(admission = Dispatch.Edf) ?(job_capacity = Jobs.default_capacity)
+    ?(job_ttl_ms = Jobs.default_ttl_ms) ?slow_ms ?(flight_capacity = 256) ()
+    =
   if port < 0 then invalid_arg "Server.config: negative port";
   if workers < 1 then invalid_arg "Server.config: workers must be >= 1";
   if queue_depth < 1 then
@@ -34,21 +43,39 @@ let config ?(port = 8080)
   if max_body < 1 then invalid_arg "Server.config: max_body must be >= 1";
   if read_timeout_ms < 0. then
     invalid_arg "Server.config: negative read_timeout_ms";
+  if idle_timeout_ms < 0. then
+    invalid_arg "Server.config: negative idle_timeout_ms";
+  if max_connections < 1 then
+    invalid_arg "Server.config: max_connections must be >= 1";
+  if max_conn_requests < 1 then
+    invalid_arg "Server.config: max_conn_requests must be >= 1";
+  if job_capacity < 1 then
+    invalid_arg "Server.config: job_capacity must be >= 1";
+  if job_ttl_ms < 0. then invalid_arg "Server.config: negative job_ttl_ms";
   (match slow_ms with
   | Some ms when ms < 0. -> invalid_arg "Server.config: negative slow_ms"
   | _ -> ());
   if flight_capacity < 1 then
     invalid_arg "Server.config: flight_capacity must be >= 1";
-  { port; workers; queue_depth; max_body; read_timeout_ms; slow_ms;
-    flight_capacity }
+  { port; workers; queue_depth; max_body; read_timeout_ms; idle_timeout_ms;
+    max_connections; max_conn_requests; admission; job_capacity; job_ttl_ms;
+    slow_ms; flight_capacity }
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
   engine_ : Engine.t;
-  pool : Pool.t;
-  inflight : int Atomic.t;  (* admitted (queued or running) jobs *)
+  dispatch : Dispatch.t;
+  jobs : Jobs.t;
+  inflight : int Atomic.t;  (* admitted (queued or running) solve/check *)
+  conns : int Atomic.t;  (* open client connections *)
+  conn_lock : Mutex.t;
+  live : (int, Unix.file_descr * Thread.t) Hashtbl.t;  (* token -> conn *)
+  conn_token : int Atomic.t;
+  (* completed-handler statistics feeding the Retry-After estimate *)
+  handled_n : int Atomic.t;
+  handled_ms : int Atomic.t;
   stopping : bool Atomic.t;
   started_at : float;  (* monotonic ms *)
   flight : Flight.t;
@@ -64,6 +91,9 @@ let completed_c = Obs.counter "serve.completed"
 let deadline_c = Obs.counter "serve.deadline_exceeded"
 let inflight_g = Obs.gauge "serve.inflight"
 let latency_h = Obs.histogram "serve.latency_ms"
+let conns_g = Obs.gauge "serve.connections"
+let conn_accepted_c = Obs.counter "serve.conn_accepted"
+let conn_rejected_c = Obs.counter "serve.conn_rejected"
 
 (* Per-endpoint/per-status series: labels ride inside the registry name
    (the {!Prom} rendering convention), so the registry stays a flat
@@ -102,8 +132,15 @@ let create ?engine cfg =
     listen_fd = fd;
     bound_port;
     engine_;
-    pool = Pool.create ~jobs:cfg.workers;
+    dispatch = Dispatch.create ~mode:cfg.admission ~jobs:cfg.workers ();
+    jobs = Jobs.create ~capacity:cfg.job_capacity ~ttl_ms:cfg.job_ttl_ms ();
     inflight = Atomic.make 0;
+    conns = Atomic.make 0;
+    conn_lock = Mutex.create ();
+    live = Hashtbl.create 32;
+    conn_token = Atomic.make 0;
+    handled_n = Atomic.make 0;
+    handled_ms = Atomic.make 0;
     stopping = Atomic.make false;
     started_at = Clock.now_ms ();
     flight = Flight.create ~capacity:cfg.flight_capacity;
@@ -112,15 +149,16 @@ let create ?engine cfg =
 let port t = t.bound_port
 let engine t = t.engine_
 let flight_recorder t = t.flight
+let job_store t = t.jobs
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let json_headers = [ ("Content-Type", "application/json") ]
 
 (* ------------------------------------------------------------------ *)
 (* Per-request context and the uniform completion path. Handlers build
-   a [reply]; [complete] writes it (echoing the request id), observes
-   the per-endpoint metrics, publishes the flight record and dumps it
-   through {!Log} on 5xx or a slow request — one choke point instead of
-   per-handler bookkeeping. *)
+   a [reply]; [complete] writes it (echoing the request id) and then
+   [observe]s it — per-endpoint metrics, the flight record, a {!Log}
+   dump on 5xx or a slow request. Async jobs run [observe] without
+   [complete]: their bytes leave later, through GET /v1/jobs/<id>. *)
 
 type reply = {
   status : int;
@@ -130,6 +168,10 @@ type reply = {
 
 let json_reply ?(headers = []) ~status body =
   { status; headers = headers @ json_headers; body }
+
+let error_reply ?detail ~code msg =
+  json_reply ~status:(Protocol.error_status code)
+    (Protocol.error_body ~code ?detail msg)
 
 type ctx = {
   id : string;
@@ -153,11 +195,14 @@ let acceptable_inbound_id s =
          | _ -> false)
        s
 
-let make_ctx ?req ~endpoint () =
+let make_ctx ?req ?id ~endpoint () =
   let id =
-    match Option.bind req (fun r -> Http.header r "x-request-id") with
-    | Some inbound when acceptable_inbound_id inbound -> inbound
-    | _ -> Ulid.gen ()
+    match id with
+    | Some id -> id
+    | None -> (
+      match Option.bind req (fun r -> Http.header r "x-request-id") with
+      | Some inbound when acceptable_inbound_id inbound -> inbound
+      | _ -> Ulid.gen ())
   in
   {
     id;
@@ -189,14 +234,8 @@ let merged_phases ctx =
       | None -> acc @ [ (name, ms) ])
     [] (List.rev ctx.phases)
 
-let complete t ctx fd (reply : reply) =
-  let w0 = Clock.now_ms () in
-  Http.write_response
-    ~headers:(("x-request-id", ctx.id) :: reply.headers)
-    fd ~status:reply.status reply.body;
-  let now = Clock.now_ms () in
-  add_phase ctx "write" (Float.max 0. (now -. w0));
-  let total = Float.max 0. (now -. ctx.accepted_at) in
+let observe t ctx (reply : reply) =
+  let total = Float.max 0. (Clock.now_ms () -. ctx.accepted_at) in
   Obs.observe latency_h total;
   Obs.observe (request_ms_h ~endpoint:ctx.endpoint) total;
   Obs.incr (requests_c ~endpoint:ctx.endpoint ~status:reply.status);
@@ -217,7 +256,7 @@ let complete t ctx fd (reply : reply) =
     }
   in
   Flight.record t.flight record;
-  (* inline GETs complete outside the worker's [with_request]; re-assert
+  (* connection threads complete outside any [with_request]; re-assert
      the ambient id so every line carries it exactly once *)
   Obs.with_request ctx.id @@ fun () ->
   Log.info "serve.request"
@@ -234,13 +273,16 @@ let complete t ctx fd (reply : reply) =
   else if slow then
     Log.warn "serve.slow" ~fields:[ ("record", Flight.to_json record) ]
 
-(* answer inline and hang up — the non-admitted paths *)
-let finish t ctx fd reply =
-  complete t ctx fd reply;
-  close_quietly fd
+let complete t ctx conn ~close (reply : reply) =
+  let w0 = Clock.now_ms () in
+  Http.write_response
+    ~headers:(("x-request-id", ctx.id) :: reply.headers)
+    ~close (Http.fd conn) ~status:reply.status reply.body;
+  add_phase ctx "write" (Float.max 0. (Clock.now_ms () -. w0));
+  observe t ctx reply
 
 (* ------------------------------------------------------------------ *)
-(* GET endpoints — answered in the accept loop, never queued *)
+(* GET endpoints — answered on the connection thread, never queued *)
 
 let uptime_ms t = Float.max 0. (Clock.now_ms () -. t.started_at)
 
@@ -253,8 +295,10 @@ let healthz t =
          );
          ("uptime_ms", Json.Float (uptime_ms t));
          ("inflight", Json.Int (Atomic.get t.inflight));
+         ("connections", Json.Int (Atomic.get t.conns));
          ("workers", Json.Int t.cfg.workers);
          ("queue_depth", Json.Int t.cfg.queue_depth);
+         ("admission", Json.String (Dispatch.mode_name t.cfg.admission));
        ])
 
 let metrics t =
@@ -288,11 +332,26 @@ let metrics t =
             ("appends", Json.Int fs.Soctest_store.Store.appends);
           ])
   in
+  let jobs_obj =
+    let s = Jobs.stats t.jobs in
+    Json.Obj
+      [
+        ("queued", Json.Int s.Jobs.s_queued);
+        ("running", Json.Int s.Jobs.s_running);
+        ("done", Json.Int s.Jobs.s_done);
+        ("cancelled", Json.Int s.Jobs.s_cancelled);
+        ("retained", Json.Int s.Jobs.s_retained);
+        ("capacity", Json.Int s.Jobs.s_capacity);
+      ]
+  in
   Json.to_string
     (Json.Obj
        [
          ("uptime_ms", Json.Float (uptime_ms t));
          ("inflight", Json.Int (Atomic.get t.inflight));
+         ("connections", Json.Int (Atomic.get t.conns));
+         ("admission", Json.String (Dispatch.mode_name t.cfg.admission));
+         ("jobs", jobs_obj);
          ( "engine",
            (* counted inside the engine, visible even when Obs is off *)
            Json.Obj
@@ -336,7 +395,7 @@ let debug_requests t query =
        ])
 
 (* ------------------------------------------------------------------ *)
-(* solve / check execution — runs on a pool worker *)
+(* solve / check execution — runs on a dispatch worker domain *)
 
 let constraints_of_solve (req : Protocol.solve_request) =
   match req.problem with
@@ -448,7 +507,7 @@ let handle_solve t ctx (req : Protocol.solve_request) ~budget =
       (* a dirty schedule out of the solver is a server bug, not a
          client error *)
       json_reply ~status:500
-        (Protocol.error_body
+        (Protocol.error_body ~code:Protocol.Internal
            ~detail:(Json.Obj [ ("audit", Protocol.json_of_report audit) ])
            "solver produced a schedule that failed its audit")
   | Protocol.P3 ->
@@ -549,132 +608,389 @@ let try_admit t =
 let note_inflight t =
   Obs.set_gauge inflight_g (float_of_int (Atomic.get t.inflight))
 
-(* Wrap an admitted job: deliver some answer no matter what, then
-   release the fd and the admission slot. The worker domain carries the
-   request id for the whole job, so engine spans and store log lines
-   attribute to it. *)
-let job t fd ctx run () =
-  Fun.protect
-    ~finally:(fun () ->
-      close_quietly fd;
-      Atomic.decr t.inflight;
-      note_inflight t)
-    (fun () ->
-      Obs.with_request ctx.id @@ fun () ->
-      add_phase ctx "queue"
-        (Float.max 0. (Clock.now_ms () -. ctx.queued_at));
-      let reply =
-        try run ()
-        with
-        | Optimizer.Infeasible msg ->
-          json_reply ~status:422
-            (Protocol.error_body ("infeasible: " ^ msg))
-        | exn ->
-          json_reply ~status:500
-            (Protocol.error_body (Printexc.to_string exn))
-      in
-      Obs.incr completed_c;
-      complete t ctx fd reply)
+let release_slot t =
+  Atomic.decr t.inflight;
+  note_inflight t
 
-let admit t fd ctx ?budget_ms run =
-  if not (try_admit t) then begin
-    Obs.incr rejected_c;
-    finish t ctx fd
-      (json_reply ~status:429
-         ~headers:[ ("Retry-After", "1") ]
-         (Protocol.error_body "queue full, retry later"))
-  end
+(* Retry-After for a full admission window: how long until a slot
+   should free up, from the current backlog and the recent mean
+   handler time spread over the workers. Clamped to [1, 60] s; before
+   any request has completed the estimate is the floor. *)
+let retry_after_s t =
+  let n = Atomic.get t.handled_n in
+  let mean_ms =
+    if n = 0 then 0. else float_of_int (Atomic.get t.handled_ms) /. float_of_int n
+  in
+  let backlog = float_of_int (Atomic.get t.inflight) in
+  let s = ceil (backlog *. mean_ms /. float_of_int t.cfg.workers /. 1000.) in
+  int_of_float (Float.min 60. (Float.max 1. s))
+
+(* Run an admitted handler on a worker domain: ambient request id,
+   queue-wait phase, handler-time sample for {!retry_after_s}, and the
+   uniform exception-to-reply mapping. Always yields a reply. *)
+let run_admitted t ctx run =
+  Obs.with_request ctx.id @@ fun () ->
+  add_phase ctx "queue" (Float.max 0. (Clock.now_ms () -. ctx.queued_at));
+  let t0 = Clock.now_ms () in
+  let reply =
+    try run ()
+    with
+    | Optimizer.Infeasible msg ->
+      error_reply ~code:Protocol.Infeasible ("infeasible: " ^ msg)
+    | exn -> error_reply ~code:Protocol.Internal (Printexc.to_string exn)
+  in
+  Atomic.incr t.handled_n;
+  ignore
+    (Atomic.fetch_and_add t.handled_ms
+       (int_of_float (Float.max 0. (Clock.now_ms () -. t0))));
+  reply
+
+(* One-shot synchronization cell between the connection thread (which
+   owns the socket and must write responses in pipeline order) and the
+   worker domain that computes the reply. *)
+type reply_cell = {
+  cell_lock : Mutex.t;
+  cell_cond : Condition.t;
+  mutable cell : reply option;
+}
+
+let cell () =
+  { cell_lock = Mutex.create (); cell_cond = Condition.create (); cell = None }
+
+let put_cell c reply =
+  Mutex.lock c.cell_lock;
+  c.cell <- Some reply;
+  Condition.signal c.cell_cond;
+  Mutex.unlock c.cell_lock
+
+let take_cell c =
+  Mutex.lock c.cell_lock;
+  while c.cell = None do
+    Condition.wait c.cell_cond c.cell_lock
+  done;
+  let r = match c.cell with Some r -> r | None -> assert false in
+  Mutex.unlock c.cell_lock;
+  r
+
+(* Absolute EDF key for the dispatch queue: a budgeted request's
+   deadline in monotonic ms; an unbudgeted one has none and sorts after
+   every budgeted request under {!Dispatch.Edf}. *)
+let budget_of ?budget_ms () =
+  match budget_ms with
+  | None -> (Budget.unlimited, None)
+  | Some ms -> (Budget.create ~deadline_ms:ms (), Some (Clock.now_ms () +. ms))
+
+let reject_busy t ctx conn ~close =
+  Obs.incr rejected_c;
+  complete t ctx conn ~close
+    {
+      (error_reply ~code:Protocol.Queue_full "queue full, retry later") with
+      headers =
+        ("Retry-After", string_of_int (retry_after_s t)) :: json_headers;
+    }
+
+(* Synchronous solve/check: admit, dispatch, block this connection
+   thread on the reply (responses stay in pipeline order because the
+   next request is not read until this one is answered), write it. *)
+let admit_sync t conn ctx ~close ?budget_ms run =
+  if not (try_admit t) then reject_busy t ctx conn ~close
   else begin
     Obs.incr accepted_c;
     note_inflight t;
     (* created at admission: queue wait burns the caller's budget *)
-    let budget =
-      match budget_ms with
-      | None -> Budget.unlimited
-      | Some ms -> Budget.create ~deadline_ms:ms ()
-    in
+    let budget, deadline = budget_of ?budget_ms () in
     ctx.queued_at <- Clock.now_ms ();
-    match Pool.submit t.pool (job t fd ctx (fun () -> run ~budget)) with
-    | () -> ()
+    let c = cell () in
+    let task () = put_cell c (run_admitted t ctx (fun () -> run ~budget)) in
+    match Dispatch.submit t.dispatch ?deadline task with
+    | () ->
+      Fun.protect
+        ~finally:(fun () -> release_slot t)
+        (fun () ->
+          let reply = take_cell c in
+          Obs.incr completed_c;
+          complete t ctx conn ~close reply)
     | exception Invalid_argument _ ->
       (* raced with shutdown *)
-      Atomic.decr t.inflight;
-      note_inflight t;
-      finish t ctx fd
-        (json_reply ~status:503
-           (Protocol.error_body "server shutting down"))
+      release_slot t;
+      complete t ctx conn ~close:true
+        (error_reply ~code:Protocol.Shutting_down "server shutting down")
+  end
+
+(* Async solve: admit and register the job, answer 202 immediately; the
+   worker parks the rendered reply in the job store for
+   GET /v1/jobs/<id> to collect. The job holds its admission slot until
+   it finishes, so sync and async requests share one backpressure
+   window. *)
+let admit_async t conn ctx ~close (sreq : Protocol.solve_request) =
+  if not (try_admit t) then reject_busy t ctx conn ~close
+  else begin
+    Obs.incr accepted_c;
+    note_inflight t;
+    let budget, deadline = budget_of ?budget_ms:sreq.Protocol.budget_ms () in
+    let job_id = Ulid.gen () in
+    match Jobs.submit t.jobs ~id:job_id ~request_id:ctx.id ~budget with
+    | Error `Full ->
+      release_slot t;
+      Obs.incr rejected_c;
+      complete t ctx conn ~close
+        (error_reply ~code:Protocol.Jobs_full
+           "job store full, retry later or collect finished jobs")
+    | Ok entry -> (
+      (* the job completes on its own context: the 202 below and the
+         eventual solve are two observations, not one *)
+      let jctx = make_ctx ~id:ctx.id ~endpoint:"async:/v1/solve" () in
+      jctx.queued_at <- Clock.now_ms ();
+      let task () =
+        Fun.protect
+          ~finally:(fun () -> release_slot t)
+          (fun () ->
+            (* false when the job was cancelled before a worker got to
+               it — skip the solve, the slot is all there is to free *)
+            if Jobs.start t.jobs entry then begin
+              let reply =
+                run_admitted t jctx (fun () -> handle_solve t jctx sreq ~budget)
+              in
+              Jobs.finish t.jobs entry
+                { Jobs.status = reply.status; body = reply.body };
+              Obs.incr completed_c;
+              observe t jctx reply
+            end)
+      in
+      match Dispatch.submit t.dispatch ?deadline task with
+      | () ->
+        complete t ctx conn ~close
+          (json_reply ~status:202
+             ~headers:
+               [
+                 ("Location", Protocol.job_url job_id);
+                 ("x-job-id", job_id);
+               ]
+             (Protocol.job_accepted_body ~id:job_id))
+      | exception Invalid_argument _ ->
+        ignore (Jobs.cancel t.jobs job_id);
+        release_slot t;
+        complete t ctx conn ~close:true
+          (error_reply ~code:Protocol.Shutting_down "server shutting down"))
   end
 
 (* ------------------------------------------------------------------ *)
-(* routing and the accept loop *)
+(* async job endpoints — answered on the connection thread *)
+
+let job_path path =
+  let prefix = "/v1/jobs/" in
+  let n = String.length prefix in
+  if String.length path > n && String.sub path 0 n = prefix then
+    let id = String.sub path n (String.length path - n) in
+    if String.contains id '/' then None else Some id
+  else None
+
+let job_status t ctx (id : string) =
+  match Jobs.find t.jobs id with
+  | None ->
+    error_reply ~code:Protocol.Not_found
+      (Printf.sprintf "no such job: %s (unknown or expired)" id)
+  | Some v -> (
+    match v.Jobs.v_outcome with
+    | Some o ->
+      (* replay the parked reply verbatim: the async result is
+         bit-identical to what the sync path would have written *)
+      ctx.tier <- "job";
+      {
+        status = o.Jobs.status;
+        headers = json_headers @ [ ("x-job-id", id) ];
+        body = o.Jobs.body;
+      }
+    | None ->
+      json_reply ~status:200
+        ~headers:[ ("x-job-id", id) ]
+        (Json.to_string (Protocol.json_of_job v)))
+
+let job_cancel t (id : string) =
+  match Jobs.cancel t.jobs id with
+  | `Unknown ->
+    error_reply ~code:Protocol.Not_found
+      (Printf.sprintf "no such job: %s (unknown or expired)" id)
+  | `Already_finished state ->
+    error_reply ~code:Protocol.Conflict
+      ~detail:(Json.Obj [ ("state", Json.String state) ])
+      "job already finished"
+  | `Cancelled ->
+    json_reply ~status:200
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.String id); ("state", Json.String "cancelled") ]))
+  | `Cancelling ->
+    (* running: budget cancelled, the solve is winding down *)
+    json_reply ~status:202
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.String id); ("state", Json.String "cancelling") ]))
+
+(* ------------------------------------------------------------------ *)
+(* routing and the connection loop *)
 
 let prom_headers = [ ("Content-Type", "text/plain; version=0.0.4") ]
 
-let route t fd (req : Http.request) =
+let job_path_label = "/v1/jobs/:id"
+
+let route t conn ~close (req : Http.request) =
   let path, query = Http.split_target req.Http.target in
-  let ctx = make_ctx ~req ~endpoint:path () in
+  (* job polls must not mint one metric series per job id *)
+  let endpoint =
+    let prefix = "/v1/jobs/" in
+    if
+      String.length path >= String.length prefix
+      && String.sub path 0 (String.length prefix) = prefix
+    then job_path_label
+    else path
+  in
+  let ctx = make_ctx ~req ~endpoint () in
+  let answer reply = complete t ctx conn ~close reply in
   match (req.Http.meth, path) with
   | "GET", "/healthz" ->
-    finish t ctx fd
-      (phase ctx "render" (fun () -> json_reply ~status:200 (healthz t)))
+    answer (phase ctx "render" (fun () -> json_reply ~status:200 (healthz t)))
   | "GET", "/v1/metrics" ->
-    finish t ctx fd
-      (phase ctx "render" (fun () -> json_reply ~status:200 (metrics t)))
+    answer (phase ctx "render" (fun () -> json_reply ~status:200 (metrics t)))
   | "GET", "/metrics" ->
-    finish t ctx fd
+    answer
       (phase ctx "render" (fun () ->
            { status = 200; headers = prom_headers; body = Prom.render () }))
   | "GET", "/v1/debug/requests" ->
-    finish t ctx fd
+    answer
       (phase ctx "render" (fun () ->
            json_reply ~status:200 (debug_requests t query)))
   | "POST", "/v1/solve" -> (
     match Protocol.solve_request_of_body req.Http.body with
     | Error msg ->
       Obs.incr bad_request_c;
-      finish t ctx fd (json_reply ~status:400 (Protocol.error_body msg))
-    | Ok sreq ->
-      admit t fd ctx ?budget_ms:sreq.Protocol.budget_ms (fun ~budget ->
-          handle_solve t ctx sreq ~budget))
+      answer (error_reply ~code:Protocol.Bad_request_error msg)
+    | Ok sreq -> (
+      match List.assoc_opt "mode" query with
+      | None | Some "sync" ->
+        admit_sync t conn ctx ~close ?budget_ms:sreq.Protocol.budget_ms
+          (fun ~budget -> handle_solve t ctx sreq ~budget)
+      | Some "async" -> admit_async t conn ctx ~close sreq
+      | Some m ->
+        Obs.incr bad_request_c;
+        answer
+          (error_reply ~code:Protocol.Bad_request_error
+             (Printf.sprintf "unknown mode %S (sync or async)" m))))
   | "POST", "/v1/check" -> (
     match Protocol.check_request_of_body req.Http.body with
     | Error msg ->
       Obs.incr bad_request_c;
-      finish t ctx fd (json_reply ~status:400 (Protocol.error_body msg))
+      answer (error_reply ~code:Protocol.Bad_request_error msg)
     | Ok creq ->
-      admit t fd ctx (fun ~budget:_ -> handle_check t ctx creq))
-  | (("GET" | "POST") as meth), target ->
+      admit_sync t conn ctx ~close (fun ~budget:_ -> handle_check t ctx creq))
+  | "GET", p when job_path p <> None ->
+    answer
+      (phase ctx "render" (fun () ->
+           job_status t ctx (Option.get (job_path p))))
+  | "DELETE", p when job_path p <> None ->
+    answer (job_cancel t (Option.get (job_path p)))
+  | meth, p
+    when List.mem p
+           [
+             "/healthz"; "/v1/metrics"; "/metrics"; "/v1/debug/requests";
+             "/v1/solve"; "/v1/check";
+           ]
+         || job_path p <> None ->
+    (* a real endpoint spoken to with the wrong verb *)
     Obs.incr bad_request_c;
-    finish t ctx fd
-      (json_reply ~status:404
-         (Protocol.error_body
-            (Printf.sprintf "no such endpoint: %s %s" meth target)))
+    answer
+      (error_reply ~code:Protocol.Method_not_allowed
+         (Printf.sprintf "method %s not supported on %s" meth p))
+  | (("GET" | "POST" | "DELETE") as meth), target ->
+    Obs.incr bad_request_c;
+    answer
+      (error_reply ~code:Protocol.Not_found
+         (Printf.sprintf "no such endpoint: %s %s" meth target))
   | meth, _ ->
     Obs.incr bad_request_c;
-    finish t ctx fd
-      (json_reply ~status:405
-         (Protocol.error_body (Printf.sprintf "method %s not supported" meth)))
+    answer
+      (error_reply ~code:Protocol.Method_not_allowed
+         (Printf.sprintf "method %s not supported" meth))
 
-let handle_connection t fd =
-  Unix.setsockopt_float fd SO_RCVTIMEO (t.cfg.read_timeout_ms /. 1000.);
-  match Http.read_request ~max_body:t.cfg.max_body fd with
-  | Error (Http.Bad_request msg) ->
-    Obs.incr bad_request_c;
-    finish t (make_ctx ~endpoint:"-" ()) fd
-      (json_reply ~status:400 (Protocol.error_body msg))
-  | Error (Http.Payload_too_large { limit }) ->
-    Obs.incr bad_request_c;
-    finish t (make_ctx ~endpoint:"-" ()) fd
-      (json_reply ~status:413
-         (Protocol.error_body
-            (Printf.sprintf "request body exceeds %d bytes" limit)))
-  | Error Http.Timeout ->
-    Obs.incr bad_request_c;
-    finish t (make_ctx ~endpoint:"-" ()) fd
-      (json_reply ~status:408
-         (Protocol.error_body "timed out reading request"))
-  | Error Http.Closed -> close_quietly fd
-  | Ok req -> route t fd req
+(* Serve one kept-alive connection to completion: read, route, answer,
+   repeat — until the client closes or asks to ([Connection: close]),
+   the idle timeout expires, the per-connection request budget runs
+   out, or the server starts draining. Framing errors answer once with
+   [Connection: close] (the byte stream is no longer trustworthy);
+   protocol-level errors (bad JSON, 404s) keep the connection — the
+   framing was sound. *)
+let serve_connection t conn =
+  let rec loop served =
+    if Atomic.get t.stopping then ()
+    else
+      match
+        Http.read_request ~max_body:t.cfg.max_body
+          ~idle_timeout_ms:t.cfg.idle_timeout_ms
+          ~read_timeout_ms:t.cfg.read_timeout_ms conn
+      with
+      | Error (Http.Idle | Http.Closed) -> ()
+      | Error (Http.Bad_request msg) ->
+        Obs.incr bad_request_c;
+        complete t (make_ctx ~endpoint:"-" ()) conn ~close:true
+          (error_reply ~code:Protocol.Bad_request_error msg)
+      | Error (Http.Payload_too_large { limit }) ->
+        Obs.incr bad_request_c;
+        complete t (make_ctx ~endpoint:"-" ()) conn ~close:true
+          (error_reply ~code:Protocol.Payload_too_large_error
+             (Printf.sprintf "request body exceeds %d bytes" limit))
+      | Error Http.Timeout ->
+        Obs.incr bad_request_c;
+        complete t (make_ctx ~endpoint:"-" ()) conn ~close:true
+          (error_reply ~code:Protocol.Request_timeout
+             "timed out reading request")
+      | Ok req ->
+        let served = served + 1 in
+        let close =
+          Http.wants_close req
+          || served >= t.cfg.max_conn_requests
+          || Atomic.get t.stopping
+        in
+        route t conn ~close req;
+        if not close then loop served
+  in
+  loop 0
+
+let spawn_connection t fd =
+  (* answers on a kept-alive socket must not wait out Nagle against the
+     client's delayed ACK *)
+  (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+  Obs.incr conn_accepted_c;
+  Atomic.incr t.conns;
+  Obs.set_gauge conns_g (float_of_int (Atomic.get t.conns));
+  let token = Atomic.fetch_and_add t.conn_token 1 in
+  let body () =
+    Fun.protect
+      ~finally:(fun () ->
+        close_quietly fd;
+        Mutex.lock t.conn_lock;
+        Hashtbl.remove t.live token;
+        Mutex.unlock t.conn_lock;
+        Atomic.decr t.conns;
+        Obs.set_gauge conns_g (float_of_int (Atomic.get t.conns)))
+      (fun () ->
+        try serve_connection t (Http.conn fd)
+        with exn ->
+          (* defensive: no single connection may kill its thread
+             silently — answer if the socket still works, then drop *)
+          try
+            Http.write_response
+              ~headers:(("x-request-id", Ulid.gen ()) :: json_headers)
+              fd ~status:500
+              (Protocol.error_body ~code:Protocol.Internal
+                 (Printexc.to_string exn))
+          with _ -> ())
+  in
+  (* holding the lock across create+insert: the thread's own removal
+     (in its [finally]) blocks until the entry exists *)
+  Mutex.lock t.conn_lock;
+  let th = Thread.create body () in
+  Hashtbl.replace t.live token (fd, th);
+  Mutex.unlock t.conn_lock
 
 let run t =
   Log.info "serve.started"
@@ -683,21 +999,22 @@ let run t =
         ("port", Json.Int t.bound_port);
         ("workers", Json.Int t.cfg.workers);
         ("queue_depth", Json.Int t.cfg.queue_depth);
+        ("admission", Json.String (Dispatch.mode_name t.cfg.admission));
       ];
   let rec loop () =
     if not (Atomic.get t.stopping) then
       match Unix.accept t.listen_fd with
       | fd, _ ->
-        (try handle_connection t fd
-         with exn ->
-           (* defensive: no single connection may kill the loop *)
-           (try
-              Http.write_response
-                ~headers:(("x-request-id", Ulid.gen ()) :: json_headers)
-                fd ~status:500
-                (Protocol.error_body (Printexc.to_string exn))
-            with _ -> ());
-           close_quietly fd);
+        if Atomic.get t.conns >= t.cfg.max_connections then begin
+          Obs.incr conn_rejected_c;
+          (try
+             Http.write_response ~headers:json_headers fd ~status:503
+               (Protocol.error_body ~code:Protocol.Connections_full
+                  "connection limit reached, retry later")
+           with _ -> ());
+          close_quietly fd
+        end
+        else spawn_connection t fd;
         loop ()
       | exception Unix.Unix_error (EINTR, _, _) -> loop ()
       | exception Unix.Unix_error (ECONNABORTED, _, _) -> loop ()
@@ -707,8 +1024,22 @@ let run t =
         ()
   in
   loop ();
-  (* drain: every admitted job is answered before we return *)
-  Pool.shutdown t.pool;
+  (* Drain. Wake connection threads parked in reads (a kept-alive
+     client may otherwise hold its thread until the idle timeout), then
+     join them — each finishes its in-flight request first, because the
+     dispatch workers are still alive. Only then retire the workers:
+     queued async jobs run to completion before shutdown finishes. *)
+  Mutex.lock t.conn_lock;
+  let threads =
+    Hashtbl.fold
+      (fun _ (fd, th) acc ->
+        (try Unix.shutdown fd SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+        th :: acc)
+      t.live []
+  in
+  Mutex.unlock t.conn_lock;
+  List.iter Thread.join threads;
+  Dispatch.shutdown t.dispatch;
   close_quietly t.listen_fd;
   Log.info "serve.stopped"
     ~fields:[ ("uptime_ms", Json.Float (uptime_ms t)) ]

@@ -6,24 +6,52 @@
 
     - [POST /v1/solve] — wrapper/TAM co-optimization for one SOC (see
       {!Protocol} for the body). P1/P2 answer one audited schedule; P3
-      answers the width-sweep (width, time, volume) points.
+      answers the width-sweep (width, time, volume) points. With
+      [?mode=async] the response is [202 Accepted] carrying a job id
+      and a [Location] header; the solve proceeds in the background.
+    - [GET /v1/jobs/<id>] — poll an async job. While queued/running it
+      answers a status document (state, wait/run timings); once done it
+      replays the parked solve response verbatim — byte-identical to
+      what the sync path would have written; 404 for unknown or
+      TTL-expired ids.
+    - [DELETE /v1/jobs/<id>] — cancel: a queued job finishes
+      immediately (200); a running one has its budget cancelled and
+      winds down cooperatively (202, state [cancelling]); an already
+      finished job answers 409.
     - [POST /v1/check] — audit a {!Soctest_tam.Schedule_io} text with
       {!Soctest_check.Audit.run}; always 200 with the report (a dirty
       schedule is a valid answer here, not a server error).
-    - [GET /v1/metrics] — engine cache statistics per tier (the
-      in-memory Pareto/eval caches and, when the engine sits on a
-      {!Soctest_store.Store}, the disk tier's
-      hits/misses/audit-rejects and file statistics) plus every
-      {!Soctest_obs.Obs} counter/gauge/histogram, as JSON.
+    - [GET /v1/metrics] — engine cache statistics per tier, job-store
+      population, plus every {!Soctest_obs.Obs}
+      counter/gauge/histogram, as JSON.
     - [GET /metrics] — the same {!Soctest_obs.Obs} registry in
       Prometheus text format ({!Soctest_obs.Prom}), including
-      per-endpoint/per-status request counters and per-endpoint latency
-      histograms (millisecond edges).
+      per-endpoint/per-status request counters, per-endpoint latency
+      histograms and the job-state gauges.
     - [GET /v1/debug/requests] — the flight recorder: the last
       [flight_capacity] completed requests (newest first; [?limit=N]
       truncates), each with its id, endpoint, status, per-phase timing
-      decomposition, cache tier and store-audit flags.
-    - [GET /healthz] — liveness: status, uptime, in-flight count.
+      decomposition, cache tier and store-audit flags. Async solves
+      appear under the [async:/v1/solve] endpoint when they finish.
+    - [GET /healthz] — liveness: status, uptime, in-flight count, open
+      connections, admission mode.
+
+    {2 Connections}
+
+    HTTP/1.1 keep-alive with pipelining: each accepted connection gets
+    its own thread that reads, routes and answers requests in order
+    until the client closes or sends [Connection: close], the
+    [idle_timeout_ms] expires between requests, [max_conn_requests]
+    have been served (the last response says [Connection: close]), or
+    the server drains. Bytes past one request's [Content-Length] are
+    retained and framed as the next request, so a client may batch
+    requests into one send; responses always come back in request
+    order. At most [max_connections] connections are open at once —
+    beyond that, accepts are answered [503] and closed. Framing errors
+    (malformed request line, oversized bodies, mid-request stalls)
+    answer once and close; protocol-level errors (bad JSON, unknown
+    endpoints) answer and keep the connection, since the framing was
+    sound.
 
     {2 Request lifecycle}
 
@@ -39,25 +67,35 @@
     monotonic clock); a 5xx response or one slower than [slow_ms] also
     dumps its record through {!Soctest_obs.Log}.
 
-    The accept loop reads and fully validates each request inline
-    (malformed framing or JSON never consumes solver capacity), then
-    admits solve/check jobs into a bounded in-flight window of
-    [queue_depth] requests served by [workers] {!Soctest_portfolio.Pool}
-    domains sharing one engine. A full window answers
-    [429 Too Many Requests] with [Retry-After] instead of queueing
-    unboundedly. A request's [budget_ms] becomes an
-    {!Soctest_engine.Engine.Budget} created {e at admission}, so time
-    spent waiting behind other jobs consumes the caller's budget and an
-    overloaded solve degrades to the best-incumbent [deadline] response
-    rather than piling up. Every P1/P2 schedule is re-audited
-    ({!Soctest_check.Audit.run}, through the engine's Pareto cache)
-    before it is written back; the verdict rides in the response.
+    {2 Admission}
+
+    Solve/check requests are fully validated on the connection thread
+    (malformed JSON never consumes solver capacity), then admitted into
+    a bounded in-flight window of [queue_depth] requests served by
+    [workers] {!Dispatch} domains sharing one engine. A full window
+    answers [429 Too Many Requests] with a [Retry-After] estimated
+    from the current backlog and the recent mean handler time. The
+    queue is ordered by [admission] mode: {!Dispatch.Edf} (default)
+    runs budgeted requests earliest-deadline-first so a short-budget
+    request admitted behind a long sweep overtakes it; {!Dispatch.Fifo}
+    restores strict admission order. A request's [budget_ms] becomes a
+    {!Soctest_core.Budget} created {e at admission}, so time spent
+    waiting consumes the caller's budget and an overloaded solve
+    degrades to the best-incumbent [deadline] response rather than
+    piling up. Every P1/P2 schedule is re-audited
+    ({!Soctest_check.Audit.run}) before it is written back; the verdict
+    rides in the response. Async jobs hold their admission slot from
+    202 to completion — sync and async share one backpressure window —
+    and their results are retained in a bounded {!Jobs} store for
+    [job_ttl_ms] after finishing.
 
     {2 Shutdown}
 
     {!stop} (wired to SIGINT/SIGTERM by [soctest serve]) makes the
-    accept loop exit; {!run} then drains admitted jobs — every accepted
-    request is answered — joins the worker domains and closes the
+    accept loop exit; {!run} then wakes and joins the connection
+    threads (each finishes its in-flight request), drains the dispatch
+    queue — every admitted request, sync or async, is answered or
+    parked in the job store — joins the worker domains and closes the
     listener before returning. *)
 
 type config = {
@@ -65,7 +103,16 @@ type config = {
   workers : int;  (** worker domains solving admitted jobs *)
   queue_depth : int;  (** max admitted-but-unfinished solve/check jobs *)
   max_body : int;  (** request body cap, bytes (413 beyond) *)
-  read_timeout_ms : float;  (** per-socket read timeout (408 on expiry) *)
+  read_timeout_ms : float;  (** mid-request socket stall cap (408) *)
+  idle_timeout_ms : float;
+      (** kept-alive connection idle cap between requests (silent
+          close) *)
+  max_connections : int;  (** open-connection cap (503 beyond) *)
+  max_conn_requests : int;
+      (** requests served per connection before it is closed *)
+  admission : Dispatch.mode;  (** queue order: EDF (default) or FIFO *)
+  job_capacity : int;  (** async jobs retained at once (503 beyond) *)
+  job_ttl_ms : float;  (** finished-job retention before eviction *)
   slow_ms : float option;
       (** dump a request's flight record through {!Soctest_obs.Log}
           when its end-to-end latency exceeds this; [None] disables *)
@@ -78,21 +125,29 @@ val config :
   ?queue_depth:int ->
   ?max_body:int ->
   ?read_timeout_ms:float ->
+  ?idle_timeout_ms:float ->
+  ?max_connections:int ->
+  ?max_conn_requests:int ->
+  ?admission:Dispatch.mode ->
+  ?job_capacity:int ->
+  ?job_ttl_ms:float ->
   ?slow_ms:float ->
   ?flight_capacity:int ->
   unit ->
   config
 (** Defaults: port 8080, workers
     [max 1 (Domain.recommended_domain_count () - 1)], queue depth 64,
-    1 MiB bodies, 10 s read timeout, no slow threshold, 256 flight
-    records.
-    @raise Invalid_argument on non-positive workers/queue depth/body
-    cap/flight capacity or a negative timeout/threshold. *)
+    1 MiB bodies, 10 s read timeout, 5 s idle timeout, 64 connections,
+    1000 requests per connection, EDF admission,
+    {!Jobs.default_capacity} jobs with {!Jobs.default_ttl_ms}
+    retention, no slow threshold, 256 flight records.
+    @raise Invalid_argument on a non-positive count/cap or a negative
+    timeout/threshold. *)
 
 type t
 
 val create : ?engine:Soctest_engine.Engine.t -> config -> t
-(** Bind and listen (loopback) and spawn the worker pool. A fresh
+(** Bind and listen (loopback) and spawn the dispatch workers. A fresh
     engine is created when [engine] is omitted; pass one to share its
     caches with other work in the process. When {!Soctest_obs.Obs}
     recording is off, [create] enables metrics-only recording
@@ -110,13 +165,17 @@ val flight_recorder : t -> Soctest_obs.Flight.t
 (** The server's flight recorder — what [GET /v1/debug/requests]
     reads; exposed for embeddings and tests. *)
 
+val job_store : t -> Jobs.t
+(** The async job store — what [/v1/jobs] reads; exposed for
+    embeddings and tests. *)
+
 val run : t -> unit
 (** Serve until {!stop}: accept, validate, admit, answer. Returns only
-    after the queue has drained and the workers have been joined.
-    Call from the domain that owns the server (tests run it in a
-    spawned domain). *)
+    after the connection threads and the dispatch queue have drained
+    and the workers have been joined. Call from the domain that owns
+    the server (tests run it in a spawned domain). *)
 
 val stop : t -> unit
 (** Ask {!run} to finish (idempotent, safe from signal handlers and
-    other domains): no new connections are accepted, admitted jobs
-    drain. *)
+    other domains): no new connections are accepted, open connections
+    finish their in-flight request, admitted jobs drain. *)

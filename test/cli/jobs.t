@@ -1,0 +1,53 @@
+The async job lifecycle against a live daemon: submit returns a 202 job
+id, await replays the finished solve bit-for-bit, a done job refuses
+cancellation (409 conflict) and unknown ids are 404s.
+
+  $ soctest serve --port 0 --workers 2 > serve.out 2>&1 &
+  $ SERVE_PID=$!
+  $ for _ in $(seq 100); do grep -q 'listening on' serve.out && break; sleep 0.1; done
+  $ PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' serve.out | head -n 1)
+
+  $ soctest jobs submit --soc mini4 -w 8 --port "$PORT" > submit.out
+  $ grep -c 'accepted' submit.out
+  1
+  $ JOB=$(sed -n 's/^job \([A-Z0-9]*\) accepted.*/\1/p' submit.out)
+
+  $ soctest jobs await --port "$PORT" "$JOB" > await.out
+  $ grep -c '"status":"complete"' await.out
+  1
+  $ grep -c '"clean":true' await.out
+  1
+
+A finished job replays the identical document on every GET:
+
+  $ soctest jobs status --port "$PORT" "$JOB" > status.out
+  $ cmp await.out status.out && echo identical
+  identical
+
+...refuses cancellation once done:
+
+  $ soctest jobs cancel --port "$PORT" "$JOB" > cancel.out
+  soctest: http 409
+  [124]
+  $ grep -c '"code":"conflict"' cancel.out
+  1
+
+...and unknown job ids are 404s:
+
+  $ soctest jobs status --port "$PORT" no-such-job > missing.out
+  soctest: http 404
+  [124]
+  $ grep -c '"code":"not_found"' missing.out
+  1
+
+Submit-and-await in one shot:
+
+  $ soctest jobs submit --soc mini4 -w 10 --await --port "$PORT" | grep -c '"status":"complete"'
+  1
+
+The daemon drains cleanly on SIGTERM:
+
+  $ kill $SERVE_PID
+  $ wait $SERVE_PID
+  $ grep -c 'shut down cleanly' serve.out
+  1

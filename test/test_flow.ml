@@ -54,33 +54,6 @@ let test_solve_p3_with_constraints () =
   in
   Alcotest.(check int) "two points" 2 (List.length points)
 
-(* The pre-engine entry points survive one release as aliases; this is
-   the one place allowed to call them. *)
-module Aliases = struct
-  [@@@alert "-deprecated"]
-  [@@@warning "-3"]
-
-  let test_agree_with_spec () =
-    let soc = Test_helpers.mini4 () in
-    let constraints = C.of_soc soc () in
-    Alcotest.(check int)
-      "solve_p1 = solve(spec)"
-      (Flow.solve (Flow.spec soc ~tam_width:8)).O.testing_time
-      (Flow.solve_p1 soc ~tam_width:8 ()).O.testing_time;
-    Alcotest.(check int)
-      "solve_p2 = solve(spec ~constraints)"
-      (Flow.solve (Flow.spec ~constraints soc ~tam_width:8)).O.testing_time
-      (Flow.solve_p2 soc ~tam_width:8 ~constraints ()).O.testing_time;
-    let old_sweep = Flow.solve_p3 soc ~widths:[ 2; 4 ] ~alphas:[ 0.5 ] () in
-    let new_sweep =
-      Flow.solve_sweep (Flow.sweep_spec soc ~widths:[ 2; 4 ] ~alphas:[ 0.5 ])
-    in
-    Alcotest.(check (list (pair int int)))
-      "solve_p3 = solve_sweep(sweep_spec)"
-      (List.map (fun p -> (p.Volume.width, p.Volume.time)) old_sweep.Flow.points)
-      (List.map (fun p -> (p.Volume.width, p.Volume.time)) new_sweep.Flow.points)
-end
-
 let test_default_power_limit () =
   let soc =
     Soc_def.make ~name:"p"
@@ -194,8 +167,6 @@ let () =
             test_default_power_limit;
           Alcotest.test_case "preemption budget" `Quick
             test_preemption_budget;
-          Alcotest.test_case "deprecated aliases agree" `Quick
-            Aliases.test_agree_with_spec;
         ] );
       ( "sched_state",
         [

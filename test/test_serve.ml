@@ -27,7 +27,7 @@ let roundtrip ?max_body raw =
     ~finally:(fun () ->
       Unix.close a;
       Unix.close b)
-    (fun () -> Http.read_request ?max_body b)
+    (fun () -> Http.read_request ?max_body (Http.conn b))
 
 let test_http_parse () =
   match
@@ -146,10 +146,13 @@ let test_protocol_check_decode () =
 
 (* ---------------- live server ------------------------------------ *)
 
-let with_server ?(queue_depth = 16) ?(workers = 2) f =
+let with_server ?(queue_depth = 16) ?(workers = 2) ?job_ttl_ms ?admission f =
   (* metrics-only recording, as the daemon runs it *)
   Soctest_obs.Obs.enable ~events:false ();
-  let server = Server.create (Server.config ~port:0 ~workers ~queue_depth ()) in
+  let server =
+    Server.create
+      (Server.config ~port:0 ~workers ~queue_depth ?job_ttl_ms ?admission ())
+  in
   let d = Domain.spawn (fun () -> Server.run server) in
   Fun.protect
     ~finally:(fun () ->
@@ -261,9 +264,15 @@ let test_live_admission_control () =
   Unix.sleepf 0.3;
   let bounced = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
   Alcotest.(check int) "429 when full" 429 bounced.Client.status;
-  Alcotest.(check (option string))
-    "Retry-After" (Some "1")
-    (List.assoc_opt "retry-after" bounced.Client.headers);
+  (* Retry-After is estimated from queue depth and recent solve time;
+     it must be a whole number of seconds in the clamp range *)
+  (match List.assoc_opt "retry-after" bounced.Client.headers with
+  | None -> Alcotest.fail "429 lacks Retry-After"
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n ->
+      Alcotest.(check bool) "Retry-After in [1, 60]" true (n >= 1 && n <= 60)
+    | None -> Alcotest.failf "Retry-After %S is not an integer" s));
   (* GETs are never admission-controlled *)
   let h = Client.get ~port "/healthz" in
   Alcotest.(check int) "healthz while full" 200 h.Client.status;
@@ -418,19 +427,30 @@ let test_live_flight_recorder () =
   let r = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
   Alcotest.(check int) "solve ok" 200 r.Client.status;
   let id = List.assoc "x-request-id" r.Client.headers in
-  let j = Client.json_body (Client.get ~port "/v1/debug/requests?limit=16") in
-  let records =
-    match member "requests" j with
-    | Json.List l -> l
-    | _ -> Alcotest.fail "debug response lacks a requests list"
+  (* the record lands just after the response bytes, so a fast client
+     can outrun it — poll briefly *)
+  let rec fetch tries =
+    let j =
+      Client.json_body (Client.get ~port "/v1/debug/requests?limit=16")
+    in
+    let records =
+      match member "requests" j with
+      | Json.List l -> l
+      | _ -> Alcotest.fail "debug response lacks a requests list"
+    in
+    match
+      List.find_opt
+        (fun rc -> Json.member "id" rc = Some (Json.String id))
+        records
+    with
+    | Some rc -> rc
+    | None when tries > 0 ->
+      Unix.sleepf 0.02;
+      fetch (tries - 1)
+    | None -> Alcotest.failf "request %s not in the flight recorder" id
   in
-  match
-    List.find_opt
-      (fun rc -> Json.member "id" rc = Some (Json.String id))
-      records
-  with
-  | None -> Alcotest.failf "request %s not in the flight recorder" id
-  | Some rc ->
+  match fetch 50 with
+  | rc ->
     Alcotest.(check string)
       "endpoint" "/v1/solve"
       (jstr (member "endpoint" rc));
@@ -477,6 +497,186 @@ let test_live_error_paths () =
   let wrong = Client.request ~port ~meth:"DELETE" "/v1/solve" in
   Alcotest.(check int) "bad method -> 405" 405 wrong.Client.status
 
+(* ---------------- dispatch ordering ------------------------------- *)
+
+module Dispatch = Soctest_serve.Dispatch
+
+(* Submit a blocker that pins the single worker, queue three tasks with
+   mixed deadlines, release the blocker and observe the drain order. *)
+let dispatch_order mode =
+  let d = Dispatch.create ~mode ~jobs:1 () in
+  let gate = Mutex.create () and go = Condition.create () in
+  let released = ref false in
+  let order = ref [] in
+  Dispatch.submit d (fun () ->
+      Mutex.lock gate;
+      while not !released do
+        Condition.wait go gate
+      done;
+      Mutex.unlock gate);
+  (* wait for the worker to pick the blocker up, so all three queue *)
+  let rec settle n =
+    if Dispatch.queued d > 0 && n > 0 then begin
+      Unix.sleepf 0.01;
+      settle (n - 1)
+    end
+  in
+  settle 100;
+  let now = Soctest_obs.Clock.now_ms () in
+  let note name () = order := name :: !order in
+  Dispatch.submit d (note "undeadlined");
+  Dispatch.submit d ~deadline:(now +. 10_000.) (note "late");
+  Dispatch.submit d ~deadline:(now +. 100.) (note "soon");
+  Mutex.lock gate;
+  released := true;
+  Condition.signal go;
+  Mutex.unlock gate;
+  Dispatch.shutdown d;
+  List.rev !order
+
+let test_dispatch_edf_order () =
+  Alcotest.(check (list string))
+    "deadlines first, earliest first"
+    [ "soon"; "late"; "undeadlined" ]
+    (dispatch_order Dispatch.Edf)
+
+let test_dispatch_fifo_order () =
+  Alcotest.(check (list string))
+    "strict admission order"
+    [ "undeadlined"; "late"; "soon" ]
+    (dispatch_order Dispatch.Fifo)
+
+(* ---------------- v2: keep-alive, pipelining, async jobs ---------- *)
+
+let with_client port f =
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let test_live_keepalive_pipeline () =
+  with_server @@ fun _server port ->
+  with_client port @@ fun c ->
+  (* sequential reuse: several calls over one cached connection *)
+  let r1 = Client.call c ~body:(solve_body 8) "/v1/solve" in
+  Alcotest.(check int) "first call" 200 r1.Client.status;
+  let r2 = Client.call c "/healthz" in
+  Alcotest.(check int) "reused socket" 200 r2.Client.status;
+  (* pipelined burst: requests written in one batch must come back in
+     order — each response echoes its request's width — with a distinct
+     x-request-id on every one *)
+  let widths = [ 4; 5; 6; 7; 8; 9 ] in
+  let specs =
+    List.map (fun w -> ("POST", "/v1/solve", Some (solve_body w))) widths
+  in
+  let rs = Client.pipeline c specs in
+  Alcotest.(check int) "all answered" (List.length widths) (List.length rs);
+  List.iter2
+    (fun w r ->
+      Alcotest.(check int)
+        (Printf.sprintf "width %d status" w)
+        200 r.Client.status;
+      Alcotest.(check int)
+        (Printf.sprintf "response %d in order" w)
+        w
+        (jint (member "width" (Client.json_body r))))
+    widths rs;
+  let ids =
+    List.filter_map
+      (fun r -> List.assoc_opt "x-request-id" r.Client.headers)
+      rs
+  in
+  Alcotest.(check int) "every response stamped" (List.length rs)
+    (List.length ids);
+  Alcotest.(check int) "ids distinct" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  (* Connection: close is honored on the response *)
+  let bye = Client.call c ~headers:[ ("Connection", "close") ] "/healthz" in
+  Alcotest.(check (option string))
+    "server acknowledges the close" (Some "close")
+    (List.assoc_opt "connection" bye.Client.headers);
+  (* and the client transparently reconnects afterwards *)
+  let back = Client.call c "/healthz" in
+  Alcotest.(check int) "fresh connection after close" 200 back.Client.status
+
+let test_live_async_job_parity () =
+  with_server @@ fun _server port ->
+  with_client port @@ fun c ->
+  let sync = Client.call c ~body:(solve_body 8) "/v1/solve" in
+  Alcotest.(check int) "sync 200" 200 sync.Client.status;
+  let id = Client.solve_async c ~body:(solve_body 8) in
+  let final = Client.await_job c id in
+  Alcotest.(check int) "job result replays a 200" 200 final.Client.status;
+  Alcotest.(check (option string))
+    "replay carries the job id" (Some id)
+    (List.assoc_opt "x-job-id" final.Client.headers);
+  let sv = Client.json_body sync and jv = Client.json_body final in
+  Alcotest.(check bool)
+    "job result audited clean" true
+    (member "clean" (member "audit" jv) = Json.Bool true);
+  (* the solver's answer is bit-identical to the sync endpoint's (the
+     wall-clock *_ms fields are the only nondeterministic members) *)
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (Printf.sprintf "result.%s identical to sync" k)
+        (Json.to_string (member k (member "result" sv)))
+        (Json.to_string (member k (member "result" jv))))
+    [ "status"; "testing_time"; "widths"; "preemptions"; "schedule_text" ];
+  (* a finished job's result replays byte-identically until evicted *)
+  let again = Client.job_status c id in
+  Alcotest.(check string) "replay is stable" final.Client.body
+    again.Client.body;
+  (* cancelling a finished job is a conflict, and it stays replayable *)
+  let conflict = Client.cancel_job c id in
+  Alcotest.(check int) "cancel after done -> 409" 409 conflict.Client.status
+
+let test_live_job_cancel_mid_solve () =
+  (* one worker: the stalled job is running when the cancel lands *)
+  with_server ~workers:1 @@ fun _server port ->
+  with_client port @@ fun c ->
+  let id =
+    Client.solve_async c
+      ~body:(solve_body ~extra:[ ("stall_ms", Json.Int 1000) ] 8)
+  in
+  Unix.sleepf 0.25;
+  let r = Client.cancel_job c id in
+  Alcotest.(check bool)
+    (Printf.sprintf "cancel acknowledged (got %d)" r.Client.status)
+    true
+    (r.Client.status = 200 || r.Client.status = 202);
+  let final = Client.await_job c id in
+  Alcotest.(check int) "cancelled job still answers" 200 final.Client.status;
+  (match Json.member "state" (Client.json_body final) with
+  | Some (Json.String "cancelled") -> ()
+  | _ -> Alcotest.fail "expected a cancelled status document");
+  (* unknown ids are 404 on both verbs *)
+  let ghost = "01ARZ3NDEKTSV4RRFFQ69G5FAV" in
+  Alcotest.(check int) "unknown status -> 404" 404
+    (Client.job_status c ghost).Client.status;
+  Alcotest.(check int) "unknown cancel -> 404" 404
+    (Client.cancel_job c ghost).Client.status
+
+let test_live_job_ttl_eviction () =
+  with_server ~job_ttl_ms:50. @@ fun _server port ->
+  with_client port @@ fun c ->
+  let id = Client.solve_async c ~body:(solve_body 8) in
+  let final = Client.await_job c id in
+  Alcotest.(check int) "job finished" 200 final.Client.status;
+  (* past its TTL the finished job is swept on the next store access *)
+  Unix.sleepf 0.2;
+  Alcotest.(check int) "evicted job -> 404" 404
+    (Client.job_status c id).Client.status
+
+let test_live_fifo_admission_mode () =
+  (* the FIFO fallback must still serve; EDF-vs-FIFO ordering itself is
+     exercised by the dispatch unit tests and the regression bench *)
+  with_server ~admission:Soctest_serve.Dispatch.Fifo @@ fun _server port ->
+  let r = Client.post ~port ~body:(solve_body 8) "/v1/solve" in
+  Alcotest.(check int) "solve under fifo" 200 r.Client.status;
+  let h = Client.json_body (Client.get ~port "/healthz") in
+  Alcotest.(check bool)
+    "healthz reports the admission mode" true
+    (Json.member "admission" h = Some (Json.String "fifo"))
+
 let () =
   Alcotest.run "serve"
     [
@@ -511,5 +711,23 @@ let () =
             test_live_flight_recorder;
           Alcotest.test_case "warm restart from store" `Quick
             test_live_warm_restart;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "edf order" `Quick test_dispatch_edf_order;
+          Alcotest.test_case "fifo order" `Quick test_dispatch_fifo_order;
+        ] );
+      ( "v2 lifecycle",
+        [
+          Alcotest.test_case "keep-alive + pipelining" `Quick
+            test_live_keepalive_pipeline;
+          Alcotest.test_case "async job parity" `Quick
+            test_live_async_job_parity;
+          Alcotest.test_case "cancel mid-solve + unknown ids" `Quick
+            test_live_job_cancel_mid_solve;
+          Alcotest.test_case "job TTL eviction" `Quick
+            test_live_job_ttl_eviction;
+          Alcotest.test_case "fifo admission mode" `Quick
+            test_live_fifo_admission_mode;
         ] );
     ]
