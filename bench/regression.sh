@@ -3,10 +3,14 @@
 # service / store benches, and emit a machine-readable BENCH_<n>.json at
 # the repo root so every PR leaves a comparable perf record.
 #
-#   bench/regression.sh [n]     # writes BENCH_<n>.json (default: 8)
+#   bench/regression.sh [n]     # writes BENCH_<n>.json (default: 9)
 #
 # Sections:
 #   schedule  — CLI solve wall time, cold vs warm-store vs disk-hit
+#   hotpath   — allocation-delta row: a budgeted d695 grid solve with
+#               --obs-summary, parsed into per-solve wall time (us) and
+#               per-solve minor-heap allocation (words) for the
+#               tam.schedule span, against the pre-bitset PR 8 baseline
 #   single    — bench-serve against one daemon: latency percentiles
 #               (client-side and server-side, the latter from the
 #               /metrics Prometheus histogram), throughput, per-tier
@@ -25,7 +29,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-N=${1:-8}
+N=${1:-9}
 OUT=BENCH_${N}.json
 
 dune build bin/main.exe
@@ -52,6 +56,17 @@ t1=$(now_ms)
 t2=$(now_ms)
 SCHED_COLD=$((t1 - t0))
 SCHED_WARM=$((t2 - t1))
+
+# -- hotpath: per-solve time and minor allocation of the scheduler core --
+# a time budget turns the single solve into a grid search (hundreds of
+# scheduler invocations), so the tam.schedule span row of --obs-summary
+# gives a per-solve average stable enough to regress on. Columns:
+# cat span count total_ms mean_ms max_ms minor_Mw.
+"$SOCTEST" schedule --soc d695 -w 32 --budget-ms 60000 --obs-summary \
+  > "$TMP/hotpath.txt"
+GRID_SOLVES=$(awk '$2 == "tam.schedule" { print $3 }' "$TMP/hotpath.txt")
+US_PER_SOLVE=$(awk '$2 == "tam.schedule" { printf "%.1f", $4 * 1000 / $3 }' "$TMP/hotpath.txt")
+WORDS_PER_SOLVE=$(awk '$2 == "tam.schedule" { printf "%.0f", $7 * 1000000 / $3 }' "$TMP/hotpath.txt")
 
 # -- single daemon, per-tier accounting, logs off -----------------------
 "$SOCTEST" bench-serve --soc d695 -w 16 --requests 32 --clients 8 \
@@ -118,6 +133,9 @@ OVERHEAD_PCT=$(awk "BEGIN { printf \"%.1f\", 100 * (1 - $RPS_ON / $RPS_OFF) }")
   printf '{"bench": %s, "generated_by": "bench/regression.sh",\n' "$N"
   printf '"schedule": {"soc": "d695", "width": 32, "cold_ms": %s, "store_warm_ms": %s},\n' \
     "$SCHED_COLD" "$SCHED_WARM"
+  printf '"hotpath": {"grid_solves": %s, "us_per_solve": %s, "minor_words_per_solve": %s,\n' \
+    "${GRID_SOLVES:-0}" "${US_PER_SOLVE:-0}" "${WORDS_PER_SOLVE:-0}"
+  printf '            "baseline_pr8": {"us_per_solve": 49.5, "minor_words_per_solve": 9639}},\n'
   printf '"prom_latency_ms": {"p50": %s, "p99": %s},\n' \
     "${PROM_P50:-0}" "${PROM_P99:-0}"
   printf '"logging": {"off_rps": %s, "on_rps": %s, "overhead_pct": %s, "log_lines": %s},\n' \

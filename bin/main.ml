@@ -1274,9 +1274,15 @@ let sub_prom_buckets after before =
 let prom_total buckets =
   match List.rev buckets with (_, t) :: _ -> t | [] -> 0
 
-(* The percentile estimate a Prometheus histogram supports: the upper
-   edge of the first bucket whose cumulative count reaches the target
-   rank (+Inf clamps to the largest finite edge). *)
+(* The percentile estimate a Prometheus histogram supports, with linear
+   interpolation inside the target bucket (the same estimate
+   [histogram_quantile] makes): find the first bucket whose cumulative
+   count reaches the target rank, then place the quantile
+   proportionally between that bucket's lower and upper edge. Reporting
+   the bare upper edge — what this function did before — quantizes
+   every percentile to a bucket boundary, which is how BENCH_8 ended up
+   with p50 = p99 = 50.000. Observations past the last finite edge
+   clamp to it, as Prometheus does. *)
 let prom_percentile buckets q =
   let total = prom_total buckets in
   if total = 0 then 0.
@@ -1287,13 +1293,24 @@ let prom_percentile buckets q =
         (fun acc (le, _) -> if le < infinity then le else acc)
         0. buckets
     in
-    let rec find = function
+    (* bucket counts are cumulative in the exposition; the in-bucket
+       mass is the cumulative step over the previous edge *)
+    let rec find lower prev_cum = function
       | [] -> finite_max
-      | (le, c) :: _ when float_of_int c >= target ->
-        if le = infinity then finite_max else le
-      | _ :: rest -> find rest
+      | (le, cum) :: rest ->
+        if float_of_int cum >= target then
+          if le = infinity then finite_max
+          else
+            let in_bucket = cum - prev_cum in
+            if in_bucket <= 0 then le
+            else
+              lower
+              +. (le -. lower)
+                 *. ((target -. float_of_int prev_cum)
+                    /. float_of_int in_bucket)
+        else find le cum rest
     in
-    find buckets
+    find 0. 0 buckets
   end
 
 type bench_phase = {
@@ -1428,8 +1445,8 @@ let print_phase ~requests ph =
     (100. *. combined_ratio t);
   if prom_total ph.ph_prom > 0 then
     Printf.printf
-      "  server side : p50 <= %.1f ms, p99 <= %.1f ms over %d requests \
-       (/metrics histogram)\n%!"
+      "  server side : p50 ~ %.1f ms, p99 ~ %.1f ms over %d requests \
+       (/metrics histogram, interpolated)\n%!"
       (prom_percentile ph.ph_prom 0.50)
       (prom_percentile ph.ph_prom 0.99)
       (prom_total ph.ph_prom);

@@ -300,11 +300,46 @@ let run soc spec sched =
         fail acc Wire_occupancy
           "two overlapping slices share a wire (allocator invariant \
            broken)";
+      if not (Ref_alloc.is_disjoint allocations) then
+        fail acc Wire_occupancy
+          "reference pairwise check disagrees: overlapping slices share \
+           a wire that the sweep-based check missed";
+      (* differential: the independent set-based allocator must derive
+         the exact same assignment, slice for slice, wire for wire *)
+      (match Ref_alloc.allocate sched with
+      | Error (time, core, deficit) ->
+        fail acc Wire_occupancy
+          "allocator divergence: bitset path found an assignment but the \
+           reference allocator is short %d wire(s) for core %d at t=%d"
+          deficit core time
+      | Ok ref_allocations ->
+        if
+          not
+            (List.equal
+               (fun (a : Wire_alloc.allocation) (b : Wire_alloc.allocation) ->
+                 a.Wire_alloc.slice = b.Wire_alloc.slice
+                 && a.Wire_alloc.wires = b.Wire_alloc.wires)
+               allocations ref_allocations)
+        then
+          fail acc Wire_occupancy
+            "allocator divergence: bitset and reference paths assign \
+             different wires to the same schedule");
       Some allocations
     | exception Wire_alloc.Capacity_exceeded { time; core; deficit } ->
       fail acc Wire_occupancy
         "no wire assignment exists: core %d short %d wire(s) at t=%d" core
         deficit time;
+      (match Ref_alloc.allocate sched with
+      | Error (rt, rc, rd) when (rt, rc, rd) = (time, core, deficit) -> ()
+      | Error (rt, rc, rd) ->
+        fail acc Wire_occupancy
+          "allocator divergence: capacity errors disagree (bitset: core \
+           %d short %d at t=%d; reference: core %d short %d at t=%d)"
+          core deficit time rc rd rt
+      | Ok _ ->
+        fail acc Wire_occupancy
+          "allocator divergence: reference allocator found an assignment \
+           where the bitset path reported capacity exhaustion");
       None
   in
 

@@ -1,0 +1,84 @@
+(* The pre-bitset wire allocator, verbatim except that the capacity
+   error comes back as a [result] (the auditor never wants the
+   exception) and the Obs span/counter stay with the production path.
+   Do not "improve" this module: its value is that it shares no code
+   with [Soctest_tam.Wire_alloc]. *)
+
+module Schedule = Soctest_tam.Schedule
+module Wire_alloc = Soctest_tam.Wire_alloc
+module Int_set = Set.Make (Int)
+
+let sweep_order (a : Schedule.slice) (b : Schedule.slice) =
+  match compare a.Schedule.start b.Schedule.start with
+  | 0 -> (
+    match compare a.Schedule.core b.Schedule.core with
+    | 0 -> compare a.Schedule.width b.Schedule.width
+    | c -> c)
+  | c -> c
+
+exception Short of { time : int; core : int; deficit : int }
+
+let allocate (sched : Schedule.t) =
+  let all_wires =
+    Int_set.of_list (List.init sched.Schedule.tam_width Fun.id)
+  in
+  (* Sweep boundaries in time order; ends release wires before starts
+     claim them at identical timestamps. *)
+  let starts = List.sort sweep_order sched.Schedule.slices in
+  let free = ref all_wires in
+  let live = ref [] (* (stop, wires) of running slices *) in
+  let release_until time =
+    let expired, alive =
+      List.partition (fun (stop, _) -> stop <= time) !live
+    in
+    List.iter
+      (fun (_, wires) ->
+        free := List.fold_left (fun f w -> Int_set.add w f) !free wires)
+      expired;
+    live := alive
+  in
+  let take ~time ~core n =
+    let rec loop k acc =
+      if k = 0 then List.rev acc
+      else
+        match Int_set.min_elt_opt !free with
+        | None -> raise (Short { time; core; deficit = k })
+        | Some w ->
+          free := Int_set.remove w !free;
+          loop (k - 1) (w :: acc)
+    in
+    loop n []
+  in
+  match
+    List.map
+      (fun (slice : Schedule.slice) ->
+        release_until slice.Schedule.start;
+        let wires =
+          take ~time:slice.Schedule.start ~core:slice.Schedule.core
+            slice.Schedule.width
+        in
+        live := (slice.Schedule.stop, wires) :: !live;
+        { Wire_alloc.slice; wires })
+      starts
+  with
+  | allocations -> Ok allocations
+  | exception Short { time; core; deficit } -> Error (time, core, deficit)
+
+let is_disjoint allocations =
+  let overlaps (a : Schedule.slice) (b : Schedule.slice) =
+    a.Schedule.start < b.Schedule.stop && b.Schedule.start < a.Schedule.stop
+  in
+  let rec check = function
+    | [] -> true
+    | (a : Wire_alloc.allocation) :: rest ->
+      List.for_all
+        (fun (b : Wire_alloc.allocation) ->
+          (not (overlaps a.Wire_alloc.slice b.Wire_alloc.slice))
+          || not
+               (List.exists
+                  (fun w -> List.mem w b.Wire_alloc.wires)
+                  a.Wire_alloc.wires))
+        rest
+      && check rest
+  in
+  check allocations

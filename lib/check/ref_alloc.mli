@@ -1,0 +1,21 @@
+(** Reference wire allocator: the original [Set.Make (Int)] + live-list
+    implementation that [Soctest_tam.Wire_alloc] used before moving to
+    bitsets, preserved verbatim so the auditor can derive wire
+    assignments through an independent code path and compare.
+
+    The two implementations must agree exactly — same (start, core,
+    width) sweep tie-break, same ends-release-before-starts rule, same
+    lowest-free-wire-first greedy, same error payloads. [Audit.run]
+    checks this on every audited schedule, and the fuzz harness in
+    test_check leans on it for ~1k synthetic SOCs. *)
+
+val allocate :
+  Soctest_tam.Schedule.t ->
+  (Soctest_tam.Wire_alloc.allocation list, int * int * int) result
+(** Allocations in sweep order, or [Error (time, core, deficit)] where
+    the set-based greedy runs out of wires — the same triple
+    [Wire_alloc.Capacity_exceeded] carries. *)
+
+val is_disjoint : Soctest_tam.Wire_alloc.allocation list -> bool
+(** The original O(n² · w²) pairwise overlap check, kept as the
+    reference oracle for the event-sweep version. *)

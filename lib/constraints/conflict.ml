@@ -1,6 +1,7 @@
 module Soc_def = Soctest_soc.Soc_def
 module Core_def = Soctest_soc.Core_def
 module Schedule = Soctest_tam.Schedule
+module Bitset = Soctest_tam.Bitset
 module Obs = Soctest_obs.Obs
 
 type running = { core : int; power : int }
@@ -61,6 +62,87 @@ let admissible soc constraints ~completed ~running ~candidate =
         | Some r -> Error (Bist_clash r.core)
         | None -> Ok ())))
 
+(* Everything [admissible] scans lists for — predecessors, exclusion
+   pairs, BIST peers, per-core power — is fixed once the SOC and
+   constraint set are known, so the optimizer builds this context once
+   per solve and the per-candidate check becomes array loads and word
+   ANDs. Core ids are the bit indices (universe [0 .. core_count], bit 0
+   unused), matching the scheduler's 1-based cores. *)
+type ctx = {
+  preds : int array array;
+      (* preds.(j): predecessors of j, in [Constraint_def.predecessors]
+         order (ascending, from the sorted pair list) *)
+  excl : Bitset.t array; (* excl.(j): cores that may not run beside j *)
+  bist : Bitset.t array; (* bist.(j): cores sharing j's BIST engine *)
+  power : int array; (* power.(j): test power of core j *)
+  power_limit : int option;
+}
+
+let context soc constraints =
+  let n = constraints.Constraint_def.core_count in
+  let preds =
+    Array.init (n + 1) (fun j ->
+        if j = 0 then [||]
+        else Array.of_list (Constraint_def.predecessors constraints j))
+  in
+  let excl = Array.init (n + 1) (fun _ -> Bitset.create (n + 1)) in
+  List.iter
+    (fun (a, b) ->
+      Bitset.add excl.(a) b;
+      Bitset.add excl.(b) a)
+    constraints.Constraint_def.concurrency;
+  let bist = Array.init (n + 1) (fun _ -> Bitset.create (n + 1)) in
+  for a = 1 to n do
+    for b = a + 1 to n do
+      if shares_bist soc a b then begin
+        Bitset.add bist.(a) b;
+        Bitset.add bist.(b) a
+      end
+    done
+  done;
+  let power =
+    Array.init (n + 1) (fun j ->
+        if j = 0 then 0 else (Soc_def.core soc j).Core_def.power)
+  in
+  { preds; excl; bist; power;
+    power_limit = constraints.Constraint_def.power_limit }
+
+(* Same checks, same order, same reason payloads as [admissible], but
+   against a maintained running bitset and power total instead of a
+   rebuilt list. [Bitset.first_common] returns the lowest-id running
+   offender, which is what the list scan found too: the optimizer always
+   materialized [running] in ascending core order. The differential
+   tests in test_constraints hold the two implementations together. *)
+let admissible_ctx ctx ~completed ~running ~running_power ~candidate =
+  Obs.incr admissible_counter;
+  let preds = ctx.preds.(candidate) in
+  let rec first_pending k =
+    if k >= Array.length preds then None
+    else if not (completed preds.(k)) then Some preds.(k)
+    else first_pending (k + 1)
+  in
+  match first_pending 0 with
+  | Some p -> Error (Precedence_pending p)
+  | None -> (
+    match Bitset.first_common ctx.excl.(candidate) running with
+    | Some r -> Error (Concurrency_clash r)
+    | None -> (
+      let power_ok =
+        match ctx.power_limit with
+        | None -> Ok ()
+        | Some limit ->
+          let needed = ctx.power.(candidate) in
+          if running_power + needed > limit then
+            Error (Power_exceeded { budget = limit - running_power; needed })
+          else Ok ()
+      in
+      match power_ok with
+      | Error _ as e -> e
+      | Ok () -> (
+        match Bitset.first_common ctx.bist.(candidate) running with
+        | Some r -> Error (Bist_clash r)
+        | None -> Ok ())))
+
 type violation =
   | Capacity of Schedule.violation
   | Precedence_violated of { before : int; after : int }
@@ -94,15 +176,15 @@ let unknown_core_violations soc (sched : Schedule.t) =
    change, so group slices by hand here and report it as a violation. *)
 let width_change_violations (sched : Schedule.t) =
   List.filter_map
-    (fun core ->
+    (fun (core, slices) ->
       let widths =
-        List.map (fun s -> s.Schedule.width) (Schedule.slices_of_core sched core)
+        Array.to_list (Array.map (fun s -> s.Schedule.width) slices)
         |> List.sort_uniq compare
       in
       match widths with
       | [] | [ _ ] -> None
       | widths -> Some (Width_changed { core; widths }))
-    (Schedule.cores sched)
+    (Schedule.index sched)
 
 let pairwise_violations soc constraints (sched : Schedule.t) =
   let slices =

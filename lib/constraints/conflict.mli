@@ -24,6 +24,27 @@ val admissible :
 (** First reason found, checked in the paper's order: precedence,
     concurrency, power, BIST–scan. *)
 
+type ctx
+(** Precomputed per-core constraint context: predecessor arrays,
+    exclusion and BIST-peer bitsets, per-core power. Build once per
+    solve with {!context}; it is immutable and shareable. *)
+
+val context : Soctest_soc.Soc_def.t -> Constraint_def.t -> ctx
+
+val admissible_ctx :
+  ctx ->
+  completed:(int -> bool) ->
+  running:Soctest_tam.Bitset.t ->
+  running_power:int ->
+  candidate:int ->
+  (unit, reason) result
+(** Exactly {!admissible}, but the caller maintains the running set as a
+    bitset over core ids (universe [0 .. core_count]) and the running
+    power total incrementally, so each check is array loads and word
+    ANDs rather than list scans. When several running cores offend, the
+    reported one is the lowest core id — the same answer the list-based
+    check gives on the ascending running lists the scheduler builds. *)
+
 type violation =
   | Capacity of Soctest_tam.Schedule.violation
   | Precedence_violated of { before : int; after : int }

@@ -46,6 +46,24 @@ let search ?(seed = 0x5EEDC0DEL) ?(iterations = 400) ?initial_temperature
   let accepted = ref 0 in
   let temp = ref temperature in
   let performed = ref 0 in
+  (* Per-core Pareto widths that fit the TAM, computed once instead of
+     re-filtered (and [List.nth]-walked) every iteration. The move draw
+     below consumes exactly one [next_int] on exactly the same count as
+     the old list filter did, so seeded runs replay identically. *)
+  let eligible : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let eligible_of core =
+    match Hashtbl.find_opt eligible core with
+    | Some ws -> ws
+    | None ->
+      let ws =
+        Array.of_list
+          (List.filter
+             (fun x -> x <= tam_width)
+             (Pareto.pareto_widths (Optimizer.pareto_of prepared core)))
+      in
+      Hashtbl.add eligible core ws;
+      ws
+  in
   let i = ref 0 in
   while !i < iterations && not (Budget.exhausted budget) do
     incr i;
@@ -53,16 +71,23 @@ let search ?(seed = 0x5EEDC0DEL) ?(iterations = 400) ?initial_temperature
     Budget.note_eval budget;
     let k = Synth.next_int rng n in
     let core, w = widths.(k) in
-    let pareto = Optimizer.pareto_of prepared core in
-    let candidates =
-      List.filter
-        (fun x -> x <> w && x <= tam_width)
-        (Pareto.pareto_widths pareto)
-    in
-    (match candidates with
-    | [] -> ()
+    let ws = eligible_of core in
+    let has_w = Array.exists (fun x -> x = w) ws in
+    let m = Array.length ws - if has_w then 1 else 0 in
+    (match m with
+    | 0 -> ()
     | _ ->
-      let w' = List.nth candidates (Synth.next_int rng (List.length candidates)) in
+      (* index into [ws] with the current width skipped — the same
+         candidate order the filtered list had *)
+      let j = Synth.next_int rng m in
+      let w' =
+        let rec pick idx j =
+          if ws.(idx) = w then pick (idx + 1) j
+          else if j = 0 then ws.(idx)
+          else pick (idx + 1) (j - 1)
+        in
+        pick 0 j
+      in
       widths.(k) <- (core, w');
       (match eval () with
       | candidate ->

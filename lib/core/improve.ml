@@ -40,12 +40,22 @@ let polish ?(max_rounds = 10) ?(budget = Budget.unlimited)
   let widths = ref seed.Optimizer.widths in
   let rounds = ref 0 in
   let improved = ref true in
+  (* the neighbour pair of a (core, width) point is fixed for the whole
+     polish; cache it across rounds, which revisit the same points *)
+  let neighbour_cache : (int * int, int list) Hashtbl.t = Hashtbl.create 32 in
+  let neighbours_of core w =
+    match Hashtbl.find_opt neighbour_cache (core, w) with
+    | Some ns -> ns
+    | None ->
+      let ns = neighbours (Optimizer.pareto_of prepared core) ~tam_width w in
+      Hashtbl.add neighbour_cache (core, w) ns;
+      ns
+  in
   while !improved && !rounds < max_rounds && not (Budget.exhausted budget) do
     improved := false;
     incr rounds;
     List.iter
       (fun (core, w) ->
-        let pareto = Optimizer.pareto_of prepared core in
         List.iter
           (fun w' ->
             if not (Budget.exhausted budget) then
@@ -63,7 +73,7 @@ let polish ?(max_rounds = 10) ?(budget = Budget.unlimited)
                   improved := true
                 end
               | exception Optimizer.Infeasible _ -> ())
-          (neighbours pareto ~tam_width w))
+          (neighbours_of core w))
       !widths
   done;
   {

@@ -136,16 +136,18 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
                  prefs))));
   let core_state id = Sched_state.core st id in
   let completed id = (core_state id).Sched_state.complete in
-  let running () =
-    List.map
-      (fun id ->
-        { Conflict.core = id; power = (Soc_def.core soc id).Core_def.power })
-      (Sched_state.running_cores st)
+  (* Constraint context and per-core power are fixed for the whole solve;
+     the running set lives in [st.running]/[st.running_power], maintained
+     by [assign]/[update], so each admissibility check is scan-free. *)
+  let ctx = Conflict.context soc constraints in
+  let core_power =
+    Array.init (n + 1) (fun id ->
+        if id = 0 then 0 else (Soc_def.core soc id).Core_def.power)
   in
   let admissible id =
     match
-      Conflict.admissible soc constraints ~completed ~running:(running ())
-        ~candidate:id
+      Conflict.admissible_ctx ctx ~completed ~running:st.Sched_state.running
+        ~running_power:st.Sched_state.running_power ~candidate:id
     with
     | Ok () -> true
     | Error _ -> false
@@ -163,6 +165,9 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
     assert (width >= 1 && width <= st.Sched_state.w_avail);
     c.Sched_state.w_assigned <- width;
     c.Sched_state.scheduled <- true;
+    Soctest_tam.Bitset.add st.Sched_state.running id;
+    st.Sched_state.running_power <-
+      st.Sched_state.running_power + core_power.(id);
     st.Sched_state.w_avail <- st.Sched_state.w_avail - width;
     if gap_resume then begin
       Obs.incr preemptions_counter;
@@ -191,20 +196,13 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
           st.Sched_state.w_avail)
   in
 
-  let fold_candidates f =
-    let best = ref None in
-    for id = 1 to n do
-      let c = core_state id in
-      if (not c.Sched_state.complete) && not c.Sched_state.scheduled then
-        match f id c with
-        | None -> ()
-        | Some key -> (
-          match !best with
-          | Some (_, best_key) when best_key >= key -> ()
-          | _ -> best := Some (id, key))
-    done;
-    Option.map fst !best
-  in
+  (* Candidate scans below use integer sentinels ([best_id = 0] = none
+     yet) instead of option-folding closures: the loops run once per
+     scheduling step per grid point and used to allocate a [Some key]
+     per considered core. A strictly greater key displaces the incumbent;
+     ties keep the lowest core id. [admissible] is always the last
+     conjunct so the constraint machinery runs only for cores that pass
+     the cheap width/state tests. *)
 
   (* Priority 1: begun cores out of preemption budget — must continue.
      Such a core is descheduled only at Update boundaries and rescheduled
@@ -212,23 +210,29 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
      the [end_time = curr_time] guard makes that an enforced invariant
      rather than an assumption. *)
   let try_priority1 () =
-    let pick =
-      fold_candidates (fun id c ->
-          if
-            c.Sched_state.begun
-            && c.Sched_state.preempts >= c.Sched_state.max_preempts
-            && c.Sched_state.end_time = st.Sched_state.curr_time
-            && c.Sched_state.w_assigned <= st.Sched_state.w_avail
-            && admissible id
-          then Some c.Sched_state.time_remaining
-          else None)
-    in
-    match pick with
-    | None -> false
-    | Some id ->
-      assign id ~width:(core_state id).Sched_state.w_assigned
+    let best_id = ref 0 and best_key = ref min_int in
+    for id = 1 to n do
+      let c = core_state id in
+      if
+        (not c.Sched_state.complete)
+        && (not c.Sched_state.scheduled)
+        && c.Sched_state.begun
+        && c.Sched_state.preempts >= c.Sched_state.max_preempts
+        && c.Sched_state.end_time = st.Sched_state.curr_time
+        && c.Sched_state.w_assigned <= st.Sched_state.w_avail
+        && c.Sched_state.time_remaining > !best_key
+        && admissible id
+      then begin
+        best_id := id;
+        best_key := c.Sched_state.time_remaining
+      end
+    done;
+    if !best_id = 0 then false
+    else begin
+      assign !best_id ~width:(core_state !best_id).Sched_state.w_assigned
         ~gap_resume:false;
       true
+    end
   in
 
   (* Priorities 2 and 3 (Fig. 4 lines 7–12): after the protected cores,
@@ -239,23 +243,31 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
      the contention and is left without wires is thereby preempted; it
      resumes later, charged [si + so] extra cycles. *)
   let try_contend () =
-    let pick =
-      fold_candidates (fun id c ->
-          let gap = c.Sched_state.end_time < st.Sched_state.curr_time in
-          let width, budget_ok =
-            if c.Sched_state.begun then
-              ( c.Sched_state.w_assigned,
-                (not gap)
-                || c.Sched_state.preempts < c.Sched_state.max_preempts )
-            else (c.Sched_state.w_pref, true)
-          in
-          if width <= st.Sched_state.w_avail && budget_ok && admissible id
-          then Some c.Sched_state.time_remaining
-          else None)
-    in
-    match pick with
-    | None -> false
-    | Some id ->
+    let best_id = ref 0 and best_key = ref min_int in
+    for id = 1 to n do
+      let c = core_state id in
+      if (not c.Sched_state.complete) && not c.Sched_state.scheduled then begin
+        let gap = c.Sched_state.end_time < st.Sched_state.curr_time in
+        let width, budget_ok =
+          if c.Sched_state.begun then
+            ( c.Sched_state.w_assigned,
+              (not gap) || c.Sched_state.preempts < c.Sched_state.max_preempts
+            )
+          else (c.Sched_state.w_pref, true)
+        in
+        if
+          width <= st.Sched_state.w_avail && budget_ok
+          && c.Sched_state.time_remaining > !best_key
+          && admissible id
+        then begin
+          best_id := id;
+          best_key := c.Sched_state.time_remaining
+        end
+      end
+    done;
+    if !best_id = 0 then false
+    else begin
+      let id = !best_id in
       let c = core_state id in
       if c.Sched_state.begun then begin
         let gap = c.Sched_state.end_time < st.Sched_state.curr_time in
@@ -263,27 +275,33 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
       end
       else assign id ~width:c.Sched_state.w_pref ~gap_resume:false;
       true
+    end
   in
 
   (* Idle-time rectangle insertion (Fig. 4 lines 13–14): an unstarted core
      whose preferred width is within [insert_slack] wires of what is left
      runs on the leftover wires. Smallest preferred width first. *)
   let try_insert () =
-    let pick =
-      fold_candidates (fun id c ->
-          if
-            (not c.Sched_state.begun)
-            && c.Sched_state.w_pref
-               <= st.Sched_state.w_avail + params.insert_slack
-            && admissible id
-          then Some (-c.Sched_state.w_pref)
-          else None)
-    in
-    match pick with
-    | None -> false
-    | Some id ->
-      assign id ~width:st.Sched_state.w_avail ~gap_resume:false;
+    let best_id = ref 0 and best_key = ref min_int in
+    for id = 1 to n do
+      let c = core_state id in
+      if
+        (not c.Sched_state.complete)
+        && (not c.Sched_state.scheduled)
+        && (not c.Sched_state.begun)
+        && c.Sched_state.w_pref <= st.Sched_state.w_avail + params.insert_slack
+        && -c.Sched_state.w_pref > !best_key
+        && admissible id
+      then begin
+        best_id := id;
+        best_key := -c.Sched_state.w_pref
+      end
+    done;
+    if !best_id = 0 then false
+    else begin
+      assign !best_id ~width:st.Sched_state.w_avail ~gap_resume:false;
       true
+    end
   in
 
   (* Width increase to fill idle wires (Fig. 4 lines 15–16): widen the
@@ -329,33 +347,37 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
   (* Update (Fig. 8): advance to the earliest completion among running
      tests, deschedule everybody, credit elapsed time. *)
   let update () =
-    let ids = Sched_state.running_cores st in
-    if ids = [] then
+    (* two direct passes over the core array instead of materializing a
+       running-id list: find the earliest completion, then retire *)
+    let dt = ref max_int in
+    for id = 1 to n do
+      let c = core_state id in
+      if c.Sched_state.scheduled && c.Sched_state.time_remaining < !dt then
+        dt := c.Sched_state.time_remaining
+    done;
+    if !dt = max_int then
       raise
         (Infeasible
            (Printf.sprintf
               "no schedulable core at t=%d (check power limit vs core \
                powers and precedence/concurrency structure)"
               st.Sched_state.curr_time));
-    let dt =
-      List.fold_left
-        (fun acc id ->
-          min acc (core_state id).Sched_state.time_remaining)
-        max_int ids
-    in
-    let new_time = st.Sched_state.curr_time + dt in
-    List.iter
-      (fun id ->
-        let c = core_state id in
+    let new_time = st.Sched_state.curr_time + !dt in
+    for id = 1 to n do
+      let c = core_state id in
+      if c.Sched_state.scheduled then begin
         Sched_state.record_slice st id ~stop:new_time;
         c.Sched_state.scheduled <- false;
         c.Sched_state.end_time <- new_time;
-        c.Sched_state.time_remaining <- c.Sched_state.time_remaining - dt;
+        c.Sched_state.time_remaining <- c.Sched_state.time_remaining - !dt;
         if c.Sched_state.time_remaining = 0 then begin
           c.Sched_state.complete <- true;
           st.Sched_state.remaining <- st.Sched_state.remaining - 1
-        end)
-      ids;
+        end
+      end
+    done;
+    Soctest_tam.Bitset.clear st.Sched_state.running;
+    st.Sched_state.running_power <- 0;
     st.Sched_state.curr_time <- new_time;
     st.Sched_state.w_avail <- tam_width;
     Log.debug (fun m ->
@@ -381,19 +403,22 @@ let run ?(overrides = []) prepared ~tam_width ~constraints ~params =
   | v :: _ ->
     Format.kasprintf failwith "Optimizer bug: invalid schedule (%a)"
       Conflict.pp_violation v);
+  (* one pass over the per-core index; validation above has already
+     rejected width changes, so the first slice's width is the core's *)
+  let by_core = Schedule.index schedule in
   let widths =
-    List.filter_map
-      (fun id ->
-        Option.map (fun w -> (id, w)) (Schedule.width_of_core schedule id))
-      (Schedule.cores schedule)
+    List.map (fun (id, ss) -> (id, ss.(0).Schedule.width)) by_core
   in
   let preemptions =
     List.filter_map
-      (fun id ->
-        match Schedule.preemptions schedule id with
-        | 0 -> None
-        | p -> Some (id, p))
-      (Schedule.cores schedule)
+      (fun (id, ss) ->
+        let gaps = ref 0 and prev_stop = ref ss.(0).Schedule.stop in
+        for k = 1 to Array.length ss - 1 do
+          if ss.(k).Schedule.start > !prev_stop then incr gaps;
+          prev_stop := max !prev_stop ss.(k).Schedule.stop
+        done;
+        if !gaps = 0 then None else Some (id, !gaps))
+      by_core
   in
   {
     schedule;

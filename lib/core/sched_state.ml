@@ -1,4 +1,5 @@
 module Schedule = Soctest_tam.Schedule
+module Bitset = Soctest_tam.Bitset
 
 type core_state = {
   mutable w_pref : int;
@@ -17,6 +18,8 @@ type core_state = {
 type t = {
   tam_width : int;
   cores : core_state array;
+  running : Bitset.t;
+  mutable running_power : int;
   mutable slices : Schedule.slice list;
   mutable curr_time : int;
   mutable w_avail : int;
@@ -47,6 +50,8 @@ let create ~tam_width ~prefs ~max_preempts =
   {
     tam_width;
     cores;
+    running = Bitset.create (Array.length cores + 1);
+    running_power = 0;
     slices = [];
     curr_time = 0;
     w_avail = tam_width;

@@ -19,6 +19,13 @@ type core_state = {
 type t = {
   tam_width : int;
   cores : core_state array;  (** index [core_id - 1] *)
+  running : Soctest_tam.Bitset.t;
+      (** scheduled cores as a bitset over ids [1 .. n] (bit 0 unused),
+          kept in lockstep with the [scheduled] flags by the optimizer so
+          admissibility checks need no per-call list build *)
+  mutable running_power : int;
+      (** total test power of the scheduled cores, maintained
+          incrementally alongside [running] *)
   mutable slices : Soctest_tam.Schedule.slice list;
   mutable curr_time : int;
   mutable w_avail : int;

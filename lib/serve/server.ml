@@ -90,7 +90,19 @@ let bad_request_c = Obs.counter "serve.bad_request"
 let completed_c = Obs.counter "serve.completed"
 let deadline_c = Obs.counter "serve.deadline_exceeded"
 let inflight_g = Obs.gauge "serve.inflight"
-let latency_h = Obs.histogram "serve.latency_ms"
+
+(* Latency buckets much finer than [Obs.default_edges]: the default
+   decade-ish edges put every handler between 10 and 50 ms into one
+   bucket, so server-side percentile estimates degenerated to a single
+   edge value (BENCH_8 reported p50 = p99 = 50.000). Roughly 1.5x steps
+   across the 1 ms – 5 s range keep within-bucket interpolation honest. *)
+let latency_edges =
+  [|
+    1.; 2.; 3.; 5.; 7.5; 10.; 15.; 20.; 30.; 40.; 50.; 75.; 100.; 150.;
+    200.; 300.; 500.; 750.; 1000.; 2000.; 5000.;
+  |]
+
+let latency_h = Obs.histogram ~edges:latency_edges "serve.latency_ms"
 let conns_g = Obs.gauge "serve.connections"
 let conn_accepted_c = Obs.counter "serve.conn_accepted"
 let conn_rejected_c = Obs.counter "serve.conn_rejected"
@@ -104,7 +116,8 @@ let requests_c ~endpoint ~status =
        (string_of_int status))
 
 let request_ms_h ~endpoint =
-  Obs.histogram (Printf.sprintf "serve.request_ms{endpoint=%S}" endpoint)
+  Obs.histogram ~edges:latency_edges
+    (Printf.sprintf "serve.request_ms{endpoint=%S}" endpoint)
 
 let create ?engine cfg =
   (* metrics-only: embedding [Server] must not silently record nothing,
@@ -614,16 +627,25 @@ let release_slot t =
 
 (* Retry-After for a full admission window: how long until a slot
    should free up, from the current backlog and the recent mean
-   handler time spread over the workers. Clamped to [1, 60] s; before
-   any request has completed the estimate is the floor. *)
+   handler time spread over the workers. Clamped to [1, 60] s. Before
+   any request has completed, the mean is undefined (0/0); rather than
+   collapsing the whole estimate to the floor — a cold server that is
+   already saturated is exactly when honest backpressure matters — we
+   assume a 250 ms handler so the estimate still scales with backlog.
+   The final clamp goes through [Float.is_nan] so no arithmetic
+   surprise can reach [int_of_float nan] (which is 0, i.e. a
+   "Retry-After: 0" header telling clients to hammer us). *)
+let cold_start_mean_ms = 250.
+
 let retry_after_s t =
   let n = Atomic.get t.handled_n in
   let mean_ms =
-    if n = 0 then 0. else float_of_int (Atomic.get t.handled_ms) /. float_of_int n
+    if n = 0 then cold_start_mean_ms
+    else float_of_int (Atomic.get t.handled_ms) /. float_of_int n
   in
   let backlog = float_of_int (Atomic.get t.inflight) in
   let s = ceil (backlog *. mean_ms /. float_of_int t.cfg.workers /. 1000.) in
-  int_of_float (Float.min 60. (Float.max 1. s))
+  if Float.is_nan s then 1 else int_of_float (Float.min 60. (Float.max 1. s))
 
 (* Run an admitted handler on a worker domain: ambient request id,
    queue-wait phase, handler-time sample for {!retry_after_s}, and the

@@ -1,0 +1,148 @@
+(* Int-array words, [Sys.int_size] bits per word (63 on 64-bit). The
+   word count is fixed at [create]; every operation after that is
+   allocation-free except [to_list] and the option-returning queries. *)
+
+let bits = Sys.int_size
+
+type t = { len : int; words : int array }
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create: negative length";
+  { len; words = Array.make ((len + bits - 1) / bits) 0 }
+
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then
+    invalid_arg
+      (Printf.sprintf "Bitset: index %d outside 0..%d" i (t.len - 1))
+
+let mem t i =
+  check t i;
+  t.words.(i / bits) land (1 lsl (i mod bits)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits))
+
+let remove t i =
+  check t i;
+  let w = i / bits in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+(* mask of the valid bits in the last (partial) word *)
+let tail_mask t =
+  let r = t.len mod bits in
+  if r = 0 then -1 else (1 lsl r) - 1
+
+let fill t =
+  let n = Array.length t.words in
+  if n > 0 then begin
+    Array.fill t.words 0 n (-1);
+    t.words.(n - 1) <- t.words.(n - 1) land tail_mask t
+  end
+
+let full len =
+  let t = create len in
+  fill t;
+  t
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+(* Kernighan popcount: one iteration per set bit, which is at most the
+   TAM width — cheaper than a SWAR ladder at these sizes and portable
+   across 32/64-bit ints. *)
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t =
+  Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+(* count trailing zeros of a non-zero word, branchy binary descent *)
+let ctz w =
+  let w = ref w and n = ref 0 in
+  if !w land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    w := !w lsr 32
+  end;
+  if !w land 0xFFFF = 0 then begin
+    n := !n + 16;
+    w := !w lsr 16
+  end;
+  if !w land 0xFF = 0 then begin
+    n := !n + 8;
+    w := !w lsr 8
+  end;
+  if !w land 0xF = 0 then begin
+    n := !n + 4;
+    w := !w lsr 4
+  end;
+  if !w land 0x3 = 0 then begin
+    n := !n + 2;
+    w := !w lsr 2
+  end;
+  if !w land 0x1 = 0 then incr n;
+  !n
+
+let min_elt_opt t =
+  let n = Array.length t.words in
+  let rec go k =
+    if k >= n then None
+    else if t.words.(k) = 0 then go (k + 1)
+    else Some ((k * bits) + ctz t.words.(k))
+  in
+  go 0
+
+let check_same a b =
+  if a.len <> b.len then
+    invalid_arg
+      (Printf.sprintf "Bitset: universe mismatch (%d vs %d)" a.len b.len)
+
+let first_common a b =
+  check_same a b;
+  let n = Array.length a.words in
+  let rec go k =
+    if k >= n then None
+    else
+      let w = a.words.(k) land b.words.(k) in
+      if w = 0 then go (k + 1) else Some ((k * bits) + ctz w)
+  in
+  go 0
+
+let disjoint a b =
+  check_same a b;
+  let n = Array.length a.words in
+  let rec go k =
+    k >= n || (a.words.(k) land b.words.(k) = 0 && go (k + 1))
+  in
+  go 0
+
+let union_into ~into s =
+  check_same into s;
+  for k = 0 to Array.length into.words - 1 do
+    into.words.(k) <- into.words.(k) lor s.words.(k)
+  done
+
+let copy t = { len = t.len; words = Array.copy t.words }
+
+let iter f t =
+  Array.iteri
+    (fun k word ->
+      let w = ref word in
+      while !w <> 0 do
+        let i = (k * bits) + ctz !w in
+        f i;
+        w := !w land (!w - 1)
+      done)
+    t.words
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let equal a b = a.len = b.len && a.words = b.words

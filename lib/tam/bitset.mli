@@ -1,0 +1,68 @@
+(** Fixed-size mutable bitsets for hot-path occupancy queries.
+
+    The scheduler's inner loops ask the same three questions millions of
+    times per grid sweep: is this wire (or core) in the set, what is the
+    lowest free index, and do two sets intersect. [Set.Make (Int)]
+    answers all three through balanced-tree nodes allocated on every
+    [add]/[remove]; a fixed-size bitset answers them with word-sized
+    loads, shifts and popcounts, allocating nothing after [create].
+
+    Indices live in [0 .. length - 1]. All mutation is in place; use
+    {!copy} where a snapshot is needed. Not thread-safe — each solver
+    domain owns its sets, exactly like the rest of the scheduler state. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val full : int -> t
+(** [full n] is the set containing all of [0 .. n-1]. *)
+
+val length : t -> int
+(** Universe size [n], not the number of members (that is {!cardinal}). *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+(** @raise Invalid_argument when the index is outside [0 .. n-1]. *)
+
+val clear : t -> unit
+(** Remove every member (universe size is unchanged). *)
+
+val fill : t -> unit
+(** Add every member of the universe. *)
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Population count, summed word-wise. *)
+
+val min_elt_opt : t -> int option
+(** Lowest member, or [None] when empty — the bitset spelling of
+    [Int_set.min_elt_opt], and the find-first-free query when the set
+    tracks {e free} wires. *)
+
+val first_common : t -> t -> int option
+(** Lowest index present in both sets ([None] when disjoint). The wire
+    and core universes are small, so this is a handful of word ANDs.
+    @raise Invalid_argument if the universes differ in size. *)
+
+val disjoint : t -> t -> bool
+(** [disjoint a b = (first_common a b = None)] without the option. *)
+
+val union_into : into:t -> t -> unit
+(** [union_into ~into s] adds every member of [s] to [into].
+    @raise Invalid_argument if the universes differ in size. *)
+
+val copy : t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending index order. *)
+
+val to_list : t -> int list
+(** Members, ascending. *)
+
+val equal : t -> t -> bool
+(** Same universe size and same members. *)

@@ -35,21 +35,27 @@ let occupancy_profile (sched : Schedule.t) =
     times
 
 let compute sched =
+  (* single pass over the per-core index instead of four whole-schedule
+     rescans per core; raises like [Schedule.width_of_core] does if a
+     core's slices disagree on width *)
   let core_stats =
     List.map
-      (fun core ->
-        let slices = Schedule.slices_of_core sched core in
-        let busy =
-          List.fold_left
-            (fun a (s : Schedule.slice) -> a + (s.Schedule.stop - s.Schedule.start))
-            0 slices
-        in
-        let width = Option.value ~default:0 (Schedule.width_of_core sched core) in
-        let start = Option.value ~default:0 (Schedule.core_start sched core) in
-        let finish = Option.value ~default:0 (Schedule.core_finish sched core) in
-        { core; width; busy; span = finish - start;
-          wire_cycles = width * busy })
-      (Schedule.cores sched)
+      (fun (core, slices) ->
+        let width = slices.(0).Schedule.width in
+        let busy = ref 0 and finish = ref 0 in
+        Array.iter
+          (fun (s : Schedule.slice) ->
+            if s.Schedule.width <> width then
+              invalid_arg
+                (Printf.sprintf "Schedule.width_of_core: core %d changes width"
+                   core);
+            busy := !busy + (s.Schedule.stop - s.Schedule.start);
+            if s.Schedule.stop > !finish then finish := s.Schedule.stop)
+          slices;
+        let start = slices.(0).Schedule.start in
+        { core; width; busy = !busy; span = !finish - start;
+          wire_cycles = width * !busy })
+      (Schedule.index sched)
   in
   {
     makespan = Schedule.makespan sched;

@@ -39,6 +39,28 @@ let cores t =
   List.map (fun s -> s.core) t.slices
   |> List.sort_uniq compare
 
+(* One pass over the (start, core)-sorted slice list groups each core's
+   slices in start order; the result replaces the per-core
+   [List.filter] that stats/audit/post-processing used to repeat once
+   per core (O(cores × slices)). *)
+let index t =
+  let by_core : (int, slice list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt by_core s.core with
+      | Some cell -> cell := s :: !cell
+      | None ->
+        Hashtbl.add by_core s.core (ref [ s ]);
+        order := s.core :: !order)
+    t.slices;
+  List.rev_map
+    (fun core ->
+      let cell = Hashtbl.find by_core core in
+      (core, Array.of_list (List.rev !cell)))
+    !order
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 (* [t.slices] is sorted by (start, core) by [make], and [t] is private, so
    the filtered list is sorted by start. [preemptions] and [core_finish]
    depend on that order; re-verify it here so a future constructor that

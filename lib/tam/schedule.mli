@@ -35,6 +35,13 @@ val utilization : t -> float
 val cores : t -> int list
 (** Distinct core ids appearing in the schedule, ascending. *)
 
+val index : t -> (int * slice array) list
+(** Per-core view built in one pass: [(core, slices)] pairs with cores
+    ascending and each core's slices ascending by start time (inherited
+    from the constructor's (start, core) sort). Use this when visiting
+    every core — it avoids rescanning the whole slice list per core as
+    repeated {!slices_of_core} calls would. *)
+
 val slices_of_core : t -> int -> slice list
 (** Ascending by start time. This ordering is a guarantee, not a hope:
     [make] sorts and [t] is private, and this accessor re-verifies the

@@ -18,8 +18,6 @@ let () =
            pp_capacity_exceeded (time, core, deficit))
     | _ -> None)
 
-module Int_set = Set.Make (Int)
-
 let slices_counter = Obs.counter "tam.wire_alloc_slices"
 
 (* Start-time sweep order with an explicit tie-break: simultaneous starts
@@ -35,49 +33,94 @@ let sweep_order (a : Schedule.slice) (b : Schedule.slice) =
     | c -> c)
   | c -> c
 
+(* The free set is a bitset over wire indices; the running slices live in
+   a binary min-heap keyed by stop time so each sweep step releases only
+   the slices that actually expire (the old Int_set implementation, kept
+   as the auditor's independent reference in [Soctest_check.Ref_alloc],
+   re-partitioned a live list on every step). Release order within a
+   timestamp is irrelevant: returning wires to the free set commutes. *)
 let allocate (sched : Schedule.t) =
   Obs.with_span ~cat:"tam" "wire_alloc.allocate" @@ fun () ->
-  Obs.add slices_counter (List.length sched.Schedule.slices);
-  let all_wires =
-    Int_set.of_list (List.init sched.Schedule.tam_width Fun.id)
+  let slices = Array.of_list sched.Schedule.slices in
+  let n = Array.length slices in
+  Obs.add slices_counter n;
+  Array.sort sweep_order slices;
+  let free = Bitset.full sched.Schedule.tam_width in
+  (* 1-based heap arrays; [heap_wires] keeps each live slice's wires to
+     re-add on release *)
+  let heap_stop = Array.make (n + 1) 0 in
+  let heap_wires = Array.make (n + 1) [] in
+  let heap_n = ref 0 in
+  let heap_push stop wires =
+    incr heap_n;
+    let k = ref !heap_n in
+    heap_stop.(!k) <- stop;
+    heap_wires.(!k) <- wires;
+    while !k > 1 && heap_stop.(!k / 2) > heap_stop.(!k) do
+      let p = !k / 2 in
+      let ts = heap_stop.(p) and tw = heap_wires.(p) in
+      heap_stop.(p) <- heap_stop.(!k);
+      heap_wires.(p) <- heap_wires.(!k);
+      heap_stop.(!k) <- ts;
+      heap_wires.(!k) <- tw;
+      k := p
+    done
   in
-  (* Sweep boundaries in time order; ends release wires before starts
-     claim them at identical timestamps. *)
-  let starts = List.sort sweep_order sched.Schedule.slices in
-  let free = ref all_wires in
-  let live = ref [] (* (stop, wires) of running slices *) in
+  let heap_pop () =
+    heap_stop.(1) <- heap_stop.(!heap_n);
+    heap_wires.(1) <- heap_wires.(!heap_n);
+    heap_wires.(!heap_n) <- [];
+    decr heap_n;
+    let k = ref 1 in
+    let continue = ref true in
+    while !continue do
+      let l = 2 * !k and r = (2 * !k) + 1 in
+      let smallest = ref !k in
+      if l <= !heap_n && heap_stop.(l) < heap_stop.(!smallest) then
+        smallest := l;
+      if r <= !heap_n && heap_stop.(r) < heap_stop.(!smallest) then
+        smallest := r;
+      if !smallest = !k then continue := false
+      else begin
+        let ts = heap_stop.(!smallest) and tw = heap_wires.(!smallest) in
+        heap_stop.(!smallest) <- heap_stop.(!k);
+        heap_wires.(!smallest) <- heap_wires.(!k);
+        heap_stop.(!k) <- ts;
+        heap_wires.(!k) <- tw;
+        k := !smallest
+      end
+    done
+  in
+  (* ends release wires before starts claim them at identical timestamps *)
   let release_until time =
-    let expired, alive =
-      List.partition (fun (stop, _) -> stop <= time) !live
-    in
-    List.iter
-      (fun (_, wires) ->
-        free := List.fold_left (fun f w -> Int_set.add w f) !free wires)
-      expired;
-    live := alive
+    while !heap_n > 0 && heap_stop.(1) <= time do
+      List.iter (Bitset.add free) heap_wires.(1);
+      heap_pop ()
+    done
   in
-  let take ~time ~core n =
+  let take ~time ~core k =
+    (* k lowest free wires, ascending — the greedy order the reference
+       implementation realizes through [Int_set.min_elt_opt] *)
     let rec loop k acc =
       if k = 0 then List.rev acc
       else
-        match Int_set.min_elt_opt !free with
+        match Bitset.min_elt_opt free with
         | None -> raise (Capacity_exceeded { time; core; deficit = k })
         | Some w ->
-          free := Int_set.remove w !free;
+          Bitset.remove free w;
           loop (k - 1) (w :: acc)
     in
-    loop n []
+    loop k []
   in
-  List.map
-    (fun (slice : Schedule.slice) ->
+  List.init n (fun i ->
+      let slice = slices.(i) in
       release_until slice.Schedule.start;
       let wires =
         take ~time:slice.Schedule.start ~core:slice.Schedule.core
           slice.Schedule.width
       in
-      live := (slice.Schedule.stop, wires) :: !live;
+      heap_push slice.Schedule.stop wires;
       { slice; wires })
-    starts
 
 let allocate_result sched =
   match allocate sched with
@@ -85,18 +128,69 @@ let allocate_result sched =
   | exception Capacity_exceeded { time; core; deficit } ->
     Error (time, core, deficit)
 
+(* Event sweep over a running occupancy bitset: sort (time, kind, idx)
+   boundaries, release each slice's wires at its stop before any claim at
+   the same instant (slices are half-open, so touching intervals share
+   wires legally), and flag the first wire claimed while occupied. Wires
+   are offset by the minimum index so arbitrary hand-built allocations
+   (negative or sparse wire ids, as property tests construct) stay in
+   range. Replaces an O(n² · w²) [List.mem] pairwise scan that dominated
+   audit time on large p3 sweeps. *)
 let is_disjoint allocations =
-  let overlaps (a : Schedule.slice) (b : Schedule.slice) =
-    a.Schedule.start < b.Schedule.stop && b.Schedule.start < a.Schedule.stop
+  (* empty slices ([stop <= start]) overlap nothing by definition *)
+  let live =
+    List.filter
+      (fun a -> a.slice.Schedule.start < a.slice.Schedule.stop)
+      allocations
   in
-  let rec check = function
-    | [] -> true
-    | a :: rest ->
-      List.for_all
-        (fun b ->
-          (not (overlaps a.slice b.slice))
-          || not (List.exists (fun w -> List.mem w b.wires) a.wires))
-        rest
-      && check rest
-  in
-  check allocations
+  match live with
+  | [] -> true
+  | _ ->
+    let allocs = Array.of_list live in
+    let n = Array.length allocs in
+    let lo = ref max_int and hi = ref min_int in
+    Array.iter
+      (fun a ->
+        List.iter
+          (fun w ->
+            if w < !lo then lo := w;
+            if w > !hi then hi := w)
+          a.wires)
+      allocs;
+    if !hi < !lo then true (* no wires anywhere *)
+    else begin
+      let base = !lo in
+      let occupied = Bitset.create (!hi - base + 1) in
+      (* kind 0 = release, 1 = claim: releases sort first per timestamp *)
+      let events = Array.init (2 * n) (fun k -> k) in
+      let time_of e =
+        let a = allocs.(e / 2) in
+        if e land 1 = 0 then a.slice.Schedule.stop
+        else a.slice.Schedule.start
+      in
+      let kind_of e = e land 1 in
+      Array.sort
+        (fun e1 e2 ->
+          match compare (time_of e1) (time_of e2) with
+          | 0 -> compare (kind_of e1) (kind_of e2)
+          | c -> c)
+        events;
+      let clash = ref false in
+      Array.iter
+        (fun e ->
+          if not !clash then
+            let a = allocs.(e / 2) in
+            if kind_of e = 0 then
+              List.iter (fun w -> Bitset.remove occupied (w - base)) a.wires
+            else begin
+              (* check all, then claim all: a duplicate wire inside one
+                 slice's own list is not a cross-slice clash *)
+              List.iter
+                (fun w -> if Bitset.mem occupied (w - base) then clash := true)
+                a.wires;
+              if not !clash then
+                List.iter (fun w -> Bitset.add occupied (w - base)) a.wires
+            end)
+        events;
+      not !clash
+    end

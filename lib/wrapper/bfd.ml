@@ -33,17 +33,44 @@ let max_load a = Array.fold_left max 0 a.loads
 let min_load a =
   Array.fold_left min max_int a.loads
 
+(* Closed-form water-fill, replacing a unit-at-a-time loop that cost
+   O(units x bins) and dominated Pareto preparation (two calls per
+   candidate width per core, with [units] in the hundreds). The loop's
+   outcome is fully determined: it raises the lowest bins to a common
+   level, then hands the leftover units to level bins in ascending index
+   order (ties in [least_loaded] resolve to the lowest index). So find
+   the largest level whose fill cost stays within [units] by binary
+   search and distribute directly — bit-identical to the loop, which
+   test_bfd checks by property. *)
 let spread_units ~loads ~units =
   if units < 0 then invalid_arg "Bfd.spread_units: negative units";
   let bins = Array.length loads in
   if bins = 0 then invalid_arg "Bfd.spread_units: no bins";
-  let current = Array.copy loads in
   let given = Array.make bins 0 in
-  for _ = 1 to units do
-    let bin = least_loaded current in
-    current.(bin) <- current.(bin) + 1;
-    given.(bin) <- given.(bin) + 1
-  done;
+  if units > 0 then begin
+    let fill level =
+      Array.fold_left (fun acc v -> acc + max 0 (level - v)) 0 loads
+    in
+    let min_load = Array.fold_left min loads.(0) loads in
+    (* largest level with fill level <= units; fill is monotone *)
+    let lo = ref min_load and hi = ref (min_load + units) in
+    while !lo < !hi do
+      let mid = !lo + ((!hi - !lo + 1) / 2) in
+      if fill mid <= units then lo := mid else hi := mid - 1
+    done;
+    let level = !lo in
+    let spare = ref (units - fill level) in
+    Array.iteri
+      (fun i v -> if v < level then given.(i) <- level - v)
+      loads;
+    Array.iteri
+      (fun i v ->
+        if !spare > 0 && v <= level then begin
+          given.(i) <- given.(i) + 1;
+          decr spare
+        end)
+      loads
+  end;
   given
 
 (* branch and bound: place items (largest first) into bins; prune when

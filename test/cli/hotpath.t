@@ -1,0 +1,21 @@
+The hot-path smoke: the bitset wire-occupancy and flat-slice scheduler
+core must solve d695 exactly as the set-based code they replaced. The
+auditor cross-checks every wire assignment against its independent
+Int_set reference allocator (lib/check/ref_alloc.ml), so a clean audit
+here certifies both paths agree slice for slice:
+
+  $ soctest schedule --soc d695 -w 32 --save sched.txt > /dev/null
+  $ soctest check --soc d695 sched.txt
+  sched.txt: audit clean for d695 (W=32, makespan 24744, 16 checks over 15 slices)
+
+The observability summary must carry the hot-path span and counter that
+bench/regression.sh parses into the allocation-delta row. Timings and
+allocation figures vary run to run, so only the deterministic columns
+are pinned — the span's category/name/count and the admissibility
+counter (a fixed function of the deterministic solve):
+
+  $ soctest schedule --soc d695 -w 32 --obs-summary > out.txt
+  $ awk '$2 == "tam.schedule" { print $1, $3 }' out.txt
+  phase 1
+  $ awk '$1 == "constraints.admissible_checks" { print $2 }' out.txt
+  35

@@ -98,6 +98,30 @@ let prop_no_item_lost =
       && Array.fold_left ( + ) 0 a.Bfd.loads
          = Array.fold_left ( + ) 0 weights)
 
+(* the closed-form water-fill must be bit-identical to the unit-at-a-time
+   greedy it replaced (least-loaded bin, lowest index on ties) *)
+let naive_spread ~loads ~units =
+  let bins = Array.length loads in
+  let current = Array.copy loads in
+  let given = Array.make bins 0 in
+  for _ = 1 to units do
+    let best = ref 0 in
+    for k = 1 to bins - 1 do
+      if current.(k) < current.(!best) then best := k
+    done;
+    current.(!best) <- current.(!best) + 1;
+    given.(!best) <- given.(!best) + 1
+  done;
+  given
+
+let prop_spread_matches_naive =
+  Test_helpers.qtest "spread_units equals the unit-at-a-time greedy"
+    QCheck.(
+      pair (list_of_size (QCheck.Gen.int_range 1 12) (0 -- 40)) (0 -- 200))
+    (fun (loads, units) ->
+      let loads = Array.of_list loads in
+      Bfd.spread_units ~loads ~units = naive_spread ~loads ~units)
+
 let prop_bfd_quality =
   (* BFD's max load is at most 2x the trivial lower bound
      max(avg, max item) — far looser than the true 4/3+ bound, but a
@@ -137,5 +161,5 @@ let () =
             test_spread_units_invalid;
         ] );
       ( "properties",
-        [ prop_no_item_lost; prop_bfd_quality ] );
+        [ prop_no_item_lost; prop_spread_matches_naive; prop_bfd_quality ] );
     ]

@@ -1,0 +1,239 @@
+(* Bitset vs the Int_set model it replaced, plus the allocator
+   differential: the bitset Wire_alloc must produce identical
+   allocations (and identical capacity errors) to the preserved
+   set-based reference on ~1k synthetic schedules. *)
+
+module Bitset = Soctest_tam.Bitset
+module Schedule = Soctest_tam.Schedule
+module Wire_alloc = Soctest_tam.Wire_alloc
+module Ref_alloc = Soctest_check.Ref_alloc
+module Synth = Soctest_soc.Synth
+module Int_set = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* model-based property: a Bitset driven by a random op sequence agrees
+   with an Int_set driven by the same sequence, on every query *)
+
+type op = Add of int | Remove of int | Clear | Fill
+
+let apply_ops len ops =
+  let b = Bitset.create len in
+  let m = ref Int_set.empty in
+  let full = Int_set.of_list (List.init len Fun.id) in
+  List.iter
+    (fun op ->
+      match op with
+      | Add i ->
+        Bitset.add b i;
+        m := Int_set.add i !m
+      | Remove i ->
+        Bitset.remove b i;
+        m := Int_set.remove i !m
+      | Clear ->
+        Bitset.clear b;
+        m := Int_set.empty
+      | Fill ->
+        Bitset.fill b;
+        m := full)
+    ops;
+  (b, !m)
+
+let ops_gen len =
+  QCheck.Gen.(
+    list_size (int_bound 60)
+      (frequency
+         [
+           (5, map (fun i -> Add i) (int_bound (len - 1)));
+           (4, map (fun i -> Remove i) (int_bound (len - 1)));
+           (1, return Clear);
+           (1, return Fill);
+         ]))
+
+let pp_op = function
+  | Add i -> Printf.sprintf "add %d" i
+  | Remove i -> Printf.sprintf "remove %d" i
+  | Clear -> "clear"
+  | Fill -> "fill"
+
+(* lengths straddling the word size exercise the partial-last-word mask *)
+let len_gen = QCheck.Gen.oneofl [ 1; 7; 62; 63; 64; 65; 100; 130 ]
+
+let scenario_arb =
+  QCheck.make
+    ~print:(fun (len, ops) ->
+      Printf.sprintf "len=%d [%s]" len
+        (String.concat "; " (List.map pp_op ops)))
+    QCheck.Gen.(len_gen >>= fun len -> pair (return len) (ops_gen len))
+
+let prop_model (len, ops) =
+  let b, m = apply_ops len ops in
+  Bitset.to_list b = Int_set.elements m
+  && Bitset.cardinal b = Int_set.cardinal m
+  && Bitset.min_elt_opt b = Int_set.min_elt_opt m
+  && Bitset.is_empty b = Int_set.is_empty m
+  && List.for_all (fun i -> Bitset.mem b i = Int_set.mem i m)
+       (List.init len Fun.id)
+
+let prop_pairwise ((len, ops1), (_, ops2)) =
+  let a, ma = apply_ops len ops1 in
+  let b, mb = apply_ops len ops2 in
+  let inter = Int_set.inter ma mb in
+  Bitset.first_common a b = Int_set.min_elt_opt inter
+  && Bitset.disjoint a b = Int_set.is_empty inter
+  && begin
+       let u = Bitset.copy a in
+       Bitset.union_into ~into:u b;
+       Bitset.to_list u = Int_set.elements (Int_set.union ma mb)
+     end
+
+let pair_arb =
+  QCheck.make
+    ~print:(fun ((len, ops1), (_, ops2)) ->
+      Printf.sprintf "len=%d [%s] / [%s]" len
+        (String.concat "; " (List.map pp_op ops1))
+        (String.concat "; " (List.map pp_op ops2)))
+    QCheck.Gen.(
+      len_gen >>= fun len ->
+      pair (pair (return len) (ops_gen len)) (pair (return len) (ops_gen len)))
+
+let model_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500 ~name:"bitset agrees with Int_set model"
+         scenario_arb prop_model);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300
+         ~name:"first_common/disjoint/union agree with Int_set" pair_arb
+         prop_pairwise);
+  ]
+
+(* edge cases the generators cannot hit *)
+let test_empty_universe () =
+  let b = Bitset.create 0 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Bitset.fill b;
+  Alcotest.(check int) "fill of empty" 0 (Bitset.cardinal b);
+  Alcotest.(check (option int)) "min of empty" None (Bitset.min_elt_opt b)
+
+let test_bounds_checked () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "add out of range"
+    (Invalid_argument "Bitset: index 8 outside 0..7") (fun () ->
+      Bitset.add b 8);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Bitset: index -1 outside 0..7") (fun () ->
+      ignore (Bitset.mem b (-1)))
+
+let test_universe_mismatch () =
+  let a = Bitset.create 8 and b = Bitset.create 9 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Bitset: universe mismatch (8 vs 9)") (fun () ->
+      ignore (Bitset.disjoint a b))
+
+(* ------------------------------------------------------------------ *)
+(* allocator differential: bitset Wire_alloc vs set-based Ref_alloc on
+   ~1k random schedules drawn from the Synth splitmix stream. Both
+   feasible and over-capacity schedules are drawn, so the error payloads
+   (time, core, deficit) are compared too, not just the happy path. *)
+
+let alloc_cases = 1000
+
+let draw_schedule rng =
+  let tam_width = 1 + Synth.next_int rng 24 in
+  let cores = 1 + Synth.next_int rng 8 in
+  (* several slices per core, sometimes simultaneous starts, widths that
+     occasionally exceed capacity on purpose *)
+  let slices =
+    List.concat_map
+      (fun core ->
+        let runs = 1 + Synth.next_int rng 3 in
+        List.init runs (fun _ ->
+            let start = Synth.next_int rng 40 in
+            let len = 1 + Synth.next_int rng 15 in
+            let width = 1 + Synth.next_int rng (tam_width + 2) in
+            { Schedule.core; width; start; stop = start + len }))
+      (List.init cores (fun k -> k + 1))
+  in
+  Schedule.make ~tam_width ~slices
+
+let same_alloc (a : Wire_alloc.allocation) (b : Wire_alloc.allocation) =
+  a.Wire_alloc.slice = b.Wire_alloc.slice
+  && a.Wire_alloc.wires = b.Wire_alloc.wires
+
+let test_allocator_differential () =
+  let ok = ref 0 and short = ref 0 in
+  for case = 0 to alloc_cases - 1 do
+    let rng = Synth.rng_of_seed (Int64.of_int ((case * 6364136223846793) + 5)) in
+    let sched = draw_schedule rng in
+    let bitset = Wire_alloc.allocate_result sched in
+    let reference = Ref_alloc.allocate sched in
+    (match (bitset, reference) with
+    | Ok xs, Ok ys ->
+      incr ok;
+      if not (List.equal same_alloc xs ys) then
+        Alcotest.failf "case %d: allocations diverge" case;
+      let d1 = Wire_alloc.is_disjoint xs and d2 = Ref_alloc.is_disjoint xs in
+      if d1 <> d2 then
+        Alcotest.failf "case %d: is_disjoint diverges (%b vs %b)" case d1 d2;
+      if not d1 then
+        Alcotest.failf "case %d: allocator produced clashing wires" case
+    | Error e1, Error e2 ->
+      incr short;
+      if e1 <> e2 then
+        Alcotest.failf "case %d: capacity errors diverge" case
+    | Ok _, Error _ | Error _, Ok _ ->
+      Alcotest.failf "case %d: one allocator failed, the other did not" case)
+  done;
+  (* the generator must actually exercise both outcomes *)
+  Alcotest.(check bool)
+    (Printf.sprintf "both paths covered (%d ok, %d short)" !ok !short)
+    true
+    (!ok > 100 && !short > 100)
+
+(* is_disjoint must also agree on corrupted (hand-built) allocations,
+   where wires genuinely clash *)
+let test_disjoint_differential_on_clashes () =
+  for case = 0 to 199 do
+    let rng = Synth.rng_of_seed (Int64.of_int ((case * 2654435761) + 11)) in
+    let n = 2 + Synth.next_int rng 6 in
+    let allocations =
+      List.init n (fun k ->
+          let start = Synth.next_int rng 20 in
+          let len = 1 + Synth.next_int rng 10 in
+          let wires =
+            List.init
+              (1 + Synth.next_int rng 3)
+              (fun _ -> Synth.next_int rng 6)
+          in
+          {
+            Wire_alloc.slice =
+              { Schedule.core = k + 1; width = List.length wires; start;
+                stop = start + len };
+            wires;
+          })
+    in
+    let d1 = Wire_alloc.is_disjoint allocations in
+    let d2 = Ref_alloc.is_disjoint allocations in
+    if d1 <> d2 then
+      Alcotest.failf "clash case %d: is_disjoint %b, reference %b" case d1 d2
+  done
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "model",
+        model_tests
+        @ [
+            Alcotest.test_case "empty universe" `Quick test_empty_universe;
+            Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+            Alcotest.test_case "universe mismatch" `Quick
+              test_universe_mismatch;
+          ] );
+      ( "wire_alloc differential",
+        [
+          Alcotest.test_case "1k synth schedules" `Quick
+            test_allocator_differential;
+          Alcotest.test_case "hand-built clashes" `Quick
+            test_disjoint_differential_on_clashes;
+        ] );
+    ]
