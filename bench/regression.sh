@@ -3,7 +3,7 @@
 # service / store benches, and emit a machine-readable BENCH_<n>.json at
 # the repo root so every PR leaves a comparable perf record.
 #
-#   bench/regression.sh [n]     # writes BENCH_<n>.json (default: 9)
+#   bench/regression.sh [n]     # writes BENCH_<n>.json (default: 10)
 #
 # Sections:
 #   schedule  — CLI solve wall time, cold vs warm-store vs disk-hit
@@ -26,10 +26,14 @@
 #   logging   — the same single-daemon load with the JSON log sink on
 #               (info level, file sink): req/s with logs off vs on and
 #               the overhead percentage
+#   pack      — the rectangle-packing family on a small-SOC set (mini4
+#               plus 8 synthesized 4-6 core SOCs): per-strategy win
+#               counts and, where the branch-and-bound proves the
+#               optimum, each heuristic's average gap to exact
 set -eu
 
 cd "$(dirname "$0")/.."
-N=${1:-9}
+N=${1:-10}
 OUT=BENCH_${N}.json
 
 dune build bin/main.exe
@@ -124,6 +128,50 @@ RPS_ON=$(jnum "$TMP/logged.json" throughput_rps)
 LOG_LINES=$(wc -l < "$TMP/serve.jsonl" | tr -d ' ')
 OVERHEAD_PCT=$(awk "BEGIN { printf \"%.1f\", 100 * (1 - $RPS_ON / $RPS_OFF) }")
 
+# -- pack: rectangle packers + exact B&B on the small-SOC set -----------
+# one pack-bench JSON line per SOC (every schedule audited before it
+# counts); the awk pass aggregates win counts and, on SOCs where the
+# B&B proved the optimum, each heuristic's gap to exact
+: > "$TMP/pack.jsonl"
+"$SOCTEST" pack-bench --soc mini4 -w 16 >> "$TMP/pack.jsonl"
+for seed in 1 2 3 4 5 6 7 8; do
+  cores=$((4 + seed % 3))
+  "$SOCTEST" synth --seed "$seed" --cores "$cores" -o "$TMP/p$seed.soc" \
+    >/dev/null
+  "$SOCTEST" pack-bench --soc "$TMP/p$seed.soc" -w 12 \
+    --node-limit 500000 >> "$TMP/pack.jsonl"
+done
+
+PACK_JSON=$(awk '
+  function gap(line, name,    i, rest) {
+    i = index(line, "\"" name "\":{")
+    if (i == 0) return -1
+    rest = substr(line, i)
+    rest = substr(rest, 1, index(rest, "}"))
+    if (match(rest, /"gap_to_exact_pct":[0-9.]+/))
+      return substr(rest, RSTART + 19, RLENGTH - 19) + 0
+    return -1
+  }
+  {
+    socs++
+    if (match($0, /"winner":"[a-z-]+"/))
+      wins[substr($0, RSTART + 10, RLENGTH - 11)]++
+    if (index($0, "\"optimal\":true") > 0) {
+      proven++
+      g = gap($0, "heuristic");         if (g >= 0) gh += g
+      g = gap($0, "rectpack");          if (g >= 0) gr += g
+      g = gap($0, "rectpack-diagonal"); if (g >= 0) gd += g
+    }
+  }
+  END {
+    d = proven > 0 ? proven : 1
+    printf "{\"socs\": %d, \"exact_proven\": %d,\n", socs, proven
+    printf " \"wins\": {\"heuristic\": %d, \"rectpack\": %d, \"rectpack-diagonal\": %d, \"exact-bnb\": %d},\n", \
+      wins["heuristic"], wins["rectpack"], wins["rectpack-diagonal"], wins["exact-bnb"]
+    printf " \"avg_gap_to_exact_pct\": {\"heuristic\": %.3f, \"rectpack\": %.3f, \"rectpack-diagonal\": %.3f}}", \
+      gh / d, gr / d, gd / d
+  }' "$TMP/pack.jsonl")
+
 # -- solve farm: 2 daemons, private vs shared store, cold vs warm -------
 "$SOCTEST" bench-serve --soc d695 -w 16 --requests 32 --clients 8 \
   --distinct 4 --procs 2 --store "$TMP/farm.store" \
@@ -146,6 +194,7 @@ OVERHEAD_PCT=$(awk "BEGIN { printf \"%.1f\", 100 * (1 - $RPS_ON / $RPS_OFF) }")
     "${FIFO_BUDGETED:-0}" "${FIFO_MISSED:-0}" "${FIFO_MISS_RATE:-0}" "${FIFO_P99:-0}"
   printf '              "edf": {"budgeted": %s, "missed": %s, "miss_rate": %s, "budgeted_p99_ms": %s}},\n' \
     "${EDF_BUDGETED:-0}" "${EDF_MISSED:-0}" "${EDF_MISS_RATE:-0}" "${EDF_P99:-0}"
+  printf '"pack": %s,\n' "$PACK_JSON"
   printf '"single": '
   cat "$TMP/single.json"
   printf ',\n"farm": '

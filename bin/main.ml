@@ -497,7 +497,16 @@ let portfolio_cmd =
       & info [ "strategies" ] ~docv:"KINDS"
           ~doc:
             "Comma-separated strategy kinds to race: any of grid, anneal, \
-             polish, baseline, exact, or $(b,all).")
+             polish, baseline, exact, rectpack, rectpack-diagonal, \
+             exact-bnb, or $(b,all) (see $(b,--list-strategies)).")
+  in
+  let list_strategies =
+    Arg.(
+      value & flag
+      & info [ "list-strategies" ]
+          ~doc:
+            "Print the registered strategy kind names (the tokens \
+             $(b,--strategies) accepts), one per line, and exit.")
   in
   let json =
     Arg.(
@@ -529,9 +538,11 @@ let portfolio_cmd =
              | None ->
                failwith
                  (Printf.sprintf
-                    "unknown strategy kind %S (expected grid, anneal, \
-                     polish, baseline or exact)"
-                    name))
+                    "unknown strategy kind %S (expected one of %s, or all)"
+                    name
+                    (String.concat ", "
+                       (List.map Soctest_portfolio.Strategy.kind_name
+                          Soctest_portfolio.Strategy.all_kinds))))
            (String.split_on_char ',' (String.trim spec)))
   in
   let save =
@@ -543,9 +554,15 @@ let portfolio_cmd =
             "Save the winning schedule in the textual schedule format \
              (byte-identical across $(b,--jobs) values).")
   in
-  let run soc width jobs deadline strategies preempt power csv json save
-      trace metrics obs_summary =
+  let run soc width jobs deadline strategies list_strategies preempt power
+      csv json save trace metrics obs_summary =
     wrap (fun () ->
+        if list_strategies then
+          List.iter
+            (fun k ->
+              print_endline (Soctest_portfolio.Strategy.kind_name k))
+            Soctest_portfolio.Strategy.all_kinds
+        else
         with_obs ~trace ~metrics ~summary:obs_summary @@ fun () ->
         let soc = load_soc soc in
         (* one engine cache for the whole race: strategies share Pareto
@@ -572,7 +589,7 @@ let portfolio_cmd =
         if strats = [] then
           failwith
             "no strategies to race (note: exact is gated to SOCs with at \
-             most 6 cores)";
+             most 6 cores, exact-bnb to 12)";
         let jobs = if jobs <= 0 then None else Some jobs in
         let r =
           Soctest_portfolio.Portfolio.run ?jobs ?deadline_ms:deadline strats
@@ -610,15 +627,17 @@ let portfolio_cmd =
   Cmd.v
     (Cmd.info "portfolio"
        ~doc:
-         "Race the optimizer parameter grid, annealing restarts, polish \
-          and the baselines concurrently across OCaml domains; the winner \
-          is selected deterministically (best makespan, ties by \
-          registration order — never by completion order).")
+         "Race the optimizer parameter grid, annealing restarts, polish, \
+          the baselines, the rectangle-bin-packing family and the exact \
+          solvers concurrently across OCaml domains; the winner is \
+          selected deterministically (best makespan, ties by registration \
+          order — never by completion order).")
     Term.(
       ret
         (const run $ soc_arg ~default:"d695" $ width_arg ~default:32 $ jobs
-       $ deadline $ strategies $ preempt $ power $ csv_arg $ json $ save
-       $ trace_arg $ metrics_arg $ obs_summary_arg))
+       $ deadline $ strategies $ list_strategies $ preempt $ power
+       $ csv_arg $ json $ save $ trace_arg $ metrics_arg
+       $ obs_summary_arg))
 
 (* ------------------------------------------------------------------ *)
 (* utility commands *)
@@ -746,6 +765,16 @@ let schedule_cmd =
         in
         Printf.printf "SOC %s at W=%d: testing time %d cycles\n"
           soc.Soc_def.name width r.Optimizer.testing_time;
+        let lb =
+          Soctest_core.Lower_bound.compute_constrained
+            (Engine.prepare engine soc) ~tam_width:width ~constraints
+        in
+        Printf.printf "lower bound %d cycles, gap %.1f%%\n" lb
+          (if lb > 0 then
+             100.
+             *. float_of_int (r.Optimizer.testing_time - lb)
+             /. float_of_int lb
+           else 0.);
         Option.iter (Printf.printf "(%s)\n") budget_note;
         (match Engine.store engine with
         | None -> ()
@@ -2166,6 +2195,260 @@ let debug_cmd =
        ~doc:"Interrogate a running $(b,soctest serve) daemon.")
     [ requests ]
 
+let synth_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"PRNG seed (generation is fully deterministic given it).")
+  in
+  let cores =
+    Arg.(value & opt int 6 & info [ "cores" ] ~docv:"N" ~doc:"Core count.")
+  in
+  let data_bits =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "data-bits" ] ~docv:"BITS"
+          ~doc:"Aggregate test data volume target.")
+  in
+  let big =
+    Arg.(
+      value & opt float 0.25
+      & info [ "big-fraction" ] ~docv:"F"
+          ~doc:"Fraction of cores drawn from the large regime.")
+  in
+  let comb =
+    Arg.(
+      value & opt float 0.25
+      & info [ "comb-fraction" ] ~docv:"F"
+          ~doc:"Fraction of cores with no internal scan.")
+  in
+  let hierarchy =
+    Arg.(
+      value & opt int 0
+      & info [ "hierarchy" ] ~docv:"N" ~doc:"Parent/child pairs to create.")
+  in
+  let bist =
+    Arg.(
+      value & opt int 0
+      & info [ "bist" ] ~docv:"N" ~doc:"Shared BIST engines to scatter.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output path (default: <name>.soc in the current directory).")
+  in
+  let run seed cores data_bits big comb hierarchy bist out =
+    wrap (fun () ->
+        let name = Printf.sprintf "synth-s%d-c%d" seed cores in
+        let soc =
+          Soctest_soc.Synth.generate
+            {
+              Soctest_soc.Synth.name;
+              seed = Int64.of_int seed;
+              core_count = cores;
+              target_data_bits = data_bits;
+              big_core_fraction = big;
+              combinational_fraction = comb;
+              hierarchy_pairs = hierarchy;
+              bist_engines = bist;
+            }
+        in
+        let path = match out with Some p -> p | None -> name ^ ".soc" in
+        Soctest_soc.Soc_writer.to_file path soc;
+        Printf.printf "wrote %s (%d cores, %d bits)\n" path
+          (Soc_def.core_count soc)
+          (Soc_def.total_test_data_bits soc))
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Generate a deterministic synthetic SOC (.soc file) — the \
+          small-SOC instances of the pack benchmark.")
+    Term.(
+      ret
+        (const run $ seed $ cores $ data_bits $ big $ comb $ hierarchy
+       $ bist $ out))
+
+let pack_bench_cmd =
+  let preempt =
+    Arg.(
+      value & opt int 0
+      & info [ "preempt" ] ~docv:"N"
+          ~doc:"Allow N preemptions on the larger cores.")
+  in
+  let power =
+    Arg.(
+      value & flag
+      & info [ "power" ]
+          ~doc:"Apply the default power limit (1.5x the largest core).")
+  in
+  let node_limit =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "node-limit" ] ~docv:"N" ~doc:"Branch-and-bound node cap.")
+  in
+  let bnb_max_cores =
+    Arg.(
+      value & opt int 12
+      & info [ "bnb-max-cores" ] ~docv:"N"
+          ~doc:"Skip the exact solver above this core count.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the JSON record to $(docv) instead of stdout.")
+  in
+  let run soc width power preempt node_limit bnb_max_cores out =
+    wrap (fun () ->
+        let soc = load_soc soc in
+        let max_preempts =
+          if preempt > 0 then Flow.preemption_budget soc ~limit:preempt
+          else []
+        in
+        let constraints =
+          Constraint_def.of_soc soc ~max_preemptions:max_preempts
+            ?power_limit:
+              (if power then Some (Flow.default_power_limit soc) else None)
+            ()
+        in
+        let engine = Engine.create () in
+        let prepared = Engine.prepare engine soc in
+        let wmax = Optimizer.wmax_of prepared in
+        let lb =
+          Soctest_core.Lower_bound.compute_constrained prepared
+            ~tam_width:width ~constraints
+        in
+        (* every schedule in the record has passed the full audit *)
+        let audit_spec =
+          Soctest_check.Audit.spec ~wmax ~expect_tam_width:width
+            ~pareto:(Engine.pareto engine ~wmax)
+            constraints
+        in
+        let audit name sched =
+          let rep = Soctest_check.Audit.run soc audit_spec sched in
+          if not (Soctest_check.Audit.ok rep) then
+            failwith
+              (Format.asprintf "%s: audit failed: %a" name
+                 Soctest_check.Audit.pp_report rep)
+        in
+        let heuristic =
+          Flow.solve ~engine (Flow.spec ~constraints soc ~tam_width:width)
+        in
+        audit "heuristic" heuristic.Optimizer.schedule;
+        let rp =
+          Soctest_pack.Rectpack.schedule ~order:Soctest_pack.Rectpack.Plain
+            prepared ~tam_width:width ~constraints
+        in
+        audit "rectpack" rp.Soctest_pack.Rectpack.schedule;
+        let rd =
+          Soctest_pack.Rectpack.schedule
+            ~order:Soctest_pack.Rectpack.Diagonal prepared ~tam_width:width
+            ~constraints
+        in
+        audit "rectpack-diagonal" rd.Soctest_pack.Rectpack.schedule;
+        let bnb =
+          if Soc_def.core_count soc <= bnb_max_cores then begin
+            let o =
+              Soctest_pack.Bnb.solve ~node_limit prepared ~tam_width:width
+                ~constraints
+            in
+            audit "exact-bnb" o.Soctest_pack.Bnb.schedule;
+            Some o
+          end
+          else None
+        in
+        let exact_time =
+          match bnb with
+          | Some o when o.Soctest_pack.Bnb.optimal ->
+            Some o.Soctest_pack.Bnb.testing_time
+          | _ -> None
+        in
+        let pct over t =
+          Json.Float
+            (if over > 0 then 100. *. float_of_int (t - over) /. float_of_int over
+             else 0.)
+        in
+        let entry ?(extra = []) t =
+          Json.Obj
+            ([ ("time", Json.Int t); ("gap_vs_lb_pct", pct lb t) ]
+            @ (match exact_time with
+              | Some e -> [ ("gap_to_exact_pct", pct e t) ]
+              | None -> [])
+            @ extra)
+        in
+        let times =
+          [
+            ("heuristic", heuristic.Optimizer.testing_time);
+            ("rectpack", rp.Soctest_pack.Rectpack.testing_time);
+            ("rectpack-diagonal", rd.Soctest_pack.Rectpack.testing_time);
+          ]
+          @ (match bnb with
+            | Some o -> [ ("exact-bnb", o.Soctest_pack.Bnb.testing_time) ]
+            | None -> [])
+        in
+        let winner =
+          fst
+            (List.fold_left
+               (fun (bn, bt) (n, t) -> if t < bt then (n, t) else (bn, bt))
+               ("heuristic", max_int) times)
+        in
+        let record =
+          Json.Obj
+            [
+              ("soc", Json.String soc.Soc_def.name);
+              ("cores", Json.Int (Soc_def.core_count soc));
+              ("tam_width", Json.Int width);
+              ("lower_bound", Json.Int lb);
+              ( "strategies",
+                Json.Obj
+                  ([
+                     ("heuristic", entry heuristic.Optimizer.testing_time);
+                     ("rectpack", entry rp.Soctest_pack.Rectpack.testing_time);
+                     ( "rectpack-diagonal",
+                       entry rd.Soctest_pack.Rectpack.testing_time );
+                   ]
+                  @
+                  match bnb with
+                  | Some o ->
+                    [
+                      ( "exact-bnb",
+                        entry
+                          ~extra:
+                            [
+                              ("optimal", Json.Bool o.Soctest_pack.Bnb.optimal);
+                              ("nodes", Json.Int o.Soctest_pack.Bnb.nodes);
+                            ]
+                          o.Soctest_pack.Bnb.testing_time );
+                    ]
+                  | None -> []) );
+              ("winner", Json.String winner);
+              ("audited", Json.Bool true);
+            ]
+        in
+        let rendered = Json.to_string record in
+        match out with
+        | None -> print_endline rendered
+        | Some path ->
+          write_string_to_file path (rendered ^ "\n");
+          Printf.printf "(json written to %s)\n" path)
+  in
+  Cmd.v
+    (Cmd.info "pack-bench"
+       ~doc:
+         "Run the DAC'02 heuristic, both rectangle packers and (on small \
+          SOCs) the exact branch-and-bound on one instance; audit every \
+          schedule and emit a JSON record with per-strategy times, \
+          lower-bound and gap-to-exact figures.")
+    Term.(
+      ret
+        (const run $ soc_arg ~default:"mini4" $ width_arg ~default:16
+       $ power $ preempt $ node_limit $ bnb_max_cores $ out))
+
 let main_cmd =
   let doc =
     "wrapper/TAM co-optimization, constraint-driven test scheduling and \
@@ -2177,6 +2460,7 @@ let main_cmd =
       table1_cmd; table2_cmd; fig1_cmd; fig2_cmd; fig9_cmd; ablate_cmd;
       all_cmd; soc_info_cmd; schedule_cmd; export_cmd; extras_cmd; verilog_cmd;
       validate_cmd; check_cmd; stil_cmd; sweep_cmd; portfolio_cmd;
+      synth_cmd; pack_bench_cmd;
       serve_cmd; bench_serve_cmd; jobs_cmd; debug_cmd; store_cmd;
     ]
 

@@ -1,0 +1,86 @@
+module Pareto = Soctest_wrapper.Pareto
+module Optimizer = Soctest_core.Optimizer
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+
+type rect = { width : int; time : int }
+
+type menu = {
+  core : int;
+  rects : rect array;
+  preferred : rect;
+  area : int;
+  diagonal : float;
+  power : int;
+  min_time : int;
+  min_area : int;
+}
+
+type t = { tam_width : int; menus : menu array }
+
+let build ?(percent = 5) ?(delta = 1) prepared ~tam_width =
+  if tam_width < 1 then invalid_arg "Model.build: tam_width must be >= 1";
+  let soc = Optimizer.soc_of prepared in
+  let n = Soc_def.core_count soc in
+  let menus =
+    Array.init n (fun k ->
+        let id = k + 1 in
+        let p = Optimizer.pareto_of prepared id in
+        let rects =
+          Pareto.rectangles p
+          |> List.filter (fun (w, _) -> w <= tam_width)
+          (* widest first: wider = no slower on the envelope, so the
+             promising (short) rectangles lead both packers' menus *)
+          |> List.sort (fun (a, _) (b, _) -> compare b a)
+          |> List.map (fun (width, time) -> { width; time })
+          |> Array.of_list
+        in
+        (* Pareto widths always include 1, so the menu is never empty *)
+        assert (Array.length rects > 0);
+        let pref_w =
+          Pareto.effective_width p
+            ~width:(min (Pareto.preferred_width p ~percent ~delta) tam_width)
+        in
+        let preferred = { width = pref_w; time = Pareto.time p ~width:pref_w } in
+        {
+          core = id;
+          rects;
+          preferred;
+          area = preferred.width * preferred.time;
+          diagonal = 0.;  (* normalized below, once the SOC max is known *)
+          power = (Soc_def.core soc id).Core_def.power;
+          min_time = rects.(0).time;
+          min_area = Pareto.min_area p;
+        })
+  in
+  (* normalize the diagonal per SOC: width against the bin height, time
+     against the longest preferred time, so both axes weigh in *)
+  let t_ref =
+    Array.fold_left (fun a m -> max a m.preferred.time) 1 menus
+  in
+  let menus =
+    Array.map
+      (fun m ->
+        let w = float_of_int m.preferred.width /. float_of_int tam_width in
+        let t = float_of_int m.preferred.time /. float_of_int t_ref in
+        { m with diagonal = Float.hypot w t })
+      menus
+  in
+  { tam_width; menus }
+
+let core_count t = Array.length t.menus
+
+let menu t id =
+  if id < 1 || id > Array.length t.menus then
+    invalid_arg (Printf.sprintf "Model.menu: unknown core %d" id);
+  t.menus.(id - 1)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>rectangle model (W=%d)@," t.tam_width;
+  Array.iter
+    (fun m ->
+      Format.fprintf ppf "core %d: preferred %dx%d (diag %.3f), %d rect(s)@,"
+        m.core m.preferred.width m.preferred.time m.diagonal
+        (Array.length m.rects))
+    t.menus;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,59 @@
+(** The rectangle view of an SOC under a TAM width cap.
+
+    Every core's wrapper Pareto staircase ({!Soctest_wrapper.Pareto})
+    induces a {e menu} of candidate rectangles: one [(width, time)] pair
+    per Pareto-optimal width that fits the TAM. Packing one rectangle
+    per core into a bin of height [W] (wires) and unbounded width
+    (cycles) {e is} the test schedule — this module derives the menus
+    once per solve so the rectangle-bin-packing strategies
+    ({!Rectpack}) and the exact branch-and-bound ({!Bnb}) share a
+    single, cache-friendly rectangle model.
+
+    The {e preferred} rectangle per core is the paper's preferred-width
+    heuristic (percent/delta, {!Soctest_wrapper.Pareto.preferred_width})
+    clamped to the TAM; the plain packer of arXiv 1008.4448 sorts cores
+    by its area, the variant of arXiv 1008.4446 by its {e diagonal
+    length}. Wire and cycle axes live on wildly different scales (tens
+    of wires vs thousands of cycles), so the diagonal is computed on
+    bin-normalized axes — width over [W], time over the longest
+    preferred time in the SOC — otherwise time degenerates into the
+    only signal and both orderings coincide. *)
+
+type rect = { width : int; time : int }
+(** One candidate rectangle: [time = Pareto.time ~width] at a
+    Pareto-optimal (hence {e effective}) width [<= tam_width]. *)
+
+type menu = {
+  core : int;  (** 1-based core id *)
+  rects : rect array;  (** widest (shortest) first; never empty *)
+  preferred : rect;  (** percent/delta preferred width, clamped to W *)
+  area : int;  (** preferred width x time *)
+  diagonal : float;  (** bin-normalized diagonal of [preferred] *)
+  power : int;  (** test power of the core *)
+  min_time : int;  (** time at the widest menu rectangle *)
+  min_area : int;  (** [Pareto.min_area]: intrinsic bandwidth demand *)
+}
+
+type t = private {
+  tam_width : int;
+  menus : menu array;  (** index [core_id - 1] *)
+}
+
+val build :
+  ?percent:int ->
+  ?delta:int ->
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  t
+(** Derive every core's menu from the prepared Pareto analyses.
+    [percent] defaults to 5 and [delta] to 1 — the defaults of
+    {!Soctest_core.Optimizer.default_params}.
+    @raise Invalid_argument if [tam_width < 1]. *)
+
+val menu : t -> int -> menu
+(** Menu of core [id]. @raise Invalid_argument on an unknown id. *)
+
+val core_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** One core per line: preferred rectangle, diagonal, menu size. *)

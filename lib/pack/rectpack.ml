@@ -1,0 +1,208 @@
+module Optimizer = Soctest_core.Optimizer
+module Schedule = Soctest_tam.Schedule
+module Wire_alloc = Soctest_tam.Wire_alloc
+module Constraint_def = Soctest_constraints.Constraint_def
+module Conflict = Soctest_constraints.Conflict
+module Soc_def = Soctest_soc.Soc_def
+module Core_def = Soctest_soc.Core_def
+module Obs = Soctest_obs.Obs
+
+type order = Plain | Diagonal
+
+let order_name = function
+  | Plain -> "rectpack"
+  | Diagonal -> "rectpack-diagonal"
+
+type outcome = {
+  schedule : Schedule.t;
+  testing_time : int;
+  placements : int;
+  waste : int;
+}
+
+type placed = {
+  core : int;
+  width : int;
+  start : int;
+  stop : int;
+  power : int;
+  bist : int option;
+}
+
+let placements_counter = Obs.counter "pack.placements"
+
+(* may cores [a] and [b] never overlap? — the declared exclusions plus
+   the BIST-engine sharing that [Conflict.validate] checks separately *)
+let conflicts constraints a b =
+  Constraint_def.excluded constraints a.core b.core
+  ||
+  match (a.bist, b.bist) with
+  | Some ea, Some eb -> ea = eb
+  | _ -> false
+
+let overlaps p ~start ~stop = p.start < stop && p.stop > start
+
+(* peak power of [placed] rectangles over [start, stop): evaluated at
+   [start] and at every placement start inside the interval — power can
+   only step up at those instants *)
+let worst_power_instant placed ~start ~stop ~own ~limit =
+  let instants =
+    start
+    :: List.filter_map
+         (fun p ->
+           if p.start > start && p.start < stop then Some p.start else None)
+         placed
+  in
+  List.find_map
+    (fun tau ->
+      let active =
+        List.filter (fun p -> p.start <= tau && p.stop > tau) placed
+      in
+      let sum = List.fold_left (fun a p -> a + p.power) own active in
+      if sum > limit then Some (tau, active) else None)
+    instants
+
+(* earliest legal start >= [start] for a [time]-cycle run of [core]:
+   push past overlapping excluded/BIST placements, then past power
+   peaks. Each step advances to some existing placement's stop, so the
+   loop terminates once the candidate clears everything placed. *)
+let rec settle constraints placed ~core ~power ~time ~power_limit start =
+  let stop = start + time in
+  let blockers =
+    List.filter
+      (fun p -> conflicts constraints core p && overlaps p ~start ~stop)
+      placed
+  in
+  match blockers with
+  | _ :: _ ->
+      let next =
+        List.fold_left (fun a p -> min a p.stop) max_int blockers
+      in
+      settle constraints placed ~core ~power ~time ~power_limit next
+  | [] -> (
+      match power_limit with
+      | None -> start
+      | Some limit -> (
+          match
+            worst_power_instant placed ~start ~stop ~own:power ~limit
+          with
+          | None -> start
+          | Some (tau, active) ->
+              let next =
+                List.fold_left
+                  (fun a p -> if p.stop > tau then min a p.stop else a)
+                  max_int active
+              in
+              settle constraints placed ~core ~power ~time ~power_limit next))
+
+let schedule ?percent ?delta ~order prepared ~tam_width ~constraints =
+  Obs.with_span ~cat:"pack" (order_name order) @@ fun () ->
+  let model = Model.build ?percent ?delta prepared ~tam_width in
+  let soc = Optimizer.soc_of prepared in
+  let n = Model.core_count model in
+  (match constraints.Constraint_def.power_limit with
+  | Some limit ->
+      for id = 1 to n do
+        let m = Model.menu model id in
+        if m.Model.power > limit then
+          raise
+            (Optimizer.Infeasible
+               (Printf.sprintf
+                  "core %d needs power %d > limit %d: no schedule exists" id
+                  m.Model.power limit))
+      done
+  | None -> ());
+  let by =
+    match order with
+    | Plain -> fun m -> float_of_int m.Model.area
+    | Diagonal -> fun m -> m.Model.diagonal
+  in
+  let sorted =
+    List.init n (fun k -> Model.menu model (k + 1))
+    |> List.sort (fun a b ->
+           match compare (by b) (by a) with
+           | 0 -> compare a.Model.core b.Model.core
+           | c -> c)
+  in
+  let sky = Skyline.create ~tam_width in
+  let placed = ref [] in
+  let is_placed id = List.exists (fun p -> p.core = id) !placed in
+  let remaining = ref sorted in
+  while !remaining <> [] do
+    (* first core in pack order whose predecessors are all placed; one
+       always exists because the precedence relation is acyclic *)
+    let m =
+      match
+        List.find_opt
+          (fun (m : Model.menu) ->
+            List.for_all is_placed
+              (Constraint_def.predecessors constraints m.Model.core))
+          !remaining
+      with
+      | Some m -> m
+      | None -> assert false
+    in
+    remaining :=
+      List.filter (fun (x : Model.menu) -> x.Model.core <> m.Model.core)
+        !remaining;
+    let rect = m.Model.preferred in
+    let bist = (Soc_def.core soc m.Model.core).Core_def.bist_engine in
+    let core =
+      { core = m.Model.core; width = rect.Model.width; start = 0; stop = 0;
+        power = m.Model.power; bist }
+    in
+    let ready_at =
+      List.fold_left
+        (fun a id ->
+          List.fold_left
+            (fun a p -> if p.core = id then max a p.stop else a)
+            a !placed)
+        0
+        (Constraint_def.predecessors constraints m.Model.core)
+    in
+    let best =
+      List.fold_left
+        (fun best (wire, earliest) ->
+          let start =
+            settle constraints !placed ~core ~power:m.Model.power
+              ~time:rect.Model.time
+              ~power_limit:constraints.Constraint_def.power_limit
+              (max earliest ready_at)
+          in
+          let key = (start + rect.Model.time, start, wire) in
+          match best with
+          | Some (k, _, _) when k <= key -> best
+          | _ -> Some (key, wire, start))
+        None
+        (Skyline.candidates sky ~width:rect.Model.width)
+    in
+    match best with
+    | None -> assert false (* candidates is never empty for width <= W *)
+    | Some (_, wire, start) ->
+        let stop = start + rect.Model.time in
+        Skyline.place sky ~wire ~width:rect.Model.width ~start ~stop;
+        placed := { core with start; stop } :: !placed;
+        Obs.incr placements_counter
+  done;
+  let slices =
+    List.map
+      (fun p ->
+        { Schedule.core = p.core; width = p.width; start = p.start;
+          stop = p.stop })
+      !placed
+  in
+  let sched = Schedule.make ~tam_width ~slices in
+  (* the whole point of the delay discipline: re-check, never assume *)
+  (match Conflict.validate soc constraints sched with
+  | [] -> ()
+  | v :: _ ->
+      failwith
+        (Format.asprintf "Rectpack.%s: packed schedule violates %a"
+           (order_name order) Conflict.pp_violation v));
+  ignore (Wire_alloc.allocate sched);
+  {
+    schedule = sched;
+    testing_time = Schedule.makespan sched;
+    placements = n;
+    waste = Skyline.waste sky;
+  }

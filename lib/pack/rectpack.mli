@@ -1,0 +1,49 @@
+(** Rectangle-bin-packing test scheduling.
+
+    Both strategies of the rectangle family place every core's
+    {e preferred} rectangle (see {!Model}) onto a {!Skyline} over the TAM
+    wires, differing only in the order cores are considered:
+
+    - {b Plain} (arXiv 1008.4448): decreasing preferred-rectangle area —
+      big consumers of bin area first, classic 2-D packing wisdom.
+    - {b Diagonal} (arXiv 1008.4446): decreasing bin-normalized diagonal
+      length — a core that is extreme on {e either} axis (very wide or
+      very long) goes early, which the plain order misses when one axis
+      is modest.
+
+    Constraints are honoured by {e delaying} starts, never by assuming:
+    precedence holds a core back until every predecessor is placed and
+    finished; concurrency/BIST exclusions and the power cap push the
+    start past offending placements. A delayed start over-reserves the
+    skyline (the gap is counted as {!Skyline.waste}), keeping the
+    capacity argument purely geometric. The finished schedule is wire-
+    assigned via {!Soctest_tam.Wire_alloc} and re-validated with
+    {!Soctest_constraints.Conflict.validate} before being returned —
+    any residual violation is a bug and raises. *)
+
+type order = Plain | Diagonal
+
+val order_name : order -> string
+(** ["rectpack"], ["rectpack-diagonal"] — the portfolio strategy names. *)
+
+type outcome = {
+  schedule : Soctest_tam.Schedule.t;
+  testing_time : int;
+  placements : int;  (** rectangles placed (= cores) *)
+  waste : int;  (** wire-cycles trapped under delayed starts *)
+}
+
+val schedule :
+  ?percent:int ->
+  ?delta:int ->
+  order:order ->
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  outcome
+(** Pack all cores non-preemptively. Deterministic: ties in the sort
+    order break by ascending core id, ties between skyline candidates by
+    (finish, start, wire).
+    @raise Soctest_core.Optimizer.Infeasible when the power limit is
+    below a single core's power (no start could ever be legal).
+    @raise Invalid_argument if [tam_width < 1]. *)

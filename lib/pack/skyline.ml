@@ -1,0 +1,94 @@
+type seg = { lo : int; hi : int; free_from : int }
+(* [hi] exclusive; the list is ascending and contiguous over [0, W). *)
+
+type t = { tam_width : int; mutable segs : seg list; mutable waste : int }
+
+let create ~tam_width =
+  if tam_width < 1 then invalid_arg "Skyline.create: tam_width must be >= 1";
+  { tam_width; segs = [ { lo = 0; hi = tam_width; free_from = 0 } ]; waste = 0 }
+
+let tam_width t = t.tam_width
+let segments t = List.map (fun s -> (s.lo, s.hi, s.free_from)) t.segs
+
+let covered t ~wire ~width =
+  List.filter (fun s -> s.lo < wire + width && s.hi > wire) t.segs
+
+let candidates t ~width =
+  if width < 1 || width > t.tam_width then
+    invalid_arg
+      (Printf.sprintf "Skyline.candidates: width %d outside [1, %d]" width
+         t.tam_width);
+  List.filter_map
+    (fun s ->
+      if s.lo + width > t.tam_width then None
+      else
+        let earliest =
+          List.fold_left
+            (fun a c -> max a c.free_from)
+            0
+            (covered t ~wire:s.lo ~width)
+        in
+        Some (s.lo, earliest))
+    t.segs
+
+let place t ~wire ~width ~start ~stop =
+  if wire < 0 || width < 1 || wire + width > t.tam_width then
+    invalid_arg
+      (Printf.sprintf "Skyline.place: span [%d, %d) leaves the bin [0, %d)"
+         wire (wire + width) t.tam_width);
+  if start < 0 || stop <= start then
+    invalid_arg
+      (Printf.sprintf "Skyline.place: empty interval [%d, %d)" start stop);
+  let span = covered t ~wire ~width in
+  List.iter
+    (fun s ->
+      if start < s.free_from then
+        invalid_arg
+          (Printf.sprintf
+             "Skyline.place: start %d precedes free_from %d on wires [%d, %d)"
+             start s.free_from s.lo s.hi))
+    span;
+  (* area trapped between the old profile and the delayed start *)
+  List.iter
+    (fun s ->
+      let w = min s.hi (wire + width) - max s.lo wire in
+      t.waste <- t.waste + ((start - s.free_from) * w))
+    span;
+  let rewritten =
+    List.concat_map
+      (fun s ->
+        let olo = max s.lo wire and ohi = min s.hi (wire + width) in
+        if olo >= ohi then [ s ]
+        else
+          List.filter
+            (fun s -> s.lo < s.hi)
+            [
+              { s with hi = olo };
+              { lo = olo; hi = ohi; free_from = stop };
+              { s with lo = ohi };
+            ])
+      t.segs
+  in
+  (* merge adjacent segments that ended up level *)
+  let merged =
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | prev :: rest when prev.free_from = s.free_from && prev.hi = s.lo ->
+            { prev with hi = s.hi } :: rest
+        | _ -> s :: acc)
+      [] rewritten
+  in
+  t.segs <- List.rev merged
+
+let makespan t = List.fold_left (fun a s -> max a s.free_from) 0 t.segs
+let waste t = t.waste
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>skyline (W=%d, makespan=%d, waste=%d)@,"
+    t.tam_width (makespan t) t.waste;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "wires [%d, %d) free from %d@," s.lo s.hi s.free_from)
+    t.segs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** A skyline over the TAM wire axis for rectangle strip packing.
+
+    The bin has height [tam_width] wires and grows rightward in time.
+    The skyline is the profile of first-free times: a partition of
+    [0 .. W-1] into maximal segments of equal [free_from]. A rectangle
+    of height [w] placed at wire [y] from time [s] occupies the span
+    [y .. y+w-1] until [stop]; the placement is legal iff [s] is at or
+    after every covered segment's [free_from] — placing later than
+    strictly necessary merely wastes bin area (which constraint-driven
+    delays routinely do).
+
+    Placements considered by {!candidates} are {e left-anchored}: one
+    candidate per segment whose left edge can host the span. This is the
+    classic skyline/level packing rule — anchoring at profile edges
+    loses no packings that a capacity-only scheduler could realize,
+    because TAM wires are fungible (fork/merge) and only the width sum
+    matters downstream. *)
+
+type t
+
+val create : tam_width:int -> t
+(** All wires free from time 0.
+    @raise Invalid_argument if [tam_width < 1]. *)
+
+val tam_width : t -> int
+
+val segments : t -> (int * int * int) list
+(** [(lo, hi_exclusive, free_from)] triples, ascending and contiguous
+    over [0 .. W). Exposed for tests and properties. *)
+
+val candidates : t -> width:int -> (int * int) list
+(** [(wire, earliest_start)] for every left-anchored span of [width]
+    wires that fits the bin, in ascending wire order; always non-empty
+    for [1 <= width <= W]. [earliest_start] is the max [free_from]
+    over the covered segments.
+    @raise Invalid_argument if [width < 1] or [width > W]. *)
+
+val place : t -> wire:int -> width:int -> start:int -> stop:int -> unit
+(** Mark wires [wire .. wire+width-1] busy until [stop]: their
+    [free_from] becomes [stop]. [start] must be at or after every
+    covered segment's [free_from] — this is what makes placed
+    rectangles disjoint by construction, so it is {e enforced}, not
+    assumed. Wire-cycles between a segment's old [free_from] and
+    [start] are counted as {!waste}.
+    @raise Invalid_argument if the span leaves the bin, [stop <= start],
+    or [start] precedes a covered segment's [free_from]. *)
+
+val makespan : t -> int
+(** Largest [free_from] across the profile. *)
+
+val waste : t -> int
+(** Wire-cycles trapped under placed rectangles so far: area between a
+    covered segment's [free_from] and the placement's [start], summed
+    over every {!place}. Constraint-driven start delays show up here.
+    A packing-quality signal for telemetry, not used by the
+    algorithms. *)
+
+val pp : Format.formatter -> t -> unit

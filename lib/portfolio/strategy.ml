@@ -10,7 +10,16 @@ type solution = {
 }
 
 type outcome = { solution : solution; iterations : int }
-type kind = Grid | Anneal | Polish | Baseline | Exact
+
+type kind =
+  | Grid
+  | Anneal
+  | Polish
+  | Baseline
+  | Exact
+  | Rectpack
+  | Rectpack_diag
+  | Exact_bnb
 
 let kind_name = function
   | Grid -> "grid"
@@ -18,8 +27,12 @@ let kind_name = function
   | Polish -> "polish"
   | Baseline -> "baseline"
   | Exact -> "exact"
+  | Rectpack -> "rectpack"
+  | Rectpack_diag -> "rectpack-diagonal"
+  | Exact_bnb -> "exact-bnb"
 
-let all_kinds = [ Grid; Anneal; Polish; Baseline; Exact ]
+let all_kinds =
+  [ Grid; Anneal; Polish; Baseline; Exact; Rectpack; Rectpack_diag; Exact_bnb ]
 
 let kind_of_string s =
   List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -183,6 +196,61 @@ let exact ?(max_cores = 6) ?(node_limit = 2_000_000) prepared ~tam_width
       };
     ]
 
+(* The rectangle-bin-packing family (arXiv 1008.4448 / 1008.4446):
+   constraint-aware by construction, yet [checked_solution] re-validates
+   like every non-optimizer producer — packers delay starts around
+   constraints and must prove, not assume, that the delays sufficed. *)
+let rectpack prepared ~tam_width ~constraints =
+  List.map
+    (fun (order, kind) ->
+      {
+        name = Soctest_pack.Rectpack.order_name order;
+        kind;
+        run =
+          (fun () ->
+            let o =
+              Soctest_pack.Rectpack.schedule ~order prepared ~tam_width
+                ~constraints
+            in
+            {
+              solution =
+                checked_solution prepared ~constraints
+                  o.Soctest_pack.Rectpack.schedule;
+              iterations = o.Soctest_pack.Rectpack.placements;
+            });
+      })
+    [
+      (Soctest_pack.Rectpack.Plain, Rectpack);
+      (Soctest_pack.Rectpack.Diagonal, Rectpack_diag);
+    ]
+
+(* Constraint-aware B&B: a wider gate than the constraint-blind [exact]
+   (12 vs 6 cores) because its admissibility pruning and seeded
+   incumbent cut the tree much harder. *)
+let exact_bnb ?(max_cores = 12) ?node_limit ?budget prepared ~tam_width
+    ~constraints =
+  let soc = O.soc_of prepared in
+  if Soctest_soc.Soc_def.core_count soc > max_cores then []
+  else
+    [
+      {
+        name = "exact-bnb";
+        kind = Exact_bnb;
+        run =
+          (fun () ->
+            let o =
+              Soctest_pack.Bnb.solve ?budget ?node_limit prepared ~tam_width
+                ~constraints
+            in
+            {
+              solution =
+                checked_solution prepared ~constraints
+                  o.Soctest_pack.Bnb.schedule;
+              iterations = o.Soctest_pack.Bnb.nodes;
+            });
+      };
+    ]
+
 (* Debug-mode post-condition (see [Audit.enabled]): every schedule a
    strategy hands to the race is re-audited from first principles before
    it can become the incumbent. A violation surfaces as [Audit.Failed]
@@ -224,6 +292,15 @@ let default ?(kinds = all_kinds) ?restarts ?anneal_iterations
        else []);
       (if has Exact then
          exact ?max_cores:exact_max_cores prepared ~tam_width ~constraints
+       else []);
+      (if has Rectpack || has Rectpack_diag then
+         List.filter
+           (fun s -> has s.kind)
+           (rectpack prepared ~tam_width ~constraints)
+       else []);
+      (if has Exact_bnb then
+         exact_bnb ?max_cores:exact_max_cores ?budget prepared ~tam_width
+           ~constraints
        else []);
     ]
   |> List.map (audited ?pareto prepared ~tam_width ~constraints)

@@ -22,10 +22,19 @@ type outcome = {
           polish), annealing iterations, or branch-and-bound nodes *)
 }
 
-type kind = Grid | Anneal | Polish | Baseline | Exact
+type kind =
+  | Grid
+  | Anneal
+  | Polish
+  | Baseline
+  | Exact
+  | Rectpack  (** plain rectangle bin packing, arXiv 1008.4448 *)
+  | Rectpack_diag  (** diagonal-length-ordered variant, arXiv 1008.4446 *)
+  | Exact_bnb  (** constraint-aware branch-and-bound, {!Soctest_pack.Bnb} *)
 
 val kind_name : kind -> string
-(** ["grid"], ["anneal"], ["polish"], ["baseline"], ["exact"]. *)
+(** ["grid"], ["anneal"], ["polish"], ["baseline"], ["exact"],
+    ["rectpack"], ["rectpack-diagonal"], ["exact-bnb"]. *)
 
 val kind_of_string : string -> kind option
 (** Inverse of {!kind_name}; [None] for unknown names. *)
@@ -105,6 +114,32 @@ val exact :
     since B&B time grows exponentially with core count. [node_limit]
     defaults to the solver's 2 million. Constraint-revalidated. *)
 
+val rectpack :
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  t list
+(** Both rectangle-bin-packing strategies ({!Soctest_pack.Rectpack}):
+    ["rectpack"] (decreasing preferred-rectangle area) and
+    ["rectpack-diagonal"] (decreasing bin-normalized diagonal). They
+    honour constraints by delaying starts, and are re-validated like
+    every non-optimizer producer (see {!Rejected}). *)
+
+val exact_bnb :
+  ?max_cores:int ->
+  ?node_limit:int ->
+  ?budget:Soctest_core.Budget.t ->
+  Soctest_core.Optimizer.prepared ->
+  tam_width:int ->
+  constraints:Soctest_constraints.Constraint_def.t ->
+  t list
+(** The constraint-aware branch-and-bound ({!Soctest_pack.Bnb}), gated
+    behind a core-count budget like {!exact} but wider ([max_cores]
+    defaults to 12): its admissibility pruning and heuristic-seeded
+    incumbent keep the tree tractable where the constraint-blind solver
+    cannot. [budget] is polled cooperatively; on expiry the strategy
+    returns its best incumbent rather than failing. *)
+
 val audited :
   ?pareto:(Soctest_soc.Core_def.t -> Soctest_wrapper.Pareto.t) ->
   Soctest_core.Optimizer.prepared ->
@@ -135,7 +170,10 @@ val default :
   constraints:Soctest_constraints.Constraint_def.t ->
   t list
 (** The full portfolio in registration order — grid, anneal restarts,
-    polish, baselines, exact — optionally restricted to [kinds].
-    [budget]/[eval] reach the optimizer-backed strategies (grid, anneal,
-    polish); baselines and exact ignore them. [pareto] feeds the
-    {!audited} wrapper's staircase lookups (see there). *)
+    polish, baselines, exact, rectpack, rectpack-diagonal, exact-bnb —
+    optionally restricted to [kinds]. [budget]/[eval] reach the
+    optimizer-backed strategies (grid, anneal, polish) and [budget] also
+    the B&B; baselines and the constraint-blind exact ignore them.
+    [exact_max_cores] gates both exact solvers when given (their
+    defaults differ: 6 for [exact], 12 for [exact_bnb]). [pareto] feeds
+    the {!audited} wrapper's staircase lookups (see there). *)

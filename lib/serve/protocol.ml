@@ -8,7 +8,7 @@ module Optimizer = Soctest_core.Optimizer
 module Audit = Soctest_check.Audit
 
 type problem = P1 | P2 | P3
-type strategy = Point | Grid
+type strategy = Point | Grid | Rectpack | Rectpack_diag
 
 type solve_request = {
   soc : Soc_def.t;
@@ -115,7 +115,11 @@ let solve_request_of_body =
     match string_field obj "strategy" with
     | None | Some "point" -> Point
     | Some "grid" -> Grid
-    | Some s -> bad "unknown strategy %S (point or grid)" s
+    | Some "rectpack" -> Rectpack
+    | Some "rectpack-diagonal" -> Rectpack_diag
+    | Some s ->
+      bad "unknown strategy %S (point, grid, rectpack or rectpack-diagonal)"
+        s
   in
   let budget_ms = opt_number_field obj "budget_ms" in
   (match budget_ms with
@@ -198,16 +202,31 @@ let json_of_report (r : Audit.report) =
              r.Audit.violations) );
     ]
 
-let json_of_outcome ~soc (o : Engine.outcome) =
+let json_of_outcome ?lower_bound ~soc (o : Engine.outcome) =
   let r = o.Engine.result in
   Json.Obj
-    [
+    ([
       ( "status",
         Json.String
           (match o.Engine.status with
           | Engine.Complete -> "complete"
           | Engine.Deadline -> "deadline") );
       ("testing_time", Json.Int r.Optimizer.testing_time);
+    ]
+    @ (match lower_bound with
+      | None -> []
+      | Some lb ->
+        [
+          ("lower_bound", Json.Int lb);
+          ( "gap_pct",
+            Json.Float
+              (if lb > 0 then
+                 100.
+                 *. float_of_int (r.Optimizer.testing_time - lb)
+                 /. float_of_int lb
+               else 0.) );
+        ])
+    @ [
       ("evaluations", Json.Int o.Engine.evaluations);
       ( "widths",
         Json.List
@@ -244,7 +263,7 @@ let json_of_outcome ~soc (o : Engine.outcome) =
       ( "store_probe_ms",
         Json.Float o.Engine.stats.Engine.store_probe_ms );
       ("eval_solve_ms", Json.Float o.Engine.stats.Engine.eval_solve_ms);
-    ]
+    ])
 
 (* ------------------------------------------------------------------ *)
 (* error taxonomy *)

@@ -9,7 +9,8 @@
     { "soc": "d695",            // benchmark name, or "soc_text": "Soc ..."
       "width": 32,              // required TAM width W
       "problem": "p2",          // p1 | p2 (default) | p3
-      "strategy": "point",      // point (default) | grid
+      "strategy": "point",      // point (default) | grid | rectpack
+                                //   | rectpack-diagonal
       "budget_ms": 500,         // optional per-request deadline
       "power_limit": 100,       // optional power cap (p2/p3)
       "preempt": 2,             // optional preemption budget (p2/p3)
@@ -25,7 +26,12 @@
 module Json = Soctest_obs.Json
 
 type problem = P1 | P2 | P3
-type strategy = Point | Grid
+
+type strategy =
+  | Point
+  | Grid
+  | Rectpack  (** plain rectangle bin packing ({!Soctest_pack.Rectpack}) *)
+  | Rectpack_diag  (** diagonal-length-ordered variant *)
 
 type solve_request = {
   soc : Soctest_soc.Soc_def.t;
@@ -69,10 +75,16 @@ val json_of_report : Soctest_check.Audit.report -> Json.t
     [checks_run], [violations] (with stable kebab-case check names). *)
 
 val json_of_outcome :
-  soc:Soctest_soc.Soc_def.t -> Soctest_engine.Engine.outcome -> Json.t
+  ?lower_bound:int ->
+  soc:Soctest_soc.Soc_def.t ->
+  Soctest_engine.Engine.outcome ->
+  Json.t
 (** Engine status, testing time, per-core widths/preemptions, the
     schedule in {!Soctest_tam.Schedule_io} text form, and cache
-    statistics for this solve. *)
+    statistics for this solve. When [lower_bound] is given (the server
+    always passes {!Soctest_core.Lower_bound.compute_constrained}),
+    [lower_bound] and [gap_pct] — how far the returned makespan sits
+    above it — ride along. *)
 
 (** {1 Error taxonomy}
 

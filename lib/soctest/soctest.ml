@@ -27,6 +27,11 @@
     {2 Baselines}
     - {!Serial}, {!Session}, {!Shelf}, {!Fixed_width}, {!Exact}
 
+    {2 Rectangle bin packing}
+    - {!Pack_model}, {!Pack_skyline} — rectangle menus and the skyline
+    - {!Rectpack} (arXiv 1008.4448 / 1008.4446), {!Bnb} — the packing
+      strategy family and the constraint-aware exact solver
+
     {2 Parallel portfolio}
     - {!Pool}, {!Strategy}, {!Portfolio}, {!Telemetry}
 
@@ -93,6 +98,11 @@ module Session = Soctest_baselines.Session
 module Shelf = Soctest_baselines.Shelf
 module Fixed_width = Soctest_baselines.Fixed_width
 module Exact = Soctest_baselines.Exact
+
+module Pack_model = Soctest_pack.Model
+module Pack_skyline = Soctest_pack.Skyline
+module Rectpack = Soctest_pack.Rectpack
+module Bnb = Soctest_pack.Bnb
 
 module Pool = Soctest_portfolio.Pool
 module Strategy = Soctest_portfolio.Strategy

@@ -4,6 +4,7 @@ first default grid point on mini4 already reaches the grid optimum:
 
   $ soctest schedule --soc mini4 -w 8 --budget-ms 0
   SOC mini4 at W=8: testing time 405 cycles
+  lower bound 230 cycles, gap 76.1%
   (budget expired: kept best of 1 grid evaluation(s))
     core  1 (alpha): width 3
     core  2 (beta): width 2
@@ -15,6 +16,7 @@ the unbudgeted single-point solve on this benchmark):
 
   $ soctest schedule --soc mini4 -w 8 --budget-ms 60000
   SOC mini4 at W=8: testing time 405 cycles
+  lower bound 230 cycles, gap 76.1%
   (grid complete: 208 evaluation(s))
     core  1 (alpha): width 3
     core  2 (beta): width 2
@@ -25,6 +27,7 @@ Without --budget-ms the output is unchanged from before the engine:
 
   $ soctest schedule --soc mini4 -w 8
   SOC mini4 at W=8: testing time 405 cycles
+  lower bound 230 cycles, gap 76.1%
     core  1 (alpha): width 3
     core  2 (beta): width 2
     core  3 (gamma): width 5

@@ -20,6 +20,7 @@ error:
   $ soctest schedule --soc mini4 -w 8 --trace missing-dir/t.json
   soctest: missing-dir/t.json: No such file or directory
   SOC mini4 at W=8: testing time 405 cycles
+  lower bound 230 cycles, gap 76.1%
     core  1 (alpha): width 3
     core  2 (beta): width 2
     core  3 (gamma): width 5

@@ -3,6 +3,7 @@ unchanged by tracing:
 
   $ soctest schedule --soc mini4 -w 8 --trace t.json --metrics m.jsonl
   SOC mini4 at W=8: testing time 405 cycles
+  lower bound 230 cycles, gap 76.1%
     core  1 (alpha): width 3
     core  2 (beta): width 2
     core  3 (gamma): width 5

@@ -1,0 +1,62 @@
+The rectangle-packing smoke: the skyline packers and the constraint-aware
+branch-and-bound must race as first-class portfolio strategies and report
+honest optimality gaps. Everything below is deterministic (no timings),
+so the outputs are pinned exactly.
+
+The strategy zoo is discoverable without loading an SOC:
+
+  $ soctest portfolio --list-strategies
+  grid
+  anneal
+  polish
+  baseline
+  exact
+  rectpack
+  rectpack-diagonal
+  exact-bnb
+
+The --strategies filter races just the rectangle family. On mini4 at
+W=16 the branch-and-bound proves 373 (matching the heuristic's best)
+while both packers land on 424 — the B&B wins the race:
+
+  $ soctest portfolio --soc mini4 -w 16 --strategies rectpack,rectpack-diagonal,exact-bnb
+  SOC mini4 at W=16: raced 3 strategies on 1 domain(s)
+  winner: exact-bnb -> testing time 373 cycles
+    core  1 (alpha): width 3
+    core  2 (beta): width 2
+    core  3 (gamma): width 7
+    core  4 (delta): width 4
+  Portfolio summary (3 strategies)
+  kind               strategies  ok  failed  skipped  best T  iterations
+  ----------------------------------------------------------------------
+  rectpack                    1   1       0        0     424           4
+  rectpack-diagonal           1   1       0        0     424           4
+  exact-bnb                   1   1       0        0     373         424
+
+An unknown kind in the filter names every valid spelling:
+
+  $ soctest portfolio --soc mini4 -w 16 --strategies rectpak
+  soctest: unknown strategy kind "rectpak" (expected one of grid, anneal, polish, baseline, exact, rectpack, rectpack-diagonal, exact-bnb, or all)
+  [124]
+
+Every schedule now reports its distance from the constrained lower
+bound alongside the makespan:
+
+  $ soctest schedule --soc mini4 -w 16 | head -2
+  SOC mini4 at W=16: testing time 373 cycles
+  lower bound 230 cycles, gap 62.2%
+
+pack-bench races the heuristic against both packers and the B&B on one
+SOC, audits all four schedules, and emits the per-strategy gap report
+that bench/regression.sh aggregates into BENCH_10.json:
+
+  $ soctest pack-bench --soc mini4 -w 16
+  {"soc":"mini4","cores":4,"tam_width":16,"lower_bound":230,"strategies":{"heuristic":{"time":373,"gap_vs_lb_pct":62.174,"gap_to_exact_pct":0.000},"rectpack":{"time":424,"gap_vs_lb_pct":84.348,"gap_to_exact_pct":13.673},"rectpack-diagonal":{"time":424,"gap_vs_lb_pct":84.348,"gap_to_exact_pct":13.673},"exact-bnb":{"time":373,"gap_vs_lb_pct":62.174,"gap_to_exact_pct":0.000,"optimal":true,"nodes":424}},"winner":"heuristic","audited":true}
+
+On a synthesized 5-core SOC the exact solver beats the heuristic by a
+real margin — the optimality-gap numbers the README table quotes:
+
+  $ soctest synth --seed 3 --cores 5 -o s3.soc
+  wrote s3.soc (5 cores, 2000608 bits)
+  $ soctest pack-bench --soc s3.soc -w 12
+  {"soc":"synth-s3-c5","cores":5,"tam_width":12,"lower_bound":151883,"strategies":{"heuristic":{"time":170690,"gap_vs_lb_pct":12.383,"gap_to_exact_pct":9.696},"rectpack":{"time":170690,"gap_vs_lb_pct":12.383,"gap_to_exact_pct":9.696},"rectpack-diagonal":{"time":170690,"gap_vs_lb_pct":12.383,"gap_to_exact_pct":9.696},"exact-bnb":{"time":155603,"gap_vs_lb_pct":2.449,"gap_to_exact_pct":0.000,"optimal":true,"nodes":68042}},"winner":"exact-bnb","audited":true}

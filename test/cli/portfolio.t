@@ -3,20 +3,23 @@ makespan with ties broken by registration order, never by completion
 order, so the output is stable for any --jobs value.
 
   $ soctest portfolio --soc mini4 --jobs 2
-  SOC mini4 at W=32: raced 218 strategies on 2 domain(s)
+  SOC mini4 at W=32: raced 221 strategies on 2 domain(s)
   winner: grid p=1 d=0 s=3 -> testing time 373 cycles
     core  1 (alpha): width 3
     core  2 (beta): width 2
     core  3 (gamma): width 14
     core  4 (delta): width 4
-  Portfolio summary (218 strategies)
-  kind      strategies   ok  failed  skipped  best T  iterations
-  --------------------------------------------------------------
-  grid             208  208       0        0     373         208
-  anneal             4    4       0        0     373        1600
-  polish             1    1       0        0     373           4
-  baseline           4    1       3        0     610           1
-  exact              1    0       1        0       -           0
+  Portfolio summary (221 strategies)
+  kind               strategies   ok  failed  skipped  best T  iterations
+  -----------------------------------------------------------------------
+  grid                      208  208       0        0     373         208
+  anneal                      4    4       0        0     373        1600
+  polish                      1    1       0        0     373           4
+  baseline                    4    1       3        0     610           1
+  exact                       1    0       1        0       -           0
+  rectpack                    1    1       0        0     373           4
+  rectpack-diagonal           1    1       0        0     373           4
+  exact-bnb                   1    1       0        0     373         447
 
 Eight workers produce the byte-identical winning schedule:
 
@@ -30,5 +33,5 @@ A subset of strategy kinds can be raced, and unknown kinds are rejected:
   SOC mini4 at W=32: raced 212 strategies on 2 domain(s)
   winner: grid p=1 d=0 s=3 -> testing time 373 cycles
   $ soctest portfolio --soc mini4 --strategies warp
-  soctest: unknown strategy kind "warp" (expected grid, anneal, polish, baseline or exact)
+  soctest: unknown strategy kind "warp" (expected one of grid, anneal, polish, baseline, exact, rectpack, rectpack-diagonal, exact-bnb, or all)
   [124]

@@ -2,6 +2,7 @@ One-off scheduling of the mini benchmark:
 
   $ soctest schedule --soc mini4 -w 8
   SOC mini4 at W=8: testing time 405 cycles
+  lower bound 230 cycles, gap 76.1%
     core  1 (alpha): width 3
     core  2 (beta): width 2
     core  3 (gamma): width 5
@@ -10,6 +11,7 @@ A power cap and preemption budget change the schedule:
 
   $ soctest schedule --soc mini4 -w 8 --power --preempt 1
   SOC mini4 at W=8: testing time 635 cycles
+  lower bound 358 cycles, gap 77.4%
     core  1 (alpha): width 3
     core  2 (beta): width 2
     core  3 (gamma): width 7

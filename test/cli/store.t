@@ -3,6 +3,7 @@ persistent store (one miss per evaluation, written on the way out):
 
   $ soctest schedule --soc mini4 -w 8 --store mini4.store
   SOC mini4 at W=8: testing time 405 cycles
+  lower bound 230 cycles, gap 76.1%
   (store mini4.store: 0 disk hit(s), 1 solve(s) written, 1 entries)
     core  1 (alpha): width 3
     core  2 (beta): width 2
@@ -14,6 +15,7 @@ no solver work, bit-identical schedule:
 
   $ soctest schedule --soc mini4 -w 8 --store mini4.store
   SOC mini4 at W=8: testing time 405 cycles
+  lower bound 230 cycles, gap 76.1%
   (store mini4.store: 1 disk hit(s), 0 solve(s) written, 1 entries)
     core  1 (alpha): width 3
     core  2 (beta): width 2
@@ -24,6 +26,7 @@ SOCTEST_STORE is the same default without the flag:
 
   $ SOCTEST_STORE=mini4.store soctest schedule --soc mini4 -w 8
   SOC mini4 at W=8: testing time 405 cycles
+  lower bound 230 cycles, gap 76.1%
   (store mini4.store: 1 disk hit(s), 0 solve(s) written, 1 entries)
     core  1 (alpha): width 3
     core  2 (beta): width 2

@@ -1,0 +1,199 @@
+(* Differential fuzz of the rectangle-packing strategy family: run
+   both rectpack orders and the constraint-aware branch-and-bound over
+   hundreds of synthesized SOCs, audit every schedule against all 16
+   invariants, and cross-check that the exact solver never loses to any
+   portfolio strategy on instances where it proves optimality.
+
+   Deterministic by construction, same as test_audit_fuzz: every SOC is
+   drawn from the Synth splitmix64 stream seeded by the case index, so
+   a failure reproduces exactly from the printed case number. *)
+
+module Audit = Soctest_check.Audit
+module Synth = Soctest_soc.Synth
+module Soc_def = Soctest_soc.Soc_def
+module Constraint_def = Soctest_constraints.Constraint_def
+module O = Soctest_core.Optimizer
+module Lower_bound = Soctest_core.Lower_bound
+module Strategy = Soctest_portfolio.Strategy
+module Schedule = Soctest_tam.Schedule
+module Rectpack = Soctest_pack.Rectpack
+module Bnb = Soctest_pack.Bnb
+
+let cases = 220
+
+type drawn = {
+  case : int;
+  soc : Soc_def.t;
+  tam_width : int;
+  wmax : int;
+  constraints : Constraint_def.t;
+}
+
+(* Same draw recipe as test_audit_fuzz, on a distinct seed stream so
+   the two suites cover different SOCs. *)
+let draw case =
+  let rng = Synth.rng_of_seed (Int64.of_int ((case * 2654435761) + 811)) in
+  let core_count = 2 + Synth.next_int rng 5 in
+  let hierarchy_pairs =
+    if core_count >= 3 then Synth.next_int rng 2 else 0
+  in
+  let bist_engines = Synth.next_int rng 2 in
+  let soc =
+    Synth.generate
+      {
+        Synth.name = Printf.sprintf "packfuzz%d" case;
+        seed = Int64.of_int ((case * 48271) + 31);
+        core_count;
+        target_data_bits = 20_000 + Synth.next_int rng 120_000;
+        big_core_fraction = float_of_int (Synth.next_int rng 3) /. 4.;
+        combinational_fraction = float_of_int (Synth.next_int rng 3) /. 10.;
+        hierarchy_pairs;
+        bist_engines;
+      }
+  in
+  let tam_width = 3 + Synth.next_int rng 10 in
+  let wmax = [| 8; 12; 16 |].(Synth.next_int rng 3) in
+  let variant = Synth.next_int rng 4 in
+  let constraints =
+    match variant with
+    | 0 -> Constraint_def.of_soc soc ()
+    | 1 ->
+      Constraint_def.of_soc soc
+        ~power_limit:(2 * Soc_def.max_power soc)
+        ()
+    | 2 -> Constraint_def.of_soc soc ~precedence:[ (1, 2) ] ()
+    | _ ->
+      Constraint_def.of_soc soc
+        ~max_preemptions:
+          (List.init (Soc_def.core_count soc) (fun k -> (k + 1, 2)))
+        ()
+  in
+  { case; soc; tam_width; wmax; constraints }
+
+(* The new family under test plus a slim sample of the old one, so the
+   never-loses cross-check has real opponents. *)
+let strategies d prepared =
+  List.concat
+    [
+      Strategy.rectpack prepared ~tam_width:d.tam_width
+        ~constraints:d.constraints;
+      Strategy.exact_bnb ~max_cores:7 ~node_limit:60_000 prepared
+        ~tam_width:d.tam_width ~constraints:d.constraints;
+      Strategy.grid ~percents:[ 1; 5 ] ~deltas:[ 0; 2 ] ~slacks:[ 3 ]
+        prepared ~tam_width:d.tam_width ~constraints:d.constraints;
+      Strategy.baselines prepared ~tam_width:d.tam_width
+        ~constraints:d.constraints;
+    ]
+
+let test_fuzz () =
+  let socs_audited = ref 0 in
+  let schedules_audited = ref 0 in
+  let rectpack_runs = ref 0 in
+  let bnb_runs = ref 0 in
+  let rejected = ref 0 in
+  let optimal_checked = ref 0 in
+  for case = 0 to cases - 1 do
+    let d = draw case in
+    let prepared = O.prepare ~wmax:d.wmax d.soc in
+    let spec =
+      Audit.spec ~wmax:d.wmax ~expect_tam_width:d.tam_width d.constraints
+    in
+    let lb =
+      Lower_bound.compute_constrained prepared ~tam_width:d.tam_width
+        ~constraints:d.constraints
+    in
+    let outcomes =
+      List.filter_map
+        (fun (s : Strategy.t) ->
+          match s.Strategy.run () with
+          | outcome -> Some (s, outcome)
+          | exception Strategy.Rejected _ ->
+            incr rejected;
+            None
+          | exception O.Infeasible _ ->
+            incr rejected;
+            None)
+        (strategies d prepared)
+    in
+    if outcomes = [] then
+      Alcotest.failf "case %d (%s): every strategy failed" case
+        d.soc.Soc_def.name;
+    (* the rectangle family must actually be present, not silently
+       gated away: rectpack never rejects, and at 2-6 cores the B&B
+       gate (7) never trips *)
+    let count kind =
+      List.length
+        (List.filter (fun ((s : Strategy.t), _) -> s.Strategy.kind = kind)
+           outcomes)
+    in
+    incr socs_audited;
+    rectpack_runs :=
+      !rectpack_runs + count Strategy.Rectpack + count Strategy.Rectpack_diag;
+    bnb_runs := !bnb_runs + count Strategy.Exact_bnb;
+    List.iter
+      (fun ((s : Strategy.t), (o : Strategy.outcome)) ->
+        let sched = o.Strategy.solution.Strategy.schedule in
+        let report = Audit.run d.soc spec sched in
+        incr schedules_audited;
+        if not (Audit.ok report) then
+          Alcotest.failf "case %d (%s, W=%d, wmax=%d), strategy %s: %a"
+            case d.soc.Soc_def.name d.tam_width d.wmax s.Strategy.name
+            Audit.pp_report report;
+        let span = o.Strategy.solution.Strategy.testing_time in
+        Alcotest.(check bool)
+          (Printf.sprintf "case %d %s: makespan %d >= LB %d" case
+             s.Strategy.name span lb)
+          true (span >= lb);
+        Alcotest.(check int)
+          (Printf.sprintf "case %d %s: reported time is the makespan" case
+             s.Strategy.name)
+          (Schedule.makespan sched) span)
+      outcomes;
+    (* B&B-vs-portfolio cross-check: when the direct solve proves
+       optimality (exhausted, non-preemptive constraint set), no
+       strategy of any family may beat it *)
+    (match
+       Bnb.solve ~node_limit:60_000 prepared ~tam_width:d.tam_width
+         ~constraints:d.constraints
+     with
+    | o when o.Bnb.optimal ->
+      incr optimal_checked;
+      List.iter
+        (fun ((s : Strategy.t), (r : Strategy.outcome)) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "case %d: exact-bnb %d <= %s %d" case
+               o.Bnb.testing_time s.Strategy.name
+               r.Strategy.solution.Strategy.testing_time)
+            true
+            (o.Bnb.testing_time
+            <= r.Strategy.solution.Strategy.testing_time))
+        outcomes
+    | _ -> ()
+    | exception O.Infeasible _ -> ())
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "audited %d SOCs (>= 200)" !socs_audited)
+    true
+    (!socs_audited >= 200);
+  Alcotest.(check bool)
+    (Printf.sprintf "rectpack ran on every SOC (%d runs)" !rectpack_runs)
+    true
+    (!rectpack_runs >= 2 * !socs_audited);
+  Alcotest.(check bool)
+    (Printf.sprintf "bnb raced on small SOCs (%d runs)" !bnb_runs)
+    true
+    (!bnb_runs >= !socs_audited / 2);
+  Printf.printf
+    "pack fuzz: %d SOCs, %d schedules audited clean (%d rectpack, %d \
+     bnb), %d rejected/infeasible skipped, %d optimality cross-checks\n"
+    !socs_audited !schedules_audited !rectpack_runs !bnb_runs !rejected
+    !optimal_checked
+
+let () =
+  Alcotest.run "pack_fuzz"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "rectpack + bnb, 220 SOCs" `Quick test_fuzz;
+        ] );
+    ]

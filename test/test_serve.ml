@@ -486,6 +486,50 @@ let test_live_flight_recorder () =
       true
       (sum >= 0.9 *. total && sum <= 1.1 *. total)
 
+(* The rectangle-packing strategies over HTTP: a rectpack solve must
+   come back audited clean with the lower_bound/gap_pct fields every
+   solve response now carries, and its makespan must match a direct
+   Rectpack.schedule of the same request. *)
+let test_live_rectpack_strategy () =
+  with_server @@ fun _server port ->
+  let solve strategy =
+    let r =
+      Client.post ~port
+        ~body:
+          (solve_body ~extra:[ ("strategy", Json.String strategy) ] 8)
+        "/v1/solve"
+    in
+    Alcotest.(check int) (strategy ^ " status") 200 r.Client.status;
+    let v = Client.json_body r in
+    Alcotest.(check bool)
+      (strategy ^ " audited clean")
+      true
+      (member "clean" (member "audit" v) = Json.Bool true);
+    member "result" v
+  in
+  let result = solve "rectpack" in
+  let soc = Soctest_soc.Benchmarks.mini4 () in
+  let prepared = Soctest_core.Optimizer.prepare ~wmax:64 soc in
+  let direct =
+    Soctest_pack.Rectpack.schedule ~order:Soctest_pack.Rectpack.Plain
+      prepared ~tam_width:8
+      ~constraints:(Constraint_def.of_soc soc ())
+  in
+  Alcotest.(check int)
+    "testing_time matches direct Rectpack.schedule"
+    direct.Soctest_pack.Rectpack.testing_time
+    (jint (member "testing_time" result));
+  (* the gap fields ride on every solve response *)
+  let lb = jint (member "lower_bound" result) in
+  Alcotest.(check bool) "lower bound positive" true (lb > 0);
+  Alcotest.(check bool)
+    "lower bound below makespan" true
+    (lb <= jint (member "testing_time" result));
+  (match member "gap_pct" result with
+  | Json.Float g -> Alcotest.(check bool) "gap >= 0" true (g >= 0.)
+  | _ -> Alcotest.fail "gap_pct must be a JSON float");
+  ignore (solve "rectpack-diagonal" : Json.t)
+
 let test_live_error_paths () =
   with_server @@ fun _server port ->
   let bad = Client.post ~port ~body:"{" "/v1/solve" in
@@ -704,6 +748,8 @@ let () =
             test_live_admission_control;
           Alcotest.test_case "deadline budget" `Quick
             test_live_deadline_budget;
+          Alcotest.test_case "rectpack strategy + gap fields" `Quick
+            test_live_rectpack_strategy;
           Alcotest.test_case "error paths" `Quick test_live_error_paths;
           Alcotest.test_case "request ids + /metrics exposition" `Quick
             test_live_request_ids_and_metrics;
